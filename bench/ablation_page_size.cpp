@@ -1,0 +1,95 @@
+/**
+ * Ablation for Sec 4.1's page-sizing discussion: sweep the page LUT
+ * budget and report (a) per-page compile time and (b) overlay
+ * efficiency per Eq. 1:
+ *
+ *   Eff = sum(operator use) /
+ *         (sum(page size + leaf iface) + linking network)
+ *
+ * Small pages compile fast but pay interface overhead and
+ * fragmentation; the paper picks ~18k-LUT pages for ~95% efficiency.
+ */
+
+#include "bench_common.h"
+
+#include "hls/compiler.h"
+#include "hls/resource_model.h"
+#include "hls/synthesis.h"
+#include "ir/builder.h"
+#include "pnr/engine.h"
+
+using namespace pld;
+
+namespace {
+
+/** A synthetic operator with roughly `target_luts` of logic. */
+ir::OperatorFn
+makeSized(int target_luts)
+{
+    using namespace pld::ir;
+    OpBuilder b("sized" + std::to_string(target_luts));
+    auto in = b.input("in");
+    auto out = b.output("out");
+    auto acc = b.var("acc", Type::s(32));
+    int adders = std::max(1, target_luts / 40);
+    b.forLoop(0, 64, [&](Ex) {
+        b.set(acc, b.read(in).bitcast(Type::s(32)));
+        for (int i = 0; i < adders; ++i)
+            b.set(acc, Ex(acc) + (i + 1));
+        b.write(out, acc);
+    });
+    return b.finish();
+}
+
+} // namespace
+
+int
+main()
+{
+    double effort = bench::benchEffort(0.5);
+    const auto &dev = bench::device();
+
+    Table t("Ablation: page size vs compile time and overlay "
+            "efficiency (Eq. 1)");
+    t.addRow({"page LUTs", "op LUTs", "p&r time (s)",
+              "leaf+net overhead", "efficiency"});
+
+    // Model pages as sub-rectangles of a real page with varying
+    // height; the operator fills ~70% of each candidate page.
+    const fabric::PageInfo &host = dev.pages[0];
+    for (int frac = 1; frac <= 4; ++frac) {
+        fabric::Rect region = host.rect;
+        region.h = host.rect.h * frac / 4;
+        auto res = dev.resourcesIn(region);
+        int64_t page_luts = res.luts;
+
+        auto hr = hls::compileOperator(
+            makeSized(static_cast<int>(page_luts * 7 / 10)), true);
+        hls::synthesize(hr.net);
+        int64_t op_luts = hr.net.resources().luts;
+        if (!res.covers(hr.net.resources())) {
+            t.row(std::to_string(page_luts), op_luts, "does not fit",
+                  "-", "-");
+            continue;
+        }
+
+        pnr::PnrOptions popts;
+        popts.effort = effort;
+        auto pr = pnr::placeAndRoute(hr.net, dev, region, popts);
+
+        int64_t leaf = hls::leafInterfaceOverhead().luts;
+        int64_t net_per_endpoint = 500; // Sec 4.1: linking net cost
+        double eff =
+            double(op_luts - leaf) /
+            double(page_luts + leaf + net_per_endpoint);
+        t.row(std::to_string(page_luts), op_luts,
+              fmtDouble(pr.placeSeconds + pr.routeSeconds, 3),
+              std::to_string(leaf + net_per_endpoint),
+              fmtDouble(eff, 3));
+    }
+    t.print();
+    std::printf("(paper: ~18k-LUT pages give ~95%% efficiency "
+                "before fragmentation; smaller pages compile faster "
+                "but waste a larger interface fraction)\n");
+    return 0;
+}

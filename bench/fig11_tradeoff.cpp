@@ -1,0 +1,97 @@
+/**
+ * Reproduces Fig 11: performance versus compile time across the four
+ * flows — the paper's headline "new points in the compile-time vs
+ * performance trade space". Prints one (compile seconds, normalized
+ * performance) pair per benchmark per flow plus a log-scale ASCII
+ * scatter.
+ */
+
+#include <algorithm>
+#include <cmath>
+
+#include "bench_common.h"
+
+using namespace pld;
+using namespace pld::flow;
+
+int
+main()
+{
+    double effort = bench::benchEffort(4.0);
+    auto benches = rosetta::allBenchmarks();
+
+    struct Point
+    {
+        std::string bench;
+        OptLevel level;
+        double compile_s;
+        double norm_perf; // 1.0 = Vitis baseline throughput
+    };
+    std::vector<Point> pts;
+
+    for (auto &bm : benches) {
+        PldCompiler pc(bench::device(), bench::compileOptions(effort));
+        struct Row { OptLevel lvl; AppBuild b; };
+        std::vector<Row> rows;
+        rows.push_back({OptLevel::Vitis,
+                        pc.build(bm.graph, OptLevel::Vitis)});
+        rows.push_back({OptLevel::O3, pc.build(bm.graph, OptLevel::O3)});
+        pc.clearCache();
+        rows.push_back({OptLevel::O1, pc.build(bm.graph, OptLevel::O1)});
+        rows.push_back({OptLevel::O0, pc.build(bm.graph, OptLevel::O0)});
+
+        double base_tput = 0;
+        for (auto &r : rows) {
+            auto rs = bench::execute(bm, r.b);
+            double t_in = bench::perInputSeconds(bm, r.b, rs);
+            double tput = 1.0 / t_in;
+            if (r.lvl == OptLevel::Vitis)
+                base_tput = tput;
+            pts.push_back({bm.name, r.lvl, r.b.wallTimes.total(),
+                           tput / base_tput});
+        }
+    }
+
+    Table t("Figure 11: Performance vs Compile Time");
+    t.addRow({"Benchmark", "Flow", "compile (s)", "norm perf"});
+    for (const auto &p : pts) {
+        t.row(p.bench, optLevelName(p.level),
+              fmtDouble(p.compile_s, 3),
+              fmtDouble(p.norm_perf, 5));
+    }
+    t.print();
+
+    // ASCII scatter: x = log10 compile time, y = log10 norm perf.
+    double min_x = 1e30, max_x = -1e30;
+    for (const auto &p : pts) {
+        double x = std::log10(std::max(1e-4, p.compile_s));
+        min_x = std::min(min_x, x);
+        max_x = std::max(max_x, x);
+    }
+    const int W = 60, H = 16;
+    std::vector<std::string> grid(H, std::string(W, '.'));
+    auto mark = [&](double cs, double np, char c) {
+        double x = std::log10(std::max(1e-4, cs));
+        double y = std::log10(std::max(1e-7, np));
+        int col = static_cast<int>((x - min_x) / (max_x - min_x +
+                                                  1e-9) * (W - 1));
+        int row = static_cast<int>((y + 6) / 6.3 * (H - 1));
+        row = std::clamp(row, 0, H - 1);
+        col = std::clamp(col, 0, W - 1);
+        grid[H - 1 - row][col] = c;
+    };
+    for (const auto &p : pts) {
+        char c = p.level == OptLevel::Vitis ? 'V'
+                 : p.level == OptLevel::O3  ? '3'
+                 : p.level == OptLevel::O1  ? '1'
+                                            : '0';
+        mark(p.compile_s, p.norm_perf, c);
+    }
+    std::printf("\nlog10(norm perf) vs log10(compile time) "
+                "[V=vitis 3=-O3 1=-O1 0=-O0]\n");
+    for (const auto &line : grid)
+        std::printf("  %s\n", line.c_str());
+    std::printf("(paper: -O0/-O1 open fast-compile points below the "
+                "slow, high-quality monolithic cluster)\n");
+    return 0;
+}

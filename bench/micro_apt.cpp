@@ -1,0 +1,59 @@
+/**
+ * Microbenchmarks for the memory-efficient ap_int/ap_fixed
+ * compatibility library (Sec 5.2).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "apt/ap_fixed.h"
+#include "apt/ap_int.h"
+
+using namespace pld::apt;
+
+static void
+BM_ApFixedMulAdd(benchmark::State &state)
+{
+    ap_fixed<32, 17> acc = 0.0, x = 1.0625, k = 0.999;
+    for (auto _ : state) {
+        acc += x * k;
+        benchmark::DoNotOptimize(acc);
+    }
+}
+BENCHMARK(BM_ApFixedMulAdd);
+
+static void
+BM_ApFixedDivide(benchmark::State &state)
+{
+    ap_fixed<32, 17> n = 1234.5, d = 3.25;
+    for (auto _ : state) {
+        auto q = n / d;
+        benchmark::DoNotOptimize(q);
+    }
+}
+BENCHMARK(BM_ApFixedDivide);
+
+static void
+BM_ApIntBitRange(benchmark::State &state)
+{
+    ap_uint<32> x = 0;
+    uint64_t i = 0;
+    for (auto _ : state) {
+        x(15, 8) = i++ & 0xFF;
+        benchmark::DoNotOptimize(x.range(23, 4));
+    }
+}
+BENCHMARK(BM_ApIntBitRange);
+
+static void
+BM_ApMemoryFootprint(benchmark::State &state)
+{
+    // The library claim: arrays of narrow types pack tightly.
+    for (auto _ : state) {
+        std::vector<ap_int<8>> v(4096);
+        benchmark::DoNotOptimize(v.data());
+        state.counters["bytes"] = v.size() * sizeof(ap_int<8>);
+    }
+}
+BENCHMARK(BM_ApMemoryFootprint);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,82 @@
+/**
+ * Microbenchmarks (google-benchmark) for the linking network:
+ * uncontended latency, many-to-one throughput, and config-packet
+ * linking cost — the ablation behind Sec 4.3's "modest
+ * packet-switched network ... for the fastest linking".
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "noc/bft.h"
+
+using namespace pld;
+using namespace pld::noc;
+
+static void
+BM_NocSingleFlitLatency(benchmark::State &state)
+{
+    int distance = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        BftNoc noc(32);
+        noc.setRoute(0, 0, distance, 0);
+        noc.outPort(0, 0)->write(1);
+        int cycles = 0;
+        auto *in = noc.inPort(distance, 0);
+        while (!in->canRead()) {
+            noc.stepCycle();
+            ++cycles;
+        }
+        benchmark::DoNotOptimize(cycles);
+        state.counters["net_cycles"] = cycles;
+    }
+}
+BENCHMARK(BM_NocSingleFlitLatency)->Arg(1)->Arg(7)->Arg(31);
+
+static void
+BM_NocStreamThroughput(benchmark::State &state)
+{
+    int words = 256;
+    for (auto _ : state) {
+        BftNoc noc(32, 4, 64);
+        noc.setRoute(2, 0, 21, 0);
+        auto *out = noc.outPort(2, 0);
+        auto *in = noc.inPort(21, 0);
+        int sent = 0, got = 0;
+        int cycles = 0;
+        while (got < words) {
+            if (sent < words && out->canWrite()) {
+                out->write(static_cast<uint32_t>(sent));
+                ++sent;
+            }
+            noc.stepCycle();
+            while (in->canRead()) {
+                in->read();
+                ++got;
+            }
+            ++cycles;
+        }
+        state.counters["cycles_per_word"] =
+            static_cast<double>(cycles) / words;
+    }
+}
+BENCHMARK(BM_NocStreamThroughput);
+
+static void
+BM_NocLinkingConfig(benchmark::State &state)
+{
+    // "A few packets per page" (Sec 4.3): time to link 22 pages.
+    for (auto _ : state) {
+        BftNoc noc(32);
+        for (int p = 0; p < 22; ++p)
+            noc.sendConfig(24, p, 0, (p + 1) % 22, 0);
+        int cycles = 0;
+        while (!noc.idle()) {
+            noc.stepCycle();
+            ++cycles;
+        }
+        state.counters["link_cycles"] = cycles;
+    }
+}
+BENCHMARK(BM_NocLinkingConfig);
+
+BENCHMARK_MAIN();

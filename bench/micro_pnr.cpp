@@ -1,0 +1,84 @@
+/**
+ * Microbenchmarks for the place-and-route engine: how annealing cost
+ * scales with design size — the super-linear behaviour the PLD page
+ * decomposition exploits (Sec 4.1).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "fabric/device.h"
+#include "pnr/placer.h"
+#include "pnr/router.h"
+
+using namespace pld;
+using namespace pld::pnr;
+
+namespace {
+
+const fabric::Device &
+device()
+{
+    static fabric::Device d = fabric::makeU50();
+    return d;
+}
+
+netlist::Netlist
+chain(int n)
+{
+    netlist::Netlist nl;
+    int prev = -1;
+    for (int i = 0; i < n; ++i) {
+        int c = nl.addCell({netlist::SiteKind::Clb,
+                            "x" + std::to_string(i), 6, 10, 1, 0,
+                            {}});
+        if (prev >= 0) {
+            int w = nl.addNet("w" + std::to_string(i), 32, prev);
+            nl.addSink(w, c);
+        }
+        prev = c;
+    }
+    return nl;
+}
+
+} // namespace
+
+static void
+BM_PlaceScaling(benchmark::State &state)
+{
+    int n = static_cast<int>(state.range(0));
+    netlist::Netlist nl = chain(n);
+    fabric::Rect region =
+        n <= 1500 ? device().pages[0].rect : fabric::Rect{0, 0, 120,
+                                                          576};
+    PlacerOptions opts;
+    opts.effort = 0.3;
+    for (auto _ : state) {
+        auto pr = place(nl, device(), region, opts);
+        benchmark::DoNotOptimize(pr.finalCost);
+        state.counters["moves"] =
+            static_cast<double>(pr.movesAttempted);
+    }
+}
+BENCHMARK(BM_PlaceScaling)->Arg(100)->Arg(400)->Arg(1600)->Arg(6400)
+    ->Unit(benchmark::kMillisecond);
+
+static void
+BM_RouteScaling(benchmark::State &state)
+{
+    int n = static_cast<int>(state.range(0));
+    netlist::Netlist nl = chain(n);
+    fabric::Rect region =
+        n <= 1500 ? device().pages[0].rect : fabric::Rect{0, 0, 120,
+                                                          576};
+    PlacerOptions popts;
+    popts.effort = 0.2;
+    auto pr = place(nl, device(), region, popts);
+    for (auto _ : state) {
+        auto rr = route(nl, device(), pr.place, {});
+        benchmark::DoNotOptimize(rr.totalWirelength);
+    }
+}
+BENCHMARK(BM_RouteScaling)->Arg(100)->Arg(400)->Arg(1600)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

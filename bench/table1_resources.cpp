@@ -1,0 +1,44 @@
+/**
+ * Reproduces Table 1 (page resource distribution) and Fig 8 (the
+ * physical layout floorplan) from the fabric model.
+ */
+
+#include "bench_common.h"
+
+using namespace pld;
+
+int
+main()
+{
+    const fabric::Device &dev = bench::device();
+
+    Table t1("Table 1: Resource Distribution (reproduction)");
+    std::vector<std::string> header{"Page Type"};
+    for (size_t i = 0; i < dev.pageTypes.size(); ++i)
+        header.push_back("Type-" + std::to_string(i + 1));
+    t1.addRow(header);
+
+    auto row = [&](const std::string &label, auto get) {
+        std::vector<std::string> r{label};
+        for (const auto &pt : dev.pageTypes)
+            r.push_back(std::to_string(get(pt)));
+        t1.addRow(r);
+    };
+    row("LUTs", [](const fabric::PageType &p) { return p.res.luts; });
+    row("FFs", [](const fabric::PageType &p) { return p.res.ffs; });
+    row("BRAM18s",
+        [](const fabric::PageType &p) { return p.res.bram18; });
+    row("DSPs", [](const fabric::PageType &p) { return p.res.dsps; });
+    row("Number", [](const fabric::PageType &p) { return p.count; });
+    t1.print();
+
+    auto user = dev.userResources();
+    std::printf("Total user pages: %zu   %s\n", dev.pages.size(),
+                user.toString().c_str());
+    std::printf("(paper: 22 pages over 751,793 LUTs / 2,300 BRAM18s "
+                "/ 5,936 DSPs, 4 types of 17.5k-21.3k LUTs)\n\n");
+
+    std::printf("Figure 8: Physical Layout Floorplan\n%s\n",
+                dev.renderFloorplan().c_str());
+    return 0;
+}

@@ -1,0 +1,49 @@
+/**
+ * Reproduces Table 4: Rosetta benchmark area consumption
+ * (LUT / BRAM18 / DSP and pages used) for the Vitis baseline, -O3,
+ * -O1, and -O0. Shapes to check: -O3 > Vitis (FIFO links), -O1 > -O3
+ * (leaf interfaces), and -O0 charging whole softcore pages.
+ */
+
+#include "bench_common.h"
+
+using namespace pld;
+using namespace pld::flow;
+
+int
+main()
+{
+    double effort = bench::benchEffort(2.0);
+    auto benches = rosetta::allBenchmarks();
+
+    Table t("Table 4: Rosetta Benchmark Area Consumption");
+    t.addRow({"Benchmark", "vitis:LUT", "B18", "DSP",
+              "O3:LUT", "B18", "DSP",
+              "O1:LUT", "B18", "DSP", "pages",
+              "O0:LUT(mem KB)", "pages"});
+
+    for (auto &bm : benches) {
+        PldCompiler pc(bench::device(), bench::compileOptions(effort));
+        AppBuild vit = pc.build(bm.graph, OptLevel::Vitis);
+        AppBuild o3 = pc.build(bm.graph, OptLevel::O3);
+        AppBuild o1 = pc.build(bm.graph, OptLevel::O1);
+        AppBuild o0 = pc.build(bm.graph, OptLevel::O0);
+
+        size_t o0_mem = 0;
+        for (const auto &op : o0.ops)
+            o0_mem += op.elf.memBytes;
+
+        t.row(bm.name, vit.area.luts, vit.area.bram18, vit.area.dsps,
+              o3.area.luts, o3.area.bram18, o3.area.dsps,
+              o1.area.luts, o1.area.bram18, o1.area.dsps,
+              o1.pagesUsed,
+              std::to_string(o0.area.luts) + " (" +
+                  std::to_string(o0_mem / 1024) + ")",
+              o0.pagesUsed);
+    }
+    t.print();
+    std::printf("(paper: O3 uses more BRAM/LUT than Vitis, O1 more "
+                "than O3; O0 charges full one-size-fits-all "
+                "processor pages)\n");
+    return 0;
+}

@@ -1,0 +1,86 @@
+/**
+ * The edit-compile-debug loop (the paper's core developer story,
+ * Sec 1): an engineer iterates on ONE operator of a six-operator
+ * application. With separate compilation + the artifact cache, each
+ * iteration recompiles only the edited operator; the linking network
+ * reconnects everything with config packets in microseconds of
+ * device time.
+ *
+ * The demo edits the paper's own optical-flow pipeline: first at -O0
+ * (instant turnaround, prints enabled), then promotes the operator
+ * to -O1 once it works.
+ */
+
+#include <cstdio>
+
+#include "common/stopwatch.h"
+#include "fabric/device.h"
+#include "pld/compiler.h"
+#include "rosetta/benchmark.h"
+#include "sys/system.h"
+
+using namespace pld;
+
+int
+main()
+{
+    rosetta::Benchmark bm = rosetta::makeOpticalFlow();
+    fabric::Device dev = fabric::makeU50();
+    flow::CompileOptions opts;
+    opts.effort = 0.4;
+    flow::PldCompiler pc(dev, opts);
+
+    std::printf("== day 0: full -O1 build of %zu operators ==\n",
+                bm.graph.ops.size());
+    Stopwatch sw;
+    auto build = pc.build(bm.graph, flow::OptLevel::O1);
+    std::printf("full build: %.3f s wall (slowest page %.3f s)\n\n",
+                sw.seconds(), build.wallTimes.total());
+
+    // The engineer now iterates on flow_calc. Simulate three edits:
+    // each changes the operator body (here: the loop bound nudges so
+    // the content hash changes), and each rebuild should only
+    // recompile flow_calc.
+    int victim = bm.graph.findOp("flow_calc");
+    for (int edit = 1; edit <= 3; ++edit) {
+        bm.graph.ops[victim].fn.body.push_back(
+            ir::makeStmt(ir::StmtKind::Block)); // a harmless edit
+        sw.reset();
+        auto inc = pc.build(bm.graph, flow::OptLevel::O1);
+        int recompiled = 0;
+        for (const auto &op : inc.ops)
+            recompiled += op.fromCache ? 0 : 1;
+        std::printf("edit %d: rebuild %.3f s — recompiled %d/%zu "
+                    "operators (cache hits so far: %llu)\n",
+                    edit, sw.seconds(), recompiled, inc.ops.size(),
+                    static_cast<unsigned long long>(
+                        pc.cacheStats().hits));
+    }
+
+    // Quick functional check on the final build.
+    auto final_build = pc.build(bm.graph, flow::OptLevel::O1);
+    sys::SystemSim sim(bm.graph, final_build.bindings,
+                       final_build.sysCfg);
+    sim.loadInput(0, bm.input);
+    auto rs = sim.run();
+    auto out = sim.takeOutput(0);
+    std::printf("\nrun after edits: completed=%d, %zu/%zu output "
+                "words correct\n",
+                rs.completed, [&] {
+                    size_t n = 0;
+                    for (size_t i = 0; i < out.size(); ++i)
+                        n += (out[i] == bm.expected[i]);
+                    return n;
+                }(),
+                bm.expected.size());
+
+    // Compare with what the monolithic flow would have cost per edit.
+    sw.reset();
+    pc.build(bm.graph, flow::OptLevel::O3);
+    std::printf("for reference, one monolithic -O3 rebuild: %.3f s\n",
+                sw.seconds());
+    std::printf("\nthe paper's claim in miniature: the incremental "
+                "page rebuild is the price of one operator, not of "
+                "the whole design.\n");
+    return 0;
+}

@@ -1,0 +1,101 @@
+/**
+ * Re-linking without recompilation (Sec 4.3): the linking network's
+ * destination registers are set by config packets, so an operator's
+ * consumers can be rewired at runtime — no place-and-route, no
+ * bitstream, just "a few packets per page".
+ *
+ * The demo builds a one-producer, two-filter design, runs it through
+ * filter A, then re-links the producer to filter B and runs again.
+ */
+
+#include <cstdio>
+
+#include "ir/builder.h"
+#include "noc/bft.h"
+#include "interp/exec.h"
+
+using namespace pld;
+using namespace pld::ir;
+
+namespace {
+
+OperatorFn
+makeMul(const std::string &name, int k, int n)
+{
+    OpBuilder b(name);
+    auto in = b.input("in");
+    auto out = b.output("out");
+    b.forLoop(0, n, [&](Ex) {
+        b.write(out, b.read(in).bitcast(Type::s(32)) * k);
+    });
+    return b.finish();
+}
+
+void
+pump(noc::BftNoc &net, std::vector<interp::OperatorExec *> execs,
+     int cycles)
+{
+    for (int c = 0; c < cycles; ++c) {
+        for (auto *e : execs)
+            if (!e->done())
+                e->run(64);
+        net.stepCycle();
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    const int n = 4;
+    noc::BftNoc net(8);
+
+    // Producer on leaf 0, filter A (x10) on leaf 2, filter B (x100)
+    // on leaf 5. Results drain to the host at leaf 7.
+    OperatorFn src = makeMul("src", 1, 2 * n);
+    OperatorFn fa = makeMul("filterA", 10, n);
+    OperatorFn fb = makeMul("filterB", 100, n);
+
+    interp::OperatorExec e_src(src, {net.inPort(0, 0),
+                                     net.outPort(0, 1)});
+    interp::OperatorExec e_a(fa, {net.inPort(2, 0),
+                                  net.outPort(2, 1)});
+    interp::OperatorExec e_b(fb, {net.inPort(5, 0),
+                                  net.outPort(5, 1)});
+
+    auto *host_in = net.outPort(7, 0);  // words we feed the producer
+    auto *host_out = net.inPort(7, 1);  // results back to the host
+    net.setRoute(7, 0, 0, 0);           // host -> src
+    net.setRoute(2, 1, 7, 1);           // filterA -> host
+    net.setRoute(5, 1, 7, 1);           // filterB -> host
+
+    // Phase 1: link src -> filterA with a config packet.
+    net.sendConfig(7, 0, 1, 2, 0);
+    for (int i = 1; i <= n; ++i)
+        host_in->write(static_cast<uint32_t>(i));
+    pump(net, {&e_src, &e_a, &e_b}, 600);
+    std::printf("linked src->filterA: ");
+    while (host_out->canRead())
+        std::printf("%u ", host_out->read());
+    std::printf("(expected 10 20 30 40)\n");
+
+    // Phase 2: re-link src -> filterB. No recompilation, no
+    // bitstreams — one config packet.
+    net.sendConfig(7, 0, 1, 5, 0);
+    for (int i = 1; i <= n; ++i)
+        host_in->write(static_cast<uint32_t>(i));
+    pump(net, {&e_src, &e_a, &e_b}, 600);
+    std::printf("re-linked src->filterB: ");
+    while (host_out->canRead())
+        std::printf("%u ", host_out->read());
+    std::printf("(expected 100 200 300 400)\n");
+
+    std::printf("\nconfig packets applied: %llu, data delivered: "
+                "%llu flits\n",
+                static_cast<unsigned long long>(
+                    net.stats().configApplied),
+                static_cast<unsigned long long>(
+                    net.stats().delivered));
+    return 0;
+}

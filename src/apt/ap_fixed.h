@@ -1,0 +1,267 @@
+/**
+ * @file
+ * Memory-efficient fixed-point types compatible with HLS ap_fixed.
+ *
+ * ap_fixed<W, I>: W total bits, I integer bits (including sign for the
+ * signed variant), W-I fractional bits. Storage is the minimum-width
+ * integer holding W bits. Arithmetic follows the HLS default modes:
+ * AP_TRN (truncate toward negative infinity) quantization and AP_WRAP
+ * overflow. Intermediates use 128-bit math, which is lossless for all
+ * widths the Rosetta kernels use.
+ */
+
+#ifndef PLD_APT_AP_FIXED_H
+#define PLD_APT_AP_FIXED_H
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+
+#include "apt/ap_int.h"
+
+namespace pld {
+namespace apt {
+
+using Int128 = __int128;
+
+template <int W, int I, bool Signed>
+class ApFixedBase;
+
+namespace detail {
+
+/** Shift left (positive) or arithmetic-shift right (negative). */
+constexpr Int128
+shiftBy(Int128 v, int sh)
+{
+    if (sh >= 0)
+        return v << sh;
+    // Arithmetic right shift: rounds toward -inf (AP_TRN).
+    return v >> (-sh);
+}
+
+constexpr Int128
+wrapTo(Int128 v, int w, bool is_signed)
+{
+    uint64_t raw = static_cast<uint64_t>(v) & maskBits(w);
+    if (is_signed)
+        return signExtend(raw, w);
+    return static_cast<Int128>(raw);
+}
+
+} // namespace detail
+
+/**
+ * Fixed-point number: value = rawInt * 2^-(W-I).
+ */
+template <int W, int I, bool Signed = true>
+class ApFixedBase
+{
+  public:
+    static_assert(W >= 1 && W <= 64, "ap_fixed supports 1..64 bits");
+    static constexpr int width = W;
+    static constexpr int intBits = I;
+    static constexpr int fracBits = W - I;
+    static constexpr bool isSigned = Signed;
+
+    using StorageT = typename detail::Storage<W>::type;
+
+    ApFixedBase() : bits(0) {}
+
+    /** Construct from double with truncation to the grid. */
+    ApFixedBase(double v) { setFromDouble(v); }
+
+    /** Construct from integer value (shifted into position). */
+    ApFixedBase(int v) { setScaled(static_cast<Int128>(v), 0); }
+    ApFixedBase(long v) { setScaled(static_cast<Int128>(v), 0); }
+    ApFixedBase(long long v) { setScaled(static_cast<Int128>(v), 0); }
+    ApFixedBase(unsigned v) { setScaled(static_cast<Int128>(v), 0); }
+
+    /** Convert between fixed formats, re-aligning the binary point. */
+    template <int W2, int I2, bool S2>
+    ApFixedBase(const ApFixedBase<W2, I2, S2> &o)
+    {
+        setScaled(o.scaled(), ApFixedBase<W2, I2, S2>::fracBits);
+    }
+
+    /** Raw two's-complement bit pattern (low W bits). */
+    uint64_t raw() const { return bits; }
+
+    /** Reinterpret the low W bits of @p r as this format. */
+    static ApFixedBase
+    fromRaw(uint64_t r)
+    {
+        ApFixedBase f;
+        f.bits = static_cast<StorageT>(r & detail::maskBits(W));
+        return f;
+    }
+
+    /** Signed scaled integer: value * 2^fracBits. */
+    Int128
+    scaled() const
+    {
+        if constexpr (Signed)
+            return detail::signExtend(bits, W);
+        else
+            return static_cast<Int128>(bits);
+    }
+
+    /** Closest double to the represented value. */
+    double
+    toDouble() const
+    {
+        return std::ldexp(static_cast<double>((int64_t)scaled()),
+                          -fracBits);
+    }
+
+    operator double() const { return toDouble(); }
+
+    /** HLS-style bit-range read on the raw pattern. */
+    uint64_t
+    range(int hi, int lo) const
+    {
+        return (bits >> lo) & detail::maskBits(hi - lo + 1);
+    }
+
+    /** HLS-style full-width raw write: x(31,0) = word. */
+    void
+    setRange(int hi, int lo, uint64_t v)
+    {
+        uint64_t field_mask = detail::maskBits(hi - lo + 1) << lo;
+        uint64_t r = (static_cast<uint64_t>(bits) & ~field_mask) |
+                     ((v << lo) & field_mask);
+        bits = static_cast<StorageT>(r & detail::maskBits(W));
+    }
+
+    ApFixedBase
+    operator-() const
+    {
+        ApFixedBase r;
+        r.setScaled(-scaled(), fracBits);
+        return r;
+    }
+
+    ApFixedBase &
+    operator+=(const ApFixedBase &o)
+    {
+        setScaled(scaled() + o.scaled(), fracBits);
+        return *this;
+    }
+    ApFixedBase &
+    operator-=(const ApFixedBase &o)
+    {
+        setScaled(scaled() - o.scaled(), fracBits);
+        return *this;
+    }
+
+    bool operator==(const ApFixedBase &o) const { return bits == o.bits; }
+    bool operator!=(const ApFixedBase &o) const { return bits != o.bits; }
+    bool
+    operator<(const ApFixedBase &o) const
+    {
+        return scaled() < o.scaled();
+    }
+    bool
+    operator>(const ApFixedBase &o) const
+    {
+        return scaled() > o.scaled();
+    }
+    bool
+    operator<=(const ApFixedBase &o) const
+    {
+        return scaled() <= o.scaled();
+    }
+    bool
+    operator>=(const ApFixedBase &o) const
+    {
+        return scaled() >= o.scaled();
+    }
+
+    /**
+     * Assign from a scaled integer with @p src_frac fractional bits:
+     * shifts to this format's binary point (AP_TRN) and wraps (AP_WRAP).
+     */
+    void
+    setScaled(Int128 v, int src_frac)
+    {
+        Int128 aligned = detail::shiftBy(v, fracBits - src_frac);
+        Int128 wrapped = detail::wrapTo(aligned, W, Signed);
+        bits = static_cast<StorageT>(static_cast<uint64_t>(wrapped) &
+                                     detail::maskBits(W));
+    }
+
+    std::string
+    toString() const
+    {
+        return std::to_string(toDouble());
+    }
+
+  private:
+    void
+    setFromDouble(double v)
+    {
+        double scaled_v = std::ldexp(v, fracBits);
+        setScaled(static_cast<Int128>(std::floor(scaled_v)), fracBits);
+    }
+
+    StorageT bits;
+};
+
+/**
+ * Full-precision binary operators. HLS computes a widened exact result
+ * and only quantizes on assignment; we approximate by computing in a
+ * generous common format, which is exact for the widths used here.
+ */
+template <int W, int I, bool S>
+ApFixedBase<W, I, S>
+operator+(ApFixedBase<W, I, S> a, const ApFixedBase<W, I, S> &b)
+{
+    a += b;
+    return a;
+}
+
+template <int W, int I, bool S>
+ApFixedBase<W, I, S>
+operator-(ApFixedBase<W, I, S> a, const ApFixedBase<W, I, S> &b)
+{
+    a -= b;
+    return a;
+}
+
+template <int W, int I, bool S>
+ApFixedBase<W, I, S>
+operator*(const ApFixedBase<W, I, S> &a, const ApFixedBase<W, I, S> &b)
+{
+    ApFixedBase<W, I, S> r;
+    Int128 prod = a.scaled() * b.scaled();
+    r.setScaled(prod, 2 * ApFixedBase<W, I, S>::fracBits);
+    return r;
+}
+
+template <int W, int I, bool S>
+ApFixedBase<W, I, S>
+operator/(const ApFixedBase<W, I, S> &a, const ApFixedBase<W, I, S> &b)
+{
+    ApFixedBase<W, I, S> r;
+    if (b.scaled() == 0) {
+        r.setScaled(0, 0);
+        return r;
+    }
+    constexpr int f = ApFixedBase<W, I, S>::fracBits;
+    Int128 num = a.scaled() << f;
+    Int128 q = num / b.scaled();
+    r.setScaled(q, f);
+    return r;
+}
+
+/** Signed fixed point (HLS-compatible alias). */
+template <int W, int I>
+using ap_fixed = ApFixedBase<W, I, true>;
+
+/** Unsigned fixed point (HLS-compatible alias). */
+template <int W, int I>
+using ap_ufixed = ApFixedBase<W, I, false>;
+
+} // namespace apt
+} // namespace pld
+
+#endif // PLD_APT_AP_FIXED_H

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Content hashing for the incremental-compile artifact cache.
+ *
+ * The compile manager keys cached page bitstreams and softcore binaries
+ * by a structural hash of the operator IR plus target parameters, so
+ * unchanged operators are never recompiled (the paper's separate
+ * compilation + linkage discipline, Sec 6).
+ */
+
+#ifndef PLD_COMMON_HASH_H
+#define PLD_COMMON_HASH_H
+
+#include <cstdint>
+#include <string>
+
+namespace pld {
+
+/** Incremental FNV-1a 64-bit hasher. */
+class Hasher
+{
+  public:
+    /** Mix raw bytes into the hash. */
+    void
+    bytes(const void *data, size_t n)
+    {
+        const auto *p = static_cast<const uint8_t *>(data);
+        for (size_t i = 0; i < n; ++i) {
+            state ^= p[i];
+            state *= 0x100000001B3ull;
+        }
+    }
+
+    /** Mix a string (length-prefixed so concatenations differ). */
+    void
+    str(const std::string &s)
+    {
+        u64(s.size());
+        bytes(s.data(), s.size());
+    }
+
+    /** Mix a 64-bit integer. */
+    void u64(uint64_t v) { bytes(&v, sizeof(v)); }
+
+    /** Mix a signed integer. */
+    void i64(int64_t v) { u64(static_cast<uint64_t>(v)); }
+
+    /** Current digest. */
+    uint64_t digest() const { return state; }
+
+  private:
+    uint64_t state = 0xCBF29CE484222325ull;
+};
+
+/** One-shot hash of a string. */
+inline uint64_t
+hashString(const std::string &s)
+{
+    Hasher h;
+    h.str(s);
+    return h.digest();
+}
+
+} // namespace pld
+
+#endif // PLD_COMMON_HASH_H

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Status-message and error-reporting helpers.
+ *
+ * Follows the gem5 discipline: fatal() is for user error (bad
+ * configuration, impossible request) and exits cleanly; panic() is for
+ * internal invariant violations and aborts. inform()/warn() report
+ * status without stopping the program.
+ */
+
+#ifndef PLD_COMMON_LOGGING_H
+#define PLD_COMMON_LOGGING_H
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace pld {
+
+/** Verbosity levels for status messages. */
+enum class LogLevel { Quiet = 0, Warn = 1, Info = 2, Debug = 3 };
+
+/** Global log verbosity; messages above this level are suppressed. */
+LogLevel logLevel();
+
+/** Set the global log verbosity. */
+void setLogLevel(LogLevel level);
+
+namespace detail {
+
+std::string vformat(const char *fmt, va_list ap);
+std::string format(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+void informImpl(const std::string &msg);
+void warnImpl(const std::string &msg);
+void debugImpl(const std::string &msg);
+
+} // namespace detail
+
+} // namespace pld
+
+/** Report an unrecoverable user-level error and exit(1). */
+#define pld_fatal(...) \
+    ::pld::detail::fatalImpl(__FILE__, __LINE__, \
+                             ::pld::detail::format(__VA_ARGS__))
+
+/** Report an internal invariant violation and abort(). */
+#define pld_panic(...) \
+    ::pld::detail::panicImpl(__FILE__, __LINE__, \
+                             ::pld::detail::format(__VA_ARGS__))
+
+/** Abort unless a condition holds; condition text is included. */
+#define pld_assert(cond, ...) \
+    do { \
+        if (!(cond)) { \
+            ::pld::detail::panicImpl(__FILE__, __LINE__, \
+                std::string("assertion failed: ") + #cond + ": " + \
+                ::pld::detail::format(__VA_ARGS__)); \
+        } \
+    } while (0)
+
+/** Informative status message (suppressed below Info verbosity). */
+#define pld_inform(...) \
+    ::pld::detail::informImpl(::pld::detail::format(__VA_ARGS__))
+
+/** Warning about questionable but survivable conditions. */
+#define pld_warn(...) \
+    ::pld::detail::warnImpl(::pld::detail::format(__VA_ARGS__))
+
+/** Debug chatter (suppressed below Debug verbosity). */
+#define pld_debug(...) \
+    ::pld::detail::debugImpl(::pld::detail::format(__VA_ARGS__))
+
+#endif // PLD_COMMON_LOGGING_H

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generator.
+ *
+ * All stochastic components (placer moves, workload generators, NoC
+ * tie-breaking) draw from explicitly seeded Rng instances so that every
+ * experiment in the harness is reproducible bit-for-bit.
+ */
+
+#ifndef PLD_COMMON_RNG_H
+#define PLD_COMMON_RNG_H
+
+#include <cstdint>
+
+namespace pld {
+
+/**
+ * xoshiro256** generator. Small, fast, and good enough statistical
+ * quality for annealing schedules and synthetic workloads.
+ */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed via splitmix64 expansion. */
+    explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+    /** Next raw 64-bit value. */
+    uint64_t next();
+
+    /** Uniform integer in [0, bound). bound must be > 0. */
+    uint64_t below(uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    int64_t range(int64_t lo, int64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Gaussian sample via Box-Muller (mean 0, sigma 1). */
+    double gaussian();
+
+    /** Bernoulli draw with probability p of true. */
+    bool chance(double p) { return uniform() < p; }
+
+  private:
+    uint64_t s[4];
+    bool haveSpare = false;
+    double spare = 0.0;
+};
+
+} // namespace pld
+
+#endif // PLD_COMMON_RNG_H

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Wall-clock stopwatch for compile-time measurement.
+ *
+ * Model code never reads the wall clock; only the compile-time tables
+ * (Table 2, Fig 9, Fig 11) measure how long our own compiler engines
+ * take, which is exactly what the paper measures.
+ */
+
+#ifndef PLD_COMMON_STOPWATCH_H
+#define PLD_COMMON_STOPWATCH_H
+
+#include <chrono>
+
+namespace pld {
+
+/** Monotonic stopwatch reporting elapsed seconds. */
+class Stopwatch
+{
+  public:
+    Stopwatch() { reset(); }
+
+    /** Restart timing from now. */
+    void reset() { start = Clock::now(); }
+
+    /** Seconds elapsed since construction or last reset(). */
+    double
+    seconds() const
+    {
+        auto d = Clock::now() - start;
+        return std::chrono::duration<double>(d).count();
+    }
+
+    /** Milliseconds elapsed. */
+    double millis() const { return seconds() * 1e3; }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point start;
+};
+
+} // namespace pld
+
+#endif // PLD_COMMON_STOPWATCH_H

@@ -1,0 +1,81 @@
+#include "common/table.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace pld {
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    rows.push_back(std::move(cells));
+}
+
+std::string
+Table::cellOf(double v)
+{
+    return fmtDouble(v);
+}
+
+std::string
+Table::toString() const
+{
+    std::vector<size_t> widths;
+    for (const auto &r : rows) {
+        if (r.size() > widths.size())
+            widths.resize(r.size(), 0);
+        for (size_t c = 0; c < r.size(); ++c)
+            widths[c] = std::max(widths[c], r[c].size());
+    }
+
+    std::ostringstream os;
+    if (!title.empty())
+        os << "== " << title << " ==\n";
+    bool header = true;
+    for (const auto &r : rows) {
+        for (size_t c = 0; c < r.size(); ++c) {
+            os << r[c];
+            if (c + 1 < r.size())
+                os << std::string(widths[c] - r[c].size() + 2, ' ');
+        }
+        os << "\n";
+        if (header) {
+            size_t total = 0;
+            for (size_t c = 0; c < r.size(); ++c)
+                total += widths[c] + (c + 1 < r.size() ? 2 : 0);
+            os << std::string(total, '-') << "\n";
+            header = false;
+        }
+    }
+    return os.str();
+}
+
+void
+Table::print() const
+{
+    std::fputs(toString().c_str(), stdout);
+    std::fputc('\n', stdout);
+}
+
+std::string
+fmtDouble(double v, int digits)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+    return buf;
+}
+
+std::string
+fmtSeconds(double s)
+{
+    char buf[64];
+    if (s >= 1.0)
+        std::snprintf(buf, sizeof(buf), "%.2fs", s);
+    else if (s >= 1e-3)
+        std::snprintf(buf, sizeof(buf), "%.1fms", s * 1e3);
+    else
+        std::snprintf(buf, sizeof(buf), "%.1fus", s * 1e6);
+    return buf;
+}
+
+} // namespace pld

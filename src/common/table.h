@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Plain-text table formatter used by the benchmark harness to print
+ * paper-style tables (Tab 1-4) and figure series.
+ */
+
+#ifndef PLD_COMMON_TABLE_H
+#define PLD_COMMON_TABLE_H
+
+#include <string>
+#include <vector>
+
+namespace pld {
+
+/**
+ * Column-aligned text table. Collect rows of strings, then render with
+ * toString(). The first row added is treated as the header.
+ */
+class Table
+{
+  public:
+    /** Create a table titled @p title (printed above the grid). */
+    explicit Table(std::string title = "") : title(std::move(title)) {}
+
+    /** Add a row of cells. Rows may have differing lengths. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Convenience: build a row from heterogeneous printable values. */
+    template <typename... Args>
+    void
+    row(Args &&...args)
+    {
+        addRow({cellOf(std::forward<Args>(args))...});
+    }
+
+    /** Render the table with aligned columns and a header rule. */
+    std::string toString() const;
+
+    /** Render and write to stdout. */
+    void print() const;
+
+  private:
+    static std::string cellOf(const std::string &s) { return s; }
+    static std::string cellOf(const char *s) { return s; }
+    static std::string cellOf(double v);
+    static std::string cellOf(int v) { return std::to_string(v); }
+    static std::string cellOf(long v) { return std::to_string(v); }
+    static std::string cellOf(long long v) { return std::to_string(v); }
+    static std::string cellOf(unsigned v) { return std::to_string(v); }
+    static std::string
+    cellOf(unsigned long v)
+    {
+        return std::to_string(v);
+    }
+    static std::string
+    cellOf(unsigned long long v)
+    {
+        return std::to_string(v);
+    }
+
+    std::string title;
+    std::vector<std::vector<std::string>> rows;
+};
+
+/** Format a double with @p digits significant decimal places. */
+std::string fmtDouble(double v, int digits = 2);
+
+/** Format seconds compactly, e.g. "3.2s", "540ms". */
+std::string fmtSeconds(double s);
+
+} // namespace pld
+
+#endif // PLD_COMMON_TABLE_H

@@ -1,0 +1,69 @@
+#include "common/thread_pool.h"
+
+namespace pld {
+
+ThreadPool::ThreadPool(unsigned num_workers)
+{
+    if (num_workers == 0) {
+        num_workers = std::thread::hardware_concurrency();
+        if (num_workers == 0)
+            num_workers = 4;
+    }
+    workers.reserve(num_workers);
+    for (unsigned i = 0; i < num_workers; ++i)
+        workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lk(mtx);
+        stopping = true;
+    }
+    cvWork.notify_all();
+    for (auto &w : workers)
+        w.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> job)
+{
+    {
+        std::lock_guard<std::mutex> lk(mtx);
+        queue.push_back(std::move(job));
+    }
+    cvWork.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lk(mtx);
+    cvDone.wait(lk, [this] { return queue.empty() && active == 0; });
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> job;
+        {
+            std::unique_lock<std::mutex> lk(mtx);
+            cvWork.wait(lk, [this] { return stopping || !queue.empty(); });
+            if (stopping && queue.empty())
+                return;
+            job = std::move(queue.front());
+            queue.pop_front();
+            ++active;
+        }
+        job();
+        {
+            std::lock_guard<std::mutex> lk(mtx);
+            --active;
+            if (queue.empty() && active == 0)
+                cvDone.notify_all();
+        }
+    }
+}
+
+} // namespace pld

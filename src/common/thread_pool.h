@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Fixed-size worker pool used for parallel page compilation.
+ *
+ * The PLD -O1 flow compiles independent pages concurrently (paper
+ * Sec 6.2: "All the operators' compilations can be performed in
+ * parallel"). This pool is the stand-in for the paper's Slurm cluster.
+ */
+
+#ifndef PLD_COMMON_THREAD_POOL_H
+#define PLD_COMMON_THREAD_POOL_H
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pld {
+
+/**
+ * Simple work-queue thread pool. submit() enqueues a job; wait()
+ * blocks until every submitted job has finished. The pool joins its
+ * workers on destruction.
+ */
+class ThreadPool
+{
+  public:
+    /** Spawn @p num_workers threads (0 means hardware_concurrency). */
+    explicit ThreadPool(unsigned num_workers = 0);
+
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Enqueue a job for execution on some worker. */
+    void submit(std::function<void()> job);
+
+    /** Block until all submitted jobs have completed. */
+    void wait();
+
+    /** Number of worker threads. */
+    unsigned workerCount() const { return workers.size(); }
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> workers;
+    std::deque<std::function<void()>> queue;
+    std::mutex mtx;
+    std::condition_variable cvWork;
+    std::condition_variable cvDone;
+    unsigned active = 0;
+    bool stopping = false;
+};
+
+} // namespace pld
+
+#endif // PLD_COMMON_THREAD_POOL_H

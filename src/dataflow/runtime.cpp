@@ -1,0 +1,126 @@
+#include "dataflow/runtime.h"
+
+namespace pld {
+namespace dataflow {
+
+using interp::OperatorExec;
+using interp::RunStatus;
+
+GraphRuntime::GraphRuntime(const ir::Graph &g, size_t fifo_capacity)
+    : g(g)
+{
+    fifos.reserve(g.links.size());
+    for (size_t i = 0; i < g.links.size(); ++i) {
+        // External links model host DMA buffers and stay unbounded;
+        // internal links take the requested capacity (0 = unbounded).
+        const auto &l = g.links[i];
+        bool external = l.src.isExternal() || l.dst.isExternal();
+        size_t cap = external ? 0 : fifo_capacity;
+        fifos.push_back(std::make_unique<WordFifo>(cap));
+    }
+
+    extInLink.assign(g.extInputs.size(), -1);
+    extOutLink.assign(g.extOutputs.size(), -1);
+    for (size_t li = 0; li < g.links.size(); ++li) {
+        const auto &l = g.links[li];
+        if (l.src.isExternal())
+            extInLink[l.src.port] = static_cast<int>(li);
+        if (l.dst.isExternal())
+            extOutLink[l.dst.port] = static_cast<int>(li);
+    }
+
+    for (size_t oi = 0; oi < g.ops.size(); ++oi) {
+        const auto &fn = g.ops[oi].fn;
+        std::vector<StreamPort *> ports;
+        for (size_t pi = 0; pi < fn.ports.size(); ++pi) {
+            ir::Endpoint ep{static_cast<int>(oi),
+                            static_cast<int>(pi)};
+            if (fn.ports[pi].dir == ir::PortDir::In) {
+                int li = g.linkInto(ep);
+                pld_assert(li >= 0, "%s input port %zu undriven",
+                           fn.name.c_str(), pi);
+                portStorage.push_back(
+                    std::make_unique<FifoReadPort>(*fifos[li]));
+            } else {
+                int li = g.linkFrom(ep);
+                pld_assert(li >= 0, "%s output port %zu unconsumed",
+                           fn.name.c_str(), pi);
+                portStorage.push_back(
+                    std::make_unique<FifoWritePort>(*fifos[li]));
+            }
+            ports.push_back(portStorage.back().get());
+        }
+        execs.push_back(std::make_unique<OperatorExec>(fn, ports));
+    }
+}
+
+void
+GraphRuntime::pushInput(int ext_idx, const std::vector<uint32_t> &words)
+{
+    int li = extInLink.at(static_cast<size_t>(ext_idx));
+    pld_assert(li >= 0, "external input %d not wired", ext_idx);
+    for (uint32_t w : words)
+        fifos[li]->push(w);
+}
+
+std::vector<uint32_t>
+GraphRuntime::takeOutput(int ext_idx)
+{
+    int li = extOutLink.at(static_cast<size_t>(ext_idx));
+    pld_assert(li >= 0, "external output %d not wired", ext_idx);
+    std::vector<uint32_t> out;
+    while (fifos[li]->canPop())
+        out.push_back(fifos[li]->pop());
+    return out;
+}
+
+bool
+GraphRuntime::run()
+{
+    constexpr uint64_t kSlice = 100000;
+    for (;;) {
+        bool all_done = true;
+        bool progress = false;
+        for (auto &e : execs) {
+            if (e->done())
+                continue;
+            uint64_t before = e->stats().statements;
+            RunStatus st = e->run(kSlice);
+            progress |= (e->stats().statements != before);
+            if (st != RunStatus::Done || !e->done())
+                all_done = false;
+            else
+                progress = true;
+        }
+        if (all_done)
+            return true;
+        if (!progress) {
+            deadlockInfo = "deadlock in graph '" + g.name + "':";
+            for (size_t oi = 0; oi < execs.size(); ++oi) {
+                if (!execs[oi]->done())
+                    deadlockInfo += " " + g.ops[oi].instName;
+            }
+            pld_warn("%s", deadlockInfo.c_str());
+            return false;
+        }
+    }
+}
+
+uint64_t
+GraphRuntime::totalStatements() const
+{
+    uint64_t n = 0;
+    for (const auto &e : execs)
+        n += e->stats().statements;
+    return n;
+}
+
+void
+GraphRuntime::setPrintsEnabled(bool on)
+{
+    for (auto &e : execs)
+        e->setPrintsEnabled(on);
+}
+
+} // namespace dataflow
+} // namespace pld

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Functional Kahn-network runtime for application graphs.
+ *
+ * This is the behavioural gold model: it executes a Graph with plain
+ * FIFO links and the IR interpreter, independent of any mapping
+ * decisions. It also serves as the "X86 g++" native-execution column
+ * of Table 3 (wall-clock of this runtime) and as the reference the
+ * timed system simulator is checked against.
+ */
+
+#ifndef PLD_DATAFLOW_RUNTIME_H
+#define PLD_DATAFLOW_RUNTIME_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dataflow/stream.h"
+#include "interp/exec.h"
+#include "ir/graph.h"
+
+namespace pld {
+namespace dataflow {
+
+/**
+ * Executes a dataflow graph to completion with cooperative
+ * round-robin scheduling of resumable operator interpreters.
+ */
+class GraphRuntime
+{
+  public:
+    /**
+     * @param g           the application graph (referenced, not copied)
+     * @param fifo_capacity link FIFO capacity in words; 0 = unbounded
+     */
+    explicit GraphRuntime(const ir::Graph &g, size_t fifo_capacity = 0);
+
+    /** Queue input words on external input stream @p ext_idx. */
+    void pushInput(int ext_idx, const std::vector<uint32_t> &words);
+
+    /**
+     * Run until every operator finishes. Returns false on deadlock
+     * (every unfinished operator blocked with no data in flight
+     * movement possible).
+     */
+    bool run();
+
+    /** Words produced on external output @p ext_idx so far. */
+    std::vector<uint32_t> takeOutput(int ext_idx);
+
+    /** Access an operator's execution context (stats, prints). */
+    interp::OperatorExec &exec(int op_idx) { return *execs[op_idx]; }
+
+    /** Total interpreter statements across all operators. */
+    uint64_t totalStatements() const;
+
+    /** Human-readable description of a deadlock, if run() failed. */
+    const std::string &deadlockReport() const { return deadlockInfo; }
+
+    /** Enable Print statements on all operators. */
+    void setPrintsEnabled(bool on);
+
+  private:
+    const ir::Graph &g;
+    std::vector<std::unique_ptr<WordFifo>> fifos; // one per link
+    std::vector<std::unique_ptr<StreamPort>> portStorage;
+    std::vector<std::unique_ptr<interp::OperatorExec>> execs;
+    std::vector<int> extInLink;  // ext input idx -> link idx
+    std::vector<int> extOutLink; // ext output idx -> link idx
+    std::string deadlockInfo;
+};
+
+} // namespace dataflow
+} // namespace pld
+
+#endif // PLD_DATAFLOW_RUNTIME_H

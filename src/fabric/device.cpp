@@ -1,0 +1,229 @@
+#include "fabric/device.h"
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace pld {
+namespace fabric {
+
+TileKind
+Device::at(int col, int row) const
+{
+    pld_assert(col >= 0 && col < width && row >= 0 && row < height,
+               "tile (%d,%d) outside %dx%d grid", col, row, width,
+               height);
+    return grid[static_cast<size_t>(row) * width + col];
+}
+
+ResourceCount
+Device::resourcesIn(const Rect &r) const
+{
+    ResourceCount rc;
+    for (int row = r.row0; row < r.row0 + r.h; ++row) {
+        for (int col = r.col0; col < r.col0 + r.w; ++col) {
+            switch (at(col, row)) {
+              case TileKind::Clb:
+                rc.luts += 8;
+                rc.ffs += 16;
+                break;
+              case TileKind::Bram:
+                rc.bram18 += 1;
+                break;
+              case TileKind::Dsp:
+                rc.dsps += 1;
+                break;
+              default:
+                break;
+            }
+        }
+    }
+    return rc;
+}
+
+ResourceCount
+Device::userResources() const
+{
+    ResourceCount rc;
+    for (const auto &p : pages)
+        rc += p.res;
+    return rc;
+}
+
+int
+Device::pageAt(int col, int row) const
+{
+    for (const auto &p : pages) {
+        if (p.rect.contains(col, row))
+            return p.id;
+    }
+    return -1;
+}
+
+std::vector<std::pair<int, int>>
+Device::sitesIn(const Rect &region, SiteKind kind) const
+{
+    TileKind want = tileFor(kind);
+    std::vector<std::pair<int, int>> sites;
+    for (int row = region.row0; row < region.row0 + region.h; ++row) {
+        for (int col = region.col0; col < region.col0 + region.w;
+             ++col) {
+            if (at(col, row) == want)
+                sites.emplace_back(col, row);
+        }
+    }
+    return sites;
+}
+
+TileKind
+Device::tileFor(SiteKind k)
+{
+    switch (k) {
+      case SiteKind::Clb: return TileKind::Clb;
+      case SiteKind::Dsp: return TileKind::Dsp;
+      case SiteKind::Bram: return TileKind::Bram;
+    }
+    return TileKind::Clb;
+}
+
+std::string
+Device::renderFloorplan() const
+{
+    // One character per 4x24 tile block.
+    std::ostringstream os;
+    os << "Floorplan (" << width << "x" << height
+       << " tiles; P=page digit, S=static shell, N=linking spine, "
+          ". = unassigned)\n";
+    for (int row = height - 24; row >= 0; row -= 24) {
+        for (int col = 0; col < width; col += 4) {
+            TileKind k = at(col, row);
+            int pg = pageAt(col, row);
+            char ch = '.';
+            if (k == TileKind::Shell)
+                ch = 'S';
+            else if (k == TileKind::Spine)
+                ch = 'N';
+            else if (pg >= 0)
+                ch = static_cast<char>('0' + (pg % 10));
+            os << ch;
+        }
+        if (row == slrBoundary)
+            os << "   <-- SLR boundary";
+        os << "\n";
+    }
+    return os.str();
+}
+
+Device
+makeU50()
+{
+    Device d;
+    d.width = 132;
+    d.height = 576;
+    d.slrBoundary = 288;
+    d.grid.assign(static_cast<size_t>(d.width) * d.height,
+                  TileKind::Clb);
+
+    // Static shell: right-hand 12 columns, full height (the vendor
+    // firmware region holding PCIe; Sec 2.5).
+    d.staticShell = {120, 0, 12, 576};
+    // Linking network + DMA spine: vertical strip in the middle
+    // (Fig 3 block 7 and the interface module).
+    d.spine = {56, 0, 8, 576};
+
+    auto set = [&](int col, int row, TileKind k) {
+        d.grid[static_cast<size_t>(row) * d.width + col] = k;
+    };
+
+    for (int row = 0; row < d.height; ++row) {
+        for (int col = 0; col < d.width; ++col) {
+            if (d.staticShell.contains(col, row)) {
+                set(col, row, TileKind::Shell);
+                continue;
+            }
+            if (d.spine.contains(col, row)) {
+                set(col, row, TileKind::Spine);
+                continue;
+            }
+            // Heterogeneous columns: BRAM at col%12==4 (one BRAM18
+            // per 3 rows), DSP at col%12==10 (one DSP per 2 rows).
+            if (col % 12 == 4)
+                set(col, row,
+                    row % 3 == 0 ? TileKind::Bram : TileKind::Empty);
+            else if (col % 12 == 10)
+                set(col, row,
+                    row % 2 == 0 ? TileKind::Dsp : TileKind::Empty);
+            else
+                set(col, row, TileKind::Clb);
+        }
+    }
+
+    // Pages: two blocks of columns flank the spine; each block holds
+    // two page-columns; six page-rows of 96 tiles. The two slots at
+    // the top-right are reserved for the DMA interface module and the
+    // debug & profile logic (Fig 3), leaving 22 user pages.
+    const int page_cols[4][2] = {{0, 28}, {28, 28}, {64, 28}, {92, 28}};
+    int id = 0;
+    for (int prow = 0; prow < 6; ++prow) {
+        for (int pcol = 0; pcol < 4; ++pcol) {
+            bool reserved = (prow == 5) && (pcol >= 2);
+            if (reserved)
+                continue;
+            PageInfo p;
+            p.id = id++;
+            p.rect = {page_cols[pcol][0], prow * 96,
+                      page_cols[pcol][1], 96};
+            p.res = d.resourcesIn(p.rect);
+            d.pages.push_back(p);
+        }
+    }
+    pld_assert(d.pages.size() == 22, "expected 22 pages, got %zu",
+               d.pages.size());
+
+    // Group pages into types by resource signature (Table 1).
+    std::map<std::tuple<int64_t, int64_t, int64_t>, int> sig_to_type;
+    for (auto &p : d.pages) {
+        auto sig = std::make_tuple(p.res.luts, p.res.bram18,
+                                   p.res.dsps);
+        auto it = sig_to_type.find(sig);
+        if (it == sig_to_type.end()) {
+            PageType t;
+            t.res = p.res;
+            t.count = 0;
+            d.pageTypes.push_back(t);
+            it = sig_to_type
+                     .emplace(sig,
+                              static_cast<int>(d.pageTypes.size()) - 1)
+                     .first;
+        }
+        p.typeId = it->second;
+        d.pageTypes[it->second].count += 1;
+    }
+    // Order types by descending LUT count for stable Table 1 output.
+    // (Types are few; simple selection re-map.)
+    std::vector<int> order(d.pageTypes.size());
+    for (size_t i = 0; i < order.size(); ++i)
+        order[i] = static_cast<int>(i);
+    std::sort(order.begin(), order.end(), [&](int a, int b) {
+        if (d.pageTypes[a].res.luts != d.pageTypes[b].res.luts)
+            return d.pageTypes[a].res.luts > d.pageTypes[b].res.luts;
+        return d.pageTypes[a].res.dsps > d.pageTypes[b].res.dsps;
+    });
+    std::vector<int> inverse(order.size());
+    for (size_t i = 0; i < order.size(); ++i)
+        inverse[order[i]] = static_cast<int>(i);
+    std::vector<PageType> sorted;
+    for (int idx : order)
+        sorted.push_back(d.pageTypes[idx]);
+    d.pageTypes = std::move(sorted);
+    for (auto &p : d.pages)
+        p.typeId = inverse[p.typeId];
+
+    return d;
+}
+
+} // namespace fabric
+} // namespace pld

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Scaled model of the Alveo U50 (Virtex UltraScale+ XCU50) fabric.
+ *
+ * The device is a grid of heterogeneous tiles: CLB columns broken up
+ * by BRAM and DSP columns at irregular intervals (Sec 4.1: "today's
+ * commercial FPGA fabrics are not completely regular"), split into two
+ * SLRs. A static-shell region holds the PCIe/firmware logic (Sec 2.5),
+ * a vertical spine hosts the linking network + DMA interface, and the
+ * remaining area is tiled into 22 partial-reconfiguration pages of
+ * four resource types (Table 1, Fig 8).
+ */
+
+#ifndef PLD_FABRIC_DEVICE_H
+#define PLD_FABRIC_DEVICE_H
+
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace pld {
+namespace fabric {
+
+using netlist::ResourceCount;
+using netlist::SiteKind;
+
+/** Tile categories on the fabric grid. */
+enum class TileKind : uint8_t {
+    Clb,    ///< 8 LUTs + 16 FFs
+    Bram,   ///< one BRAM18
+    Dsp,    ///< one DSP slice
+    Empty,  ///< gap in a BRAM/DSP column
+    Shell,  ///< static region (PCIe shell) — never user-placeable
+    Spine,  ///< linking network / DMA interface strip (L1 overlay)
+};
+
+/** Axis-aligned tile rectangle [col0, col0+w) x [row0, row0+h). */
+struct Rect
+{
+    int col0 = 0, row0 = 0, w = 0, h = 0;
+
+    bool
+    contains(int c, int r) const
+    {
+        return c >= col0 && c < col0 + w && r >= row0 && r < row0 + h;
+    }
+    int area() const { return w * h; }
+};
+
+/** One partial-reconfiguration page (an L2 DFX region). */
+struct PageInfo
+{
+    int id = -1;
+    Rect rect;
+    int typeId = -1; ///< index into Device::pageTypes
+    ResourceCount res;
+};
+
+/** A page resource signature shared by several pages (Table 1 rows). */
+struct PageType
+{
+    ResourceCount res;
+    int count = 0;
+};
+
+/**
+ * The fabric model. Construction is procedural (makeU50()) so page
+ * geometry, column patterns, and SLR split stay consistent.
+ */
+class Device
+{
+  public:
+    /** Grid extents in tiles. */
+    int width = 0, height = 0;
+
+    /** Two SLRs: rows [0, slrBoundary) are SLR0, the rest SLR1. */
+    int slrBoundary = 0;
+
+    Rect staticShell;
+    Rect spine;
+
+    std::vector<PageInfo> pages;
+    std::vector<PageType> pageTypes;
+
+    /** Tile kind at (col,row). */
+    TileKind at(int col, int row) const;
+
+    /** SLR index (0/1) of a row. */
+    int slrOf(int row) const { return row < slrBoundary ? 0 : 1; }
+
+    /** Resources inside an arbitrary rectangle. */
+    ResourceCount resourcesIn(const Rect &r) const;
+
+    /** Resources of the whole user-mappable area (all pages). */
+    ResourceCount userResources() const;
+
+    /** Page whose rectangle contains (col,row), or -1. */
+    int pageAt(int col, int row) const;
+
+    /**
+     * Candidate tile positions of @p kind inside @p region, row-major.
+     * This is what the placer enumerates; with the abstract shell the
+     * region is a single page, without it the whole user area.
+     */
+    std::vector<std::pair<int, int>> sitesIn(const Rect &region,
+                                             SiteKind kind) const;
+
+    /** Tile-kind a netlist SiteKind maps onto. */
+    static TileKind tileFor(SiteKind k);
+
+    /** ASCII rendering of the floorplan (Fig 8). */
+    std::string renderFloorplan() const;
+
+  private:
+    friend Device makeU50();
+    std::vector<TileKind> grid; // row-major
+};
+
+/**
+ * Build the scaled U50 model: 132 x 576 tiles, two SLRs, 22 pages of
+ * ~18-21k LUTs plus interface/debug slots, BRAM columns every 12
+ * columns (1 BRAM18 per 3 rows), DSP columns every 12 (1 per 2 rows).
+ */
+Device makeU50();
+
+} // namespace fabric
+} // namespace pld
+
+#endif // PLD_FABRIC_DEVICE_H

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * The HLS compiler: operator IR -> packed structural netlist.
+ *
+ * Stands in for Vitis_HLS (paper Sec 6: hls_caller + operator
+ * packer). Every arithmetic/logic node instantiates a hardware macro
+ * sized by the resource model; arrays become BRAM banks; stream ports
+ * become FIFO interfaces; a control FSM ties it together. With
+ * `add_leaf_interface` the operator is wrapped with the standard leaf
+ * interface used to join the linking network (-O1 flow); without it
+ * the bare kernel is produced for monolithic (-O3 / Vitis) linking.
+ */
+
+#ifndef PLD_HLS_COMPILER_H
+#define PLD_HLS_COMPILER_H
+
+#include <string>
+
+#include "hls/schedule.h"
+#include "ir/operator_fn.h"
+#include "netlist/netlist.h"
+
+namespace pld {
+namespace hls {
+
+/** Everything the HLS stage produces for one operator. */
+struct HlsResult
+{
+    netlist::Netlist net;
+    PerfEstimate perf;
+    double seconds = 0;  ///< measured wall time of this stage
+    std::string report;  ///< human-readable schedule summary
+};
+
+/**
+ * Compile one operator. Deterministic: same IR -> same netlist.
+ *
+ * @param fn operator IR
+ * @param add_leaf_interface wrap with the linking-network leaf logic
+ */
+HlsResult compileOperator(const ir::OperatorFn &fn,
+                          bool add_leaf_interface);
+
+} // namespace hls
+} // namespace pld
+
+#endif // PLD_HLS_COMPILER_H

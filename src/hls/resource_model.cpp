@@ -1,0 +1,125 @@
+#include "hls/resource_model.h"
+
+#include <algorithm>
+
+namespace pld {
+namespace hls {
+
+using ir::ExprKind;
+using netlist::ResourceCount;
+
+OpCost
+opCost(ExprKind kind, int w)
+{
+    OpCost c;
+    switch (kind) {
+      case ExprKind::Add:
+      case ExprKind::Sub:
+      case ExprKind::Neg:
+        c.res.luts = w;
+        c.res.ffs = w;
+        c.latency = 1;
+        break;
+      case ExprKind::Mul: {
+        // DSP48-style slices: 27x18 multipliers tiled over the
+        // operand width, plus glue.
+        int tiles = std::max(1, ((w / 2 + 26) / 27) *
+                                    ((w / 2 + 17) / 18));
+        c.res.dsps = tiles;
+        c.res.luts = w / 2;
+        c.res.ffs = w;
+        c.latency = 3;
+        break;
+      }
+      case ExprKind::Div:
+      case ExprKind::Mod:
+        // Iterative restoring divider array: quadratic in width.
+        c.res.luts = (w * w) / 3;
+        c.res.ffs = w * 3;
+        c.latency = w + 3;
+        break;
+      case ExprKind::Lt: case ExprKind::Le: case ExprKind::Gt:
+      case ExprKind::Ge: case ExprKind::Eq: case ExprKind::Ne:
+        c.res.luts = (w + 1) / 2;
+        c.res.ffs = 1;
+        c.latency = 1;
+        break;
+      case ExprKind::And: case ExprKind::Or: case ExprKind::Xor:
+      case ExprKind::Not:
+        c.res.luts = (w + 1) / 2;
+        c.res.ffs = w / 2;
+        c.latency = 1;
+        break;
+      case ExprKind::Shl:
+      case ExprKind::Shr:
+        // Constant shifts are wiring; small LUT cost for trimming.
+        c.res.luts = w / 8 + 1;
+        c.latency = 0;
+        break;
+      case ExprKind::Select:
+        c.res.luts = w;
+        c.res.ffs = w / 2;
+        c.latency = 1;
+        break;
+      case ExprKind::LAnd: case ExprKind::LOr: case ExprKind::LNot:
+        c.res.luts = 1;
+        c.latency = 1;
+        break;
+      case ExprKind::Cast:
+        // Binary-point alignment: wiring plus sign extension.
+        c.res.luts = w / 8 + 1;
+        c.latency = 0;
+        break;
+      case ExprKind::BitCast:
+        c.latency = 0;
+        break;
+      default:
+        break;
+    }
+    return c;
+}
+
+int
+bramsFor(int64_t elems, int bits)
+{
+    // BRAM18 = 18 Kb. HLS packs element bits into the 18/36-wide
+    // physical ports; model as ceil(total bits / 18Kb), width-padded
+    // to the next power of two as real tools do.
+    int padded = 1;
+    while (padded < bits)
+        padded <<= 1;
+    int64_t total_bits = elems * padded;
+    int64_t brams = (total_bits + 18 * 1024 - 1) / (18 * 1024);
+    return static_cast<int>(std::max<int64_t>(1, brams));
+}
+
+ResourceCount
+fsmOverhead(int num_statements)
+{
+    ResourceCount r;
+    r.luts = 90 + 4 * num_statements;
+    r.ffs = 60 + 2 * num_statements;
+    return r;
+}
+
+ResourceCount
+streamPortOverhead()
+{
+    ResourceCount r;
+    r.luts = 55;
+    r.ffs = 70;
+    return r;
+}
+
+ResourceCount
+leafInterfaceOverhead()
+{
+    // Paper Sec 4.1: "Our network interfaces run about 500 LUTs".
+    ResourceCount r;
+    r.luts = 500;
+    r.ffs = 650;
+    return r;
+}
+
+} // namespace hls
+} // namespace pld

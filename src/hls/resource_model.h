@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Hardware cost model for IR operations.
+ *
+ * Maps each IR operation to FPGA resources (LUT/FF/DSP) and latency,
+ * calibrated against typical Vitis_HLS results so operator areas land
+ * in the ranges Table 4 reports. Division is deliberately expensive
+ * (iterative array divider), multiplication maps to DSP slices, and
+ * arrays map to BRAM18s by capacity.
+ */
+
+#ifndef PLD_HLS_RESOURCE_MODEL_H
+#define PLD_HLS_RESOURCE_MODEL_H
+
+#include "ir/expr.h"
+#include "ir/operator_fn.h"
+#include "netlist/netlist.h"
+
+namespace pld {
+namespace hls {
+
+/** Cost of one hardware operator instance. */
+struct OpCost
+{
+    netlist::ResourceCount res;
+    int latency = 1; ///< pipeline stages through the unit
+};
+
+/** Cost of instantiating @p kind on operands of width @p w bits. */
+OpCost opCost(ir::ExprKind kind, int w);
+
+/** BRAM18s needed for an array of @p elems elements of @p bits each. */
+int bramsFor(int64_t elems, int bits);
+
+/** Fixed overhead of the operator's control FSM. */
+netlist::ResourceCount fsmOverhead(int num_statements);
+
+/** One stream port's FIFO/handshake logic. */
+netlist::ResourceCount streamPortOverhead();
+
+/**
+ * The standard leaf interface joining a page to the linking network
+ * (paper Sec 4.1: "Our network interfaces run about 500 LUTs").
+ */
+netlist::ResourceCount leafInterfaceOverhead();
+
+} // namespace hls
+} // namespace pld
+
+#endif // PLD_HLS_RESOURCE_MODEL_H

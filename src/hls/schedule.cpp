@@ -1,0 +1,259 @@
+#include "hls/schedule.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "hls/resource_model.h"
+
+namespace pld {
+namespace hls {
+
+using ir::Expr;
+using ir::ExprKind;
+using ir::ExprPtr;
+using ir::Stmt;
+using ir::StmtKind;
+using ir::StmtPtr;
+
+int
+exprLatency(const ExprPtr &e)
+{
+    int worst_child = 0;
+    for (const auto &a : e->args)
+        worst_child = std::max(worst_child, exprLatency(a));
+    int w = e->type.width;
+    for (const auto &a : e->args)
+        w = std::max(w, static_cast<int>(a->type.width));
+    int own = 0;
+    if (ir::isBinary(e->kind) || ir::isUnary(e->kind) ||
+        e->kind == ExprKind::Select) {
+        own = opCost(e->kind, w).latency;
+    } else if (e->kind == ExprKind::ArrayRef) {
+        own = 2; // BRAM read
+    } else if (e->kind == ExprKind::StreamRead) {
+        own = 1;
+    }
+    return worst_child + own;
+}
+
+namespace {
+
+int
+countOps(const ExprPtr &e)
+{
+    int n = (ir::isBinary(e->kind) || ir::isUnary(e->kind) ||
+             e->kind == ExprKind::Select)
+                ? 1
+                : 0;
+    for (const auto &a : e->args)
+        n += countOps(a);
+    return n;
+}
+
+void
+collectVarReads(const ExprPtr &e, std::set<int> &vars)
+{
+    if (e->kind == ExprKind::VarRef)
+        vars.insert(static_cast<int>(e->imm));
+    for (const auto &a : e->args)
+        collectVarReads(a, vars);
+}
+
+void
+countArrayAccesses(const ExprPtr &e, std::map<int, int> &counts)
+{
+    if (e->kind == ExprKind::ArrayRef)
+        counts[static_cast<int>(e->imm)] += 1;
+    for (const auto &a : e->args)
+        countArrayAccesses(a, counts);
+}
+
+bool
+containsLoop(const std::vector<StmtPtr> &stmts)
+{
+    for (const auto &s : stmts) {
+        switch (s->kind) {
+          case StmtKind::For:
+          case StmtKind::While:
+            return true;
+          case StmtKind::If:
+            if (containsLoop(s->body) || containsLoop(s->elseBody))
+                return true;
+            break;
+          case StmtKind::Block:
+            if (containsLoop(s->body))
+                return true;
+            break;
+          default:
+            break;
+        }
+    }
+    return false;
+}
+
+struct BodyStats
+{
+    int ops = 0;
+    int depth = 0;          ///< critical path latency of one iteration
+    int recurrenceII = 1;   ///< loop-carried dependence bound
+    std::map<int, int> arrayAccesses;
+    std::set<int> varsRead;
+    std::set<int> varsWritten;
+};
+
+void
+scanBody(const std::vector<StmtPtr> &stmts, BodyStats &st)
+{
+    for (const auto &s : stmts) {
+        for (const auto &e : s->args) {
+            st.ops += countOps(e);
+            st.depth = std::max(st.depth, exprLatency(e));
+            collectVarReads(e, st.varsRead);
+            countArrayAccesses(e, st.arrayAccesses);
+        }
+        switch (s->kind) {
+          case StmtKind::Assign: {
+            int v = static_cast<int>(s->imm);
+            std::set<int> rhs_vars;
+            collectVarReads(s->args[0], rhs_vars);
+            if (rhs_vars.count(v) || st.varsWritten.count(v)) {
+                // Accumulation (x = f(x, ...)): the update chain
+                // bounds II.
+                st.recurrenceII = std::max(
+                    st.recurrenceII, exprLatency(s->args[0]));
+            }
+            st.varsWritten.insert(v);
+            break;
+          }
+          case StmtKind::ArrayStore: {
+            int a = static_cast<int>(s->imm);
+            st.arrayAccesses[a] += 1;
+            break;
+          }
+          case StmtKind::If:
+            scanBody(s->body, st);
+            scanBody(s->elseBody, st);
+            break;
+          case StmtKind::Block:
+            scanBody(s->body, st);
+            break;
+          default:
+            break;
+        }
+    }
+}
+
+struct Walker
+{
+    PerfEstimate est;
+    int loopCounter = 0;
+
+    /** Returns {cycles, ops} for one execution of the list. */
+    std::pair<double, double>
+    walk(const std::vector<StmtPtr> &stmts)
+    {
+        double cycles = 0, ops = 0;
+        for (const auto &s : stmts) {
+            double sc = 0, so = 0;
+            for (const auto &e : s->args)
+                so += countOps(e);
+            switch (s->kind) {
+              case StmtKind::Assign:
+              case StmtKind::ArrayStore:
+              case StmtKind::StreamWrite:
+                // Sequential statement outside a pipelined loop:
+                // costs its expression latency.
+                sc = std::max(
+                    1, s->args.empty() ? 1
+                                       : exprLatency(s->args[0]));
+                break;
+              case StmtKind::Print:
+                sc = 0; // elided in hardware
+                break;
+              case StmtKind::For: {
+                int64_t trips =
+                    std::max<int64_t>(0, (s->immHi - s->immLo +
+                                          s->immStep - 1) /
+                                             s->immStep);
+                if (!containsLoop(s->body)) {
+                    BodyStats bs;
+                    scanBody(s->body, bs);
+                    int ii = bs.recurrenceII;
+                    for (const auto &[arr, n] : bs.arrayAccesses)
+                        ii = std::max(ii, (n + 1) / 2);
+                    int depth = bs.depth + 2;
+                    sc = static_cast<double>(trips) * ii + depth;
+                    so += static_cast<double>(trips) * bs.ops;
+
+                    LoopReport lr;
+                    lr.label = "L" + std::to_string(loopCounter++);
+                    lr.trips = trips;
+                    lr.ii = ii;
+                    lr.depth = depth;
+                    lr.opsPerIter = bs.ops;
+                    lr.pipelined = true;
+                    est.loops.push_back(lr);
+                } else {
+                    auto [bc, bo] = walk(s->body);
+                    sc = static_cast<double>(trips) * (bc + 2) + 2;
+                    so += static_cast<double>(trips) * bo;
+
+                    LoopReport lr;
+                    lr.label = "L" + std::to_string(loopCounter++);
+                    lr.trips = trips;
+                    lr.ii = static_cast<int>(bc + 2);
+                    lr.depth = 0;
+                    lr.opsPerIter = static_cast<int>(bo);
+                    lr.pipelined = false;
+                    est.loops.push_back(lr);
+                }
+                break;
+              }
+              case StmtKind::While: {
+                int64_t trips = std::max<int64_t>(
+                    1, s->tripEstimate > 0 ? s->tripEstimate : 16);
+                auto [bc, bo] = walk(s->body);
+                double cond_lat =
+                    s->args.empty() ? 1 : exprLatency(s->args[0]);
+                sc = static_cast<double>(trips) * (bc + cond_lat + 1);
+                so += static_cast<double>(trips) * bo;
+                break;
+              }
+              case StmtKind::If: {
+                auto [tc, to] = walk(s->body);
+                auto [ec, eo] = walk(s->elseBody);
+                sc = 1 + std::max(tc, ec);
+                // Area exists for both branches but only one set of
+                // ops executes; charge the max for cycle/op balance.
+                so += std::max(to, eo);
+                break;
+              }
+              case StmtKind::Block: {
+                auto [bc, bo] = walk(s->body);
+                sc = bc;
+                so += bo;
+                break;
+              }
+            }
+            cycles += sc;
+            ops += so;
+        }
+        return {cycles, ops};
+    }
+};
+
+} // namespace
+
+PerfEstimate
+analyzeOperator(const ir::OperatorFn &fn)
+{
+    Walker w;
+    auto [cycles, ops] = w.walk(fn.body);
+    w.est.totalCycles = std::max(1.0, cycles);
+    w.est.totalOps = std::max(1.0, ops);
+    return std::move(w.est);
+}
+
+} // namespace hls
+} // namespace pld

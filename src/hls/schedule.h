@@ -1,0 +1,63 @@
+/**
+ * @file
+ * HLS scheduling analysis: initiation intervals, pipeline depths, and
+ * whole-operator cycle estimates.
+ *
+ * Innermost loops are pipelined (the streaming style the operator
+ * discipline produces): their cost is trips * II + depth, where II is
+ * bounded below by BRAM port conflicts and loop-carried recurrences
+ * (accumulators, read-modify-write arrays) and division latencies.
+ * Outer loops and while-loops run sequentially. The resulting
+ * PerfEstimate drives the timed HW page model: the system simulator
+ * charges cyclesPerOp() per interpreter compute op, reproducing the
+ * throughput the schedule predicts.
+ */
+
+#ifndef PLD_HLS_SCHEDULE_H
+#define PLD_HLS_SCHEDULE_H
+
+#include <string>
+#include <vector>
+
+#include "ir/operator_fn.h"
+
+namespace pld {
+namespace hls {
+
+/** Per-loop scheduling facts for reports and tests. */
+struct LoopReport
+{
+    std::string label;
+    int64_t trips = 0;
+    int ii = 1;       ///< initiation interval (innermost loops)
+    int depth = 1;    ///< pipeline fill latency
+    int opsPerIter = 0;
+    bool pipelined = false;
+};
+
+/** Whole-operator static performance estimate. */
+struct PerfEstimate
+{
+    double totalCycles = 0;
+    double totalOps = 0;
+
+    /** Cycle charge per interpreter compute op (timed HW model). */
+    double
+    cyclesPerOp() const
+    {
+        return totalOps > 0.5 ? totalCycles / totalOps : 1.0;
+    }
+
+    std::vector<LoopReport> loops;
+};
+
+/** Analyze one operator (does not touch the netlist). */
+PerfEstimate analyzeOperator(const ir::OperatorFn &fn);
+
+/** Latency (cycles) of an expression tree's critical path. */
+int exprLatency(const ir::ExprPtr &e);
+
+} // namespace hls
+} // namespace pld
+
+#endif // PLD_HLS_SCHEDULE_H

@@ -1,0 +1,140 @@
+#include "hls/synthesis.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/stopwatch.h"
+
+namespace pld {
+namespace hls {
+
+using netlist::Cell;
+using netlist::Net;
+using netlist::Netlist;
+using netlist::SiteKind;
+
+namespace {
+
+/**
+ * One packing sweep: for every net, try to merge connected CLB cells
+ * whose combined utilization still fits one CLB. Union-find tracks
+ * merged groups; a rebuild pass materializes the packed netlist.
+ */
+struct UnionFind
+{
+    std::vector<int> parent;
+
+    explicit UnionFind(size_t n) : parent(n)
+    {
+        for (size_t i = 0; i < n; ++i)
+            parent[i] = static_cast<int>(i);
+    }
+
+    int
+    find(int x)
+    {
+        while (parent[x] != x) {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        return x;
+    }
+
+    void unite(int a, int b) { parent[find(a)] = find(b); }
+};
+
+} // namespace
+
+SynReport
+synthesize(Netlist &net, double effort)
+{
+    Stopwatch sw;
+    SynReport rep;
+    rep.cellsBefore = static_cast<int>(net.cells.size());
+
+    int sweeps = std::max(1, static_cast<int>(2 * effort));
+    for (int pass = 0; pass < sweeps; ++pass) {
+        UnionFind uf(net.cells.size());
+        std::vector<int> luts(net.cells.size());
+        std::vector<int> ffs(net.cells.size());
+        for (size_t i = 0; i < net.cells.size(); ++i) {
+            luts[i] = net.cells[i].luts;
+            ffs[i] = net.cells[i].ffs;
+        }
+
+        int merges = 0;
+        for (const auto &n : net.nets) {
+            if (n.driver < 0)
+                continue;
+            const Cell &drv = net.cells[n.driver];
+            if (drv.site != SiteKind::Clb)
+                continue;
+            for (int s : n.sinks) {
+                if (net.cells[s].site != SiteKind::Clb)
+                    continue;
+                int ra = uf.find(n.driver);
+                int rb = uf.find(s);
+                if (ra == rb)
+                    continue;
+                if (luts[ra] + luts[rb] <= 8 &&
+                    ffs[ra] + ffs[rb] <= 16 &&
+                    net.cells[n.driver].stage == net.cells[s].stage) {
+                    uf.unite(ra, rb);
+                    int root = uf.find(ra);
+                    int other = (root == ra) ? rb : ra;
+                    luts[root] = luts[ra] + luts[rb];
+                    ffs[root] = ffs[ra] + ffs[rb];
+                    luts[other] = 0;
+                    ffs[other] = 0;
+                    ++merges;
+                }
+            }
+        }
+        rep.mergesApplied += merges;
+        if (merges == 0)
+            break;
+
+        // Rebuild: one cell per union-find root.
+        std::vector<int> new_index(net.cells.size(), -1);
+        Netlist packed;
+        for (size_t i = 0; i < net.cells.size(); ++i) {
+            int root = uf.find(static_cast<int>(i));
+            if (new_index[root] < 0) {
+                Cell c = net.cells[root];
+                c.pins.clear();
+                c.luts = luts[root];
+                c.ffs = ffs[root];
+                new_index[root] = packed.addCell(std::move(c));
+            }
+            new_index[i] = new_index[root];
+        }
+        for (const auto &n : net.nets) {
+            int drv = n.driver >= 0 ? new_index[n.driver] : -1;
+            bool internal_only = true;
+            for (int s : n.sinks) {
+                if (new_index[s] != drv)
+                    internal_only = false;
+            }
+            if (internal_only && drv >= 0)
+                continue; // net fully absorbed into one CLB
+            int ni = packed.addNet(n.name, n.width, drv);
+            for (int s : n.sinks) {
+                if (new_index[s] != drv)
+                    packed.addSink(ni, new_index[s]);
+            }
+        }
+        net = std::move(packed);
+    }
+
+    std::string problem;
+    pld_assert(net.checkConsistent(&problem),
+               "synthesis broke the netlist: %s", problem.c_str());
+
+    rep.cellsAfter = static_cast<int>(net.cells.size());
+    rep.seconds = sw.seconds();
+    return rep;
+}
+
+} // namespace hls
+} // namespace pld

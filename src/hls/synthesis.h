@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Logic synthesis / packing pass over a structural netlist.
+ *
+ * Plays the role of the "syn" stage in Table 2: it performs real,
+ * netlist-size-proportional optimization work — repacking
+ * under-utilized CLB cells that share nets into denser CLBs — which
+ * both reduces the placement problem and gives the stage genuine
+ * super-linear cost, so compile-time ratios behave like the vendor
+ * flow's.
+ */
+
+#ifndef PLD_HLS_SYNTHESIS_H
+#define PLD_HLS_SYNTHESIS_H
+
+#include "netlist/netlist.h"
+
+namespace pld {
+namespace hls {
+
+/** Outcome of the synthesis pass. */
+struct SynReport
+{
+    int cellsBefore = 0;
+    int cellsAfter = 0;
+    int mergesApplied = 0;
+    double seconds = 0;
+};
+
+/**
+ * Optimize @p net in place.
+ *
+ * @param effort pass-count multiplier (1.0 = default two sweeps)
+ */
+SynReport synthesize(netlist::Netlist &net, double effort = 1.0);
+
+} // namespace hls
+} // namespace pld
+
+#endif // PLD_HLS_SYNTHESIS_H

@@ -1,0 +1,435 @@
+#include "ir/builder.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace pld {
+namespace ir {
+
+namespace {
+
+int64_t
+signExtendBits(uint64_t v, int w)
+{
+    uint64_t m = 1ull << (w - 1);
+    return static_cast<int64_t>((v ^ m) - m);
+}
+
+int64_t
+quantize(double v, Type t)
+{
+    double scaled = std::ldexp(v, t.fracBits());
+    int64_t raw = static_cast<int64_t>(std::floor(scaled));
+    // Wrap to width like an assignment would.
+    if (t.width < 64) {
+        uint64_t m = (1ull << t.width) - 1;
+        uint64_t bits = static_cast<uint64_t>(raw) & m;
+        raw = t.isSigned() ? signExtendBits(bits, t.width)
+                           : static_cast<int64_t>(bits);
+    }
+    return raw;
+}
+
+} // namespace
+
+Ex
+Ex::cast(Type to) const
+{
+    return Ex(makeExpr(ExprKind::Cast, to, {e}));
+}
+
+Ex
+Ex::bitcast(Type to) const
+{
+    return Ex(makeExpr(ExprKind::BitCast, to, {e}));
+}
+
+Ex
+Ex::rawWord() const
+{
+    return bitcast(Type::word());
+}
+
+Var::operator Ex() const
+{
+    pld_assert(owner, "unbound Var handle");
+    return owner->refVar(idx);
+}
+
+Ex
+Arr::operator[](const Ex &index) const
+{
+    pld_assert(owner, "unbound Arr handle");
+    return owner->refArray(idx, index);
+}
+
+Ex
+Arr::operator[](int64_t index) const
+{
+    return (*this)[lit(index)];
+}
+
+namespace {
+
+Ex
+bin(ExprKind k, const Ex &a, const Ex &b)
+{
+    pld_assert(a.valid() && b.valid(), "binop on empty Ex");
+    Type ta = a.type(), tb = b.type();
+    Type rt;
+    switch (k) {
+      case ExprKind::Add:
+      case ExprKind::Sub:
+        rt = promoteAdd(ta, tb);
+        break;
+      case ExprKind::Mul:
+        rt = promoteMul(ta, tb);
+        break;
+      case ExprKind::Div:
+        rt = promoteDiv(ta, tb);
+        break;
+      case ExprKind::Mod:
+        rt = promoteBits(ta, tb);
+        break;
+      case ExprKind::And:
+      case ExprKind::Or:
+      case ExprKind::Xor:
+        rt = promoteBits(ta, tb);
+        break;
+      case ExprKind::Lt: case ExprKind::Le: case ExprKind::Gt:
+      case ExprKind::Ge: case ExprKind::Eq: case ExprKind::Ne:
+      case ExprKind::LAnd: case ExprKind::LOr:
+        rt = Type::boolean();
+        break;
+      default:
+        pld_panic("bin(): not a binary kind");
+    }
+    return Ex(makeExpr(k, rt, {a.node(), b.node()}));
+}
+
+} // namespace
+
+Ex operator+(const Ex &a, const Ex &b) { return bin(ExprKind::Add, a, b); }
+Ex operator-(const Ex &a, const Ex &b) { return bin(ExprKind::Sub, a, b); }
+Ex operator*(const Ex &a, const Ex &b) { return bin(ExprKind::Mul, a, b); }
+Ex operator/(const Ex &a, const Ex &b) { return bin(ExprKind::Div, a, b); }
+Ex operator%(const Ex &a, const Ex &b) { return bin(ExprKind::Mod, a, b); }
+Ex operator&(const Ex &a, const Ex &b) { return bin(ExprKind::And, a, b); }
+Ex operator|(const Ex &a, const Ex &b) { return bin(ExprKind::Or, a, b); }
+Ex operator^(const Ex &a, const Ex &b) { return bin(ExprKind::Xor, a, b); }
+Ex operator<(const Ex &a, const Ex &b) { return bin(ExprKind::Lt, a, b); }
+Ex operator<=(const Ex &a, const Ex &b) { return bin(ExprKind::Le, a, b); }
+Ex operator>(const Ex &a, const Ex &b) { return bin(ExprKind::Gt, a, b); }
+Ex operator>=(const Ex &a, const Ex &b) { return bin(ExprKind::Ge, a, b); }
+Ex operator==(const Ex &a, const Ex &b) { return bin(ExprKind::Eq, a, b); }
+Ex operator!=(const Ex &a, const Ex &b) { return bin(ExprKind::Ne, a, b); }
+Ex operator&&(const Ex &a, const Ex &b) { return bin(ExprKind::LAnd, a, b); }
+Ex operator||(const Ex &a, const Ex &b) { return bin(ExprKind::LOr, a, b); }
+
+Ex
+operator<<(const Ex &a, int sh)
+{
+    return Ex(makeExpr(ExprKind::Shl, a.type(),
+                       {a.node(), makeConst(Type::s(32), sh)}));
+}
+
+Ex
+operator>>(const Ex &a, int sh)
+{
+    return Ex(makeExpr(ExprKind::Shr, a.type(),
+                       {a.node(), makeConst(Type::s(32), sh)}));
+}
+
+Ex
+operator-(const Ex &a)
+{
+    Type t = a.type();
+    Type rt = t.isSigned()
+                  ? t
+                  : promoteAdd(t, Type::s(std::min(32, t.width + 1)));
+    return Ex(makeExpr(ExprKind::Neg, rt, {a.node()}));
+}
+
+Ex
+operator~(const Ex &a)
+{
+    return Ex(makeExpr(ExprKind::Not, a.type(), {a.node()}));
+}
+
+Ex
+operator!(const Ex &a)
+{
+    return Ex(makeExpr(ExprKind::LNot, Type::boolean(), {a.node()}));
+}
+
+Ex
+lit(int64_t v, Type t)
+{
+    return Ex(makeConst(t, v * (int64_t(1) << t.fracBits())));
+}
+
+Ex
+litF(double v, Type t)
+{
+    return Ex(makeConst(t, quantize(v, t)));
+}
+
+namespace {
+
+Ex
+litLike(int64_t v, const Ex &like)
+{
+    return lit(v, like.type());
+}
+
+} // namespace
+
+Ex operator+(const Ex &a, int64_t v) { return a + litLike(v, a); }
+Ex operator+(int64_t v, const Ex &a) { return litLike(v, a) + a; }
+Ex operator-(const Ex &a, int64_t v) { return a - litLike(v, a); }
+Ex operator-(int64_t v, const Ex &a) { return litLike(v, a) - a; }
+Ex operator*(const Ex &a, int64_t v) { return a * litLike(v, a); }
+Ex operator*(int64_t v, const Ex &a) { return litLike(v, a) * a; }
+Ex operator/(const Ex &a, int64_t v) { return a / litLike(v, a); }
+Ex operator%(const Ex &a, int64_t v) { return a % litLike(v, a); }
+Ex operator<(const Ex &a, int64_t v) { return a < litLike(v, a); }
+Ex operator>(const Ex &a, int64_t v) { return a > litLike(v, a); }
+Ex operator<=(const Ex &a, int64_t v) { return a <= litLike(v, a); }
+Ex operator>=(const Ex &a, int64_t v) { return a >= litLike(v, a); }
+Ex operator==(const Ex &a, int64_t v) { return a == litLike(v, a); }
+Ex operator!=(const Ex &a, int64_t v) { return a != litLike(v, a); }
+
+OpBuilder::OpBuilder(std::string op_name)
+{
+    fn.name = std::move(op_name);
+    blockStack.push_back(&fn.body);
+}
+
+PortRef
+OpBuilder::input(const std::string &port_name)
+{
+    fn.ports.push_back({port_name, PortDir::In});
+    return {static_cast<int>(fn.ports.size()) - 1, PortDir::In};
+}
+
+PortRef
+OpBuilder::output(const std::string &port_name)
+{
+    fn.ports.push_back({port_name, PortDir::Out});
+    return {static_cast<int>(fn.ports.size()) - 1, PortDir::Out};
+}
+
+Var
+OpBuilder::var(const std::string &var_name, Type t)
+{
+    fn.vars.push_back({var_name, t});
+    return {static_cast<int>(fn.vars.size()) - 1, t, this};
+}
+
+Arr
+OpBuilder::array(const std::string &arr_name, Type elem, int64_t size)
+{
+    pld_assert(size > 0, "array %s needs positive size",
+               arr_name.c_str());
+    fn.arrays.push_back({arr_name, elem, size, {}});
+    return {static_cast<int>(fn.arrays.size()) - 1, elem, this};
+}
+
+Arr
+OpBuilder::rom(const std::string &arr_name, Type elem,
+               const std::vector<double> &values)
+{
+    std::vector<int64_t> raw;
+    raw.reserve(values.size());
+    for (double v : values)
+        raw.push_back(quantize(v, elem));
+    return romRaw(arr_name, elem, raw);
+}
+
+Arr
+OpBuilder::romRaw(const std::string &arr_name, Type elem,
+                  const std::vector<int64_t> &raw)
+{
+    pld_assert(!raw.empty(), "rom %s needs contents", arr_name.c_str());
+    fn.arrays.push_back(
+        {arr_name, elem, static_cast<int64_t>(raw.size()), raw});
+    return {static_cast<int>(fn.arrays.size()) - 1, elem, this};
+}
+
+Ex
+OpBuilder::read(PortRef port)
+{
+    pld_assert(port.dir == PortDir::In, "read from non-input port");
+    return Ex(makeExpr(ExprKind::StreamRead, Type::word(), {},
+                       port.idx));
+}
+
+Ex
+OpBuilder::readAs(PortRef port, Type as)
+{
+    return read(port).bitcast(as);
+}
+
+void
+OpBuilder::write(PortRef port, const Ex &value)
+{
+    pld_assert(port.dir == PortDir::Out, "write to non-output port");
+    auto s = makeStmt(StmtKind::StreamWrite);
+    s->imm = port.idx;
+    s->args.push_back(value.rawWord().node());
+    emit(std::move(s));
+}
+
+void
+OpBuilder::set(Var v, const Ex &value)
+{
+    pld_assert(v.owner == this, "Var from another builder");
+    auto s = makeStmt(StmtKind::Assign);
+    s->imm = v.idx;
+    s->args.push_back(value.cast(v.type).node());
+    emit(std::move(s));
+}
+
+void
+OpBuilder::store(Arr a, const Ex &index, const Ex &value)
+{
+    pld_assert(a.owner == this, "Arr from another builder");
+    auto s = makeStmt(StmtKind::ArrayStore);
+    s->imm = a.idx;
+    s->args.push_back(index.node());
+    s->args.push_back(value.cast(a.elemType).node());
+    emit(std::move(s));
+}
+
+void
+OpBuilder::store(Arr a, int64_t index, const Ex &value)
+{
+    store(a, lit(index), value);
+}
+
+void
+OpBuilder::forLoop(int64_t lo, int64_t hi,
+                   const std::function<void(Ex)> &body_fn)
+{
+    forLoopStep(lo, hi, 1, body_fn);
+}
+
+void
+OpBuilder::forLoopStep(int64_t lo, int64_t hi, int64_t step,
+                       const std::function<void(Ex)> &body_fn)
+{
+    pld_assert(step > 0, "forLoop needs positive step");
+    Var iv = var("__i" + std::to_string(loopVarCounter++),
+                 Type::s(32));
+    auto s = makeStmt(StmtKind::For);
+    s->imm = iv.idx;
+    s->immLo = lo;
+    s->immHi = hi;
+    s->immStep = step;
+    Stmt *raw = s.get();
+    emit(std::move(s));
+    blockStack.push_back(&raw->body);
+    body_fn(refVar(iv.idx));
+    blockStack.pop_back();
+}
+
+void
+OpBuilder::ifThen(const Ex &cond, const std::function<void()> &then_fn)
+{
+    ifElse(cond, then_fn, nullptr);
+}
+
+void
+OpBuilder::ifElse(const Ex &cond, const std::function<void()> &then_fn,
+                  const std::function<void()> &else_fn)
+{
+    auto s = makeStmt(StmtKind::If);
+    s->args.push_back(cond.node());
+    Stmt *raw = s.get();
+    emit(std::move(s));
+    blockStack.push_back(&raw->body);
+    then_fn();
+    blockStack.pop_back();
+    if (else_fn) {
+        blockStack.push_back(&raw->elseBody);
+        else_fn();
+        blockStack.pop_back();
+    }
+}
+
+void
+OpBuilder::whileLoop(const Ex &cond,
+                     const std::function<void()> &body_fn,
+                     int64_t trip_estimate)
+{
+    auto s = makeStmt(StmtKind::While);
+    s->args.push_back(cond.node());
+    s->tripEstimate = trip_estimate;
+    Stmt *raw = s.get();
+    emit(std::move(s));
+    blockStack.push_back(&raw->body);
+    body_fn();
+    blockStack.pop_back();
+}
+
+void
+OpBuilder::print(const std::string &text, std::vector<Ex> values)
+{
+    auto s = makeStmt(StmtKind::Print);
+    s->text = text;
+    for (const auto &v : values)
+        s->args.push_back(v.node());
+    emit(std::move(s));
+}
+
+Ex
+OpBuilder::select(const Ex &cond, const Ex &a, const Ex &b)
+{
+    return Ex(makeExpr(ExprKind::Select, a.type(),
+                       {cond.node(), a.node(),
+                        b.cast(a.type()).node()}));
+}
+
+void
+OpBuilder::pragma(Target target, int page_num)
+{
+    fn.pragma.target = target;
+    fn.pragma.pageNum = page_num;
+}
+
+OperatorFn
+OpBuilder::finish()
+{
+    pld_assert(blockStack.size() == 1, "unbalanced control blocks");
+    return std::move(fn);
+}
+
+Ex
+OpBuilder::refVar(int idx) const
+{
+    return Ex(makeExpr(ExprKind::VarRef, fn.vars[idx].type, {}, idx));
+}
+
+Ex
+OpBuilder::refArray(int idx, const Ex &index) const
+{
+    return Ex(makeExpr(ExprKind::ArrayRef, fn.arrays[idx].elemType,
+                       {index.node()}, idx));
+}
+
+void
+OpBuilder::emit(StmtPtr s)
+{
+    cur()->push_back(std::move(s));
+}
+
+std::vector<StmtPtr> *
+OpBuilder::cur()
+{
+    return blockStack.back();
+}
+
+} // namespace ir
+} // namespace pld

@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Fluent builder for operator IR.
+ *
+ * This is the developer-facing "C dialect" of the reproduction: the
+ * same role the HLS C subset plays in the paper. A kernel is written
+ * once against this API and the resulting OperatorFn is compiled to
+ * all targets. Example (the paper's flow_calc, Fig 2d):
+ *
+ *   OpBuilder b("flow_calc");
+ *   auto in  = b.input("Input_1");
+ *   auto out = b.output("Output_1");
+ *   auto t   = b.array("t", Type::fx(32, 17), 6);
+ *   b.forLoop(0, kHeight * kWidth, [&](Ex) {
+ *       b.forLoop(0, 6, [&](Ex i) { b.store(t, i, b.readAs(in, fx)); });
+ *       Ex denom = t[0] * t[1] - t[2] * t[2];
+ *       ...
+ *       b.write(out, buf0);
+ *   });
+ *   OperatorFn fn = b.finish();
+ */
+
+#ifndef PLD_IR_BUILDER_H
+#define PLD_IR_BUILDER_H
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "ir/operator_fn.h"
+
+namespace pld {
+namespace ir {
+
+class OpBuilder;
+
+/**
+ * Expression wrapper enabling natural C-like arithmetic. Operators
+ * apply HLS promotion rules; mixing with integer literals converts
+ * the literal to the other operand's type (value-preserving).
+ */
+class Ex
+{
+  public:
+    Ex() = default;
+    explicit Ex(ExprPtr e) : e(std::move(e)) {}
+
+    const ExprPtr &node() const { return e; }
+    Type type() const { return e->type; }
+    bool valid() const { return e != nullptr; }
+
+    /** Value-preserving conversion (shifts binary point, wraps). */
+    Ex cast(Type to) const;
+    /** Raw-bit reinterpretation (paper's `t[i](31,0) = in.read()`). */
+    Ex bitcast(Type to) const;
+    /** Raw bits of this value as a u32 word (for stream writes). */
+    Ex rawWord() const;
+
+  private:
+    ExprPtr e;
+};
+
+/** Handle to a local scalar variable. */
+struct Var
+{
+    int idx = -1;
+    Type type;
+    OpBuilder *owner = nullptr;
+
+    /** Reading a Var yields its current value. */
+    operator Ex() const;
+};
+
+/** Handle to a local array; arr[i] reads an element. */
+struct Arr
+{
+    int idx = -1;
+    Type elemType;
+    OpBuilder *owner = nullptr;
+
+    Ex operator[](const Ex &index) const;
+    Ex operator[](int64_t index) const;
+};
+
+/** Handle to a stream port. */
+struct PortRef
+{
+    int idx = -1;
+    PortDir dir = PortDir::In;
+};
+
+Ex operator+(const Ex &a, const Ex &b);
+Ex operator-(const Ex &a, const Ex &b);
+Ex operator*(const Ex &a, const Ex &b);
+Ex operator/(const Ex &a, const Ex &b);
+Ex operator%(const Ex &a, const Ex &b);
+Ex operator&(const Ex &a, const Ex &b);
+Ex operator|(const Ex &a, const Ex &b);
+Ex operator^(const Ex &a, const Ex &b);
+Ex operator<<(const Ex &a, int sh);
+Ex operator>>(const Ex &a, int sh);
+Ex operator<(const Ex &a, const Ex &b);
+Ex operator<=(const Ex &a, const Ex &b);
+Ex operator>(const Ex &a, const Ex &b);
+Ex operator>=(const Ex &a, const Ex &b);
+Ex operator==(const Ex &a, const Ex &b);
+Ex operator!=(const Ex &a, const Ex &b);
+Ex operator&&(const Ex &a, const Ex &b);
+Ex operator||(const Ex &a, const Ex &b);
+Ex operator-(const Ex &a);
+Ex operator~(const Ex &a);
+Ex operator!(const Ex &a);
+
+/** Integer literal as a typed constant (value v, type t). */
+Ex lit(int64_t v, Type t = Type::s(32));
+
+/** Fixed-point literal: double value quantized onto t's grid. */
+Ex litF(double v, Type t);
+
+// Literal-on-either-side conveniences (literal adopts Ex's type).
+Ex operator+(const Ex &a, int64_t v);
+Ex operator+(int64_t v, const Ex &a);
+Ex operator-(const Ex &a, int64_t v);
+Ex operator-(int64_t v, const Ex &a);
+Ex operator*(const Ex &a, int64_t v);
+Ex operator*(int64_t v, const Ex &a);
+Ex operator/(const Ex &a, int64_t v);
+Ex operator%(const Ex &a, int64_t v);
+Ex operator<(const Ex &a, int64_t v);
+Ex operator>(const Ex &a, int64_t v);
+Ex operator<=(const Ex &a, int64_t v);
+Ex operator>=(const Ex &a, int64_t v);
+Ex operator==(const Ex &a, int64_t v);
+Ex operator!=(const Ex &a, int64_t v);
+
+/**
+ * Builds one OperatorFn. Statement-emitting calls append to the
+ * innermost open control block (managed via callbacks).
+ */
+class OpBuilder
+{
+  public:
+    explicit OpBuilder(std::string op_name);
+
+    /** Declare an input stream port. */
+    PortRef input(const std::string &port_name);
+    /** Declare an output stream port. */
+    PortRef output(const std::string &port_name);
+
+    /** Declare a local scalar. */
+    Var var(const std::string &var_name, Type t);
+    /** Declare a local array (BRAM on HW, data memory on softcore). */
+    Arr array(const std::string &arr_name, Type elem, int64_t size);
+    /** Declare a ROM with contents given as doubles on elem's grid. */
+    Arr rom(const std::string &arr_name, Type elem,
+            const std::vector<double> &values);
+    /** Declare a ROM with raw scaled initial values. */
+    Arr romRaw(const std::string &arr_name, Type elem,
+               const std::vector<int64_t> &raw);
+
+    /** Blocking stream read as a raw u32 word. */
+    Ex read(PortRef port);
+    /** Blocking read reinterpreted as @p as (the t[i](31,0) idiom). */
+    Ex readAs(PortRef port, Type as);
+    /** Write the raw bits of @p value's low 32 bits to the stream. */
+    void write(PortRef port, const Ex &value);
+
+    /** var = value (value is cast to the var's type). */
+    void set(Var v, const Ex &value);
+    /** arr[index] = value (cast to element type). */
+    void store(Arr a, const Ex &index, const Ex &value);
+    void store(Arr a, int64_t index, const Ex &value);
+
+    /** Counted loop [lo, hi) with unit step; body sees the index. */
+    void forLoop(int64_t lo, int64_t hi,
+                 const std::function<void(Ex)> &body_fn);
+    /** Counted loop with explicit step. */
+    void forLoopStep(int64_t lo, int64_t hi, int64_t step,
+                     const std::function<void(Ex)> &body_fn);
+    /** Two-way conditional. */
+    void ifThen(const Ex &cond, const std::function<void()> &then_fn);
+    void ifElse(const Ex &cond, const std::function<void()> &then_fn,
+                const std::function<void()> &else_fn);
+    /** Condition-controlled loop; trip_estimate guides the scheduler. */
+    void whileLoop(const Ex &cond, const std::function<void()> &body_fn,
+                   int64_t trip_estimate = 16);
+    /** Processor-only debug print (ignored by the HW flows). */
+    void print(const std::string &text, std::vector<Ex> values = {});
+
+    /** Ternary select (b is cast to a's type). */
+    Ex select(const Ex &cond, const Ex &a, const Ex &b);
+
+    /** Set the mapping pragma (Fig 2a line 3). */
+    void pragma(Target target, int page_num = -1);
+
+    /** Finalize and return the operator. Builder must be balanced. */
+    OperatorFn finish();
+
+    /** @name Internal access for handle types. */
+    /// @{
+    Ex refVar(int idx) const;
+    Ex refArray(int idx, const Ex &index) const;
+    /// @}
+
+  private:
+    void emit(StmtPtr s);
+    std::vector<StmtPtr> *cur();
+
+    OperatorFn fn;
+    std::vector<std::vector<StmtPtr> *> blockStack;
+    int loopVarCounter = 0;
+};
+
+} // namespace ir
+} // namespace pld
+
+#endif // PLD_IR_BUILDER_H

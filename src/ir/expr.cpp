@@ -1,0 +1,111 @@
+#include "ir/expr.h"
+
+#include "common/logging.h"
+
+namespace pld {
+namespace ir {
+
+bool
+isBinary(ExprKind k)
+{
+    switch (k) {
+      case ExprKind::Add: case ExprKind::Sub: case ExprKind::Mul:
+      case ExprKind::Div: case ExprKind::Mod: case ExprKind::And:
+      case ExprKind::Or: case ExprKind::Xor: case ExprKind::Shl:
+      case ExprKind::Shr: case ExprKind::Lt: case ExprKind::Le:
+      case ExprKind::Gt: case ExprKind::Ge: case ExprKind::Eq:
+      case ExprKind::Ne: case ExprKind::LAnd: case ExprKind::LOr:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isUnary(ExprKind k)
+{
+    switch (k) {
+      case ExprKind::Neg: case ExprKind::Not: case ExprKind::LNot:
+      case ExprKind::Cast: case ExprKind::BitCast:
+        return true;
+      default:
+        return false;
+    }
+}
+
+const char *
+exprKindName(ExprKind k)
+{
+    switch (k) {
+      case ExprKind::Const: return "const";
+      case ExprKind::VarRef: return "var";
+      case ExprKind::ArrayRef: return "aref";
+      case ExprKind::StreamRead: return "read";
+      case ExprKind::Add: return "add";
+      case ExprKind::Sub: return "sub";
+      case ExprKind::Mul: return "mul";
+      case ExprKind::Div: return "div";
+      case ExprKind::Mod: return "mod";
+      case ExprKind::And: return "and";
+      case ExprKind::Or: return "or";
+      case ExprKind::Xor: return "xor";
+      case ExprKind::Shl: return "shl";
+      case ExprKind::Shr: return "shr";
+      case ExprKind::Lt: return "lt";
+      case ExprKind::Le: return "le";
+      case ExprKind::Gt: return "gt";
+      case ExprKind::Ge: return "ge";
+      case ExprKind::Eq: return "eq";
+      case ExprKind::Ne: return "ne";
+      case ExprKind::LAnd: return "land";
+      case ExprKind::LOr: return "lor";
+      case ExprKind::Neg: return "neg";
+      case ExprKind::Not: return "not";
+      case ExprKind::LNot: return "lnot";
+      case ExprKind::Cast: return "cast";
+      case ExprKind::BitCast: return "bitcast";
+      case ExprKind::Select: return "select";
+    }
+    return "?";
+}
+
+void
+Expr::hashInto(Hasher &h) const
+{
+    h.u64(static_cast<uint64_t>(kind));
+    type.hashInto(h);
+    h.i64(imm);
+    h.u64(args.size());
+    for (const auto &a : args)
+        a->hashInto(h);
+}
+
+int
+Expr::opCount() const
+{
+    int n = (isBinary(kind) || isUnary(kind) ||
+             kind == ExprKind::Select) ? 1 : 0;
+    for (const auto &a : args)
+        n += a->opCount();
+    return n;
+}
+
+ExprPtr
+makeConst(Type type, int64_t raw_scaled)
+{
+    auto e = std::make_shared<Expr>(ExprKind::Const, type);
+    e->imm = raw_scaled;
+    return e;
+}
+
+ExprPtr
+makeExpr(ExprKind k, Type t, std::vector<ExprPtr> args, int64_t imm)
+{
+    auto e = std::make_shared<Expr>(k, t);
+    e->args = std::move(args);
+    e->imm = imm;
+    return e;
+}
+
+} // namespace ir
+} // namespace pld

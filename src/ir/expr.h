@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Expression nodes of the PLD operator IR.
+ *
+ * Expressions form trees owned by shared_ptr; every node carries the
+ * result Type computed by the builder under HLS-like promotion rules.
+ * Stream reads are expressions but the validator restricts them to the
+ * top of an assignment's right-hand side so evaluation order (and thus
+ * blocking behaviour) is unambiguous across targets.
+ */
+
+#ifndef PLD_IR_EXPR_H
+#define PLD_IR_EXPR_H
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "ir/type.h"
+
+namespace pld {
+namespace ir {
+
+/** Expression operator kinds. */
+enum class ExprKind : uint8_t {
+    Const,      ///< constant; payload = raw scaled bits of `type`
+    VarRef,     ///< local scalar; payload = variable index
+    ArrayRef,   ///< array element; payload = array index, arg0 = index
+    StreamRead, ///< blocking read; payload = input port index
+    Add, Sub, Mul, Div, Mod,
+    And, Or, Xor, Shl, Shr,
+    Lt, Le, Gt, Ge, Eq, Ne,
+    LAnd, LOr,
+    Neg, Not, LNot,
+    Cast,       ///< value-preserving conversion to `type`
+    BitCast,    ///< reinterpret low bits as `type` (no shift)
+    Select,     ///< arg0 ? arg1 : arg2
+};
+
+/** True for the two-operand arithmetic/compare/bitwise kinds. */
+bool isBinary(ExprKind k);
+
+/** True for single-operand kinds (Neg, Not, LNot, Cast, BitCast). */
+bool isUnary(ExprKind k);
+
+/** Printable operator mnemonic ("add", "mul", ...). */
+const char *exprKindName(ExprKind k);
+
+struct Expr;
+using ExprPtr = std::shared_ptr<Expr>;
+
+/**
+ * A single IR expression node. Children live in `args`; leaf payloads
+ * (constants, variable/port/array indices) in `imm`.
+ */
+struct Expr
+{
+    ExprKind kind;
+    Type type;
+    int64_t imm = 0;
+    std::vector<ExprPtr> args;
+
+    Expr(ExprKind k, Type t) : kind(k), type(t) {}
+
+    /** Structural hash (kind, type, payload, children). */
+    void hashInto(Hasher &h) const;
+
+    /** Number of compute operations in this subtree (for models). */
+    int opCount() const;
+};
+
+/** Make a constant of @p type from raw scaled bits. */
+ExprPtr makeConst(Type type, int64_t raw_scaled);
+
+/** Make a node with children. */
+ExprPtr makeExpr(ExprKind k, Type t, std::vector<ExprPtr> args,
+                 int64_t imm = 0);
+
+} // namespace ir
+} // namespace pld
+
+#endif // PLD_IR_EXPR_H

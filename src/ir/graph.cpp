@@ -1,0 +1,254 @@
+#include "ir/graph.h"
+
+#include "common/logging.h"
+
+namespace pld {
+namespace ir {
+
+int
+Graph::addOperator(OperatorFn fn, std::string inst_name)
+{
+    if (inst_name.empty())
+        inst_name = fn.name;
+    ops.push_back({std::move(inst_name), std::move(fn)});
+    return static_cast<int>(ops.size()) - 1;
+}
+
+int
+Graph::addExtInput(const std::string &stream_name)
+{
+    extInputs.push_back(stream_name);
+    return static_cast<int>(extInputs.size()) - 1;
+}
+
+int
+Graph::addExtOutput(const std::string &stream_name)
+{
+    extOutputs.push_back(stream_name);
+    return static_cast<int>(extOutputs.size()) - 1;
+}
+
+void
+Graph::connect(Endpoint src, Endpoint dst, int depth)
+{
+    links.push_back({src, dst, depth});
+}
+
+int
+Graph::findOp(const std::string &inst_name) const
+{
+    for (size_t i = 0; i < ops.size(); ++i) {
+        if (ops[i].instName == inst_name)
+            return static_cast<int>(i);
+    }
+    return -1;
+}
+
+int
+Graph::linkInto(Endpoint dst) const
+{
+    for (size_t i = 0; i < links.size(); ++i) {
+        if (links[i].dst == dst)
+            return static_cast<int>(i);
+    }
+    return -1;
+}
+
+int
+Graph::linkFrom(Endpoint src) const
+{
+    for (size_t i = 0; i < links.size(); ++i) {
+        if (links[i].src == src)
+            return static_cast<int>(i);
+    }
+    return -1;
+}
+
+std::vector<std::string>
+Graph::check() const
+{
+    std::vector<std::string> problems;
+    auto complain = [&](const std::string &msg) {
+        problems.push_back(msg);
+    };
+
+    for (size_t oi = 0; oi < ops.size(); ++oi) {
+        const auto &inst = ops[oi];
+        for (size_t pi = 0; pi < inst.fn.ports.size(); ++pi) {
+            const auto &port = inst.fn.ports[pi];
+            Endpoint ep{static_cast<int>(oi), static_cast<int>(pi)};
+            int fan = 0;
+            for (const auto &l : links) {
+                if (port.dir == PortDir::In && l.dst == ep)
+                    ++fan;
+                if (port.dir == PortDir::Out && l.src == ep)
+                    ++fan;
+            }
+            if (fan != 1) {
+                complain(inst.instName + "." + port.name + ": " +
+                         (port.dir == PortDir::In ? "driven" :
+                                                    "consumed") +
+                         " " + std::to_string(fan) +
+                         " times (want exactly 1)");
+            }
+        }
+    }
+
+    for (size_t i = 0; i < extInputs.size(); ++i) {
+        Endpoint ep{Endpoint::kExternal, static_cast<int>(i)};
+        int fan = 0;
+        for (const auto &l : links)
+            if (l.src == ep)
+                ++fan;
+        if (fan != 1)
+            complain("external input " + extInputs[i] +
+                     " feeds " + std::to_string(fan) + " links");
+    }
+    for (size_t i = 0; i < extOutputs.size(); ++i) {
+        Endpoint ep{Endpoint::kExternal, static_cast<int>(i)};
+        int fan = 0;
+        for (const auto &l : links)
+            if (l.dst == ep)
+                ++fan;
+        if (fan != 1)
+            complain("external output " + extOutputs[i] +
+                     " fed by " + std::to_string(fan) + " links");
+    }
+
+    for (const auto &l : links) {
+        if (!l.src.isExternal()) {
+            const auto &fn = ops[l.src.op].fn;
+            if (l.src.port >= static_cast<int>(fn.ports.size()) ||
+                fn.ports[l.src.port].dir != PortDir::Out) {
+                complain("link source " + ops[l.src.op].instName +
+                         " port " + std::to_string(l.src.port) +
+                         " is not an output");
+            }
+        }
+        if (!l.dst.isExternal()) {
+            const auto &fn = ops[l.dst.op].fn;
+            if (l.dst.port >= static_cast<int>(fn.ports.size()) ||
+                fn.ports[l.dst.port].dir != PortDir::In) {
+                complain("link dest " + ops[l.dst.op].instName +
+                         " port " + std::to_string(l.dst.port) +
+                         " is not an input");
+            }
+        }
+    }
+
+    return problems;
+}
+
+uint64_t
+Graph::contentHash() const
+{
+    Hasher h;
+    h.str(name);
+    h.u64(ops.size());
+    for (const auto &inst : ops) {
+        h.str(inst.instName);
+        h.u64(inst.fn.contentHash());
+        inst.fn.pragma.hashInto(h);
+    }
+    for (const auto &s : extInputs)
+        h.str(s);
+    for (const auto &s : extOutputs)
+        h.str(s);
+    h.u64(links.size());
+    for (const auto &l : links) {
+        h.i64(l.src.op);
+        h.i64(l.src.port);
+        h.i64(l.dst.op);
+        h.i64(l.dst.port);
+        h.i64(l.depth);
+    }
+    return h.digest();
+}
+
+GraphBuilder::GraphBuilder(std::string app_name) : g(std::move(app_name))
+{
+}
+
+GraphBuilder::WireId
+GraphBuilder::wire(int depth)
+{
+    WireInfo w;
+    w.depth = depth;
+    wires.push_back(w);
+    return {static_cast<int>(wires.size()) - 1};
+}
+
+GraphBuilder::WireId
+GraphBuilder::extIn(const std::string &stream_name)
+{
+    WireId id = wire();
+    wires[id.id].extInIdx = g.addExtInput(stream_name);
+    wires[id.id].hasProducer = true;
+    wires[id.id].producer = {Endpoint::kExternal,
+                             wires[id.id].extInIdx};
+    return id;
+}
+
+GraphBuilder::WireId
+GraphBuilder::extOut(const std::string &stream_name)
+{
+    WireId id = wire();
+    wires[id.id].extOutIdx = g.addExtOutput(stream_name);
+    wires[id.id].hasConsumer = true;
+    wires[id.id].consumer = {Endpoint::kExternal,
+                             wires[id.id].extOutIdx};
+    return id;
+}
+
+int
+GraphBuilder::inst(const OperatorFn &fn, std::vector<WireId> inputs,
+                   std::vector<WireId> outputs, std::string inst_name)
+{
+    pld_assert(static_cast<int>(inputs.size()) == fn.numInputs(),
+               "%s: got %zu input wires, needs %d", fn.name.c_str(),
+               inputs.size(), fn.numInputs());
+    pld_assert(static_cast<int>(outputs.size()) == fn.numOutputs(),
+               "%s: got %zu output wires, needs %d", fn.name.c_str(),
+               outputs.size(), fn.numOutputs());
+
+    int op = g.addOperator(fn, std::move(inst_name));
+    size_t next_in = 0, next_out = 0;
+    for (size_t pi = 0; pi < fn.ports.size(); ++pi) {
+        Endpoint ep{op, static_cast<int>(pi)};
+        if (fn.ports[pi].dir == PortDir::In) {
+            WireInfo &w = wires[inputs[next_in++].id];
+            pld_assert(!w.hasConsumer,
+                       "wire already consumed (streams are "
+                       "point-to-point)");
+            w.hasConsumer = true;
+            w.consumer = ep;
+        } else {
+            WireInfo &w = wires[outputs[next_out++].id];
+            pld_assert(!w.hasProducer, "wire already driven");
+            w.hasProducer = true;
+            w.producer = ep;
+        }
+    }
+    return op;
+}
+
+Graph
+GraphBuilder::finish()
+{
+    for (size_t i = 0; i < wires.size(); ++i) {
+        const WireInfo &w = wires[i];
+        pld_assert(w.hasProducer && w.hasConsumer,
+                   "wire %zu dangling (producer=%d consumer=%d)", i,
+                   int(w.hasProducer), int(w.hasConsumer));
+        g.connect(w.producer, w.consumer, w.depth);
+    }
+    auto problems = g.check();
+    for (const auto &p : problems)
+        pld_warn("graph %s: %s", g.name.c_str(), p.c_str());
+    pld_assert(problems.empty(), "graph %s is malformed",
+               g.name.c_str());
+    return std::move(g);
+}
+
+} // namespace ir
+} // namespace pld

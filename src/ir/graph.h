@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Application dataflow graphs: operators composed by stream links.
+ *
+ * A Graph is the IR of the paper's top-level kernel (Fig 2b/2c): a set
+ * of operator instances whose stream ports are wired together by
+ * latency-insensitive links, plus external input/output streams that
+ * the DMA engine drives. The GraphBuilder mirrors the paper's
+ * function-composition style of describing the graph in C.
+ */
+
+#ifndef PLD_IR_GRAPH_H
+#define PLD_IR_GRAPH_H
+
+#include <string>
+#include <vector>
+
+#include "ir/operator_fn.h"
+
+namespace pld {
+namespace ir {
+
+/**
+ * One end of a stream link. `op == kExternal` designates the
+ * application boundary (DMA); then `port` indexes extInputs or
+ * extOutputs depending on which side of the link it sits.
+ */
+struct Endpoint
+{
+    static constexpr int kExternal = -1;
+    int op = kExternal;
+    int port = 0;
+
+    bool isExternal() const { return op == kExternal; }
+    bool
+    operator==(const Endpoint &o) const
+    {
+        return op == o.op && port == o.port;
+    }
+};
+
+/** A latency-insensitive stream link (FIFO) between two endpoints. */
+struct Link
+{
+    Endpoint src;
+    Endpoint dst;
+    /** FIFO capacity in 32-bit words for direct (non-NoC) transport. */
+    int depth = 64;
+};
+
+/** An operator instance placed in a graph. */
+struct OpInstance
+{
+    std::string instName;
+    OperatorFn fn;
+};
+
+/**
+ * The application dataflow graph: the in-memory form of dfg.ir.
+ */
+class Graph
+{
+  public:
+    explicit Graph(std::string app_name = "app")
+        : name(std::move(app_name))
+    {
+    }
+
+    std::string name;
+    std::vector<OpInstance> ops;
+    std::vector<std::string> extInputs;
+    std::vector<std::string> extOutputs;
+    std::vector<Link> links;
+
+    /** Add an operator instance; returns its index. */
+    int addOperator(OperatorFn fn, std::string inst_name = "");
+
+    /** Declare an external input stream; returns its index. */
+    int addExtInput(const std::string &stream_name);
+
+    /** Declare an external output stream; returns its index. */
+    int addExtOutput(const std::string &stream_name);
+
+    /** Wire src (op out-port) to dst (op in-port). */
+    void connect(Endpoint src, Endpoint dst, int depth = 64);
+
+    /** Find operator instance index by name, or -1. */
+    int findOp(const std::string &inst_name) const;
+
+    /** The single link driving @p dst, or -1 if absent. */
+    int linkInto(Endpoint dst) const;
+
+    /** The single link driven by @p src, or -1 if absent. */
+    int linkFrom(Endpoint src) const;
+
+    /**
+     * Structural sanity: every operator input driven exactly once,
+     * every output consumed exactly once, externals wired. Returns a
+     * list of human-readable problems (empty when well formed).
+     */
+    std::vector<std::string> check() const;
+
+    /** Combined content hash of all operators plus topology. */
+    uint64_t contentHash() const;
+};
+
+/**
+ * Wire-based composition helper mirroring the paper's top.cpp style:
+ *
+ *   GraphBuilder g("optical_flow");
+ *   auto in  = g.extIn("Input_1");
+ *   auto out = g.extOut("Output_1");
+ *   auto up1 = g.wire(), up2 = g.wire(), gx = g.wire();
+ *   g.inst(unpack, {in}, {up1, up2});
+ *   g.inst(grad_xy, {up1}, {gx});
+ *   ...
+ *   Graph graph = g.finish();
+ */
+class GraphBuilder
+{
+  public:
+    /** Opaque wire id connecting one producer to one consumer. */
+    struct WireId
+    {
+        int id = -1;
+    };
+
+    explicit GraphBuilder(std::string app_name);
+
+    /** New internal stream wire (optionally with FIFO depth). */
+    WireId wire(int depth = 64);
+
+    /** External input wire. */
+    WireId extIn(const std::string &stream_name);
+
+    /** External output wire. */
+    WireId extOut(const std::string &stream_name);
+
+    /**
+     * Instantiate @p fn binding wires to its input ports then output
+     * ports, in declaration order.
+     */
+    int inst(const OperatorFn &fn, std::vector<WireId> inputs,
+             std::vector<WireId> outputs, std::string inst_name = "");
+
+    /** Resolve wires into links; panics on dangling wires. */
+    Graph finish();
+
+  private:
+    struct WireInfo
+    {
+        Endpoint producer{Endpoint::kExternal, -1};
+        Endpoint consumer{Endpoint::kExternal, -1};
+        bool hasProducer = false;
+        bool hasConsumer = false;
+        int extInIdx = -1;  ///< >=0 if this wire is an external input
+        int extOutIdx = -1; ///< >=0 if this wire is an external output
+        int depth = 64;
+    };
+
+    Graph g;
+    std::vector<WireInfo> wires;
+};
+
+} // namespace ir
+} // namespace pld
+
+#endif // PLD_IR_GRAPH_H

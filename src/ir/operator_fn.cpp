@@ -1,0 +1,55 @@
+#include "ir/operator_fn.h"
+
+namespace pld {
+namespace ir {
+
+int
+OperatorFn::findPort(const std::string &port_name) const
+{
+    for (size_t i = 0; i < ports.size(); ++i) {
+        if (ports[i].name == port_name)
+            return static_cast<int>(i);
+    }
+    return -1;
+}
+
+int
+OperatorFn::numInputs() const
+{
+    int n = 0;
+    for (const auto &p : ports)
+        n += (p.dir == PortDir::In);
+    return n;
+}
+
+int
+OperatorFn::numOutputs() const
+{
+    int n = 0;
+    for (const auto &p : ports)
+        n += (p.dir == PortDir::Out);
+    return n;
+}
+
+uint64_t
+OperatorFn::contentHash() const
+{
+    Hasher h;
+    h.str(name);
+    h.u64(ports.size());
+    for (const auto &p : ports)
+        p.hashInto(h);
+    h.u64(vars.size());
+    for (const auto &v : vars)
+        v.hashInto(h);
+    h.u64(arrays.size());
+    for (const auto &a : arrays)
+        a.hashInto(h);
+    h.u64(body.size());
+    for (const auto &s : body)
+        s->hashInto(h);
+    return h.digest();
+}
+
+} // namespace ir
+} // namespace pld

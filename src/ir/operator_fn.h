@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Operator functions: the unit of separate compilation.
+ *
+ * An OperatorFn corresponds to one C operator file in the paper (e.g.
+ * flow_calc.cpp in Fig 2): stream ports, local scalars/arrays, a
+ * structured body, and the mapping pragma (`#pragma target=HW p_num=8`
+ * in Fig 2(a)) that selects the compile flow and physical page.
+ */
+
+#ifndef PLD_IR_OPERATOR_FN_H
+#define PLD_IR_OPERATOR_FN_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ir/stmt.h"
+
+namespace pld {
+namespace ir {
+
+/** Stream port direction, from the operator's point of view. */
+enum class PortDir : uint8_t { In, Out };
+
+/** A latency-insensitive stream port. Streams carry 32-bit words. */
+struct Port
+{
+    std::string name;
+    PortDir dir = PortDir::In;
+
+    void
+    hashInto(Hasher &h) const
+    {
+        h.str(name);
+        h.u64(static_cast<uint64_t>(dir));
+    }
+};
+
+/** A local scalar variable. */
+struct VarDecl
+{
+    std::string name;
+    Type type;
+
+    void
+    hashInto(Hasher &h) const
+    {
+        h.str(name);
+        type.hashInto(h);
+    }
+};
+
+/**
+ * A local array. Arrays map to BRAM on FPGA pages and to data memory
+ * on softcores. `init` (raw scaled element bits) turns the array into
+ * a ROM — used for weights and training-set shards.
+ */
+struct ArrayDecl
+{
+    std::string name;
+    Type elemType;
+    int64_t size = 0;
+    std::vector<int64_t> init;
+
+    bool isRom() const { return !init.empty(); }
+
+    void
+    hashInto(Hasher &h) const
+    {
+        h.str(name);
+        elemType.hashInto(h);
+        h.i64(size);
+        h.u64(init.size());
+        for (int64_t v : init)
+            h.i64(v);
+    }
+};
+
+/** Compile-flow target selected by the operator's pragma (Fig 2a). */
+enum class Target : uint8_t {
+    HW,    ///< -O1: separate compile to an FPGA page
+    RISCV, ///< -O0: compile to the page's softcore overlay
+};
+
+/** Mapping pragma attached to an operator. */
+struct Pragma
+{
+    Target target = Target::HW;
+    /** Requested physical page number; -1 lets the mapper choose. */
+    int pageNum = -1;
+
+    void
+    hashInto(Hasher &h) const
+    {
+        h.u64(static_cast<uint64_t>(target));
+        h.i64(pageNum);
+    }
+};
+
+/**
+ * One separately compiled operator: the IR equivalent of an HLS C
+ * function whose arguments are all hls::streams.
+ */
+struct OperatorFn
+{
+    std::string name;
+    std::vector<Port> ports;
+    std::vector<VarDecl> vars;
+    std::vector<ArrayDecl> arrays;
+    std::vector<StmtPtr> body;
+    Pragma pragma;
+
+    /** Index of port @p port_name, or -1. */
+    int findPort(const std::string &port_name) const;
+
+    /** Count of input / output ports. */
+    int numInputs() const;
+    int numOutputs() const;
+
+    /**
+     * Structural content hash covering everything that affects
+     * compiled artifacts (not the pragma: retargeting must not be
+     * confused with editing — see CompileManager).
+     */
+    uint64_t contentHash() const;
+};
+
+} // namespace ir
+} // namespace pld
+
+#endif // PLD_IR_OPERATOR_FN_H

@@ -1,0 +1,264 @@
+#include "ir/printer.h"
+
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace pld {
+namespace ir {
+
+namespace {
+
+std::string
+pad(int indent)
+{
+    return std::string(static_cast<size_t>(indent) * 2, ' ');
+}
+
+} // namespace
+
+std::string
+printExpr(const ExprPtr &e)
+{
+    std::ostringstream os;
+    switch (e->kind) {
+      case ExprKind::Const:
+        os << "c" << e->imm << ":" << e->type.toString();
+        break;
+      case ExprKind::VarRef:
+        os << "v" << e->imm;
+        break;
+      case ExprKind::ArrayRef:
+        os << "a" << e->imm << "[" << printExpr(e->args[0]) << "]";
+        break;
+      case ExprKind::StreamRead:
+        os << "read(p" << e->imm << ")";
+        break;
+      default: {
+        os << exprKindName(e->kind) << "(";
+        for (size_t i = 0; i < e->args.size(); ++i) {
+            if (i)
+                os << ", ";
+            os << printExpr(e->args[i]);
+        }
+        os << ")";
+        if (e->kind == ExprKind::Cast || e->kind == ExprKind::BitCast)
+            os << ":" << e->type.toString();
+        break;
+      }
+    }
+    return os.str();
+}
+
+std::string
+printStmt(const StmtPtr &s, int indent)
+{
+    std::ostringstream os;
+    switch (s->kind) {
+      case StmtKind::Assign:
+        os << pad(indent) << "v" << s->imm << " = "
+           << printExpr(s->args[0]) << "\n";
+        break;
+      case StmtKind::ArrayStore:
+        os << pad(indent) << "a" << s->imm << "["
+           << printExpr(s->args[0]) << "] = " << printExpr(s->args[1])
+           << "\n";
+        break;
+      case StmtKind::StreamWrite:
+        os << pad(indent) << "write(p" << s->imm << ", "
+           << printExpr(s->args[0]) << ")\n";
+        break;
+      case StmtKind::For:
+        os << pad(indent) << "for v" << s->imm << " in [" << s->immLo
+           << ", " << s->immHi << ") step " << s->immStep << "\n";
+        for (const auto &c : s->body)
+            os << printStmt(c, indent + 1);
+        break;
+      case StmtKind::While:
+        os << pad(indent) << "while " << printExpr(s->args[0])
+           << " (trip~" << s->tripEstimate << ")\n";
+        for (const auto &c : s->body)
+            os << printStmt(c, indent + 1);
+        break;
+      case StmtKind::If:
+        os << pad(indent) << "if " << printExpr(s->args[0]) << "\n";
+        for (const auto &c : s->body)
+            os << printStmt(c, indent + 1);
+        if (!s->elseBody.empty()) {
+            os << pad(indent) << "else\n";
+            for (const auto &c : s->elseBody)
+                os << printStmt(c, indent + 1);
+        }
+        break;
+      case StmtKind::Print:
+        os << pad(indent) << "print \"" << s->text << "\"";
+        for (const auto &a : s->args)
+            os << " " << printExpr(a);
+        os << "\n";
+        break;
+      case StmtKind::Block:
+        for (const auto &c : s->body)
+            os << printStmt(c, indent);
+        break;
+    }
+    return os.str();
+}
+
+std::string
+printOperator(const OperatorFn &fn)
+{
+    std::ostringstream os;
+    os << "operator " << fn.name << " (target="
+       << (fn.pragma.target == Target::HW ? "HW" : "RISCV")
+       << " page=" << fn.pragma.pageNum << ")\n";
+    for (size_t i = 0; i < fn.ports.size(); ++i) {
+        os << "  port p" << i << " "
+           << (fn.ports[i].dir == PortDir::In ? "in " : "out ")
+           << fn.ports[i].name << "\n";
+    }
+    for (size_t i = 0; i < fn.vars.size(); ++i) {
+        os << "  var v" << i << " " << fn.vars[i].type.toString()
+           << " " << fn.vars[i].name << "\n";
+    }
+    for (size_t i = 0; i < fn.arrays.size(); ++i) {
+        os << "  array a" << i << " "
+           << fn.arrays[i].elemType.toString() << " "
+           << fn.arrays[i].name << "[" << fn.arrays[i].size << "]"
+           << (fn.arrays[i].isRom() ? " rom" : "") << "\n";
+    }
+    for (const auto &s : fn.body)
+        os << printStmt(s, 1);
+    return os.str();
+}
+
+DfgFile
+extractDfg(const Graph &g)
+{
+    DfgFile dfg;
+    dfg.appName = g.name;
+    dfg.extInputs = g.extInputs;
+    dfg.extOutputs = g.extOutputs;
+    for (const auto &inst : g.ops) {
+        DfgFile::OpEntry e;
+        e.name = inst.instName;
+        e.target = inst.fn.pragma.target;
+        e.page = inst.fn.pragma.pageNum;
+        e.hash = inst.fn.contentHash();
+        e.numIn = inst.fn.numInputs();
+        e.numOut = inst.fn.numOutputs();
+        dfg.ops.push_back(std::move(e));
+    }
+    for (const auto &l : g.links) {
+        dfg.links.push_back({l.src.op, l.src.port, l.dst.op,
+                             l.dst.port, l.depth});
+    }
+    return dfg;
+}
+
+std::string
+emitDfg(const DfgFile &dfg)
+{
+    std::ostringstream os;
+    os << "dfg " << dfg.appName << "\n";
+    for (const auto &s : dfg.extInputs)
+        os << "extin " << s << "\n";
+    for (const auto &s : dfg.extOutputs)
+        os << "extout " << s << "\n";
+    for (size_t i = 0; i < dfg.ops.size(); ++i) {
+        const auto &o = dfg.ops[i];
+        os << "op " << i << " " << o.name << " target="
+           << (o.target == Target::HW ? "HW" : "RISCV")
+           << " page=" << o.page << " hash=" << std::hex << o.hash
+           << std::dec << " in=" << o.numIn << " out=" << o.numOut
+           << "\n";
+    }
+    for (const auto &l : dfg.links) {
+        os << "link " << l.srcOp << ":" << l.srcPort << " -> "
+           << l.dstOp << ":" << l.dstPort << " depth=" << l.depth
+           << "\n";
+    }
+    return os.str();
+}
+
+namespace {
+
+std::vector<std::string>
+splitWs(const std::string &line)
+{
+    std::vector<std::string> out;
+    std::istringstream is(line);
+    std::string tok;
+    while (is >> tok)
+        out.push_back(tok);
+    return out;
+}
+
+/** Parse "key=value" returning value, or fatal. */
+std::string
+kv(const std::string &tok, const char *key)
+{
+    auto eq = tok.find('=');
+    if (eq == std::string::npos || tok.substr(0, eq) != key)
+        pld_fatal("dfg.ir: expected %s=..., got '%s'", key,
+                  tok.c_str());
+    return tok.substr(eq + 1);
+}
+
+/** Parse "op:port" endpoint. */
+void
+parseEndpoint(const std::string &tok, int &op, int &port)
+{
+    auto colon = tok.find(':');
+    if (colon == std::string::npos)
+        pld_fatal("dfg.ir: bad endpoint '%s'", tok.c_str());
+    op = std::stoi(tok.substr(0, colon));
+    port = std::stoi(tok.substr(colon + 1));
+}
+
+} // namespace
+
+DfgFile
+parseDfg(const std::string &text)
+{
+    DfgFile dfg;
+    std::istringstream is(text);
+    std::string line;
+    while (std::getline(is, line)) {
+        auto toks = splitWs(line);
+        if (toks.empty() || toks[0][0] == '#')
+            continue;
+        const std::string &cmd = toks[0];
+        if (cmd == "dfg") {
+            dfg.appName = toks.size() > 1 ? toks[1] : "app";
+        } else if (cmd == "extin") {
+            dfg.extInputs.push_back(toks.at(1));
+        } else if (cmd == "extout") {
+            dfg.extOutputs.push_back(toks.at(1));
+        } else if (cmd == "op") {
+            DfgFile::OpEntry e;
+            e.name = toks.at(2);
+            std::string tgt = kv(toks.at(3), "target");
+            e.target = (tgt == "RISCV") ? Target::RISCV : Target::HW;
+            e.page = std::stoi(kv(toks.at(4), "page"));
+            e.hash = std::stoull(kv(toks.at(5), "hash"), nullptr, 16);
+            e.numIn = std::stoi(kv(toks.at(6), "in"));
+            e.numOut = std::stoi(kv(toks.at(7), "out"));
+            dfg.ops.push_back(std::move(e));
+        } else if (cmd == "link") {
+            DfgFile::LinkEntry l;
+            parseEndpoint(toks.at(1), l.srcOp, l.srcPort);
+            if (toks.at(2) != "->")
+                pld_fatal("dfg.ir: expected '->' in link line");
+            parseEndpoint(toks.at(3), l.dstOp, l.dstPort);
+            if (toks.size() > 4)
+                l.depth = std::stoi(kv(toks[4], "depth"));
+            dfg.links.push_back(l);
+        } else {
+            pld_fatal("dfg.ir: unknown directive '%s'", cmd.c_str());
+        }
+    }
+    return dfg;
+}
+
+} // namespace ir
+} // namespace pld

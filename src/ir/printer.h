@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Textual forms of the IR.
+ *
+ * Two outputs: (1) a human-readable operator dump for debugging, and
+ * (2) the dfg.ir interchange format (paper Fig 5/6) — the dataflow
+ * graph intermediate the dfg-extractor writes and the pre-linker
+ * (pld) consumes. dfg.ir carries topology, pragmas, and content
+ * hashes, not operator bodies, exactly like the paper's flow where
+ * bodies live in separately compiled artifacts.
+ */
+
+#ifndef PLD_IR_PRINTER_H
+#define PLD_IR_PRINTER_H
+
+#include <string>
+#include <vector>
+
+#include "ir/graph.h"
+
+namespace pld {
+namespace ir {
+
+/** Pretty-print one operator (ports, decls, body). */
+std::string printOperator(const OperatorFn &fn);
+
+/** Pretty-print a statement subtree (for tests/debug). */
+std::string printStmt(const StmtPtr &s, int indent = 0);
+
+/** Pretty-print an expression tree on one line. */
+std::string printExpr(const ExprPtr &e);
+
+/** Parsed form of a dfg.ir file. */
+struct DfgFile
+{
+    struct OpEntry
+    {
+        std::string name;
+        Target target = Target::HW;
+        int page = -1;
+        uint64_t hash = 0;
+        int numIn = 0;
+        int numOut = 0;
+    };
+    struct LinkEntry
+    {
+        // op index or -1 for external; port index.
+        int srcOp = -1, srcPort = 0;
+        int dstOp = -1, dstPort = 0;
+        int depth = 64;
+    };
+
+    std::string appName;
+    std::vector<std::string> extInputs;
+    std::vector<std::string> extOutputs;
+    std::vector<OpEntry> ops;
+    std::vector<LinkEntry> links;
+};
+
+/** Extract a dfg.ir description from a graph (the dfg extractor). */
+DfgFile extractDfg(const Graph &g);
+
+/** Serialize to the dfg.ir text format. */
+std::string emitDfg(const DfgFile &dfg);
+
+/** Parse dfg.ir text; fatal()s on malformed input. */
+DfgFile parseDfg(const std::string &text);
+
+} // namespace ir
+} // namespace pld
+
+#endif // PLD_IR_PRINTER_H

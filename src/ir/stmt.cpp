@@ -1,0 +1,33 @@
+#include "ir/stmt.h"
+
+namespace pld {
+namespace ir {
+
+void
+Stmt::hashInto(Hasher &h) const
+{
+    h.u64(static_cast<uint64_t>(kind));
+    h.i64(imm);
+    h.i64(immLo);
+    h.i64(immHi);
+    h.i64(immStep);
+    h.str(text);
+    h.u64(args.size());
+    for (const auto &a : args)
+        a->hashInto(h);
+    h.u64(body.size());
+    for (const auto &s : body)
+        s->hashInto(h);
+    h.u64(elseBody.size());
+    for (const auto &s : elseBody)
+        s->hashInto(h);
+}
+
+StmtPtr
+makeStmt(StmtKind k)
+{
+    return std::make_shared<Stmt>(k);
+}
+
+} // namespace ir
+} // namespace pld

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Statement nodes of the PLD operator IR.
+ *
+ * The statement set matches the operator discipline (Sec 3.4): flat
+ * structured control flow (for/while/if), scalar and array assignment,
+ * stream writes, and a processor-only print (the paper's
+ * `#ifdef RISCV printf` idiom, Fig 2(d) lines 8-10).
+ */
+
+#ifndef PLD_IR_STMT_H
+#define PLD_IR_STMT_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/expr.h"
+
+namespace pld {
+namespace ir {
+
+enum class StmtKind : uint8_t {
+    Assign,      ///< var[imm] = rhs (args: rhs)
+    ArrayStore,  ///< array[imm][index] = rhs (args: index, rhs)
+    StreamWrite, ///< write port imm (args: value)
+    For,         ///< imm = loop var; immLo/immHi/immStep const bounds
+    If,          ///< args: cond; thenBody / elseBody
+    While,       ///< args: cond; body
+    Print,       ///< processor-only printf; text + args
+    Block,       ///< body only
+};
+
+struct Stmt;
+using StmtPtr = std::shared_ptr<Stmt>;
+
+/**
+ * A single IR statement. Control statements own child statement lists;
+ * expression operands live in `args`.
+ */
+struct Stmt
+{
+    StmtKind kind;
+    int64_t imm = 0;      ///< var/array/port index or loop var index
+    int64_t immLo = 0;    ///< For: inclusive start
+    int64_t immHi = 0;    ///< For: exclusive end
+    int64_t immStep = 1;  ///< For: step (positive)
+    int64_t tripEstimate = 0; ///< While: scheduling hint
+    std::string text;     ///< Print: format-ish message
+    std::vector<ExprPtr> args;
+    std::vector<StmtPtr> body;     ///< For/While/Block body, If-then
+    std::vector<StmtPtr> elseBody; ///< If-else
+
+    explicit Stmt(StmtKind k) : kind(k) {}
+
+    /** Structural hash over the full subtree. */
+    void hashInto(Hasher &h) const;
+};
+
+StmtPtr makeStmt(StmtKind k);
+
+} // namespace ir
+} // namespace pld
+
+#endif // PLD_IR_STMT_H

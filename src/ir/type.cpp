@@ -1,0 +1,89 @@
+#include "ir/type.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace pld {
+namespace ir {
+
+std::string
+Type::toString() const
+{
+    switch (kind) {
+      case TypeKind::UInt:
+        return "u" + std::to_string(width);
+      case TypeKind::Int:
+        return "s" + std::to_string(width);
+      case TypeKind::UFixed:
+        return "ufx<" + std::to_string(width) + "," +
+               std::to_string(intBits) + ">";
+      case TypeKind::Fixed:
+        return "fx<" + std::to_string(width) + "," +
+               std::to_string(intBits) + ">";
+    }
+    return "?";
+}
+
+namespace {
+
+Type
+makeType(bool is_signed, bool is_fixed, int int_bits, int frac_bits)
+{
+    // Cap the total width at 64 by dropping fractional LSBs first,
+    // then integer MSBs. Every target computes exactly at or above
+    // this precision and quantizes identically, so results agree.
+    if (int_bits > 64) {
+        int_bits = 64;
+        frac_bits = 0;
+    }
+    if (int_bits + frac_bits > 64)
+        frac_bits = 64 - int_bits;
+    int w = std::max(1, int_bits + frac_bits);
+    if (is_fixed) {
+        return is_signed ? Type::fx(w, int_bits)
+                         : Type::ufx(w, int_bits);
+    }
+    return is_signed ? Type::s(w) : Type::u(w);
+}
+
+} // namespace
+
+Type
+promoteAdd(const Type &a, const Type &b)
+{
+    bool sgn = a.isSigned() || b.isSigned();
+    bool fixed = a.isFixed() || b.isFixed();
+    int ib = std::max(int(a.intBits), int(b.intBits)) + 1;
+    int fb = std::max(a.fracBits(), b.fracBits());
+    return makeType(sgn, fixed, ib, fb);
+}
+
+Type
+promoteMul(const Type &a, const Type &b)
+{
+    bool sgn = a.isSigned() || b.isSigned();
+    bool fixed = a.isFixed() || b.isFixed();
+    int ib = int(a.intBits) + int(b.intBits);
+    int fb = a.fracBits() + b.fracBits();
+    return makeType(sgn, fixed, ib, fb);
+}
+
+Type
+promoteDiv(const Type &a, const Type &b)
+{
+    bool sgn = a.isSigned() || b.isSigned();
+    bool fixed = a.isFixed() || b.isFixed();
+    return makeType(sgn, fixed, a.intBits, a.fracBits());
+}
+
+Type
+promoteBits(const Type &a, const Type &b)
+{
+    bool sgn = a.isSigned() || b.isSigned();
+    int w = std::max(a.width, b.width);
+    return sgn ? Type::s(w) : Type::u(w);
+}
+
+} // namespace ir
+} // namespace pld

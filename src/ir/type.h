@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Scalar types for the PLD operator IR.
+ *
+ * The IR models the HLS-compatible subset the paper's operator
+ * discipline requires (Sec 3.4): arbitrary-precision integers and
+ * fixed-point values. Widths are restricted to 1..32 bits; binary
+ * operations are computed exactly in 64-bit intermediates and then
+ * quantized/wrapped to the result type — the same observable semantics
+ * on every target (interpreter, HLS netlist, RV32 softcore).
+ */
+
+#ifndef PLD_IR_TYPE_H
+#define PLD_IR_TYPE_H
+
+#include <cstdint>
+#include <string>
+
+#include "common/hash.h"
+
+namespace pld {
+namespace ir {
+
+/** Scalar type kinds. Fixed kinds carry a binary point. */
+enum class TypeKind : uint8_t {
+    UInt,   ///< unsigned integer, W bits
+    Int,    ///< signed two's-complement integer, W bits
+    UFixed, ///< unsigned fixed point, W bits, I integer bits
+    Fixed,  ///< signed fixed point, W bits, I integer bits
+};
+
+/**
+ * A scalar IR type. Value semantics; cheap to copy.
+ *
+ * For Fixed/UFixed, intBits counts the bits left of the binary point
+ * (including sign for Fixed), so fracBits() == width - intBits.
+ * Integer kinds behave as fixed-point with fracBits() == 0.
+ *
+ * Widths: declared storage (variables, arrays, stream elements) is
+ * limited to 1..32 bits, but expression intermediates may grow to 64
+ * bits under promotion — mirroring HLS, where `ap_fixed<32,17>`
+ * products flow through `ap_fixed<64,40>` wires before being
+ * quantized on assignment (paper Fig 2d).
+ */
+struct Type
+{
+    TypeKind kind = TypeKind::UInt;
+    uint8_t width = 32;  ///< total bits, 1..64 (storage: 1..32)
+    int8_t intBits = 32; ///< integer bits (== width for Int/UInt)
+
+    constexpr Type() = default;
+    constexpr Type(TypeKind k, int w, int i)
+        : kind(k), width(static_cast<uint8_t>(w)),
+          intBits(static_cast<int8_t>(i))
+    {
+    }
+
+    /** Unsigned integer type of @p w bits. */
+    static constexpr Type u(int w) { return {TypeKind::UInt, w, w}; }
+    /** Signed integer type of @p w bits. */
+    static constexpr Type s(int w) { return {TypeKind::Int, w, w}; }
+    /** Signed fixed-point with @p w total and @p i integer bits. */
+    static constexpr Type fx(int w, int i)
+    {
+        return {TypeKind::Fixed, w, i};
+    }
+    /** Unsigned fixed-point with @p w total and @p i integer bits. */
+    static constexpr Type ufx(int w, int i)
+    {
+        return {TypeKind::UFixed, w, i};
+    }
+    /** The 1-bit boolean produced by comparisons. */
+    static constexpr Type boolean() { return u(1); }
+    /** The 32-bit raw stream word type (paper: ap_uint<32>). */
+    static constexpr Type word() { return u(32); }
+
+    bool
+    isSigned() const
+    {
+        return kind == TypeKind::Int || kind == TypeKind::Fixed;
+    }
+    bool
+    isFixed() const
+    {
+        return kind == TypeKind::Fixed || kind == TypeKind::UFixed;
+    }
+    /** Bits right of the binary point (0 for integers). */
+    int fracBits() const { return width - intBits; }
+
+    bool
+    operator==(const Type &o) const
+    {
+        return kind == o.kind && width == o.width && intBits == o.intBits;
+    }
+    bool operator!=(const Type &o) const { return !(*this == o); }
+
+    /** Debug/printer spelling, e.g. "fx<32,17>", "u8". */
+    std::string toString() const;
+
+    /** Mix into a structural hash. */
+    void
+    hashInto(Hasher &h) const
+    {
+        h.u64((uint64_t(kind) << 16) | (uint64_t(width) << 8) |
+              uint8_t(intBits));
+    }
+};
+
+/** Result type for add/sub under HLS-like promotion (capped at 32). */
+Type promoteAdd(const Type &a, const Type &b);
+
+/** Result type for multiply under HLS-like promotion (capped at 32). */
+Type promoteMul(const Type &a, const Type &b);
+
+/** Result type for divide (numerator's format, signedness merged). */
+Type promoteDiv(const Type &a, const Type &b);
+
+/** Result type for bitwise ops (max width, signed if either is). */
+Type promoteBits(const Type &a, const Type &b);
+
+} // namespace ir
+} // namespace pld
+
+#endif // PLD_IR_TYPE_H

@@ -1,0 +1,290 @@
+#include "ir/validate.h"
+
+#include <functional>
+#include <set>
+
+namespace pld {
+namespace ir {
+
+namespace {
+
+class OperatorChecker
+{
+  public:
+    explicit OperatorChecker(const OperatorFn &fn) : fn(fn) {}
+
+    std::vector<Diagnostic>
+    run()
+    {
+        checkDecls();
+        checkStmts(fn.body);
+        checkPortUsage();
+        return std::move(diags);
+    }
+
+  private:
+    void
+    error(const std::string &msg)
+    {
+        diags.push_back({DiagLevel::Error, fn.name + ": " + msg});
+    }
+    void
+    warning(const std::string &msg)
+    {
+        diags.push_back({DiagLevel::Warning, fn.name + ": " + msg});
+    }
+    void
+    note(const std::string &msg)
+    {
+        diags.push_back({DiagLevel::Note, fn.name + ": " + msg});
+    }
+
+    void
+    checkDecls()
+    {
+        if (fn.ports.empty())
+            error("operator has no stream ports; it cannot "
+                  "communicate");
+        for (const auto &v : fn.vars)
+            checkType(v.type, "variable " + v.name);
+        for (const auto &a : fn.arrays) {
+            checkType(a.elemType, "array " + a.name);
+            if (a.size <= 0)
+                error("array " + a.name + " has non-positive size");
+            if (a.isRom() &&
+                static_cast<int64_t>(a.init.size()) != a.size) {
+                error("array " + a.name +
+                      " init length does not match size");
+            }
+        }
+    }
+
+    void
+    checkType(const Type &t, const std::string &what)
+    {
+        if (t.width < 1 || t.width > 32)
+            error(what + ": width " + std::to_string(t.width) +
+                  " outside supported 1..32");
+        if (t.isFixed() && (t.intBits < 0 || t.intBits > t.width))
+            error(what + ": fixed format has invalid integer bits");
+    }
+
+    /** Structural expression checks beyond stream reads. */
+    void
+    checkExprShape(const ExprPtr &e)
+    {
+        if (e->kind == ExprKind::Mod &&
+            e->args[0]->type.isSigned() !=
+                e->args[1]->type.isSigned()) {
+            error("mod operands must share signedness (targets "
+                  "disagree on mixed-sign remainders)");
+        }
+        if (e->kind == ExprKind::Div &&
+            (e->args[0]->type.width > 32 ||
+             e->args[1]->type.width > 32)) {
+            error("division operands must be <= 32 bits; insert "
+                  "casts before dividing (softcore divider limit)");
+        }
+        for (const auto &a : e->args)
+            checkExprShape(a);
+    }
+
+    /** Count StreamRead nodes; flag reads in forbidden positions. */
+    int
+    countReads(const ExprPtr &e, bool forbidden)
+    {
+        int n = 0;
+        if (e->kind == ExprKind::StreamRead) {
+            n = 1;
+            // A read node referenced from more than one statement (or
+            // twice within one expression tree) re-executes per use —
+            // the classic "Ex x = read()" footgun. Demand a variable.
+            if (!seenReads.insert(e.get()).second) {
+                error("stream read expression is reused; read into a "
+                      "variable instead (each reference re-executes "
+                      "the blocking read)");
+            }
+            if (forbidden) {
+                error("stream read inside a conditionally evaluated "
+                      "position (select/&&/||); blocking order would "
+                      "be target-dependent");
+            }
+            int port = static_cast<int>(e->imm);
+            if (port < 0 ||
+                port >= static_cast<int>(fn.ports.size()) ||
+                fn.ports[port].dir != PortDir::In) {
+                error("stream read from invalid port index " +
+                      std::to_string(port));
+            } else {
+                usedPorts.insert(usedPorts.end(), port);
+            }
+        }
+        bool arm_forbidden = forbidden ||
+                             e->kind == ExprKind::Select ||
+                             e->kind == ExprKind::LAnd ||
+                             e->kind == ExprKind::LOr;
+        for (size_t i = 0; i < e->args.size(); ++i) {
+            // Only the non-first args of select/&&/|| are
+            // conditionally evaluated.
+            bool f = (i == 0) ? forbidden : arm_forbidden;
+            n += countReads(e->args[i], f);
+        }
+        return n;
+    }
+
+    void
+    checkStmts(const std::vector<StmtPtr> &stmts)
+    {
+        for (const auto &s : stmts)
+            checkStmt(s);
+    }
+
+    void
+    checkStmt(const StmtPtr &s)
+    {
+        int reads = 0;
+        for (const auto &e : s->args) {
+            checkExprShape(e);
+            reads += countReads(e, false);
+        }
+        if (reads > 1) {
+            error("statement performs " + std::to_string(reads) +
+                  " stream reads; at most one per statement keeps "
+                  "blocking behaviour identical on all targets");
+        }
+
+        switch (s->kind) {
+          case StmtKind::Assign:
+            if (s->imm < 0 ||
+                s->imm >= static_cast<int64_t>(fn.vars.size()))
+                error("assignment to invalid variable index");
+            break;
+          case StmtKind::ArrayStore: {
+            if (s->imm < 0 ||
+                s->imm >= static_cast<int64_t>(fn.arrays.size())) {
+                error("store to invalid array index");
+            } else if (fn.arrays[s->imm].isRom()) {
+                warning("store into ROM array " +
+                        fn.arrays[s->imm].name +
+                        " (contents will be overwritten on "
+                        "processor targets only if supported)");
+            }
+            if (!s->args.empty() && s->args[0]->type.isFixed())
+                error("array index must be an integer expression");
+            break;
+          }
+          case StmtKind::StreamWrite: {
+            int port = static_cast<int>(s->imm);
+            if (port < 0 ||
+                port >= static_cast<int>(fn.ports.size()) ||
+                fn.ports[port].dir != PortDir::Out) {
+                error("stream write to invalid port index " +
+                      std::to_string(port));
+            } else {
+                usedPorts.insert(usedPorts.end(), port);
+            }
+            break;
+          }
+          case StmtKind::For:
+            if (s->immStep <= 0)
+                error("for-loop has non-positive step");
+            if (s->immHi < s->immLo)
+                warning("for-loop has empty range");
+            checkStmts(s->body);
+            break;
+          case StmtKind::While: {
+            if (!s->args.empty()) {
+                int cond_reads = countReads(s->args[0], false);
+                if (cond_reads > 0)
+                    error("stream read inside while condition is "
+                          "not allowed");
+            }
+            if (s->tripEstimate <= 0)
+                warning("while-loop lacks a positive trip estimate; "
+                        "scheduler assumes 16");
+            checkStmts(s->body);
+            break;
+          }
+          case StmtKind::If:
+            checkStmts(s->body);
+            checkStmts(s->elseBody);
+            break;
+          case StmtKind::Print:
+            if (fn.pragma.target == Target::HW)
+                note("print statement is processor-only and will be "
+                     "elided by the HW flows (the paper's #ifdef "
+                     "RISCV guard)");
+            break;
+          case StmtKind::Block:
+            checkStmts(s->body);
+            break;
+        }
+    }
+
+    void
+    checkPortUsage()
+    {
+        for (size_t pi = 0; pi < fn.ports.size(); ++pi) {
+            bool used = false;
+            for (int u : usedPorts)
+                used |= (u == static_cast<int>(pi));
+            if (!used)
+                warning("port " + fn.ports[pi].name +
+                        " is declared but never used");
+        }
+    }
+
+    const OperatorFn &fn;
+    std::vector<Diagnostic> diags;
+    std::vector<int> usedPorts;
+    std::set<const Expr *> seenReads;
+};
+
+} // namespace
+
+std::vector<Diagnostic>
+validateOperator(const OperatorFn &fn)
+{
+    return OperatorChecker(fn).run();
+}
+
+std::vector<Diagnostic>
+validateGraph(const Graph &g)
+{
+    std::vector<Diagnostic> diags;
+    for (const auto &problem : g.check())
+        diags.push_back({DiagLevel::Error, g.name + ": " + problem});
+    for (const auto &inst : g.ops) {
+        auto sub = validateOperator(inst.fn);
+        diags.insert(diags.end(), sub.begin(), sub.end());
+    }
+    return diags;
+}
+
+bool
+isClean(const std::vector<Diagnostic> &diags)
+{
+    for (const auto &d : diags)
+        if (d.level == DiagLevel::Error)
+            return false;
+    return true;
+}
+
+std::string
+renderDiagnostics(const std::vector<Diagnostic> &diags)
+{
+    std::string out;
+    for (const auto &d : diags) {
+        switch (d.level) {
+          case DiagLevel::Error: out += "error: "; break;
+          case DiagLevel::Warning: out += "warning: "; break;
+          case DiagLevel::Note: out += "note: "; break;
+        }
+        out += d.message;
+        out += "\n";
+    }
+    return out;
+}
+
+} // namespace ir
+} // namespace pld

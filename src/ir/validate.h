@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Operator-discipline validator (paper Sec 3.4).
+ *
+ * C functions must be refined into a streaming form before they make
+ * good dataflow operators. This linter enforces the PLD subset:
+ *
+ *  - all communication goes through declared stream ports;
+ *  - at most one blocking stream read per statement, never inside
+ *    select/short-circuit arms or while conditions (so blocking
+ *    behaviour is identical on every target);
+ *  - scalar widths are 1..32 bits;
+ *  - array indices are integer-typed; loop bounds are sane;
+ *  - no recursion or allocation (structurally impossible in the IR,
+ *    checked for completeness);
+ *  - processor-only constructs (Print) are flagged for HW targets as
+ *    info, mirroring the paper's `#ifdef RISCV` guard requirement.
+ */
+
+#ifndef PLD_IR_VALIDATE_H
+#define PLD_IR_VALIDATE_H
+
+#include <string>
+#include <vector>
+
+#include "ir/graph.h"
+#include "ir/operator_fn.h"
+
+namespace pld {
+namespace ir {
+
+/** Severity of a discipline diagnostic. */
+enum class DiagLevel { Error, Warning, Note };
+
+/** One validator finding. */
+struct Diagnostic
+{
+    DiagLevel level;
+    std::string message;
+};
+
+/** Validate a single operator; returns all findings. */
+std::vector<Diagnostic> validateOperator(const OperatorFn &fn);
+
+/** Validate every operator in a graph plus graph topology. */
+std::vector<Diagnostic> validateGraph(const Graph &g);
+
+/** True if no Error-level diagnostics are present. */
+bool isClean(const std::vector<Diagnostic> &diags);
+
+/** Render diagnostics one per line. */
+std::string renderDiagnostics(const std::vector<Diagnostic> &diags);
+
+} // namespace ir
+} // namespace pld
+
+#endif // PLD_IR_VALIDATE_H

@@ -1,0 +1,153 @@
+#include "netlist/netlist.h"
+
+#include "common/logging.h"
+
+namespace pld {
+namespace netlist {
+
+std::string
+ResourceCount::toString() const
+{
+    return "luts=" + std::to_string(luts) + " ffs=" +
+           std::to_string(ffs) + " bram18=" + std::to_string(bram18) +
+           " dsps=" + std::to_string(dsps);
+}
+
+int
+Netlist::addCell(Cell c)
+{
+    cells.push_back(std::move(c));
+    return static_cast<int>(cells.size()) - 1;
+}
+
+int
+Netlist::addNet(const std::string &net_name, int width,
+                int driver_cell)
+{
+    Net n;
+    n.name = net_name;
+    n.width = width;
+    n.driver = driver_cell;
+    nets.push_back(std::move(n));
+    int idx = static_cast<int>(nets.size()) - 1;
+    if (driver_cell >= 0)
+        cells[driver_cell].pins.push_back(idx);
+    return idx;
+}
+
+void
+Netlist::addSink(int net_idx, int cell_idx)
+{
+    pld_assert(net_idx >= 0 && net_idx < (int)nets.size(),
+               "bad net index %d", net_idx);
+    pld_assert(cell_idx >= 0 && cell_idx < (int)cells.size(),
+               "bad cell index %d", cell_idx);
+    nets[net_idx].sinks.push_back(cell_idx);
+    cells[cell_idx].pins.push_back(net_idx);
+}
+
+ResourceCount
+Netlist::resources() const
+{
+    ResourceCount r;
+    for (const auto &c : cells) {
+        r.luts += c.luts;
+        r.ffs += c.ffs;
+        if (c.site == SiteKind::Dsp)
+            r.dsps += 1;
+        if (c.site == SiteKind::Bram)
+            r.bram18 += 1;
+    }
+    return r;
+}
+
+int
+Netlist::countSites(SiteKind k) const
+{
+    int n = 0;
+    for (const auto &c : cells)
+        n += (c.site == k);
+    return n;
+}
+
+int
+Netlist::merge(const Netlist &other, const std::string &prefix)
+{
+    int cell_off = static_cast<int>(cells.size());
+    int net_off = static_cast<int>(nets.size());
+    for (const auto &c : other.cells) {
+        Cell nc = c;
+        nc.name = prefix + c.name;
+        for (auto &p : nc.pins)
+            p += net_off;
+        cells.push_back(std::move(nc));
+    }
+    for (const auto &n : other.nets) {
+        Net nn = n;
+        nn.name = prefix + n.name;
+        if (nn.driver >= 0)
+            nn.driver += cell_off;
+        for (auto &s : nn.sinks)
+            s += cell_off;
+        nets.push_back(std::move(nn));
+    }
+    return cell_off;
+}
+
+uint64_t
+Netlist::contentHash() const
+{
+    Hasher h;
+    h.u64(cells.size());
+    for (const auto &c : cells) {
+        h.u64(static_cast<uint64_t>(c.site));
+        h.i64(c.luts);
+        h.i64(c.ffs);
+        h.i64(c.level);
+        h.i64(c.stage);
+        h.u64(c.pins.size());
+        for (int p : c.pins)
+            h.i64(p);
+    }
+    h.u64(nets.size());
+    for (const auto &n : nets) {
+        h.i64(n.width);
+        h.i64(n.driver);
+        h.u64(n.sinks.size());
+        for (int s : n.sinks)
+            h.i64(s);
+    }
+    return h.digest();
+}
+
+bool
+Netlist::checkConsistent(std::string *problem) const
+{
+    auto fail = [&](const std::string &msg) {
+        if (problem)
+            *problem = msg;
+        return false;
+    };
+    for (size_t ci = 0; ci < cells.size(); ++ci) {
+        const auto &c = cells[ci];
+        if (c.site == SiteKind::Clb && (c.luts > 8 || c.ffs > 16))
+            return fail("cell " + c.name + " overpacks its CLB");
+        for (int p : c.pins) {
+            if (p < 0 || p >= (int)nets.size())
+                return fail("cell " + c.name + " pin out of range");
+        }
+    }
+    for (size_t ni = 0; ni < nets.size(); ++ni) {
+        const auto &n = nets[ni];
+        if (n.driver >= (int)cells.size())
+            return fail("net " + n.name + " driver out of range");
+        for (int s : n.sinks) {
+            if (s < 0 || s >= (int)cells.size())
+                return fail("net " + n.name + " sink out of range");
+        }
+    }
+    return true;
+}
+
+} // namespace netlist
+} // namespace pld

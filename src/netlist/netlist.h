@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Structural netlist IR — the output of "HLS synthesis".
+ *
+ * Cells are placeable atoms at site granularity (one CLB-worth of
+ * logic, one DSP, one BRAM18), annotated with the exact LUT/FF counts
+ * they contain so area tables stay accurate. Nets are bus-level
+ * connections between cells. This is the packed netlist a VPR-style
+ * place-and-route engine consumes.
+ */
+
+#ifndef PLD_NETLIST_NETLIST_H
+#define PLD_NETLIST_NETLIST_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/hash.h"
+
+namespace pld {
+namespace netlist {
+
+/** Aggregate FPGA resource counts (Table 1 / Table 4 axes). */
+struct ResourceCount
+{
+    int64_t luts = 0;
+    int64_t ffs = 0;
+    int64_t bram18 = 0;
+    int64_t dsps = 0;
+
+    ResourceCount &
+    operator+=(const ResourceCount &o)
+    {
+        luts += o.luts;
+        ffs += o.ffs;
+        bram18 += o.bram18;
+        dsps += o.dsps;
+        return *this;
+    }
+
+    ResourceCount
+    operator+(const ResourceCount &o) const
+    {
+        ResourceCount r = *this;
+        r += o;
+        return r;
+    }
+
+    /** True when every component of @p need fits under this count. */
+    bool
+    covers(const ResourceCount &need) const
+    {
+        return need.luts <= luts && need.ffs <= ffs &&
+               need.bram18 <= bram18 && need.dsps <= dsps;
+    }
+
+    bool
+    operator==(const ResourceCount &o) const
+    {
+        return luts == o.luts && ffs == o.ffs && bram18 == o.bram18 &&
+               dsps == o.dsps;
+    }
+
+    std::string toString() const;
+};
+
+/** Placeable site categories, matching fabric tile kinds. */
+enum class SiteKind : uint8_t { Clb, Dsp, Bram };
+
+/**
+ * One placeable cell. CLB cells carry the LUT/FF utilization they
+ * pack (<= 8 LUTs / 16 FFs); DSP and BRAM cells occupy one site each.
+ */
+struct Cell
+{
+    SiteKind site = SiteKind::Clb;
+    std::string name;
+    int luts = 0;
+    int ffs = 0;
+    /** Combinational depth contribution for the timing model. */
+    int level = 1;
+    /** Pipeline stage id (register boundaries between stages). */
+    int stage = 0;
+    /** Nets this cell connects to (indices into Netlist::nets). */
+    std::vector<int> pins;
+};
+
+/** A bus-level net connecting one driver cell to sink cells. */
+struct Net
+{
+    std::string name;
+    int width = 32;      ///< bus width in bits (affects route demand)
+    int driver = -1;     ///< driving cell index (-1 = external input)
+    std::vector<int> sinks;
+    /**
+     * Registered interconnect (the -O3 kernel generator's FIFO links,
+     * Sec 6.3): exempt from the SLR-crossing timing penalty because
+     * the crossing is pipelined.
+     */
+    bool pipelined = false;
+};
+
+/**
+ * A packed structural netlist.
+ */
+class Netlist
+{
+  public:
+    std::vector<Cell> cells;
+    std::vector<Net> nets;
+
+    /** Add a cell; returns its index. */
+    int addCell(Cell c);
+
+    /** Add a net with a driver; returns its index. */
+    int addNet(const std::string &net_name, int width,
+               int driver_cell);
+
+    /** Attach @p cell_idx as a sink of @p net_idx. */
+    void addSink(int net_idx, int cell_idx);
+
+    /** Total resources over all cells. */
+    ResourceCount resources() const;
+
+    /** Cells of one site kind. */
+    int countSites(SiteKind k) const;
+
+    /**
+     * Merge @p other into this netlist, renaming with @p prefix.
+     * Returns the cell-index offset applied (for cross-wiring).
+     */
+    int merge(const Netlist &other, const std::string &prefix);
+
+    /** Structural digest for artifact caching. */
+    uint64_t contentHash() const;
+
+    /** Basic invariants: pin/net indices in range, drivers consistent. */
+    bool checkConsistent(std::string *problem = nullptr) const;
+};
+
+} // namespace netlist
+} // namespace pld
+
+#endif // PLD_NETLIST_NETLIST_H

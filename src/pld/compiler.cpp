@@ -1,0 +1,367 @@
+#include "pld/compiler.h"
+
+#include <algorithm>
+#include <mutex>
+
+#include "common/logging.h"
+#include "common/stopwatch.h"
+#include "common/thread_pool.h"
+#include "hls/resource_model.h"
+#include "hls/synthesis.h"
+#include "rvgen/codegen.h"
+
+namespace pld {
+namespace flow {
+
+using fabric::Device;
+using fabric::Rect;
+using netlist::Netlist;
+using netlist::ResourceCount;
+
+const char *
+optLevelName(OptLevel level)
+{
+    switch (level) {
+      case OptLevel::O0: return "-O0";
+      case OptLevel::O1: return "-O1";
+      case OptLevel::O3: return "-O3";
+      case OptLevel::Vitis: return "vitis";
+    }
+    return "?";
+}
+
+PldCompiler::PldCompiler(const Device &dev, CompileOptions opts)
+    : dev(dev), opts(opts)
+{
+}
+
+void
+PldCompiler::clearCache()
+{
+    cache.clear();
+    cache_stats = CacheStats{};
+}
+
+namespace {
+
+uint64_t
+cacheKey(const ir::OperatorFn &fn, ir::Target target, int page_id,
+         bool leaf_iface)
+{
+    Hasher h;
+    h.u64(fn.contentHash());
+    h.u64(static_cast<uint64_t>(target));
+    h.i64(page_id);
+    h.u64(leaf_iface ? 1 : 0);
+    return h.digest();
+}
+
+} // namespace
+
+std::shared_ptr<OperatorArtifact>
+PldCompiler::compileHwPage(const ir::OperatorFn &fn, int page_id)
+{
+    auto art = std::make_shared<OperatorArtifact>();
+    art->name = fn.name;
+    art->irHash = fn.contentHash();
+    art->target = ir::Target::HW;
+    art->page = page_id;
+
+    // hls stage.
+    auto hr = hls::compileOperator(fn, /*leaf_interface=*/true);
+    art->net = std::move(hr.net);
+    art->perf = hr.perf;
+    art->times.hls = hr.seconds;
+
+    // syn stage.
+    auto sr = hls::synthesize(art->net, opts.effort);
+    art->times.syn = sr.seconds;
+
+    // p&r into the page under the abstract shell.
+    pnr::PnrOptions popts;
+    popts.effort = opts.effort;
+    popts.seed = opts.seed;
+    popts.abstractShell = true;
+    const Rect &region = dev.pages[page_id].rect;
+    art->pnr = pnr::placeAndRoute(art->net, dev, region, popts);
+    art->times.pnr =
+        art->pnr.placeSeconds + art->pnr.routeSeconds +
+        art->pnr.contextSeconds;
+    art->times.bitgen = art->pnr.bitgenSeconds;
+    return art;
+}
+
+std::shared_ptr<OperatorArtifact>
+PldCompiler::compileSoftcore(const ir::OperatorFn &fn, int page_id)
+{
+    auto art = std::make_shared<OperatorArtifact>();
+    art->name = fn.name;
+    art->irHash = fn.contentHash();
+    art->target = ir::Target::RISCV;
+    art->page = page_id;
+    auto rv = rvgen::compileToRiscv(fn);
+    art->elf = std::move(rv.elf);
+    art->elf.pageNum = page_id;
+    // The whole -O0 path is the "riscv g++" column of Table 2.
+    art->times.hls = rv.seconds;
+    return art;
+}
+
+std::vector<int>
+PldCompiler::assignPages(const ir::Graph &g, OptLevel level) const
+{
+    std::vector<int> assignment(g.ops.size(), -1);
+    if (level == OptLevel::O3 || level == OptLevel::Vitis) {
+        // Monolithic flows ignore pages entirely.
+        for (size_t oi = 0; oi < g.ops.size(); ++oi)
+            assignment[oi] = static_cast<int>(oi);
+        return assignment;
+    }
+    std::vector<bool> page_taken(dev.pages.size(), false);
+
+    // Honour explicit pragma placements first (Fig 2a: p_num).
+    for (size_t oi = 0; oi < g.ops.size(); ++oi) {
+        int want = g.ops[oi].fn.pragma.pageNum;
+        if (want >= 0) {
+            pld_assert(want < static_cast<int>(dev.pages.size()),
+                       "%s: pragma requests page %d of %zu",
+                       g.ops[oi].fn.name.c_str(), want,
+                       dev.pages.size());
+            pld_assert(!page_taken[want],
+                       "page %d requested by two operators", want);
+            assignment[oi] = want;
+            page_taken[want] = true;
+        }
+    }
+
+    // First-fit the rest by estimated resources.
+    for (size_t oi = 0; oi < g.ops.size(); ++oi) {
+        if (assignment[oi] >= 0)
+            continue;
+        ResourceCount need;
+        if (level != OptLevel::O0 &&
+            g.ops[oi].fn.pragma.target == ir::Target::HW) {
+            auto hr = hls::compileOperator(g.ops[oi].fn, true);
+            need = hr.net.resources();
+        }
+        int chosen = -1;
+        for (size_t pi = 0; pi < dev.pages.size(); ++pi) {
+            if (page_taken[pi])
+                continue;
+            if (dev.pages[pi].res.covers(need)) {
+                chosen = static_cast<int>(pi);
+                break;
+            }
+        }
+        pld_assert(chosen >= 0,
+                   "%s does not fit any free page — decompose it "
+                   "into smaller operators (Sec 4.1)",
+                   g.ops[oi].fn.name.c_str());
+        assignment[oi] = chosen;
+        page_taken[chosen] = true;
+    }
+    return assignment;
+}
+
+AppBuild
+PldCompiler::build(const ir::Graph &g, OptLevel level)
+{
+    AppBuild out;
+    out.level = level;
+    out.dfg = ir::extractDfg(g);
+
+    std::vector<int> page_of = assignPages(g, level);
+
+    bool monolithic =
+        (level == OptLevel::O3 || level == OptLevel::Vitis);
+
+    // ---- per-operator compilation (parallel, cached) -------------
+    out.ops.resize(g.ops.size());
+    {
+        ThreadPool pool(opts.parallelJobs);
+        std::mutex mtx;
+        for (size_t oi = 0; oi < g.ops.size(); ++oi) {
+            pool.submit([&, oi] {
+                const auto &fn = g.ops[oi].fn;
+                ir::Target tgt;
+                if (level == OptLevel::O0)
+                    tgt = ir::Target::RISCV;
+                else if (monolithic)
+                    tgt = ir::Target::HW;
+                else
+                    tgt = fn.pragma.target;
+
+                std::shared_ptr<OperatorArtifact> art;
+                uint64_t key = 0;
+                if (!monolithic) {
+                    key = cacheKey(fn, tgt, page_of[oi], true);
+                    std::lock_guard<std::mutex> lk(mtx);
+                    auto it = cache.find(key);
+                    if (it != cache.end()) {
+                        art = it->second.art;
+                        ++cache_stats.hits;
+                    } else {
+                        ++cache_stats.misses;
+                    }
+                }
+
+                bool cached = (art != nullptr);
+                if (!art) {
+                    if (monolithic) {
+                        // Bare kernel netlist for stitching; the
+                        // monolithic p&r happens below.
+                        art = std::make_shared<OperatorArtifact>();
+                        art->name = fn.name;
+                        art->irHash = fn.contentHash();
+                        art->target = ir::Target::HW;
+                        auto hr = hls::compileOperator(fn, false);
+                        art->net = std::move(hr.net);
+                        art->perf = hr.perf;
+                        art->times.hls = hr.seconds;
+                    } else if (tgt == ir::Target::HW) {
+                        art = compileHwPage(fn, page_of[oi]);
+                    } else {
+                        art = compileSoftcore(fn, page_of[oi]);
+                    }
+                }
+                {
+                    std::lock_guard<std::mutex> lk(mtx);
+                    if (!monolithic && !cached)
+                        cache[key] = {art};
+                    out.ops[oi] = *art;
+                    out.ops[oi].fromCache = cached;
+                    out.ops[oi].page = page_of[oi];
+                }
+            });
+        }
+        pool.wait();
+    }
+
+    for (const auto &art : out.ops) {
+        if (!art.fromCache)
+            out.cpuTimes += art.times;
+        StageTimes wall = art.fromCache ? StageTimes{} : art.times;
+        out.wallTimes.maxWith(wall);
+    }
+
+    // ---- monolithic stitch + p&r (O3 / Vitis) ---------------------
+    if (monolithic) {
+        Stopwatch syn_sw;
+        Netlist mono;
+        std::vector<int> cell_off(g.ops.size(), 0);
+        for (size_t oi = 0; oi < g.ops.size(); ++oi) {
+            cell_off[oi] = mono.merge(out.ops[oi].net,
+                                      g.ops[oi].instName + "/");
+        }
+        // Stitch links. O3 inserts pipelined FIFO glue (Sec 6.3);
+        // Vitis wires operators directly (long unpipelined nets).
+        for (size_t li = 0; li < g.links.size(); ++li) {
+            const auto &l = g.links[li];
+            if (l.src.isExternal() || l.dst.isExternal())
+                continue;
+            int src_cell = cell_off[l.src.op];
+            int dst_cell = cell_off[l.dst.op];
+            if (level == OptLevel::O3) {
+                int brams = hls::bramsFor(l.depth, 32);
+                int fifo_first = -1;
+                for (int b = 0; b < brams; ++b) {
+                    netlist::Cell c;
+                    c.site = netlist::SiteKind::Bram;
+                    c.name = "link" + std::to_string(li) + "_fifo" +
+                             std::to_string(b);
+                    c.level = 1;
+                    int idx = mono.addCell(std::move(c));
+                    if (fifo_first < 0)
+                        fifo_first = idx;
+                }
+                netlist::Cell glue;
+                glue.site = netlist::SiteKind::Clb;
+                glue.name = "link" + std::to_string(li) + "_ctl";
+                glue.luts = 6;
+                glue.ffs = 12;
+                glue.level = 1;
+                int ctl = mono.addCell(std::move(glue));
+                int n1 = mono.addNet(
+                    "link" + std::to_string(li) + "_in", 32,
+                    src_cell);
+                mono.addSink(n1, fifo_first);
+                mono.addSink(n1, ctl);
+                int n2 = mono.addNet(
+                    "link" + std::to_string(li) + "_out", 32,
+                    fifo_first);
+                mono.addSink(n2, dst_cell);
+                mono.nets[n1].pipelined = true;
+                mono.nets[n2].pipelined = true;
+            } else {
+                int n1 = mono.addNet(
+                    "xlink" + std::to_string(li), 32, src_cell);
+                mono.addSink(n1, dst_cell);
+            }
+        }
+        auto sr = hls::synthesize(mono, opts.effort);
+        out.wallTimes.syn += syn_sw.seconds();
+        out.cpuTimes.syn += sr.seconds;
+
+        pnr::PnrOptions popts;
+        popts.effort = opts.effort;
+        popts.seed = opts.seed;
+        popts.abstractShell = false; // full-context monolithic run
+        Rect user{0, 0, 120, 576};
+        out.monoPnr = pnr::placeAndRoute(mono, dev, user, popts);
+        out.monoNet = std::move(mono);
+        double pnr_s = out.monoPnr.placeSeconds +
+                       out.monoPnr.routeSeconds +
+                       out.monoPnr.contextSeconds;
+        out.wallTimes.pnr += pnr_s;
+        out.cpuTimes.pnr += pnr_s;
+        out.wallTimes.bitgen += out.monoPnr.bitgenSeconds;
+        out.cpuTimes.bitgen += out.monoPnr.bitgenSeconds;
+        out.totalBitstreamBytes = out.monoPnr.bits.bytes;
+        out.area = out.monoNet.resources();
+        out.fmaxMHz = out.monoPnr.timing.fmaxMHz;
+    } else {
+        // Overlay designs: area is the sum over pages; Fmax is the
+        // 200 MHz overlay clock (never above page timing).
+        double fmax = 200.0;
+        for (auto &art : out.ops) {
+            if (art.target == ir::Target::HW) {
+                out.area += art.net.resources();
+                out.totalBitstreamBytes += art.pnr.bits.bytes;
+                fmax = std::min(fmax, art.pnr.timing.fmaxMHz);
+            } else {
+                // A softcore page occupies the full page's resources
+                // (the one-size-fits-all processor, Sec 7.5).
+                out.area += ResourceCount{
+                    2000, 1500,
+                    static_cast<int64_t>(
+                        (art.elf.memBytes + 16 * 1024 - 1) /
+                        (16 * 1024) * 8),
+                    4};
+                out.totalBitstreamBytes += art.elf.footprintBytes();
+            }
+        }
+        out.fmaxMHz = fmax;
+    }
+    out.pagesUsed = static_cast<int>(g.ops.size());
+
+    // ---- runtime bindings ----------------------------------------
+    out.sysCfg = sys::SystemConfig{};
+    out.sysCfg.useNoc = !monolithic;
+    for (size_t oi = 0; oi < g.ops.size(); ++oi) {
+        sys::PageBinding b;
+        b.opIdx = static_cast<int>(oi);
+        b.pageId = monolithic ? static_cast<int>(oi) : page_of[oi];
+        if (out.ops[oi].target == ir::Target::RISCV) {
+            b.impl = sys::PageImpl::Softcore;
+            b.elf = out.ops[oi].elf;
+        } else {
+            b.impl = sys::PageImpl::Hw;
+            b.cyclesPerOp = out.ops[oi].perf.cyclesPerOp();
+        }
+        out.bindings.push_back(std::move(b));
+    }
+    return out;
+}
+
+} // namespace flow
+} // namespace pld

@@ -1,0 +1,190 @@
+/**
+ * @file
+ * The PLD compiler driver: the paper's primary contribution (Sec 6).
+ *
+ * One Graph of operators compiles four ways from the same source:
+ *
+ *  - O0    (Fig 5): every operator -> RV32 binary for its page's
+ *          softcore overlay; compiles in (milli)seconds.
+ *  - O1    (Fig 6): every operator -> HLS -> synthesis -> abstract-
+ *          shell place&route into its own page -> partial bitstream;
+ *          operators compile independently and in parallel; the
+ *          linking network connects them with config packets.
+ *          Operators whose pragma says RISCV are -O0-mapped instead
+ *          (any mix is legal, Sec 6.2).
+ *  - O3    (Fig 7): operators are HLS-compiled then stitched with
+ *          pipelined FIFO links at the netlist level and
+ *          place-and-routed monolithically on the raw fabric.
+ *  - Vitis: baseline monolithic compile of the fused design with
+ *          direct (unpipelined) inter-operator nets — the vendor
+ *          flow the paper compares against.
+ *
+ * The compiler owns a content-addressed artifact cache keyed by
+ * operator IR hash + target + page, so unchanged operators are never
+ * recompiled — separate compilation and linkage (Sec 1).
+ */
+
+#ifndef PLD_PLD_COMPILER_H
+#define PLD_PLD_COMPILER_H
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fabric/device.h"
+#include "hls/compiler.h"
+#include "ir/graph.h"
+#include "ir/printer.h"
+#include "pnr/engine.h"
+#include "rv32/elf.h"
+#include "sys/system.h"
+
+namespace pld {
+namespace flow {
+
+/** Compile flows (Table 2 columns). */
+enum class OptLevel { O0, O1, O3, Vitis };
+
+const char *optLevelName(OptLevel level);
+
+/** Per-stage compile seconds (Table 2 row format). */
+struct StageTimes
+{
+    double hls = 0;
+    double syn = 0;
+    double pnr = 0;
+    double bitgen = 0;
+
+    double total() const { return hls + syn + pnr + bitgen; }
+
+    StageTimes &
+    operator+=(const StageTimes &o)
+    {
+        hls += o.hls;
+        syn += o.syn;
+        pnr += o.pnr;
+        bitgen += o.bitgen;
+        return *this;
+    }
+
+    /** Component-wise max (parallel-build wall time per stage). */
+    void
+    maxWith(const StageTimes &o)
+    {
+        hls = std::max(hls, o.hls);
+        syn = std::max(syn, o.syn);
+        pnr = std::max(pnr, o.pnr);
+        bitgen = std::max(bitgen, o.bitgen);
+    }
+};
+
+/** One operator's compiled artifact. */
+struct OperatorArtifact
+{
+    std::string name;
+    uint64_t irHash = 0;
+    ir::Target target = ir::Target::HW;
+    int page = -1;
+    StageTimes times;
+    bool fromCache = false;
+
+    // HW flavour.
+    netlist::Netlist net;
+    hls::PerfEstimate perf;
+    pnr::PnrResult pnr;
+
+    // Softcore flavour.
+    rv32::PldElf elf;
+};
+
+struct CompileOptions
+{
+    /** Place-and-route effort multiplier. */
+    double effort = 1.0;
+    /** Worker threads for parallel page compiles (0 = hw threads). */
+    unsigned parallelJobs = 0;
+    uint64_t seed = 1;
+};
+
+/** Artifact-cache effectiveness counters. */
+struct CacheStats
+{
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+};
+
+/** Result of building one application at one opt level. */
+struct AppBuild
+{
+    OptLevel level = OptLevel::O1;
+    /** Wall-clock per stage assuming each operator compiles on its
+     * own node (the paper's parallel Slurm cluster): per-stage max
+     * over operators, plus shared monolithic work. */
+    StageTimes wallTimes;
+    /** Total CPU across all operators (single-node cost). */
+    StageTimes cpuTimes;
+
+    std::vector<OperatorArtifact> ops;
+
+    /** Monolithic results (O3/Vitis only). */
+    netlist::Netlist monoNet;
+    pnr::PnrResult monoPnr;
+
+    double fmaxMHz = 0;
+    size_t totalBitstreamBytes = 0;
+    netlist::ResourceCount area;
+    int pagesUsed = 0;
+    ir::DfgFile dfg;
+
+    /** Ready-to-run system configuration. */
+    std::vector<sys::PageBinding> bindings;
+    sys::SystemConfig sysCfg;
+};
+
+/**
+ * Driver object; keeps the artifact cache across builds so the
+ * edit-compile-debug loop only recompiles what changed.
+ */
+class PldCompiler
+{
+  public:
+    PldCompiler(const fabric::Device &dev, CompileOptions opts = {});
+
+    /**
+     * Compile @p g at @p level. For O1, operator pragmas select HW
+     * pages vs softcores per operator; O0 forces every operator to
+     * the softcore overlay.
+     */
+    AppBuild build(const ir::Graph &g, OptLevel level);
+
+    const CacheStats &cacheStats() const { return cache_stats; }
+
+    /** Drop all cached artifacts (tests). */
+    void clearCache();
+
+  private:
+    struct CacheEntry
+    {
+        std::shared_ptr<OperatorArtifact> art;
+    };
+
+    std::shared_ptr<OperatorArtifact>
+    compileHwPage(const ir::OperatorFn &fn, int page_id);
+    std::shared_ptr<OperatorArtifact>
+    compileSoftcore(const ir::OperatorFn &fn, int page_id);
+
+    /** Deterministic first-fit page assignment. */
+    std::vector<int> assignPages(const ir::Graph &g,
+                                 OptLevel level) const;
+
+    const fabric::Device &dev;
+    CompileOptions opts;
+    std::map<uint64_t, CacheEntry> cache;
+    CacheStats cache_stats;
+};
+
+} // namespace flow
+} // namespace pld
+
+#endif // PLD_PLD_COMPILER_H

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Place-and-route engine: the backend "Vivado" of the reproduction.
+ *
+ * Orchestrates placement, routing, timing, and bitstream generation
+ * for one region (a page under the abstract shell, or the whole user
+ * area for monolithic compiles) and reports per-stage wall time —
+ * the numbers Table 2 is built from.
+ */
+
+#ifndef PLD_PNR_ENGINE_H
+#define PLD_PNR_ENGINE_H
+
+#include "pnr/placer.h"
+#include "pnr/router.h"
+#include "pnr/timing.h"
+
+namespace pld {
+namespace pnr {
+
+/** A generated configuration image (xclbin stand-in). */
+struct Bitstream
+{
+    size_t bytes = 0;
+    uint64_t hash = 0;
+};
+
+struct PnrOptions
+{
+    double effort = 1.0;
+    uint64_t seed = 1;
+    /**
+     * Use the Vitis abstract-shell mechanism (Sec 4.1): compile sees
+     * only the target region. When false the engine additionally
+     * loads and checks the full device context, slowing page
+     * compiles exactly the way the paper describes.
+     */
+    bool abstractShell = true;
+    int channelCapacity = 64;
+    TimingOptions timing;
+};
+
+struct PnrResult
+{
+    Placement place;
+    RouteResult routing;
+    TimingResult timing;
+    Bitstream bits;
+    double placeSeconds = 0;
+    double routeSeconds = 0;
+    double bitgenSeconds = 0;
+    double contextSeconds = 0; ///< full-context load when no shell
+    double totalSeconds = 0;
+    bool success = false;
+};
+
+/**
+ * Run the full backend on @p net targeted at @p region.
+ */
+PnrResult placeAndRoute(const netlist::Netlist &net,
+                        const fabric::Device &dev,
+                        const fabric::Rect &region,
+                        const PnrOptions &opts);
+
+/** Deterministic bitstream image for a routed design. */
+Bitstream generateBitstream(const netlist::Netlist &net,
+                            const fabric::Rect &region);
+
+} // namespace pnr
+} // namespace pld
+
+#endif // PLD_PNR_ENGINE_H

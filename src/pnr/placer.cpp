@@ -1,0 +1,352 @@
+#include "pnr/placer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/stopwatch.h"
+
+namespace pld {
+namespace pnr {
+
+using fabric::Device;
+using fabric::Rect;
+using netlist::Netlist;
+using netlist::SiteKind;
+
+namespace {
+
+double
+widthFactor(int width)
+{
+    return 1.0 + width / 32.0;
+}
+
+/** Working state of one annealing run. */
+class Annealer
+{
+  public:
+    Annealer(const Netlist &net, const Device &dev, const Rect &region,
+             const PlacerOptions &opts)
+        : net(net), dev(dev), opts(opts), rng(opts.seed)
+    {
+        // Enumerate candidate sites per kind.
+        for (int k = 0; k < 3; ++k) {
+            auto kind = static_cast<SiteKind>(k);
+            sites[k] = dev.sitesIn(region, kind);
+            occupant[k].assign(sites[k].size(), -1);
+        }
+
+        // Capacity check (the "fits the page" constraint).
+        int demand[3] = {0, 0, 0};
+        for (const auto &c : net.cells)
+            demand[static_cast<int>(c.site)]++;
+        const char *names[3] = {"CLB", "DSP", "BRAM"};
+        for (int k = 0; k < 3; ++k) {
+            if (demand[k] > static_cast<int>(sites[k].size())) {
+                pld_fatal("netlist needs %d %s sites but region "
+                          "offers only %zu — decompose the operator "
+                          "into smaller pieces (paper Sec 4.1)",
+                          demand[k], names[k], sites[k].size());
+            }
+        }
+
+        // Initial placement: random legal assignment (VPR-style);
+        // annealing does the real work from there.
+        place_.pos.resize(net.cells.size());
+        cellSiteIdx.resize(net.cells.size());
+        std::vector<std::vector<int>> free_sites(3);
+        for (int k = 0; k < 3; ++k) {
+            free_sites[k].resize(sites[k].size());
+            for (size_t s = 0; s < sites[k].size(); ++s)
+                free_sites[k][s] = static_cast<int>(s);
+            // Fisher-Yates with the seeded RNG.
+            for (size_t s = sites[k].size(); s > 1; --s) {
+                size_t j = rng.below(s);
+                std::swap(free_sites[k][s - 1], free_sites[k][j]);
+            }
+        }
+        int cursor[3] = {0, 0, 0};
+        for (size_t ci = 0; ci < net.cells.size(); ++ci) {
+            int k = static_cast<int>(net.cells[ci].site);
+            int s = free_sites[k][cursor[k]++];
+            occupant[k][s] = static_cast<int>(ci);
+            cellSiteIdx[ci] = s;
+            place_.pos[ci] = sites[k][s];
+        }
+
+        netCost.resize(net.nets.size());
+        totalCost = 0;
+        for (size_t ni = 0; ni < net.nets.size(); ++ni) {
+            netCost[ni] = costOfNet(static_cast<int>(ni));
+            totalCost += netCost[ni];
+        }
+    }
+
+    PlaceResult
+    run()
+    {
+        Stopwatch sw;
+        PlaceResult res;
+        res.initialCost = totalCost;
+
+        size_t n = net.cells.size();
+        if (n == 0 || net.nets.empty()) {
+            res.place = place_;
+            res.seconds = sw.seconds();
+            return res;
+        }
+
+        // VPR-flavoured schedule: super-linear moves per temperature,
+        // acceptance-keyed cooling, and a shrinking range window.
+        auto moves_per_temp = static_cast<uint64_t>(
+            std::max(64.0, opts.effort * std::pow(double(n), 1.2)));
+        double t = initialTemperature();
+        uint64_t attempted = 0, accepted = 0;
+
+        size_t max_sites = 0;
+        for (int k = 0; k < 3; ++k)
+            max_sites = std::max(max_sites, sites[k].size());
+        rangeLimit = static_cast<int>(max_sites);
+
+        double best_cost = totalCost;
+        std::vector<int> best_site_idx = cellSiteIdx;
+
+        double exit_threshold =
+            0.002 * std::max(1.0, totalCost) / net.nets.size();
+        int temp_steps = 0;
+        while (t > exit_threshold && temp_steps < 200) {
+            uint64_t acc_this_temp = 0;
+            for (uint64_t m = 0; m < moves_per_temp; ++m) {
+                if (tryMove(t)) {
+                    ++acc_this_temp;
+                    ++accepted;
+                }
+                ++attempted;
+            }
+            double rate =
+                double(acc_this_temp) / double(moves_per_temp);
+            // VPR temperature update keyed on acceptance rate.
+            double alpha;
+            if (rate > 0.96)
+                alpha = 0.5;
+            else if (rate > 0.8)
+                alpha = 0.9;
+            else if (rate > 0.15)
+                alpha = 0.95;
+            else
+                alpha = 0.8;
+            t *= alpha;
+            // Keep acceptance near 0.44 by shrinking the window.
+            rangeLimit = std::max(
+                4, std::min(static_cast<int>(max_sites),
+                            static_cast<int>(rangeLimit *
+                                             (1.0 - 0.44 + rate))));
+            if (totalCost < best_cost) {
+                best_cost = totalCost;
+                best_site_idx = cellSiteIdx;
+            }
+            ++temp_steps;
+        }
+
+        // Restore the best placement seen (annealing may drift after
+        // its best point).
+        if (best_cost < totalCost) {
+            for (size_t ci = 0; ci < net.cells.size(); ++ci) {
+                int k = static_cast<int>(net.cells[ci].site);
+                place_.pos[ci] = sites[k][best_site_idx[ci]];
+            }
+            totalCost = best_cost;
+        }
+
+        res.place = place_;
+        res.finalCost = totalCost;
+        res.movesAttempted = attempted;
+        res.movesAccepted = accepted;
+        res.seconds = sw.seconds();
+        return res;
+    }
+
+  private:
+    double
+    costOfNet(int ni) const
+    {
+        const auto &nn = net.nets[ni];
+        if (nn.driver < 0 && nn.sinks.empty())
+            return 0;
+        int min_c = 1 << 30, max_c = -1, min_r = 1 << 30, max_r = -1;
+        auto touch = [&](int cell) {
+            auto [c, r] = place_.pos[cell];
+            min_c = std::min(min_c, c);
+            max_c = std::max(max_c, c);
+            min_r = std::min(min_r, r);
+            max_r = std::max(max_r, r);
+        };
+        if (nn.driver >= 0)
+            touch(nn.driver);
+        for (int s : nn.sinks)
+            touch(s);
+        if (max_c < 0)
+            return 0;
+        double hpwl = (max_c - min_c) + (max_r - min_r);
+        double cost = hpwl * widthFactor(nn.width);
+        if (dev.slrOf(min_r) != dev.slrOf(max_r))
+            cost += opts.slrPenalty * widthFactor(nn.width);
+        return cost;
+    }
+
+    double
+    initialTemperature()
+    {
+        // Sample random swaps (applied then reverted) to estimate the
+        // cost-delta scale without disturbing the placement.
+        double sum = 0, sq = 0;
+        const int samples = 64;
+        for (int i = 0; i < samples; ++i) {
+            int ci = static_cast<int>(rng.below(net.cells.size()));
+            int k = static_cast<int>(net.cells[ci].site);
+            if (sites[k].size() < 2)
+                continue;
+            int target =
+                static_cast<int>(rng.below(sites[k].size()));
+            int old_site = cellSiteIdx[ci];
+            if (target == old_site)
+                continue;
+            double before = totalCost;
+            applySwap(ci, k, target);
+            double delta = totalCost - before;
+            applySwap(ci, k, old_site);
+            sum += delta;
+            sq += delta * delta;
+        }
+        double mean = sum / samples;
+        double var = std::max(1.0, sq / samples - mean * mean);
+        return 20.0 * std::sqrt(var);
+    }
+
+    /** Swap cell ci with whatever occupies sites[k][target]. */
+    void
+    applySwap(int ci, int k, int target)
+    {
+        int old_site = cellSiteIdx[ci];
+        if (old_site == target)
+            return;
+        int other = occupant[k][target];
+
+        occupant[k][old_site] = other;
+        occupant[k][target] = ci;
+        cellSiteIdx[ci] = target;
+        place_.pos[ci] = sites[k][target];
+        if (other >= 0) {
+            cellSiteIdx[other] = old_site;
+            place_.pos[other] = sites[k][old_site];
+        }
+
+        // Update cost for affected nets.
+        updateCells(ci, other);
+    }
+
+    void
+    updateCells(int a, int b)
+    {
+        auto upd = [&](int cell) {
+            if (cell < 0)
+                return;
+            for (int ni : net.cells[cell].pins) {
+                double fresh = costOfNet(ni);
+                totalCost += fresh - netCost[ni];
+                netCost[ni] = fresh;
+            }
+        };
+        upd(a);
+        upd(b);
+    }
+
+    bool
+    tryMove(double t)
+    {
+        int ci = static_cast<int>(rng.below(net.cells.size()));
+        int k = static_cast<int>(net.cells[ci].site);
+        if (sites[k].size() < 2)
+            return false;
+        int old_site = cellSiteIdx[ci];
+        // Pick within the range window around the current site (the
+        // site list is row-major, so index distance tracks physical
+        // locality).
+        int span = std::min<int>(rangeLimit,
+                                 static_cast<int>(sites[k].size()) - 1);
+        int lo = std::max(0, old_site - span);
+        int hi = std::min(static_cast<int>(sites[k].size()) - 1,
+                          old_site + span);
+        int target =
+            lo + static_cast<int>(rng.below(
+                     static_cast<uint64_t>(hi - lo + 1)));
+        if (target == old_site)
+            return false;
+
+        double before = totalCost;
+        applySwap(ci, k, target);
+        double delta = totalCost - before;
+        if (delta <= 0)
+            return true;
+        if (rng.uniform() < std::exp(-delta / t))
+            return true;
+        applySwap(ci, k, old_site); // revert
+        return false;
+    }
+
+    const Netlist &net;
+    const Device &dev;
+    PlacerOptions opts;
+    Rng rng;
+
+    std::vector<std::pair<int, int>> sites[3];
+    std::vector<int> occupant[3];
+    std::vector<int> cellSiteIdx;
+    Placement place_;
+    std::vector<double> netCost;
+    double totalCost = 0;
+    int rangeLimit = 1 << 20;
+};
+
+} // namespace
+
+PlaceResult
+place(const Netlist &net, const Device &dev, const Rect &region,
+      const PlacerOptions &opts)
+{
+    Annealer a(net, dev, region, opts);
+    return a.run();
+}
+
+double
+placementCost(const Netlist &net, const Device &dev,
+              const Placement &p, double slr_penalty)
+{
+    double total = 0;
+    for (const auto &nn : net.nets) {
+        int min_c = 1 << 30, max_c = -1, min_r = 1 << 30, max_r = -1;
+        auto touch = [&](int cell) {
+            auto [c, r] = p.pos[cell];
+            min_c = std::min(min_c, c);
+            max_c = std::max(max_c, c);
+            min_r = std::min(min_r, r);
+            max_r = std::max(max_r, r);
+        };
+        if (nn.driver >= 0)
+            touch(nn.driver);
+        for (int s : nn.sinks)
+            touch(s);
+        if (max_c < 0)
+            continue;
+        double hpwl = (max_c - min_c) + (max_r - min_r);
+        total += hpwl * widthFactor(nn.width);
+        if (dev.slrOf(min_r) != dev.slrOf(max_r))
+            total += slr_penalty * widthFactor(nn.width);
+    }
+    return total;
+}
+
+} // namespace pnr
+} // namespace pld

@@ -1,0 +1,46 @@
+#include "pnr/timing.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pld {
+namespace pnr {
+
+using fabric::Device;
+using netlist::Netlist;
+
+TimingResult
+analyzeTiming(const Netlist &net, const Device &dev,
+              const Placement &place, const TimingOptions &opts)
+{
+    TimingResult res;
+    res.critPathNs = opts.baseNs;
+
+    for (const auto &nn : net.nets) {
+        if (nn.driver < 0 || nn.sinks.empty())
+            continue;
+        auto [c0, r0] = place.pos[nn.driver];
+        int level = net.cells[nn.driver].level;
+        for (int s : nn.sinks) {
+            auto [c1, r1] = place.pos[s];
+            double dist = std::abs(c1 - c0) + std::abs(r1 - r0);
+            double ns = opts.baseNs +
+                        opts.logicNsPerLevel * level +
+                        opts.wireNsPerTile * dist;
+            bool crosses = dev.slrOf(r0) != dev.slrOf(r1);
+            if (crosses && !nn.pipelined)
+                ns += opts.slrCrossNs;
+            if (ns > res.critPathNs) {
+                res.critPathNs = ns;
+                res.critNetName = nn.name;
+                res.critCrossesSlr = crosses && !nn.pipelined;
+            }
+        }
+    }
+
+    res.fmaxMHz = std::min(opts.fmaxCapMHz, 1000.0 / res.critPathNs);
+    return res;
+}
+
+} // namespace pnr
+} // namespace pld

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Static timing model: placement-aware Fmax estimation.
+ *
+ * Per-net path delay = logic delay (driver's combinational level) +
+ * wire delay (manhattan distance) + an SLR-crossing penalty for
+ * unpipelined nets (paper Sec 2.5: crossings need extra pipelining).
+ * Fmax = 1 / worst path, capped at the fabric's 300 MHz practical
+ * ceiling — matching the 150-300 MHz spread in Table 3.
+ */
+
+#ifndef PLD_PNR_TIMING_H
+#define PLD_PNR_TIMING_H
+
+#include <string>
+
+#include "pnr/placer.h"
+
+namespace pld {
+namespace pnr {
+
+struct TimingOptions
+{
+    double logicNsPerLevel = 0.22;
+    double baseNs = 1.1;
+    double wireNsPerTile = 0.012;
+    double slrCrossNs = 1.6;
+    double fmaxCapMHz = 300.0;
+};
+
+struct TimingResult
+{
+    double critPathNs = 0;
+    double fmaxMHz = 0;
+    std::string critNetName;
+    bool critCrossesSlr = false;
+};
+
+/** Analyze the placed design. */
+TimingResult analyzeTiming(const netlist::Netlist &net,
+                           const fabric::Device &dev,
+                           const Placement &place,
+                           const TimingOptions &opts = {});
+
+} // namespace pnr
+} // namespace pld
+
+#endif // PLD_PNR_TIMING_H

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * The Rosetta benchmark suite, decomposed into PLD operators.
+ *
+ * Re-implementations of the six Rosetta applications (paper Sec 7.2)
+ * at reduced input resolutions, each decomposed into streaming
+ * operators exactly the way the paper describes:
+ *
+ *  - rendering:  pipeline stages, large stages split by image region
+ *  - digit rec:  systolic pipeline over training-set shards
+ *  - spam:       data-parallel dot products + decompose/reduce
+ *  - optical:    the dataflow task graph of Fig 2(c)
+ *  - face:       strong filtering by region, weak filtering by set
+ *  - bnn:        per-layer operators with on-chip weights
+ *
+ * Every benchmark carries an input generator and a golden output
+ * computed by an independent plain-C++ model (not by executing the
+ * IR), so all compile flows can be checked for bit-exactness.
+ */
+
+#ifndef PLD_ROSETTA_BENCHMARK_H
+#define PLD_ROSETTA_BENCHMARK_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/graph.h"
+
+namespace pld {
+namespace rosetta {
+
+/** One benchmark instance: graph + workload + golden reference. */
+struct Benchmark
+{
+    std::string name;
+    ir::Graph graph;
+    std::vector<uint32_t> input;    ///< words for external input 0
+    std::vector<uint32_t> expected; ///< golden words for output 0
+    /** Logical inputs per run (frames/digits/samples) for per-input
+     * normalization in Table 3. */
+    int64_t itemsPerRun = 1;
+};
+
+Benchmark makeRendering();
+Benchmark makeDigitRec();
+Benchmark makeSpamFilter();
+Benchmark makeOpticalFlow();
+Benchmark makeFaceDetect();
+Benchmark makeBnn();
+
+/** All six, in the paper's Table order. */
+std::vector<Benchmark> allBenchmarks();
+
+} // namespace rosetta
+} // namespace pld
+
+#endif // PLD_ROSETTA_BENCHMARK_H

@@ -1,0 +1,375 @@
+/**
+ * @file
+ * BNN: binarized neural network classifier with "the weight
+ * coefficients [moved] to on-chip memory and ... each stage and
+ * operation its own operator" (paper Sec 7.2). First convolution
+ * consumes fixed-point pixels and produces binary activations; the
+ * binary layers are XNOR-popcount convolutions; three fully
+ * connected layers finish with an argmax over 10 classes.
+ *
+ * Scaled instance: 8x8 input, 2 feature channels, 10 classes.
+ */
+
+#include "rosetta/benchmark.h"
+
+#include "common/rng.h"
+#include "ir/builder.h"
+
+namespace pld {
+namespace rosetta {
+
+using namespace pld::ir;
+
+namespace {
+
+constexpr int kImgs = 4;   // images classified per run
+constexpr int kS = 8;      // input spatial size
+constexpr int kC = 2;      // feature channels
+constexpr int kS2 = kS / 2;  // after pool1
+constexpr int kS4 = kS / 4;  // after pool2
+constexpr int kFcIn = kS4 * kS4 * kC; // 8
+constexpr int kHidden = 8;
+constexpr int kClasses = 10;
+
+/** Deterministic ±1 weights. */
+std::vector<int64_t>
+signWeights(uint64_t seed, int n)
+{
+    Rng rng(seed);
+    std::vector<int64_t> w;
+    for (int i = 0; i < n; ++i)
+        w.push_back(rng.chance(0.5) ? 1 : -1);
+    return w;
+}
+
+/** conv1: fixed-point input, 3x3 ±1 kernels, binarized output. */
+OperatorFn
+makeConv1(const std::vector<int64_t> &w)
+{
+    OpBuilder b("conv1");
+    auto in = b.input("Input_1");
+    auto out = b.output("out");
+    auto img = b.array("img", Type::s(32), kS * kS);
+    auto wrom = b.romRaw("w", Type::s(8), w); // [ch][3][3]
+    auto acc = b.var("acc", Type::s(32));
+    b.forLoop(0, kImgs, [&](Ex) {
+        b.forLoop(0, kS * kS, [&](Ex p) {
+            b.store(img, p, b.read(in).bitcast(Type::s(32)));
+        });
+        b.forLoop(0, kC, [&](Ex ch) {
+            b.forLoop(0, kS, [&](Ex y) {
+                b.forLoop(0, kS, [&](Ex x) {
+                    b.set(acc, lit(0));
+                    b.forLoop(0, 3, [&](Ex ky) {
+                        b.forLoop(0, 3, [&](Ex kx) {
+                            Ex yy = y + ky - 1;
+                            Ex xx = x + kx - 1;
+                            Ex valid = (yy >= 0) && (yy < kS) &&
+                                       (xx >= 0) && (xx < kS);
+                            Ex pix = b.select(
+                                valid, img[yy * kS + xx], lit(0));
+                            Ex wv = wrom[ch * 9 + ky * 3 + kx]
+                                        .cast(Type::s(32));
+                            b.set(acc, Ex(acc) + pix * wv);
+                        });
+                    });
+                    b.write(out, (Ex(acc) > 0).cast(Type::u(32)));
+                });
+            });
+        });
+    });
+    return b.finish();
+}
+
+/** Binary conv: 3x3 XNOR-style over all input channels. */
+OperatorFn
+makeBconv(const std::string &name, int size,
+          const std::vector<int64_t> &w)
+{
+    OpBuilder b(name);
+    auto in = b.input("in");
+    auto out = b.output("out");
+    auto act = b.array("act", Type::u(1), kC * size * size);
+    auto wrom = b.romRaw("w", Type::s(8), w); // [oc][ic][3][3]
+    auto acc = b.var("acc", Type::s(32));
+    b.forLoop(0, kImgs, [&](Ex) {
+        b.forLoop(0, kC * size * size, [&](Ex p) {
+            b.store(act, p, b.read(in).bitcast(Type::u(1)));
+        });
+        b.forLoop(0, kC, [&](Ex oc) {
+            b.forLoop(0, size, [&](Ex y) {
+                b.forLoop(0, size, [&](Ex x) {
+                    b.set(acc, lit(0));
+                    b.forLoop(0, kC, [&](Ex ic) {
+                        b.forLoop(0, 3, [&](Ex ky) {
+                            b.forLoop(0, 3, [&](Ex kx) {
+                                Ex yy = y + ky - 1;
+                                Ex xx = x + kx - 1;
+                                Ex valid = (yy >= 0) &&
+                                           (yy < lit(size)) &&
+                                           (xx >= 0) &&
+                                           (xx < lit(size));
+                                Ex bit = b.select(
+                                    valid,
+                                    act[ic * lit(size * size) +
+                                        yy * lit(size) + xx]
+                                        .cast(Type::s(32)),
+                                    lit(0));
+                                // +1 where bit matches weight sign.
+                                Ex bip = bit * 2 - 1;
+                                Ex wv = wrom[((oc * kC + ic) * 9) +
+                                             ky * 3 + kx]
+                                            .cast(Type::s(32));
+                                b.set(acc,
+                                      Ex(acc) +
+                                          b.select(valid, bip * wv,
+                                                   lit(0)));
+                            });
+                        });
+                    });
+                    b.write(out, (Ex(acc) > 0).cast(Type::u(32)));
+                });
+            });
+        });
+    });
+    return b.finish();
+}
+
+/** 2x2 max pool (OR for binary activations). */
+OperatorFn
+makePool(const std::string &name, int size)
+{
+    int half = size / 2;
+    OpBuilder b(name);
+    auto in = b.input("in");
+    auto out = b.output("out");
+    auto act = b.array("act", Type::u(1), kC * size * size);
+    b.forLoop(0, kImgs, [&](Ex) {
+        b.forLoop(0, kC * size * size, [&](Ex p) {
+            b.store(act, p, b.read(in).bitcast(Type::u(1)));
+        });
+        b.forLoop(0, kC, [&](Ex ch) {
+            b.forLoop(0, half, [&](Ex y) {
+                b.forLoop(0, half, [&](Ex x) {
+                    Ex base = ch * lit(size * size) +
+                              (y * 2) * lit(size) + x * 2;
+                    Ex m = act[base].cast(Type::u(32)) |
+                           act[base + 1].cast(Type::u(32)) |
+                           act[base + lit(size)].cast(Type::u(32)) |
+                           act[base + lit(size + 1)]
+                               .cast(Type::u(32));
+                    b.write(out, m);
+                });
+            });
+        });
+    });
+    return b.finish();
+}
+
+/** Fully connected ±1 layer with binary output. */
+OperatorFn
+makeFcBinary(const std::string &name, int n_in, int n_out,
+             const std::vector<int64_t> &w)
+{
+    OpBuilder b(name);
+    auto in = b.input("in");
+    auto out = b.output("out");
+    auto act = b.array("act", Type::u(1), n_in);
+    auto wrom = b.romRaw("w", Type::s(8), w); // [out][in]
+    auto acc = b.var("acc", Type::s(32));
+    b.forLoop(0, kImgs, [&](Ex) {
+        b.forLoop(0, n_in, [&](Ex i) {
+            b.store(act, i, b.read(in).bitcast(Type::u(1)));
+        });
+        b.forLoop(0, n_out, [&](Ex o) {
+            b.set(acc, lit(0));
+            b.forLoop(0, n_in, [&](Ex i) {
+                Ex bip = act[i].cast(Type::s(32)) * 2 - 1;
+                b.set(acc,
+                      Ex(acc) + bip * wrom[o * lit(n_in) + i]
+                                    .cast(Type::s(32)));
+            });
+            b.write(out, (Ex(acc) > 0).cast(Type::u(32)));
+        });
+    });
+    return b.finish();
+}
+
+/** Final layer: integer scores + argmax. */
+OperatorFn
+makeFcScores(const std::vector<int64_t> &w)
+{
+    OpBuilder b("fc_argmax");
+    auto in = b.input("in");
+    auto out = b.output("Output_1");
+    auto act = b.array("act", Type::u(1), kHidden);
+    auto wrom = b.romRaw("w", Type::s(8), w);
+    auto acc = b.var("acc", Type::s(32));
+    auto best = b.var("best", Type::s(32));
+    auto best_i = b.var("best_i", Type::s(32));
+    b.forLoop(0, kImgs, [&](Ex) {
+        b.forLoop(0, kHidden, [&](Ex i) {
+            b.store(act, i, b.read(in).bitcast(Type::u(1)));
+        });
+        b.set(best, lit(-1000000));
+        b.set(best_i, lit(0));
+        b.forLoop(0, kClasses, [&](Ex o) {
+            b.set(acc, lit(0));
+            b.forLoop(0, kHidden, [&](Ex i) {
+                Ex bip = act[i].cast(Type::s(32)) * 2 - 1;
+                b.set(acc,
+                      Ex(acc) + bip * wrom[o * lit(kHidden) + i]
+                                    .cast(Type::s(32)));
+            });
+            Ex better = Ex(acc) > Ex(best);
+            b.set(best_i, b.select(better, o, Ex(best_i)));
+            b.set(best, b.select(better, Ex(acc), Ex(best)));
+        });
+        b.write(out, best_i);
+    });
+    return b.finish();
+}
+
+} // namespace
+
+Benchmark
+makeBnn()
+{
+    Benchmark bm;
+    bm.name = "Binary NN";
+    bm.itemsPerRun = kImgs;
+
+    auto w1 = signWeights(0xB001, kC * 9);
+    auto w2 = signWeights(0xB002, kC * kC * 9);
+    auto w3 = signWeights(0xB003, kC * kC * 9);
+    auto wf1 = signWeights(0xB004, kHidden * kFcIn);
+    auto wf2 = signWeights(0xB005, kHidden * kHidden);
+    auto wf3 = signWeights(0xB006, kClasses * kHidden);
+
+    GraphBuilder gb("bnn");
+    auto in = gb.extIn("Input_1");
+    auto out = gb.extOut("Output_1");
+    auto a = gb.wire(), b2 = gb.wire(), c = gb.wire(),
+         d = gb.wire(), e = gb.wire(), f = gb.wire(), g = gb.wire();
+    gb.inst(makeConv1(w1), {in}, {a});
+    gb.inst(makeBconv("bconv2", kS, w2), {a}, {b2});
+    gb.inst(makePool("pool1", kS), {b2}, {c});
+    gb.inst(makeBconv("bconv3", kS2, w3), {c}, {d});
+    gb.inst(makePool("pool2", kS2), {d}, {e});
+    gb.inst(makeFcBinary("fc1", kFcIn, kHidden, wf1), {e}, {f});
+    gb.inst(makeFcBinary("fc2", kHidden, kHidden, wf2), {f}, {g});
+    gb.inst(makeFcScores(wf3), {g}, {out});
+    bm.graph = gb.finish();
+
+    // Workload: random small images.
+    Rng rng(0xC1FA);
+    std::vector<int32_t> pixels;
+    for (int i = 0; i < kImgs * kS * kS; ++i)
+        pixels.push_back(static_cast<int32_t>(rng.range(-32, 96)));
+    for (int32_t p : pixels)
+        bm.input.push_back(static_cast<uint32_t>(p));
+
+    // ---- golden model --------------------------------------------
+    auto conv_bin = [&](const std::vector<int>& act, int size,
+                        const std::vector<int64_t> &w) {
+        std::vector<int> o(kC * size * size);
+        for (int oc = 0; oc < kC; ++oc)
+            for (int y = 0; y < size; ++y)
+                for (int x = 0; x < size; ++x) {
+                    int acc = 0;
+                    for (int ic = 0; ic < kC; ++ic)
+                        for (int ky = 0; ky < 3; ++ky)
+                            for (int kx = 0; kx < 3; ++kx) {
+                                int yy = y + ky - 1, xx = x + kx - 1;
+                                if (yy < 0 || yy >= size || xx < 0 ||
+                                    xx >= size)
+                                    continue;
+                                int bip =
+                                    act[ic * size * size +
+                                        yy * size + xx] * 2 - 1;
+                                acc += bip *
+                                       static_cast<int>(
+                                           w[(oc * kC + ic) * 9 +
+                                             ky * 3 + kx]);
+                            }
+                    o[oc * size * size + y * size + x] =
+                        acc > 0 ? 1 : 0;
+                }
+        return o;
+    };
+    auto pool_bin = [&](const std::vector<int> &act, int size) {
+        int half = size / 2;
+        std::vector<int> o(kC * half * half);
+        for (int ch = 0; ch < kC; ++ch)
+            for (int y = 0; y < half; ++y)
+                for (int x = 0; x < half; ++x) {
+                    int base = ch * size * size + 2 * y * size + 2 * x;
+                    o[ch * half * half + y * half + x] =
+                        act[base] | act[base + 1] |
+                        act[base + size] | act[base + size + 1];
+                }
+        return o;
+    };
+    auto fc_bin = [&](const std::vector<int> &act, int n_in,
+                      int n_out, const std::vector<int64_t> &w) {
+        std::vector<int> o(n_out);
+        for (int j = 0; j < n_out; ++j) {
+            int acc = 0;
+            for (int i = 0; i < n_in; ++i)
+                acc += (act[i] * 2 - 1) *
+                       static_cast<int>(w[j * n_in + i]);
+            o[j] = acc > 0 ? 1 : 0;
+        }
+        return o;
+    };
+
+    for (int im = 0; im < kImgs; ++im) {
+        const int32_t *img = &pixels[im * kS * kS];
+        std::vector<int> l1(kC * kS * kS);
+        for (int ch = 0; ch < kC; ++ch)
+            for (int y = 0; y < kS; ++y)
+                for (int x = 0; x < kS; ++x) {
+                    int acc = 0;
+                    for (int ky = 0; ky < 3; ++ky)
+                        for (int kx = 0; kx < 3; ++kx) {
+                            int yy = y + ky - 1, xx = x + kx - 1;
+                            if (yy < 0 || yy >= kS || xx < 0 ||
+                                xx >= kS)
+                                continue;
+                            acc += img[yy * kS + xx] *
+                                   static_cast<int>(
+                                       w1[ch * 9 + ky * 3 + kx]);
+                        }
+                    l1[ch * kS * kS + y * kS + x] = acc > 0 ? 1 : 0;
+                }
+        auto l2 = conv_bin(l1, kS, w2);
+        auto l3 = pool_bin(l2, kS);
+        auto l4 = conv_bin(l3, kS2, w3);
+        auto l5 = pool_bin(l4, kS2);
+        auto l6 = fc_bin(l5, kFcIn, kHidden, wf1);
+        auto l7 = fc_bin(l6, kHidden, kHidden, wf2);
+        int best = -1000000, best_i = 0;
+        for (int j = 0; j < kClasses; ++j) {
+            int acc = 0;
+            for (int i = 0; i < kHidden; ++i)
+                acc += (l7[i] * 2 - 1) *
+                       static_cast<int>(wf3[j * kHidden + i]);
+            if (acc > best) {
+                best = acc;
+                best_i = j;
+            }
+        }
+        bm.expected.push_back(static_cast<uint32_t>(best_i));
+    }
+    return bm;
+}
+
+std::vector<Benchmark>
+allBenchmarks()
+{
+    return {makeRendering(), makeDigitRec(), makeSpamFilter(),
+            makeOpticalFlow(), makeFaceDetect(), makeBnn()};
+}
+
+} // namespace rosetta
+} // namespace pld

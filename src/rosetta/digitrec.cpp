@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Digit recognition: 1-NN classification of bitmap digits against a
+ * training set, refactored as a systolic pipeline "with each pipe
+ * stage operating on a subset of the training set" (paper Sec 7.2).
+ *
+ * Digits are 32-bit bitmaps; distance is Hamming (popcount of XOR).
+ * Four knn stages each hold one training-set shard in on-chip ROM; a
+ * (digit, best_dist, best_label) triple flows through the pipeline
+ * and the vote stage emits the winning label.
+ */
+
+#include "rosetta/benchmark.h"
+
+#include "common/rng.h"
+#include "ir/builder.h"
+
+namespace pld {
+namespace rosetta {
+
+using namespace pld::ir;
+
+namespace {
+
+constexpr int kTests = 32;
+constexpr int kShards = 4;
+constexpr int kShardSize = 16;
+
+/** Deterministic training set: one noisy prototype per label. */
+struct TrainingSet
+{
+    std::vector<uint32_t> bitmap;
+    std::vector<int32_t> label;
+};
+
+const TrainingSet &
+trainingSet()
+{
+    static TrainingSet ts = [] {
+        TrainingSet t;
+        Rng rng(0xD161);
+        uint32_t proto[10];
+        for (int d = 0; d < 10; ++d)
+            proto[d] = static_cast<uint32_t>(rng.next());
+        for (int i = 0; i < kShards * kShardSize; ++i) {
+            int lbl = static_cast<int>(rng.below(10));
+            uint32_t bm = proto[lbl];
+            // Flip up to two random bits of noise.
+            bm ^= 1u << rng.below(32);
+            bm ^= 1u << rng.below(32);
+            t.bitmap.push_back(bm);
+            t.label.push_back(lbl);
+        }
+        return t;
+    }();
+    return ts;
+}
+
+/** unpack: forwards digits, attaching the initial best triple. */
+OperatorFn
+makeUnpack()
+{
+    OpBuilder b("unpack");
+    auto in = b.input("in");
+    auto out = b.output("out");
+    auto d = b.var("d", Type::u(32));
+    b.forLoop(0, kTests, [&](Ex) {
+        b.set(d, b.read(in));
+        b.write(out, d);
+        b.write(out, lit(999, Type::s(32))); // best distance
+        b.write(out, lit(-1, Type::s(32)));  // best label
+    });
+    return b.finish();
+}
+
+/** One systolic stage: scans its shard, improving the best triple. */
+OperatorFn
+makeKnnStage(int shard)
+{
+    const auto &ts = trainingSet();
+    std::vector<int64_t> bitmaps, labels;
+    for (int i = 0; i < kShardSize; ++i) {
+        bitmaps.push_back(static_cast<int64_t>(
+            ts.bitmap[shard * kShardSize + i]));
+        labels.push_back(ts.label[shard * kShardSize + i]);
+    }
+
+    OpBuilder b("knn" + std::to_string(shard));
+    auto in = b.input("in");
+    auto out = b.output("out");
+    auto train = b.romRaw("train", Type::u(32), bitmaps);
+    auto lbl = b.romRaw("lbl", Type::s(8), labels);
+    auto digit = b.var("digit", Type::u(32));
+    auto best_d = b.var("best_d", Type::s(32));
+    auto best_l = b.var("best_l", Type::s(32));
+    auto x = b.var("x", Type::u(32));
+    auto dist = b.var("dist", Type::s(32));
+    b.forLoop(0, kTests, [&](Ex) {
+        b.set(digit, b.read(in));
+        b.set(best_d, b.read(in).bitcast(Type::s(32)));
+        b.set(best_l, b.read(in).bitcast(Type::s(32)));
+        b.forLoop(0, kShardSize, [&](Ex i) {
+            b.set(x, Ex(digit) ^ train[i]);
+            // Hamming weight via nibble loop.
+            b.set(dist, lit(0));
+            b.forLoop(0, 32, [&](Ex) {
+                b.set(dist, Ex(dist) +
+                                (Ex(x) & lit(1, Type::u(32)))
+                                    .cast(Type::s(32)));
+                b.set(x, Ex(x) >> 1);
+            });
+            Ex better = Ex(dist) < Ex(best_d);
+            b.set(best_l,
+                  b.select(better, lbl[i].cast(Type::s(32)),
+                           Ex(best_l)));
+            b.set(best_d, b.select(better, Ex(dist), Ex(best_d)));
+        });
+        b.write(out, digit);
+        b.write(out, best_d);
+        b.write(out, best_l);
+    });
+    return b.finish();
+}
+
+/** vote: strips the triple down to the winning label. */
+OperatorFn
+makeVote()
+{
+    OpBuilder b("vote");
+    auto in = b.input("in");
+    auto out = b.output("out");
+    auto lab = b.var("lab", Type::s(32));
+    auto scratch = b.var("scratch", Type::u(32));
+    b.forLoop(0, kTests, [&](Ex) {
+        b.set(scratch, b.read(in)); // digit (discarded)
+        b.set(scratch, b.read(in)); // distance (discarded)
+        b.set(lab, b.read(in).bitcast(Type::s(32)));
+        b.write(out, lab);
+    });
+    return b.finish();
+}
+
+} // namespace
+
+Benchmark
+makeDigitRec()
+{
+    Benchmark bm;
+    bm.name = "Digit Recognition";
+    bm.itemsPerRun = kTests;
+
+    GraphBuilder gb("digitrec");
+    auto in = gb.extIn("Input_1");
+    auto out = gb.extOut("Output_1");
+    GraphBuilder::WireId prev = gb.wire();
+    gb.inst(makeUnpack(), {in}, {prev});
+    for (int s = 0; s < kShards; ++s) {
+        auto next = gb.wire();
+        gb.inst(makeKnnStage(s), {prev}, {next});
+        prev = next;
+    }
+    gb.inst(makeVote(), {prev}, {out});
+    bm.graph = gb.finish();
+
+    // Workload: noisy copies of the prototypes.
+    const auto &ts = trainingSet();
+    Rng rng(0x7E57);
+    std::vector<uint32_t> tests;
+    for (int i = 0; i < kTests; ++i) {
+        uint32_t bm_bits = ts.bitmap[rng.below(ts.bitmap.size())];
+        bm_bits ^= 1u << rng.below(32);
+        tests.push_back(bm_bits);
+    }
+    bm.input = tests;
+
+    // Golden 1-NN.
+    for (uint32_t digit : tests) {
+        int best_d = 999, best_l = -1;
+        for (size_t i = 0; i < ts.bitmap.size(); ++i) {
+            int d = __builtin_popcount(digit ^ ts.bitmap[i]);
+            if (d < best_d) {
+                best_d = d;
+                best_l = ts.label[i];
+            }
+        }
+        bm.expected.push_back(static_cast<uint32_t>(best_l));
+    }
+    return bm;
+}
+
+} // namespace rosetta
+} // namespace pld

@@ -1,0 +1,222 @@
+/**
+ * @file
+ * Face detection: cascaded window classification, "decomposed [into]
+ * the two main stages of the computation (strong and weak filtering),
+ * then ... the strong filtering by image region and the weak
+ * filtering by filter sets" (paper Sec 7.2).
+ *
+ * Haar-like integer features over 8x8 sliding windows: two strong
+ * filter operators each score half of every window's rows, two weak
+ * filter operators each apply a threshold set, and a merge stage
+ * emits a binary detection per window.
+ */
+
+#include "rosetta/benchmark.h"
+
+#include "common/rng.h"
+#include "ir/builder.h"
+
+namespace pld {
+namespace rosetta {
+
+using namespace pld::ir;
+
+namespace {
+
+constexpr int kImg = 24;       // kImg x kImg image
+constexpr int kWin = 8;        // window side
+constexpr int kStride = 4;
+constexpr int kGrid = (kImg - kWin) / kStride + 1; // windows per axis
+constexpr int kWindows = kGrid * kGrid;
+constexpr int kWinPix = kWin * kWin;
+
+/** window_gen: emits the pixels of every sliding window, twice (for
+ * the two strong-filter regions). */
+OperatorFn
+makeWindowGen()
+{
+    OpBuilder b("window_gen");
+    auto in = b.input("Input_1");
+    auto top = b.output("win_top");
+    auto bot = b.output("win_bot");
+    auto img = b.array("img", Type::s(16), kImg * kImg);
+    b.forLoop(0, kImg * kImg, [&](Ex p) {
+        b.store(img, p, b.read(in).bitcast(Type::s(16)));
+    });
+    b.forLoop(0, kGrid, [&](Ex wy) {
+        b.forLoop(0, kGrid, [&](Ex wx) {
+            b.forLoop(0, kWin, [&](Ex r) {
+                b.forLoop(0, kWin, [&](Ex c) {
+                    Ex pix = img[(wy * kStride + r) * lit(kImg) +
+                                 wx * kStride + c];
+                    b.write(top, pix.cast(Type::s(32)));
+                    b.write(bot, pix.cast(Type::s(32)));
+                });
+            });
+        });
+    });
+    return b.finish();
+}
+
+/**
+ * Strong filter over rows [r0, r1) of each window: computes two
+ * Haar-like features (left-right and top-bottom halves) over its
+ * region and emits their sum.
+ */
+OperatorFn
+makeStrong(const std::string &name, int r0, int r1)
+{
+    OpBuilder b(name);
+    auto in = b.input("win");
+    auto out = b.output("feat");
+    auto px = b.var("px", Type::s(32));
+    auto lr = b.var("lr", Type::s(32));
+    auto tb = b.var("tb", Type::s(32));
+    b.forLoop(0, kWindows, [&](Ex) {
+        b.set(lr, lit(0));
+        b.set(tb, lit(0));
+        b.forLoop(0, kWin, [&](Ex r) {
+            b.forLoop(0, kWin, [&](Ex c) {
+                b.set(px, b.read(in).bitcast(Type::s(32)));
+                Ex in_rows = (r >= lit(r0)) && (r < lit(r1));
+                Ex lr_sign = b.select(c < lit(kWin / 2), Ex(px),
+                                      -Ex(px));
+                Ex tb_sign = b.select(r < lit(kWin / 2), Ex(px),
+                                      -Ex(px));
+                b.set(lr, Ex(lr) + b.select(in_rows, lr_sign,
+                                            lit(0)));
+                b.set(tb, Ex(tb) + b.select(in_rows, tb_sign,
+                                            lit(0)));
+            });
+        });
+        b.write(out, (Ex(lr) + Ex(tb)).cast(Type::s(32)));
+    });
+    return b.finish();
+}
+
+/** Merge the two strong features into one score per window. */
+OperatorFn
+makeCombine()
+{
+    OpBuilder b("combine");
+    auto top = b.input("ftop");
+    auto bot = b.input("fbot");
+    auto out = b.output("score");
+    auto t = b.var("t", Type::s(32));
+    b.forLoop(0, kWindows, [&](Ex) {
+        b.set(t, b.read(top).bitcast(Type::s(32)));
+        b.write(out,
+                (Ex(t) + b.read(bot).bitcast(Type::s(32)))
+                    .cast(Type::s(32)));
+    });
+    return b.finish();
+}
+
+/** Weak filter: pass the score plus a pass/fail bit for its
+ * threshold set; the next stage combines. */
+OperatorFn
+makeWeak(const std::string &name, int lo_thresh, int hi_thresh)
+{
+    OpBuilder b(name);
+    auto in = b.input("in");
+    auto out = b.output("out");
+    auto s = b.var("s", Type::s(32));
+    b.forLoop(0, kWindows, [&](Ex) {
+        b.set(s, b.read(in).bitcast(Type::s(32)));
+        Ex pass = (Ex(s) > lit(lo_thresh)) && (Ex(s) < lit(hi_thresh));
+        // Encode: keep score in high bits, accumulate pass bits low.
+        b.write(out,
+                ((Ex(s) << 1) | pass.cast(Type::s(32)))
+                    .cast(Type::s(32)));
+    });
+    return b.finish();
+}
+
+/** Final merge: window is a detection iff both weak sets passed. */
+OperatorFn
+makeMerge()
+{
+    OpBuilder b("merge");
+    auto in = b.input("in");
+    auto out = b.output("Output_1");
+    auto v = b.var("v", Type::s(32));
+    b.forLoop(0, kWindows, [&](Ex) {
+        b.set(v, b.read(in).bitcast(Type::s(32)));
+        b.write(out, (Ex(v) & lit(3)) == 3);
+    });
+    return b.finish();
+}
+
+} // namespace
+
+Benchmark
+makeFaceDetect()
+{
+    Benchmark bm;
+    bm.name = "Face Detection";
+    bm.itemsPerRun = kWindows;
+
+    GraphBuilder gb("face_detect");
+    auto in = gb.extIn("Input_1");
+    auto out = gb.extOut("Output_1");
+    auto w_top = gb.wire(), w_bot = gb.wire();
+    auto f_top = gb.wire(), f_bot = gb.wire();
+    auto score = gb.wire(), weak1 = gb.wire(), weak2 = gb.wire();
+    gb.inst(makeWindowGen(), {in}, {w_top, w_bot});
+    gb.inst(makeStrong("strong_top", 0, kWin / 2), {w_top}, {f_top});
+    gb.inst(makeStrong("strong_bot", kWin / 2, kWin), {w_bot},
+            {f_bot});
+    gb.inst(makeCombine(), {f_top, f_bot}, {score});
+    gb.inst(makeWeak("weak_set1", -4000, 4000), {score}, {weak1});
+    gb.inst(makeWeak("weak_set2", -100000, 100000), {weak1}, {weak2});
+    gb.inst(makeMerge(), {weak2}, {out});
+    bm.graph = gb.finish();
+
+    // Workload: noise plus a few bright blobs.
+    Rng rng(0xFACE);
+    std::vector<int32_t> img(kImg * kImg);
+    for (auto &p : img)
+        p = static_cast<int32_t>(rng.range(0, 60));
+    for (int blob = 0; blob < 3; ++blob) {
+        int cx = static_cast<int>(rng.below(kImg - 4));
+        int cy = static_cast<int>(rng.below(kImg - 4));
+        for (int dy = 0; dy < 4; ++dy)
+            for (int dx = 0; dx < 4; ++dx)
+                img[(cy + dy) * kImg + cx + dx] += 120;
+    }
+    for (int32_t p : img)
+        bm.input.push_back(static_cast<uint32_t>(p));
+
+    // Golden cascade.
+    for (int wy = 0; wy < kGrid; ++wy) {
+        for (int wx = 0; wx < kGrid; ++wx) {
+            auto region_score = [&](int r0, int r1) {
+                int32_t lr = 0, tb = 0;
+                for (int r = 0; r < kWin; ++r) {
+                    for (int c = 0; c < kWin; ++c) {
+                        if (r < r0 || r >= r1)
+                            continue;
+                        int32_t px =
+                            img[(wy * kStride + r) * kImg +
+                                wx * kStride + c];
+                        lr += (c < kWin / 2) ? px : -px;
+                        tb += (r < kWin / 2) ? px : -px;
+                    }
+                }
+                return lr + tb;
+            };
+            int32_t score =
+                region_score(0, kWin / 2) + region_score(kWin / 2,
+                                                         kWin);
+            int32_t v1 = (score << 1) |
+                         ((score > -4000 && score < 4000) ? 1 : 0);
+            int32_t v2 = (v1 << 1) |
+                         ((v1 > -100000 && v1 < 100000) ? 1 : 0);
+            bm.expected.push_back(((v2 & 3) == 3) ? 1u : 0u);
+        }
+    }
+    return bm;
+}
+
+} // namespace rosetta
+} // namespace pld

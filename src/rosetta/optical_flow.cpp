@@ -1,0 +1,321 @@
+/**
+ * @file
+ * Optical flow: the paper's own running example (Fig 2). The
+ * computation "already had the shape of a dataflow task graph"
+ * (Sec 7.2): unpack -> {grad_xy, grad_z} -> tensor_y -> weight_y ->
+ * tensor_x -> flow_calc, with flow_calc being exactly the Fig 2(d)
+ * kernel (6 tensor words in, u/v flow pair out, guarded division).
+ *
+ * Workload: two kW x kH frames; output is a (u, v) fixed-point flow
+ * vector per pixel.
+ */
+
+#include "rosetta/benchmark.h"
+
+#include "common/rng.h"
+#include "ir/builder.h"
+
+namespace pld {
+namespace rosetta {
+
+using namespace pld::ir;
+
+namespace {
+
+constexpr int kW = 12;
+constexpr int kH = 12;
+constexpr int kPixels = kW * kH;
+constexpr Type kFx = Type::fx(32, 17); // 15 fractional bits
+
+/** unpack: interleaved (frame1, frame2) pixels -> two streams. */
+OperatorFn
+makeUnpack()
+{
+    OpBuilder b("unpack");
+    auto in = b.input("Input_1");
+    auto up1 = b.output("up1"); // frame1 pixels for spatial grads
+    auto up2 = b.output("up2"); // (p1, p2) pairs for temporal grad
+    auto p1 = b.var("p1", Type::s(32));
+    auto p2 = b.var("p2", Type::s(32));
+    b.forLoop(0, kPixels, [&](Ex) {
+        b.set(p1, b.read(in).bitcast(Type::s(32)));
+        b.set(p2, b.read(in).bitcast(Type::s(32)));
+        b.write(up1, p1);
+        b.write(up2, p1);
+        b.write(up2, p2);
+    });
+    return b.finish();
+}
+
+/** grad_xy: spatial gradients via row/line buffers. 2 words/pixel. */
+OperatorFn
+makeGradXy()
+{
+    OpBuilder b("grad_xy");
+    auto in = b.input("up1");
+    auto out = b.output("gxy");
+    auto line = b.array("line", Type::s(32), kW);
+    auto prev = b.var("prev", Type::s(32));
+    auto cur = b.var("cur", Type::s(32));
+    b.forLoop(0, kH, [&](Ex y) {
+        b.forLoop(0, kW, [&](Ex x) {
+            b.set(cur, b.read(in).bitcast(Type::s(32)));
+            Ex gx = b.select(x == 0, lit(0), Ex(cur) - Ex(prev));
+            Ex gy = b.select(y == 0, lit(0), Ex(cur) - line[x]);
+            b.write(out, gx.cast(Type::s(32)));
+            b.write(out, gy.cast(Type::s(32)));
+            b.store(line, x, cur);
+            b.set(prev, cur);
+        });
+    });
+    return b.finish();
+}
+
+/** grad_z: temporal gradient, 1 word/pixel. */
+OperatorFn
+makeGradZ()
+{
+    OpBuilder b("grad_z");
+    auto in = b.input("up2");
+    auto out = b.output("gz");
+    auto p1 = b.var("p1", Type::s(32));
+    b.forLoop(0, kPixels, [&](Ex) {
+        b.set(p1, b.read(in).bitcast(Type::s(32)));
+        b.write(out,
+                (b.read(in).bitcast(Type::s(32)) - Ex(p1))
+                    .cast(Type::s(32)));
+    });
+    return b.finish();
+}
+
+/**
+ * tensor_y: builds the 6-word structure tensor per pixel:
+ * t0=gx*gz, t1=gx*gx, t2=gy*gy, t4=gx*gy, t5=gy*gz, t3=gz*gz.
+ * Pixel gradients are small integers; tensor entries are fx words.
+ */
+OperatorFn
+makeTensorY()
+{
+    OpBuilder b("tensor_y");
+    auto gxy = b.input("gxy");
+    auto gzi = b.input("gz");
+    auto out = b.output("ty");
+    auto gx = b.var("gx", kFx);
+    auto gy = b.var("gy", kFx);
+    auto gz = b.var("gz", kFx);
+    b.forLoop(0, kPixels, [&](Ex) {
+        b.set(gx, b.read(gxy).bitcast(Type::s(32)).cast(kFx));
+        b.set(gy, b.read(gxy).bitcast(Type::s(32)).cast(kFx));
+        b.set(gz, b.read(gzi).bitcast(Type::s(32)).cast(kFx));
+        b.write(out, (Ex(gx) * Ex(gz)).cast(kFx)); // t0
+        b.write(out, (Ex(gx) * Ex(gx)).cast(kFx)); // t1
+        b.write(out, (Ex(gy) * Ex(gy)).cast(kFx)); // t2
+        b.write(out, (Ex(gz) * Ex(gz)).cast(kFx)); // t3
+        b.write(out, (Ex(gx) * Ex(gy)).cast(kFx)); // t4
+        b.write(out, (Ex(gy) * Ex(gz)).cast(kFx)); // t5
+    });
+    return b.finish();
+}
+
+/** weight_y: temporal smoothing — running average of consecutive
+ * tensors (w/2 + w/2 on the fixed grid). */
+OperatorFn
+makeWeightY()
+{
+    OpBuilder b("weight_y");
+    auto in = b.input("ty");
+    auto out = b.output("wy");
+    auto prev = b.array("prev", kFx, 6);
+    auto cur = b.var("cur", kFx);
+    b.forLoop(0, kPixels, [&](Ex p) {
+        b.forLoop(0, 6, [&](Ex i) {
+            b.set(cur, b.read(in).bitcast(kFx));
+            Ex smoothed = ((Ex(cur) + prev[i]).cast(kFx) >> 1);
+            b.write(out,
+                    b.select(p == 0, Ex(cur), smoothed).cast(kFx));
+            b.store(prev, i, cur);
+        });
+    });
+    return b.finish();
+}
+
+/** tensor_x: second smoothing pass (same structure). */
+OperatorFn
+makeTensorX()
+{
+    OpBuilder b("tensor_x");
+    auto in = b.input("wy");
+    auto out = b.output("tx");
+    auto prev = b.array("prev", kFx, 6);
+    auto cur = b.var("cur", kFx);
+    b.forLoop(0, kPixels, [&](Ex p) {
+        b.forLoop(0, 6, [&](Ex i) {
+            b.set(cur, b.read(in).bitcast(kFx));
+            Ex smoothed = ((Ex(cur) + prev[i]).cast(kFx) >> 1);
+            b.write(out,
+                    b.select(p == 0, Ex(cur), smoothed).cast(kFx));
+            b.store(prev, i, cur);
+        });
+    });
+    return b.finish();
+}
+
+/** flow_calc: the paper's Fig 2(d) kernel. */
+OperatorFn
+makeFlowCalc()
+{
+    OpBuilder b("flow_calc");
+    auto in = b.input("tx");
+    auto out = b.output("Output_1");
+    auto t = b.array("t", kFx, 6);
+    auto buf0 = b.var("buf0", kFx);
+    auto buf1 = b.var("buf1", kFx);
+    auto denom = b.var("denom", kFx);
+    b.forLoop(0, kPixels, [&](Ex) {
+        b.forLoop(0, 6, [&](Ex i) {
+            b.store(t, i, b.readAs(in, kFx));
+        });
+        b.set(denom, (t[1] * t[2] - t[4] * t[4]).cast(kFx));
+        b.ifElse(
+            Ex(denom) == litF(0.0, kFx),
+            [&] {
+                b.set(buf0, litF(0.0, kFx));
+                b.set(buf1, litF(0.0, kFx));
+            },
+            [&] {
+                b.set(buf0,
+                      (t[0] * t[4] - t[5] * t[2]).cast(kFx) /
+                          Ex(denom));
+                b.set(buf1,
+                      (t[5] * t[4] - t[0] * t[1]).cast(kFx) /
+                          Ex(denom));
+            });
+        b.write(out, buf0);
+        b.write(out, buf1);
+    });
+    return b.finish();
+}
+
+// ---- golden model (independent, exact fixed-point semantics) ------
+
+int64_t
+wrap32(int64_t v)
+{
+    return static_cast<int32_t>(static_cast<uint32_t>(v));
+}
+
+/** (a*b) as fx<32,17> values (f15 raws): exact mul then >>15. */
+int64_t
+fxMul(int64_t a, int64_t b)
+{
+    return wrap32((a * b) >> 15);
+}
+
+int64_t
+fxDiv(int64_t a, int64_t b)
+{
+    if (b == 0)
+        return 0;
+    __int128 num = static_cast<__int128>(a) << 15;
+    return wrap32(static_cast<int64_t>(num / b));
+}
+
+} // namespace
+
+Benchmark
+makeOpticalFlow()
+{
+    Benchmark bm;
+    bm.name = "Optical Flow";
+    bm.itemsPerRun = kPixels;
+
+    GraphBuilder gb("optical_flow");
+    auto in = gb.extIn("Input_1");
+    auto out = gb.extOut("Output_1");
+    auto up1 = gb.wire(), up2 = gb.wire(), gxy = gb.wire(),
+         gz = gb.wire(), ty = gb.wire(), wy = gb.wire(),
+         tx = gb.wire();
+    gb.inst(makeUnpack(), {in}, {up1, up2});
+    gb.inst(makeGradXy(), {up1}, {gxy});
+    gb.inst(makeGradZ(), {up2}, {gz});
+    gb.inst(makeTensorY(), {gxy, gz}, {ty});
+    gb.inst(makeWeightY(), {ty}, {wy});
+    gb.inst(makeTensorX(), {wy}, {tx});
+    gb.inst(makeFlowCalc(), {tx}, {out});
+    bm.graph = gb.finish();
+
+    // Workload: two frames of a drifting gradient pattern + noise.
+    Rng rng(0xF10A);
+    std::vector<int32_t> f1(kPixels), f2(kPixels);
+    for (int y = 0; y < kH; ++y) {
+        for (int x = 0; x < kW; ++x) {
+            int32_t base = 8 * x + 5 * y;
+            f1[y * kW + x] =
+                base + static_cast<int32_t>(rng.range(0, 3));
+            f2[y * kW + x] =
+                base + 7 + static_cast<int32_t>(rng.range(0, 3));
+        }
+    }
+    for (int p = 0; p < kPixels; ++p) {
+        bm.input.push_back(static_cast<uint32_t>(f1[p]));
+        bm.input.push_back(static_cast<uint32_t>(f2[p]));
+    }
+
+    // Golden pipeline.
+    std::vector<int64_t> prev_w(6, 0), prev_x(6, 0);
+    std::vector<int32_t> line(kW, 0);
+    int32_t prev_px = 0;
+    for (int y = 0; y < kH; ++y) {
+        for (int x = 0; x < kW; ++x) {
+            int p = y * kW + x;
+            int32_t cur = f1[p];
+            int32_t gx = (x == 0) ? 0 : cur - prev_px;
+            int32_t gy = (y == 0) ? 0 : cur - line[x];
+            line[x] = cur;
+            prev_px = cur;
+            int32_t gz = f2[p] - f1[p];
+
+            // Tensor entries at f15 (gradient integers << 15).
+            int64_t G[3] = {int64_t(gx) << 15, int64_t(gy) << 15,
+                            int64_t(gz) << 15};
+            int64_t t6[6] = {fxMul(G[0], G[2]), fxMul(G[0], G[0]),
+                             fxMul(G[1], G[1]), fxMul(G[2], G[2]),
+                             fxMul(G[0], G[1]), fxMul(G[1], G[2])};
+            int64_t w6[6], x6[6];
+            for (int i = 0; i < 6; ++i) {
+                w6[i] = (p == 0)
+                            ? t6[i]
+                            : wrap32(wrap32(t6[i] + prev_w[i]) >> 1);
+                prev_w[i] = t6[i];
+            }
+            for (int i = 0; i < 6; ++i) {
+                x6[i] = (p == 0)
+                            ? w6[i]
+                            : wrap32(wrap32(w6[i] + prev_x[i]) >> 1);
+                prev_x[i] = w6[i];
+            }
+            // Matches the kernel's (a*b - c*d).cast(kFx): products
+            // stay exact at f30, the difference is truncated once.
+            auto mulsub = [](int64_t a, int64_t b, int64_t c,
+                             int64_t d) {
+                return wrap32((a * b - c * d) >> 15);
+            };
+            int64_t denom = mulsub(x6[1], x6[2], x6[4], x6[4]);
+            int64_t u = 0, v = 0;
+            if (denom != 0) {
+                int64_t numer0 = mulsub(x6[0], x6[4], x6[5], x6[2]);
+                int64_t numer1 = mulsub(x6[5], x6[4], x6[0], x6[1]);
+                u = fxDiv(numer0, denom);
+                v = fxDiv(numer1, denom);
+            }
+            bm.expected.push_back(
+                static_cast<uint32_t>(static_cast<int32_t>(u)));
+            bm.expected.push_back(
+                static_cast<uint32_t>(static_cast<int32_t>(v)));
+        }
+    }
+    return bm;
+}
+
+} // namespace rosetta
+} // namespace pld

@@ -1,0 +1,205 @@
+/**
+ * @file
+ * 3D rendering: projection -> rasterization (split by image region)
+ * -> z-buffering -> frame assembly (paper Sec 7.2: "decomposed by the
+ * pipeline stages, then decomposed large pipeline stages by image
+ * region").
+ *
+ * Workload: kTris triangles with integer screen coordinates and
+ * depth; output is the kSize x kSize depth buffer.
+ */
+
+#include "rosetta/benchmark.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "ir/builder.h"
+
+namespace pld {
+namespace rosetta {
+
+using namespace pld::ir;
+
+namespace {
+
+constexpr int kSize = 16;  // frame is kSize x kSize
+constexpr int kHalf = kSize / 2;
+constexpr int kTris = 24;
+
+/** project: screen-space transform; broadcasts triangles to the two
+ * region rasterizers. 9 words in, 9 words out to each region. */
+OperatorFn
+makeProject()
+{
+    OpBuilder b("project");
+    auto in = b.input("tri_in");
+    auto top = b.output("tri_top");
+    auto bot = b.output("tri_bot");
+    auto v = b.var("v", Type::s(32));
+    b.forLoop(0, kTris, [&](Ex) {
+        b.forLoop(0, 9, [&](Ex i) {
+            b.set(v, b.read(in).bitcast(Type::s(32)));
+            // Simple perspective-ish shear on x coordinates
+            // (indices 0,3,6), pass-through otherwise.
+            Ex is_x = (i % lit(3)) == 0;
+            Ex shifted = (Ex(v) + (Ex(v) >> 4)).cast(Type::s(32));
+            Ex proj = b.select(is_x, shifted, Ex(v));
+            b.write(top, proj);
+            b.write(bot, proj);
+        });
+    });
+    return b.finish();
+}
+
+/**
+ * Rasterizer for rows [row0, row1): per triangle, per pixel of its
+ * half-frame, emits a depth word (0 when outside the triangle).
+ */
+OperatorFn
+makeRast(const std::string &name, int row0, int row1)
+{
+    OpBuilder b(name);
+    auto in = b.input("tri");
+    auto out = b.output("frags");
+    auto c = b.array("c", Type::s(32), 9);
+    auto e0 = b.var("e0", Type::s(32));
+    auto e1 = b.var("e1", Type::s(32));
+    auto e2 = b.var("e2", Type::s(32));
+    b.forLoop(0, kTris, [&](Ex) {
+        b.forLoop(0, 9, [&](Ex i) {
+            b.store(c, i, b.read(in).bitcast(Type::s(32)));
+        });
+        b.forLoop(row0, row1, [&](Ex y) {
+            b.forLoop(0, kSize, [&](Ex x) {
+                // Edge functions of the triangle (x0,y0)-(x1,y1)-
+                // (x2,y2) with vertex layout c = {x0,y0,z0,x1,...}.
+                b.set(e0, (c[3] - c[0]) * (y - c[1]) -
+                              (c[4] - c[1]) * (x - c[0]));
+                b.set(e1, (c[6] - c[3]) * (y - c[4]) -
+                              (c[7] - c[4]) * (x - c[3]));
+                b.set(e2, (c[0] - c[6]) * (y - c[7]) -
+                              (c[1] - c[7]) * (x - c[6]));
+                Ex inside =
+                    ((Ex(e0) >= 0) && (Ex(e1) >= 0) && (Ex(e2) >= 0)) ||
+                    ((Ex(e0) <= 0) && (Ex(e1) <= 0) && (Ex(e2) <= 0));
+                // Flat depth per triangle: z0.
+                b.write(out,
+                        b.select(inside, c[2], lit(0))
+                            .cast(Type::s(32)));
+            });
+        });
+    });
+    return b.finish();
+}
+
+/** Z-buffer for one half-frame: keep nearest nonzero depth. */
+OperatorFn
+makeZbuf(const std::string &name)
+{
+    OpBuilder b(name);
+    auto in = b.input("frags");
+    auto out = b.output("half");
+    auto zb = b.array("zb", Type::s(32), kHalf * kSize);
+    auto d = b.var("d", Type::s(32));
+    b.forLoop(0, kTris, [&](Ex) {
+        b.forLoop(0, kHalf * kSize, [&](Ex p) {
+            b.set(d, b.read(in).bitcast(Type::s(32)));
+            Ex cur = zb[p];
+            Ex better =
+                (Ex(d) != 0) && ((cur == 0) || (Ex(d) < cur));
+            b.store(zb, p, b.select(better, Ex(d), cur));
+        });
+    });
+    b.forLoop(0, kHalf * kSize, [&](Ex p) { b.write(out, zb[p]); });
+    return b.finish();
+}
+
+/** Frame assembler: concatenate the two halves. */
+OperatorFn
+makeFrameGen()
+{
+    OpBuilder b("framegen");
+    auto top = b.input("top");
+    auto bot = b.input("bot");
+    auto out = b.output("frame");
+    b.forLoop(0, kHalf * kSize, [&](Ex) {
+        b.write(out, b.read(top));
+    });
+    b.forLoop(0, kHalf * kSize, [&](Ex) {
+        b.write(out, b.read(bot));
+    });
+    return b.finish();
+}
+
+} // namespace
+
+Benchmark
+makeRendering()
+{
+    Benchmark bm;
+    bm.name = "3D Rendering";
+    bm.itemsPerRun = kTris;
+
+    GraphBuilder gb("rendering");
+    auto in = gb.extIn("Input_1");
+    auto out = gb.extOut("Output_1");
+    auto w_top = gb.wire(), w_bot = gb.wire();
+    auto f_top = gb.wire(), f_bot = gb.wire();
+    auto h_top = gb.wire(), h_bot = gb.wire();
+    gb.inst(makeProject(), {in}, {w_top, w_bot});
+    gb.inst(makeRast("rast_top", 0, kHalf), {w_top}, {f_top});
+    gb.inst(makeRast("rast_bot", kHalf, kSize), {w_bot}, {f_bot});
+    gb.inst(makeZbuf("zbuf_top"), {f_top}, {h_top});
+    gb.inst(makeZbuf("zbuf_bot"), {f_bot}, {h_bot});
+    gb.inst(makeFrameGen(), {h_top, h_bot}, {out});
+    bm.graph = gb.finish();
+
+    // Workload: deterministic random triangles.
+    Rng rng(0xD1CE);
+    std::vector<int32_t> tris;
+    for (int t = 0; t < kTris; ++t) {
+        int32_t z = static_cast<int32_t>(rng.range(1, 250));
+        for (int v = 0; v < 3; ++v) {
+            tris.push_back(
+                static_cast<int32_t>(rng.range(0, kSize - 1))); // x
+            tris.push_back(
+                static_cast<int32_t>(rng.range(0, kSize - 1))); // y
+            tris.push_back(z);
+        }
+    }
+    for (int32_t w : tris)
+        bm.input.push_back(static_cast<uint32_t>(w));
+
+    // Golden model (independent C++).
+    std::vector<int32_t> zbuf(kSize * kSize, 0);
+    for (int t = 0; t < kTris; ++t) {
+        int32_t c[9];
+        for (int i = 0; i < 9; ++i) {
+            int32_t v = tris[t * 9 + i];
+            c[i] = (i % 3 == 0) ? v + (v >> 4) : v;
+        }
+        for (int y = 0; y < kSize; ++y) {
+            for (int x = 0; x < kSize; ++x) {
+                int64_t e0 = int64_t(c[3] - c[0]) * (y - c[1]) -
+                             int64_t(c[4] - c[1]) * (x - c[0]);
+                int64_t e1 = int64_t(c[6] - c[3]) * (y - c[4]) -
+                             int64_t(c[7] - c[4]) * (x - c[3]);
+                int64_t e2 = int64_t(c[0] - c[6]) * (y - c[7]) -
+                             int64_t(c[1] - c[7]) * (x - c[6]);
+                bool inside = (e0 >= 0 && e1 >= 0 && e2 >= 0) ||
+                              (e0 <= 0 && e1 <= 0 && e2 <= 0);
+                int32_t d = inside ? c[2] : 0;
+                int32_t &cur = zbuf[y * kSize + x];
+                if (d != 0 && (cur == 0 || d < cur))
+                    cur = d;
+            }
+        }
+    }
+    for (int32_t v : zbuf)
+        bm.expected.push_back(static_cast<uint32_t>(v));
+    return bm;
+}
+
+} // namespace rosetta
+} // namespace pld

@@ -1,0 +1,196 @@
+/**
+ * @file
+ * SPAM filtering: logistic-regression scoring of feature vectors,
+ * with "the data-parallel feature vectors [decomposed] into separate
+ * dot product operators and ... operators for decomposition and data
+ * reduce" (paper Sec 7.2).
+ *
+ * Each sample has kFeatures fixed-point features; four dot-product
+ * operators each own a quarter of the weight vector in ROM; a reduce
+ * stage sums the partials and a classifier thresholds a piecewise
+ * sigmoid.
+ */
+
+#include "rosetta/benchmark.h"
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "ir/builder.h"
+
+namespace pld {
+namespace rosetta {
+
+using namespace pld::ir;
+
+namespace {
+
+constexpr int kSamples = 24;
+constexpr int kFeatures = 16;
+constexpr int kLanes = 4;
+constexpr int kPerLane = kFeatures / kLanes;
+constexpr Type kFx = Type::fx(32, 17); // 15 fractional bits
+
+/** Deterministic weight vector on the fx<32,17> grid. */
+const std::vector<double> &
+weights()
+{
+    static std::vector<double> w = [] {
+        Rng rng(0x5BA4);
+        std::vector<double> v;
+        for (int i = 0; i < kFeatures; ++i)
+            v.push_back((rng.uniform() - 0.5) * 4.0);
+        return v;
+    }();
+    return w;
+}
+
+/** Scatter features round-robin to the four dot-product lanes. */
+OperatorFn
+makeDecompose()
+{
+    OpBuilder b("decompose");
+    auto in = b.input("in");
+    PortRef lanes[kLanes];
+    for (int l = 0; l < kLanes; ++l)
+        lanes[l] = b.output("lane" + std::to_string(l));
+    auto v = b.var("v", Type::u(32));
+    b.forLoop(0, kSamples, [&](Ex) {
+        for (int l = 0; l < kLanes; ++l) {
+            b.forLoop(0, kPerLane, [&](Ex) {
+                b.set(v, b.read(in));
+                b.write(lanes[l], v);
+            });
+        }
+    });
+    return b.finish();
+}
+
+/** One dot-product lane over its quarter of the weights. */
+OperatorFn
+makeDot(int lane)
+{
+    std::vector<double> w(weights().begin() + lane * kPerLane,
+                          weights().begin() + (lane + 1) * kPerLane);
+    OpBuilder b("dot" + std::to_string(lane));
+    auto in = b.input("in");
+    auto out = b.output("out");
+    auto wrom = b.rom("w", kFx, w);
+    auto acc = b.var("acc", kFx);
+    auto x = b.var("x", kFx);
+    b.forLoop(0, kSamples, [&](Ex) {
+        b.set(acc, litF(0.0, kFx));
+        b.forLoop(0, kPerLane, [&](Ex i) {
+            b.set(x, b.read(in).bitcast(kFx));
+            b.set(acc, (Ex(acc) + Ex(x) * wrom[i]).cast(kFx));
+        });
+        b.write(out, acc);
+    });
+    return b.finish();
+}
+
+/** Sum the four lane partials per sample. */
+OperatorFn
+makeReduce()
+{
+    OpBuilder b("reduce");
+    PortRef lanes[kLanes];
+    for (int l = 0; l < kLanes; ++l)
+        lanes[l] = b.input("lane" + std::to_string(l));
+    auto out = b.output("out");
+    auto acc = b.var("acc", kFx);
+    b.forLoop(0, kSamples, [&](Ex) {
+        b.set(acc, b.read(lanes[0]).bitcast(kFx));
+        for (int l = 1; l < kLanes; ++l) {
+            b.set(acc,
+                  (Ex(acc) + b.read(lanes[l]).bitcast(kFx))
+                      .cast(kFx));
+        }
+        b.write(out, acc);
+    });
+    return b.finish();
+}
+
+/** Piecewise sigmoid + threshold: emits 1 for spam, 0 for ham. */
+OperatorFn
+makeClassify()
+{
+    OpBuilder b("classify");
+    auto in = b.input("in");
+    auto out = b.output("out");
+    auto s = b.var("s", kFx);
+    b.forLoop(0, kSamples, [&](Ex) {
+        b.set(s, b.read(in).bitcast(kFx));
+        // sigmoid(s) > 0.5 <=> s > 0.
+        b.write(out, (Ex(s) > litF(0.0, kFx)).cast(Type::u(32)));
+    });
+    return b.finish();
+}
+
+} // namespace
+
+Benchmark
+makeSpamFilter()
+{
+    Benchmark bm;
+    bm.name = "Spam Filter";
+    bm.itemsPerRun = kSamples;
+
+    GraphBuilder gb("spam");
+    auto in = gb.extIn("Input_1");
+    auto out = gb.extOut("Output_1");
+    std::vector<GraphBuilder::WireId> lane_w, part_w;
+    for (int l = 0; l < kLanes; ++l) {
+        lane_w.push_back(gb.wire());
+        part_w.push_back(gb.wire());
+    }
+    auto sum_w = gb.wire();
+    gb.inst(makeDecompose(), {in}, lane_w);
+    for (int l = 0; l < kLanes; ++l)
+        gb.inst(makeDot(l), {lane_w[l]}, {part_w[l]});
+    gb.inst(makeReduce(), part_w, {sum_w});
+    gb.inst(makeClassify(), {sum_w}, {out});
+    bm.graph = gb.finish();
+
+    // Workload: random feature vectors on the fixed-point grid.
+    Rng rng(0xF00D);
+    std::vector<int32_t> raw;
+    for (int s = 0; s < kSamples; ++s) {
+        for (int f = 0; f < kFeatures; ++f) {
+            raw.push_back(
+                static_cast<int32_t>(rng.range(-(3 << 15), 3 << 15)));
+        }
+    }
+    for (int32_t v : raw)
+        bm.input.push_back(static_cast<uint32_t>(v));
+
+    // Golden model with exact fx<32,17> truncation semantics.
+    auto quant = [](double v) {
+        return static_cast<int64_t>(std::floor(v * 32768.0));
+    };
+    std::vector<int64_t> wq;
+    for (double w : weights())
+        wq.push_back(quant(w));
+    for (int s = 0; s < kSamples; ++s) {
+        int64_t lane_sum[kLanes];
+        for (int l = 0; l < kLanes; ++l) {
+            int64_t acc = 0;
+            for (int i = 0; i < kPerLane; ++i) {
+                int64_t x = raw[s * kFeatures + l * kPerLane + i];
+                // (x*w) at 30 frac bits -> cast to 15: >> 15 (trunc
+                // toward -inf), then acc add wraps to 32 bits.
+                int64_t prod = (x * wq[i + l * kPerLane]) >> 15;
+                acc = static_cast<int32_t>(acc + prod);
+            }
+            lane_sum[l] = acc;
+        }
+        int64_t total = 0;
+        for (int l = 0; l < kLanes; ++l)
+            total = static_cast<int32_t>(total + lane_sum[l]);
+        bm.expected.push_back(total > 0 ? 1u : 0u);
+    }
+    return bm;
+}
+
+} // namespace rosetta
+} // namespace pld

@@ -1,0 +1,268 @@
+#include "rv32/asm.h"
+
+#include "common/logging.h"
+
+namespace pld {
+namespace rv32 {
+
+namespace {
+
+uint32_t
+rtype(int funct7, Reg rs2, Reg rs1, int funct3, Reg rd, int opcode)
+{
+    return (uint32_t(funct7) << 25) | (uint32_t(rs2) << 20) |
+           (uint32_t(rs1) << 15) | (uint32_t(funct3) << 12) |
+           (uint32_t(rd) << 7) | uint32_t(opcode);
+}
+
+uint32_t
+itype(int32_t imm, Reg rs1, int funct3, Reg rd, int opcode)
+{
+    pld_assert(imm >= -2048 && imm <= 2047,
+               "I-type immediate %d out of range", imm);
+    return (uint32_t(imm & 0xFFF) << 20) | (uint32_t(rs1) << 15) |
+           (uint32_t(funct3) << 12) | (uint32_t(rd) << 7) |
+           uint32_t(opcode);
+}
+
+uint32_t
+stype(int32_t imm, Reg rs2, Reg rs1, int funct3, int opcode)
+{
+    pld_assert(imm >= -2048 && imm <= 2047,
+               "S-type immediate %d out of range", imm);
+    uint32_t u = uint32_t(imm & 0xFFF);
+    return ((u >> 5) << 25) | (uint32_t(rs2) << 20) |
+           (uint32_t(rs1) << 15) | (uint32_t(funct3) << 12) |
+           ((u & 0x1F) << 7) | uint32_t(opcode);
+}
+
+uint32_t
+btypeImm(int32_t offset)
+{
+    pld_assert(offset >= -4096 && offset <= 4095 && (offset & 1) == 0,
+               "branch offset %d out of range", offset);
+    uint32_t u = uint32_t(offset);
+    uint32_t imm12 = (u >> 12) & 1;
+    uint32_t imm10_5 = (u >> 5) & 0x3F;
+    uint32_t imm4_1 = (u >> 1) & 0xF;
+    uint32_t imm11 = (u >> 11) & 1;
+    return (imm12 << 31) | (imm10_5 << 25) | (imm4_1 << 8) |
+           (imm11 << 7);
+}
+
+uint32_t
+jtypeImm(int32_t offset)
+{
+    pld_assert(offset >= -(1 << 20) && offset < (1 << 20) &&
+                   (offset & 1) == 0,
+               "jal offset %d out of range", offset);
+    uint32_t u = uint32_t(offset);
+    uint32_t imm20 = (u >> 20) & 1;
+    uint32_t imm10_1 = (u >> 1) & 0x3FF;
+    uint32_t imm11 = (u >> 11) & 1;
+    uint32_t imm19_12 = (u >> 12) & 0xFF;
+    return (imm20 << 31) | (imm10_1 << 21) | (imm11 << 20) |
+           (imm19_12 << 12);
+}
+
+} // namespace
+
+void
+Assembler::label(const std::string &name)
+{
+    pld_assert(!labels.count(name), "duplicate label %s",
+               name.c_str());
+    labels[name] = pc();
+}
+
+std::string
+Assembler::genLabel(const std::string &stem)
+{
+    return "." + stem + "_" + std::to_string(genCounter++);
+}
+
+// --- R-type ------------------------------------------------------------
+void Assembler::add(Reg rd, Reg rs1, Reg rs2)
+{ emit(rtype(0x00, rs2, rs1, 0x0, rd, 0x33)); }
+void Assembler::sub(Reg rd, Reg rs1, Reg rs2)
+{ emit(rtype(0x20, rs2, rs1, 0x0, rd, 0x33)); }
+void Assembler::sll(Reg rd, Reg rs1, Reg rs2)
+{ emit(rtype(0x00, rs2, rs1, 0x1, rd, 0x33)); }
+void Assembler::slt(Reg rd, Reg rs1, Reg rs2)
+{ emit(rtype(0x00, rs2, rs1, 0x2, rd, 0x33)); }
+void Assembler::sltu(Reg rd, Reg rs1, Reg rs2)
+{ emit(rtype(0x00, rs2, rs1, 0x3, rd, 0x33)); }
+void Assembler::xor_(Reg rd, Reg rs1, Reg rs2)
+{ emit(rtype(0x00, rs2, rs1, 0x4, rd, 0x33)); }
+void Assembler::srl(Reg rd, Reg rs1, Reg rs2)
+{ emit(rtype(0x00, rs2, rs1, 0x5, rd, 0x33)); }
+void Assembler::sra(Reg rd, Reg rs1, Reg rs2)
+{ emit(rtype(0x20, rs2, rs1, 0x5, rd, 0x33)); }
+void Assembler::or_(Reg rd, Reg rs1, Reg rs2)
+{ emit(rtype(0x00, rs2, rs1, 0x6, rd, 0x33)); }
+void Assembler::and_(Reg rd, Reg rs1, Reg rs2)
+{ emit(rtype(0x00, rs2, rs1, 0x7, rd, 0x33)); }
+void Assembler::mul(Reg rd, Reg rs1, Reg rs2)
+{ emit(rtype(0x01, rs2, rs1, 0x0, rd, 0x33)); }
+void Assembler::mulh(Reg rd, Reg rs1, Reg rs2)
+{ emit(rtype(0x01, rs2, rs1, 0x1, rd, 0x33)); }
+void Assembler::mulhsu(Reg rd, Reg rs1, Reg rs2)
+{ emit(rtype(0x01, rs2, rs1, 0x2, rd, 0x33)); }
+void Assembler::mulhu(Reg rd, Reg rs1, Reg rs2)
+{ emit(rtype(0x01, rs2, rs1, 0x3, rd, 0x33)); }
+void Assembler::div(Reg rd, Reg rs1, Reg rs2)
+{ emit(rtype(0x01, rs2, rs1, 0x4, rd, 0x33)); }
+void Assembler::divu(Reg rd, Reg rs1, Reg rs2)
+{ emit(rtype(0x01, rs2, rs1, 0x5, rd, 0x33)); }
+void Assembler::rem(Reg rd, Reg rs1, Reg rs2)
+{ emit(rtype(0x01, rs2, rs1, 0x6, rd, 0x33)); }
+void Assembler::remu(Reg rd, Reg rs1, Reg rs2)
+{ emit(rtype(0x01, rs2, rs1, 0x7, rd, 0x33)); }
+
+// --- I-type ------------------------------------------------------------
+void Assembler::addi(Reg rd, Reg rs1, int32_t imm)
+{ emit(itype(imm, rs1, 0x0, rd, 0x13)); }
+void Assembler::slti(Reg rd, Reg rs1, int32_t imm)
+{ emit(itype(imm, rs1, 0x2, rd, 0x13)); }
+void Assembler::sltiu(Reg rd, Reg rs1, int32_t imm)
+{ emit(itype(imm, rs1, 0x3, rd, 0x13)); }
+void Assembler::xori(Reg rd, Reg rs1, int32_t imm)
+{ emit(itype(imm, rs1, 0x4, rd, 0x13)); }
+void Assembler::ori(Reg rd, Reg rs1, int32_t imm)
+{ emit(itype(imm, rs1, 0x6, rd, 0x13)); }
+void Assembler::andi(Reg rd, Reg rs1, int32_t imm)
+{ emit(itype(imm, rs1, 0x7, rd, 0x13)); }
+
+void
+Assembler::slli(Reg rd, Reg rs1, int shamt)
+{
+    pld_assert(shamt >= 0 && shamt < 32, "bad shamt %d", shamt);
+    emit(itype(shamt, rs1, 0x1, rd, 0x13));
+}
+void
+Assembler::srli(Reg rd, Reg rs1, int shamt)
+{
+    pld_assert(shamt >= 0 && shamt < 32, "bad shamt %d", shamt);
+    emit(itype(shamt, rs1, 0x5, rd, 0x13));
+}
+void
+Assembler::srai(Reg rd, Reg rs1, int shamt)
+{
+    pld_assert(shamt >= 0 && shamt < 32, "bad shamt %d", shamt);
+    emit(itype(shamt | 0x400, rs1, 0x5, rd, 0x13));
+}
+
+// --- Memory ------------------------------------------------------------
+void Assembler::lb(Reg rd, Reg rs1, int32_t imm)
+{ emit(itype(imm, rs1, 0x0, rd, 0x03)); }
+void Assembler::lh(Reg rd, Reg rs1, int32_t imm)
+{ emit(itype(imm, rs1, 0x1, rd, 0x03)); }
+void Assembler::lw(Reg rd, Reg rs1, int32_t imm)
+{ emit(itype(imm, rs1, 0x2, rd, 0x03)); }
+void Assembler::lbu(Reg rd, Reg rs1, int32_t imm)
+{ emit(itype(imm, rs1, 0x4, rd, 0x03)); }
+void Assembler::lhu(Reg rd, Reg rs1, int32_t imm)
+{ emit(itype(imm, rs1, 0x5, rd, 0x03)); }
+void Assembler::sb(Reg rs2, Reg rs1, int32_t imm)
+{ emit(stype(imm, rs2, rs1, 0x0, 0x23)); }
+void Assembler::sh(Reg rs2, Reg rs1, int32_t imm)
+{ emit(stype(imm, rs2, rs1, 0x1, 0x23)); }
+void Assembler::sw(Reg rs2, Reg rs1, int32_t imm)
+{ emit(stype(imm, rs2, rs1, 0x2, 0x23)); }
+
+// --- Upper/jumps -------------------------------------------------------
+void
+Assembler::lui(Reg rd, uint32_t imm20)
+{
+    emit((imm20 << 12) | (uint32_t(rd) << 7) | 0x37);
+}
+void
+Assembler::auipc(Reg rd, uint32_t imm20)
+{
+    emit((imm20 << 12) | (uint32_t(rd) << 7) | 0x17);
+}
+
+void
+Assembler::jal(Reg rd, const std::string &target)
+{
+    fixups.push_back({words.size(), target, true});
+    emit((uint32_t(rd) << 7) | 0x6F);
+}
+
+void
+Assembler::jalr(Reg rd, Reg rs1, int32_t imm)
+{
+    emit(itype(imm, rs1, 0x0, rd, 0x67));
+}
+
+void
+Assembler::emitBranch(int funct3, Reg rs1, Reg rs2,
+                      const std::string &target)
+{
+    fixups.push_back({words.size(), target, false});
+    emit((uint32_t(rs2) << 20) | (uint32_t(rs1) << 15) |
+         (uint32_t(funct3) << 12) | 0x63);
+}
+
+void Assembler::beq(Reg a, Reg b, const std::string &t)
+{ emitBranch(0x0, a, b, t); }
+void Assembler::bne(Reg a, Reg b, const std::string &t)
+{ emitBranch(0x1, a, b, t); }
+void Assembler::blt(Reg a, Reg b, const std::string &t)
+{ emitBranch(0x4, a, b, t); }
+void Assembler::bge(Reg a, Reg b, const std::string &t)
+{ emitBranch(0x5, a, b, t); }
+void Assembler::bltu(Reg a, Reg b, const std::string &t)
+{ emitBranch(0x6, a, b, t); }
+void Assembler::bgeu(Reg a, Reg b, const std::string &t)
+{ emitBranch(0x7, a, b, t); }
+
+void
+Assembler::ebreak()
+{
+    emit(0x00100073);
+}
+
+void
+Assembler::li(Reg rd, int32_t value)
+{
+    if (value >= -2048 && value <= 2047) {
+        addi(rd, x0, value);
+        return;
+    }
+    uint32_t u = static_cast<uint32_t>(value);
+    uint32_t hi = (u + 0x800) >> 12;
+    int32_t lo = static_cast<int32_t>(u - (hi << 12));
+    lui(rd, hi & 0xFFFFF);
+    if (lo != 0)
+        addi(rd, rd, lo);
+}
+
+std::vector<uint32_t>
+Assembler::assemble()
+{
+    for (const auto &f : fixups) {
+        auto it = labels.find(f.target);
+        pld_assert(it != labels.end(), "undefined label %s",
+                   f.target.c_str());
+        int32_t offset = static_cast<int32_t>(it->second) -
+                         static_cast<int32_t>(f.index * 4);
+        if (f.isJal)
+            words[f.index] |= jtypeImm(offset);
+        else
+            words[f.index] |= btypeImm(offset);
+    }
+    fixups.clear();
+    return words;
+}
+
+uint32_t
+Assembler::labelAddr(const std::string &name) const
+{
+    auto it = labels.find(name);
+    pld_assert(it != labels.end(), "unknown label %s", name.c_str());
+    return it->second;
+}
+
+} // namespace rv32
+} // namespace pld

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * RV32IM instruction encoder and two-pass assembler.
+ *
+ * The -O0 flow compiles operator IR to real RV32IM machine code that
+ * the PicoRV32-timed ISS executes (paper Sec 5/6.1). This assembler
+ * provides labels, the usual pseudo-instructions, and binary emission
+ * into the PLD-ELF image.
+ */
+
+#ifndef PLD_RV32_ASM_H
+#define PLD_RV32_ASM_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace pld {
+namespace rv32 {
+
+/** ABI register numbers. */
+enum Reg : uint8_t {
+    x0 = 0, ra = 1, sp = 2, gp = 3, tp = 4,
+    t0 = 5, t1 = 6, t2 = 7,
+    s0 = 8, s1 = 9,
+    a0 = 10, a1 = 11, a2 = 12, a3 = 13, a4 = 14, a5 = 15,
+    a6 = 16, a7 = 17,
+    s2 = 18, s3 = 19, s4 = 20, s5 = 21, s6 = 22, s7 = 23,
+    s8 = 24, s9 = 25, s10 = 26, s11 = 27,
+    t3 = 28, t4 = 29, t5 = 30, t6 = 31,
+};
+
+/**
+ * Two-pass assembler: emit instructions referencing named labels;
+ * assemble() resolves them and returns the code image.
+ */
+class Assembler
+{
+  public:
+    /** Current emission address (bytes from text base). */
+    uint32_t pc() const { return static_cast<uint32_t>(words.size()) * 4; }
+
+    /** Define a label at the current position. */
+    void label(const std::string &name);
+
+    /** Fresh unique label name. */
+    std::string genLabel(const std::string &stem);
+
+    // R-type ALU.
+    void add(Reg rd, Reg rs1, Reg rs2);
+    void sub(Reg rd, Reg rs1, Reg rs2);
+    void sll(Reg rd, Reg rs1, Reg rs2);
+    void slt(Reg rd, Reg rs1, Reg rs2);
+    void sltu(Reg rd, Reg rs1, Reg rs2);
+    void xor_(Reg rd, Reg rs1, Reg rs2);
+    void srl(Reg rd, Reg rs1, Reg rs2);
+    void sra(Reg rd, Reg rs1, Reg rs2);
+    void or_(Reg rd, Reg rs1, Reg rs2);
+    void and_(Reg rd, Reg rs1, Reg rs2);
+    // M extension.
+    void mul(Reg rd, Reg rs1, Reg rs2);
+    void mulh(Reg rd, Reg rs1, Reg rs2);
+    void mulhsu(Reg rd, Reg rs1, Reg rs2);
+    void mulhu(Reg rd, Reg rs1, Reg rs2);
+    void div(Reg rd, Reg rs1, Reg rs2);
+    void divu(Reg rd, Reg rs1, Reg rs2);
+    void rem(Reg rd, Reg rs1, Reg rs2);
+    void remu(Reg rd, Reg rs1, Reg rs2);
+    // I-type.
+    void addi(Reg rd, Reg rs1, int32_t imm);
+    void slti(Reg rd, Reg rs1, int32_t imm);
+    void sltiu(Reg rd, Reg rs1, int32_t imm);
+    void xori(Reg rd, Reg rs1, int32_t imm);
+    void ori(Reg rd, Reg rs1, int32_t imm);
+    void andi(Reg rd, Reg rs1, int32_t imm);
+    void slli(Reg rd, Reg rs1, int shamt);
+    void srli(Reg rd, Reg rs1, int shamt);
+    void srai(Reg rd, Reg rs1, int shamt);
+    // Loads/stores.
+    void lb(Reg rd, Reg rs1, int32_t imm);
+    void lh(Reg rd, Reg rs1, int32_t imm);
+    void lw(Reg rd, Reg rs1, int32_t imm);
+    void lbu(Reg rd, Reg rs1, int32_t imm);
+    void lhu(Reg rd, Reg rs1, int32_t imm);
+    void sb(Reg rs2, Reg rs1, int32_t imm);
+    void sh(Reg rs2, Reg rs1, int32_t imm);
+    void sw(Reg rs2, Reg rs1, int32_t imm);
+    // Upper immediates / jumps.
+    void lui(Reg rd, uint32_t imm20);
+    void auipc(Reg rd, uint32_t imm20);
+    void jal(Reg rd, const std::string &target);
+    void jalr(Reg rd, Reg rs1, int32_t imm);
+    // Branches (to labels).
+    void beq(Reg rs1, Reg rs2, const std::string &target);
+    void bne(Reg rs1, Reg rs2, const std::string &target);
+    void blt(Reg rs1, Reg rs2, const std::string &target);
+    void bge(Reg rs1, Reg rs2, const std::string &target);
+    void bltu(Reg rs1, Reg rs2, const std::string &target);
+    void bgeu(Reg rs1, Reg rs2, const std::string &target);
+    // System.
+    void ebreak();
+
+    // Pseudo-instructions.
+    void li(Reg rd, int32_t value);
+    void mv(Reg rd, Reg rs) { addi(rd, rs, 0); }
+    void j(const std::string &target) { jal(x0, target); }
+    void call(const std::string &target) { jal(ra, target); }
+    void ret() { jalr(x0, ra, 0); }
+    void nop() { addi(x0, x0, 0); }
+    void seqz(Reg rd, Reg rs) { sltiu(rd, rs, 1); }
+    void snez(Reg rd, Reg rs) { sltu(rd, x0, rs); }
+    void neg(Reg rd, Reg rs) { sub(rd, x0, rs); }
+    void not_(Reg rd, Reg rs) { xori(rd, rs, -1); }
+
+    /** Resolve labels and return the instruction words. */
+    std::vector<uint32_t> assemble();
+
+    /** Address of a defined label (valid after assemble()). */
+    uint32_t labelAddr(const std::string &name) const;
+
+  private:
+    struct Fixup
+    {
+        size_t index;        // word to patch
+        std::string target;  // label
+        bool isJal;          // J-type vs B-type immediate
+    };
+
+    void emit(uint32_t word) { words.push_back(word); }
+    void emitBranch(int funct3, Reg rs1, Reg rs2,
+                    const std::string &target);
+
+    std::vector<uint32_t> words;
+    std::map<std::string, uint32_t> labels;
+    std::vector<Fixup> fixups;
+    int genCounter = 0;
+};
+
+} // namespace rv32
+} // namespace pld
+
+#endif // PLD_RV32_ASM_H

@@ -1,0 +1,76 @@
+#include "rv32/elf.h"
+
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace pld {
+namespace rv32 {
+
+namespace {
+
+void
+put32(std::vector<uint8_t> &out, uint32_t v)
+{
+    out.push_back(static_cast<uint8_t>(v));
+    out.push_back(static_cast<uint8_t>(v >> 8));
+    out.push_back(static_cast<uint8_t>(v >> 16));
+    out.push_back(static_cast<uint8_t>(v >> 24));
+}
+
+uint32_t
+get32(const std::vector<uint8_t> &in, size_t &off)
+{
+    pld_assert(off + 4 <= in.size(), "truncated PLD-ELF");
+    uint32_t v = in[off] | (uint32_t(in[off + 1]) << 8) |
+                 (uint32_t(in[off + 2]) << 16) |
+                 (uint32_t(in[off + 3]) << 24);
+    off += 4;
+    return v;
+}
+
+} // namespace
+
+std::vector<uint8_t>
+PldElf::pack() const
+{
+    std::vector<uint8_t> out;
+    put32(out, kMagic);
+    put32(out, entry);
+    put32(out, memBytes);
+    put32(out, static_cast<uint32_t>(pageNum));
+    put32(out, static_cast<uint32_t>(text.size()));
+    put32(out, dataBase);
+    put32(out, static_cast<uint32_t>(data.size()));
+    for (uint32_t w : text)
+        put32(out, w);
+    out.insert(out.end(), data.begin(), data.end());
+    return out;
+}
+
+PldElf
+PldElf::unpack(const std::vector<uint8_t> &bytes)
+{
+    size_t off = 0;
+    PldElf e;
+    uint32_t magic = get32(bytes, off);
+    if (magic != kMagic)
+        pld_fatal("bad PLD-ELF magic 0x%08x", magic);
+    e.entry = get32(bytes, off);
+    e.memBytes = get32(bytes, off);
+    e.pageNum = static_cast<int32_t>(get32(bytes, off));
+    uint32_t text_words = get32(bytes, off);
+    e.dataBase = get32(bytes, off);
+    uint32_t data_bytes = get32(bytes, off);
+    e.text.reserve(text_words);
+    for (uint32_t i = 0; i < text_words; ++i)
+        e.text.push_back(get32(bytes, off));
+    pld_assert(off + data_bytes <= bytes.size(),
+               "PLD-ELF data truncated");
+    e.data.assign(bytes.begin() + off,
+                  bytes.begin() + off + data_bytes);
+    return e;
+}
+
+} // namespace rv32
+} // namespace pld

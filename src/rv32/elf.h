@@ -1,0 +1,51 @@
+/**
+ * @file
+ * PLD-ELF: the packed softcore binary format.
+ *
+ * The paper's pre-linker/loader (pld) packs each operator's compiled
+ * RISC-V binary "with headers that indicate the final page number and
+ * the memory address for each binary byte" (Sec 6.1). PldElf is that
+ * container: text at address 0, an initialized data segment (ROMs,
+ * variables), the unified memory size, and the target page number.
+ */
+
+#ifndef PLD_RV32_ELF_H
+#define PLD_RV32_ELF_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace pld {
+namespace rv32 {
+
+/** One softcore program image. */
+struct PldElf
+{
+    static constexpr uint32_t kMagic = 0x504C4445; // "PLDE"
+
+    uint32_t entry = 0;
+    uint32_t memBytes = 64 * 1024; ///< unified I+D memory (<=192 KB)
+    std::vector<uint32_t> text;    ///< instructions, loaded at 0
+    uint32_t dataBase = 0;         ///< data segment load address
+    std::vector<uint8_t> data;     ///< initialized data image
+    int32_t pageNum = -1;          ///< pre-linker header field
+
+    /** Code + data footprint in bytes (the paper's 30-60 KB claim). */
+    size_t
+    footprintBytes() const
+    {
+        return text.size() * 4 + data.size();
+    }
+
+    /** Serialize with header (magic, page, sizes). */
+    std::vector<uint8_t> pack() const;
+
+    /** Parse a packed image; fatal()s on corruption. */
+    static PldElf unpack(const std::vector<uint8_t> &bytes);
+};
+
+} // namespace rv32
+} // namespace pld
+
+#endif // PLD_RV32_ELF_H

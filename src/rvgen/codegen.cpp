@@ -1,0 +1,887 @@
+#include "rvgen/codegen.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/stopwatch.h"
+#include "rv32/asm.h"
+#include "rv32/iss.h"
+
+namespace pld {
+namespace rvgen {
+
+using namespace pld::rv32;
+using ir::Expr;
+using ir::ExprKind;
+using ir::ExprPtr;
+using ir::Stmt;
+using ir::StmtKind;
+using ir::StmtPtr;
+using ir::Type;
+
+namespace {
+
+int
+elemBytes(const Type &t)
+{
+    if (t.width <= 8)
+        return 1;
+    if (t.width <= 16)
+        return 2;
+    return 4;
+}
+
+class Codegen
+{
+  public:
+    explicit Codegen(const ir::OperatorFn &fn) : fn(fn) {}
+
+    PldElf
+    compile()
+    {
+        layoutData();
+        emitBody();
+        emitFirmware();
+
+        PldElf elf;
+        elf.text = a.assemble();
+        uint32_t text_bytes =
+            static_cast<uint32_t>(elf.text.size()) * 4;
+        // Data segment begins after text; patch the layout base in.
+        pld_assert(text_bytes <= dataBase,
+                   "text (%u bytes) overran the reserved code region "
+                   "(%u bytes); enlarge kTextReserve",
+                   text_bytes, dataBase);
+        elf.dataBase = dataBase;
+        elf.data = dataImage;
+        uint32_t need = dataBase +
+                        static_cast<uint32_t>(dataImage.size()) +
+                        4096 /* stack */;
+        uint32_t mem = 16 * 1024;
+        while (mem < need)
+            mem *= 2;
+        pld_assert(mem <= 192 * 1024,
+                   "%s: softcore image needs %u bytes but pages offer "
+                   "at most 192 KB (Sec 5.1)",
+                   fn.name.c_str(), need);
+        elf.memBytes = mem;
+        elf.entry = 0;
+        return elf;
+    }
+
+  private:
+    // Code is emitted from address 0; data lives above this bound.
+    // Sized generously: -O0 code for our kernels stays well below.
+    static constexpr uint32_t kTextReserve = 48 * 1024;
+
+    void
+    layoutData()
+    {
+        dataBase = kTextReserve;
+        uint32_t off = 0;
+        varOff.resize(fn.vars.size());
+        for (size_t i = 0; i < fn.vars.size(); ++i) {
+            varOff[i] = dataBase + off;
+            off += 4;
+        }
+        arrOff.resize(fn.arrays.size());
+        for (size_t i = 0; i < fn.arrays.size(); ++i) {
+            const auto &arr = fn.arrays[i];
+            int eb = elemBytes(arr.elemType);
+            // Align.
+            off = (off + eb - 1) & ~uint32_t(eb - 1);
+            arrOff[i] = dataBase + off;
+            off += static_cast<uint32_t>(arr.size) * eb;
+        }
+        dataImage.assign(off, 0);
+        // ROM initialization images.
+        for (size_t i = 0; i < fn.arrays.size(); ++i) {
+            const auto &arr = fn.arrays[i];
+            int eb = elemBytes(arr.elemType);
+            uint32_t base = arrOff[i] - dataBase;
+            for (size_t e = 0; e < arr.init.size(); ++e) {
+                uint64_t raw = static_cast<uint64_t>(arr.init[e]);
+                for (int b = 0; b < eb; ++b) {
+                    dataImage[base + e * eb + b] =
+                        static_cast<uint8_t>(raw >> (8 * b));
+                }
+            }
+        }
+    }
+
+    // --- small emission helpers ------------------------------------
+
+    /** Load a 32-bit absolute address into @p r. */
+    void
+    loadAddr(Reg r, uint32_t addr)
+    {
+        a.li(r, static_cast<int32_t>(addr));
+    }
+
+    /** Push a0:a1 onto the runtime stack. */
+    void
+    push()
+    {
+        a.addi(sp, sp, -8);
+        a.sw(a0, sp, 0);
+        a.sw(a1, sp, 4);
+    }
+
+    /** Pop into a2:a3. */
+    void
+    popA2()
+    {
+        a.lw(a2, sp, 0);
+        a.lw(a3, sp, 4);
+        a.addi(sp, sp, 8);
+    }
+
+    /**
+     * Arithmetic shift of the pair (lo,hi) by compile-time constant
+     * @p sh (positive = left). Clobbers t0.
+     */
+    void
+    shiftPair(Reg lo, Reg hi, int sh)
+    {
+        if (sh == 0)
+            return;
+        if (sh >= 64) {
+            a.li(lo, 0);
+            a.li(hi, 0);
+            return;
+        }
+        if (sh <= -64) {
+            a.srai(hi, hi, 31);
+            a.mv(lo, hi);
+            return;
+        }
+        if (sh > 0) {
+            if (sh >= 32) {
+                if (sh == 32)
+                    a.mv(hi, lo);
+                else
+                    a.slli(hi, lo, sh - 32);
+                a.li(lo, 0);
+            } else {
+                a.slli(hi, hi, sh);
+                a.srli(t0, lo, 32 - sh);
+                a.or_(hi, hi, t0);
+                a.slli(lo, lo, sh);
+            }
+        } else {
+            int s = -sh;
+            if (s >= 32) {
+                if (s == 32)
+                    a.mv(lo, hi);
+                else
+                    a.srai(lo, hi, s - 32);
+                a.srai(hi, hi, 31);
+            } else {
+                a.srli(lo, lo, s);
+                a.slli(t0, hi, 32 - s);
+                a.or_(lo, lo, t0);
+                a.srai(hi, hi, s);
+            }
+        }
+    }
+
+    /** Wrap a0:a1 to @p t's width with its signedness. */
+    void
+    wrapTo(const Type &t)
+    {
+        int w = t.width;
+        if (w <= 32) {
+            if (w < 32) {
+                a.slli(a0, a0, 32 - w);
+                if (t.isSigned())
+                    a.srai(a0, a0, 32 - w);
+                else
+                    a.srli(a0, a0, 32 - w);
+            }
+            if (t.isSigned())
+                a.srai(a1, a0, 31);
+            else
+                a.li(a1, 0);
+        } else if (w < 64) {
+            a.slli(a1, a1, 64 - w);
+            if (t.isSigned())
+                a.srai(a1, a1, 64 - w);
+            else
+                a.srli(a1, a1, 64 - w);
+        }
+        // w == 64: nothing.
+    }
+
+    /** shift then wrap: the interpreter's quantizeTo. */
+    void
+    quantize(int src_frac, const Type &t)
+    {
+        shiftPair(a0, a1, t.fracBits() - src_frac);
+        wrapTo(t);
+    }
+
+    /** a0:a1 += a2:a3 (or -=). Clobbers t0. */
+    void
+    addPair(bool subtract)
+    {
+        if (subtract) {
+            a.sltu(t0, a0, a2); // borrow
+            a.sub(a0, a0, a2);
+            a.sub(a1, a1, a3);
+            a.sub(a1, a1, t0);
+        } else {
+            a.add(a0, a0, a2);
+            a.sltu(t0, a0, a2); // carry
+            a.add(a1, a1, a3);
+            a.add(a1, a1, t0);
+        }
+    }
+
+    // --- expressions -------------------------------------------------
+
+    /** Emit code leaving the canonical 64-bit value in a0:a1. */
+    void
+    evalExpr(const ExprPtr &e)
+    {
+        const Type &t = e->type;
+        switch (e->kind) {
+          case ExprKind::Const: {
+            int64_t v = e->imm;
+            a.li(a0, static_cast<int32_t>(v & 0xFFFFFFFF));
+            a.li(a1, static_cast<int32_t>(v >> 32));
+            return;
+          }
+          case ExprKind::VarRef: {
+            const Type &vt = fn.vars[e->imm].type;
+            loadAddr(t0, varOff[e->imm]);
+            a.lw(a0, t0, 0);
+            if (vt.isSigned())
+                a.srai(a1, a0, 31);
+            else
+                a.li(a1, 0);
+            return;
+          }
+          case ExprKind::ArrayRef: {
+            evalExpr(e->args[0]); // index in a0
+            const auto &arr = fn.arrays[e->imm];
+            int eb = elemBytes(arr.elemType);
+            if (eb > 1)
+                a.slli(a0, a0, eb == 2 ? 1 : 2);
+            loadAddr(t0, arrOff[e->imm]);
+            a.add(t0, t0, a0);
+            bool sgn = arr.elemType.isSigned();
+            if (eb == 1)
+                sgn ? a.lb(a0, t0, 0) : a.lbu(a0, t0, 0);
+            else if (eb == 2)
+                sgn ? a.lh(a0, t0, 0) : a.lhu(a0, t0, 0);
+            else
+                a.lw(a0, t0, 0);
+            if (sgn)
+                a.srai(a1, a0, 31);
+            else
+                a.li(a1, 0);
+            if (eb == 4 && arr.elemType.width < 32) {
+                // Narrow value stored in 4 bytes is already
+                // canonical; high word set above.
+            }
+            return;
+          }
+          case ExprKind::StreamRead: {
+            loadAddr(t0, Mmio::kStreamBase +
+                             static_cast<uint32_t>(e->imm) *
+                                 Mmio::kStreamStride);
+            a.lw(a0, t0, 0); // ISS blocks here when empty
+            a.li(a1, 0);     // u32 canonical: zero-extended
+            return;
+          }
+          case ExprKind::Cast:
+            evalExpr(e->args[0]);
+            quantize(e->args[0]->type.fracBits(), t);
+            return;
+          case ExprKind::BitCast: {
+            evalExpr(e->args[0]);
+            // Take raw low bits of the source, re-canonicalize.
+            Type raw_t = Type::u(e->args[0]->type.width);
+            wrapTo(raw_t);
+            wrapTo(t);
+            return;
+          }
+          case ExprKind::Neg: {
+            evalExpr(e->args[0]);
+            a.not_(a0, a0);
+            a.not_(a1, a1);
+            a.addi(a0, a0, 1);
+            a.seqz(t0, a0);
+            a.add(a1, a1, t0);
+            quantize(e->args[0]->type.fracBits(), t);
+            return;
+          }
+          case ExprKind::Not:
+            evalExpr(e->args[0]);
+            a.not_(a0, a0);
+            a.not_(a1, a1);
+            quantize(e->args[0]->type.fracBits(), t);
+            return;
+          case ExprKind::LNot:
+            evalExpr(e->args[0]);
+            a.or_(t0, a0, a1);
+            a.seqz(a0, t0);
+            a.li(a1, 0);
+            return;
+          case ExprKind::Select: {
+            std::string l_else = a.genLabel("sel_else");
+            std::string l_end = a.genLabel("sel_end");
+            evalExpr(e->args[0]);
+            a.or_(t0, a0, a1);
+            a.beq(t0, x0, l_else);
+            evalExpr(e->args[1]);
+            a.j(l_end);
+            a.label(l_else);
+            evalExpr(e->args[2]);
+            a.label(l_end);
+            return;
+          }
+          default:
+            break;
+        }
+
+        pld_assert(ir::isBinary(e->kind), "unhandled expr in codegen");
+        const ExprPtr &lhs = e->args[0];
+        const ExprPtr &rhs = e->args[1];
+        int fa = lhs->type.fracBits();
+        int fb = rhs->type.fracBits();
+
+        if (e->kind == ExprKind::Shl || e->kind == ExprKind::Shr) {
+            pld_assert(rhs->kind == ExprKind::Const,
+                       "shift amount must be constant");
+            int sh = static_cast<int>(rhs->imm);
+            evalExpr(lhs);
+            shiftPair(a0, a1, e->kind == ExprKind::Shl ? sh : -sh);
+            quantize(fa, t);
+            return;
+        }
+
+        evalExpr(lhs);
+        push();
+        evalExpr(rhs);
+        a.mv(a2, a0);
+        a.mv(a3, a1);
+        popA2Into(a0, a1);
+
+        switch (e->kind) {
+          case ExprKind::Add:
+          case ExprKind::Sub: {
+            int f = std::max(fa, fb);
+            shiftPair(a0, a1, f - fa);
+            shiftPair(a2, a3, f - fb);
+            addPair(e->kind == ExprKind::Sub);
+            quantize(f, t);
+            return;
+          }
+          case ExprKind::Mul: {
+            int sh = (fa + fb) - t.fracBits();
+            pld_assert(sh >= 0, "mul shift must be non-negative");
+            a.li(a4, sh);
+            a.call("__pld_mulshift");
+            wrapTo(t);
+            return;
+          }
+          case ExprKind::Div: {
+            pld_assert(lhs->type.width <= 32 &&
+                           rhs->type.width <= 32,
+                       "%s: division operands must be <= 32 bits "
+                       "(insert casts)",
+                       fn.name.c_str());
+            int sh = t.fracBits() - fa + fb;
+            pld_assert(sh >= 0, "div shift must be non-negative");
+            shiftPair(a0, a1, sh);
+            a.call("__pld_sdiv64");
+            wrapTo(t);
+            return;
+          }
+          case ExprKind::Mod: {
+            // Canonical u32 values exceed int32: use the unsigned
+            // remainder when both operands are unsigned (mixed
+            // signedness is rejected by the validator).
+            bool unsigned_mod =
+                !lhs->type.isSigned() && !rhs->type.isSigned();
+            std::string l_zero = a.genLabel("mod_zero");
+            std::string l_end = a.genLabel("mod_end");
+            a.beq(a2, x0, l_zero);
+            if (unsigned_mod) {
+                a.remu(a0, a0, a2);
+                a.li(a1, 0);
+            } else {
+                a.rem(a0, a0, a2);
+                a.srai(a1, a0, 31);
+            }
+            a.j(l_end);
+            a.label(l_zero);
+            a.li(a0, 0);
+            a.li(a1, 0);
+            a.label(l_end);
+            wrapTo(t);
+            return;
+          }
+          case ExprKind::And:
+          case ExprKind::Or:
+          case ExprKind::Xor: {
+            int f = std::max(fa, fb);
+            shiftPair(a0, a1, f - fa);
+            shiftPair(a2, a3, f - fb);
+            if (e->kind == ExprKind::And) {
+                a.and_(a0, a0, a2);
+                a.and_(a1, a1, a3);
+            } else if (e->kind == ExprKind::Or) {
+                a.or_(a0, a0, a2);
+                a.or_(a1, a1, a3);
+            } else {
+                a.xor_(a0, a0, a2);
+                a.xor_(a1, a1, a3);
+            }
+            quantize(f, t);
+            return;
+          }
+          case ExprKind::Lt: case ExprKind::Le: case ExprKind::Gt:
+          case ExprKind::Ge: case ExprKind::Eq: case ExprKind::Ne: {
+            int f = std::max(fa, fb);
+            shiftPair(a0, a1, f - fa);
+            shiftPair(a2, a3, f - fb);
+            emitCompare(e->kind);
+            return;
+          }
+          case ExprKind::LAnd:
+          case ExprKind::LOr: {
+            a.or_(t0, a0, a1);
+            a.snez(t0, t0);
+            a.or_(t1, a2, a3);
+            a.snez(t1, t1);
+            if (e->kind == ExprKind::LAnd)
+                a.and_(a0, t0, t1);
+            else
+                a.or_(a0, t0, t1);
+            a.li(a1, 0);
+            return;
+          }
+          default:
+            pld_panic("unhandled binary kind in codegen");
+        }
+    }
+
+    void
+    popA2Into(Reg lo, Reg hi)
+    {
+        // Operand order: stack holds lhs; a0:a1 currently rhs.
+        // Move rhs to a2:a3 happened before the call; now pop lhs.
+        a.lw(lo, sp, 0);
+        a.lw(hi, sp, 4);
+        a.addi(sp, sp, 8);
+    }
+
+    /** Signed 64-bit compare of a0:a1 vs a2:a3 -> a0 in {0,1}. */
+    void
+    emitCompare(ExprKind k)
+    {
+        // gt(a,b) = lt(b,a); le(a,b) = !lt(b,a); ge(a,b) = !lt(a,b).
+        bool swap = (k == ExprKind::Gt || k == ExprKind::Le);
+        bool invert = (k == ExprKind::Le || k == ExprKind::Ge ||
+                       k == ExprKind::Ne);
+        if (swap) {
+            a.mv(t2, a0); a.mv(a0, a2); a.mv(a2, t2);
+            a.mv(t2, a1); a.mv(a1, a3); a.mv(a3, t2);
+        }
+        if (k == ExprKind::Eq || k == ExprKind::Ne) {
+            a.xor_(t0, a0, a2);
+            a.xor_(t1, a1, a3);
+            a.or_(t0, t0, t1);
+            a.seqz(a0, t0);
+        } else {
+            // lt / (le computed as !lt(swapped)).
+            std::string l_true = a.genLabel("cmp_t");
+            std::string l_false = a.genLabel("cmp_f");
+            std::string l_end = a.genLabel("cmp_e");
+            a.blt(a1, a3, l_true);
+            a.bne(a1, a3, l_false);
+            a.bltu(a0, a2, l_true);
+            a.label(l_false);
+            a.li(a0, 0);
+            a.j(l_end);
+            a.label(l_true);
+            a.li(a0, 1);
+            a.label(l_end);
+        }
+        if (invert)
+            a.xori(a0, a0, 1);
+        a.li(a1, 0);
+    }
+
+    // --- statements --------------------------------------------------
+
+    void
+    emitStmts(const std::vector<StmtPtr> &stmts)
+    {
+        for (const auto &s : stmts)
+            emitStmt(s);
+    }
+
+    void
+    emitStmt(const StmtPtr &s)
+    {
+        switch (s->kind) {
+          case StmtKind::Assign: {
+            evalExpr(s->args[0]);
+            loadAddr(t0, varOff[s->imm]);
+            a.sw(a0, t0, 0);
+            break;
+          }
+          case StmtKind::ArrayStore: {
+            evalExpr(s->args[1]); // value first
+            push();
+            evalExpr(s->args[0]); // index in a0
+            const auto &arr = fn.arrays[s->imm];
+            int eb = elemBytes(arr.elemType);
+            if (eb > 1)
+                a.slli(a0, a0, eb == 2 ? 1 : 2);
+            loadAddr(t0, arrOff[s->imm]);
+            a.add(t0, t0, a0);
+            popA2Into(a2, a3);
+            if (eb == 1)
+                a.sb(a2, t0, 0);
+            else if (eb == 2)
+                a.sh(a2, t0, 0);
+            else
+                a.sw(a2, t0, 0);
+            break;
+          }
+          case StmtKind::StreamWrite: {
+            evalExpr(s->args[0]);
+            loadAddr(t0, Mmio::kStreamBase +
+                             static_cast<uint32_t>(s->imm) *
+                                 Mmio::kStreamStride);
+            a.sw(a0, t0, 0); // ISS blocks here when full
+            break;
+          }
+          case StmtKind::For: {
+            // var = lo; while (var < hi) { body; var += step; }
+            std::string l_loop = a.genLabel("for");
+            std::string l_body = a.genLabel("for_body");
+            std::string l_exit = a.genLabel("for_exit");
+            a.li(t0, static_cast<int32_t>(s->immLo));
+            loadAddr(t1, varOff[s->imm]);
+            a.sw(t0, t1, 0);
+            a.label(l_loop);
+            loadAddr(t1, varOff[s->imm]);
+            a.lw(t0, t1, 0);
+            a.li(t2, static_cast<int32_t>(s->immHi));
+            a.blt(t0, t2, l_body);
+            a.j(l_exit);
+            a.label(l_body);
+            emitStmts(s->body);
+            loadAddr(t1, varOff[s->imm]);
+            a.lw(t0, t1, 0);
+            a.addi(t0, t0, static_cast<int32_t>(s->immStep));
+            a.sw(t0, t1, 0);
+            a.j(l_loop);
+            a.label(l_exit);
+            break;
+          }
+          case StmtKind::While: {
+            std::string l_loop = a.genLabel("wh");
+            std::string l_body = a.genLabel("wh_body");
+            std::string l_exit = a.genLabel("wh_exit");
+            a.label(l_loop);
+            evalExpr(s->args[0]);
+            a.or_(t0, a0, a1);
+            a.bne(t0, x0, l_body);
+            a.j(l_exit);
+            a.label(l_body);
+            emitStmts(s->body);
+            a.j(l_loop);
+            a.label(l_exit);
+            break;
+          }
+          case StmtKind::If: {
+            std::string l_else = a.genLabel("if_else");
+            std::string l_then = a.genLabel("if_then");
+            std::string l_end = a.genLabel("if_end");
+            evalExpr(s->args[0]);
+            a.or_(t0, a0, a1);
+            a.bne(t0, x0, l_then);
+            a.j(l_else);
+            a.label(l_then);
+            emitStmts(s->body);
+            a.j(l_end);
+            a.label(l_else);
+            emitStmts(s->elseBody);
+            a.label(l_end);
+            break;
+          }
+          case StmtKind::Print: {
+            // printf lives naturally on the processor target
+            // (Fig 2d lines 8-10).
+            loadAddr(t1, Mmio::kConsolePutc);
+            for (char ch : s->text) {
+                a.li(t0, ch);
+                a.sw(t0, t1, 0);
+            }
+            for (const auto &arg : s->args) {
+                a.li(t0, ' ');
+                a.sw(t0, t1, 0);
+                evalExpr(arg);
+                a.call("__pld_puthex");
+            }
+            a.li(t0, '\n');
+            loadAddr(t1, Mmio::kConsolePutc);
+            a.sw(t0, t1, 0);
+            break;
+          }
+          case StmtKind::Block:
+            emitStmts(s->body);
+            break;
+        }
+    }
+
+    void
+    emitBody()
+    {
+        emitStmts(fn.body);
+        // Operator complete: halt the core.
+        loadAddr(t0, Mmio::kHalt);
+        a.sw(x0, t0, 0);
+        a.ebreak();
+    }
+
+    // --- firmware ----------------------------------------------------
+
+    void
+    emitFirmware()
+    {
+        emitMulshift();
+        emitSdiv64();
+        emitPuthex();
+    }
+
+    /**
+     * __pld_mulshift: a0:a1 (signed 64) * a2:a3 (signed 64), 128-bit
+     * product arithmetic-shifted right by a4 (0..127); low 64 bits
+     * returned in a0:a1. Clobbers t0-t6, a2-a5.
+     */
+    void
+    emitMulshift()
+    {
+        a.label("__pld_mulshift");
+        // Unsigned 128-bit product into t0..t3.
+        a.mul(t0, a0, a2);   // w0
+        a.mulhu(t1, a0, a2); // w1 acc
+        a.li(t2, 0);
+        a.li(t3, 0);
+        // + alo*bhi << 32
+        a.mul(t4, a0, a3);
+        a.add(t1, t1, t4);
+        a.sltu(t5, t1, t4);
+        a.add(t2, t2, t5);
+        a.mulhu(t4, a0, a3);
+        a.add(t2, t2, t4);
+        a.sltu(t5, t2, t4);
+        a.add(t3, t3, t5);
+        // + ahi*blo << 32
+        a.mul(t4, a1, a2);
+        a.add(t1, t1, t4);
+        a.sltu(t5, t1, t4);
+        a.add(t2, t2, t5);
+        a.sltu(t6, t2, t5);
+        a.add(t3, t3, t6);
+        a.mulhu(t4, a1, a2);
+        a.add(t2, t2, t4);
+        a.sltu(t5, t2, t4);
+        a.add(t3, t3, t5);
+        // + ahi*bhi << 64
+        a.mul(t4, a1, a3);
+        a.add(t2, t2, t4);
+        a.sltu(t5, t2, t4);
+        a.add(t3, t3, t5);
+        a.mulhu(t4, a1, a3);
+        a.add(t3, t3, t4);
+        // Sign corrections: if A < 0, upper64 -= B; if B < 0,
+        // upper64 -= A.
+        std::string skip_a = a.genLabel("ms_skipa");
+        std::string skip_b = a.genLabel("ms_skipb");
+        a.bge(a1, x0, skip_a);
+        a.sltu(t5, t2, a2);
+        a.sub(t2, t2, a2);
+        a.sub(t3, t3, a3);
+        a.sub(t3, t3, t5);
+        a.label(skip_a);
+        a.bge(a3, x0, skip_b);
+        a.sltu(t5, t2, a0);
+        a.sub(t2, t2, a0);
+        a.sub(t3, t3, a1);
+        a.sub(t3, t3, t5);
+        a.label(skip_b);
+        // Arithmetic shift right of t0..t3 by a4.
+        std::string word_loop = a.genLabel("ms_words");
+        std::string fine = a.genLabel("ms_fine");
+        std::string done = a.genLabel("ms_done");
+        a.label(word_loop);
+        a.li(t4, 32);
+        a.blt(a4, t4, fine);
+        a.mv(t0, t1);
+        a.mv(t1, t2);
+        a.mv(t2, t3);
+        a.srai(t3, t3, 31);
+        a.addi(a4, a4, -32);
+        a.j(word_loop);
+        a.label(fine);
+        a.beq(a4, x0, done);
+        a.li(t4, 32);
+        a.sub(t4, t4, a4); // 32 - s
+        a.srl(t0, t0, a4);
+        a.sll(t5, t1, t4);
+        a.or_(t0, t0, t5);
+        a.srl(t1, t1, a4);
+        a.sll(t5, t2, t4);
+        a.or_(t1, t1, t5);
+        a.label(done);
+        a.mv(a0, t0);
+        a.mv(a1, t1);
+        a.ret();
+    }
+
+    /**
+     * __pld_sdiv64: signed a0:a1 / signed a2 (32-bit value,
+     * sign-extended in a3). Truncating quotient in a0:a1; division
+     * by zero yields 0. Clobbers t0-t6, a2-a5.
+     */
+    void
+    emitSdiv64()
+    {
+        a.label("__pld_sdiv64");
+        std::string nz = a.genLabel("dv_nz");
+        std::string na = a.genLabel("dv_na");
+        std::string nb = a.genLabel("dv_nb");
+        std::string loop = a.genLabel("dv_loop");
+        std::string skip = a.genLabel("dv_skip");
+        std::string dosub = a.genLabel("dv_sub");
+        std::string pos = a.genLabel("dv_pos");
+
+        a.or_(t0, a2, a3);
+        a.bne(t0, x0, nz);
+        a.li(a0, 0);
+        a.li(a1, 0);
+        a.ret();
+        a.label(nz);
+
+        // a5 = result sign (0/1).
+        a.srli(t0, a1, 31);
+        a.srli(t1, a3, 31);
+        a.xor_(a5, t0, t1);
+        // |A|
+        a.bge(a1, x0, na);
+        a.not_(a0, a0);
+        a.not_(a1, a1);
+        a.addi(a0, a0, 1);
+        a.seqz(t0, a0);
+        a.add(a1, a1, t0);
+        a.label(na);
+        // |d| (fits 32 unsigned).
+        a.bge(a3, x0, nb);
+        a.neg(a2, a2);
+        a.label(nb);
+
+        // Long division: quotient t0:t1, remainder t2:t3, counter t4.
+        a.li(t0, 0);
+        a.li(t1, 0);
+        a.li(t2, 0);
+        a.li(t3, 0);
+        a.li(t4, 64);
+        a.label(loop);
+        // bit = msb of A; A <<= 1.
+        a.srli(t5, a1, 31);
+        a.slli(a1, a1, 1);
+        a.srli(t6, a0, 31);
+        a.or_(a1, a1, t6);
+        a.slli(a0, a0, 1);
+        // rem = rem<<1 | bit.
+        a.slli(t3, t3, 1);
+        a.srli(t6, t2, 31);
+        a.or_(t3, t3, t6);
+        a.slli(t2, t2, 1);
+        a.or_(t2, t2, t5);
+        // q <<= 1.
+        a.slli(t1, t1, 1);
+        a.srli(t6, t0, 31);
+        a.or_(t1, t1, t6);
+        a.slli(t0, t0, 1);
+        // if rem >= d: rem -= d; q |= 1.
+        a.bne(t3, x0, dosub);
+        a.bltu(t2, a2, skip);
+        a.label(dosub);
+        a.sltu(t6, t2, a2);
+        a.sub(t2, t2, a2);
+        a.sub(t3, t3, t6);
+        a.ori(t0, t0, 1);
+        a.label(skip);
+        a.addi(t4, t4, -1);
+        a.bne(t4, x0, loop);
+
+        // Apply sign.
+        a.mv(a0, t0);
+        a.mv(a1, t1);
+        a.beq(a5, x0, pos);
+        a.not_(a0, a0);
+        a.not_(a1, a1);
+        a.addi(a0, a0, 1);
+        a.seqz(t0, a0);
+        a.add(a1, a1, t0);
+        a.label(pos);
+        a.ret();
+    }
+
+    /** __pld_puthex: print a0 as 8 hex digits to the console. */
+    void
+    emitPuthex()
+    {
+        a.label("__pld_puthex");
+        std::string loop = a.genLabel("ph_loop");
+        std::string digit = a.genLabel("ph_digit");
+        a.li(t1, static_cast<int32_t>(Mmio::kConsolePutc));
+        a.li(t2, 8);
+        a.label(loop);
+        a.srli(t0, a0, 28);
+        a.li(t3, 10);
+        a.blt(t0, t3, digit);
+        a.addi(t0, t0, 'a' - 10 - '0');
+        a.label(digit);
+        a.addi(t0, t0, '0');
+        a.sw(t0, t1, 0);
+        a.slli(a0, a0, 4);
+        a.addi(t2, t2, -1);
+        a.bne(t2, x0, loop);
+        a.ret();
+    }
+
+    const ir::OperatorFn &fn;
+    Assembler a;
+    std::vector<uint32_t> varOff;
+    std::vector<uint32_t> arrOff;
+    uint32_t dataBase = 0;
+    std::vector<uint8_t> dataImage;
+};
+
+} // namespace
+
+RvResult
+compileToRiscv(const ir::OperatorFn &fn)
+{
+    Stopwatch sw;
+    Codegen cg(fn);
+    RvResult r;
+    r.elf = cg.compile();
+    r.elf.pageNum = fn.pragma.pageNum;
+    r.instructions = static_cast<int>(r.elf.text.size());
+    r.seconds = sw.seconds();
+    return r;
+}
+
+} // namespace rvgen
+} // namespace pld

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Non-optimizing IR -> RV32IM code generator (the -O0 compiler).
+ *
+ * The same operator IR that the HLS flow compiles to a netlist is
+ * compiled here to real machine code for the page softcore (paper
+ * Sec 6.1: riscv-gcc caller + firmware.lib). Code generation is a
+ * straightforward stack machine — deliberately unoptimized, because
+ * -O0's contract is "compiles in seconds, runs slowly, bit-exact".
+ *
+ * Semantics contract: every expression value is carried as a 64-bit
+ * canonical (sign-extended, scaled) pair, operations reproduce the
+ * interpreter's exact quantization, and stream accesses are MMIO
+ * loads/stores that the ISS blocks on — so ISS output is bit-identical
+ * to the interpreter (enforced by the cross-check tests).
+ *
+ * A small firmware library is appended to every binary:
+ *  - __pld_mulshift: signed 64x64->128 multiply, arithmetic shift
+ *  - __pld_sdiv64:   signed 64/32 division (truncating, /0 -> 0)
+ *  - __pld_puthex:   console hex printer for Print statements
+ */
+
+#ifndef PLD_RVGEN_CODEGEN_H
+#define PLD_RVGEN_CODEGEN_H
+
+#include "ir/operator_fn.h"
+#include "rv32/elf.h"
+
+namespace pld {
+namespace rvgen {
+
+/** Compilation result with simple stats. */
+struct RvResult
+{
+    rv32::PldElf elf;
+    int instructions = 0;
+    double seconds = 0; ///< measured -O0 compile time
+};
+
+/**
+ * Compile one operator to a softcore image. fatal()s if the image
+ * exceeds the 192 KB page memory (Sec 5.1).
+ */
+RvResult compileToRiscv(const ir::OperatorFn &fn);
+
+} // namespace rvgen
+} // namespace pld
+
+#endif // PLD_RVGEN_CODEGEN_H

@@ -1,0 +1,283 @@
+#include "sys/system.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace pld {
+namespace sys {
+
+using dataflow::FifoReadPort;
+using dataflow::FifoWritePort;
+using dataflow::WordFifo;
+using interp::RunStatus;
+
+SystemSim::SystemSim(const ir::Graph &g,
+                     const std::vector<PageBinding> &bindings,
+                     const SystemConfig &cfg)
+    : g(g), cfg(cfg)
+{
+    pld_assert(bindings.size() == g.ops.size(),
+               "need one page binding per operator");
+    pages.resize(bindings.size());
+    for (size_t i = 0; i < bindings.size(); ++i)
+        pages[bindings[i].opIdx].binding = bindings[i];
+
+    hostIn.resize(g.extInputs.size());
+    hostInPos.assign(g.extInputs.size(), 0);
+    hostOut.resize(g.extOutputs.size());
+
+    if (cfg.useNoc)
+        buildNocSystem();
+    else
+        buildDirectSystem();
+
+    // Instantiate execution contexts now that ports exist.
+}
+
+void
+SystemSim::buildNocSystem()
+{
+    int needed = cfg.dmaLeafBase +
+                 static_cast<int>(g.extInputs.size() +
+                                  g.extOutputs.size());
+    net = std::make_unique<noc::BftNoc>(std::max(32, needed),
+                                        cfg.nocPortsPerLeaf,
+                                        cfg.nocFifoDepth);
+
+    // Operator ports hang off their page's leaf interface.
+    for (size_t oi = 0; oi < g.ops.size(); ++oi) {
+        const auto &fn = g.ops[oi].fn;
+        int leaf = pages[oi].binding.pageId;
+        pld_assert(static_cast<int>(fn.ports.size()) <=
+                       cfg.nocPortsPerLeaf,
+                   "%s has more ports than the leaf interface",
+                   fn.name.c_str());
+        std::vector<dataflow::StreamPort *> ports;
+        for (size_t pi = 0; pi < fn.ports.size(); ++pi) {
+            if (fn.ports[pi].dir == ir::PortDir::In)
+                ports.push_back(net->inPort(leaf, int(pi)));
+            else
+                ports.push_back(net->outPort(leaf, int(pi)));
+        }
+        if (pages[oi].binding.impl == PageImpl::Hw) {
+            pages[oi].exec = std::make_unique<interp::OperatorExec>(
+                fn, ports);
+        } else {
+            pages[oi].core = std::make_unique<rv32::Core>(
+                pages[oi].binding.elf, ports);
+        }
+    }
+
+    // DMA endpoints.
+    for (size_t i = 0; i < g.extInputs.size(); ++i) {
+        int leaf = cfg.dmaLeafBase + static_cast<int>(i);
+        extInPorts.push_back(net->outPort(leaf, 0));
+    }
+    for (size_t j = 0; j < g.extOutputs.size(); ++j) {
+        int leaf = cfg.dmaLeafBase +
+                   static_cast<int>(g.extInputs.size() + j);
+        extOutPorts.push_back(net->inPort(leaf, 0));
+    }
+
+    // Linking: the loader sends config packets from the DMA leaf
+    // programming every producer's destination register (Sec 4.3).
+    int linker_leaf = cfg.dmaLeafBase;
+    for (const auto &l : g.links) {
+        int src_leaf, src_port;
+        if (l.src.isExternal()) {
+            src_leaf = cfg.dmaLeafBase + l.src.port;
+            src_port = 0;
+        } else {
+            src_leaf = pages[l.src.op].binding.pageId;
+            src_port = l.src.port;
+        }
+        int dst_leaf, dst_port;
+        if (l.dst.isExternal()) {
+            dst_leaf = cfg.dmaLeafBase +
+                       static_cast<int>(g.extInputs.size()) +
+                       l.dst.port;
+            dst_port = 0;
+        } else {
+            dst_leaf = pages[l.dst.op].binding.pageId;
+            dst_port = l.dst.port;
+        }
+        net->sendConfig(linker_leaf, src_leaf, src_port, dst_leaf,
+                        dst_port);
+    }
+}
+
+void
+SystemSim::buildDirectSystem()
+{
+    // Monolithic designs: dedicated FIFO per link (Sec 6.3 kernel
+    // generator), no network.
+    directFifos.reserve(g.links.size());
+    for (const auto &l : g.links) {
+        bool external = l.src.isExternal() || l.dst.isExternal();
+        directFifos.push_back(std::make_unique<WordFifo>(
+            external ? 0 : cfg.directFifoDepth));
+    }
+
+    for (size_t oi = 0; oi < g.ops.size(); ++oi) {
+        const auto &fn = g.ops[oi].fn;
+        std::vector<dataflow::StreamPort *> ports;
+        for (size_t pi = 0; pi < fn.ports.size(); ++pi) {
+            ir::Endpoint ep{static_cast<int>(oi),
+                            static_cast<int>(pi)};
+            if (fn.ports[pi].dir == ir::PortDir::In) {
+                int li = g.linkInto(ep);
+                portStorage.push_back(std::make_unique<FifoReadPort>(
+                    *directFifos[li]));
+            } else {
+                int li = g.linkFrom(ep);
+                portStorage.push_back(std::make_unique<FifoWritePort>(
+                    *directFifos[li]));
+            }
+            ports.push_back(portStorage.back().get());
+        }
+        if (pages[oi].binding.impl == PageImpl::Hw) {
+            pages[oi].exec = std::make_unique<interp::OperatorExec>(
+                fn, ports);
+        } else {
+            pages[oi].core = std::make_unique<rv32::Core>(
+                pages[oi].binding.elf, ports);
+        }
+    }
+
+    for (size_t i = 0; i < g.extInputs.size(); ++i) {
+        int li = g.linkFrom({ir::Endpoint::kExternal,
+                             static_cast<int>(i)});
+        portStorage.push_back(
+            std::make_unique<FifoWritePort>(*directFifos[li]));
+        extInPorts.push_back(portStorage.back().get());
+    }
+    for (size_t j = 0; j < g.extOutputs.size(); ++j) {
+        int li = g.linkInto({ir::Endpoint::kExternal,
+                             static_cast<int>(j)});
+        portStorage.push_back(
+            std::make_unique<FifoReadPort>(*directFifos[li]));
+        extOutPorts.push_back(portStorage.back().get());
+    }
+}
+
+void
+SystemSim::loadInput(int ext_idx, const std::vector<uint32_t> &words)
+{
+    auto &buf = hostIn[static_cast<size_t>(ext_idx)];
+    buf.insert(buf.end(), words.begin(), words.end());
+}
+
+bool
+SystemSim::stepPages(uint64_t cycle)
+{
+    bool all_done = true;
+    for (auto &page : pages) {
+        if (page.done)
+            continue;
+        if (page.binding.impl == PageImpl::Hw) {
+            page.budget = std::min(page.budget + 1.0, 8.0);
+            while (page.budget > 0 && !page.done) {
+                const auto &st = page.exec->stats();
+                uint64_t before = st.computeOps + st.memOps;
+                RunStatus rs = page.exec->run(1);
+                uint64_t delta =
+                    (st.computeOps + st.memOps) - before;
+                page.budget -=
+                    std::max<double>(double(delta), 0.25) *
+                    page.binding.cyclesPerOp;
+                if (rs == RunStatus::BlockedOnRead ||
+                    rs == RunStatus::BlockedOnWrite) {
+                    break;
+                }
+                if (page.exec->done()) {
+                    page.done = true;
+                }
+            }
+        } else {
+            while (!page.done && page.core->cycles() < cycle) {
+                rv32::CoreStatus st = page.core->step(16);
+                if (st == rv32::CoreStatus::Halted) {
+                    page.done = true;
+                } else if (st == rv32::CoreStatus::Trapped) {
+                    pld_fatal("softcore trapped: %s (pc=0x%x)",
+                              page.core->trapReason().c_str(),
+                              page.core->pc());
+                } else if (st != rv32::CoreStatus::Running) {
+                    break; // blocked on a stream
+                }
+            }
+        }
+        all_done &= page.done;
+    }
+    return all_done;
+}
+
+RunStats
+SystemSim::run(uint64_t max_cycles)
+{
+    RunStats rs;
+
+    // Linking phase: drain config packets (counts separately; this is
+    // the seconds-scale "linking" cost the paper contrasts with
+    // recompilation).
+    if (net) {
+        while (!net->idle()) {
+            net->stepCycle();
+            ++rs.configCycles;
+            pld_assert(rs.configCycles < 1000000,
+                       "linking never converged");
+        }
+    }
+
+    uint64_t cycle = 0;
+    for (; cycle < max_cycles; ++cycle) {
+        // DMA: move host words.
+        for (size_t i = 0; i < extInPorts.size(); ++i) {
+            for (int w = 0; w < cfg.dmaWordsPerCycle; ++w) {
+                if (hostInPos[i] < hostIn[i].size() &&
+                    extInPorts[i]->canWrite()) {
+                    extInPorts[i]->write(hostIn[i][hostInPos[i]++]);
+                }
+            }
+        }
+        for (size_t j = 0; j < extOutPorts.size(); ++j) {
+            while (extOutPorts[j]->canRead())
+                hostOut[j].push_back(extOutPorts[j]->read());
+        }
+
+        bool pages_done = stepPages(cycle);
+        if (net)
+            net->stepCycle();
+
+        if (pages_done) {
+            bool inputs_done = true;
+            for (size_t i = 0; i < hostIn.size(); ++i)
+                inputs_done &= (hostInPos[i] == hostIn[i].size());
+            bool drained = !net || net->idle();
+            for (size_t j = 0; j < extOutPorts.size() && drained;
+                 ++j) {
+                drained &= !extOutPorts[j]->canRead();
+            }
+            if (inputs_done && drained) {
+                ++cycle;
+                rs.completed = true;
+                break;
+            }
+        }
+    }
+
+    rs.cycles = cycle;
+    if (net)
+        rs.noc = net->stats();
+    return rs;
+}
+
+std::vector<uint32_t>
+SystemSim::takeOutput(int ext_idx)
+{
+    return std::move(hostOut[static_cast<size_t>(ext_idx)]);
+}
+
+} // namespace sys
+} // namespace pld

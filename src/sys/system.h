@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Cycle-level system simulator: the "board" the linked design runs on.
+ *
+ * Models the runtime half of the paper: a set of physical pages (each
+ * implementing one operator either as HLS hardware or as a softcore
+ * running its -O0 binary), the linking network connecting them, and a
+ * DMA engine streaming host buffers in and out (Fig 3). The same
+ * simulator also runs monolithic (-O3 / Vitis) designs by replacing
+ * the NoC with direct FIFO links.
+ *
+ * Timing:
+ *  - HW pages charge cycles per interpreter compute-op using the HLS
+ *    schedule's cyclesPerOp (so an II=1 loop streams ~1 word/cycle).
+ *  - Softcore pages execute their RV32 binary on the ISS; the ISS's
+ *    PicoRV32 cycle counter is synchronized to the global clock.
+ *  - The NoC moves one flit per link per cycle with deflection.
+ * Wall-clock seconds per input are cycles / Fmax, reported by the
+ * benchmark harness (Table 3).
+ */
+
+#ifndef PLD_SYS_SYSTEM_H
+#define PLD_SYS_SYSTEM_H
+
+#include <memory>
+#include <vector>
+
+#include "interp/exec.h"
+#include "ir/graph.h"
+#include "noc/bft.h"
+#include "rv32/iss.h"
+
+namespace pld {
+namespace sys {
+
+/** How one operator is realized on its page. */
+enum class PageImpl { Hw, Softcore };
+
+/** Binding of a graph operator to a physical page. */
+struct PageBinding
+{
+    int opIdx = -1;
+    int pageId = -1; ///< physical page == NoC leaf id
+    PageImpl impl = PageImpl::Hw;
+    /** HW: cycle charge per interpreter compute op. */
+    double cyclesPerOp = 1.0;
+    /** Softcore: the packed -O0 binary. */
+    rv32::PldElf elf;
+};
+
+struct SystemConfig
+{
+    /** Overlay (true, -O1/-O0) vs direct FIFO links (-O3/Vitis). */
+    bool useNoc = true;
+    int nocPortsPerLeaf = 6;
+    size_t nocFifoDepth = 16;
+    /** Direct-link FIFO depth for monolithic designs. */
+    size_t directFifoDepth = 64;
+    /** DMA words moved per cycle per external stream. */
+    int dmaWordsPerCycle = 1;
+    /** First NoC leaf used for DMA endpoints. */
+    int dmaLeafBase = 24;
+};
+
+/** Per-run result summary. */
+struct RunStats
+{
+    uint64_t cycles = 0;
+    uint64_t configCycles = 0; ///< linking (config packets) phase
+    bool completed = false;
+    noc::NocStats noc;
+};
+
+/**
+ * One loaded application ready to execute.
+ */
+class SystemSim
+{
+  public:
+    SystemSim(const ir::Graph &g,
+              const std::vector<PageBinding> &bindings,
+              const SystemConfig &cfg);
+
+    /** Queue host input words on external stream @p ext_idx. */
+    void loadInput(int ext_idx, const std::vector<uint32_t> &words);
+
+    /**
+     * Link (config packets through the network) and run to
+     * completion or @p max_cycles.
+     */
+    RunStats run(uint64_t max_cycles = 500000000ull);
+
+    /** Words the DMA engine collected from external output. */
+    std::vector<uint32_t> takeOutput(int ext_idx);
+
+  private:
+    struct Page
+    {
+        PageBinding binding;
+        std::unique_ptr<interp::OperatorExec> exec; // HW
+        std::unique_ptr<rv32::Core> core;           // softcore
+        double budget = 0;
+        bool done = false;
+    };
+
+    void buildNocSystem();
+    void buildDirectSystem();
+    bool stepPages(uint64_t cycle);
+
+    const ir::Graph &g;
+    SystemConfig cfg;
+    std::vector<Page> pages;
+    std::unique_ptr<noc::BftNoc> net;
+
+    // Direct-link mode storage.
+    std::vector<std::unique_ptr<dataflow::WordFifo>> directFifos;
+    std::vector<std::unique_ptr<dataflow::StreamPort>> portStorage;
+
+    // DMA buffers.
+    std::vector<std::vector<uint32_t>> hostIn;   // per ext input
+    std::vector<size_t> hostInPos;
+    std::vector<std::vector<uint32_t>> hostOut;  // per ext output
+    std::vector<dataflow::StreamPort *> extInPorts;
+    std::vector<dataflow::StreamPort *> extOutPorts;
+};
+
+} // namespace sys
+} // namespace pld
+
+#endif // PLD_SYS_SYSTEM_H

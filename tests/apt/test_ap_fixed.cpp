@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include "apt/ap_fixed.h"
+
+using namespace pld::apt;
+
+TEST(ApFixed, StorageIsMinimal)
+{
+    EXPECT_EQ(sizeof(ap_fixed<8, 4>), 1u);
+    EXPECT_EQ(sizeof(ap_fixed<16, 8>), 2u);
+    EXPECT_EQ(sizeof(ap_fixed<32, 17>), 4u);
+    EXPECT_EQ(sizeof(ap_fixed<64, 40>), 8u);
+}
+
+TEST(ApFixed, RoundTripSimpleValues)
+{
+    ap_fixed<32, 17> x = 3.25;
+    EXPECT_DOUBLE_EQ(x.toDouble(), 3.25);
+    ap_fixed<32, 17> y = -1.5;
+    EXPECT_DOUBLE_EQ(y.toDouble(), -1.5);
+}
+
+TEST(ApFixed, TruncationTowardNegInfinity)
+{
+    // AP_TRN: value snaps down to the grid.
+    ap_fixed<8, 6> x = 1.3; // grid 0.25
+    EXPECT_DOUBLE_EQ(x.toDouble(), 1.25);
+    ap_fixed<8, 6> y = -1.3;
+    EXPECT_DOUBLE_EQ(y.toDouble(), -1.5);
+}
+
+TEST(ApFixed, AddSub)
+{
+    ap_fixed<32, 17> a = 2.5, b = 0.75;
+    EXPECT_DOUBLE_EQ((a + b).toDouble(), 3.25);
+    EXPECT_DOUBLE_EQ((a - b).toDouble(), 1.75);
+}
+
+TEST(ApFixed, Multiply)
+{
+    ap_fixed<32, 17> a = 1.5, b = -2.25;
+    EXPECT_DOUBLE_EQ((a * b).toDouble(), -3.375);
+}
+
+TEST(ApFixed, Divide)
+{
+    ap_fixed<32, 17> a = 3.0, b = 2.0;
+    EXPECT_DOUBLE_EQ((a / b).toDouble(), 1.5);
+    ap_fixed<32, 17> z = 0.0;
+    EXPECT_DOUBLE_EQ((a / z).toDouble(), 0.0) << "div-by-zero is 0";
+}
+
+TEST(ApFixed, WrapOnOverflow)
+{
+    ap_fixed<8, 4> a = 7.5; // max for <8,4> is 7.9375
+    ap_fixed<8, 4> b = 1.0;
+    ap_fixed<8, 4> s = a + b; // 8.5 wraps
+    EXPECT_LT(s.toDouble(), 0.0);
+}
+
+TEST(ApFixed, FormatConversion)
+{
+    ap_fixed<32, 17> x = 5.75;
+    ap_fixed<16, 8> y = x;
+    EXPECT_DOUBLE_EQ(y.toDouble(), 5.75);
+    ap_fixed<8, 6> z = x; // loses fractional precision to 0.25 grid
+    EXPECT_DOUBLE_EQ(z.toDouble(), 5.75);
+}
+
+TEST(ApFixed, RawBitCastMatchesHlsIdiom)
+{
+    // The paper's t[i](31,0) = Input.read() idiom: move raw words.
+    ap_fixed<32, 17> x = -7.125;
+    uint64_t raw = x.range(31, 0);
+    ap_fixed<32, 17> y = ap_fixed<32, 17>::fromRaw(raw);
+    EXPECT_EQ(x, y);
+}
+
+TEST(ApFixed, SetRangePartial)
+{
+    ap_fixed<32, 17> x = 0.0;
+    x.setRange(31, 0, ap_fixed<32, 17>(2.5).raw());
+    EXPECT_DOUBLE_EQ(x.toDouble(), 2.5);
+}
+
+TEST(ApFixed, ComparisonOperators)
+{
+    ap_fixed<16, 8> a = 1.25, b = 2.5;
+    EXPECT_TRUE(a < b);
+    EXPECT_TRUE(b > a);
+    EXPECT_TRUE(a <= a);
+    EXPECT_TRUE(a >= a);
+    EXPECT_TRUE(a != b);
+    EXPECT_FALSE(a == b);
+}
+
+TEST(ApFixed, NegativeDivTruncatesTowardZero)
+{
+    ap_fixed<32, 17> a = -3.0, b = 2.0;
+    EXPECT_DOUBLE_EQ((a / b).toDouble(), -1.5);
+}
+
+TEST(ApFixed, UnsignedVariant)
+{
+    ap_ufixed<16, 8> a = 3.5, b = 1.25;
+    EXPECT_DOUBLE_EQ((a + b).toDouble(), 4.75);
+    EXPECT_DOUBLE_EQ((a * b).toDouble(), 4.375);
+}
+
+TEST(ApFixed, PaperFlowCalcExpression)
+{
+    // denom = t1*t2 - t4*t4 with the flow_calc types.
+    using fx = ap_fixed<32, 17>;
+    fx t1 = 2.5, t2 = 4.0, t4 = 1.5;
+    fx denom = t1 * t2 - t4 * t4;
+    EXPECT_DOUBLE_EQ(denom.toDouble(), 10.0 - 2.25);
+}

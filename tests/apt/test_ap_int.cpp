@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include "apt/ap_int.h"
+
+using namespace pld::apt;
+
+TEST(ApInt, StorageIsMinimal)
+{
+    EXPECT_EQ(sizeof(ap_uint<7>), 1u);
+    EXPECT_EQ(sizeof(ap_uint<8>), 1u);
+    EXPECT_EQ(sizeof(ap_uint<9>), 2u);
+    EXPECT_EQ(sizeof(ap_int<16>), 2u);
+    EXPECT_EQ(sizeof(ap_int<17>), 4u);
+    EXPECT_EQ(sizeof(ap_uint<32>), 4u);
+    EXPECT_EQ(sizeof(ap_int<33>), 8u);
+    EXPECT_EQ(sizeof(ap_uint<64>), 8u);
+}
+
+TEST(ApInt, UnsignedWraps)
+{
+    ap_uint<8> x = 250;
+    x += ap_uint<8>(10);
+    EXPECT_EQ(x.value(), 4u);
+}
+
+TEST(ApInt, SignedWrapsAndExtends)
+{
+    ap_int<8> x = 127;
+    ++x;
+    EXPECT_EQ(x.value(), -128);
+    ap_int<4> y = -1;
+    EXPECT_EQ(y.value(), -1);
+    EXPECT_EQ(y.raw(), 0xFu);
+}
+
+TEST(ApInt, CrossWidthConversion)
+{
+    ap_int<16> wide = -300;
+    ap_int<8> narrow = wide;
+    // -300 = 0xFED4; low 8 bits 0xD4 = -44.
+    EXPECT_EQ(narrow.value(), -44);
+    ap_uint<16> uw = narrow;
+    EXPECT_EQ(uw.value(), 0xFFD4u);
+}
+
+TEST(ApInt, BitRangeReadWrite)
+{
+    ap_uint<32> x = 0;
+    x(15, 8) = 0xAB;
+    EXPECT_EQ(x.value(), 0xAB00u);
+    EXPECT_EQ(x.range(15, 8), 0xABu);
+    x(3, 0) = 0xF;
+    EXPECT_EQ(x.value(), 0xAB0Fu);
+}
+
+TEST(ApInt, SingleBitOps)
+{
+    ap_uint<8> x = 0;
+    x.setBit(3, true);
+    EXPECT_TRUE(x.bit(3));
+    EXPECT_EQ(x.value(), 8u);
+    x.setBit(3, false);
+    EXPECT_EQ(x.value(), 0u);
+}
+
+TEST(ApInt, OneBitType)
+{
+    ap_uint<1> b = 1;
+    EXPECT_EQ(b.value(), 1u);
+    b += ap_uint<1>(1);
+    EXPECT_EQ(b.value(), 0u);
+}
+
+TEST(ApInt, MultiplyWraps)
+{
+    ap_uint<8> a = 16, b = 17;
+    a *= b;
+    EXPECT_EQ(a.value(), (16 * 17) % 256u);
+}
+
+TEST(ApInt, ArithmeticInExpressions)
+{
+    ap_int<12> a = 100;
+    ap_int<12> b = 23;
+    int64_t s = a + b; // via implicit conversion
+    EXPECT_EQ(s, 123);
+}

@@ -1,0 +1,42 @@
+#include <gtest/gtest.h>
+
+#include "common/hash.h"
+
+using pld::Hasher;
+
+TEST(Hash, DeterministicAndOrderSensitive)
+{
+    Hasher a, b, c;
+    a.str("foo");
+    a.str("bar");
+    b.str("foo");
+    b.str("bar");
+    c.str("bar");
+    c.str("foo");
+    EXPECT_EQ(a.digest(), b.digest());
+    EXPECT_NE(a.digest(), c.digest());
+}
+
+TEST(Hash, LengthPrefixPreventsConcatCollision)
+{
+    Hasher a, b;
+    a.str("ab");
+    a.str("c");
+    b.str("a");
+    b.str("bc");
+    EXPECT_NE(a.digest(), b.digest());
+}
+
+TEST(Hash, IntegersMix)
+{
+    Hasher a, b;
+    a.u64(1);
+    b.u64(2);
+    EXPECT_NE(a.digest(), b.digest());
+}
+
+TEST(Hash, OneShotHelper)
+{
+    EXPECT_EQ(pld::hashString("x"), pld::hashString("x"));
+    EXPECT_NE(pld::hashString("x"), pld::hashString("y"));
+}

@@ -1,0 +1,48 @@
+#include <gtest/gtest.h>
+
+#include "common/table.h"
+
+using pld::Table;
+
+TEST(Table, AlignsColumns)
+{
+    Table t("demo");
+    t.row("name", "value");
+    t.row("x", 12);
+    t.row("longer", 3.5);
+    std::string s = t.toString();
+    EXPECT_NE(s.find("== demo =="), std::string::npos);
+    EXPECT_NE(s.find("name"), std::string::npos);
+    EXPECT_NE(s.find("12"), std::string::npos);
+    EXPECT_NE(s.find("3.50"), std::string::npos);
+}
+
+TEST(Table, HeaderRulePresent)
+{
+    Table t;
+    t.row("a", "b");
+    t.row("1", "2");
+    std::string s = t.toString();
+    EXPECT_NE(s.find("----"), std::string::npos);
+}
+
+TEST(Table, RaggedRowsTolerated)
+{
+    Table t;
+    t.row("a");
+    t.row("b", "c", "d");
+    EXPECT_FALSE(t.toString().empty());
+}
+
+TEST(FmtSeconds, PicksUnits)
+{
+    EXPECT_EQ(pld::fmtSeconds(2.5), "2.50s");
+    EXPECT_EQ(pld::fmtSeconds(0.0021), "2.1ms");
+    EXPECT_EQ(pld::fmtSeconds(0.0000005), "0.5us");
+}
+
+TEST(FmtDouble, RespectsDigits)
+{
+    EXPECT_EQ(pld::fmtDouble(1.23456, 3), "1.235");
+    EXPECT_EQ(pld::fmtDouble(2.0, 0), "2");
+}

@@ -1,0 +1,59 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "common/thread_pool.h"
+
+using pld::ThreadPool;
+
+TEST(ThreadPool, RunsAllJobs)
+{
+    ThreadPool pool(4);
+    std::atomic<int> count{0};
+    for (int i = 0; i < 100; ++i)
+        pool.submit([&] { count.fetch_add(1); });
+    pool.wait();
+    EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, WaitIsReusable)
+{
+    ThreadPool pool(2);
+    std::atomic<int> count{0};
+    pool.submit([&] { count.fetch_add(1); });
+    pool.wait();
+    EXPECT_EQ(count.load(), 1);
+    pool.submit([&] { count.fetch_add(1); });
+    pool.submit([&] { count.fetch_add(1); });
+    pool.wait();
+    EXPECT_EQ(count.load(), 3);
+}
+
+TEST(ThreadPool, ParallelismIsReal)
+{
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.workerCount(), 4u);
+    std::atomic<int> concurrent{0};
+    std::atomic<int> peak{0};
+    for (int i = 0; i < 8; ++i) {
+        pool.submit([&] {
+            int c = concurrent.fetch_add(1) + 1;
+            int p = peak.load();
+            while (c > p && !peak.compare_exchange_weak(p, c)) {}
+            // Sleep so jobs necessarily overlap across 4 workers.
+            std::this_thread::sleep_for(std::chrono::milliseconds(20));
+            concurrent.fetch_sub(1);
+        });
+    }
+    pool.wait();
+    EXPECT_GE(peak.load(), 2);
+}
+
+TEST(ThreadPool, EmptyWaitReturns)
+{
+    ThreadPool pool(2);
+    pool.wait(); // must not hang
+    SUCCEED();
+}

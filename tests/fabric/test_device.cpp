@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include "fabric/device.h"
+
+using namespace pld::fabric;
+
+namespace {
+
+const Device &
+device()
+{
+    static Device d = makeU50();
+    return d;
+}
+
+} // namespace
+
+TEST(Device, HasTwentyTwoPages)
+{
+    EXPECT_EQ(device().pages.size(), 22u);
+}
+
+TEST(Device, PagesAreDisjoint)
+{
+    const Device &d = device();
+    for (size_t i = 0; i < d.pages.size(); ++i) {
+        for (size_t j = i + 1; j < d.pages.size(); ++j) {
+            const Rect &a = d.pages[i].rect;
+            const Rect &b = d.pages[j].rect;
+            bool overlap = a.col0 < b.col0 + b.w &&
+                           b.col0 < a.col0 + a.w &&
+                           a.row0 < b.row0 + b.h &&
+                           b.row0 < a.row0 + a.h;
+            EXPECT_FALSE(overlap) << "pages " << i << "," << j;
+        }
+    }
+}
+
+TEST(Device, PagesAvoidShellAndSpine)
+{
+    const Device &d = device();
+    for (const auto &p : d.pages) {
+        for (int r = p.rect.row0; r < p.rect.row0 + p.rect.h; ++r) {
+            for (int c = p.rect.col0; c < p.rect.col0 + p.rect.w;
+                 ++c) {
+                TileKind k = d.at(c, r);
+                ASSERT_NE(k, TileKind::Shell);
+                ASSERT_NE(k, TileKind::Spine);
+            }
+        }
+    }
+}
+
+TEST(Device, PageSizeNearPaperTarget)
+{
+    // Paper Sec 4.1 chooses ~18,000-LUT pages (Table 1: 17.5k-21.3k).
+    for (const auto &p : device().pages) {
+        EXPECT_GE(p.res.luts, 15000) << "page " << p.id;
+        EXPECT_LE(p.res.luts, 23000) << "page " << p.id;
+        EXPECT_EQ(p.res.ffs, p.res.luts * 2);
+        EXPECT_GT(p.res.bram18, 0);
+        EXPECT_GT(p.res.dsps, 0);
+    }
+}
+
+TEST(Device, HeterogeneousPageTypes)
+{
+    const Device &d = device();
+    // Table 1 has 4 page types; our column pattern yields a small
+    // number of distinct signatures (>1 shows heterogeneity).
+    EXPECT_GE(d.pageTypes.size(), 2u);
+    EXPECT_LE(d.pageTypes.size(), 6u);
+    int total = 0;
+    for (const auto &t : d.pageTypes)
+        total += t.count;
+    EXPECT_EQ(total, 22);
+    // Types sorted by descending LUTs.
+    for (size_t i = 1; i < d.pageTypes.size(); ++i)
+        EXPECT_GE(d.pageTypes[i - 1].res.luts,
+                  d.pageTypes[i].res.luts);
+}
+
+TEST(Device, UserResourcesNearU50Scale)
+{
+    // U50 exposes 751,793 LUTs total; our 22 pages should land within
+    // the same order (the paper's pages likewise don't cover all of
+    // the device: shell + network take the rest).
+    ResourceCount u = device().userResources();
+    EXPECT_GT(u.luts, 350000);
+    EXPECT_LT(u.luts, 760000);
+}
+
+TEST(Device, SlrSplit)
+{
+    const Device &d = device();
+    EXPECT_EQ(d.slrOf(0), 0);
+    EXPECT_EQ(d.slrOf(d.slrBoundary - 1), 0);
+    EXPECT_EQ(d.slrOf(d.slrBoundary), 1);
+    EXPECT_EQ(d.slrOf(d.height - 1), 1);
+    int pages_slr0 = 0, pages_slr1 = 0;
+    for (const auto &p : d.pages) {
+        if (d.slrOf(p.rect.row0) == 0)
+            ++pages_slr0;
+        else
+            ++pages_slr1;
+    }
+    EXPECT_EQ(pages_slr0, 12);
+    EXPECT_EQ(pages_slr1, 10);
+}
+
+TEST(Device, SitesInRegionMatchResourceCounts)
+{
+    const Device &d = device();
+    const PageInfo &p = d.pages[0];
+    auto clbs = d.sitesIn(p.rect, SiteKind::Clb);
+    auto brams = d.sitesIn(p.rect, SiteKind::Bram);
+    auto dsps = d.sitesIn(p.rect, SiteKind::Dsp);
+    EXPECT_EQ(static_cast<int64_t>(clbs.size()) * 8, p.res.luts);
+    EXPECT_EQ(static_cast<int64_t>(brams.size()), p.res.bram18);
+    EXPECT_EQ(static_cast<int64_t>(dsps.size()), p.res.dsps);
+}
+
+TEST(Device, PageAtLookup)
+{
+    const Device &d = device();
+    const PageInfo &p = d.pages[3];
+    EXPECT_EQ(d.pageAt(p.rect.col0, p.rect.row0), p.id);
+    EXPECT_EQ(d.pageAt(d.staticShell.col0, 0), -1);
+}
+
+TEST(Device, FloorplanRenders)
+{
+    std::string fp = device().renderFloorplan();
+    EXPECT_NE(fp.find("SLR boundary"), std::string::npos);
+    EXPECT_NE(fp.find('S'), std::string::npos);
+    EXPECT_NE(fp.find('N'), std::string::npos);
+}

@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include "hls/compiler.h"
+#include "hls/resource_model.h"
+#include "hls/synthesis.h"
+#include "ir/builder.h"
+
+using namespace pld;
+using namespace pld::ir;
+using hls::compileOperator;
+using hls::synthesize;
+using netlist::ResourceCount;
+using netlist::SiteKind;
+
+namespace {
+
+OperatorFn
+makeKernel()
+{
+    OpBuilder b("kern");
+    auto in = b.input("in");
+    auto out = b.output("out");
+    auto w = b.rom("w", Type::fx(16, 8), {0.5, 0.25, -1.0, 2.0});
+    auto acc = b.var("acc", Type::fx(32, 17));
+    b.forLoop(0, 64, [&](Ex i) {
+        Ex x = b.read(in).bitcast(Type::fx(32, 17));
+        b.set(acc, Ex(acc) + x * w[i % lit(4)]);
+    });
+    b.write(out, acc);
+    return b.finish();
+}
+
+} // namespace
+
+TEST(HlsCompiler, ProducesConsistentNetlist)
+{
+    auto r = compileOperator(makeKernel(), false);
+    std::string problem;
+    EXPECT_TRUE(r.net.checkConsistent(&problem)) << problem;
+    EXPECT_GT(r.net.cells.size(), 10u);
+    EXPECT_GT(r.net.nets.size(), 10u);
+}
+
+TEST(HlsCompiler, ResourcesReflectOperations)
+{
+    auto r = compileOperator(makeKernel(), false);
+    ResourceCount res = r.net.resources();
+    EXPECT_GT(res.luts, 100) << "FSM + adders + ports";
+    EXPECT_GT(res.dsps, 0) << "the multiply maps to DSP";
+    EXPECT_GT(res.bram18, 0) << "the ROM maps to BRAM";
+}
+
+TEST(HlsCompiler, LeafInterfaceAddsPaperOverhead)
+{
+    auto bare = compileOperator(makeKernel(), false);
+    auto wrapped = compileOperator(makeKernel(), true);
+    int64_t delta = wrapped.net.resources().luts -
+                    bare.net.resources().luts;
+    // Paper Sec 4.1: leaf interface ~500 LUTs.
+    EXPECT_GE(delta, 450);
+    EXPECT_LE(delta, 600);
+}
+
+TEST(HlsCompiler, DeterministicOutput)
+{
+    auto a = compileOperator(makeKernel(), true);
+    auto b = compileOperator(makeKernel(), true);
+    EXPECT_EQ(a.net.contentHash(), b.net.contentHash());
+}
+
+TEST(HlsCompiler, ReportMentionsSchedule)
+{
+    auto r = compileOperator(makeKernel(), false);
+    EXPECT_NE(r.report.find("trips=64"), std::string::npos)
+        << r.report;
+    EXPECT_NE(r.report.find("II="), std::string::npos);
+}
+
+TEST(HlsCompiler, DivisionCostsQuadraticArea)
+{
+    OpBuilder b("div");
+    auto in = b.input("in");
+    auto out = b.output("out");
+    auto x = b.var("x", Type::fx(32, 17));
+    b.forLoop(0, 4, [&](Ex) {
+        b.set(x, b.read(in).bitcast(Type::fx(32, 17)));
+        b.write(out, Ex(x) / litF(7.0, Type::fx(32, 17)));
+    });
+    auto div_r = compileOperator(b.finish(), false);
+
+    OpBuilder b2("add");
+    auto in2 = b2.input("in");
+    auto out2 = b2.output("out");
+    auto x2 = b2.var("x", Type::fx(32, 17));
+    b2.forLoop(0, 4, [&](Ex) {
+        b2.set(x2, b2.read(in2).bitcast(Type::fx(32, 17)));
+        b2.write(out2, Ex(x2) + litF(7.0, Type::fx(32, 17)));
+    });
+    auto add_r = compileOperator(b2.finish(), false);
+
+    EXPECT_GT(div_r.net.resources().luts,
+              add_r.net.resources().luts + 200);
+}
+
+TEST(Synthesis, PackingReducesCells)
+{
+    auto r = compileOperator(makeKernel(), true);
+    size_t before = r.net.cells.size();
+    auto rep = synthesize(r.net);
+    EXPECT_EQ(rep.cellsBefore, static_cast<int>(before));
+    EXPECT_LT(rep.cellsAfter, rep.cellsBefore);
+    EXPECT_GT(rep.mergesApplied, 0);
+    std::string problem;
+    EXPECT_TRUE(r.net.checkConsistent(&problem)) << problem;
+}
+
+TEST(Synthesis, PreservesResourceTotalsExceptPacking)
+{
+    auto r = compileOperator(makeKernel(), true);
+    ResourceCount before = r.net.resources();
+    synthesize(r.net);
+    ResourceCount after = r.net.resources();
+    // Packing moves LUTs between cells but never creates/destroys.
+    EXPECT_EQ(before.luts, after.luts);
+    EXPECT_EQ(before.ffs, after.ffs);
+    EXPECT_EQ(before.dsps, after.dsps);
+    EXPECT_EQ(before.bram18, after.bram18);
+}
+
+TEST(Synthesis, IdempotentAfterConvergence)
+{
+    auto r = compileOperator(makeKernel(), true);
+    synthesize(r.net);
+    auto rep2 = synthesize(r.net);
+    EXPECT_LE(rep2.mergesApplied, rep2.cellsBefore / 10)
+        << "second pass should find little left to pack";
+}
+
+TEST(ResourceModel, BramSizing)
+{
+    EXPECT_EQ(hls::bramsFor(16, 32), 1);
+    EXPECT_EQ(hls::bramsFor(512, 32), 1);   // 16Kb fits one BRAM18
+    EXPECT_EQ(hls::bramsFor(1024, 32), 2);  // 32Kb needs two
+    EXPECT_GE(hls::bramsFor(4096, 18), 4);  // padded to 32 bits
+}
+
+TEST(ResourceModel, MulUsesDsps)
+{
+    auto c = hls::opCost(ExprKind::Mul, 32);
+    EXPECT_GE(c.res.dsps, 1);
+    auto c64 = hls::opCost(ExprKind::Mul, 64);
+    EXPECT_GT(c64.res.dsps, c.res.dsps);
+}

@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include "hls/schedule.h"
+#include "ir/builder.h"
+
+using namespace pld;
+using namespace pld::ir;
+using hls::analyzeOperator;
+using hls::exprLatency;
+using hls::PerfEstimate;
+
+namespace {
+
+OperatorFn
+streamingMac(int n)
+{
+    // Pipelined multiply-accumulate: classic II-limited loop.
+    OpBuilder b("mac");
+    auto in = b.input("in");
+    auto out = b.output("out");
+    auto acc = b.var("acc", Type::fx(32, 17));
+    b.forLoop(0, n, [&](Ex) {
+        Ex x = b.read(in).bitcast(Type::fx(32, 17));
+        b.set(acc, Ex(acc) + x * litF(0.5, Type::fx(32, 17)));
+    });
+    b.write(out, acc);
+    return b.finish();
+}
+
+OperatorFn
+mapOnly(int n)
+{
+    // No recurrence: II should be 1.
+    OpBuilder b("map");
+    auto in = b.input("in");
+    auto out = b.output("out");
+    b.forLoop(0, n, [&](Ex) {
+        Ex x = b.read(in).bitcast(Type::s(32));
+        b.write(out, x + 7);
+    });
+    return b.finish();
+}
+
+} // namespace
+
+TEST(Schedule, MapLoopGetsIiOne)
+{
+    PerfEstimate p = analyzeOperator(mapOnly(100));
+    ASSERT_EQ(p.loops.size(), 1u);
+    EXPECT_TRUE(p.loops[0].pipelined);
+    EXPECT_EQ(p.loops[0].ii, 1);
+    EXPECT_EQ(p.loops[0].trips, 100);
+    // ~trips * II + depth.
+    EXPECT_NEAR(p.totalCycles, 100 + p.loops[0].depth, 5);
+}
+
+TEST(Schedule, AccumulationRaisesIi)
+{
+    PerfEstimate p = analyzeOperator(streamingMac(100));
+    ASSERT_EQ(p.loops.size(), 1u);
+    EXPECT_GT(p.loops[0].ii, 1) << "acc = acc + x*c is a recurrence";
+}
+
+TEST(Schedule, DivisionDominatesLatency)
+{
+    OpBuilder b("divide");
+    auto in = b.input("in");
+    auto out = b.output("out");
+    auto x = b.var("x", Type::fx(32, 17));
+    b.forLoop(0, 10, [&](Ex) {
+        b.set(x, b.read(in).bitcast(Type::fx(32, 17)));
+        b.write(out, Ex(x) / litF(3.0, Type::fx(32, 17)));
+    });
+    PerfEstimate p = analyzeOperator(b.finish());
+    ASSERT_EQ(p.loops.size(), 1u);
+    EXPECT_GT(p.loops[0].depth, 20) << "32-bit divider latency";
+}
+
+TEST(Schedule, MemoryPortsBoundIi)
+{
+    OpBuilder b("memhog");
+    auto in = b.input("in");
+    auto out = b.output("out");
+    auto buf = b.array("buf", Type::s(32), 64);
+    auto s = b.var("s", Type::s(32));
+    b.forLoop(0, 32, [&](Ex i) {
+        // Four reads of the same array per iteration: needs >= 2
+        // cycles on a dual-ported BRAM.
+        b.set(s, buf[i] + buf[i + 1] + buf[i + 2] + buf[i + 3]);
+        b.write(out, s);
+    });
+    b.forLoop(0, 4, [&](Ex i) {
+        b.store(buf, i, b.read(in).bitcast(Type::s(32)));
+    });
+    PerfEstimate p = analyzeOperator(b.finish());
+    ASSERT_GE(p.loops.size(), 1u);
+    EXPECT_GE(p.loops[0].ii, 2);
+}
+
+TEST(Schedule, NestedLoopMultipliesTrips)
+{
+    OpBuilder b("nest");
+    auto in = b.input("in");
+    auto out = b.output("out");
+    b.forLoop(0, 10, [&](Ex) {
+        b.forLoop(0, 20, [&](Ex) {
+            b.write(out, b.read(in).bitcast(Type::s(32)) + 1);
+        });
+    });
+    PerfEstimate p = analyzeOperator(b.finish());
+    // Inner loop pipelined: inner ~20 cycles; outer 10x.
+    EXPECT_GT(p.totalCycles, 190);
+    EXPECT_LT(p.totalCycles, 500);
+}
+
+TEST(Schedule, WhileUsesTripEstimate)
+{
+    OpBuilder b("w");
+    auto in = b.input("in");
+    auto out = b.output("out");
+    auto x = b.var("x", Type::s(32));
+    b.set(x, b.read(in).bitcast(Type::s(32)));
+    b.whileLoop(Ex(x) > 0, [&] { b.set(x, Ex(x) - 1); }, 50);
+    b.write(out, x);
+    PerfEstimate p1 = analyzeOperator(b.finish());
+
+    OpBuilder b2("w2");
+    auto in2 = b2.input("in");
+    auto out2 = b2.output("out");
+    auto x2 = b2.var("x", Type::s(32));
+    b2.set(x2, b2.read(in2).bitcast(Type::s(32)));
+    b2.whileLoop(Ex(x2) > 0, [&] { b2.set(x2, Ex(x2) - 1); }, 500);
+    b2.write(out2, x2);
+    PerfEstimate p2 = analyzeOperator(b2.finish());
+
+    EXPECT_GT(p2.totalCycles, p1.totalCycles * 5);
+}
+
+TEST(Schedule, CyclesPerOpIsSane)
+{
+    PerfEstimate p = analyzeOperator(mapOnly(1000));
+    // Pipelined map: ~1 cycle per iteration with ~3 ops each:
+    // cyclesPerOp < 1.
+    EXPECT_GT(p.cyclesPerOp(), 0.01);
+    EXPECT_LT(p.cyclesPerOp(), 2.0);
+}
+
+TEST(Schedule, ExprLatencyComposes)
+{
+    OpBuilder b("t");
+    auto v = b.var("v", Type::fx(32, 17));
+    Ex chain = (Ex(v) * Ex(v) + Ex(v)).cast(Type::fx(32, 17));
+    // mul(3) -> add(1) -> cast(0): at least 4.
+    EXPECT_GE(exprLatency(chain.node()), 4);
+    Ex leaf = Ex(v);
+    EXPECT_EQ(exprLatency(leaf.node()), 0);
+}

@@ -1,0 +1,251 @@
+#include <gtest/gtest.h>
+
+#include "dataflow/stream.h"
+#include "interp/exec.h"
+#include "ir/builder.h"
+
+using namespace pld;
+using namespace pld::ir;
+using interp::OperatorExec;
+using interp::RunStatus;
+
+namespace {
+
+/** Harness wiring one operator to input/output FIFOs. */
+struct Rig
+{
+    explicit Rig(const OperatorFn &fn, size_t cap = 0)
+        : fn(fn), inFifo(cap), outFifo(cap), inPort(inFifo),
+          outPort(outFifo)
+    {
+        std::vector<dataflow::StreamPort *> ports;
+        for (const auto &p : fn.ports) {
+            ports.push_back(p.dir == PortDir::In
+                                ? static_cast<dataflow::StreamPort *>(
+                                      &inPort)
+                                : &outPort);
+        }
+        // Note: pass the member copy, not the parameter — OperatorExec
+        // keeps a reference to the operator for its whole lifetime.
+        exec = std::make_unique<OperatorExec>(this->fn, ports);
+    }
+
+    std::vector<uint32_t>
+    drain()
+    {
+        std::vector<uint32_t> out;
+        while (outFifo.canPop())
+            out.push_back(outFifo.pop());
+        return out;
+    }
+
+    OperatorFn fn;
+    dataflow::WordFifo inFifo, outFifo;
+    dataflow::FifoReadPort inPort;
+    dataflow::FifoWritePort outPort;
+    std::unique_ptr<OperatorExec> exec;
+};
+
+OperatorFn
+makeDoubler(int n)
+{
+    OpBuilder b("doubler");
+    auto in = b.input("in");
+    auto out = b.output("out");
+    b.forLoop(0, n, [&](Ex) {
+        Ex x = b.read(in).bitcast(Type::s(32));
+        b.write(out, x * 2);
+    });
+    return b.finish();
+}
+
+} // namespace
+
+TEST(Exec, DoublerDoubles)
+{
+    Rig rig(makeDoubler(4));
+    for (uint32_t v : {1u, 2u, 3u, 4u})
+        rig.inFifo.push(v);
+    EXPECT_EQ(rig.exec->run(), RunStatus::Done);
+    EXPECT_TRUE(rig.exec->done());
+    EXPECT_EQ(rig.drain(), (std::vector<uint32_t>{2, 4, 6, 8}));
+}
+
+TEST(Exec, BlocksOnEmptyInputThenResumes)
+{
+    Rig rig(makeDoubler(2));
+    EXPECT_EQ(rig.exec->run(), RunStatus::BlockedOnRead);
+    EXPECT_FALSE(rig.exec->done());
+    rig.inFifo.push(10);
+    EXPECT_EQ(rig.exec->run(), RunStatus::BlockedOnRead);
+    rig.inFifo.push(20);
+    EXPECT_EQ(rig.exec->run(), RunStatus::Done);
+    EXPECT_EQ(rig.drain(), (std::vector<uint32_t>{20, 40}));
+}
+
+TEST(Exec, BlocksOnFullOutput)
+{
+    Rig rig(makeDoubler(3), 1); // capacity-1 FIFOs
+    rig.inFifo.push(5);
+    // Consumes 5, writes 10 (fits), then blocks reading input.
+    EXPECT_EQ(rig.exec->run(), RunStatus::BlockedOnRead);
+    rig.inFifo.push(6);
+    // Output still holds 10, so the write of 12 backpressures.
+    EXPECT_EQ(rig.exec->run(), RunStatus::BlockedOnWrite);
+    EXPECT_EQ(rig.outFifo.pop(), 10u);
+    EXPECT_EQ(rig.exec->run(), RunStatus::BlockedOnRead);
+    EXPECT_EQ(rig.outFifo.pop(), 12u);
+}
+
+TEST(Exec, BudgetReturnsAndResumes)
+{
+    Rig rig(makeDoubler(100));
+    for (uint32_t i = 0; i < 100; ++i)
+        rig.inFifo.push(i);
+    int slices = 0;
+    while (rig.exec->run(10) == RunStatus::Budget)
+        ++slices;
+    EXPECT_TRUE(rig.exec->done());
+    EXPECT_GT(slices, 2);
+    EXPECT_EQ(rig.drain().size(), 100u);
+}
+
+TEST(Exec, StatsCountWork)
+{
+    Rig rig(makeDoubler(4));
+    for (uint32_t i = 0; i < 4; ++i)
+        rig.inFifo.push(i);
+    rig.exec->run();
+    const auto &st = rig.exec->stats();
+    EXPECT_EQ(st.streamReads, 4u);
+    EXPECT_EQ(st.streamWrites, 4u);
+    EXPECT_GT(st.computeOps, 0u);
+    EXPECT_GE(st.statements, 5u);
+}
+
+TEST(Exec, ResetRestoresInitialState)
+{
+    Rig rig(makeDoubler(2));
+    rig.inFifo.push(1);
+    rig.inFifo.push(2);
+    rig.exec->run();
+    EXPECT_TRUE(rig.exec->done());
+    rig.exec->reset();
+    EXPECT_FALSE(rig.exec->done());
+    rig.inFifo.push(3);
+    rig.inFifo.push(4);
+    EXPECT_EQ(rig.exec->run(), RunStatus::Done);
+    EXPECT_EQ(rig.drain(), (std::vector<uint32_t>{2, 4, 6, 8}));
+}
+
+TEST(Exec, RomAndArrayAccess)
+{
+    OpBuilder b("weighted");
+    auto in = b.input("in");
+    auto out = b.output("out");
+    auto w = b.rom("w", Type::s(32), {2.0, 3.0, 5.0, 7.0});
+    b.forLoop(0, 4, [&](Ex i) {
+        Ex x = b.read(in).bitcast(Type::s(32));
+        b.write(out, x * w[i]);
+    });
+    Rig rig(b.finish());
+    for (uint32_t i = 1; i <= 4; ++i)
+        rig.inFifo.push(i);
+    rig.exec->run();
+    EXPECT_EQ(rig.drain(), (std::vector<uint32_t>{2, 6, 15, 28}));
+}
+
+TEST(Exec, IfElseBranches)
+{
+    OpBuilder b("classify");
+    auto in = b.input("in");
+    auto out = b.output("out");
+    b.forLoop(0, 4, [&](Ex) {
+        Ex x = b.read(in).bitcast(Type::s(32));
+        auto y = b.var("y" + std::to_string(0), Type::s(32));
+        b.ifElse(
+            x > 10, [&] { b.set(y, lit(1)); },
+            [&] { b.set(y, lit(0)); });
+        b.write(out, y);
+    });
+    Rig rig(b.finish());
+    for (uint32_t v : {5u, 15u, 10u, 11u})
+        rig.inFifo.push(v);
+    rig.exec->run();
+    EXPECT_EQ(rig.drain(), (std::vector<uint32_t>{0, 1, 0, 1}));
+}
+
+TEST(Exec, WhileLoopRuns)
+{
+    OpBuilder b("countdown");
+    auto in = b.input("in");
+    auto out = b.output("out");
+    auto n = b.var("n", Type::s(32));
+    auto steps = b.var("steps", Type::s(32));
+    b.set(n, b.read(in).bitcast(Type::s(32)));
+    b.set(steps, lit(0));
+    b.whileLoop(Ex(n) > 0,
+                [&] {
+                    b.set(n, Ex(n) - 1);
+                    b.set(steps, Ex(steps) + 1);
+                },
+                10);
+    b.write(out, steps);
+    Rig rig(b.finish());
+    rig.inFifo.push(7);
+    EXPECT_EQ(rig.exec->run(), RunStatus::Done);
+    EXPECT_EQ(rig.drain(), (std::vector<uint32_t>{7}));
+}
+
+TEST(Exec, PrintCapturedWhenEnabled)
+{
+    OpBuilder b("printer");
+    auto in = b.input("in");
+    auto out = b.output("out");
+    Ex x = b.read(in).bitcast(Type::s(32));
+    b.print("got value");
+    b.write(out, x);
+    Rig rig(b.finish());
+    rig.exec->setPrintsEnabled(true);
+    rig.inFifo.push(9);
+    rig.exec->run();
+    ASSERT_EQ(rig.exec->printLog().size(), 1u);
+    EXPECT_NE(rig.exec->printLog()[0].find("got value"),
+              std::string::npos);
+}
+
+TEST(Exec, PrintSuppressedByDefault)
+{
+    OpBuilder b("quiet");
+    auto in = b.input("in");
+    auto out = b.output("out");
+    b.print("secret");
+    b.write(out, b.read(in));
+    Rig rig(b.finish());
+    rig.inFifo.push(1);
+    rig.exec->run();
+    EXPECT_TRUE(rig.exec->printLog().empty());
+}
+
+TEST(Exec, NestedLoopOrder)
+{
+    OpBuilder b("nest");
+    auto out = b.output("out");
+    b.forLoop(0, 3, [&](Ex r) {
+        b.forLoop(0, 2, [&](Ex c) { b.write(out, r * 2 + c); });
+    });
+    Rig rig(b.finish());
+    rig.exec->run();
+    EXPECT_EQ(rig.drain(), (std::vector<uint32_t>{0, 1, 2, 3, 4, 5}));
+}
+
+TEST(Exec, EmptyLoopRangeSkips)
+{
+    OpBuilder b("empty");
+    auto out = b.output("out");
+    b.forLoop(5, 5, [&](Ex) { b.write(out, lit(1, Type::u(32))); });
+    b.write(out, lit(42, Type::u(32)));
+    Rig rig(b.finish());
+    EXPECT_EQ(rig.exec->run(), RunStatus::Done);
+    EXPECT_EQ(rig.drain(), (std::vector<uint32_t>{42}));
+}

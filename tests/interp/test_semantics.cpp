@@ -1,0 +1,245 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dataflow/stream.h"
+#include "interp/exec.h"
+#include "ir/builder.h"
+
+using namespace pld;
+using namespace pld::ir;
+using interp::OperatorExec;
+using interp::RunStatus;
+
+namespace {
+
+/**
+ * Evaluate a unary IR function f(x) over a batch of raw 32-bit inputs
+ * by building a 1-in/1-out operator and running it.
+ */
+std::vector<uint32_t>
+evalKernel(const std::function<Ex(OpBuilder &, Ex)> &f,
+           Type in_type, const std::vector<uint32_t> &inputs)
+{
+    OpBuilder b("k");
+    auto in = b.input("in");
+    auto out = b.output("out");
+    auto x = b.var("x", in_type);
+    b.forLoop(0, static_cast<int64_t>(inputs.size()), [&](Ex) {
+        // Read into a variable so kernels may use x several times
+        // without violating the one-read-per-statement discipline.
+        b.set(x, b.read(in).bitcast(in_type));
+        b.write(out, f(b, Ex(x)));
+    });
+    OperatorFn fn = b.finish();
+
+    dataflow::WordFifo fin, fout;
+    dataflow::FifoReadPort rp(fin);
+    dataflow::FifoWritePort wp(fout);
+    OperatorExec exec(fn, {&rp, &wp});
+    for (uint32_t w : inputs)
+        fin.push(w);
+    EXPECT_EQ(exec.run(), RunStatus::Done);
+    std::vector<uint32_t> outw;
+    while (fout.canPop())
+        outw.push_back(fout.pop());
+    return outw;
+}
+
+constexpr Type kFx = Type::fx(32, 17); // the paper's ap_fixed<32,17>
+
+uint32_t
+rawOf(double v)
+{
+    return static_cast<uint32_t>(
+        static_cast<int32_t>(std::floor(std::ldexp(v, 15))));
+}
+
+double
+valOf(uint32_t raw)
+{
+    return std::ldexp(static_cast<double>(static_cast<int32_t>(raw)),
+                      -15);
+}
+
+} // namespace
+
+TEST(Semantics, FixedAddMatchesReal)
+{
+    std::vector<double> xs = {0.0, 1.5, -2.25, 100.125, -0.03125};
+    std::vector<uint32_t> raw;
+    for (double x : xs)
+        raw.push_back(rawOf(x));
+    auto out = evalKernel(
+        [](OpBuilder &, Ex x) {
+            return (x + litF(2.5, kFx)).cast(kFx);
+        },
+        kFx, raw);
+    for (size_t i = 0; i < xs.size(); ++i)
+        EXPECT_NEAR(valOf(out[i]), xs[i] + 2.5, 1e-4) << xs[i];
+}
+
+TEST(Semantics, FixedMulMatchesRealWithinGrid)
+{
+    std::vector<double> xs = {1.0, -1.5, 3.75, 0.5, -20.25};
+    std::vector<uint32_t> raw;
+    for (double x : xs)
+        raw.push_back(rawOf(x));
+    auto out = evalKernel(
+        [](OpBuilder &, Ex x) {
+            return (x * litF(-3.25, kFx)).cast(kFx);
+        },
+        kFx, raw);
+    for (size_t i = 0; i < xs.size(); ++i)
+        EXPECT_NEAR(valOf(out[i]), xs[i] * -3.25, 1.0 / 16384.0);
+}
+
+TEST(Semantics, FixedDivMatchesReal)
+{
+    std::vector<double> xs = {1.0, 10.0, -7.5, 0.25};
+    std::vector<uint32_t> raw;
+    for (double x : xs)
+        raw.push_back(rawOf(x));
+    auto out = evalKernel(
+        [](OpBuilder &, Ex x) {
+            return (x / litF(4.0, kFx)).cast(kFx);
+        },
+        kFx, raw);
+    for (size_t i = 0; i < xs.size(); ++i)
+        EXPECT_NEAR(valOf(out[i]), xs[i] / 4.0, 1e-4);
+}
+
+TEST(Semantics, DivByZeroYieldsZero)
+{
+    auto out = evalKernel(
+        [](OpBuilder &, Ex x) {
+            return (x / litF(0.0, kFx)).cast(kFx);
+        },
+        kFx, {rawOf(3.0)});
+    EXPECT_EQ(out[0], 0u);
+}
+
+TEST(Semantics, WrapOnNarrowAssign)
+{
+    // Cast 300 into s8: wraps to 300-256 = 44.
+    auto out = evalKernel(
+        [](OpBuilder &, Ex x) {
+            return x.cast(Type::s(8)).cast(Type::s(32));
+        },
+        Type::s(32), {300});
+    EXPECT_EQ(static_cast<int32_t>(out[0]), 44);
+}
+
+TEST(Semantics, SignExtensionThroughBitcast)
+{
+    // 0xFFFFFFF0 bitcast to s32 is -16; +1 = -15.
+    auto out = evalKernel(
+        [](OpBuilder &, Ex x) { return (x + 1).cast(Type::s(32)); },
+        Type::s(32), {0xFFFFFFF0u});
+    EXPECT_EQ(static_cast<int32_t>(out[0]), -15);
+}
+
+TEST(Semantics, ShiftsPreserveScale)
+{
+    auto out = evalKernel(
+        [](OpBuilder &, Ex x) { return (x << 2).cast(Type::s(32)); },
+        Type::s(32), {5});
+    EXPECT_EQ(out[0], 20u);
+    auto out2 = evalKernel(
+        [](OpBuilder &, Ex x) { return (x >> 1).cast(Type::s(32)); },
+        Type::s(32), {static_cast<uint32_t>(-7)});
+    EXPECT_EQ(static_cast<int32_t>(out2[0]), -4) << "arithmetic shift";
+}
+
+TEST(Semantics, ComparisonAcrossFormats)
+{
+    // Compare fx<32,17> against integer literal 2 (value compare).
+    auto out = evalKernel(
+        [](OpBuilder &, Ex x) { return (x > 2).cast(Type::u(32)); },
+        kFx, {rawOf(1.5), rawOf(2.0), rawOf(2.5)});
+    EXPECT_EQ(out[0], 0u);
+    EXPECT_EQ(out[1], 0u);
+    EXPECT_EQ(out[2], 1u);
+}
+
+TEST(Semantics, SelectPicksArm)
+{
+    auto out = evalKernel(
+        [](OpBuilder &b, Ex x) {
+            return b.select(x > 0, litF(1.0, kFx), litF(-1.0, kFx))
+                .cast(kFx);
+        },
+        kFx, {rawOf(5.0), rawOf(-3.0), rawOf(0.0)});
+    EXPECT_NEAR(valOf(out[0]), 1.0, 1e-6);
+    EXPECT_NEAR(valOf(out[1]), -1.0, 1e-6);
+    EXPECT_NEAR(valOf(out[2]), -1.0, 1e-6);
+}
+
+TEST(Semantics, ModuloInteger)
+{
+    auto out = evalKernel(
+        [](OpBuilder &, Ex x) {
+            return (x % lit(7)).cast(Type::s(32));
+        },
+        Type::s(32), {20, 7, 6});
+    EXPECT_EQ(out[0], 6u);
+    EXPECT_EQ(out[1], 0u);
+    EXPECT_EQ(out[2], 6u);
+}
+
+TEST(Semantics, BitwiseOps)
+{
+    auto out = evalKernel(
+        [](OpBuilder &, Ex x) {
+            return ((x & lit(0xF0, Type::u(32))) |
+                    lit(0x5, Type::u(32)))
+                .cast(Type::u(32));
+        },
+        Type::u(32), {0xABCDu});
+    EXPECT_EQ(out[0], 0xC5u);
+}
+
+TEST(Semantics, LogicalOps)
+{
+    auto out = evalKernel(
+        [](OpBuilder &, Ex x) {
+            Ex nz = x != 0;
+            Ex small = x < 10;
+            return (nz && small).cast(Type::u(32));
+        },
+        Type::s(32), {0, 5, 50});
+    EXPECT_EQ(out[0], 0u);
+    EXPECT_EQ(out[1], 1u);
+    EXPECT_EQ(out[2], 0u);
+}
+
+TEST(Semantics, PaperFlowCalcBody)
+{
+    // The exact flow_calc arithmetic from Fig 2(d): given t[0..5],
+    // compute numer0/denom with denom==0 guarded to 0.
+    OpBuilder b("flow_calc");
+    auto in = b.input("in");
+    auto out = b.output("out");
+    auto t = b.array("t", kFx, 6);
+    auto buf0 = b.var("buf0", kFx);
+    b.forLoop(0, 6, [&](Ex i) { b.store(t, i, b.readAs(in, kFx)); });
+    Ex denom = (t[1] * t[2] - t[4] * t[4]).cast(kFx);
+    Ex numer0 = (t[0] * t[4] - t[5] * t[2]).cast(kFx);
+    b.ifElse(
+        denom == 0, [&] { b.set(buf0, litF(0.0, kFx)); },
+        [&] { b.set(buf0, numer0 / denom); });
+    b.write(out, buf0);
+    OperatorFn fn = b.finish();
+
+    dataflow::WordFifo fin, fout;
+    dataflow::FifoReadPort rp(fin);
+    dataflow::FifoWritePort wp(fout);
+    OperatorExec exec(fn, {&rp, &wp});
+    double tv[6] = {1.0, 2.0, 3.0, 0.0, 1.5, -2.0};
+    for (double v : tv)
+        fin.push(rawOf(v));
+    EXPECT_EQ(exec.run(), RunStatus::Done);
+    double denom_d = tv[1] * tv[2] - tv[4] * tv[4];
+    double numer0_d = tv[0] * tv[4] - tv[5] * tv[2];
+    EXPECT_NEAR(valOf(fout.pop()), numer0_d / denom_d, 1e-3);
+}

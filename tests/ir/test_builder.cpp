@@ -1,0 +1,179 @@
+#include <gtest/gtest.h>
+
+#include "ir/builder.h"
+#include "ir/printer.h"
+
+using namespace pld::ir;
+
+namespace {
+
+/** Simple pass-through doubler used by several tests. */
+OperatorFn
+makeDoubler()
+{
+    OpBuilder b("doubler");
+    auto in = b.input("in");
+    auto out = b.output("out");
+    auto x = b.var("x", Type::s(32));
+    b.forLoop(0, 4, [&](Ex) {
+        b.set(x, b.readAs(in, Type::s(32)));
+        b.write(out, Ex(x) * 2);
+    });
+    return b.finish();
+}
+
+} // namespace
+
+TEST(Builder, PortsAndDecls)
+{
+    OperatorFn fn = makeDoubler();
+    EXPECT_EQ(fn.name, "doubler");
+    EXPECT_EQ(fn.numInputs(), 1);
+    EXPECT_EQ(fn.numOutputs(), 1);
+    EXPECT_EQ(fn.findPort("in"), 0);
+    EXPECT_EQ(fn.findPort("out"), 1);
+    EXPECT_EQ(fn.findPort("nope"), -1);
+    // One user var + one loop var.
+    EXPECT_EQ(fn.vars.size(), 2u);
+}
+
+TEST(Builder, BodyShape)
+{
+    OperatorFn fn = makeDoubler();
+    ASSERT_EQ(fn.body.size(), 1u);
+    EXPECT_EQ(fn.body[0]->kind, StmtKind::For);
+    EXPECT_EQ(fn.body[0]->body.size(), 2u);
+    EXPECT_EQ(fn.body[0]->body[0]->kind, StmtKind::Assign);
+    EXPECT_EQ(fn.body[0]->body[1]->kind, StmtKind::StreamWrite);
+}
+
+TEST(Builder, ContentHashStableAndSensitive)
+{
+    OperatorFn a = makeDoubler();
+    OperatorFn b = makeDoubler();
+    EXPECT_EQ(a.contentHash(), b.contentHash());
+
+    OpBuilder c("doubler");
+    auto in = c.input("in");
+    auto out = c.output("out");
+    auto x = c.var("x", Type::s(32));
+    c.forLoop(0, 4, [&](Ex) {
+        c.set(x, c.readAs(in, Type::s(32)));
+        c.write(out, Ex(x) * 3); // different constant
+    });
+    OperatorFn fn_c = c.finish();
+    EXPECT_NE(a.contentHash(), fn_c.contentHash());
+}
+
+TEST(Builder, PragmaDoesNotAffectContentHash)
+{
+    OperatorFn a = makeDoubler();
+    OperatorFn b = makeDoubler();
+    b.pragma.target = Target::RISCV;
+    b.pragma.pageNum = 5;
+    EXPECT_EQ(a.contentHash(), b.contentHash());
+}
+
+TEST(Builder, PromotionInExpressions)
+{
+    OpBuilder b("t");
+    auto v = b.var("v", Type::fx(32, 17));
+    Ex prod = Ex(v) * Ex(v);
+    EXPECT_EQ(prod.type().width, 64); // widened like HLS
+    EXPECT_EQ(prod.type().intBits, 34);
+    Ex sum = Ex(v) + Ex(v);
+    EXPECT_EQ(sum.type().width, 33);
+    EXPECT_EQ(sum.type().intBits, 18);
+    Ex cmp = Ex(v) < Ex(v);
+    EXPECT_EQ(cmp.type(), Type::boolean());
+}
+
+TEST(Builder, RomInitialization)
+{
+    OpBuilder b("t");
+    b.input("in");
+    auto r = b.rom("weights", Type::fx(16, 8), {1.0, -0.5, 0.25});
+    (void)r;
+    OperatorFn fn = b.finish();
+    ASSERT_EQ(fn.arrays.size(), 1u);
+    EXPECT_TRUE(fn.arrays[0].isRom());
+    EXPECT_EQ(fn.arrays[0].size, 3);
+    // 1.0 at 8 fractional bits = 256.
+    EXPECT_EQ(fn.arrays[0].init[0], 256);
+    EXPECT_EQ(fn.arrays[0].init[1], -128);
+    EXPECT_EQ(fn.arrays[0].init[2], 64);
+}
+
+TEST(Builder, NestedControlFlow)
+{
+    OpBuilder b("nest");
+    auto in = b.input("in");
+    auto out = b.output("out");
+    auto acc = b.var("acc", Type::s(32));
+    b.forLoop(0, 3, [&](Ex i) {
+        b.ifElse(
+            i == 1, [&] { b.set(acc, Ex(acc) + 10); },
+            [&] { b.set(acc, Ex(acc) + 1); });
+    });
+    b.write(out, acc);
+    (void)in;
+    OperatorFn fn = b.finish();
+    EXPECT_EQ(fn.body.size(), 2u);
+    const auto &loop = fn.body[0];
+    ASSERT_EQ(loop->body.size(), 1u);
+    EXPECT_EQ(loop->body[0]->kind, StmtKind::If);
+    EXPECT_EQ(loop->body[0]->body.size(), 1u);
+    EXPECT_EQ(loop->body[0]->elseBody.size(), 1u);
+}
+
+TEST(Builder, PrinterProducesReadableDump)
+{
+    OperatorFn fn = makeDoubler();
+    std::string dump = printOperator(fn);
+    EXPECT_NE(dump.find("operator doubler"), std::string::npos);
+    EXPECT_NE(dump.find("for"), std::string::npos);
+    EXPECT_NE(dump.find("write"), std::string::npos);
+}
+
+TEST(Builder, LiteralConvenienceTypes)
+{
+    Ex a = lit(5);
+    EXPECT_EQ(a.type(), Type::s(32));
+    Ex f = litF(1.5, Type::fx(16, 8));
+    EXPECT_EQ(f.node()->imm, 384); // 1.5 * 256
+}
+
+TEST(GraphBuilder, WiresResolveToLinks)
+{
+    OperatorFn d = makeDoubler();
+    GraphBuilder g("app");
+    auto in = g.extIn("I");
+    auto out = g.extOut("O");
+    auto mid = g.wire(16);
+    g.inst(d, {in}, {mid}, "stage1");
+    g.inst(d, {mid}, {out}, "stage2");
+    Graph graph = g.finish();
+    EXPECT_EQ(graph.ops.size(), 2u);
+    EXPECT_EQ(graph.links.size(), 3u);
+    EXPECT_TRUE(graph.check().empty());
+    EXPECT_EQ(graph.findOp("stage2"), 1);
+}
+
+TEST(GraphBuilder, HashCoversTopologyAndPragmas)
+{
+    OperatorFn d = makeDoubler();
+    auto build = [&](Target t) {
+        OperatorFn dd = d;
+        dd.pragma.target = t;
+        GraphBuilder g("app");
+        auto in = g.extIn("I");
+        auto out = g.extOut("O");
+        g.inst(dd, {in}, {out});
+        return g.finish();
+    };
+    Graph a = build(Target::HW);
+    Graph b = build(Target::HW);
+    Graph c = build(Target::RISCV);
+    EXPECT_EQ(a.contentHash(), b.contentHash());
+    EXPECT_NE(a.contentHash(), c.contentHash());
+}

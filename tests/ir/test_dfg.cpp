@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include "ir/builder.h"
+#include "ir/printer.h"
+
+using namespace pld::ir;
+
+namespace {
+
+Graph
+makeTwoStage()
+{
+    OpBuilder b1("stage_a");
+    auto i1 = b1.input("in");
+    auto o1 = b1.output("out");
+    b1.forLoop(0, 4, [&](Ex) { b1.write(o1, b1.read(i1)); });
+    OperatorFn a = b1.finish();
+    a.pragma = {Target::HW, 3};
+
+    OpBuilder b2("stage_b");
+    auto i2 = b2.input("in");
+    auto o2 = b2.output("out");
+    b2.forLoop(0, 4, [&](Ex) { b2.write(o2, b2.read(i2)); });
+    OperatorFn b = b2.finish();
+    b.pragma = {Target::RISCV, 7};
+
+    GraphBuilder g("twostage");
+    auto gin = g.extIn("Input_1");
+    auto gout = g.extOut("Output_1");
+    auto mid = g.wire(32);
+    g.inst(a, {gin}, {mid});
+    g.inst(b, {mid}, {gout});
+    return g.finish();
+}
+
+} // namespace
+
+TEST(Dfg, ExtractCapturesTopology)
+{
+    Graph g = makeTwoStage();
+    DfgFile dfg = extractDfg(g);
+    EXPECT_EQ(dfg.appName, "twostage");
+    ASSERT_EQ(dfg.ops.size(), 2u);
+    EXPECT_EQ(dfg.ops[0].name, "stage_a");
+    EXPECT_EQ(dfg.ops[0].target, Target::HW);
+    EXPECT_EQ(dfg.ops[0].page, 3);
+    EXPECT_EQ(dfg.ops[1].target, Target::RISCV);
+    EXPECT_EQ(dfg.ops[1].page, 7);
+    EXPECT_EQ(dfg.links.size(), 3u);
+    EXPECT_EQ(dfg.extInputs.size(), 1u);
+    EXPECT_EQ(dfg.extOutputs.size(), 1u);
+}
+
+TEST(Dfg, RoundTripThroughText)
+{
+    Graph g = makeTwoStage();
+    DfgFile a = extractDfg(g);
+    std::string text = emitDfg(a);
+    DfgFile b = parseDfg(text);
+
+    EXPECT_EQ(a.appName, b.appName);
+    ASSERT_EQ(a.ops.size(), b.ops.size());
+    for (size_t i = 0; i < a.ops.size(); ++i) {
+        EXPECT_EQ(a.ops[i].name, b.ops[i].name);
+        EXPECT_EQ(a.ops[i].target, b.ops[i].target);
+        EXPECT_EQ(a.ops[i].page, b.ops[i].page);
+        EXPECT_EQ(a.ops[i].hash, b.ops[i].hash);
+        EXPECT_EQ(a.ops[i].numIn, b.ops[i].numIn);
+        EXPECT_EQ(a.ops[i].numOut, b.ops[i].numOut);
+    }
+    ASSERT_EQ(a.links.size(), b.links.size());
+    for (size_t i = 0; i < a.links.size(); ++i) {
+        EXPECT_EQ(a.links[i].srcOp, b.links[i].srcOp);
+        EXPECT_EQ(a.links[i].srcPort, b.links[i].srcPort);
+        EXPECT_EQ(a.links[i].dstOp, b.links[i].dstOp);
+        EXPECT_EQ(a.links[i].dstPort, b.links[i].dstPort);
+        EXPECT_EQ(a.links[i].depth, b.links[i].depth);
+    }
+    EXPECT_EQ(a.extInputs, b.extInputs);
+    EXPECT_EQ(a.extOutputs, b.extOutputs);
+}
+
+TEST(Dfg, CommentsAndBlanksIgnored)
+{
+    Graph g = makeTwoStage();
+    std::string text = emitDfg(extractDfg(g));
+    text = "# header comment\n\n" + text + "\n# trailing\n";
+    DfgFile b = parseDfg(text);
+    EXPECT_EQ(b.ops.size(), 2u);
+}
+
+TEST(Dfg, HashChangesWhenOperatorEdited)
+{
+    Graph g = makeTwoStage();
+    DfgFile before = extractDfg(g);
+    // Edit stage_a: one more loop iteration.
+    g.ops[0].fn.body[0]->immHi = 5;
+    DfgFile after = extractDfg(g);
+    EXPECT_NE(before.ops[0].hash, after.ops[0].hash);
+    EXPECT_EQ(before.ops[1].hash, after.ops[1].hash);
+}

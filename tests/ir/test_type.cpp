@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include "ir/type.h"
+
+using namespace pld::ir;
+
+TEST(Type, ToStringForms)
+{
+    EXPECT_EQ(Type::u(32).toString(), "u32");
+    EXPECT_EQ(Type::s(8).toString(), "s8");
+    EXPECT_EQ(Type::fx(32, 17).toString(), "fx<32,17>");
+    EXPECT_EQ(Type::ufx(16, 8).toString(), "ufx<16,8>");
+}
+
+TEST(Type, FracBits)
+{
+    EXPECT_EQ(Type::fx(32, 17).fracBits(), 15);
+    EXPECT_EQ(Type::u(32).fracBits(), 0);
+}
+
+TEST(Type, PromoteAddGrowsOneBit)
+{
+    Type r = promoteAdd(Type::s(8), Type::s(8));
+    EXPECT_EQ(r.width, 9);
+    EXPECT_TRUE(r.isSigned());
+}
+
+TEST(Type, PromoteAddGrowsIntoIntermediateWidth)
+{
+    Type r = promoteAdd(Type::fx(32, 17), Type::fx(32, 17));
+    EXPECT_EQ(r.width, 33);
+    EXPECT_EQ(r.intBits, 18);
+    EXPECT_EQ(r.fracBits(), 15);
+}
+
+TEST(Type, PromoteAddCapsAt64)
+{
+    Type w = promoteAdd(Type::fx(32, 17), Type::fx(32, 17));
+    for (int i = 0; i < 40; ++i)
+        w = promoteAdd(w, w);
+    EXPECT_LE(w.width, 64);
+}
+
+TEST(Type, PromoteMulSumsBits)
+{
+    Type r = promoteMul(Type::s(8), Type::s(8));
+    EXPECT_EQ(r.width, 16);
+    Type rf = promoteMul(Type::fx(16, 8), Type::fx(16, 8));
+    EXPECT_EQ(rf.intBits, 16);
+    EXPECT_EQ(rf.fracBits(), 16);
+}
+
+TEST(Type, PromoteMulKeepsFullPrecisionLikeHls)
+{
+    // fx<32,17> * fx<32,17> -> fx<64,34>, matching the paper's
+    // ap_fixed<64,40>-style widened intermediates.
+    Type r = promoteMul(Type::fx(32, 17), Type::fx(32, 17));
+    EXPECT_EQ(r.width, 64);
+    EXPECT_EQ(r.intBits, 34);
+    EXPECT_EQ(r.fracBits(), 30);
+}
+
+TEST(Type, PromoteMulCapsFractionFirstAt64)
+{
+    Type a = promoteMul(Type::fx(32, 17), Type::fx(32, 17));
+    Type r = promoteMul(a, a); // would need 128 bits
+    EXPECT_EQ(r.width, 64);
+    EXPECT_EQ(r.intBits, 64);
+    EXPECT_EQ(r.fracBits(), 0);
+}
+
+TEST(Type, PromoteDivKeepsNumeratorShape)
+{
+    Type r = promoteDiv(Type::fx(32, 17), Type::fx(32, 17));
+    EXPECT_EQ(r.width, 32);
+    EXPECT_EQ(r.intBits, 17);
+}
+
+TEST(Type, MixedSignedness)
+{
+    EXPECT_TRUE(promoteAdd(Type::u(8), Type::s(8)).isSigned());
+    EXPECT_TRUE(promoteBits(Type::u(8), Type::s(16)).isSigned());
+    EXPECT_EQ(promoteBits(Type::u(8), Type::u(16)).width, 16);
+}
+
+TEST(Type, Equality)
+{
+    EXPECT_EQ(Type::fx(32, 17), Type::fx(32, 17));
+    EXPECT_NE(Type::fx(32, 17), Type::fx(32, 16));
+    EXPECT_NE(Type::u(8), Type::s(8));
+}

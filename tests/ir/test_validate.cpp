@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include "ir/builder.h"
+#include "ir/validate.h"
+
+using namespace pld::ir;
+
+namespace {
+
+bool
+hasError(const std::vector<Diagnostic> &diags, const std::string &frag)
+{
+    for (const auto &d : diags) {
+        if (d.level == DiagLevel::Error &&
+            d.message.find(frag) != std::string::npos)
+            return true;
+    }
+    return false;
+}
+
+} // namespace
+
+TEST(Validate, CleanOperatorPasses)
+{
+    OpBuilder b("ok");
+    auto in = b.input("in");
+    auto out = b.output("out");
+    b.forLoop(0, 8, [&](Ex) { b.write(out, b.read(in)); });
+    auto diags = validateOperator(b.finish());
+    EXPECT_TRUE(isClean(diags)) << renderDiagnostics(diags);
+}
+
+TEST(Validate, NoPortsIsError)
+{
+    OpBuilder b("lonely");
+    auto diags = validateOperator(b.finish());
+    EXPECT_FALSE(isClean(diags));
+    EXPECT_TRUE(hasError(diags, "no stream ports"));
+}
+
+TEST(Validate, TwoReadsInOneStatementIsError)
+{
+    OpBuilder b("greedy");
+    auto in = b.input("in");
+    auto out = b.output("out");
+    b.write(out, b.read(in) + b.read(in));
+    auto diags = validateOperator(b.finish());
+    EXPECT_TRUE(hasError(diags, "stream reads"));
+}
+
+TEST(Validate, ReadInSelectArmIsError)
+{
+    OpBuilder b("cond_read");
+    auto in = b.input("in");
+    auto out = b.output("out");
+    auto x = b.var("x", Type::u(32));
+    b.write(out, b.select(Ex(x) == 0, b.read(in), Ex(x)));
+    auto diags = validateOperator(b.finish());
+    EXPECT_TRUE(hasError(diags, "conditionally evaluated"));
+}
+
+TEST(Validate, ReadInSelectConditionIsAllowed)
+{
+    OpBuilder b("cond_ok");
+    auto in = b.input("in");
+    auto out = b.output("out");
+    auto x = b.var("x", Type::u(32));
+    // Condition is always evaluated, so a read there is fine.
+    b.write(out,
+            b.select(b.read(in).cast(Type::u(32)) == 0, Ex(x),
+                     Ex(x) + 1));
+    auto diags = validateOperator(b.finish());
+    EXPECT_TRUE(isClean(diags)) << renderDiagnostics(diags);
+}
+
+TEST(Validate, UnusedPortWarns)
+{
+    OpBuilder b("deaf");
+    b.input("in");
+    auto out = b.output("out");
+    b.write(out, lit(1, Type::u(32)));
+    auto diags = validateOperator(b.finish());
+    EXPECT_TRUE(isClean(diags));
+    bool warned = false;
+    for (const auto &d : diags)
+        warned |= (d.level == DiagLevel::Warning &&
+                   d.message.find("never used") != std::string::npos);
+    EXPECT_TRUE(warned);
+}
+
+TEST(Validate, PrintOnHwTargetNotes)
+{
+    OpBuilder b("chatty");
+    auto in = b.input("in");
+    auto out = b.output("out");
+    b.print("hello");
+    b.write(out, b.read(in));
+    OperatorFn fn = b.finish();
+    fn.pragma.target = Target::HW;
+    auto diags = validateOperator(fn);
+    bool noted = false;
+    for (const auto &d : diags)
+        noted |= (d.level == DiagLevel::Note);
+    EXPECT_TRUE(noted);
+    EXPECT_TRUE(isClean(diags));
+}
+
+TEST(Validate, RomSizeMismatchIsError)
+{
+    OpBuilder b("bad_rom");
+    auto in = b.input("in");
+    auto out = b.output("out");
+    b.write(out, b.read(in));
+    OperatorFn fn = b.finish();
+    fn.arrays.push_back({"w", Type::s(16), 4, {1, 2}}); // wrong length
+    auto diags = validateOperator(fn);
+    EXPECT_TRUE(hasError(diags, "init length"));
+}
+
+TEST(Validate, GraphValidationAggregates)
+{
+    OpBuilder b("pass");
+    auto in = b.input("in");
+    auto out = b.output("out");
+    b.forLoop(0, 2, [&](Ex) { b.write(out, b.read(in)); });
+    OperatorFn fn = b.finish();
+
+    Graph g("bad_app");
+    int op = g.addOperator(fn);
+    int ei = g.addExtInput("I");
+    g.connect({Endpoint::kExternal, ei}, {op, 0});
+    // Output port left dangling -> graph error.
+    auto diags = validateGraph(g);
+    EXPECT_FALSE(isClean(diags));
+}
+
+TEST(Validate, FixedPointArrayIndexIsError)
+{
+    OpBuilder b("fuzzy_index");
+    auto in = b.input("in");
+    auto out = b.output("out");
+    auto a = b.array("buf", Type::s(32), 8);
+    auto f = b.var("f", Type::fx(16, 8));
+    b.store(a, Ex(f), b.read(in).cast(Type::s(32)));
+    b.write(out, a[0]);
+    auto diags = validateOperator(b.finish());
+    EXPECT_TRUE(hasError(diags, "array index"));
+}

@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include "netlist/netlist.h"
+
+using namespace pld::netlist;
+
+namespace {
+
+Netlist
+makeSmall()
+{
+    Netlist n;
+    int a = n.addCell({SiteKind::Clb, "a", 8, 16, 1, 0, {}});
+    int b = n.addCell({SiteKind::Clb, "b", 4, 8, 2, 0, {}});
+    int d = n.addCell({SiteKind::Dsp, "m", 0, 0, 3, 0, {}});
+    int r = n.addCell({SiteKind::Bram, "ram", 0, 0, 1, 0, {}});
+    int n1 = n.addNet("w1", 32, a);
+    n.addSink(n1, b);
+    int n2 = n.addNet("w2", 32, b);
+    n.addSink(n2, d);
+    int n3 = n.addNet("w3", 18, d);
+    n.addSink(n3, r);
+    return n;
+}
+
+} // namespace
+
+TEST(Netlist, ResourceTotals)
+{
+    Netlist n = makeSmall();
+    ResourceCount r = n.resources();
+    EXPECT_EQ(r.luts, 12);
+    EXPECT_EQ(r.ffs, 24);
+    EXPECT_EQ(r.dsps, 1);
+    EXPECT_EQ(r.bram18, 1);
+}
+
+TEST(Netlist, CountSites)
+{
+    Netlist n = makeSmall();
+    EXPECT_EQ(n.countSites(SiteKind::Clb), 2);
+    EXPECT_EQ(n.countSites(SiteKind::Dsp), 1);
+    EXPECT_EQ(n.countSites(SiteKind::Bram), 1);
+}
+
+TEST(Netlist, ConsistencyPasses)
+{
+    Netlist n = makeSmall();
+    std::string problem;
+    EXPECT_TRUE(n.checkConsistent(&problem)) << problem;
+}
+
+TEST(Netlist, OverpackedClbFlagged)
+{
+    Netlist n;
+    n.addCell({SiteKind::Clb, "fat", 9, 0, 1, 0, {}});
+    std::string problem;
+    EXPECT_FALSE(n.checkConsistent(&problem));
+    EXPECT_NE(problem.find("overpack"), std::string::npos);
+}
+
+TEST(Netlist, MergeOffsetsIndices)
+{
+    Netlist a = makeSmall();
+    Netlist b = makeSmall();
+    size_t cells_before = a.cells.size();
+    size_t nets_before = a.nets.size();
+    int off = a.merge(b, "x_");
+    EXPECT_EQ(off, static_cast<int>(cells_before));
+    EXPECT_EQ(a.cells.size(), cells_before * 2);
+    EXPECT_EQ(a.nets.size(), nets_before * 2);
+    std::string problem;
+    EXPECT_TRUE(a.checkConsistent(&problem)) << problem;
+    EXPECT_EQ(a.cells[cells_before].name, "x_a");
+    // Merged net drivers point at merged cells.
+    EXPECT_EQ(a.nets[nets_before].driver, off);
+}
+
+TEST(Netlist, HashSensitiveToStructure)
+{
+    Netlist a = makeSmall();
+    Netlist b = makeSmall();
+    EXPECT_EQ(a.contentHash(), b.contentHash());
+    b.cells[0].luts = 7;
+    EXPECT_NE(a.contentHash(), b.contentHash());
+}
+
+TEST(ResourceCount, CoversAndAdd)
+{
+    ResourceCount big{100, 200, 10, 5};
+    ResourceCount small{50, 100, 10, 5};
+    EXPECT_TRUE(big.covers(small));
+    EXPECT_FALSE(small.covers(big));
+    ResourceCount sum = big + small;
+    EXPECT_EQ(sum.luts, 150);
+    EXPECT_EQ(sum.bram18, 20);
+}

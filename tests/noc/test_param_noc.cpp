@@ -1,0 +1,104 @@
+/**
+ * Parameterized network sweeps: flit conservation and per-stream
+ * in-order delivery must hold for every topology size, port count,
+ * FIFO depth, and traffic pattern.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <tuple>
+
+#include "common/rng.h"
+#include "noc/bft.h"
+
+using namespace pld;
+using namespace pld::noc;
+
+namespace {
+
+// (leaves, portsPerLeaf, fifoDepth, streams)
+using Param = std::tuple<int, int, int, int>;
+
+class NocSweep : public ::testing::TestWithParam<Param>
+{
+};
+
+} // namespace
+
+TEST_P(NocSweep, ConservationAndOrderUnderRandomTraffic)
+{
+    auto [leaves, ports, depth, streams] = GetParam();
+    BftNoc noc(leaves, ports, static_cast<size_t>(depth));
+    Rng rng(static_cast<uint64_t>(leaves) * 7919 + ports * 13 +
+            depth * 7 + streams);
+
+    // Build random point-to-point streams: distinct (src leaf, port)
+    // -> (dst leaf, port) pairs.
+    struct Stream
+    {
+        int src, sp, dst, dp;
+        uint32_t next_send = 0;
+        uint32_t next_expect = 0;
+    };
+    std::vector<Stream> ss;
+    std::map<std::pair<int, int>, bool> src_used, dst_used;
+    int guard = 0;
+    while (static_cast<int>(ss.size()) < streams && guard++ < 1000) {
+        Stream s;
+        s.src = static_cast<int>(rng.below(noc.numLeaves()));
+        s.sp = static_cast<int>(rng.below(ports));
+        s.dst = static_cast<int>(rng.below(noc.numLeaves()));
+        s.dp = static_cast<int>(rng.below(ports));
+        if (s.src == s.dst)
+            continue;
+        if (src_used[{s.src, s.sp}] || dst_used[{s.dst, s.dp}])
+            continue;
+        src_used[{s.src, s.sp}] = true;
+        dst_used[{s.dst, s.dp}] = true;
+        noc.setRoute(s.src, s.sp, s.dst, s.dp);
+        ss.push_back(s);
+    }
+    ASSERT_FALSE(ss.empty());
+
+    const uint32_t kWords = 40;
+    uint64_t received = 0;
+    for (int cycle = 0; cycle < 200000; ++cycle) {
+        for (auto &s : ss) {
+            auto *out = noc.outPort(s.src, s.sp);
+            if (s.next_send < kWords && out->canWrite())
+                out->write((uint32_t(s.src) << 16) | s.next_send++);
+            auto *in = noc.inPort(s.dst, s.dp);
+            while (in->canRead()) {
+                uint32_t w = in->read();
+                EXPECT_EQ(w >> 16, static_cast<uint32_t>(s.src))
+                    << "stream isolation";
+                EXPECT_EQ(w & 0xFFFF, s.next_expect)
+                    << "in-order per stream";
+                ++s.next_expect;
+                ++received;
+            }
+        }
+        noc.stepCycle();
+        if (received == ss.size() * kWords)
+            break;
+    }
+    EXPECT_EQ(received, ss.size() * kWords)
+        << "every flit delivered exactly once";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Topologies, NocSweep,
+    ::testing::Values(std::make_tuple(4, 2, 4, 2),
+                      std::make_tuple(8, 4, 8, 4),
+                      std::make_tuple(16, 4, 16, 8),
+                      std::make_tuple(32, 6, 16, 12),
+                      std::make_tuple(32, 6, 4, 20),
+                      std::make_tuple(22, 6, 16, 10)),
+    [](const ::testing::TestParamInfo<Param> &info) {
+        // NB: no commas outside parens here — macro argument rules.
+        return "L" + std::to_string(std::get<0>(info.param)) + "P" +
+               std::to_string(std::get<1>(info.param)) + "D" +
+               std::to_string(std::get<2>(info.param)) + "S" +
+               std::to_string(std::get<3>(info.param));
+    });

@@ -1,0 +1,218 @@
+#include <gtest/gtest.h>
+
+#include "dataflow/runtime.h"
+#include "fabric/device.h"
+#include "ir/builder.h"
+#include "pld/compiler.h"
+#include "sys/system.h"
+
+using namespace pld;
+using namespace pld::ir;
+using namespace pld::flow;
+
+namespace {
+
+const fabric::Device &
+device()
+{
+    static fabric::Device d = fabric::makeU50();
+    return d;
+}
+
+OperatorFn
+makeScale(const std::string &name, double k, int n)
+{
+    constexpr Type fx = Type::fx(32, 17);
+    OpBuilder b(name);
+    auto in = b.input("in");
+    auto out = b.output("out");
+    auto x = b.var("x", fx);
+    b.forLoop(0, n, [&](Ex) {
+        b.set(x, b.read(in).bitcast(fx));
+        b.write(out, (Ex(x) * litF(k, fx)).cast(fx));
+    });
+    return b.finish();
+}
+
+Graph
+makeApp(int n)
+{
+    GraphBuilder gb("scale2");
+    auto in = gb.extIn("I");
+    auto out = gb.extOut("O");
+    auto mid = gb.wire();
+    gb.inst(makeScale("s1", 2.0, n), {in}, {mid});
+    gb.inst(makeScale("s2", 0.5, n), {mid}, {out});
+    return gb.finish();
+}
+
+std::vector<uint32_t>
+fxInputs(int n)
+{
+    std::vector<uint32_t> v;
+    for (int i = 0; i < n; ++i)
+        v.push_back(static_cast<uint32_t>((i - n / 2) * 32768));
+    return v;
+}
+
+CompileOptions
+quickOpts()
+{
+    CompileOptions o;
+    o.effort = 0.15;
+    o.parallelJobs = 4;
+    return o;
+}
+
+/** Build then execute; return output words. */
+std::vector<uint32_t>
+buildAndRun(PldCompiler &pc, const Graph &g, OptLevel level, int n)
+{
+    AppBuild b = pc.build(g, level);
+    sys::SystemSim sim(g, b.bindings, b.sysCfg);
+    sim.loadInput(0, fxInputs(n));
+    auto rs = sim.run();
+    EXPECT_TRUE(rs.completed) << optLevelName(level);
+    return sim.takeOutput(0);
+}
+
+} // namespace
+
+TEST(Flow, AllFourLevelsProduceIdenticalResults)
+{
+    const int n = 16;
+    Graph g = makeApp(n);
+
+    dataflow::GraphRuntime gold(g);
+    gold.pushInput(0, fxInputs(n));
+    ASSERT_TRUE(gold.run());
+    auto expected = gold.takeOutput(0);
+
+    PldCompiler pc(device(), quickOpts());
+    for (OptLevel lvl : {OptLevel::O0, OptLevel::O1, OptLevel::O3,
+                         OptLevel::Vitis}) {
+        auto out = buildAndRun(pc, g, lvl, n);
+        EXPECT_EQ(out, expected) << optLevelName(lvl);
+    }
+}
+
+TEST(Flow, O0CompilesFarFasterThanO1)
+{
+    Graph g = makeApp(64);
+    PldCompiler pc(device(), quickOpts());
+    AppBuild o0 = pc.build(g, OptLevel::O0);
+    pc.clearCache();
+    AppBuild o1 = pc.build(g, OptLevel::O1);
+    EXPECT_LT(o0.wallTimes.total() * 5, o1.wallTimes.total())
+        << "-O0 must be much faster to compile (Table 2)";
+}
+
+TEST(Flow, O1CompilesFasterThanMonolithic)
+{
+    Graph g = makeApp(64);
+    PldCompiler pc(device(), quickOpts());
+    AppBuild o1 = pc.build(g, OptLevel::O1);
+    AppBuild o3 = pc.build(g, OptLevel::O3);
+    EXPECT_LT(o1.wallTimes.pnr, o3.wallTimes.pnr)
+        << "separate page compiles beat monolithic p&r (Table 2)";
+}
+
+TEST(Flow, IncrementalRecompileHitsCache)
+{
+    Graph g = makeApp(32);
+    PldCompiler pc(device(), quickOpts());
+    pc.build(g, OptLevel::O1);
+    EXPECT_EQ(pc.cacheStats().hits, 0u);
+
+    // Unchanged rebuild: both operators come from the cache.
+    AppBuild again = pc.build(g, OptLevel::O1);
+    EXPECT_EQ(pc.cacheStats().hits, 2u);
+    EXPECT_TRUE(again.ops[0].fromCache);
+    EXPECT_TRUE(again.ops[1].fromCache);
+
+    // Edit one operator: only it recompiles.
+    Graph g2 = g;
+    g2.ops[0].fn.body[0]->immHi += 1;
+    AppBuild after = pc.build(g2, OptLevel::O1);
+    EXPECT_FALSE(after.ops[0].fromCache);
+    EXPECT_TRUE(after.ops[1].fromCache);
+}
+
+TEST(Flow, CachedRebuildHasNearZeroWallTime)
+{
+    Graph g = makeApp(32);
+    PldCompiler pc(device(), quickOpts());
+    AppBuild first = pc.build(g, OptLevel::O1);
+    AppBuild second = pc.build(g, OptLevel::O1);
+    EXPECT_LT(second.wallTimes.total(),
+              first.wallTimes.total() * 0.2 + 1e-3);
+}
+
+TEST(Flow, PragmaSelectsMixedTargets)
+{
+    const int n = 8;
+    Graph g = makeApp(n);
+    g.ops[0].fn.pragma.target = Target::RISCV; // Fig 2a line 4
+    PldCompiler pc(device(), quickOpts());
+    AppBuild b = pc.build(g, OptLevel::O1);
+    EXPECT_EQ(b.ops[0].target, Target::RISCV);
+    EXPECT_EQ(b.ops[1].target, Target::HW);
+    EXPECT_EQ(b.bindings[0].impl, sys::PageImpl::Softcore);
+    EXPECT_EQ(b.bindings[1].impl, sys::PageImpl::Hw);
+
+    sys::SystemSim sim(g, b.bindings, b.sysCfg);
+    sim.loadInput(0, fxInputs(n));
+    auto rs = sim.run();
+    EXPECT_TRUE(rs.completed);
+}
+
+TEST(Flow, PragmaPageNumberIsHonoured)
+{
+    Graph g = makeApp(8);
+    g.ops[0].fn.pragma.pageNum = 7;
+    g.ops[1].fn.pragma.pageNum = 13;
+    PldCompiler pc(device(), quickOpts());
+    AppBuild b = pc.build(g, OptLevel::O1);
+    EXPECT_EQ(b.ops[0].page, 7);
+    EXPECT_EQ(b.ops[1].page, 13);
+}
+
+TEST(Flow, VitisAreaBelowO3Area)
+{
+    // Table 4: -O3 adds FIFO link resources over the fused baseline.
+    Graph g = makeApp(32);
+    PldCompiler pc(device(), quickOpts());
+    AppBuild vit = pc.build(g, OptLevel::Vitis);
+    AppBuild o3 = pc.build(g, OptLevel::O3);
+    EXPECT_GE(o3.area.bram18, vit.area.bram18);
+    EXPECT_GE(o3.area.luts, vit.area.luts);
+}
+
+TEST(Flow, O1AreaAboveO3Area)
+{
+    // Table 4: the leaf interfaces make -O1 bigger than -O3.
+    Graph g = makeApp(32);
+    PldCompiler pc(device(), quickOpts());
+    AppBuild o1 = pc.build(g, OptLevel::O1);
+    AppBuild o3 = pc.build(g, OptLevel::O3);
+    EXPECT_GT(o1.area.luts, o3.area.luts);
+}
+
+TEST(Flow, PartialBitstreamsAreSmall)
+{
+    Graph g = makeApp(32);
+    PldCompiler pc(device(), quickOpts());
+    AppBuild o1 = pc.build(g, OptLevel::O1);
+    AppBuild o3 = pc.build(g, OptLevel::O3);
+    EXPECT_LT(o1.totalBitstreamBytes, o3.totalBitstreamBytes)
+        << "partial page bitstreams vs full-chip (Sec 2.3)";
+}
+
+TEST(Flow, DfgExtracted)
+{
+    Graph g = makeApp(8);
+    PldCompiler pc(device(), quickOpts());
+    AppBuild b = pc.build(g, OptLevel::O1);
+    EXPECT_EQ(b.dfg.ops.size(), 2u);
+    EXPECT_EQ(b.dfg.links.size(), 3u);
+}

@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include "fabric/device.h"
+#include "pnr/router.h"
+
+using namespace pld;
+using namespace pld::pnr;
+using fabric::Device;
+using fabric::makeU50;
+using netlist::Netlist;
+using netlist::SiteKind;
+
+namespace {
+
+const Device &
+device()
+{
+    static Device d = makeU50();
+    return d;
+}
+
+} // namespace
+
+TEST(Router, RoutesSimpleNet)
+{
+    Netlist nl;
+    int a = nl.addCell({SiteKind::Clb, "a", 4, 4, 1, 0, {}});
+    int b = nl.addCell({SiteKind::Clb, "b", 4, 4, 1, 0, {}});
+    int w = nl.addNet("w", 32, a);
+    nl.addSink(w, b);
+
+    Placement p;
+    p.pos = {{2, 2}, {10, 8}};
+    RouteResult rr = route(nl, device(), p, {});
+    EXPECT_TRUE(rr.feasible);
+    // Manhattan distance 8+6 = 14 tiles, width 32 -> 4 units each.
+    EXPECT_EQ(rr.totalWirelength, 14 * 4);
+}
+
+TEST(Router, ZeroLengthNetIsFree)
+{
+    Netlist nl;
+    int a = nl.addCell({SiteKind::Clb, "a", 4, 4, 1, 0, {}});
+    int b = nl.addCell({SiteKind::Dsp, "b", 0, 0, 1, 0, {}});
+    int w = nl.addNet("w", 32, a);
+    nl.addSink(w, b);
+    Placement p;
+    p.pos = {{5, 5}, {5, 5}}; // same tile (different site kinds)
+    RouteResult rr = route(nl, device(), p, {});
+    EXPECT_TRUE(rr.feasible);
+    EXPECT_EQ(rr.totalWirelength, 0);
+}
+
+TEST(Router, CongestionForcesIterationsOrOveruse)
+{
+    // Funnel many wide nets through the same corridor with tiny
+    // capacity: router must iterate, and utilization approaches 1.
+    Netlist nl;
+    const int k = 24;
+    Placement p;
+    for (int i = 0; i < k; ++i) {
+        int a = nl.addCell(
+            {SiteKind::Clb, "s" + std::to_string(i), 1, 1, 1, 0, {}});
+        int b = nl.addCell(
+            {SiteKind::Clb, "t" + std::to_string(i), 1, 1, 1, 0, {}});
+        int w = nl.addNet("w" + std::to_string(i), 32, a);
+        nl.addSink(w, b);
+        p.pos.push_back({0, i});
+        p.pos.push_back({30, i});
+    }
+    RouterOptions opts;
+    opts.channelCapacity = 8;
+    RouteResult rr = route(nl, device(), p, opts);
+    EXPECT_GT(rr.maxUtilization, 0.4);
+    EXPECT_GE(rr.iterations, 1);
+}
+
+TEST(Router, HighCapacityAvoidsOveruse)
+{
+    Netlist nl;
+    Placement p;
+    for (int i = 0; i < 16; ++i) {
+        int a = nl.addCell(
+            {SiteKind::Clb, "s" + std::to_string(i), 1, 1, 1, 0, {}});
+        int b = nl.addCell(
+            {SiteKind::Clb, "t" + std::to_string(i), 1, 1, 1, 0, {}});
+        int w = nl.addNet("w" + std::to_string(i), 32, a);
+        nl.addSink(w, b);
+        p.pos.push_back({i, 0});
+        p.pos.push_back({i, 40});
+    }
+    RouterOptions opts;
+    opts.channelCapacity = 256;
+    RouteResult rr = route(nl, device(), p, opts);
+    EXPECT_TRUE(rr.feasible);
+    EXPECT_EQ(rr.iterations, 1);
+}
+
+TEST(Router, WideBusesUseMoreWirelength)
+{
+    auto run_width = [&](int width) {
+        Netlist nl;
+        int a = nl.addCell({SiteKind::Clb, "a", 1, 1, 1, 0, {}});
+        int b = nl.addCell({SiteKind::Clb, "b", 1, 1, 1, 0, {}});
+        int w = nl.addNet("w", width, a);
+        nl.addSink(w, b);
+        Placement p;
+        p.pos = {{0, 0}, {10, 0}};
+        return route(nl, device(), p, {}).totalWirelength;
+    };
+    EXPECT_GT(run_width(64), run_width(8));
+}

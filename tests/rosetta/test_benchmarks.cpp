@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include "dataflow/runtime.h"
+#include "fabric/device.h"
+#include "ir/validate.h"
+#include "pld/compiler.h"
+#include "rosetta/benchmark.h"
+#include "sys/system.h"
+
+using namespace pld;
+using namespace pld::rosetta;
+
+namespace {
+
+const fabric::Device &
+device()
+{
+    static fabric::Device d = fabric::makeU50();
+    return d;
+}
+
+/** Functional (KPN) execution must match the independent golden. */
+void
+checkFunctional(const Benchmark &bm)
+{
+    dataflow::GraphRuntime rt(bm.graph);
+    rt.pushInput(0, bm.input);
+    ASSERT_TRUE(rt.run()) << bm.name << ": " << rt.deadlockReport();
+    auto out = rt.takeOutput(0);
+    ASSERT_EQ(out.size(), bm.expected.size()) << bm.name;
+    for (size_t i = 0; i < out.size(); ++i)
+        ASSERT_EQ(out[i], bm.expected[i]) << bm.name << "[" << i
+                                          << "]";
+}
+
+} // namespace
+
+// -------- functional equivalence vs golden models -------------------
+
+TEST(Rosetta, RenderingMatchesGolden)
+{
+    checkFunctional(makeRendering());
+}
+
+TEST(Rosetta, DigitRecMatchesGolden) { checkFunctional(makeDigitRec()); }
+
+TEST(Rosetta, SpamMatchesGolden) { checkFunctional(makeSpamFilter()); }
+
+TEST(Rosetta, OpticalFlowMatchesGolden)
+{
+    checkFunctional(makeOpticalFlow());
+}
+
+TEST(Rosetta, FaceDetectMatchesGolden)
+{
+    checkFunctional(makeFaceDetect());
+}
+
+TEST(Rosetta, BnnMatchesGolden) { checkFunctional(makeBnn()); }
+
+// -------- structure and discipline ----------------------------------
+
+TEST(Rosetta, AllGraphsPassDiscipline)
+{
+    for (const auto &bm : allBenchmarks()) {
+        auto diags = ir::validateGraph(bm.graph);
+        EXPECT_TRUE(ir::isClean(diags))
+            << bm.name << ":\n" << ir::renderDiagnostics(diags);
+    }
+}
+
+TEST(Rosetta, DecompositionShapes)
+{
+    auto all = allBenchmarks();
+    ASSERT_EQ(all.size(), 6u);
+    // Operator counts reflect the paper's decompositions.
+    EXPECT_EQ(all[0].graph.ops.size(), 6u);  // rendering
+    EXPECT_EQ(all[1].graph.ops.size(), 6u);  // digit rec (systolic)
+    EXPECT_EQ(all[2].graph.ops.size(), 7u);  // spam (4 dot lanes)
+    EXPECT_EQ(all[3].graph.ops.size(), 7u);  // optical (Fig 2c)
+    EXPECT_EQ(all[4].graph.ops.size(), 7u);  // face detect
+    EXPECT_EQ(all[5].graph.ops.size(), 8u);  // bnn layers
+}
+
+TEST(Rosetta, BenchmarksHaveWork)
+{
+    for (const auto &bm : allBenchmarks()) {
+        EXPECT_FALSE(bm.input.empty()) << bm.name;
+        EXPECT_FALSE(bm.expected.empty()) << bm.name;
+        EXPECT_GT(bm.itemsPerRun, 0) << bm.name;
+    }
+}
+
+// -------- end-to-end through the PLD flows ---------------------------
+
+TEST(Rosetta, OpticalFlowThroughO1System)
+{
+    Benchmark bm = makeOpticalFlow();
+    flow::CompileOptions o;
+    o.effort = 0.1;
+    flow::PldCompiler pc(device(), o);
+    auto build = pc.build(bm.graph, flow::OptLevel::O1);
+    sys::SystemSim sim(bm.graph, build.bindings, build.sysCfg);
+    sim.loadInput(0, bm.input);
+    auto rs = sim.run();
+    ASSERT_TRUE(rs.completed);
+    EXPECT_EQ(sim.takeOutput(0), bm.expected);
+}
+
+TEST(Rosetta, SpamThroughO3System)
+{
+    Benchmark bm = makeSpamFilter();
+    flow::CompileOptions o;
+    o.effort = 0.1;
+    flow::PldCompiler pc(device(), o);
+    auto build = pc.build(bm.graph, flow::OptLevel::O3);
+    sys::SystemSim sim(bm.graph, build.bindings, build.sysCfg);
+    sim.loadInput(0, bm.input);
+    auto rs = sim.run();
+    ASSERT_TRUE(rs.completed);
+    EXPECT_EQ(sim.takeOutput(0), bm.expected);
+}
+
+TEST(Rosetta, DigitRecThroughO0Softcores)
+{
+    Benchmark bm = makeDigitRec();
+    flow::CompileOptions o;
+    o.effort = 0.1;
+    flow::PldCompiler pc(device(), o);
+    auto build = pc.build(bm.graph, flow::OptLevel::O0);
+    sys::SystemSim sim(bm.graph, build.bindings, build.sysCfg);
+    sim.loadInput(0, bm.input);
+    auto rs = sim.run(5000000000ull);
+    ASSERT_TRUE(rs.completed);
+    EXPECT_EQ(sim.takeOutput(0), bm.expected);
+}

@@ -1,0 +1,212 @@
+#include <gtest/gtest.h>
+
+#include "dataflow/stream.h"
+#include "rv32/asm.h"
+#include "rv32/iss.h"
+
+using namespace pld;
+using namespace pld::rv32;
+
+namespace {
+
+/** Assemble a program and run it on a core with one in/out stream. */
+struct IssRig
+{
+    explicit IssRig(Assembler &a, uint32_t mem_kb = 32)
+        : inFifo(0), outFifo(0), inPort(inFifo), outPort(outFifo)
+    {
+        PldElf elf;
+        elf.text = a.assemble();
+        elf.memBytes = mem_kb * 1024;
+        elf.dataBase = 16 * 1024;
+        core = std::make_unique<Core>(
+            elf, std::vector<dataflow::StreamPort *>{&inPort,
+                                                     &outPort});
+    }
+
+    dataflow::WordFifo inFifo, outFifo;
+    dataflow::FifoReadPort inPort;
+    dataflow::FifoWritePort outPort;
+    std::unique_ptr<Core> core;
+};
+
+constexpr uint32_t kIn = Mmio::kStreamBase;
+constexpr uint32_t kOut = Mmio::kStreamBase + Mmio::kStreamStride;
+
+} // namespace
+
+TEST(Iss, ArithmeticAndHalt)
+{
+    Assembler a;
+    a.li(a0, 21);
+    a.add(a0, a0, a0);
+    a.li(t0, static_cast<int32_t>(Mmio::kHalt));
+    a.sw(x0, t0, 0);
+    IssRig rig(a);
+    EXPECT_EQ(rig.core->step(100), CoreStatus::Halted);
+    EXPECT_EQ(rig.core->reg(a0), 42u);
+}
+
+TEST(Iss, EbreakHalts)
+{
+    Assembler a;
+    a.li(a0, 7);
+    a.ebreak();
+    IssRig rig(a);
+    EXPECT_EQ(rig.core->step(100), CoreStatus::Halted);
+    EXPECT_TRUE(rig.core->halted());
+}
+
+TEST(Iss, LoadStoreMemory)
+{
+    Assembler a;
+    a.li(t0, 0x4000);
+    a.li(a0, -123);
+    a.sw(a0, t0, 0);
+    a.lw(a1, t0, 0);
+    a.li(a2, 0x7F);
+    a.sb(a2, t0, 8);
+    a.lb(a3, t0, 8);
+    a.ebreak();
+    IssRig rig(a);
+    EXPECT_EQ(rig.core->step(100), CoreStatus::Halted);
+    EXPECT_EQ(static_cast<int32_t>(rig.core->reg(a1)), -123);
+    EXPECT_EQ(rig.core->reg(a3), 0x7Fu);
+}
+
+TEST(Iss, MulDivInstructions)
+{
+    Assembler a;
+    a.li(a0, -6);
+    a.li(a1, 7);
+    a.mul(a2, a0, a1);    // -42
+    a.mulh(a3, a0, a1);   // sign bits: -1
+    a.li(a4, 100);
+    a.li(a5, 7);
+    a.div(a6, a4, a5);    // 14
+    a.rem(a7, a4, a5);    // 2
+    a.ebreak();
+    IssRig rig(a);
+    rig.core->step(100);
+    EXPECT_EQ(static_cast<int32_t>(rig.core->reg(a2)), -42);
+    EXPECT_EQ(static_cast<int32_t>(rig.core->reg(a3)), -1);
+    EXPECT_EQ(rig.core->reg(a6), 14u);
+    EXPECT_EQ(rig.core->reg(a7), 2u);
+}
+
+TEST(Iss, DivByZeroRiscvSemantics)
+{
+    Assembler a;
+    a.li(a0, 5);
+    a.li(a1, 0);
+    a.div(a2, a0, a1);
+    a.rem(a3, a0, a1);
+    a.ebreak();
+    IssRig rig(a);
+    rig.core->step(100);
+    EXPECT_EQ(rig.core->reg(a2), 0xFFFFFFFFu);
+    EXPECT_EQ(rig.core->reg(a3), 5u);
+}
+
+TEST(Iss, StreamReadBlocksWithoutSideEffects)
+{
+    Assembler a;
+    a.li(t0, static_cast<int32_t>(kIn));
+    a.lw(a0, t0, 0);
+    a.ebreak();
+    IssRig rig(a);
+    EXPECT_EQ(rig.core->step(100), CoreStatus::BlockedOnRead);
+    uint32_t pc_blocked = rig.core->pc();
+    // Still blocked on a second attempt.
+    EXPECT_EQ(rig.core->step(100), CoreStatus::BlockedOnRead);
+    EXPECT_EQ(rig.core->pc(), pc_blocked);
+    // Data arrives; the retried load succeeds.
+    rig.inFifo.push(99);
+    EXPECT_EQ(rig.core->step(100), CoreStatus::Halted);
+    EXPECT_EQ(rig.core->reg(a0), 99u);
+}
+
+TEST(Iss, StreamWriteBlocksWhenFull)
+{
+    Assembler a;
+    a.li(t0, static_cast<int32_t>(kOut));
+    a.li(a0, 1);
+    a.sw(a0, t0, 0);
+    a.li(a0, 2);
+    a.sw(a0, t0, 0);
+    a.ebreak();
+
+    // Output FIFO with capacity 1.
+    dataflow::WordFifo inF(0), outF(1);
+    dataflow::FifoReadPort ip(inF);
+    dataflow::FifoWritePort op(outF);
+    PldElf elf;
+    elf.text = a.assemble();
+    elf.memBytes = 32 * 1024;
+    Core core(elf, {&ip, &op});
+    EXPECT_EQ(core.step(100), CoreStatus::BlockedOnWrite);
+    EXPECT_EQ(outF.pop(), 1u);
+    EXPECT_EQ(core.step(100), CoreStatus::Halted);
+    EXPECT_EQ(outF.pop(), 2u);
+}
+
+TEST(Iss, StreamStatusRegister)
+{
+    Assembler a;
+    a.li(t0, static_cast<int32_t>(kIn + Mmio::kStatusOffset));
+    a.lw(a0, t0, 0); // in: empty -> canRead=0, canWrite=0 (read port)
+    a.ebreak();
+    IssRig rig(a);
+    rig.inFifo.push(5);
+    rig.core->step(10);
+    EXPECT_EQ(rig.core->reg(a0) & 1u, 1u) << "canRead bit";
+}
+
+TEST(Iss, ConsoleOutput)
+{
+    Assembler a;
+    a.li(t0, static_cast<int32_t>(Mmio::kConsolePutc));
+    for (char c : std::string("hi"))
+        { a.li(t1, c); a.sw(t1, t0, 0); }
+    a.ebreak();
+    IssRig rig(a);
+    rig.core->step(100);
+    EXPECT_EQ(rig.core->consoleOut(), "hi");
+}
+
+TEST(Iss, CyclesReflectPicoRv32Costs)
+{
+    Assembler a;
+    a.li(a0, 1);      // 3 cycles
+    a.li(a1, 2);      // 3
+    a.div(a2, a0, a1); // 40
+    a.ebreak();
+    IssRig rig(a);
+    rig.core->step(100);
+    EXPECT_GE(rig.core->cycles(), 46u);
+    EXPECT_EQ(rig.core->instret(), 4u);
+}
+
+TEST(Iss, TrapOnIllegalInstruction)
+{
+    PldElf elf;
+    elf.text = {0xFFFFFFFF};
+    elf.memBytes = 16 * 1024;
+    Core core(elf, {});
+    EXPECT_EQ(core.step(10), CoreStatus::Trapped);
+    EXPECT_FALSE(core.trapReason().empty());
+}
+
+TEST(Iss, BranchLoop)
+{
+    Assembler a;
+    a.li(a0, 0);
+    a.li(a1, 10);
+    a.label("loop");
+    a.addi(a0, a0, 1);
+    a.blt(a0, a1, "loop");
+    a.ebreak();
+    IssRig rig(a);
+    EXPECT_EQ(rig.core->step(1000), CoreStatus::Halted);
+    EXPECT_EQ(rig.core->reg(a0), 10u);
+}
