@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_mixed_mode.dir/fig10_mixed_mode.cpp.o"
+  "CMakeFiles/fig10_mixed_mode.dir/fig10_mixed_mode.cpp.o.d"
+  "fig10_mixed_mode"
+  "fig10_mixed_mode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_mixed_mode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

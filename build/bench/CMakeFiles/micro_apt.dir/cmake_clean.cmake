@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_apt.dir/micro_apt.cpp.o"
+  "CMakeFiles/micro_apt.dir/micro_apt.cpp.o.d"
+  "micro_apt"
+  "micro_apt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_apt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/micro_noc.cpp" "bench/CMakeFiles/micro_noc.dir/micro_noc.cpp.o" "gcc" "bench/CMakeFiles/micro_noc.dir/micro_noc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pld/CMakeFiles/pld_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/rosetta/CMakeFiles/pld_rosetta.dir/DependInfo.cmake"
+  "/root/repo/build/src/sys/CMakeFiles/pld_sys.dir/DependInfo.cmake"
+  "/root/repo/build/src/fabric/CMakeFiles/pld_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/pnr/CMakeFiles/pld_pnr.dir/DependInfo.cmake"
+  "/root/repo/build/src/hls/CMakeFiles/pld_hls.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/pld_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/rv32/CMakeFiles/pld_rv32.dir/DependInfo.cmake"
+  "/root/repo/build/src/rvgen/CMakeFiles/pld_rvgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pld_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataflow/CMakeFiles/pld_dataflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/pld_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/pld_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/pld_ir.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

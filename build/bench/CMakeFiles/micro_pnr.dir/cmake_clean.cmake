@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_pnr.dir/micro_pnr.cpp.o"
+  "CMakeFiles/micro_pnr.dir/micro_pnr.cpp.o.d"
+  "micro_pnr"
+  "micro_pnr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_pnr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for micro_pnr.
+# This may be replaced when dependencies are built.

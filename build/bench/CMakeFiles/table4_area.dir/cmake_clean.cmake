@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_area.dir/table4_area.cpp.o"
+  "CMakeFiles/table4_area.dir/table4_area.cpp.o.d"
+  "table4_area"
+  "table4_area.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_area.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edit_compile_debug.dir/edit_compile_debug.cpp.o"
+  "CMakeFiles/edit_compile_debug.dir/edit_compile_debug.cpp.o.d"
+  "edit_compile_debug"
+  "edit_compile_debug.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edit_compile_debug.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

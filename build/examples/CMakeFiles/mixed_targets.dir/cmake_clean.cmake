@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mixed_targets.dir/mixed_targets.cpp.o"
+  "CMakeFiles/mixed_targets.dir/mixed_targets.cpp.o.d"
+  "mixed_targets"
+  "mixed_targets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mixed_targets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relink_live.dir/relink_live.cpp.o"
+  "CMakeFiles/relink_live.dir/relink_live.cpp.o.d"
+  "relink_live"
+  "relink_live.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relink_live.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("apt")
+subdirs("ir")
+subdirs("dataflow")
+subdirs("interp")
+subdirs("netlist")
+subdirs("fabric")
+subdirs("hls")
+subdirs("pnr")
+subdirs("noc")
+subdirs("rv32")
+subdirs("rvgen")
+subdirs("sys")
+subdirs("pld")
+subdirs("rosetta")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pld_common.dir/logging.cpp.o"
+  "CMakeFiles/pld_common.dir/logging.cpp.o.d"
+  "CMakeFiles/pld_common.dir/rng.cpp.o"
+  "CMakeFiles/pld_common.dir/rng.cpp.o.d"
+  "CMakeFiles/pld_common.dir/table.cpp.o"
+  "CMakeFiles/pld_common.dir/table.cpp.o.d"
+  "CMakeFiles/pld_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/pld_common.dir/thread_pool.cpp.o.d"
+  "libpld_common.a"
+  "libpld_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pld_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pld_dataflow.dir/runtime.cpp.o"
+  "CMakeFiles/pld_dataflow.dir/runtime.cpp.o.d"
+  "libpld_dataflow.a"
+  "libpld_dataflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pld_dataflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

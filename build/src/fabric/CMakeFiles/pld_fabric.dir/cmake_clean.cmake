@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pld_fabric.dir/device.cpp.o"
+  "CMakeFiles/pld_fabric.dir/device.cpp.o.d"
+  "libpld_fabric.a"
+  "libpld_fabric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pld_fabric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

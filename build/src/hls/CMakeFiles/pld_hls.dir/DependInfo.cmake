@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hls/compiler.cpp" "src/hls/CMakeFiles/pld_hls.dir/compiler.cpp.o" "gcc" "src/hls/CMakeFiles/pld_hls.dir/compiler.cpp.o.d"
+  "/root/repo/src/hls/resource_model.cpp" "src/hls/CMakeFiles/pld_hls.dir/resource_model.cpp.o" "gcc" "src/hls/CMakeFiles/pld_hls.dir/resource_model.cpp.o.d"
+  "/root/repo/src/hls/schedule.cpp" "src/hls/CMakeFiles/pld_hls.dir/schedule.cpp.o" "gcc" "src/hls/CMakeFiles/pld_hls.dir/schedule.cpp.o.d"
+  "/root/repo/src/hls/synthesis.cpp" "src/hls/CMakeFiles/pld_hls.dir/synthesis.cpp.o" "gcc" "src/hls/CMakeFiles/pld_hls.dir/synthesis.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pld_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/pld_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/pld_netlist.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pld_hls.dir/compiler.cpp.o"
+  "CMakeFiles/pld_hls.dir/compiler.cpp.o.d"
+  "CMakeFiles/pld_hls.dir/resource_model.cpp.o"
+  "CMakeFiles/pld_hls.dir/resource_model.cpp.o.d"
+  "CMakeFiles/pld_hls.dir/schedule.cpp.o"
+  "CMakeFiles/pld_hls.dir/schedule.cpp.o.d"
+  "CMakeFiles/pld_hls.dir/synthesis.cpp.o"
+  "CMakeFiles/pld_hls.dir/synthesis.cpp.o.d"
+  "libpld_hls.a"
+  "libpld_hls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pld_hls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pld_interp.dir/exec.cpp.o"
+  "CMakeFiles/pld_interp.dir/exec.cpp.o.d"
+  "libpld_interp.a"
+  "libpld_interp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pld_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

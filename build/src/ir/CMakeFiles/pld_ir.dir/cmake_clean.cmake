@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pld_ir.dir/builder.cpp.o"
+  "CMakeFiles/pld_ir.dir/builder.cpp.o.d"
+  "CMakeFiles/pld_ir.dir/expr.cpp.o"
+  "CMakeFiles/pld_ir.dir/expr.cpp.o.d"
+  "CMakeFiles/pld_ir.dir/graph.cpp.o"
+  "CMakeFiles/pld_ir.dir/graph.cpp.o.d"
+  "CMakeFiles/pld_ir.dir/operator_fn.cpp.o"
+  "CMakeFiles/pld_ir.dir/operator_fn.cpp.o.d"
+  "CMakeFiles/pld_ir.dir/printer.cpp.o"
+  "CMakeFiles/pld_ir.dir/printer.cpp.o.d"
+  "CMakeFiles/pld_ir.dir/stmt.cpp.o"
+  "CMakeFiles/pld_ir.dir/stmt.cpp.o.d"
+  "CMakeFiles/pld_ir.dir/type.cpp.o"
+  "CMakeFiles/pld_ir.dir/type.cpp.o.d"
+  "CMakeFiles/pld_ir.dir/validate.cpp.o"
+  "CMakeFiles/pld_ir.dir/validate.cpp.o.d"
+  "libpld_ir.a"
+  "libpld_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pld_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

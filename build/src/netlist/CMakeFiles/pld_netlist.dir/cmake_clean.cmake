@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pld_netlist.dir/netlist.cpp.o"
+  "CMakeFiles/pld_netlist.dir/netlist.cpp.o.d"
+  "libpld_netlist.a"
+  "libpld_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pld_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

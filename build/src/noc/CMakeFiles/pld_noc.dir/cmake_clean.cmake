@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pld_noc.dir/bft.cpp.o"
+  "CMakeFiles/pld_noc.dir/bft.cpp.o.d"
+  "libpld_noc.a"
+  "libpld_noc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pld_noc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pld_flow.dir/compiler.cpp.o"
+  "CMakeFiles/pld_flow.dir/compiler.cpp.o.d"
+  "libpld_flow.a"
+  "libpld_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pld_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

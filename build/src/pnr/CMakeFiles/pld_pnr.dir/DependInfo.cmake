@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pnr/engine.cpp" "src/pnr/CMakeFiles/pld_pnr.dir/engine.cpp.o" "gcc" "src/pnr/CMakeFiles/pld_pnr.dir/engine.cpp.o.d"
+  "/root/repo/src/pnr/placer.cpp" "src/pnr/CMakeFiles/pld_pnr.dir/placer.cpp.o" "gcc" "src/pnr/CMakeFiles/pld_pnr.dir/placer.cpp.o.d"
+  "/root/repo/src/pnr/router.cpp" "src/pnr/CMakeFiles/pld_pnr.dir/router.cpp.o" "gcc" "src/pnr/CMakeFiles/pld_pnr.dir/router.cpp.o.d"
+  "/root/repo/src/pnr/timing.cpp" "src/pnr/CMakeFiles/pld_pnr.dir/timing.cpp.o" "gcc" "src/pnr/CMakeFiles/pld_pnr.dir/timing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pld_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/pld_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/fabric/CMakeFiles/pld_fabric.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pld_pnr.dir/engine.cpp.o"
+  "CMakeFiles/pld_pnr.dir/engine.cpp.o.d"
+  "CMakeFiles/pld_pnr.dir/placer.cpp.o"
+  "CMakeFiles/pld_pnr.dir/placer.cpp.o.d"
+  "CMakeFiles/pld_pnr.dir/router.cpp.o"
+  "CMakeFiles/pld_pnr.dir/router.cpp.o.d"
+  "CMakeFiles/pld_pnr.dir/timing.cpp.o"
+  "CMakeFiles/pld_pnr.dir/timing.cpp.o.d"
+  "libpld_pnr.a"
+  "libpld_pnr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pld_pnr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

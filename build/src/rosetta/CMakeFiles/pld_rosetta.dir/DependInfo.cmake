@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rosetta/bnn.cpp" "src/rosetta/CMakeFiles/pld_rosetta.dir/bnn.cpp.o" "gcc" "src/rosetta/CMakeFiles/pld_rosetta.dir/bnn.cpp.o.d"
+  "/root/repo/src/rosetta/digitrec.cpp" "src/rosetta/CMakeFiles/pld_rosetta.dir/digitrec.cpp.o" "gcc" "src/rosetta/CMakeFiles/pld_rosetta.dir/digitrec.cpp.o.d"
+  "/root/repo/src/rosetta/face_detect.cpp" "src/rosetta/CMakeFiles/pld_rosetta.dir/face_detect.cpp.o" "gcc" "src/rosetta/CMakeFiles/pld_rosetta.dir/face_detect.cpp.o.d"
+  "/root/repo/src/rosetta/optical_flow.cpp" "src/rosetta/CMakeFiles/pld_rosetta.dir/optical_flow.cpp.o" "gcc" "src/rosetta/CMakeFiles/pld_rosetta.dir/optical_flow.cpp.o.d"
+  "/root/repo/src/rosetta/rendering.cpp" "src/rosetta/CMakeFiles/pld_rosetta.dir/rendering.cpp.o" "gcc" "src/rosetta/CMakeFiles/pld_rosetta.dir/rendering.cpp.o.d"
+  "/root/repo/src/rosetta/spam.cpp" "src/rosetta/CMakeFiles/pld_rosetta.dir/spam.cpp.o" "gcc" "src/rosetta/CMakeFiles/pld_rosetta.dir/spam.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pld_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/pld_ir.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

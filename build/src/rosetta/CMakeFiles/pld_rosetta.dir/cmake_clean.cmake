@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pld_rosetta.dir/bnn.cpp.o"
+  "CMakeFiles/pld_rosetta.dir/bnn.cpp.o.d"
+  "CMakeFiles/pld_rosetta.dir/digitrec.cpp.o"
+  "CMakeFiles/pld_rosetta.dir/digitrec.cpp.o.d"
+  "CMakeFiles/pld_rosetta.dir/face_detect.cpp.o"
+  "CMakeFiles/pld_rosetta.dir/face_detect.cpp.o.d"
+  "CMakeFiles/pld_rosetta.dir/optical_flow.cpp.o"
+  "CMakeFiles/pld_rosetta.dir/optical_flow.cpp.o.d"
+  "CMakeFiles/pld_rosetta.dir/rendering.cpp.o"
+  "CMakeFiles/pld_rosetta.dir/rendering.cpp.o.d"
+  "CMakeFiles/pld_rosetta.dir/spam.cpp.o"
+  "CMakeFiles/pld_rosetta.dir/spam.cpp.o.d"
+  "libpld_rosetta.a"
+  "libpld_rosetta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pld_rosetta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

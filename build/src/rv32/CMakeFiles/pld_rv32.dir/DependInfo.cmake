@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rv32/asm.cpp" "src/rv32/CMakeFiles/pld_rv32.dir/asm.cpp.o" "gcc" "src/rv32/CMakeFiles/pld_rv32.dir/asm.cpp.o.d"
+  "/root/repo/src/rv32/elf.cpp" "src/rv32/CMakeFiles/pld_rv32.dir/elf.cpp.o" "gcc" "src/rv32/CMakeFiles/pld_rv32.dir/elf.cpp.o.d"
+  "/root/repo/src/rv32/iss.cpp" "src/rv32/CMakeFiles/pld_rv32.dir/iss.cpp.o" "gcc" "src/rv32/CMakeFiles/pld_rv32.dir/iss.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pld_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

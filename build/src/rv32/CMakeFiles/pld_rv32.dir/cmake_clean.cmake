@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pld_rv32.dir/asm.cpp.o"
+  "CMakeFiles/pld_rv32.dir/asm.cpp.o.d"
+  "CMakeFiles/pld_rv32.dir/elf.cpp.o"
+  "CMakeFiles/pld_rv32.dir/elf.cpp.o.d"
+  "CMakeFiles/pld_rv32.dir/iss.cpp.o"
+  "CMakeFiles/pld_rv32.dir/iss.cpp.o.d"
+  "libpld_rv32.a"
+  "libpld_rv32.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pld_rv32.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pld_rvgen.dir/codegen.cpp.o"
+  "CMakeFiles/pld_rvgen.dir/codegen.cpp.o.d"
+  "libpld_rvgen.a"
+  "libpld_rvgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pld_rvgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

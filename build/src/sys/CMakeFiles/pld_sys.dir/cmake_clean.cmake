@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pld_sys.dir/system.cpp.o"
+  "CMakeFiles/pld_sys.dir/system.cpp.o.d"
+  "libpld_sys.a"
+  "libpld_sys.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pld_sys.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

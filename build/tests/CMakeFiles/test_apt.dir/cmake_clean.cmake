@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_apt.dir/apt/test_ap_fixed.cpp.o"
+  "CMakeFiles/test_apt.dir/apt/test_ap_fixed.cpp.o.d"
+  "CMakeFiles/test_apt.dir/apt/test_ap_int.cpp.o"
+  "CMakeFiles/test_apt.dir/apt/test_ap_int.cpp.o.d"
+  "test_apt"
+  "test_apt.pdb"
+  "test_apt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_apt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

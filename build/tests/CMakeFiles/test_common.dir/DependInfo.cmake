@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common/test_hash.cpp" "tests/CMakeFiles/test_common.dir/common/test_hash.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_hash.cpp.o.d"
+  "/root/repo/tests/common/test_rng.cpp" "tests/CMakeFiles/test_common.dir/common/test_rng.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_rng.cpp.o.d"
+  "/root/repo/tests/common/test_table.cpp" "tests/CMakeFiles/test_common.dir/common/test_table.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_table.cpp.o.d"
+  "/root/repo/tests/common/test_thread_pool.cpp" "tests/CMakeFiles/test_common.dir/common/test_thread_pool.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pld_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/pld_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/pld_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataflow/CMakeFiles/pld_dataflow.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dataflow.dir/dataflow/test_runtime.cpp.o"
+  "CMakeFiles/test_dataflow.dir/dataflow/test_runtime.cpp.o.d"
+  "CMakeFiles/test_dataflow.dir/dataflow/test_stream.cpp.o"
+  "CMakeFiles/test_dataflow.dir/dataflow/test_stream.cpp.o.d"
+  "test_dataflow"
+  "test_dataflow.pdb"
+  "test_dataflow[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dataflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pnr.dir/pnr/test_engine.cpp.o"
+  "CMakeFiles/test_pnr.dir/pnr/test_engine.cpp.o.d"
+  "CMakeFiles/test_pnr.dir/pnr/test_placer.cpp.o"
+  "CMakeFiles/test_pnr.dir/pnr/test_placer.cpp.o.d"
+  "CMakeFiles/test_pnr.dir/pnr/test_router.cpp.o"
+  "CMakeFiles/test_pnr.dir/pnr/test_router.cpp.o.d"
+  "test_pnr"
+  "test_pnr.pdb"
+  "test_pnr[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pnr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rosetta.dir/rosetta/test_benchmarks.cpp.o"
+  "CMakeFiles/test_rosetta.dir/rosetta/test_benchmarks.cpp.o.d"
+  "test_rosetta"
+  "test_rosetta.pdb"
+  "test_rosetta[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rosetta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

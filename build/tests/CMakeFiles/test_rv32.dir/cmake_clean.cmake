@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rv32.dir/rv32/test_asm.cpp.o"
+  "CMakeFiles/test_rv32.dir/rv32/test_asm.cpp.o.d"
+  "CMakeFiles/test_rv32.dir/rv32/test_iss.cpp.o"
+  "CMakeFiles/test_rv32.dir/rv32/test_iss.cpp.o.d"
+  "test_rv32"
+  "test_rv32.pdb"
+  "test_rv32[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rv32.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rvgen.dir/rvgen/test_codegen.cpp.o"
+  "CMakeFiles/test_rvgen.dir/rvgen/test_codegen.cpp.o.d"
+  "CMakeFiles/test_rvgen.dir/rvgen/test_crosscheck.cpp.o"
+  "CMakeFiles/test_rvgen.dir/rvgen/test_crosscheck.cpp.o.d"
+  "CMakeFiles/test_rvgen.dir/rvgen/test_param_sweep.cpp.o"
+  "CMakeFiles/test_rvgen.dir/rvgen/test_param_sweep.cpp.o.d"
+  "test_rvgen"
+  "test_rvgen.pdb"
+  "test_rvgen[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rvgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

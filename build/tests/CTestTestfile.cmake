@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_apt[1]_include.cmake")
+include("/root/repo/build/tests/test_ir[1]_include.cmake")
+include("/root/repo/build/tests/test_interp[1]_include.cmake")
+include("/root/repo/build/tests/test_dataflow[1]_include.cmake")
+include("/root/repo/build/tests/test_netlist[1]_include.cmake")
+include("/root/repo/build/tests/test_fabric[1]_include.cmake")
+include("/root/repo/build/tests/test_hls[1]_include.cmake")
+include("/root/repo/build/tests/test_pnr[1]_include.cmake")
+include("/root/repo/build/tests/test_rv32[1]_include.cmake")
+include("/root/repo/build/tests/test_rvgen[1]_include.cmake")
+include("/root/repo/build/tests/test_noc[1]_include.cmake")
+include("/root/repo/build/tests/test_sys[1]_include.cmake")
+include("/root/repo/build/tests/test_flow[1]_include.cmake")
+include("/root/repo/build/tests/test_rosetta[1]_include.cmake")
