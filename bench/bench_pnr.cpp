@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Parallel place-and-route speedup harness.
+ *
+ * Runs the same monolithic p&r job (several HLS-compiled operators
+ * merged into the full user region, annealing restarts engaged) at
+ * threads=1 and threads=8 and reports the wall-time speedup plus a
+ * bit-identity check between the two runs — thread count must only
+ * ever change wall time, never results. Emits BENCH_pnr.json for the
+ * regression driver; the recorded speedup reflects the cores of the
+ * machine it runs on (a 1-core box will show ~1x with identical
+ * bits, a >=8-core box the real gain).
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/stopwatch.h"
+#include "hls/synthesis.h"
+#include "ir/builder.h"
+#include "pnr/engine.h"
+
+using namespace pld;
+using namespace pld::ir;
+using namespace pld::pnr;
+using netlist::Netlist;
+
+namespace {
+
+OperatorFn
+makeKernel(const std::string &name, int taps)
+{
+    OpBuilder b(name);
+    auto in = b.input("in");
+    auto out = b.output("out");
+    auto w = b.array("w", Type::fx(16, 8), taps);
+    auto acc = b.var("acc", Type::fx(32, 17));
+    b.forLoop(0, taps, [&](Ex i) {
+        b.store(w, i, b.read(in).bitcast(Type::fx(16, 8)));
+    });
+    b.forLoop(0, 256, [&](Ex i) {
+        Ex x = b.read(in).bitcast(Type::fx(32, 17));
+        b.set(acc, Ex(acc) + x * w[i % lit(taps)]);
+        b.write(out, acc);
+    });
+    return b.finish();
+}
+
+Netlist
+makeMonolithic(int ops)
+{
+    Netlist big;
+    for (int i = 0; i < ops; ++i) {
+        auto r = hls::compileOperator(
+            makeKernel("op" + std::to_string(i), 4 + i % 5), false);
+        hls::synthesize(r.net);
+        if (i == 0)
+            big = std::move(r.net);
+        else
+            big.merge(r.net, "op" + std::to_string(i) + "/");
+    }
+    return big;
+}
+
+struct Measured
+{
+    double wall = 0;
+    double cpu = 0;
+    PnrResult res;
+};
+
+Measured
+measure(const Netlist &nl, const fabric::Device &dev,
+        const fabric::Rect &region, unsigned threads, double effort,
+        int reps)
+{
+    PnrOptions opts;
+    opts.effort = effort;
+    opts.seed = 42;
+    opts.threads = threads;
+    opts.placeRestarts = 8;
+    opts.abstractShell = false;
+
+    std::vector<double> walls;
+    Measured m;
+    for (int r = 0; r < reps; ++r) {
+        Stopwatch sw;
+        m.res = placeAndRoute(nl, dev, region, opts);
+        walls.push_back(sw.seconds());
+    }
+    std::sort(walls.begin(), walls.end());
+    m.wall = walls[walls.size() / 2];
+    m.cpu = m.res.placeCpuSeconds + m.res.routeCpuSeconds;
+    return m;
+}
+
+} // namespace
+
+int
+main()
+{
+    const double effort = bench::benchEffort(1.0);
+    const fabric::Device &dev = bench::device();
+    const fabric::Rect user{0, 0, 120, 576};
+    const int kOps = 8;
+    const int kReps = 3;
+
+    Netlist nl = makeMonolithic(kOps);
+
+    Measured serial = measure(nl, dev, user, 1, effort, kReps);
+    Measured wide = measure(nl, dev, user, 8, effort, kReps);
+
+    bool identical =
+        serial.res.place.pos == wide.res.place.pos &&
+        serial.res.routing.routes == wide.res.routing.routes &&
+        serial.res.bits.hash == wide.res.bits.hash &&
+        serial.res.timing.fmaxMHz == wide.res.timing.fmaxMHz;
+    double speedup = serial.wall / std::max(wide.wall, 1e-12);
+
+    std::printf("monolithic p&r, %d ops, %zu cells, effort %.2f, "
+                "8 restarts\n",
+                kOps, nl.cells.size(), effort);
+    std::printf("  threads=1: wall %.3fs  cpu %.3fs\n", serial.wall,
+                serial.cpu);
+    std::printf("  threads=8: wall %.3fs  cpu %.3fs  (%u lanes)\n",
+                wide.wall, wide.cpu, wide.res.threadsUsed);
+    std::printf("  speedup %.2fx, results %s\n", speedup,
+                identical ? "bit-identical" : "DIFFER");
+
+    FILE *f = std::fopen("BENCH_pnr.json", "w");
+    if (!f) {
+        std::fprintf(stderr, "cannot write BENCH_pnr.json\n");
+        return 1;
+    }
+    std::fprintf(
+        f,
+        "{\n"
+        "  \"bench\": \"pnr_parallel\",\n"
+        "  \"ops\": %d,\n"
+        "  \"cells\": %zu,\n"
+        "  \"effort\": %g,\n"
+        "  \"restarts\": 8,\n"
+        "  \"reps\": %d,\n"
+        "  \"serial\": {\"threads\": 1, \"wall_s\": %.6f, "
+        "\"cpu_s\": %.6f},\n"
+        "  \"parallel\": {\"threads\": 8, \"wall_s\": %.6f, "
+        "\"cpu_s\": %.6f, \"lanes\": %u},\n"
+        "  \"speedup\": %.4f,\n"
+        "  \"bit_identical\": %s\n"
+        "}\n",
+        kOps, nl.cells.size(), effort, kReps, serial.wall,
+        serial.cpu, wide.wall, wide.cpu, wide.res.threadsUsed,
+        speedup, identical ? "true" : "false");
+    std::fclose(f);
+
+    // Identity is a hard requirement; speedup is reported, not
+    // asserted, because it depends on the host's core count.
+    return identical ? 0 : 1;
+}

@@ -12,6 +12,11 @@
 
 #include <chrono>
 
+#if defined(__linux__) || defined(__APPLE__)
+#include <ctime>
+#define PLD_HAS_THREAD_CPU_CLOCK 1
+#endif
+
 namespace pld {
 
 /** Monotonic stopwatch reporting elapsed seconds. */
@@ -37,6 +42,42 @@ class Stopwatch
   private:
     using Clock = std::chrono::steady_clock;
     Clock::time_point start;
+};
+
+/**
+ * CPU-time stopwatch for the calling thread. Unlike wall clocks it
+ * excludes time spent descheduled, so a stage timed on a machine
+ * whose cores are oversubscribed (parallel page compiles, loaded CI
+ * runners) still reports what the stage would cost on a dedicated
+ * node — the quantity Table 2's per-operator compile model needs.
+ * Falls back to the wall clock on platforms without a per-thread
+ * CPU clock.
+ */
+class ThreadCpuStopwatch
+{
+  public:
+    ThreadCpuStopwatch() { reset(); }
+
+    void reset() { start = now(); }
+
+    double seconds() const { return now() - start; }
+
+  private:
+    static double
+    now()
+    {
+#ifdef PLD_HAS_THREAD_CPU_CLOCK
+        timespec ts;
+        if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) == 0)
+            return double(ts.tv_sec) + double(ts.tv_nsec) * 1e-9;
+#endif
+        return std::chrono::duration<double>(
+                   std::chrono::steady_clock::now()
+                       .time_since_epoch())
+            .count();
+    }
+
+    double start = 0;
 };
 
 } // namespace pld

@@ -1,5 +1,8 @@
 #include "common/thread_pool.h"
 
+#include <atomic>
+#include <cstdlib>
+
 namespace pld {
 
 ThreadPool::ThreadPool(unsigned num_workers)
@@ -64,6 +67,80 @@ ThreadPool::workerLoop()
                 cvDone.notify_all();
         }
     }
+}
+
+// ---- ThreadBudget ---------------------------------------------------
+
+namespace {
+
+unsigned
+configuredTotal()
+{
+    if (const char *e = std::getenv("PLD_THREADS")) {
+        long v = std::strtol(e, nullptr, 10);
+        if (v >= 1)
+            return static_cast<unsigned>(v);
+    }
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 4;
+}
+
+/** Free slots; exact reservations may drive this negative. */
+std::atomic<long long> &
+freeSlots()
+{
+    static std::atomic<long long> slots{
+        static_cast<long long>(ThreadBudget::total())};
+    return slots;
+}
+
+} // namespace
+
+unsigned
+ThreadBudget::total()
+{
+    static unsigned t = configuredTotal();
+    return t;
+}
+
+unsigned
+ThreadBudget::acquire(unsigned want)
+{
+    if (want == 0)
+        return 0;
+    auto &slots = freeSlots();
+    long long cur = slots.load(std::memory_order_relaxed);
+    for (;;) {
+        long long grant =
+            std::min<long long>(want, std::max<long long>(0, cur));
+        if (grant == 0)
+            return 0;
+        if (slots.compare_exchange_weak(cur, cur - grant,
+                                        std::memory_order_relaxed))
+            return static_cast<unsigned>(grant);
+    }
+}
+
+unsigned
+ThreadBudget::acquireExact(unsigned want)
+{
+    freeSlots().fetch_sub(static_cast<long long>(want),
+                          std::memory_order_relaxed);
+    return want;
+}
+
+void
+ThreadBudget::release(unsigned n)
+{
+    freeSlots().fetch_add(static_cast<long long>(n),
+                          std::memory_order_relaxed);
+}
+
+unsigned
+ThreadBudget::available()
+{
+    long long cur = freeSlots().load(std::memory_order_relaxed);
+    return cur > 0 ? static_cast<unsigned>(cur) : 0;
 }
 
 } // namespace pld

@@ -1,10 +1,16 @@
 /**
  * @file
- * Fixed-size worker pool used for parallel page compilation.
+ * Fixed-size worker pool used for parallel page compilation and the
+ * parallel place-and-route engine, plus a process-wide thread budget.
  *
  * The PLD -O1 flow compiles independent pages concurrently (paper
  * Sec 6.2: "All the operators' compilations can be performed in
- * parallel"). This pool is the stand-in for the paper's Slurm cluster.
+ * parallel"), and each page compile may itself parallelize its P&R
+ * inner loops. The ThreadBudget keeps that nested parallelism
+ * (pages x P&R threads) from oversubscribing the machine: every pool
+ * leases its workers from one shared budget, so the total number of
+ * busy threads stays near the hardware concurrency no matter how the
+ * parallelism nests.
  */
 
 #ifndef PLD_COMMON_THREAD_POOL_H
@@ -21,7 +27,9 @@ namespace pld {
 
 /**
  * Simple work-queue thread pool. submit() enqueues a job; wait()
- * blocks until every submitted job has finished. The pool joins its
+ * blocks until every submitted job has finished. Jobs may submit
+ * further jobs into the same pool (nested parallelism); wait() covers
+ * those too. The pool drains any still-queued work before joining its
  * workers on destruction.
  */
 class ThreadPool
@@ -54,6 +62,63 @@ class ThreadPool
     std::condition_variable cvDone;
     unsigned active = 0;
     bool stopping = false;
+};
+
+/**
+ * Process-wide parallelism budget shared by every pool in the
+ * compiler. The budget starts at total() slots; components reserve
+ * worker slots with acquire() and hand them back with release().
+ *
+ * Two reservation modes:
+ *  - capped (acquire): grants at most what is free — used by "auto"
+ *    thread counts so nested parallel stages degrade to serial
+ *    instead of oversubscribing;
+ *  - exact (acquireExact): grants the full request even when the
+ *    budget is exhausted — used when the caller explicitly asked for
+ *    N threads (benchmarks, tests) and must get them.
+ *
+ * Thread counts never affect results anywhere in the P&R engine (see
+ * DESIGN.md "Parallel place-and-route"), so a capped grant only
+ * changes wall time, never output.
+ */
+class ThreadBudget
+{
+  public:
+    /** Total budget: PLD_THREADS env override, else hardware. */
+    static unsigned total();
+
+    /** Reserve up to @p want slots; returns the granted count. */
+    static unsigned acquire(unsigned want);
+
+    /** Reserve exactly @p want slots, even if over budget. */
+    static unsigned acquireExact(unsigned want);
+
+    /** Return @p n previously granted slots. */
+    static void release(unsigned n);
+
+    /** Currently unreserved slots (telemetry/tests). */
+    static unsigned available();
+};
+
+/** RAII lease of thread-budget slots. */
+class BudgetLease
+{
+  public:
+    explicit BudgetLease(unsigned want, bool exact = false)
+        : n(exact ? ThreadBudget::acquireExact(want)
+                  : ThreadBudget::acquire(want))
+    {
+    }
+    ~BudgetLease() { ThreadBudget::release(n); }
+
+    BudgetLease(const BudgetLease &) = delete;
+    BudgetLease &operator=(const BudgetLease &) = delete;
+
+    /** Number of slots actually granted. */
+    unsigned count() const { return n; }
+
+  private:
+    unsigned n;
 };
 
 } // namespace pld

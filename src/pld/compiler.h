@@ -27,8 +27,12 @@
 #ifndef PLD_PLD_COMPILER_H
 #define PLD_PLD_COMPILER_H
 
+#include <array>
+#include <atomic>
+#include <condition_variable>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -102,25 +106,41 @@ struct CompileOptions
 {
     /** Place-and-route effort multiplier. */
     double effort = 1.0;
-    /** Worker threads for parallel page compiles (0 = hw threads). */
+    /** Worker threads for parallel page compiles (0 = thread-budget
+     * auto). Leased from the shared ThreadBudget so page parallelism
+     * and P&R-internal parallelism compose without oversubscribing. */
     unsigned parallelJobs = 0;
+    /** Threads inside each place-and-route run (0 = budget auto). */
+    unsigned pnrThreads = 0;
+    /** Annealing restarts per placement (best-cost wins). */
+    int pnrRestarts = 1;
     uint64_t seed = 1;
 };
 
-/** Artifact-cache effectiveness counters. */
+/**
+ * Artifact-cache effectiveness counters. Atomic so concurrent
+ * builds through one PldCompiler keep them consistent: every lookup
+ * is exactly one hit or one miss, and compiles == misses (an
+ * in-flight artifact is never compiled twice; late arrivals wait and
+ * count as hits).
+ */
 struct CacheStats
 {
-    uint64_t hits = 0;
-    uint64_t misses = 0;
+    std::atomic<uint64_t> hits{0};
+    std::atomic<uint64_t> misses{0};
+    /** Artifacts actually compiled (never exceeds misses). */
+    std::atomic<uint64_t> compiles{0};
 };
 
 /** Result of building one application at one opt level. */
 struct AppBuild
 {
     OptLevel level = OptLevel::O1;
-    /** Wall-clock per stage assuming each operator compiles on its
+    /** Per-stage compile time assuming each operator compiles on its
      * own node (the paper's parallel Slurm cluster): per-stage max
-     * over operators, plus shared monolithic work. */
+     * over operators, plus shared monolithic work. Per-operator
+     * stages are CPU-clocked so timesharing between parallel page
+     * compiles on this machine does not inflate the estimate. */
     StageTimes wallTimes;
     /** Total CPU across all operators (single-node cost). */
     StageTimes cpuTimes;
@@ -164,15 +184,40 @@ class PldCompiler
     void clearCache();
 
   private:
+    /**
+     * One artifact slot. `art == nullptr` while the first thread to
+     * miss is still compiling; later arrivals wait on the shard's
+     * condition variable instead of compiling the artifact again.
+     */
     struct CacheEntry
     {
         std::shared_ptr<OperatorArtifact> art;
     };
 
+    /**
+     * The cache is sharded by key so concurrent builds (pages in
+     * parallel, multiple builds through one compiler) do not
+     * serialize on one coarse mutex; a shard lock covers only the
+     * map lookup/insert, never a compile.
+     */
+    struct CacheShard
+    {
+        std::mutex mtx;
+        std::condition_variable cv;
+        std::map<uint64_t, CacheEntry> map;
+    };
+    static constexpr size_t kCacheShards = 16;
+
     std::shared_ptr<OperatorArtifact>
     compileHwPage(const ir::OperatorFn &fn, int page_id);
     std::shared_ptr<OperatorArtifact>
     compileSoftcore(const ir::OperatorFn &fn, int page_id);
+
+    /** Cache lookup: returns the artifact (waiting out an in-flight
+     * compile if needed) or nullptr when this caller must compile
+     * and then publish() the result. */
+    std::shared_ptr<OperatorArtifact> lookup(uint64_t key);
+    void publish(uint64_t key, std::shared_ptr<OperatorArtifact> art);
 
     /** Deterministic first-fit page assignment. */
     std::vector<int> assignPages(const ir::Graph &g,
@@ -180,7 +225,7 @@ class PldCompiler
 
     const fabric::Device &dev;
     CompileOptions opts;
-    std::map<uint64_t, CacheEntry> cache;
+    std::array<CacheShard, kCacheShards> shards;
     CacheStats cache_stats;
 };
 

@@ -66,15 +66,22 @@ placeAndRoute(const Netlist &net, const Device &dev,
     PlacerOptions popts;
     popts.effort = opts.effort;
     popts.seed = opts.seed;
+    popts.restarts = opts.placeRestarts;
+    popts.threads = opts.threads;
     PlaceResult pr = place(net, dev, region, popts);
     res.place = pr.place;
     res.placeSeconds = pr.seconds;
+    res.placeCpuSeconds = pr.cpuSeconds;
+    res.placeMoves = pr.movesAttempted;
 
     RouterOptions ropts;
     ropts.channelCapacity = opts.channelCapacity;
     ropts.seed = opts.seed;
+    ropts.threads = opts.threads;
     res.routing = route(net, dev, res.place, ropts);
     res.routeSeconds = res.routing.seconds;
+    res.routeCpuSeconds = res.routing.cpuSeconds;
+    res.threadsUsed = res.routing.threadsUsed;
     if (!res.routing.feasible) {
         pld_warn("routing left %d overused tiles (util %.2f)",
                  res.routing.overusedTiles,

@@ -37,6 +37,16 @@ struct PnrOptions
      */
     bool abstractShell = true;
     int channelCapacity = 64;
+    /**
+     * Parallelism for the P&R inner loops (router lanes and
+     * concurrent placement restarts): 0 = take whatever the shared
+     * ThreadBudget has free (safe under nested page parallelism),
+     * 1 = serial, N = exactly N threads. Results are bit-identical
+     * for every value (see DESIGN.md "Parallel place-and-route").
+     */
+    unsigned threads = 0;
+    /** Independent annealing restarts; best-cost placement wins. */
+    int placeRestarts = 1;
     TimingOptions timing;
 };
 
@@ -46,11 +56,19 @@ struct PnrResult
     RouteResult routing;
     TimingResult timing;
     Bitstream bits;
-    double placeSeconds = 0;
-    double routeSeconds = 0;
+    double placeSeconds = 0;   ///< wall (restarts overlap)
+    double routeSeconds = 0;   ///< wall (lanes overlap)
     double bitgenSeconds = 0;
     double contextSeconds = 0; ///< full-context load when no shell
     double totalSeconds = 0;
+    /** Summed busy time across threads (single-node CPU cost). */
+    double placeCpuSeconds = 0;
+    double routeCpuSeconds = 0;
+    /** Annealing moves attempted across all restarts (deterministic
+     * work proxy for compile-time scaling tests). */
+    uint64_t placeMoves = 0;
+    /** Router lanes actually used. */
+    unsigned threadsUsed = 1;
     bool success = false;
 };
 

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 
 #include "common/logging.h"
 #include "common/rng.h"
 #include "common/stopwatch.h"
+#include "common/thread_pool.h"
 
 namespace pld {
 namespace pnr {
@@ -22,6 +24,19 @@ widthFactor(int width)
 {
     return 1.0 + width / 32.0;
 }
+
+/**
+ * Incrementally maintained bounding box of one net, with pin counts
+ * on each boundary (VPR-style): a pin moving off a boundary with
+ * other pins still on it is O(1); only when the last boundary pin
+ * leaves does the box need an O(pins) rescan.
+ */
+struct NetBox
+{
+    int minC = 1 << 30, maxC = -1, minR = 1 << 30, maxR = -1;
+    int nMinC = 0, nMaxC = 0, nMinR = 0, nMaxR = 0;
+    int pins = 0;
+};
 
 /** Working state of one annealing run. */
 class Annealer
@@ -76,10 +91,12 @@ class Annealer
             place_.pos[ci] = sites[k][s];
         }
 
+        boxes.resize(net.nets.size());
         netCost.resize(net.nets.size());
         totalCost = 0;
         for (size_t ni = 0; ni < net.nets.size(); ++ni) {
-            netCost[ni] = costOfNet(static_cast<int>(ni));
+            recomputeBox(static_cast<int>(ni));
+            netCost[ni] = costFromBox(static_cast<int>(ni));
             totalCost += netCost[ni];
         }
     }
@@ -88,6 +105,9 @@ class Annealer
     run()
     {
         Stopwatch sw;
+        // Busy time on this thread: immune to timesharing when
+        // several restarts (or page compiles) share a core.
+        ThreadCpuStopwatch cpu_sw;
         PlaceResult res;
         res.initialCost = totalCost;
 
@@ -95,6 +115,7 @@ class Annealer
         if (n == 0 || net.nets.empty()) {
             res.place = place_;
             res.seconds = sw.seconds();
+            res.cpuSeconds = cpu_sw.seconds();
             return res;
         }
 
@@ -157,7 +178,14 @@ class Annealer
                 int k = static_cast<int>(net.cells[ci].site);
                 place_.pos[ci] = sites[k][best_site_idx[ci]];
             }
-            totalCost = best_cost;
+        }
+        // Report an exact cost for the final placement: the running
+        // totalCost accumulates fp deltas over millions of moves;
+        // one clean sum removes that drift.
+        totalCost = 0;
+        for (size_t ni = 0; ni < net.nets.size(); ++ni) {
+            recomputeBox(static_cast<int>(ni));
+            totalCost += costFromBox(static_cast<int>(ni));
         }
 
         res.place = place_;
@@ -165,35 +193,149 @@ class Annealer
         res.movesAttempted = attempted;
         res.movesAccepted = accepted;
         res.seconds = sw.seconds();
+        res.cpuSeconds = cpu_sw.seconds();
         return res;
     }
 
   private:
-    double
-    costOfNet(int ni) const
+    /** O(pins) rescan of one net's box from current positions. */
+    void
+    recomputeBox(int ni)
     {
         const auto &nn = net.nets[ni];
-        if (nn.driver < 0 && nn.sinks.empty())
-            return 0;
-        int min_c = 1 << 30, max_c = -1, min_r = 1 << 30, max_r = -1;
+        NetBox b;
         auto touch = [&](int cell) {
             auto [c, r] = place_.pos[cell];
-            min_c = std::min(min_c, c);
-            max_c = std::max(max_c, c);
-            min_r = std::min(min_r, r);
-            max_r = std::max(max_r, r);
+            if (c < b.minC) {
+                b.minC = c;
+                b.nMinC = 1;
+            } else if (c == b.minC) {
+                b.nMinC++;
+            }
+            if (c > b.maxC) {
+                b.maxC = c;
+                b.nMaxC = 1;
+            } else if (c == b.maxC) {
+                b.nMaxC++;
+            }
+            if (r < b.minR) {
+                b.minR = r;
+                b.nMinR = 1;
+            } else if (r == b.minR) {
+                b.nMinR++;
+            }
+            if (r > b.maxR) {
+                b.maxR = r;
+                b.nMaxR = 1;
+            } else if (r == b.maxR) {
+                b.nMaxR++;
+            }
+            b.pins++;
         };
         if (nn.driver >= 0)
             touch(nn.driver);
         for (int s : nn.sinks)
             touch(s);
-        if (max_c < 0)
+        boxes[ni] = b;
+    }
+
+    double
+    costFromBox(int ni) const
+    {
+        const NetBox &b = boxes[ni];
+        if (b.maxC < 0)
             return 0;
-        double hpwl = (max_c - min_c) + (max_r - min_r);
-        double cost = hpwl * widthFactor(nn.width);
-        if (dev.slrOf(min_r) != dev.slrOf(max_r))
-            cost += opts.slrPenalty * widthFactor(nn.width);
+        double hpwl = (b.maxC - b.minC) + (b.maxR - b.minR);
+        double cost = hpwl * widthFactor(net.nets[ni].width);
+        if (dev.slrOf(b.minR) != dev.slrOf(b.maxR))
+            cost += opts.slrPenalty * widthFactor(net.nets[ni].width);
         return cost;
+    }
+
+    /**
+     * One pin of net @p ni moved from (c0,r0) to (c1,r1). O(1) unless
+     * the pin was the last one on a box boundary, in which case the
+     * box is rescanned (positions are already up to date).
+     */
+    void
+    pinMoved(int ni, int c0, int r0, int c1, int r1)
+    {
+        NetBox &b = boxes[ni];
+        bool rescan = false;
+        if (c0 == b.minC && --b.nMinC == 0)
+            rescan = true;
+        if (c0 == b.maxC && --b.nMaxC == 0)
+            rescan = true;
+        if (r0 == b.minR && --b.nMinR == 0)
+            rescan = true;
+        if (r0 == b.maxR && --b.nMaxR == 0)
+            rescan = true;
+        if (rescan) {
+            recomputeBox(ni);
+            return;
+        }
+        if (c1 < b.minC) {
+            b.minC = c1;
+            b.nMinC = 1;
+        } else if (c1 == b.minC) {
+            b.nMinC++;
+        }
+        if (c1 > b.maxC) {
+            b.maxC = c1;
+            b.nMaxC = 1;
+        } else if (c1 == b.maxC) {
+            b.nMaxC++;
+        }
+        if (r1 < b.minR) {
+            b.minR = r1;
+            b.nMinR = 1;
+        } else if (r1 == b.minR) {
+            b.nMinR++;
+        }
+        if (r1 > b.maxR) {
+            b.maxR = r1;
+            b.nMaxR = 1;
+        } else if (r1 == b.maxR) {
+            b.nMaxR++;
+        }
+    }
+
+    /** Move @p cell to @p to, updating boxes and the running cost. */
+    void
+    moveCell(int cell, std::pair<int, int> to)
+    {
+        auto from = place_.pos[cell];
+        if (from == to)
+            return;
+        place_.pos[cell] = to;
+        for (int ni : net.cells[cell].pins) {
+            pinMoved(ni, from.first, from.second, to.first, to.second);
+            double fresh = costFromBox(ni);
+            totalCost += fresh - netCost[ni];
+            netCost[ni] = fresh;
+        }
+    }
+
+    /** Swap cell ci with whatever occupies sites[k][target]. */
+    void
+    applySwap(int ci, int k, int target)
+    {
+        int old_site = cellSiteIdx[ci];
+        if (old_site == target)
+            return;
+        int other = occupant[k][target];
+
+        occupant[k][old_site] = other;
+        occupant[k][target] = ci;
+        cellSiteIdx[ci] = target;
+        if (other >= 0)
+            cellSiteIdx[other] = old_site;
+
+        // Cells move one at a time so the incremental boxes always
+        // describe the exact multiset of pin positions.
+        moveCell(ci, sites[k][target]);
+        if (other >= 0)
+            moveCell(other, sites[k][old_site]);
     }
 
     double
@@ -223,44 +365,6 @@ class Annealer
         double mean = sum / samples;
         double var = std::max(1.0, sq / samples - mean * mean);
         return 20.0 * std::sqrt(var);
-    }
-
-    /** Swap cell ci with whatever occupies sites[k][target]. */
-    void
-    applySwap(int ci, int k, int target)
-    {
-        int old_site = cellSiteIdx[ci];
-        if (old_site == target)
-            return;
-        int other = occupant[k][target];
-
-        occupant[k][old_site] = other;
-        occupant[k][target] = ci;
-        cellSiteIdx[ci] = target;
-        place_.pos[ci] = sites[k][target];
-        if (other >= 0) {
-            cellSiteIdx[other] = old_site;
-            place_.pos[other] = sites[k][old_site];
-        }
-
-        // Update cost for affected nets.
-        updateCells(ci, other);
-    }
-
-    void
-    updateCells(int a, int b)
-    {
-        auto upd = [&](int cell) {
-            if (cell < 0)
-                return;
-            for (int ni : net.cells[cell].pins) {
-                double fresh = costOfNet(ni);
-                totalCost += fresh - netCost[ni];
-                netCost[ni] = fresh;
-            }
-        };
-        upd(a);
-        upd(b);
     }
 
     bool
@@ -305,10 +409,18 @@ class Annealer
     std::vector<int> occupant[3];
     std::vector<int> cellSiteIdx;
     Placement place_;
+    std::vector<NetBox> boxes;
     std::vector<double> netCost;
     double totalCost = 0;
     int rangeLimit = 1 << 20;
 };
+
+/** Seed for restart @p r; restart 0 keeps the caller's seed. */
+uint64_t
+restartSeed(uint64_t seed, int r)
+{
+    return seed + 0x9E3779B97F4A7C15ull * static_cast<uint64_t>(r);
+}
 
 } // namespace
 
@@ -316,8 +428,62 @@ PlaceResult
 place(const Netlist &net, const Device &dev, const Rect &region,
       const PlacerOptions &opts)
 {
-    Annealer a(net, dev, region, opts);
-    return a.run();
+    Stopwatch wall;
+    int restarts = std::max(1, opts.restarts);
+    std::vector<PlaceResult> results(restarts);
+
+    auto run_one = [&](int r) {
+        PlacerOptions o = opts;
+        o.seed = restartSeed(opts.seed, r);
+        Annealer a(net, dev, region, o);
+        results[r] = a.run();
+    };
+
+    unsigned want =
+        opts.threads ? opts.threads : ThreadBudget::total();
+    want = std::min<unsigned>(want, static_cast<unsigned>(restarts));
+    if (restarts == 1 || want <= 1) {
+        for (int r = 0; r < restarts; ++r)
+            run_one(r);
+    } else {
+        // The calling thread runs restart 0; extra restarts go to
+        // leased workers. Restart results never depend on where they
+        // ran, so a smaller-than-requested grant only affects wall
+        // time.
+        BudgetLease lease(want - 1, /*exact=*/opts.threads > 0);
+        if (lease.count() == 0) {
+            for (int r = 0; r < restarts; ++r)
+                run_one(r);
+        } else {
+            ThreadPool pool(lease.count());
+            for (int r = 1; r < restarts; ++r)
+                pool.submit([&, r] { run_one(r); });
+            run_one(0);
+            pool.wait();
+        }
+    }
+
+    // Best cost wins; ties go to the lowest restart index so the
+    // outcome is identical for every thread count.
+    int best = 0;
+    for (int r = 1; r < restarts; ++r) {
+        if (results[r].finalCost < results[best].finalCost)
+            best = r;
+    }
+    uint64_t attempted = 0, accepted = 0;
+    double cpu = 0;
+    for (int r = 0; r < restarts; ++r) {
+        attempted += results[r].movesAttempted;
+        accepted += results[r].movesAccepted;
+        cpu += results[r].cpuSeconds;
+    }
+    PlaceResult res = std::move(results[best]);
+    res.movesAttempted = attempted;
+    res.movesAccepted = accepted;
+    res.cpuSeconds = cpu;
+    res.restartsRun = restarts;
+    res.seconds = wall.seconds();
+    return res;
 }
 
 double

@@ -7,6 +7,14 @@
  * page-sized netlist into an 18k-LUT page is dramatically cheaper
  * than placing a whole application into the full user region — the
  * mechanism behind PLD's separate-compilation speedup (Sec 4.1).
+ *
+ * Two levers keep the inner loop fast and the wall time scalable:
+ * incremental bounding-box cost updates (a move only touches the
+ * boxes of the nets on the two swapped cells, with a full recompute
+ * only when a pin leaves a box boundary), and multi-seed restarts
+ * that run concurrently and keep the best-cost placement. Restart
+ * results are independent of the thread count, so placements are
+ * bit-identical at threads=1 and threads=N for the same seed.
  */
 
 #ifndef PLD_PNR_PLACER_H
@@ -34,6 +42,15 @@ struct PlacerOptions
     uint64_t seed = 1;
     /** Extra weight for nets crossing the SLR boundary. */
     double slrPenalty = 40.0;
+    /**
+     * Independent annealing runs (distinct derived seeds); the
+     * best-cost result wins, ties broken by restart index so the
+     * outcome never depends on scheduling.
+     */
+    int restarts = 1;
+    /** Concurrent restarts: 0 = thread-budget auto, 1 = serial,
+     * N = exactly N threads. */
+    unsigned threads = 1;
 };
 
 struct PlaceResult
@@ -41,9 +58,14 @@ struct PlaceResult
     Placement place;
     double finalCost = 0;
     double initialCost = 0;
+    /** Summed over all restarts (total algorithmic work). */
     uint64_t movesAttempted = 0;
     uint64_t movesAccepted = 0;
+    /** Wall-clock of the whole placement (restarts overlap). */
     double seconds = 0;
+    /** Summed busy time across restarts (single-node cost). */
+    double cpuSeconds = 0;
+    int restartsRun = 1;
 };
 
 /**

@@ -2,10 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 
 #include "common/logging.h"
-#include "common/rng.h"
 #include "common/stopwatch.h"
+#include "common/thread_pool.h"
 
 namespace pld {
 namespace pnr {
@@ -24,14 +25,19 @@ demandOf(int width)
 
 /**
  * Router working state: per-tile present demand and history cost.
+ *
+ * Each negotiation iteration routes its whole worklist against the
+ * demand/history arrays frozen at the iteration start; new demand
+ * accumulates in per-lane delta arrays merged at the barrier. Merging
+ * sums integers, so the final state is independent of how the
+ * worklist was chunked across lanes.
  */
 class PathFinder
 {
   public:
     PathFinder(const Netlist &net, const Device &dev,
                const Placement &place, const RouterOptions &opts)
-        : net(net), dev(dev), place(place), opts(opts),
-          rng(opts.seed)
+        : net(net), dev(dev), place(place), opts(opts)
     {
         demand.assign(static_cast<size_t>(dev.width) * dev.height, 0);
         history.assign(demand.size(), 0.0f);
@@ -44,9 +50,25 @@ class PathFinder
         Stopwatch sw;
         RouteResult res;
 
+        // Parallel lanes: the calling thread plus leased workers.
+        unsigned want =
+            opts.threads ? opts.threads : ThreadBudget::total();
+        std::unique_ptr<BudgetLease> lease;
+        std::unique_ptr<ThreadPool> pool;
+        if (want > 1) {
+            lease = std::make_unique<BudgetLease>(
+                want - 1, /*exact=*/opts.threads > 0);
+            if (lease->count() > 0)
+                pool = std::make_unique<ThreadPool>(lease->count());
+        }
+        unsigned lanes = pool ? pool->workerCount() + 1 : 1;
+        double cpu = 0;
+
         // Initial route of every net.
+        std::vector<int> work(net.nets.size());
         for (size_t ni = 0; ni < net.nets.size(); ++ni)
-            routeNet(static_cast<int>(ni));
+            work[ni] = static_cast<int>(ni);
+        routeBatch(work, lanes, pool.get(), cpu);
 
         int iter = 1;
         for (; iter <= opts.maxIters; ++iter) {
@@ -60,12 +82,14 @@ class PathFinder
                     history[t] += 0.5f *
                                   (demand[t] - opts.channelCapacity);
             }
+            work.clear();
             for (size_t ni = 0; ni < net.nets.size(); ++ni) {
-                if (crossesOveruse(static_cast<int>(ni))) {
-                    ripUp(static_cast<int>(ni));
-                    routeNet(static_cast<int>(ni));
-                }
+                if (crossesOveruse(static_cast<int>(ni)))
+                    work.push_back(static_cast<int>(ni));
             }
+            for (int ni : work)
+                ripUp(ni);
+            routeBatch(work, lanes, pool.get(), cpu);
         }
 
         res.iterations = iter;
@@ -82,6 +106,9 @@ class PathFinder
         res.maxUtilization =
             static_cast<double>(peak) / opts.channelCapacity;
         res.seconds = sw.seconds();
+        res.cpuSeconds = cpu;
+        res.threadsUsed = lanes;
+        res.routes = std::move(routes);
         return res;
     }
 
@@ -131,8 +158,12 @@ class PathFinder
         return cost;
     }
 
+    /**
+     * Route one net against the frozen congestion state, adding its
+     * demand to @p delta (merged at the iteration barrier).
+     */
     void
-    routeNet(int ni)
+    routeNet(int ni, std::vector<int> &delta)
     {
         const auto &nn = net.nets[ni];
         if (nn.driver < 0 || nn.sinks.empty())
@@ -149,9 +180,55 @@ class PathFinder
             std::vector<std::pair<int, int>> leg;
             walkL(c0, r0, c1, r1, ch <= cv, &leg);
             for (auto [c, r] : leg) {
-                demand[tileIdx(c, r)] += dem;
+                delta[tileIdx(c, r)] += dem;
                 path.emplace_back(c, r);
             }
+        }
+    }
+
+    /**
+     * Route @p work against the frozen state across up to @p lanes
+     * chunks. Results are chunk-count independent: every net reads
+     * only the frozen demand/history, writes only its own routes[ni]
+     * slot, and the per-lane deltas merge by integer addition.
+     */
+    void
+    routeBatch(const std::vector<int> &work, unsigned lanes,
+               ThreadPool *pool, double &cpu)
+    {
+        if (work.empty())
+            return;
+        unsigned chunks = std::min<unsigned>(
+            lanes, static_cast<unsigned>(work.size()));
+        std::vector<std::vector<int>> deltas(chunks);
+        std::vector<double> lane_seconds(chunks, 0.0);
+        size_t per = (work.size() + chunks - 1) / chunks;
+        auto run_chunk = [&](unsigned c) {
+            // CPU clock, not wall: lane busy time must not count the
+            // time a timeshared worker spends descheduled.
+            ThreadCpuStopwatch lane;
+            auto &d = deltas[c];
+            d.assign(demand.size(), 0);
+            size_t b = c * per;
+            size_t e = std::min(work.size(), b + per);
+            for (size_t i = b; i < e; ++i)
+                routeNet(work[i], d);
+            lane_seconds[c] = lane.seconds();
+        };
+        if (chunks > 1 && pool) {
+            for (unsigned c = 1; c < chunks; ++c)
+                pool->submit([&run_chunk, c] { run_chunk(c); });
+            run_chunk(0);
+            pool->wait();
+        } else {
+            for (unsigned c = 0; c < chunks; ++c)
+                run_chunk(c);
+        }
+        for (unsigned c = 0; c < chunks; ++c) {
+            const auto &d = deltas[c];
+            for (size_t t = 0; t < demand.size(); ++t)
+                demand[t] += d[t];
+            cpu += lane_seconds[c];
         }
     }
 
@@ -187,7 +264,6 @@ class PathFinder
     const Device &dev;
     const Placement &place;
     RouterOptions opts;
-    Rng rng;
 
     std::vector<int> demand;
     std::vector<float> history;

@@ -8,6 +8,13 @@
  * from driver to each sink. Overused tiles accumulate history cost
  * and overused nets are ripped up and rerouted until the solution is
  * feasible — the second super-linear stage of FPGA compilation.
+ *
+ * The negotiation loop is batch-synchronous: every net in an
+ * iteration routes against the congestion state frozen at the
+ * iteration barrier, accumulating per-thread demand deltas that are
+ * merged (integer sums, order-independent) before the next
+ * iteration. Independent nets therefore route concurrently while the
+ * result stays bit-identical for every thread count.
  */
 
 #ifndef PLD_PNR_ROUTER_H
@@ -25,6 +32,9 @@ struct RouterOptions
     /** Maximum rip-up/reroute iterations. */
     int maxIters = 8;
     uint64_t seed = 1;
+    /** Concurrent net routing: 0 = thread-budget auto, 1 = serial,
+     * N = exactly N threads. Never affects results. */
+    unsigned threads = 1;
 };
 
 struct RouteResult
@@ -34,7 +44,15 @@ struct RouteResult
     int64_t totalWirelength = 0; ///< tile-segments used (width-scaled)
     int overusedTiles = 0;       ///< remaining after last iteration
     double maxUtilization = 0;   ///< peak tile demand / capacity
+    /** Wall-clock of the routing run. */
     double seconds = 0;
+    /** Summed busy time across routing lanes (single-node cost). */
+    double cpuSeconds = 0;
+    /** Parallel lanes used (1 = serial). */
+    unsigned threadsUsed = 1;
+    /** Tiles crossed by each net, in routing order (determinism
+     * checks and downstream analysis). */
+    std::vector<std::vector<std::pair<int, int>>> routes;
 };
 
 /** Route every net of @p net under placement @p place. */

@@ -55,5 +55,80 @@ TEST(ThreadPool, EmptyWaitReturns)
 {
     ThreadPool pool(2);
     pool.wait(); // must not hang
+    pool.wait(); // and must stay reusable with nothing queued
     SUCCEED();
+}
+
+TEST(ThreadPool, SubmitFromWorker)
+{
+    // Nested parallelism: a job may fan out further jobs into the
+    // same pool; wait() must cover work submitted by workers.
+    ThreadPool pool(3);
+    std::atomic<int> count{0};
+    pool.submit([&] {
+        for (int i = 0; i < 16; ++i)
+            pool.submit([&] { count.fetch_add(1); });
+        count.fetch_add(1);
+    });
+    pool.wait();
+    EXPECT_EQ(count.load(), 17);
+}
+
+TEST(ThreadPool, DestructionRunsQueuedWork)
+{
+    // The pool drains its queue before joining: jobs still queued at
+    // destruction run, none are dropped.
+    std::atomic<int> count{0};
+    {
+        ThreadPool pool(1);
+        pool.submit([&] {
+            std::this_thread::sleep_for(std::chrono::milliseconds(20));
+            count.fetch_add(1);
+        });
+        for (int i = 0; i < 40; ++i)
+            pool.submit([&] { count.fetch_add(1); });
+        // No wait(): destructor must finish the backlog.
+    }
+    EXPECT_EQ(count.load(), 41);
+}
+
+TEST(ThreadPool, ZeroWorkersFallsBackToHardware)
+{
+    ThreadPool pool(0);
+    EXPECT_GE(pool.workerCount(), 1u);
+    std::atomic<int> count{0};
+    pool.submit([&] { count.fetch_add(1); });
+    pool.wait();
+    EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ThreadBudget, CappedAcquireStaysWithinBudget)
+{
+    using pld::ThreadBudget;
+    unsigned avail = ThreadBudget::available();
+    unsigned got = ThreadBudget::acquire(avail + 7);
+    EXPECT_EQ(got, avail);
+    EXPECT_EQ(ThreadBudget::available(), 0u);
+    EXPECT_EQ(ThreadBudget::acquire(1), 0u);
+    ThreadBudget::release(got);
+    EXPECT_EQ(ThreadBudget::available(), avail);
+}
+
+TEST(ThreadBudget, ExactAcquireGrantsEvenWhenExhausted)
+{
+    using pld::BudgetLease;
+    using pld::ThreadBudget;
+    unsigned avail = ThreadBudget::available();
+    {
+        BudgetLease all(avail);
+        EXPECT_EQ(all.count(), avail);
+        // Explicit thread requests must be honoured regardless.
+        BudgetLease exact(3, /*exact=*/true);
+        EXPECT_EQ(exact.count(), 3u);
+        EXPECT_EQ(ThreadBudget::available(), 0u);
+        // Auto requests degrade to serial instead.
+        BudgetLease capped(2);
+        EXPECT_EQ(capped.count(), 0u);
+    }
+    EXPECT_EQ(ThreadBudget::available(), avail);
 }

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "dataflow/runtime.h"
 #include "fabric/device.h"
 #include "ir/builder.h"
@@ -43,6 +45,28 @@ makeApp(int n)
     auto mid = gb.wire();
     gb.inst(makeScale("s1", 2.0, n), {in}, {mid});
     gb.inst(makeScale("s2", 0.5, n), {mid}, {out});
+    return gb.finish();
+}
+
+/**
+ * Chain of @p k distinct scale operators. Operator count is what
+ * grows netlist size (loop bounds do not), so scaling assertions on
+ * the monolithic-vs-paged gap must vary k, not n.
+ */
+Graph
+makeChainApp(int k, int n)
+{
+    GraphBuilder gb("chain" + std::to_string(k));
+    auto in = gb.extIn("I");
+    auto out = gb.extOut("O");
+    GraphBuilder::WireId prev = in;
+    for (int i = 0; i < k; ++i) {
+        GraphBuilder::WireId next = (i == k - 1) ? out : gb.wire();
+        // Distinct constants so every operator is a distinct artifact.
+        gb.inst(makeScale("c" + std::to_string(i), 0.5 + 0.125 * i, n),
+                {prev}, {next});
+        prev = next;
+    }
     return gb.finish();
 }
 
@@ -115,6 +139,93 @@ TEST(Flow, O1CompilesFasterThanMonolithic)
     AppBuild o3 = pc.build(g, OptLevel::O3);
     EXPECT_LT(o1.wallTimes.pnr, o3.wallTimes.pnr)
         << "separate page compiles beat monolithic p&r (Table 2)";
+}
+
+TEST(Flow, MonolithicGapGrowsWithOperatorCount)
+{
+    // The paper's headline scaling claim, made strict: -O1 page
+    // compiles are embarrassingly parallel so their p&r wall time is
+    // ~one page regardless of app size, while monolithic p&r grows
+    // super-linearly with operator count. The O3/O1 ratio must widen
+    // as the app grows. Alongside the wall-clock ratio we check a
+    // deterministic proxy — annealer moves are a pure function of
+    // netlist size (effort * n^1.2 per temperature), immune to
+    // machine load.
+    // Full effort so each p&r run is long enough that clock noise is
+    // a small fraction; median of 3 fresh builds for the wall ratio.
+    auto ratios = [](int k) {
+        CompileOptions o;
+        o.effort = 1.0;
+        o.parallelJobs = 4;
+        Graph g = makeChainApp(k, 8);
+        std::vector<double> walls;
+        double moves = 0;
+        for (int rep = 0; rep < 3; ++rep) {
+            PldCompiler pc(device(), o);
+            AppBuild o1 = pc.build(g, OptLevel::O1);
+            AppBuild o3 = pc.build(g, OptLevel::O3);
+            uint64_t page_moves = 0;
+            for (const auto &op : o1.ops)
+                page_moves = std::max(page_moves, op.pnr.placeMoves);
+            EXPECT_GT(page_moves, 0u) << "k=" << k;
+            walls.push_back(o3.wallTimes.pnr /
+                            std::max(o1.wallTimes.pnr, 1e-9));
+            // Deterministic: same netlists and seeds every rep.
+            moves = double(o3.monoPnr.placeMoves) /
+                    double(page_moves);
+        }
+        std::sort(walls.begin(), walls.end());
+        struct R
+        {
+            double wall;
+            double moves;
+        };
+        return R{walls[1], moves};
+    };
+
+    auto r2 = ratios(2);
+    auto r6 = ratios(6);
+    EXPECT_GT(r6.moves, r2.moves)
+        << "monolithic p&r work must grow faster than per-page work";
+    EXPECT_GT(r6.wall, r2.wall)
+        << "O3/O1 p&r wall-time gap must widen with operator count";
+    EXPECT_GT(r2.wall, 1.0)
+        << "even at 2 operators, paged p&r beats monolithic";
+}
+
+TEST(Flow, BuildIdenticalAcrossPnrThreadCounts)
+{
+    // Thread count is a wall-time knob, never a result knob: a full
+    // AppBuild must be bit-identical at pnrThreads=1 and 8, with
+    // restarts engaged, at both the paged and monolithic levels.
+    Graph g = makeApp(16);
+    CompileOptions serial = quickOpts();
+    serial.pnrThreads = 1;
+    serial.pnrRestarts = 2;
+    CompileOptions wide = serial;
+    wide.pnrThreads = 8;
+
+    for (OptLevel lvl : {OptLevel::O1, OptLevel::O3}) {
+        PldCompiler pa(device(), serial);
+        PldCompiler pb(device(), wide);
+        AppBuild a = pa.build(g, lvl);
+        AppBuild b = pb.build(g, lvl);
+        EXPECT_EQ(a.area.luts, b.area.luts) << optLevelName(lvl);
+        EXPECT_EQ(a.area.bram18, b.area.bram18) << optLevelName(lvl);
+        EXPECT_EQ(a.fmaxMHz, b.fmaxMHz) << optLevelName(lvl);
+        EXPECT_EQ(a.totalBitstreamBytes, b.totalBitstreamBytes)
+            << optLevelName(lvl);
+        ASSERT_EQ(a.ops.size(), b.ops.size());
+        for (size_t i = 0; i < a.ops.size(); ++i)
+            EXPECT_EQ(a.ops[i].pnr.bits.hash, b.ops[i].pnr.bits.hash)
+                << optLevelName(lvl) << " op " << i;
+        if (lvl == OptLevel::O3) {
+            EXPECT_EQ(a.monoPnr.bits.hash, b.monoPnr.bits.hash);
+            EXPECT_EQ(a.monoPnr.place.pos, b.monoPnr.place.pos);
+            EXPECT_EQ(a.monoPnr.routing.totalWirelength,
+                      b.monoPnr.routing.totalWirelength);
+        }
+    }
 }
 
 TEST(Flow, IncrementalRecompileHitsCache)

@@ -1,0 +1,195 @@
+/**
+ * Determinism of the parallel place-and-route engine: thread counts
+ * and restart scheduling must never change results — only wall time.
+ * Each case runs the same seed at threads=1 and threads=8 and demands
+ * bit-identical outputs, for both a page-sized netlist and a
+ * monolithic (full user region) netlist.
+ */
+
+#include <gtest/gtest.h>
+
+#include "fabric/device.h"
+#include "hls/compiler.h"
+#include "hls/synthesis.h"
+#include "ir/builder.h"
+#include "pnr/engine.h"
+
+using namespace pld;
+using namespace pld::ir;
+using namespace pld::pnr;
+using fabric::Device;
+using fabric::makeU50;
+using fabric::Rect;
+using netlist::Netlist;
+using netlist::SiteKind;
+
+namespace {
+
+const Device &
+device()
+{
+    static Device d = makeU50();
+    return d;
+}
+
+Netlist
+makeChain(int n)
+{
+    Netlist nl;
+    int prev = -1;
+    for (int i = 0; i < n; ++i) {
+        int c = nl.addCell(
+            {SiteKind::Clb, "x" + std::to_string(i), 6, 10, 1, 0, {}});
+        if (prev >= 0) {
+            int w = nl.addNet("w" + std::to_string(i), 32, prev);
+            nl.addSink(w, c);
+        }
+        prev = c;
+    }
+    return nl;
+}
+
+OperatorFn
+makeKernel(const std::string &name, int taps)
+{
+    OpBuilder b(name);
+    auto in = b.input("in");
+    auto out = b.output("out");
+    auto w = b.array("w", Type::fx(16, 8), taps);
+    auto acc = b.var("acc", Type::fx(32, 17));
+    b.forLoop(0, taps, [&](Ex i) {
+        b.store(w, i, b.read(in).bitcast(Type::fx(16, 8)));
+    });
+    b.forLoop(0, 256, [&](Ex i) {
+        Ex x = b.read(in).bitcast(Type::fx(32, 17));
+        b.set(acc, Ex(acc) + x * w[i % lit(taps)]);
+        b.write(out, acc);
+    });
+    return b.finish();
+}
+
+Netlist
+hlsNetlist(const std::string &name, bool leaf)
+{
+    auto r = hls::compileOperator(makeKernel(name, 8), leaf);
+    hls::synthesize(r.net);
+    return std::move(r.net);
+}
+
+const Rect kUserRegion{0, 0, 120, 576};
+
+} // namespace
+
+TEST(Parallel, PlacerIdenticalAcrossThreadCounts)
+{
+    Netlist nl = makeChain(120);
+    PlacerOptions base;
+    base.effort = 0.2;
+    base.seed = 7;
+    base.restarts = 4;
+
+    PlacerOptions serial = base;
+    serial.threads = 1;
+    PlacerOptions wide = base;
+    wide.threads = 8;
+
+    PlaceResult a = place(nl, device(), device().pages[0].rect, serial);
+    PlaceResult b = place(nl, device(), device().pages[0].rect, wide);
+    EXPECT_EQ(a.place.pos, b.place.pos);
+    EXPECT_EQ(a.finalCost, b.finalCost);
+    EXPECT_EQ(a.movesAttempted, b.movesAttempted);
+    EXPECT_EQ(a.restartsRun, b.restartsRun);
+}
+
+TEST(Parallel, RouterIdenticalAcrossThreadCounts)
+{
+    // Congested enough to force several negotiation iterations.
+    Netlist nl = makeChain(200);
+    PlacerOptions popts;
+    popts.effort = 0.2;
+    PlaceResult pr = place(nl, device(), device().pages[0].rect, popts);
+
+    RouterOptions serial;
+    serial.channelCapacity = 16;
+    serial.threads = 1;
+    RouterOptions wide = serial;
+    wide.threads = 8;
+
+    RouteResult a = route(nl, device(), pr.place, serial);
+    RouteResult b = route(nl, device(), pr.place, wide);
+    EXPECT_EQ(a.routes, b.routes) << "per-net paths must match";
+    EXPECT_EQ(a.totalWirelength, b.totalWirelength);
+    EXPECT_EQ(a.iterations, b.iterations);
+    EXPECT_EQ(a.overusedTiles, b.overusedTiles);
+    EXPECT_EQ(a.maxUtilization, b.maxUtilization);
+    EXPECT_GE(b.threadsUsed, 2u);
+}
+
+TEST(Parallel, PageEngineIdenticalAcrossThreadCounts)
+{
+    Netlist nl = hlsNetlist("pp1", true);
+    PnrOptions base;
+    base.effort = 0.2;
+    base.seed = 3;
+    base.placeRestarts = 3;
+
+    PnrOptions serial = base;
+    serial.threads = 1;
+    PnrOptions wide = base;
+    wide.threads = 8;
+
+    PnrResult a =
+        placeAndRoute(nl, device(), device().pages[0].rect, serial);
+    PnrResult b =
+        placeAndRoute(nl, device(), device().pages[0].rect, wide);
+    EXPECT_EQ(a.place.pos, b.place.pos);
+    EXPECT_EQ(a.routing.routes, b.routing.routes);
+    EXPECT_EQ(a.routing.totalWirelength, b.routing.totalWirelength);
+    EXPECT_EQ(a.bits.hash, b.bits.hash);
+    EXPECT_EQ(a.timing.fmaxMHz, b.timing.fmaxMHz);
+    EXPECT_EQ(a.placeMoves, b.placeMoves);
+}
+
+TEST(Parallel, MonolithicEngineIdenticalAcrossThreadCounts)
+{
+    // Several operators merged into one netlist, placed into the
+    // whole user region — the -O3/Vitis shape.
+    Netlist big = hlsNetlist("pm0", false);
+    for (int i = 1; i < 4; ++i)
+        big.merge(hlsNetlist("pm" + std::to_string(i), false),
+                  "m" + std::to_string(i) + "_");
+
+    PnrOptions base;
+    base.effort = 0.15;
+    base.seed = 11;
+    base.placeRestarts = 2;
+
+    PnrOptions serial = base;
+    serial.threads = 1;
+    PnrOptions wide = base;
+    wide.threads = 8;
+
+    PnrResult a = placeAndRoute(big, device(), kUserRegion, serial);
+    PnrResult b = placeAndRoute(big, device(), kUserRegion, wide);
+    EXPECT_EQ(a.place.pos, b.place.pos);
+    EXPECT_EQ(a.routing.routes, b.routing.routes);
+    EXPECT_EQ(a.routing.totalWirelength, b.routing.totalWirelength);
+    EXPECT_EQ(a.bits.hash, b.bits.hash);
+    EXPECT_EQ(a.timing.fmaxMHz, b.timing.fmaxMHz);
+}
+
+TEST(Parallel, CpuTimeCoversWallTime)
+{
+    Netlist nl = hlsNetlist("pt1", true);
+    PnrOptions opts;
+    opts.effort = 0.2;
+    opts.threads = 2;
+    opts.placeRestarts = 2;
+    PnrResult r =
+        placeAndRoute(nl, device(), device().pages[0].rect, opts);
+    // Summed per-thread busy time can never be below ~the wall time
+    // of the stage (they are equal when serial).
+    EXPECT_GT(r.placeCpuSeconds, 0.0);
+    EXPECT_GT(r.routeCpuSeconds, 0.0);
+    EXPECT_GE(r.placeCpuSeconds, r.placeSeconds * 0.5);
+}
