@@ -41,6 +41,12 @@ main()
                                                  : ir::Target::HW;
             }
             AppBuild mixed = pc.build(g, OptLevel::O1);
+            // Surface unplanned degradation (e.g. under PLD_FAULT):
+            // the requested softcore victim is not "degraded", so
+            // anything here means the retry ladder actually fired.
+            if (!mixed.report.allOk() ||
+                mixed.report.degradedCount() > 0)
+                std::printf("%s", mixed.report.render().c_str());
             rosetta::Benchmark bm2 = bm;
             bm2.graph = g;
             auto rs = bench::execute(bm2, mixed);

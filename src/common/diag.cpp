@@ -1,0 +1,127 @@
+#include "common/diag.h"
+
+#include <sstream>
+
+namespace pld {
+
+const char *
+compileStageName(CompileStage s)
+{
+    switch (s) {
+      case CompileStage::Hls: return "hls";
+      case CompileStage::Synth: return "synth";
+      case CompileStage::Place: return "place";
+      case CompileStage::Route: return "route";
+      case CompileStage::Timing: return "timing";
+      case CompileStage::Bitgen: return "bitgen";
+      case CompileStage::Cache: return "cache";
+      case CompileStage::Link: return "link";
+    }
+    return "?";
+}
+
+const char *
+compileCodeName(CompileCode c)
+{
+    switch (c) {
+      case CompileCode::Ok: return "ok";
+      case CompileCode::RouteInfeasible: return "route-infeasible";
+      case CompileCode::TimingMiss: return "timing-miss";
+      case CompileCode::PlaceInfeasible: return "place-infeasible";
+      case CompileCode::CacheCorrupt: return "cache-corrupt";
+      case CompileCode::CompileException: return "compile-exception";
+      case CompileCode::DoesNotFit: return "does-not-fit";
+    }
+    return "?";
+}
+
+bool
+compileCodeRetriable(CompileCode c)
+{
+    switch (c) {
+      case CompileCode::RouteInfeasible:
+      case CompileCode::TimingMiss:
+      case CompileCode::PlaceInfeasible:
+      case CompileCode::CacheCorrupt:
+      case CompileCode::CompileException:
+        return true;
+      case CompileCode::Ok:
+      case CompileCode::DoesNotFit:
+        return false;
+    }
+    return false;
+}
+
+const char *
+diagSeverityName(DiagSeverity s)
+{
+    switch (s) {
+      case DiagSeverity::Info: return "info";
+      case DiagSeverity::Warning: return "warning";
+      case DiagSeverity::Error: return "error";
+    }
+    return "?";
+}
+
+std::string
+Diagnostic::render() const
+{
+    std::ostringstream os;
+    os << "[" << diagSeverityName(severity) << "] "
+       << compileStageName(stage) << " ";
+    if (!op.empty())
+        os << op;
+    if (page >= 0)
+        os << "@page" << page;
+    os << ": " << compileCodeName(code);
+    if (!detail.empty())
+        os << ": " << detail;
+    if (retriable)
+        os << " (retriable)";
+    return os.str();
+}
+
+bool
+CompileStatus::ok() const
+{
+    for (const auto &d : diags) {
+        if (d.severity == DiagSeverity::Error)
+            return false;
+    }
+    return true;
+}
+
+CompileCode
+CompileStatus::firstError() const
+{
+    for (const auto &d : diags) {
+        if (d.severity == DiagSeverity::Error)
+            return d.code;
+    }
+    return CompileCode::Ok;
+}
+
+void
+CompileStatus::add(Diagnostic d)
+{
+    diags.push_back(std::move(d));
+}
+
+void
+CompileStatus::merge(const CompileStatus &o)
+{
+    diags.insert(diags.end(), o.diags.begin(), o.diags.end());
+}
+
+std::string
+CompileStatus::render() const
+{
+    std::string out;
+    for (const auto &d : diags) {
+        out += d.render();
+        out += "\n";
+    }
+    return out;
+}
+
+} // namespace pld

@@ -1,0 +1,135 @@
+#include "common/fault.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "common/hash.h"
+#include "common/logging.h"
+
+namespace pld {
+
+const char *
+faultKindName(FaultKind k)
+{
+    switch (k) {
+      case FaultKind::RouteFail: return "route_fail";
+      case FaultKind::TimingMiss: return "timing_miss";
+      case FaultKind::CacheCorrupt: return "cache_corrupt";
+      case FaultKind::CompileThrow: return "throw";
+    }
+    return "?";
+}
+
+namespace {
+
+bool
+parseKind(const std::string &s, FaultKind &out)
+{
+    for (FaultKind k :
+         {FaultKind::RouteFail, FaultKind::TimingMiss,
+          FaultKind::CacheCorrupt, FaultKind::CompileThrow}) {
+        if (s == faultKindName(k)) {
+            out = k;
+            return true;
+        }
+    }
+    return false;
+}
+
+} // namespace
+
+FaultPlan
+FaultPlan::parse(const std::string &spec)
+{
+    FaultPlan plan;
+    size_t pos = 0;
+    while (pos < spec.size()) {
+        size_t end = spec.find(';', pos);
+        if (end == std::string::npos)
+            end = spec.size();
+        std::string entry = spec.substr(pos, end - pos);
+        pos = end + 1;
+        if (entry.empty())
+            continue;
+
+        FaultSpec fs;
+        // kind ':' op ['*' count] ['@' probability]
+        size_t colon = entry.find(':');
+        if (colon == std::string::npos ||
+            !parseKind(entry.substr(0, colon), fs.kind)) {
+            pld_fatal("PLD_FAULT: bad entry '%s' (want "
+                      "kind:op[*count][@prob], kind one of route_fail"
+                      "|timing_miss|cache_corrupt|throw)",
+                      entry.c_str());
+        }
+        std::string rest = entry.substr(colon + 1);
+        size_t at = rest.find('@');
+        if (at != std::string::npos) {
+            fs.probability = std::atof(rest.c_str() + at + 1);
+            if (fs.probability <= 0.0 || fs.probability > 1.0)
+                pld_fatal("PLD_FAULT: probability out of (0,1] in "
+                          "'%s'", entry.c_str());
+            rest = rest.substr(0, at);
+        }
+        size_t star = rest.find('*');
+        // A bare "*" op has no count suffix; only treat '*' as the
+        // count separator when digits follow it.
+        if (star != std::string::npos && star + 1 < rest.size() &&
+            std::isdigit(static_cast<unsigned char>(rest[star + 1]))) {
+            fs.count = std::atoi(rest.c_str() + star + 1);
+            if (fs.count <= 0)
+                pld_fatal("PLD_FAULT: count must be positive in "
+                          "'%s'", entry.c_str());
+            rest = rest.substr(0, star);
+        }
+        if (rest.empty())
+            pld_fatal("PLD_FAULT: missing operator name in '%s'",
+                      entry.c_str());
+        fs.op = rest;
+        plan.specs.push_back(std::move(fs));
+    }
+    return plan;
+}
+
+FaultPlan
+FaultPlan::fromEnv()
+{
+    FaultPlan plan;
+    if (const char *e = std::getenv("PLD_FAULT"))
+        plan = parse(e);
+    if (const char *s = std::getenv("PLD_FAULT_SEED"))
+        plan.seed = std::strtoull(s, nullptr, 0);
+    return plan;
+}
+
+bool
+FaultInjector::fires(FaultKind k, const std::string &op,
+                     int attempt) const
+{
+    for (const auto &fs : plan.specs) {
+        if (fs.kind != k)
+            continue;
+        if (fs.op != "*" && fs.op != op)
+            continue;
+        if (attempt >= fs.count)
+            continue;
+        if (fs.probability < 1.0) {
+            // Deterministic coin: a pure hash of the site, not an
+            // RNG stream, so concurrent sites cannot perturb each
+            // other's draws.
+            Hasher h;
+            h.u64(plan.seed);
+            h.u64(static_cast<uint64_t>(k));
+            h.str(op);
+            h.i64(attempt);
+            double coin = static_cast<double>(h.digest() >> 11) /
+                          static_cast<double>(1ull << 53);
+            if (coin >= fs.probability)
+                continue;
+        }
+        return true;
+    }
+    return false;
+}
+
+} // namespace pld

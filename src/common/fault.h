@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Deterministic fault injection for the compile pipeline.
+ *
+ * Recovery code that only runs when a design is congested is
+ * recovery code that never runs in CI. The FaultInjector lets tests
+ * (and users, via the PLD_FAULT environment variable) force every
+ * failure the pipeline knows how to survive — routing infeasibility,
+ * timing misses, cache corruption, and mid-compile exceptions — at
+ * chosen operators and attempts.
+ *
+ * Decisions are a pure function of (plan seed, fault kind, operator
+ * name, attempt number): no shared mutable state, so injection is
+ * thread-safe and bit-for-bit reproducible no matter how compiles
+ * are scheduled. The attempt number encodes both the cache claim
+ * generation and the retry-ladder step (see kAttemptStride), so
+ * "fail the first N attempts" specs let a fault heal after the
+ * ladder escalates — exercising recovery, not just failure.
+ *
+ * Spec grammar (PLD_FAULT or CompileOptions::faults):
+ *
+ *   spec      := entry (';' entry)*
+ *   entry     := kind ':' op ['*' count] ['@' probability]
+ *   kind      := route_fail | timing_miss | cache_corrupt | throw
+ *   op        := operator name, or '*' for every operator
+ *
+ * "route_fail:flow_calc*2"  — flow_calc's first two route attempts
+ *                             are infeasible, the third succeeds.
+ *   "timing_miss:*@0.25"    — a deterministic 25% of timing checks
+ *                             miss (hash-coin per site, not random).
+ *   "throw:s1"              — every compile of s1 throws mid-flight.
+ */
+
+#ifndef PLD_COMMON_FAULT_H
+#define PLD_COMMON_FAULT_H
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace pld {
+
+enum class FaultKind : uint8_t {
+    /** Force the router to report overused tiles. */
+    RouteFail,
+    /** Derate the achieved Fmax below the required clock. */
+    TimingMiss,
+    /** Corrupt the cached artifact's stored checksum. */
+    CacheCorrupt,
+    /** Throw a CompileError mid-compile. */
+    CompileThrow,
+};
+
+const char *faultKindName(FaultKind k);
+
+/** One injected fault site. */
+struct FaultSpec
+{
+    FaultKind kind = FaultKind::RouteFail;
+    /** Operator name to match, or "*" for all. */
+    std::string op = "*";
+    /** Fire only on attempt numbers < count. */
+    int count = std::numeric_limits<int>::max();
+    /** Fire with this probability (deterministic hash coin). */
+    double probability = 1.0;
+};
+
+/** A parsed set of fault sites plus the decision seed. */
+struct FaultPlan
+{
+    std::vector<FaultSpec> specs;
+    uint64_t seed = 1;
+
+    bool empty() const { return specs.empty(); }
+
+    /** Parse the spec grammar; fatal()s on a malformed entry. */
+    static FaultPlan parse(const std::string &spec);
+
+    /** Plan from PLD_FAULT / PLD_FAULT_SEED (empty when unset). */
+    static FaultPlan fromEnv();
+};
+
+/**
+ * Attempt numbers passed to fires() advance by this stride per cache
+ * claim generation, with the retry-ladder step in the low bits:
+ * attempt = generation * kAttemptStride + ladderStep. A "*N" spec
+ * with N <= kAttemptStride therefore scopes its faults to the first
+ * compile of an artifact; recompiles (after eviction) run clean.
+ */
+constexpr int kFaultAttemptStride = 16;
+
+/** Stateless decision engine over a FaultPlan. */
+class FaultInjector
+{
+  public:
+    FaultInjector() = default;
+    explicit FaultInjector(FaultPlan plan) : plan(std::move(plan)) {}
+
+    bool enabled() const { return !plan.empty(); }
+
+    /**
+     * Should fault @p k fire at operator @p op, attempt @p attempt?
+     * Pure function of the plan — thread-safe, reproducible.
+     */
+    bool fires(FaultKind k, const std::string &op, int attempt) const;
+
+  private:
+    FaultPlan plan;
+};
+
+} // namespace pld
+
+#endif // PLD_COMMON_FAULT_H

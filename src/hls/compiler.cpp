@@ -320,6 +320,26 @@ compileOperator(const ir::OperatorFn &fn, bool add_leaf_interface)
            << "\n";
     }
     r.report = os.str();
+
+    // The smallest page type offers ~18k LUTs (Table 1). An operator
+    // above that will need one of the scarce large pages — or
+    // decomposition (Sec 4.1) — so flag it here at the HLS boundary
+    // instead of surfacing it later as a mysterious placement
+    // failure.
+    constexpr int64_t kSmallestPageLuts = 18000;
+    if (res.luts > kSmallestPageLuts) {
+        Diagnostic d;
+        d.code = CompileCode::DoesNotFit;
+        d.stage = CompileStage::Hls;
+        d.severity = DiagSeverity::Warning;
+        d.op = fn.name;
+        d.detail = detail::format(
+            "estimated %lld LUTs exceeds the smallest page type "
+            "(~%lld)",
+            static_cast<long long>(res.luts),
+            static_cast<long long>(kSmallestPageLuts));
+        r.status.add(std::move(d));
+    }
     r.seconds = sw.seconds();
     return r;
 }

@@ -16,6 +16,7 @@
 
 #include <string>
 
+#include "common/diag.h"
 #include "hls/schedule.h"
 #include "ir/operator_fn.h"
 #include "netlist/netlist.h"
@@ -30,6 +31,14 @@ struct HlsResult
     PerfEstimate perf;
     double seconds = 0;  ///< measured wall time of this stage
     std::string report;  ///< human-readable schedule summary
+    /**
+     * Structured outcome. HLS emission itself is deterministic and
+     * total, so today this carries Warnings (an operator whose
+     * estimated resources exceed the smallest page type and will
+     * need a large page — or decomposition, Sec 4.1), but the
+     * compile manager treats it as the stage's authoritative status.
+     */
+    CompileStatus status;
 };
 
 /**

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <mutex>
+#include <sstream>
 
 #include "common/logging.h"
 #include "common/stopwatch.h"
@@ -30,9 +31,99 @@ optLevelName(OptLevel level)
     return "?";
 }
 
-PldCompiler::PldCompiler(const Device &dev, CompileOptions opts)
-    : dev(dev), opts(opts)
+const char *
+ladderStepName(LadderStep s)
 {
+    switch (s) {
+      case LadderStep::Initial: return "initial";
+      case LadderStep::EscalateEffort: return "escalate-effort";
+      case LadderStep::FreshSeed: return "fresh-seed";
+      case LadderStep::PromotePage: return "promote-page";
+      case LadderStep::SoftcoreFallback: return "softcore-fallback";
+    }
+    return "?";
+}
+
+std::string
+AttemptRecord::render() const
+{
+    std::ostringstream os;
+    os << ladderStepName(step) << ": page " << page << " seed "
+       << seed << " effort " << effort;
+    if (routeIters > 0)
+        os << " iters " << routeIters;
+    os << " -> " << compileCodeName(outcome);
+    if (fmaxMHz > 0)
+        os << " (fmax " << fmaxMHz << " MHz";
+    if (overusedTiles > 0)
+        os << (fmaxMHz > 0 ? ", " : " (") << overusedTiles
+           << " overused";
+    if (fmaxMHz > 0 || overusedTiles > 0)
+        os << ")";
+    return os.str();
+}
+
+bool
+BuildReport::allOk() const
+{
+    return failedCount() == 0 && buildStatus.ok();
+}
+
+int
+BuildReport::degradedCount() const
+{
+    int n = 0;
+    for (const auto &o : ops)
+        n += o.degraded;
+    return n;
+}
+
+int
+BuildReport::failedCount() const
+{
+    int n = 0;
+    for (const auto &o : ops)
+        n += o.failed;
+    return n;
+}
+
+std::string
+BuildReport::render() const
+{
+    std::ostringstream os;
+    os << "build report: " << ops.size() << " operators, "
+       << degradedCount() << " degraded, " << failedCount()
+       << " failed\n";
+    for (const auto &o : ops) {
+        os << "  " << o.op << ": ";
+        if (o.failed)
+            os << "FAILED (" << compileCodeName(o.finalCode) << ")";
+        else if (o.degraded)
+            os << "DEGRADED -> softcore fallback after "
+               << o.attempts.size() - 1 << " failed attempts";
+        else if (o.finalCode != CompileCode::Ok)
+            os << "accepted with " << compileCodeName(o.finalCode);
+        else
+            os << "ok";
+        if (o.fromCache)
+            os << " (cached)";
+        os << "\n";
+        if (o.attempts.size() > 1 || o.degraded || o.failed) {
+            for (const auto &a : o.attempts)
+                os << "    " << a.render() << "\n";
+        }
+    }
+    if (!buildStatus.diags.empty())
+        os << buildStatus.render();
+    return os.str();
+}
+
+PldCompiler::PldCompiler(const Device &dev, CompileOptions opts)
+    : dev(dev), opts(std::move(opts))
+{
+    if (this->opts.faults.empty())
+        this->opts.faults = FaultPlan::fromEnv();
+    injector = FaultInjector(this->opts.faults);
 }
 
 void
@@ -45,45 +136,8 @@ PldCompiler::clearCache()
     cache_stats.hits = 0;
     cache_stats.misses = 0;
     cache_stats.compiles = 0;
-}
-
-std::shared_ptr<OperatorArtifact>
-PldCompiler::lookup(uint64_t key)
-{
-    CacheShard &sh = shards[key % kCacheShards];
-    std::unique_lock<std::mutex> lk(sh.mtx);
-    auto it = sh.map.find(key);
-    if (it == sh.map.end()) {
-        // First miss claims the slot; the caller compiles it.
-        sh.map.emplace(key, CacheEntry{});
-        ++cache_stats.misses;
-        return nullptr;
-    }
-    ++cache_stats.hits;
-    // A null artifact means another thread is compiling this key
-    // right now; wait for it rather than compiling twice.
-    std::shared_ptr<OperatorArtifact> art;
-    sh.cv.wait(lk, [&] {
-        auto i = sh.map.find(key);
-        if (i == sh.map.end() || i->second.art == nullptr)
-            return false;
-        art = i->second.art;
-        return true;
-    });
-    return art;
-}
-
-void
-PldCompiler::publish(uint64_t key,
-                     std::shared_ptr<OperatorArtifact> art)
-{
-    CacheShard &sh = shards[key % kCacheShards];
-    {
-        std::lock_guard<std::mutex> lk(sh.mtx);
-        sh.map[key].art = std::move(art);
-    }
-    ++cache_stats.compiles;
-    sh.cv.notify_all();
+    cache_stats.failures = 0;
+    cache_stats.corrupt = 0;
 }
 
 namespace {
@@ -100,16 +154,163 @@ cacheKey(const ir::OperatorFn &fn, ir::Target target, int page_id,
     return h.digest();
 }
 
+/**
+ * Content checksum over everything a cache hit hands back. Stored at
+ * publish time and re-verified on every hit, so a corrupted entry is
+ * detected and recompiled instead of silently poisoning a build.
+ */
+uint64_t
+artifactChecksum(const OperatorArtifact &a)
+{
+    Hasher h;
+    h.str(a.name);
+    h.u64(a.irHash);
+    h.u64(static_cast<uint64_t>(a.target));
+    h.i64(a.page);
+    h.u64(a.net.contentHash());
+    h.u64(a.pnr.bits.hash);
+    h.u64(a.pnr.bits.bytes);
+    h.u64(a.elf.entry);
+    h.u64(a.elf.memBytes);
+    h.i64(a.elf.pageNum);
+    if (!a.elf.text.empty())
+        h.bytes(a.elf.text.data(), a.elf.text.size() * 4);
+    if (!a.elf.data.empty())
+        h.bytes(a.elf.data.data(), a.elf.data.size());
+    return h.digest();
+}
+
+/** splitmix64 step: derive the fresh-seed rung's seed. */
+uint64_t
+deriveSeed(uint64_t seed)
+{
+    uint64_t z = seed + 0x9E3779B97F4A7C15ull;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+}
+
+/** True when the artifact must not satisfy a higher-effort lookup:
+ * it took the softcore fallback or closed with a non-Ok code. */
+bool
+isDegraded(const OperatorArtifact &a)
+{
+    return a.outcome.degraded ||
+           a.outcome.finalCode != CompileCode::Ok;
+}
+
 } // namespace
 
 std::shared_ptr<OperatorArtifact>
-PldCompiler::compileHwPage(const ir::OperatorFn &fn, int page_id)
+PldCompiler::lookup(uint64_t key, double effort, int *generation)
+{
+    CacheShard &sh = shards[key % kCacheShards];
+    std::unique_lock<std::mutex> lk(sh.mtx);
+    auto it = sh.map.find(key);
+    if (it == sh.map.end()) {
+        // First miss claims the slot; the caller compiles it.
+        *generation = sh.map[key].generation++;
+        ++cache_stats.misses;
+        return nullptr;
+    }
+    // A null artifact means another thread is compiling this key
+    // right now; wait for it rather than compiling twice. A failure
+    // sentinel wakes exactly one waiter to re-claim the compile.
+    std::shared_ptr<OperatorArtifact> art;
+    bool claimed = false;
+    sh.cv.wait(lk, [&] {
+        auto i = sh.map.find(key);
+        if (i == sh.map.end())
+            return false;
+        CacheEntry &e = i->second;
+        if (e.failed) {
+            e.failed = false;
+            *generation = e.generation++;
+            claimed = true;
+            return true;
+        }
+        if (e.art == nullptr)
+            return false;
+        art = e.art;
+        return true;
+    });
+    if (claimed) {
+        ++cache_stats.misses;
+        return nullptr;
+    }
+    CacheEntry &e = sh.map[key];
+    if (artifactChecksum(*art) != e.checksum) {
+        // Corrupt entry: evict and re-claim; waiters (if any) block
+        // until our recompile publishes.
+        pld_warn("cache: corrupt artifact for %s (checksum "
+                 "mismatch); recompiling",
+                 art->name.c_str());
+        e.art = nullptr;
+        *generation = e.generation++;
+        ++cache_stats.corrupt;
+        ++cache_stats.misses;
+        return nullptr;
+    }
+    if (isDegraded(*art) && effort > art->effortUsed + 1e-12) {
+        // Never serve a degraded/fallback artifact to a build asking
+        // for more effort than it was compiled with: re-claim and
+        // retry the full ladder at the higher effort.
+        e.art = nullptr;
+        *generation = e.generation++;
+        ++cache_stats.misses;
+        return nullptr;
+    }
+    ++cache_stats.hits;
+    return art;
+}
+
+void
+PldCompiler::publish(uint64_t key,
+                     std::shared_ptr<OperatorArtifact> art,
+                     int generation)
+{
+    uint64_t sum = artifactChecksum(*art);
+    if (injector.fires(FaultKind::CacheCorrupt, art->name,
+                       generation * kFaultAttemptStride)) {
+        // Injected corruption: the stored checksum no longer matches
+        // the artifact, exactly as a bit-rotted entry would look.
+        sum ^= 0xC0FFEEBADC0DEull;
+    }
+    CacheShard &sh = shards[key % kCacheShards];
+    {
+        std::lock_guard<std::mutex> lk(sh.mtx);
+        CacheEntry &e = sh.map[key];
+        e.art = std::move(art);
+        e.checksum = sum;
+        e.failed = false;
+    }
+    ++cache_stats.compiles;
+    sh.cv.notify_all();
+}
+
+void
+PldCompiler::publishFailure(uint64_t key)
+{
+    CacheShard &sh = shards[key % kCacheShards];
+    {
+        std::lock_guard<std::mutex> lk(sh.mtx);
+        sh.map[key].failed = true;
+    }
+    ++cache_stats.failures;
+    sh.cv.notify_all();
+}
+
+std::shared_ptr<OperatorArtifact>
+PldCompiler::attemptHw(const ir::OperatorFn &fn, int page_id,
+                       uint64_t seed, double effort, int route_iters,
+                       int fault_attempt)
 {
     auto art = std::make_shared<OperatorArtifact>();
     art->name = fn.name;
     art->irHash = fn.contentHash();
     art->target = ir::Target::HW;
     art->page = page_id;
+    art->effortUsed = effort;
 
     // Stage times are this thread's CPU time: the own-node compile
     // cost Table 2 models. Wall clocks here would double-charge
@@ -120,20 +321,29 @@ PldCompiler::compileHwPage(const ir::OperatorFn &fn, int page_id)
     auto hr = hls::compileOperator(fn, /*leaf_interface=*/true);
     art->net = std::move(hr.net);
     art->perf = hr.perf;
+    art->outcome.status.merge(hr.status);
     art->times.hls = stage.seconds();
 
     // syn stage.
     stage.reset();
-    hls::synthesize(art->net, opts.effort);
+    hls::synthesize(art->net, effort);
     art->times.syn = stage.seconds();
 
     // p&r into the page under the abstract shell.
     pnr::PnrOptions popts;
-    popts.effort = opts.effort;
-    popts.seed = opts.seed;
+    popts.effort = effort;
+    popts.seed = seed;
     popts.abstractShell = true;
     popts.threads = opts.pnrThreads;
     popts.placeRestarts = opts.pnrRestarts;
+    popts.routeMaxIters = route_iters;
+    popts.requiredFmaxMHz = opts.overlayClockMHz;
+    popts.injectRouteFail =
+        injector.fires(FaultKind::RouteFail, fn.name, fault_attempt);
+    popts.injectFmaxDerate =
+        injector.fires(FaultKind::TimingMiss, fn.name, fault_attempt)
+            ? 0.4
+            : 1.0;
     const Rect &region = dev.pages[page_id].rect;
     art->pnr = pnr::placeAndRoute(art->net, dev, region, popts);
     // CPU split from the engine, for the same reason as above; the
@@ -146,13 +356,186 @@ PldCompiler::compileHwPage(const ir::OperatorFn &fn, int page_id)
 }
 
 std::shared_ptr<OperatorArtifact>
-PldCompiler::compileSoftcore(const ir::OperatorFn &fn, int page_id)
+PldCompiler::compileHwLadder(const ir::OperatorFn &fn, int page_id,
+                             int promo_page, double effort,
+                             int generation)
 {
+    const int base = generation * kFaultAttemptStride;
+    if (injector.fires(FaultKind::CompileThrow, fn.name, base)) {
+        Diagnostic d;
+        d.code = CompileCode::CompileException;
+        d.stage = CompileStage::Hls;
+        d.severity = DiagSeverity::Error;
+        d.op = fn.name;
+        d.page = page_id;
+        d.retriable = true;
+        d.detail = "injected mid-compile exception";
+        throw CompileError(std::move(d));
+    }
+
+    OperatorOutcome outcome;
+    outcome.op = fn.name;
+
+    LadderStep step = LadderStep::Initial;
+    int page = page_id;
+    uint64_t seed = opts.seed;
+    double eff = effort;
+    int iters = pnr::PnrOptions{}.routeMaxIters;
+    StageTimes spent; // CPU burned on failed attempts
+
+    for (int attempt = 0;; ++attempt) {
+        if (step == LadderStep::SoftcoreFallback) {
+            // The paper's mixed mode (Sec 6.2): -O0-map this one
+            // operator onto its page's softcore; the rest of the
+            // app stays on hardware pages.
+            auto art = compileSoftcore(fn, page_id, generation);
+            art->effortUsed = effort;
+            AttemptRecord rec;
+            rec.step = step;
+            rec.page = page_id;
+            rec.seed = seed;
+            rec.effort = eff;
+            rec.outcome = CompileCode::Ok;
+            outcome.attempts.push_back(rec);
+            outcome.degraded = true;
+            outcome.finalCode = CompileCode::Ok;
+            Diagnostic d;
+            d.code = outcome.status.firstError();
+            d.stage = CompileStage::Route;
+            d.severity = DiagSeverity::Warning;
+            d.op = fn.name;
+            d.page = page_id;
+            d.detail = detail::format(
+                "degraded to softcore (-O0 mixed mode) after %zu "
+                "failed hardware attempts",
+                outcome.attempts.size() - 1);
+            pld_warn("%s: %s", fn.name.c_str(), d.detail.c_str());
+            outcome.status.add(std::move(d));
+            art->outcome = std::move(outcome);
+            art->times += spent;
+            return art;
+        }
+
+        auto art = attemptHw(fn, page, seed, eff, iters,
+                             base + attempt);
+        // HLS warnings are identical across attempts; keep one copy.
+        if (attempt == 0)
+            outcome.status.merge(art->outcome.status);
+        AttemptRecord rec;
+        rec.step = step;
+        rec.page = page;
+        rec.seed = seed;
+        rec.effort = eff;
+        rec.routeIters = iters;
+        rec.outcome = art->pnr.status.firstError();
+        rec.fmaxMHz = art->pnr.timing.fmaxMHz;
+        rec.overusedTiles = art->pnr.routing.overusedTiles;
+        outcome.attempts.push_back(rec);
+        outcome.status.merge(art->pnr.status);
+
+        if (art->pnr.success) {
+            outcome.finalCode = CompileCode::Ok;
+            art->outcome = std::move(outcome);
+            art->times += spent;
+            return art;
+        }
+        spent += art->times;
+
+        CompileCode failure = art->pnr.status.firstError();
+        if (failure == CompileCode::TimingMiss &&
+            art->pnr.routing.feasible) {
+            // Timing ladder: escalate effort, then a fresh seed,
+            // then accept the slow page with a warning — the overlay
+            // clock simply derates to the achieved Fmax. A softcore
+            // would be slower still, so it is never the answer to a
+            // timing miss.
+            switch (step) {
+              case LadderStep::Initial:
+                step = LadderStep::EscalateEffort;
+                eff *= 2;
+                break;
+              case LadderStep::EscalateEffort:
+                step = LadderStep::FreshSeed;
+                seed = deriveSeed(seed);
+                break;
+              default: {
+                outcome.finalCode = CompileCode::TimingMiss;
+                Diagnostic d;
+                d.code = CompileCode::TimingMiss;
+                d.stage = CompileStage::Timing;
+                d.severity = DiagSeverity::Warning;
+                d.op = fn.name;
+                d.page = page;
+                d.detail = detail::format(
+                    "accepted at %.1f MHz below the %.1f MHz "
+                    "overlay clock after %zu attempts; overlay "
+                    "clock derated",
+                    art->pnr.timing.fmaxMHz, opts.overlayClockMHz,
+                    outcome.attempts.size());
+                pld_warn("%s: %s", fn.name.c_str(),
+                         d.detail.c_str());
+                outcome.status.add(std::move(d));
+                art->outcome = std::move(outcome);
+                art->times += spent;
+                return art;
+              }
+            }
+        } else {
+            // Routing (or combined) ladder: more negotiation
+            // iterations and effort, a fresh placement seed, the
+            // reserved larger page, and finally the softcore.
+            switch (step) {
+              case LadderStep::Initial:
+                step = LadderStep::EscalateEffort;
+                eff *= 2;
+                iters *= 4;
+                break;
+              case LadderStep::EscalateEffort:
+                step = LadderStep::FreshSeed;
+                seed = deriveSeed(seed);
+                break;
+              case LadderStep::FreshSeed:
+                if (promo_page >= 0) {
+                    step = LadderStep::PromotePage;
+                    page = promo_page;
+                } else {
+                    step = LadderStep::SoftcoreFallback;
+                }
+                break;
+              default:
+                step = LadderStep::SoftcoreFallback;
+                break;
+            }
+        }
+    }
+}
+
+std::shared_ptr<OperatorArtifact>
+PldCompiler::compileSoftcore(const ir::OperatorFn &fn, int page_id,
+                             int generation)
+{
+    if (injector.fires(FaultKind::CompileThrow, fn.name,
+                       generation * kFaultAttemptStride)) {
+        Diagnostic d;
+        d.code = CompileCode::CompileException;
+        d.stage = CompileStage::Hls;
+        d.severity = DiagSeverity::Error;
+        d.op = fn.name;
+        d.page = page_id;
+        d.retriable = true;
+        d.detail = "injected mid-compile exception";
+        throw CompileError(std::move(d));
+    }
     auto art = std::make_shared<OperatorArtifact>();
     art->name = fn.name;
     art->irHash = fn.contentHash();
     art->target = ir::Target::RISCV;
     art->page = page_id;
+    art->effortUsed = opts.effort;
+    art->outcome.op = fn.name;
+    art->outcome.attempts.push_back(
+        AttemptRecord{LadderStep::Initial, page_id, opts.seed, 0, 0,
+                      CompileCode::Ok, 0, 0});
     ThreadCpuStopwatch stage;
     auto rv = rvgen::compileToRiscv(fn);
     art->elf = std::move(rv.elf);
@@ -164,17 +547,33 @@ PldCompiler::compileSoftcore(const ir::OperatorFn &fn, int page_id)
     return art;
 }
 
-std::vector<int>
+PldCompiler::PagePlan
 PldCompiler::assignPages(const ir::Graph &g, OptLevel level) const
 {
-    std::vector<int> assignment(g.ops.size(), -1);
+    PagePlan plan;
+    plan.page.assign(g.ops.size(), -1);
+    plan.promo.assign(g.ops.size(), -1);
     if (level == OptLevel::O3 || level == OptLevel::Vitis) {
         // Monolithic flows ignore pages entirely.
         for (size_t oi = 0; oi < g.ops.size(); ++oi)
-            assignment[oi] = static_cast<int>(oi);
-        return assignment;
+            plan.page[oi] = static_cast<int>(oi);
+        return plan;
     }
+    std::vector<int> &assignment = plan.page;
     std::vector<bool> page_taken(dev.pages.size(), false);
+
+    // Lazily estimated per-operator resources, shared between the
+    // first-fit pass and promotion reservation below.
+    std::vector<ResourceCount> need(g.ops.size());
+    std::vector<bool> have_need(g.ops.size(), false);
+    auto needOf = [&](size_t oi) -> const ResourceCount & {
+        if (!have_need[oi]) {
+            auto hr = hls::compileOperator(g.ops[oi].fn, true);
+            need[oi] = hr.net.resources();
+            have_need[oi] = true;
+        }
+        return need[oi];
+    };
 
     // Honour explicit pragma placements first (Fig 2a: p_num).
     for (size_t oi = 0; oi < g.ops.size(); ++oi) {
@@ -195,17 +594,16 @@ PldCompiler::assignPages(const ir::Graph &g, OptLevel level) const
     for (size_t oi = 0; oi < g.ops.size(); ++oi) {
         if (assignment[oi] >= 0)
             continue;
-        ResourceCount need;
+        ResourceCount est;
         if (level != OptLevel::O0 &&
             g.ops[oi].fn.pragma.target == ir::Target::HW) {
-            auto hr = hls::compileOperator(g.ops[oi].fn, true);
-            need = hr.net.resources();
+            est = needOf(oi);
         }
         int chosen = -1;
         for (size_t pi = 0; pi < dev.pages.size(); ++pi) {
             if (page_taken[pi])
                 continue;
-            if (dev.pages[pi].res.covers(need)) {
+            if (dev.pages[pi].res.covers(est)) {
                 chosen = static_cast<int>(pi);
                 break;
             }
@@ -217,17 +615,48 @@ PldCompiler::assignPages(const ir::Graph &g, OptLevel level) const
         assignment[oi] = chosen;
         page_taken[chosen] = true;
     }
-    return assignment;
+
+    // Reserve a promotion target per HW operator: the first free
+    // page with strictly more LUTs than the assigned page that still
+    // covers the operator's estimated resources. Reservations happen
+    // here, in operator index order, before any compile starts — so
+    // the PromotePage rung is a pure function of the graph and
+    // device, never of which operator happens to fail first under
+    // parallel compilation. Unused reservations cost nothing.
+    if (level == OptLevel::O1) {
+        for (size_t oi = 0; oi < g.ops.size(); ++oi) {
+            if (g.ops[oi].fn.pragma.target != ir::Target::HW)
+                continue;
+            const ResourceCount &cur =
+                dev.pages[assignment[oi]].res;
+            for (size_t pi = 0; pi < dev.pages.size(); ++pi) {
+                if (page_taken[pi])
+                    continue;
+                const ResourceCount &cand = dev.pages[pi].res;
+                if (cand.luts > cur.luts &&
+                    cand.covers(needOf(oi))) {
+                    plan.promo[oi] = static_cast<int>(pi);
+                    page_taken[pi] = true;
+                    break;
+                }
+            }
+        }
+    }
+    return plan;
 }
 
 AppBuild
-PldCompiler::build(const ir::Graph &g, OptLevel level)
+PldCompiler::build(const ir::Graph &g, OptLevel level,
+                   double effort_override)
 {
     AppBuild out;
     out.level = level;
     out.dfg = ir::extractDfg(g);
+    const double eff =
+        effort_override > 0 ? effort_override : opts.effort;
 
-    std::vector<int> page_of = assignPages(g, level);
+    PagePlan plan = assignPages(g, level);
+    const std::vector<int> &page_of = plan.page;
 
     bool monolithic =
         (level == OptLevel::O3 || level == OptLevel::Vitis);
@@ -237,6 +666,23 @@ PldCompiler::build(const ir::Graph &g, OptLevel level)
     // goes through the sharded lookup/publish protocol, so there is
     // no coarse compile-section mutex and nested parallelism (pages
     // x P&R threads) composes through the shared ThreadBudget.
+    //
+    // A compile that throws must never strand cache waiters: the
+    // sentinel guard publishes a failure marker on the way out of
+    // scope unless the compile completed, and the catch blocks turn
+    // the exception into a failed OperatorOutcome instead of letting
+    // it escape into the thread pool.
+    struct FailureSentinel
+    {
+        PldCompiler *pc;
+        uint64_t key;
+        bool armed;
+        ~FailureSentinel()
+        {
+            if (armed)
+                pc->publishFailure(key);
+        }
+    };
     out.ops.resize(g.ops.size());
     auto compile_one = [&](size_t oi) {
         const auto &fn = g.ops[oi].fn;
@@ -248,38 +694,76 @@ PldCompiler::build(const ir::Graph &g, OptLevel level)
         else
             tgt = fn.pragma.target;
 
-        std::shared_ptr<OperatorArtifact> art;
-        uint64_t key = 0;
-        if (!monolithic) {
-            key = cacheKey(fn, tgt, page_of[oi], true);
-            art = lookup(key);
-        }
-
-        bool cached = (art != nullptr);
-        if (!art) {
-            if (monolithic) {
-                // Bare kernel netlist for stitching; the
-                // monolithic p&r happens below.
-                art = std::make_shared<OperatorArtifact>();
-                art->name = fn.name;
-                art->irHash = fn.contentHash();
-                art->target = ir::Target::HW;
-                ThreadCpuStopwatch stage;
-                auto hr = hls::compileOperator(fn, false);
-                art->net = std::move(hr.net);
-                art->perf = hr.perf;
-                art->times.hls = stage.seconds();
-            } else if (tgt == ir::Target::HW) {
-                art = compileHwPage(fn, page_of[oi]);
-            } else {
-                art = compileSoftcore(fn, page_of[oi]);
+        try {
+            std::shared_ptr<OperatorArtifact> art;
+            uint64_t key = 0;
+            int gen = 0;
+            if (!monolithic) {
+                key = cacheKey(fn, tgt, page_of[oi], true);
+                art = lookup(key, eff, &gen);
             }
-            if (!monolithic)
-                publish(key, art);
+
+            bool cached = (art != nullptr);
+            if (!art) {
+                if (monolithic) {
+                    // Bare kernel netlist for stitching; the
+                    // monolithic p&r happens below.
+                    art = std::make_shared<OperatorArtifact>();
+                    art->name = fn.name;
+                    art->irHash = fn.contentHash();
+                    art->target = ir::Target::HW;
+                    ThreadCpuStopwatch stage;
+                    auto hr = hls::compileOperator(fn, false);
+                    art->net = std::move(hr.net);
+                    art->perf = hr.perf;
+                    art->outcome.status.merge(hr.status);
+                    art->times.hls = stage.seconds();
+                } else {
+                    FailureSentinel guard{this, key, true};
+                    if (tgt == ir::Target::HW) {
+                        art = compileHwLadder(fn, page_of[oi],
+                                              plan.promo[oi], eff,
+                                              gen);
+                    } else {
+                        art = compileSoftcore(fn, page_of[oi], gen);
+                    }
+                    guard.armed = false;
+                    publish(key, art, gen);
+                }
+            }
+            out.ops[oi] = *art;
+            out.ops[oi].fromCache = cached;
+            if (monolithic)
+                out.ops[oi].page = page_of[oi];
+        } catch (const CompileError &ce) {
+            OperatorOutcome bad;
+            bad.op = fn.name;
+            bad.failed = true;
+            bad.finalCode = ce.diag().code;
+            bad.status.add(ce.diag());
+            out.ops[oi] = OperatorArtifact{};
+            out.ops[oi].name = fn.name;
+            out.ops[oi].page = page_of[oi];
+            out.ops[oi].outcome = std::move(bad);
+        } catch (const std::exception &e) {
+            Diagnostic d;
+            d.code = CompileCode::CompileException;
+            d.stage = CompileStage::Hls;
+            d.severity = DiagSeverity::Error;
+            d.op = fn.name;
+            d.page = page_of[oi];
+            d.retriable = true;
+            d.detail = e.what();
+            OperatorOutcome bad;
+            bad.op = fn.name;
+            bad.failed = true;
+            bad.finalCode = CompileCode::CompileException;
+            bad.status.add(std::move(d));
+            out.ops[oi] = OperatorArtifact{};
+            out.ops[oi].name = fn.name;
+            out.ops[oi].page = page_of[oi];
+            out.ops[oi].outcome = std::move(bad);
         }
-        out.ops[oi] = *art;
-        out.ops[oi].fromCache = cached;
-        out.ops[oi].page = page_of[oi];
     };
     {
         unsigned want = opts.parallelJobs ? opts.parallelJobs
@@ -301,6 +785,11 @@ PldCompiler::build(const ir::Graph &g, OptLevel level)
             out.cpuTimes += art.times;
         StageTimes wall = art.fromCache ? StageTimes{} : art.times;
         out.wallTimes.maxWith(wall);
+        OperatorOutcome oc = art.outcome;
+        if (oc.op.empty())
+            oc.op = art.name;
+        oc.fromCache = art.fromCache;
+        out.report.ops.push_back(std::move(oc));
     }
 
     // ---- monolithic stitch + p&r (O3 / Vitis) ---------------------
@@ -357,18 +846,21 @@ PldCompiler::build(const ir::Graph &g, OptLevel level)
                 mono.addSink(n1, dst_cell);
             }
         }
-        auto sr = hls::synthesize(mono, opts.effort);
+        auto sr = hls::synthesize(mono, eff);
         out.wallTimes.syn += syn_sw.seconds();
         out.cpuTimes.syn += sr.seconds;
 
         pnr::PnrOptions popts;
-        popts.effort = opts.effort;
+        popts.effort = eff;
         popts.seed = opts.seed;
         popts.abstractShell = false; // full-context monolithic run
         popts.threads = opts.pnrThreads;
         popts.placeRestarts = opts.pnrRestarts;
         Rect user{0, 0, 120, 576};
         out.monoPnr = pnr::placeAndRoute(mono, dev, user, popts);
+        // Monolithic failures have no page ladder to climb; surface
+        // them as build-level diagnostics nobody can miss.
+        out.report.buildStatus.merge(out.monoPnr.status);
         out.monoNet = std::move(mono);
         // The monolithic run happens after the page pool is done, so
         // its wall time is uncontended and honest; CPU totals use the
@@ -387,8 +879,10 @@ PldCompiler::build(const ir::Graph &g, OptLevel level)
     } else {
         // Overlay designs: area is the sum over pages; Fmax is the
         // 200 MHz overlay clock (never above page timing).
-        double fmax = 200.0;
+        double fmax = opts.overlayClockMHz;
         for (auto &art : out.ops) {
+            if (art.outcome.failed)
+                continue;
             if (art.target == ir::Target::HW) {
                 out.area += art.net.resources();
                 out.totalBitstreamBytes += art.pnr.bits.bytes;
@@ -415,7 +909,11 @@ PldCompiler::build(const ir::Graph &g, OptLevel level)
     for (size_t oi = 0; oi < g.ops.size(); ++oi) {
         sys::PageBinding b;
         b.opIdx = static_cast<int>(oi);
-        b.pageId = monolithic ? static_cast<int>(oi) : page_of[oi];
+        // Non-monolithic bindings follow the artifact's actual page:
+        // a promoted operator runs on its promotion target, not the
+        // page the first-fit plan chose.
+        b.pageId = monolithic ? static_cast<int>(oi)
+                              : out.ops[oi].page;
         if (out.ops[oi].target == ir::Target::RISCV) {
             b.impl = sys::PageImpl::Softcore;
             b.elf = out.ops[oi].elf;

@@ -36,6 +36,8 @@
 #include <string>
 #include <vector>
 
+#include "common/diag.h"
+#include "common/fault.h"
 #include "fabric/device.h"
 #include "hls/compiler.h"
 #include "ir/graph.h"
@@ -83,6 +85,71 @@ struct StageTimes
     }
 };
 
+/**
+ * Escalation rungs of the per-page retry ladder. A failed page
+ * compile climbs them in order until one succeeds; the final rung is
+ * the paper's mixed mode (Sec 6.2): any operator may be -O0-mapped
+ * onto its page's softcore, so a build can always complete.
+ */
+enum class LadderStep : uint8_t
+{
+    Initial,          ///< first attempt, baseline options
+    EscalateEffort,   ///< more router iterations + placement effort
+    FreshSeed,        ///< re-place with a derived fresh seed
+    PromotePage,      ///< move to the reserved larger page
+    SoftcoreFallback, ///< -O0-map the operator (mixed mode)
+};
+
+const char *ladderStepName(LadderStep s);
+
+/** One ladder rung as actually executed (build-report line). */
+struct AttemptRecord
+{
+    LadderStep step = LadderStep::Initial;
+    int page = -1;
+    uint64_t seed = 0;
+    double effort = 0;
+    int routeIters = 0;
+    CompileCode outcome = CompileCode::Ok;
+    double fmaxMHz = 0;
+    int overusedTiles = 0;
+
+    std::string render() const;
+};
+
+/**
+ * Per-operator compile outcome: what AppBuild carries instead of
+ * pretending every compile succeeded. `degraded` means the softcore
+ * fallback rung was taken; `failed` means no artifact exists at all
+ * (an exception escaped the ladder). The attempt list is the full
+ * ladder as executed — deterministic, so the same seed and the same
+ * injected faults reproduce it bit-for-bit.
+ */
+struct OperatorOutcome
+{
+    std::string op;
+    CompileCode finalCode = CompileCode::Ok;
+    bool degraded = false;
+    bool failed = false;
+    bool fromCache = false;
+    std::vector<AttemptRecord> attempts;
+    CompileStatus status;
+};
+
+/** Whole-build failure/degradation summary. */
+struct BuildReport
+{
+    std::vector<OperatorOutcome> ops;
+    /** Build-level events (monolithic p&r failures, link issues). */
+    CompileStatus buildStatus;
+
+    /** No operator failed outright and no build-level error. */
+    bool allOk() const;
+    int degradedCount() const;
+    int failedCount() const;
+    std::string render() const;
+};
+
 /** One operator's compiled artifact. */
 struct OperatorArtifact
 {
@@ -92,6 +159,11 @@ struct OperatorArtifact
     int page = -1;
     StageTimes times;
     bool fromCache = false;
+    /** Effort the artifact was compiled at (degraded artifacts are
+     * never served to a higher-effort build). */
+    double effortUsed = 0;
+    /** Ladder history + structured diagnostics for this artifact. */
+    OperatorOutcome outcome;
 
     // HW flavour.
     netlist::Netlist net;
@@ -115,6 +187,18 @@ struct CompileOptions
     /** Annealing restarts per placement (best-cost wins). */
     int pnrRestarts = 1;
     uint64_t seed = 1;
+    /**
+     * Overlay clock paged compiles must close timing against
+     * (Sec 5: the 200 MHz linking-network clock). An achieved page
+     * Fmax below it triggers the timing retry ladder.
+     */
+    double overlayClockMHz = 200.0;
+    /**
+     * Fault-injection plan for exercising recovery paths. When left
+     * empty, PLD_FAULT / PLD_FAULT_SEED are consulted (see
+     * common/fault.h for the grammar).
+     */
+    FaultPlan faults;
 };
 
 /**
@@ -130,6 +214,13 @@ struct CacheStats
     std::atomic<uint64_t> misses{0};
     /** Artifacts actually compiled (never exceeds misses). */
     std::atomic<uint64_t> compiles{0};
+    /** In-flight compiles that threw; each published a failure
+     * sentinel so waiters woke instead of hanging. At quiescence
+     * compiles + failures == misses. */
+    std::atomic<uint64_t> failures{0};
+    /** Checksum-mismatch evictions; each corrupt entry is detected
+     * on lookup and recompiled exactly once. */
+    std::atomic<uint64_t> corrupt{0};
 };
 
 /** Result of building one application at one opt level. */
@@ -160,6 +251,11 @@ struct AppBuild
     /** Ready-to-run system configuration. */
     std::vector<sys::PageBinding> bindings;
     sys::SystemConfig sysCfg;
+
+    /** Per-operator outcomes + build-level diagnostics: which
+     * operators degraded or failed, and the exact ladder each one
+     * climbed. */
+    BuildReport report;
 };
 
 /**
@@ -174,9 +270,12 @@ class PldCompiler
     /**
      * Compile @p g at @p level. For O1, operator pragmas select HW
      * pages vs softcores per operator; O0 forces every operator to
-     * the softcore overlay.
+     * the softcore overlay. @p effort_override (> 0) replaces the
+     * configured effort for this build; degraded cache entries from
+     * lower-effort builds are recompiled rather than served.
      */
-    AppBuild build(const ir::Graph &g, OptLevel level);
+    AppBuild build(const ir::Graph &g, OptLevel level,
+                   double effort_override = 0);
 
     const CacheStats &cacheStats() const { return cache_stats; }
 
@@ -185,13 +284,22 @@ class PldCompiler
 
   private:
     /**
-     * One artifact slot. `art == nullptr` while the first thread to
-     * miss is still compiling; later arrivals wait on the shard's
+     * One artifact slot. `art == nullptr` while the claiming thread
+     * is still compiling; later arrivals wait on the shard's
      * condition variable instead of compiling the artifact again.
+     * If the claimant throws, it publishes `failed = true` (via an
+     * RAII sentinel) so exactly one waiter wakes, re-claims the
+     * slot, and recompiles — waiters never hang on a dead compile.
+     * `generation` counts claims, giving the fault injector a
+     * deterministic per-key attempt coordinate; `checksum` detects
+     * corrupted artifacts on lookup.
      */
     struct CacheEntry
     {
         std::shared_ptr<OperatorArtifact> art;
+        bool failed = false;
+        int generation = 0;
+        uint64_t checksum = 0;
     };
 
     /**
@@ -208,23 +316,54 @@ class PldCompiler
     };
     static constexpr size_t kCacheShards = 16;
 
+    /** Deterministic page plan: initial assignment plus a reserved
+     * promotion target per operator (-1 when none is free). */
+    struct PagePlan
+    {
+        std::vector<int> page;
+        std::vector<int> promo;
+    };
+
+    /**
+     * The fault-tolerant page compile: run the retry ladder until an
+     * attempt succeeds or the softcore fallback completes. Throws
+     * CompileError only for mid-compile exceptions (including
+     * injected ones); every routing/timing failure is handled by
+     * climbing the ladder.
+     */
     std::shared_ptr<OperatorArtifact>
-    compileHwPage(const ir::OperatorFn &fn, int page_id);
+    compileHwLadder(const ir::OperatorFn &fn, int page_id,
+                    int promo_page, double effort, int generation);
+
+    /** One backend attempt with explicit knobs (a ladder rung). */
     std::shared_ptr<OperatorArtifact>
-    compileSoftcore(const ir::OperatorFn &fn, int page_id);
+    attemptHw(const ir::OperatorFn &fn, int page_id, uint64_t seed,
+              double effort, int route_iters, int fault_attempt);
+
+    std::shared_ptr<OperatorArtifact>
+    compileSoftcore(const ir::OperatorFn &fn, int page_id,
+                    int generation);
 
     /** Cache lookup: returns the artifact (waiting out an in-flight
      * compile if needed) or nullptr when this caller must compile
-     * and then publish() the result. */
-    std::shared_ptr<OperatorArtifact> lookup(uint64_t key);
-    void publish(uint64_t key, std::shared_ptr<OperatorArtifact> art);
+     * and then publish() the result. Corrupt entries and degraded
+     * entries below @p effort are evicted and re-claimed; a failure
+     * sentinel is re-claimed by exactly one waiter. @p generation
+     * receives this claim's per-key ordinal. */
+    std::shared_ptr<OperatorArtifact>
+    lookup(uint64_t key, double effort, int *generation);
+    void publish(uint64_t key, std::shared_ptr<OperatorArtifact> art,
+                 int generation);
+    /** Publish a failure sentinel: wakes waiters so one re-claims
+     * the compile and the rest keep waiting. */
+    void publishFailure(uint64_t key);
 
-    /** Deterministic first-fit page assignment. */
-    std::vector<int> assignPages(const ir::Graph &g,
-                                 OptLevel level) const;
+    /** Deterministic first-fit page assignment + promotion reserves. */
+    PagePlan assignPages(const ir::Graph &g, OptLevel level) const;
 
     const fabric::Device &dev;
     CompileOptions opts;
+    FaultInjector injector;
     std::array<CacheShard, kCacheShards> shards;
     CacheStats cache_stats;
 };

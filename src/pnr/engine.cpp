@@ -1,5 +1,6 @@
 #include "pnr/engine.h"
 
+#include <algorithm>
 #include <vector>
 
 #include "common/hash.h"
@@ -76,25 +77,65 @@ placeAndRoute(const Netlist &net, const Device &dev,
 
     RouterOptions ropts;
     ropts.channelCapacity = opts.channelCapacity;
+    ropts.maxIters = opts.routeMaxIters;
     ropts.seed = opts.seed;
     ropts.threads = opts.threads;
     res.routing = route(net, dev, res.place, ropts);
     res.routeSeconds = res.routing.seconds;
     res.routeCpuSeconds = res.routing.cpuSeconds;
     res.threadsUsed = res.routing.threadsUsed;
+    if (opts.injectRouteFail && res.routing.feasible) {
+        // Injected congestion: report the run exactly as a real
+        // infeasible route would, at the result boundary.
+        res.routing.feasible = false;
+        res.routing.overusedTiles =
+            std::max(res.routing.overusedTiles, 1);
+        res.routing.maxUtilization =
+            std::max(res.routing.maxUtilization, 1.01);
+    }
     if (!res.routing.feasible) {
-        pld_warn("routing left %d overused tiles (util %.2f)",
-                 res.routing.overusedTiles,
-                 res.routing.maxUtilization);
+        Diagnostic d;
+        d.code = CompileCode::RouteInfeasible;
+        d.stage = CompileStage::Route;
+        d.severity = DiagSeverity::Error;
+        d.retriable = true;
+        d.detail = detail::format(
+            "routing left %d overused tiles (util %.2f) after %d "
+            "iterations%s",
+            res.routing.overusedTiles, res.routing.maxUtilization,
+            res.routing.iterations,
+            opts.injectRouteFail ? " [injected]" : "");
+        pld_warn("%s", d.detail.c_str());
+        res.status.add(std::move(d));
     }
 
     res.timing = analyzeTiming(net, dev, res.place, opts.timing);
+    if (opts.injectFmaxDerate < 1.0) {
+        res.timing.fmaxMHz *= opts.injectFmaxDerate;
+        res.timing.critPathNs /= opts.injectFmaxDerate;
+    }
+    if (opts.requiredFmaxMHz > 0 &&
+        res.timing.fmaxMHz < opts.requiredFmaxMHz) {
+        Diagnostic d;
+        d.code = CompileCode::TimingMiss;
+        d.stage = CompileStage::Timing;
+        d.severity = DiagSeverity::Error;
+        d.retriable = true;
+        d.detail = detail::format(
+            "fmax %.1f MHz below required %.1f MHz (crit path "
+            "%.2f ns on %s)%s",
+            res.timing.fmaxMHz, opts.requiredFmaxMHz,
+            res.timing.critPathNs, res.timing.critNetName.c_str(),
+            opts.injectFmaxDerate < 1.0 ? " [injected]" : "");
+        res.status.add(std::move(d));
+        res.timingMet = false;
+    }
 
     Stopwatch bg;
     res.bits = generateBitstream(net, region);
     res.bitgenSeconds = bg.seconds();
 
-    res.success = res.routing.feasible;
+    res.success = res.routing.feasible && res.timingMet;
     res.totalSeconds = total.seconds();
     return res;
 }

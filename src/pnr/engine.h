@@ -11,6 +11,7 @@
 #ifndef PLD_PNR_ENGINE_H
 #define PLD_PNR_ENGINE_H
 
+#include "common/diag.h"
 #include "pnr/placer.h"
 #include "pnr/router.h"
 #include "pnr/timing.h"
@@ -47,6 +48,25 @@ struct PnrOptions
     unsigned threads = 0;
     /** Independent annealing restarts; best-cost placement wins. */
     int placeRestarts = 1;
+    /** Rip-up/reroute negotiation iterations (retry ladders raise
+     * this to push through congestion). */
+    int routeMaxIters = 8;
+    /**
+     * Required clock in MHz; 0 disables the check. When set, an
+     * achieved Fmax below it is a structured TimingMiss error in the
+     * result status (paged -O1 compiles require the 200 MHz overlay
+     * clock).
+     */
+    double requiredFmaxMHz = 0;
+    /**
+     * Fault-injection hooks, set by the compile manager (never
+     * directly by users): force the routing result infeasible /
+     * multiply the achieved Fmax by a derate < 1. They model the
+     * failure at the reporting boundary so every downstream recovery
+     * path sees exactly what a congested or slow design produces.
+     */
+    bool injectRouteFail = false;
+    double injectFmaxDerate = 1.0;
     TimingOptions timing;
 };
 
@@ -69,7 +89,18 @@ struct PnrResult
     uint64_t placeMoves = 0;
     /** Router lanes actually used. */
     unsigned threadsUsed = 1;
+    /** Achieved Fmax meets PnrOptions::requiredFmaxMHz (vacuously
+     * true when no clock is required). */
+    bool timingMet = true;
+    /** Feasible routing AND timing met. */
     bool success = false;
+    /**
+     * Structured outcome: route infeasibility and timing misses are
+     * Error diagnostics here, not log lines — status.ok() is false
+     * whenever success is, so callers cannot silently ignore a
+     * failed backend run.
+     */
+    CompileStatus status;
 };
 
 /**

@@ -141,8 +141,52 @@ TEST(CacheStress, ClearCacheResetsCounters)
     EXPECT_EQ(pc.cacheStats().hits, 0u);
     EXPECT_EQ(pc.cacheStats().misses, 0u);
     EXPECT_EQ(pc.cacheStats().compiles, 0u);
+    EXPECT_EQ(pc.cacheStats().failures, 0u);
+    EXPECT_EQ(pc.cacheStats().corrupt, 0u);
     // Rebuild after clear recompiles everything.
     pc.build(makeApp(0.5), OptLevel::O1);
     EXPECT_EQ(pc.cacheStats().misses, 2u);
     EXPECT_EQ(pc.cacheStats().compiles, 2u);
+}
+
+TEST(CacheStress, FailureSentinelNeverStrandsWaiters)
+{
+    // Regression for the latent waiter hang: before the failure
+    // sentinel, a compile that threw left its cache entry null
+    // forever and every waiter slept on the condition variable for
+    // good. Here the first compile of "shared" throws while many
+    // threads race on the same key; the test passing at all (no
+    // hang) is the point, and the counters must still balance.
+    const int kThreads = 8;
+    CompileOptions o = quickOpts();
+    o.faults = FaultPlan::parse("throw:shared*1");
+    PldCompiler pc(device(), o);
+    Graph g = makeApp(0.5);
+
+    std::vector<int> failed(kThreads, 0);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            AppBuild b = pc.build(g, OptLevel::O1);
+            failed[t] = b.report.failedCount();
+            EXPECT_EQ(b.ops.size(), 2u);
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+
+    int total_failed = 0;
+    for (int f : failed)
+        total_failed += f;
+    EXPECT_EQ(total_failed, 1)
+        << "the injected throw surfaces in exactly one build";
+
+    const CacheStats &st = pc.cacheStats();
+    const uint64_t lookups = uint64_t(kThreads) * 2;
+    EXPECT_EQ(st.hits + st.misses, lookups)
+        << "every lookup is exactly one hit or one miss";
+    EXPECT_EQ(st.failures, 1u);
+    EXPECT_EQ(st.compiles + st.failures, st.misses)
+        << "every miss either compiled or published a failure";
+    EXPECT_EQ(st.compiles, 2u) << "no artifact compiled twice";
 }

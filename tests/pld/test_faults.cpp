@@ -1,0 +1,404 @@
+/**
+ * Fault-injection tests for the fault-tolerant compile pipeline:
+ * every recovery path the compile manager owns — the per-page retry
+ * ladder (reroute, fresh seed, page promotion, softcore fallback),
+ * cache corruption detection, and the failure-sentinel protocol —
+ * is forced deterministically via FaultPlan and checked end-to-end,
+ * including golden-model equivalence of a degraded Rosetta build.
+ */
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "common/fault.h"
+#include "fabric/device.h"
+#include "ir/builder.h"
+#include "pld/compiler.h"
+#include "rosetta/benchmark.h"
+#include "sys/system.h"
+
+using namespace pld;
+using namespace pld::ir;
+using namespace pld::flow;
+
+namespace {
+
+const fabric::Device &
+device()
+{
+    static fabric::Device d = fabric::makeU50();
+    return d;
+}
+
+OperatorFn
+makeScale(const std::string &name, double k, int n)
+{
+    constexpr Type fx = Type::fx(32, 17);
+    OpBuilder b(name);
+    auto in = b.input("in");
+    auto out = b.output("out");
+    auto x = b.var("x", fx);
+    b.forLoop(0, n, [&](Ex) {
+        b.set(x, b.read(in).bitcast(fx));
+        b.write(out, (Ex(x) * litF(k, fx)).cast(fx));
+    });
+    return b.finish();
+}
+
+/**
+ * Two-operator app. "shared" is pinned to page 1 (a type with fewer
+ * LUTs than the type-0 pages), so a strictly larger promotion target
+ * exists and the full five-rung ladder is reachable.
+ */
+Graph
+makeApp(double second_k = 0.5)
+{
+    GraphBuilder gb("app");
+    auto in = gb.extIn("I");
+    auto out = gb.extOut("O");
+    auto mid = gb.wire();
+    OperatorFn shared = makeScale("shared", 2.0, 8);
+    shared.pragma.pageNum = 1;
+    gb.inst(shared, {in}, {mid});
+    gb.inst(makeScale("tail", second_k, 8), {mid}, {out});
+    return gb.finish();
+}
+
+CompileOptions
+faultyOpts(const std::string &spec)
+{
+    CompileOptions o;
+    o.effort = 0.1;
+    o.parallelJobs = 2;
+    if (!spec.empty())
+        o.faults = FaultPlan::parse(spec);
+    return o;
+}
+
+const OperatorOutcome &
+outcomeOf(const AppBuild &b, const std::string &op)
+{
+    for (const auto &o : b.report.ops) {
+        if (o.op == op)
+            return o;
+    }
+    ADD_FAILURE() << "no outcome for operator " << op;
+    static OperatorOutcome none;
+    return none;
+}
+
+} // namespace
+
+// -------- plan parsing and the decision function --------------------
+
+TEST(Fault, PlanParsing)
+{
+    FaultPlan p = FaultPlan::parse(
+        "route_fail:flow_calc*2;timing_miss:*@0.25;throw:s1");
+    ASSERT_EQ(p.specs.size(), 3u);
+    EXPECT_EQ(p.specs[0].kind, FaultKind::RouteFail);
+    EXPECT_EQ(p.specs[0].op, "flow_calc");
+    EXPECT_EQ(p.specs[0].count, 2);
+    EXPECT_EQ(p.specs[1].kind, FaultKind::TimingMiss);
+    EXPECT_EQ(p.specs[1].op, "*");
+    EXPECT_DOUBLE_EQ(p.specs[1].probability, 0.25);
+    EXPECT_EQ(p.specs[2].kind, FaultKind::CompileThrow);
+    EXPECT_EQ(p.specs[2].op, "s1");
+
+    FaultInjector inj(p);
+    // Counted spec: first two attempts only.
+    EXPECT_TRUE(inj.fires(FaultKind::RouteFail, "flow_calc", 0));
+    EXPECT_TRUE(inj.fires(FaultKind::RouteFail, "flow_calc", 1));
+    EXPECT_FALSE(inj.fires(FaultKind::RouteFail, "flow_calc", 2));
+    EXPECT_FALSE(inj.fires(FaultKind::RouteFail, "other", 0));
+    // Uncounted spec: every attempt.
+    EXPECT_TRUE(inj.fires(FaultKind::CompileThrow, "s1", 0));
+    EXPECT_TRUE(inj.fires(FaultKind::CompileThrow, "s1", 1000));
+    // Probabilistic spec: a pure function of the site, so the same
+    // (op, attempt) always draws the same answer.
+    int fired = 0;
+    for (int a = 0; a < 200; ++a) {
+        bool f = inj.fires(FaultKind::TimingMiss, "x", a);
+        EXPECT_EQ(f, inj.fires(FaultKind::TimingMiss, "x", a));
+        fired += f;
+    }
+    EXPECT_GT(fired, 20) << "a 25% coin should fire sometimes";
+    EXPECT_LT(fired, 120) << "a 25% coin should not always fire";
+}
+
+// -------- the retry ladder ------------------------------------------
+
+TEST(Fault, RouteFailLadderEndsInSoftcoreFallback)
+{
+    // Routing can never succeed for "shared": the ladder must climb
+    // all four hardware rungs and land on the softcore (mixed mode).
+    PldCompiler pc(device(), faultyOpts("route_fail:shared"));
+    AppBuild b = pc.build(makeApp(), OptLevel::O1);
+
+    const OperatorOutcome &oc = outcomeOf(b, "shared");
+    EXPECT_TRUE(oc.degraded);
+    EXPECT_FALSE(oc.failed);
+    EXPECT_EQ(oc.finalCode, CompileCode::Ok);
+    ASSERT_EQ(oc.attempts.size(), 5u);
+    EXPECT_EQ(oc.attempts[0].step, LadderStep::Initial);
+    EXPECT_EQ(oc.attempts[1].step, LadderStep::EscalateEffort);
+    EXPECT_EQ(oc.attempts[2].step, LadderStep::FreshSeed);
+    EXPECT_EQ(oc.attempts[3].step, LadderStep::PromotePage);
+    EXPECT_EQ(oc.attempts[4].step, LadderStep::SoftcoreFallback);
+    for (int a = 0; a < 4; ++a)
+        EXPECT_EQ(oc.attempts[a].outcome,
+                  CompileCode::RouteInfeasible)
+            << "attempt " << a;
+    EXPECT_EQ(oc.attempts[4].outcome, CompileCode::Ok);
+    // The ladder really varied its knobs.
+    EXPECT_GT(oc.attempts[1].effort, oc.attempts[0].effort);
+    EXPECT_GT(oc.attempts[1].routeIters, oc.attempts[0].routeIters);
+    EXPECT_NE(oc.attempts[2].seed, oc.attempts[1].seed);
+    EXPECT_NE(oc.attempts[3].page, oc.attempts[0].page);
+
+    // The degraded operator runs on its page's softcore; the rest of
+    // the app stays on hardware.
+    ASSERT_EQ(b.bindings.size(), 2u);
+    EXPECT_EQ(b.bindings[0].impl, sys::PageImpl::Softcore);
+    EXPECT_EQ(b.bindings[1].impl, sys::PageImpl::Hw);
+    EXPECT_EQ(b.report.degradedCount(), 1);
+    EXPECT_TRUE(b.report.allOk())
+        << "a degraded build still completes";
+    std::string rendered = b.report.render();
+    EXPECT_NE(rendered.find("shared"), std::string::npos);
+    EXPECT_NE(rendered.find("softcore"), std::string::npos);
+
+    // Same seed + same faults => bit-for-bit identical ladder.
+    PldCompiler pc2(device(), faultyOpts("route_fail:shared"));
+    AppBuild b2 = pc2.build(makeApp(), OptLevel::O1);
+    EXPECT_EQ(b2.report.render(), rendered);
+}
+
+TEST(Fault, RouteFailRecoversViaReroute)
+{
+    // Only the first attempt fails: the escalate-effort rung (more
+    // negotiation iterations, higher effort) must succeed and the
+    // operator must stay on hardware.
+    PldCompiler pc(device(), faultyOpts("route_fail:shared*1"));
+    AppBuild b = pc.build(makeApp(), OptLevel::O1);
+
+    const OperatorOutcome &oc = outcomeOf(b, "shared");
+    EXPECT_FALSE(oc.degraded);
+    EXPECT_EQ(oc.finalCode, CompileCode::Ok);
+    ASSERT_EQ(oc.attempts.size(), 2u);
+    EXPECT_EQ(oc.attempts[0].outcome, CompileCode::RouteInfeasible);
+    EXPECT_EQ(oc.attempts[1].step, LadderStep::EscalateEffort);
+    EXPECT_EQ(oc.attempts[1].outcome, CompileCode::Ok);
+    EXPECT_EQ(b.bindings[0].impl, sys::PageImpl::Hw);
+}
+
+TEST(Fault, RouteFailRecoversViaPromotion)
+{
+    // Three failures push the ladder to the reserved larger page;
+    // the fourth attempt (there) succeeds. The runtime binding must
+    // follow the artifact to its promoted page.
+    PldCompiler pc(device(), faultyOpts("route_fail:shared*3"));
+    AppBuild b = pc.build(makeApp(), OptLevel::O1);
+
+    const OperatorOutcome &oc = outcomeOf(b, "shared");
+    EXPECT_FALSE(oc.degraded);
+    ASSERT_EQ(oc.attempts.size(), 4u);
+    EXPECT_EQ(oc.attempts[3].step, LadderStep::PromotePage);
+    EXPECT_EQ(oc.attempts[3].outcome, CompileCode::Ok);
+    int promoted = oc.attempts[3].page;
+    EXPECT_NE(promoted, 1) << "op was pinned to page 1";
+    EXPECT_EQ(b.bindings[0].impl, sys::PageImpl::Hw);
+    EXPECT_EQ(b.bindings[0].pageId, promoted)
+        << "binding must follow the artifact to the promoted page";
+}
+
+TEST(Fault, TimingMissEscalatesDeterministically)
+{
+    PldCompiler pc(device(), faultyOpts("timing_miss:shared*1"));
+    AppBuild b = pc.build(makeApp(), OptLevel::O1);
+
+    const OperatorOutcome &oc = outcomeOf(b, "shared");
+    EXPECT_FALSE(oc.degraded);
+    EXPECT_EQ(oc.finalCode, CompileCode::Ok);
+    ASSERT_EQ(oc.attempts.size(), 2u);
+    EXPECT_EQ(oc.attempts[0].outcome, CompileCode::TimingMiss);
+    EXPECT_LT(oc.attempts[0].fmaxMHz, 200.0);
+    EXPECT_EQ(oc.attempts[1].step, LadderStep::EscalateEffort);
+    EXPECT_EQ(oc.attempts[1].outcome, CompileCode::Ok);
+
+    PldCompiler pc2(device(), faultyOpts("timing_miss:shared*1"));
+    AppBuild b2 = pc2.build(makeApp(), OptLevel::O1);
+    EXPECT_EQ(b2.report.render(), b.report.render());
+}
+
+TEST(Fault, TimingMissAcceptedWithWarningAfterLadder)
+{
+    // Timing never closes: after effort escalation and a fresh seed
+    // the page is accepted below the overlay clock with a warning —
+    // a softcore would be slower still, so it is never the answer to
+    // a timing miss.
+    PldCompiler pc(device(), faultyOpts("timing_miss:shared"));
+    AppBuild b = pc.build(makeApp(), OptLevel::O1);
+
+    const OperatorOutcome &oc = outcomeOf(b, "shared");
+    EXPECT_FALSE(oc.degraded);
+    EXPECT_FALSE(oc.failed);
+    EXPECT_EQ(oc.finalCode, CompileCode::TimingMiss);
+    ASSERT_EQ(oc.attempts.size(), 3u);
+    EXPECT_EQ(oc.attempts[2].step, LadderStep::FreshSeed);
+    EXPECT_EQ(b.bindings[0].impl, sys::PageImpl::Hw);
+    EXPECT_LT(b.fmaxMHz, 200.0)
+        << "overlay clock derates to the achieved page fmax";
+    bool warned = false;
+    for (const auto &d : oc.status.diags) {
+        warned |= (d.severity == DiagSeverity::Warning &&
+                   d.code == CompileCode::TimingMiss);
+    }
+    EXPECT_TRUE(warned);
+    EXPECT_TRUE(b.report.allOk());
+}
+
+// -------- golden-model equivalence of a degraded build --------------
+
+TEST(Fault, RosettaOpticalFlowSoftcoreFallbackMatchesGolden)
+{
+    // The acceptance scenario: routing is unroutable for one
+    // operator of a real benchmark; the -O1 build must complete via
+    // the softcore fallback, the system simulation must still match
+    // the independent golden model, and the report must name the
+    // degraded operator.
+    rosetta::Benchmark bm = rosetta::makeOpticalFlow();
+    PldCompiler pc(device(), faultyOpts("route_fail:flow_calc"));
+    AppBuild build = pc.build(bm.graph, OptLevel::O1);
+
+    EXPECT_TRUE(build.report.allOk());
+    EXPECT_EQ(build.report.degradedCount(), 1);
+    const OperatorOutcome &oc = outcomeOf(build, "flow_calc");
+    EXPECT_TRUE(oc.degraded);
+    EXPECT_EQ(oc.attempts.back().step,
+              LadderStep::SoftcoreFallback);
+    std::string rendered = build.report.render();
+    EXPECT_NE(rendered.find("flow_calc"), std::string::npos);
+
+    sys::SystemSim sim(bm.graph, build.bindings, build.sysCfg);
+    sim.loadInput(0, bm.input);
+    auto rs = sim.run();
+    ASSERT_TRUE(rs.completed);
+    EXPECT_EQ(sim.takeOutput(0), bm.expected)
+        << "degraded build must still match the golden model";
+
+    // Reproducibility across a fresh compiler.
+    PldCompiler pc2(device(), faultyOpts("route_fail:flow_calc"));
+    AppBuild build2 = pc2.build(bm.graph, OptLevel::O1);
+    EXPECT_EQ(build2.report.render(), rendered);
+}
+
+// -------- cache hardening -------------------------------------------
+
+TEST(Fault, CorruptCacheEntryRecompilesExactlyOnce)
+{
+    // The first publish of "shared" stores a corrupted checksum. The
+    // next build detects it on lookup, evicts, and recompiles — the
+    // recompile (generation 1) publishes clean.
+    PldCompiler pc(device(), faultyOpts("cache_corrupt:shared*1"));
+    Graph g = makeApp();
+
+    AppBuild b1 = pc.build(g, OptLevel::O1);
+    EXPECT_TRUE(b1.report.allOk());
+    EXPECT_EQ(pc.cacheStats().misses, 2u);
+    EXPECT_EQ(pc.cacheStats().compiles, 2u);
+    EXPECT_EQ(pc.cacheStats().corrupt, 0u);
+
+    AppBuild b2 = pc.build(g, OptLevel::O1);
+    EXPECT_TRUE(b2.report.allOk());
+    EXPECT_EQ(outcomeOf(b2, "shared").fromCache, false)
+        << "corrupt entry must not be served";
+    EXPECT_EQ(outcomeOf(b2, "tail").fromCache, true);
+    EXPECT_EQ(pc.cacheStats().corrupt, 1u);
+    EXPECT_EQ(pc.cacheStats().misses, 3u);
+    EXPECT_EQ(pc.cacheStats().compiles, 3u);
+    EXPECT_EQ(pc.cacheStats().hits, 1u);
+
+    // The recompiled entry is clean: third build hits both ops.
+    AppBuild b3 = pc.build(g, OptLevel::O1);
+    EXPECT_EQ(pc.cacheStats().corrupt, 1u);
+    EXPECT_EQ(pc.cacheStats().hits, 3u);
+    EXPECT_EQ(pc.cacheStats().compiles, 3u);
+}
+
+TEST(Fault, ThrowPublishesFailureSentinelWaitersRetry)
+{
+    // The first compile of "shared" throws mid-flight. The failure
+    // sentinel must wake waiters (no hang), exactly one re-claims
+    // and compiles clean, and the thrown-into build reports the
+    // operator as failed with a structured diagnostic.
+    const int kThreads = 6;
+    PldCompiler pc(device(), faultyOpts("throw:shared*1"));
+    Graph g = makeApp();
+
+    std::vector<AppBuild> builds(kThreads);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            builds[t] = pc.build(g, OptLevel::O1);
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+
+    int failed_builds = 0;
+    for (const auto &b : builds) {
+        failed_builds += b.report.failedCount() > 0;
+        for (const auto &oc : b.report.ops) {
+            if (oc.failed) {
+                EXPECT_EQ(oc.op, "shared");
+                EXPECT_EQ(oc.finalCode,
+                          CompileCode::CompileException);
+                EXPECT_FALSE(oc.status.ok());
+            }
+        }
+    }
+    EXPECT_EQ(failed_builds, 1)
+        << "exactly one build observes the injected throw";
+
+    const CacheStats &st = pc.cacheStats();
+    EXPECT_EQ(st.failures, 1u);
+    EXPECT_EQ(st.compiles + st.failures, st.misses)
+        << "every miss either compiled or published a failure";
+    EXPECT_EQ(st.hits + st.misses,
+              uint64_t(kThreads) * 2u);
+}
+
+TEST(Fault, DegradedArtifactNotServedAtHigherEffort)
+{
+    // Generation 0 (attempts 0..15) is unroutable, so the low-effort
+    // build degrades to the softcore and caches that. A same-effort
+    // rebuild may serve it — but a higher-effort rebuild must evict
+    // and retry the ladder, which now (generation 1, attempts 16+)
+    // routes cleanly back onto hardware.
+    PldCompiler pc(device(), faultyOpts("route_fail:shared*16"));
+    Graph g = makeApp();
+
+    AppBuild b1 = pc.build(g, OptLevel::O1);
+    EXPECT_TRUE(outcomeOf(b1, "shared").degraded);
+
+    AppBuild b2 = pc.build(g, OptLevel::O1);
+    EXPECT_TRUE(outcomeOf(b2, "shared").fromCache)
+        << "same effort: the degraded artifact is a legitimate hit";
+    EXPECT_TRUE(outcomeOf(b2, "shared").degraded);
+
+    AppBuild b3 = pc.build(g, OptLevel::O1, /*effort_override=*/1.0);
+    const OperatorOutcome &oc = outcomeOf(b3, "shared");
+    EXPECT_FALSE(oc.fromCache)
+        << "higher effort must not be satisfied by a fallback";
+    EXPECT_FALSE(oc.degraded);
+    EXPECT_EQ(b3.bindings[0].impl, sys::PageImpl::Hw);
+
+    // Now a full-quality artifact is cached; it satisfies any build.
+    uint64_t hits_before = pc.cacheStats().hits;
+    AppBuild b4 = pc.build(g, OptLevel::O1, 1.0);
+    EXPECT_TRUE(outcomeOf(b4, "shared").fromCache);
+    EXPECT_EQ(pc.cacheStats().hits, hits_before + 2);
+}

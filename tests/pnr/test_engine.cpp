@@ -151,6 +151,52 @@ TEST(Engine, TimingPenalizesUnpipelinedSlrCrossing)
     EXPECT_FALSE(piped.critCrossesSlr);
 }
 
+TEST(Engine, InfeasibleRouteIsStructuredAndRetriable)
+{
+    // A failed route must be impossible to ignore: success goes
+    // false and an Error-severity RouteInfeasible diagnostic is
+    // attached, marked retriable so the compile manager knows the
+    // ladder may help.
+    auto nl = compiled("k9", 8, true);
+    PnrOptions opts;
+    opts.effort = 0.2;
+    opts.injectRouteFail = true;
+    PnrResult res =
+        placeAndRoute(nl, device(), device().pages[0].rect, opts);
+    EXPECT_FALSE(res.success);
+    EXPECT_FALSE(res.routing.feasible);
+    EXPECT_GE(res.routing.overusedTiles, 1);
+    EXPECT_FALSE(res.status.ok());
+    EXPECT_EQ(res.status.firstError(),
+              CompileCode::RouteInfeasible);
+    ASSERT_FALSE(res.status.diags.empty());
+    EXPECT_TRUE(res.status.diags[0].retriable);
+}
+
+TEST(Engine, FmaxBelowRequiredClockIsTimingMiss)
+{
+    auto nl = compiled("k10", 8, true);
+    PnrOptions opts;
+    opts.effort = 0.2;
+    opts.requiredFmaxMHz = 200.0;
+    opts.injectFmaxDerate = 0.4;
+    PnrResult res =
+        placeAndRoute(nl, device(), device().pages[0].rect, opts);
+    EXPECT_FALSE(res.timingMet);
+    EXPECT_FALSE(res.success)
+        << "a timing miss must fail the run, not just warn";
+    EXPECT_LT(res.timing.fmaxMHz, 200.0);
+    EXPECT_EQ(res.status.firstError(), CompileCode::TimingMiss);
+
+    // Without a required clock the same derated run is a success:
+    // only paged overlay compiles demand the 200 MHz closure.
+    opts.requiredFmaxMHz = 0;
+    PnrResult free_run =
+        placeAndRoute(nl, device(), device().pages[0].rect, opts);
+    EXPECT_TRUE(free_run.success);
+    EXPECT_TRUE(free_run.status.ok());
+}
+
 TEST(Engine, StageTimesAccounted)
 {
     auto nl = compiled("k8", 8, true);
