@@ -1,0 +1,16 @@
+# Smoke-test runner for the example binaries: the example must exit 0
+# and its stdout must contain the expected substring. Invoked as
+#   cmake -DEXE=<binary> -DEXPECT=<substring> -P run_example.cmake
+execute_process(
+    COMMAND "${EXE}"
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err
+    RESULT_VARIABLE rc
+    TIMEOUT 300)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "${EXE} exited with ${rc}\nstdout:\n${out}\nstderr:\n${err}")
+endif()
+string(FIND "${out}" "${EXPECT}" pos)
+if(pos EQUAL -1)
+    message(FATAL_ERROR "${EXE} stdout missing expected text '${EXPECT}'\nstdout:\n${out}")
+endif()

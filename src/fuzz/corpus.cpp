@@ -1,0 +1,134 @@
+#include "fuzz/corpus.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.h"
+#include "fuzz/mutate.h"
+#include "ir/printer.h"
+
+namespace pld {
+namespace fuzz {
+
+std::string
+serializeCase(const GenCase &c, const std::string &comment)
+{
+    pld_assert(c.graph.ops.size() == 1,
+               "corpus entries are single-operator");
+    std::ostringstream os;
+    std::istringstream cs(comment);
+    std::string line;
+    while (std::getline(cs, line))
+        os << "# " << line << "\n";
+    os << "# seed=" << c.seed << "\n";
+    os << ir::printOperator(c.graph.ops[0].fn);
+    char buf[16];
+    for (size_t i = 0; i < c.inputs.size(); ++i) {
+        os << "inputs " << c.graph.extInputs[i] << ":";
+        for (uint32_t w : c.inputs[i]) {
+            std::snprintf(buf, sizeof buf, " %08x", w);
+            os << buf;
+        }
+        os << "\n";
+    }
+    return os.str();
+}
+
+GenCase
+parseCaseText(const std::string &text)
+{
+    // Split the `inputs` trailer from the operator body; remember the
+    // seed comment if present.
+    std::istringstream is(text);
+    std::string line, opText;
+    std::vector<std::vector<uint32_t>> inputs;
+    uint64_t seed = 0;
+    while (std::getline(is, line)) {
+        if (!line.empty() && line.back() == '\r')
+            line.pop_back();
+        if (line.rfind("# seed=", 0) == 0) {
+            seed = std::strtoull(line.c_str() + 7, nullptr, 10);
+            continue;
+        }
+        if (line.rfind("inputs ", 0) == 0) {
+            size_t colon = line.find(':');
+            pld_assert(colon != std::string::npos,
+                       "corpus: malformed inputs line '%s'",
+                       line.c_str());
+            std::istringstream ws(line.substr(colon + 1));
+            std::vector<uint32_t> words;
+            std::string tok;
+            while (ws >> tok)
+                words.push_back(static_cast<uint32_t>(
+                    std::strtoul(tok.c_str(), nullptr, 16)));
+            inputs.push_back(std::move(words));
+            continue;
+        }
+        opText += line;
+        opText += "\n";
+    }
+
+    ir::OperatorFn fn = ir::parseOperator(opText);
+    pld_assert(static_cast<int>(inputs.size()) == fn.numInputs(),
+               "corpus: %zu inputs lines for %d input ports",
+               inputs.size(), fn.numInputs());
+
+    GenCase c;
+    c.seed = seed;
+    c.rounds = inputs.empty()
+                   ? 1
+                   : static_cast<int>(inputs[0].size());
+    ir::GraphBuilder gb("fuzz_corpus");
+    std::vector<ir::GraphBuilder::WireId> ins, outs;
+    for (int p = 0; p < fn.numInputs(); ++p)
+        ins.push_back(gb.extIn("src" + std::to_string(p)));
+    for (int p = 0; p < fn.numOutputs(); ++p)
+        outs.push_back(gb.extOut("dst" + std::to_string(p)));
+    gb.inst(fn, ins, outs);
+    c.graph = gb.finish();
+    c.inputs = std::move(inputs);
+    return c;
+}
+
+GenCase
+loadCorpusFile(const std::string &path)
+{
+    std::ifstream f(path);
+    pld_assert(f.good(), "corpus: cannot read '%s'", path.c_str());
+    std::ostringstream os;
+    os << f.rdbuf();
+    return parseCaseText(os.str());
+}
+
+void
+saveCorpusFile(const std::string &path, const GenCase &c,
+               const std::string &comment)
+{
+    std::filesystem::path p(path);
+    if (p.has_parent_path())
+        std::filesystem::create_directories(p.parent_path());
+    std::ofstream f(path);
+    pld_assert(f.good(), "corpus: cannot write '%s'", path.c_str());
+    f << serializeCase(c, comment);
+}
+
+std::vector<std::string>
+listCorpusFiles(const std::string &dir)
+{
+    std::vector<std::string> files;
+    std::error_code ec;
+    for (const auto &entry :
+         std::filesystem::directory_iterator(dir, ec)) {
+        if (entry.path().extension() == ".pldfuzz")
+            files.push_back(entry.path().string());
+    }
+    std::sort(files.begin(), files.end());
+    return files;
+}
+
+} // namespace fuzz
+} // namespace pld

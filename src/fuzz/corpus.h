@@ -1,0 +1,52 @@
+/**
+ * @file
+ * On-disk corpus of minimized pldfuzz repros.
+ *
+ * Every divergence the fuzzer finds is shrunk and serialized into a
+ * small text file: comment lines carrying provenance (seed, injected
+ * bug, mismatch detail), the operator in the IR printer's textual
+ * form, and one `inputs` line of hex words per input stream. The
+ * files are committed under tests/fuzz/corpus/ and replayed as
+ * ordinary gtest cases, so a once-found miscompile is a regression
+ * test forever — the paper's incremental-refinement story applied to
+ * the compiler itself.
+ *
+ * Corpus entries are single-operator by construction (the shrinker
+ * isolates the failing operator before serialization).
+ */
+
+#ifndef PLD_FUZZ_CORPUS_H
+#define PLD_FUZZ_CORPUS_H
+
+#include <string>
+#include <vector>
+
+#include "fuzz/gen.h"
+
+namespace pld {
+namespace fuzz {
+
+/**
+ * Serialize a single-operator case. @p comment (may be multi-line)
+ * is embedded as `#` lines. fatal()s on multi-operator cases.
+ */
+std::string serializeCase(const GenCase &c,
+                          const std::string &comment);
+
+/** Parse serializeCase() output back into a runnable case. */
+GenCase parseCaseText(const std::string &text);
+
+/** Load one corpus file. fatal()s if unreadable. */
+GenCase loadCorpusFile(const std::string &path);
+
+/** Write one corpus file (creates parent directories). */
+void saveCorpusFile(const std::string &path, const GenCase &c,
+                    const std::string &comment);
+
+/** Sorted list of *.pldfuzz files under @p dir (empty if absent). */
+std::vector<std::string> listCorpusFiles(const std::string &dir);
+
+} // namespace fuzz
+} // namespace pld
+
+#endif // PLD_FUZZ_CORPUS_H

@@ -1,0 +1,643 @@
+/**
+ * @file
+ * Seeded random program generator for pldfuzz (see gen.h).
+ *
+ * The generator is deliberately conservative about *which* programs it
+ * emits — it mirrors the OpBuilder typing discipline exactly — but
+ * aggressive about the values flowing through them: odd widths, mixed
+ * signedness, fixed-point formats with zero integer bits, boundary
+ * constants, and inputs biased toward sign/overflow edges. The
+ * cross-target contract only covers disciplined programs, so anything
+ * outside the discipline would just produce noise mismatches.
+ */
+
+#include "fuzz/gen.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/logging.h"
+#include "ir/printer.h"
+
+namespace pld {
+namespace fuzz {
+
+int64_t
+canonicalRaw(uint64_t bits, const ir::Type &t)
+{
+    uint64_t mask =
+        (t.width >= 64) ? ~0ull : ((1ull << t.width) - 1ull);
+    uint64_t v = bits & mask;
+    if (t.isSigned() && t.width < 64 && ((v >> (t.width - 1)) & 1))
+        v |= ~mask;
+    return static_cast<int64_t>(v);
+}
+
+namespace {
+
+using ir::ExprKind;
+using ir::ExprPtr;
+using ir::OperatorFn;
+using ir::StmtKind;
+using ir::StmtPtr;
+using ir::Type;
+
+int
+log2exact(int64_t size)
+{
+    int k = 0;
+    while ((int64_t(1) << k) < size)
+        ++k;
+    pld_assert((int64_t(1) << k) == size,
+               "fuzz arrays must be power-of-two sized");
+    return k;
+}
+
+/** One operator body under construction. */
+class OpGen
+{
+  public:
+    OpGen(Rng &rng, const GenConfig &cfg) : rng(rng), cfg(cfg) {}
+
+    OperatorFn
+    run(const std::string &name, int num_in, int num_out, int rounds)
+    {
+        fn = OperatorFn{};
+        fn.name = name;
+        readable.clear();
+        assignable.clear();
+
+        for (int i = 0; i < num_in; ++i)
+            fn.ports.push_back(
+                {"in" + std::to_string(i), ir::PortDir::In});
+        for (int i = 0; i < num_out; ++i)
+            fn.ports.push_back(
+                {"out" + std::to_string(i), ir::PortDir::Out});
+
+        genArrays();
+
+        // One landing variable per input port (reads are dedicated
+        // assignment statements; the validator demands it).
+        std::vector<int> readVars;
+        for (int i = 0; i < num_in; ++i)
+            readVars.push_back(
+                newVar("r" + std::to_string(i), storageType(), true));
+
+        int scratch = static_cast<int>(rng.below(cfg.maxVars + 1));
+        for (int i = 0; i < scratch; ++i)
+            newVar("x" + std::to_string(i), storageType(), true);
+
+        // The streaming round loop: every port moves one word per
+        // iteration so arbitrary compositions stay rate-matched.
+        int loopVar = newVar("i", Type::s(32), false);
+        auto loop = ir::makeStmt(StmtKind::For);
+        loop->imm = loopVar;
+        loop->immLo = 0;
+        loop->immHi = rounds;
+        loop->immStep = 1;
+
+        for (int i = 0; i < num_in; ++i) {
+            const Type &vt = fn.vars[readVars[i]].type;
+            ExprPtr rd = ir::makeExpr(ExprKind::StreamRead,
+                                      Type::word(), {}, i);
+            ExprPtr as_t = ir::makeExpr(ExprKind::BitCast, vt, {rd});
+            auto st = ir::makeStmt(StmtKind::Assign);
+            st->imm = readVars[i];
+            st->args = {ir::makeExpr(ExprKind::Cast, vt, {as_t})};
+            loop->body.push_back(st);
+        }
+
+        int n = 1 + static_cast<int>(rng.below(cfg.maxStmtsPerRound));
+        genStmts(loop->body, /*depth=*/0, n);
+
+        for (int i = 0; i < num_out; ++i) {
+            auto st = ir::makeStmt(StmtKind::StreamWrite);
+            st->imm = num_in + i;
+            st->args = {ir::makeExpr(ExprKind::BitCast, Type::word(),
+                                     {genExpr(0)})};
+            loop->body.push_back(st);
+        }
+
+        fn.body.push_back(loop);
+        return fn;
+    }
+
+  private:
+    // ---- declarations -------------------------------------------
+
+    int
+    newVar(const std::string &name, Type t, bool can_assign)
+    {
+        int idx = static_cast<int>(fn.vars.size());
+        fn.vars.push_back({name, t});
+        readable.push_back(idx);
+        if (can_assign)
+            assignable.push_back(idx);
+        return idx;
+    }
+
+    void
+    genArrays()
+    {
+        int n = static_cast<int>(rng.below(cfg.maxArrays + 1));
+        for (int i = 0; i < n; ++i) {
+            ir::ArrayDecl a;
+            a.name = "m" + std::to_string(i);
+            a.elemType = storageType();
+            a.size = int64_t(1) << (1 + rng.below(3)); // 2, 4, 8
+            if (rng.chance(0.4)) {
+                for (int64_t j = 0; j < a.size; ++j)
+                    a.init.push_back(constRaw(a.elemType));
+            }
+            fn.arrays.push_back(std::move(a));
+        }
+    }
+
+    /** Random declared-storage type (width 1..32). */
+    Type
+    storageType()
+    {
+        static const int kWidths[] = {1,  2,  3,  4,  5,  7,  8, 12,
+                                      16, 17, 20, 24, 27, 31, 32};
+        int w = kWidths[rng.below(sizeof(kWidths) / sizeof(int))];
+        bool sign = rng.chance(0.5);
+        if (cfg.allowFixed && w >= 2 && rng.chance(0.35)) {
+            int ib = static_cast<int>(rng.range(0, w));
+            return sign ? Type::fx(w, ib) : Type::ufx(w, ib);
+        }
+        return sign ? Type::s(w) : Type::u(w);
+    }
+
+    // ---- statements ---------------------------------------------
+
+    void
+    genStmts(std::vector<StmtPtr> &out, int depth, int count)
+    {
+        for (int i = 0; i < count; ++i)
+            genStmt(out, depth);
+    }
+
+    void
+    genStmt(std::vector<StmtPtr> &out, int depth)
+    {
+        bool control_ok = depth < cfg.maxControlDepth;
+        int roll = static_cast<int>(rng.below(12));
+        if (roll < 4) {
+            out.push_back(genAssign());
+        } else if (roll < 6 && haveRwArray()) {
+            out.push_back(genArrayStore());
+        } else if (roll < 8 && control_ok) {
+            out.push_back(genIf(depth));
+        } else if (roll < 9 && control_ok) {
+            out.push_back(genFor(depth));
+        } else if (roll < 10 && control_ok && cfg.allowWhile) {
+            genWhile(out, depth);
+        } else if (roll < 11 && cfg.allowPrint && rng.chance(0.3)) {
+            out.push_back(genPrint());
+        } else {
+            out.push_back(genAssign());
+        }
+    }
+
+    StmtPtr
+    genAssign()
+    {
+        int v = assignable[rng.below(assignable.size())];
+        const Type &vt = fn.vars[v].type;
+        auto st = ir::makeStmt(StmtKind::Assign);
+        st->imm = v;
+        // The builder's set() always casts the rhs to the variable
+        // type; the interpreter stores rhs verbatim, so this cast is
+        // what makes stores agree with softcore re-extension.
+        st->args = {ir::makeExpr(ExprKind::Cast, vt, {genExpr(0)})};
+        return st;
+    }
+
+    bool
+    haveRwArray() const
+    {
+        for (const auto &a : fn.arrays)
+            if (!a.isRom())
+                return true;
+        return false;
+    }
+
+    StmtPtr
+    genArrayStore()
+    {
+        std::vector<int> rw;
+        for (size_t i = 0; i < fn.arrays.size(); ++i)
+            if (!fn.arrays[i].isRom())
+                rw.push_back(static_cast<int>(i));
+        int a = rw[rng.below(rw.size())];
+        const ir::ArrayDecl &decl = fn.arrays[a];
+        auto st = ir::makeStmt(StmtKind::ArrayStore);
+        st->imm = a;
+        st->args = {maskedIndex(decl),
+                    ir::makeExpr(ExprKind::Cast, decl.elemType,
+                                 {genExpr(0)})};
+        return st;
+    }
+
+    StmtPtr
+    genIf(int depth)
+    {
+        auto st = ir::makeStmt(StmtKind::If);
+        st->args = {genCond(0)};
+        genStmts(st->body, depth + 1,
+                 1 + static_cast<int>(rng.below(2)));
+        if (rng.chance(0.5))
+            genStmts(st->elseBody, depth + 1,
+                     1 + static_cast<int>(rng.below(2)));
+        return st;
+    }
+
+    StmtPtr
+    genFor(int depth)
+    {
+        // Fresh counter per loop: the post-loop counter value is not
+        // part of the cross-target contract, so it is only readable
+        // inside its own body.
+        int v = newVar("j" + std::to_string(fn.vars.size()),
+                       Type::s(32), false);
+        auto st = ir::makeStmt(StmtKind::For);
+        st->imm = v;
+        st->immLo = rng.below(3);
+        st->immHi = st->immLo + 1 + rng.below(3);
+        st->immStep = 1 + rng.below(2);
+        genStmts(st->body, depth + 1,
+                 1 + static_cast<int>(rng.below(2)));
+        readable.pop_back();
+        return st;
+    }
+
+    void
+    genWhile(std::vector<StmtPtr> &out, int depth)
+    {
+        // Counter-bounded pattern so every generated while
+        // terminates: c = N; while (c > 0) { ...; c = c - 1; }
+        int c = newVar("w" + std::to_string(fn.vars.size()),
+                       Type::s(32), false);
+        int n = 1 + static_cast<int>(rng.below(3));
+
+        auto init = ir::makeStmt(StmtKind::Assign);
+        init->imm = c;
+        init->args = {ir::makeExpr(
+            ExprKind::Cast, Type::s(32),
+            {ir::makeConst(Type::s(32), n)})};
+        out.push_back(init);
+
+        auto st = ir::makeStmt(StmtKind::While);
+        ExprPtr cv = ir::makeExpr(ExprKind::VarRef, Type::s(32), {}, c);
+        st->args = {ir::makeExpr(ExprKind::Gt, Type::boolean(),
+                                 {cv, ir::makeConst(Type::s(32), 0)})};
+        st->tripEstimate = n;
+        genStmts(st->body, depth + 1,
+                 1 + static_cast<int>(rng.below(2)));
+        auto dec = ir::makeStmt(StmtKind::Assign);
+        dec->imm = c;
+        dec->args = {ir::makeExpr(
+            ExprKind::Cast, Type::s(32),
+            {typedOp(ExprKind::Sub,
+                     {cv, ir::makeConst(Type::s(32), 1)})})};
+        st->body.push_back(dec);
+        out.push_back(st);
+        readable.pop_back();
+    }
+
+    StmtPtr
+    genPrint()
+    {
+        auto st = ir::makeStmt(StmtKind::Print);
+        st->text = "trace";
+        int n = static_cast<int>(rng.below(3));
+        for (int i = 0; i < n && !readable.empty(); ++i) {
+            int v = readable[rng.below(readable.size())];
+            st->args.push_back(ir::makeExpr(
+                ExprKind::VarRef, fn.vars[v].type, {}, v));
+        }
+        return st;
+    }
+
+    // ---- expressions --------------------------------------------
+
+    ExprPtr
+    genExpr(int depth)
+    {
+        if (depth >= cfg.maxExprDepth || rng.chance(0.3))
+            return genLeaf();
+
+        int roll = static_cast<int>(rng.below(26));
+        if (roll < 3)
+            return binOp(ExprKind::Add, depth);
+        if (roll < 6)
+            return binOp(ExprKind::Sub, depth);
+        if (roll < 8)
+            return binOp(ExprKind::Mul, depth);
+        if (roll < 9)
+            return genDiv(depth);
+        if (roll < 10)
+            return genMod(depth);
+        if (roll < 11)
+            return binOp(ExprKind::And, depth);
+        if (roll < 12)
+            return binOp(ExprKind::Or, depth);
+        if (roll < 13)
+            return binOp(ExprKind::Xor, depth);
+        if (roll < 15)
+            return genShift(depth);
+        if (roll < 17)
+            return genCond(depth);
+        if (roll < 18)
+            return unOp(ExprKind::Neg, depth);
+        if (roll < 19)
+            return unOp(ExprKind::Not, depth);
+        if (roll < 20)
+            return unOp(ExprKind::LNot, depth);
+        if (roll < 22)
+            return ir::makeExpr(ExprKind::Cast, storageType(),
+                                {genExpr(depth + 1)});
+        if (roll < 23)
+            return ir::makeExpr(ExprKind::BitCast, storageType(),
+                                {genExpr(depth + 1)});
+        return genSelect(depth);
+    }
+
+    ExprPtr
+    typedOp(ExprKind k, std::vector<ExprPtr> args)
+    {
+        Type t = ir::operatorResultType(k, args);
+        return ir::makeExpr(k, t, std::move(args));
+    }
+
+    ExprPtr
+    binOp(ExprKind k, int depth)
+    {
+        return typedOp(k, {genExpr(depth + 1), genExpr(depth + 1)});
+    }
+
+    ExprPtr
+    unOp(ExprKind k, int depth)
+    {
+        return typedOp(k, {genExpr(depth + 1)});
+    }
+
+    /** Division operands must be <= 32 bits (softcore divider). */
+    ExprPtr
+    narrow32(ExprPtr e)
+    {
+        if (e->type.width <= 32)
+            return e;
+        return ir::makeExpr(ExprKind::Cast, storageType(), {e});
+    }
+
+    ExprPtr
+    genDiv(int depth)
+    {
+        return typedOp(ExprKind::Div, {narrow32(genExpr(depth + 1)),
+                                       narrow32(genExpr(depth + 1))});
+    }
+
+    ExprPtr
+    genMod(int depth)
+    {
+        ExprPtr a = genExpr(depth + 1);
+        ExprPtr b = genExpr(depth + 1);
+        if (a->type.isSigned() != b->type.isSigned()) {
+            // Flip b's signedness in place (targets disagree on
+            // mixed-sign remainders, so the validator forbids them).
+            Type t = b->type;
+            switch (t.kind) {
+              case ir::TypeKind::UInt: t.kind = ir::TypeKind::Int; break;
+              case ir::TypeKind::Int: t.kind = ir::TypeKind::UInt; break;
+              case ir::TypeKind::UFixed:
+                t.kind = ir::TypeKind::Fixed;
+                break;
+              case ir::TypeKind::Fixed:
+                t.kind = ir::TypeKind::UFixed;
+                break;
+            }
+            b = ir::makeExpr(ExprKind::Cast, t, {b});
+        }
+        return typedOp(ExprKind::Mod, {a, b});
+    }
+
+    ExprPtr
+    genShift(int depth)
+    {
+        ExprKind k = rng.chance(0.5) ? ExprKind::Shl : ExprKind::Shr;
+        // Shift amounts are compile-time constants on every target.
+        ExprPtr amt = ir::makeConst(
+            Type::s(32), static_cast<int64_t>(rng.below(32)));
+        return typedOp(k, {genExpr(depth + 1), amt});
+    }
+
+    ExprPtr
+    genSelect(int depth)
+    {
+        ExprPtr a = genExpr(depth + 1);
+        ExprPtr b = ir::makeExpr(ExprKind::Cast, a->type,
+                                 {genExpr(depth + 1)});
+        return typedOp(ExprKind::Select, {genCond(depth + 1), a, b});
+    }
+
+    /** Boolean-ish expression for if/while/select conditions. */
+    ExprPtr
+    genCond(int depth)
+    {
+        static const ExprKind kCmp[] = {ExprKind::Lt, ExprKind::Le,
+                                        ExprKind::Gt, ExprKind::Ge,
+                                        ExprKind::Eq, ExprKind::Ne};
+        int roll = static_cast<int>(rng.below(9));
+        if (roll < 6)
+            return typedOp(kCmp[roll],
+                           {genExpr(depth + 1), genExpr(depth + 1)});
+        if (roll < 7 && depth + 1 < cfg.maxExprDepth)
+            return typedOp(ExprKind::LAnd,
+                           {genCond(depth + 1), genCond(depth + 1)});
+        if (roll < 8 && depth + 1 < cfg.maxExprDepth)
+            return typedOp(ExprKind::LOr,
+                           {genCond(depth + 1), genCond(depth + 1)});
+        return typedOp(ExprKind::LNot, {genExpr(depth + 1)});
+    }
+
+    ExprPtr
+    genLeaf()
+    {
+        int roll = static_cast<int>(rng.below(9));
+        if (roll < 2 && !fn.arrays.empty()) {
+            int a = static_cast<int>(rng.below(fn.arrays.size()));
+            const ir::ArrayDecl &decl = fn.arrays[a];
+            return ir::makeExpr(ExprKind::ArrayRef, decl.elemType,
+                                {maskedIndex(decl)}, a);
+        }
+        if (roll < 6 && !readable.empty()) {
+            int v = readable[rng.below(readable.size())];
+            return ir::makeExpr(ExprKind::VarRef, fn.vars[v].type, {},
+                                v);
+        }
+        Type t = storageType();
+        return ir::makeConst(t, constRaw(t));
+    }
+
+    /** Array indices are masked to the (power-of-two) size so every
+     *  access is in bounds on every target. */
+    ExprPtr
+    maskedIndex(const ir::ArrayDecl &decl)
+    {
+        int k = log2exact(decl.size);
+        ExprPtr inner;
+        if (!readable.empty() && rng.chance(0.6)) {
+            int v = readable[rng.below(readable.size())];
+            inner = ir::makeExpr(ExprKind::VarRef, fn.vars[v].type,
+                                 {}, v);
+        } else {
+            inner = ir::makeConst(
+                Type::u(8), static_cast<int64_t>(rng.below(256)));
+        }
+        return ir::makeExpr(ExprKind::Cast, Type::u(k), {inner});
+    }
+
+    /** Canonical constant raw bits, biased toward boundary values. */
+    int64_t
+    constRaw(const Type &t)
+    {
+        int roll = static_cast<int>(rng.below(8));
+        uint64_t bits;
+        switch (roll) {
+          case 0: bits = 0; break;
+          case 1: bits = 1ull << t.fracBits(); break; // value 1
+          case 2: bits = ~0ull; break;                // all ones
+          case 3:
+            bits = 1ull << (t.width - 1); // sign/overflow edge
+            break;
+          case 4:
+          case 5:
+            // Small scaled value in [-4, 4].
+            bits = static_cast<uint64_t>(rng.range(-4, 4))
+                   << t.fracBits();
+            break;
+          default: bits = rng.next(); break;
+        }
+        return canonicalRaw(bits, t);
+    }
+
+    Rng &rng;
+    const GenConfig &cfg;
+    OperatorFn fn;
+    std::vector<int> readable;
+    std::vector<int> assignable;
+};
+
+} // namespace
+
+OperatorFn
+generateOperator(Rng &rng, const GenConfig &cfg,
+                 const std::string &name, int num_in, int num_out,
+                 int rounds)
+{
+    return OpGen(rng, cfg).run(name, num_in, num_out, rounds);
+}
+
+std::vector<uint32_t>
+generateInputWords(Rng &rng, size_t count)
+{
+    std::vector<uint32_t> words;
+    words.reserve(count);
+    for (size_t i = 0; i < count; ++i) {
+        switch (rng.below(8)) {
+          case 0: words.push_back(0); break;
+          case 1: words.push_back(0xFFFFFFFFu); break;
+          case 2: words.push_back(0x80000000u); break;
+          case 3: words.push_back(0x7FFFFFFFu); break;
+          case 4:
+          case 5:
+            words.push_back(static_cast<uint32_t>(rng.below(16)));
+            break;
+          default:
+            words.push_back(static_cast<uint32_t>(rng.next()));
+            break;
+        }
+    }
+    return words;
+}
+
+GenCase
+generateCase(uint64_t seed, const GenConfig &cfg)
+{
+    Rng rng(seed);
+    GenCase c;
+    c.seed = seed;
+    c.rounds = 1 + static_cast<int>(rng.below(cfg.maxRounds));
+
+    ir::GraphBuilder gb("fuzz_app");
+    int shape = cfg.allowMultiOp ? static_cast<int>(rng.below(10)) : 0;
+    if (shape < 5) {
+        // Single operator, 1-2 inputs and outputs.
+        int nin = 1 + static_cast<int>(rng.below(2));
+        int nout = 1 + static_cast<int>(rng.below(2));
+        std::vector<ir::GraphBuilder::WireId> ins, outs;
+        for (int i = 0; i < nin; ++i)
+            ins.push_back(gb.extIn("src" + std::to_string(i)));
+        for (int i = 0; i < nout; ++i)
+            outs.push_back(gb.extOut("dst" + std::to_string(i)));
+        gb.inst(generateOperator(rng, cfg, "fz0", nin, nout,
+                                 c.rounds),
+                ins, outs);
+    } else if (shape < 8) {
+        // Chain of 2-3 single-stream operators.
+        int len = 2 + static_cast<int>(rng.below(2));
+        auto w = gb.extIn("src0");
+        for (int i = 0; i < len; ++i) {
+            auto next = (i == len - 1) ? gb.extOut("dst0") : gb.wire();
+            gb.inst(generateOperator(rng, cfg,
+                                     "fz" + std::to_string(i), 1, 1,
+                                     c.rounds),
+                    {w}, {next});
+            w = next;
+        }
+    } else {
+        // Fork/join diamond: split -> two mids -> join.
+        auto in = gb.extIn("src0");
+        auto out = gb.extOut("dst0");
+        auto u1 = gb.wire(), u2 = gb.wire();
+        auto d1 = gb.wire(), d2 = gb.wire();
+        gb.inst(generateOperator(rng, cfg, "fz0", 1, 2, c.rounds),
+                {in}, {u1, u2});
+        gb.inst(generateOperator(rng, cfg, "fz1", 1, 1, c.rounds),
+                {u1}, {d1});
+        gb.inst(generateOperator(rng, cfg, "fz2", 1, 1, c.rounds),
+                {u2}, {d2});
+        gb.inst(generateOperator(rng, cfg, "fz3", 2, 1, c.rounds),
+                {d1, d2}, {out});
+    }
+    c.graph = gb.finish();
+
+    for (size_t i = 0; i < c.graph.extInputs.size(); ++i)
+        c.inputs.push_back(
+            generateInputWords(rng, static_cast<size_t>(c.rounds)));
+    return c;
+}
+
+std::string
+GenCase::dump() const
+{
+    std::ostringstream os;
+    os << "# pldfuzz case seed=" << seed << " rounds=" << rounds
+       << "\n";
+    for (const auto &op : graph.ops)
+        os << ir::printOperator(op.fn);
+    for (size_t i = 0; i < inputs.size(); ++i) {
+        os << "inputs " << graph.extInputs[i] << ":";
+        char buf[16];
+        for (uint32_t w : inputs[i]) {
+            std::snprintf(buf, sizeof buf, " %08x", w);
+            os << buf;
+        }
+        os << "\n";
+    }
+    return os.str();
+}
+
+} // namespace fuzz
+} // namespace pld

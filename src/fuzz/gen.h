@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Seeded random program generator for pldfuzz.
+ *
+ * Emits well-typed OperatorFns over the full expression/statement/type
+ * grammar (ap_int/ap_fixed widths, arrays and ROMs, nested control
+ * flow) wired into single-operator, chain, or fork/join graphs, plus
+ * matching random input streams. Programs are validator-clean by
+ * construction: the generator applies exactly the OpBuilder typing
+ * discipline (promotion rules, assignment casts, rawWord stream
+ * writes, masked array indices, reads only as dedicated assignment
+ * statements), because the single-source-semantics property under test
+ * is only promised for programs the operator discipline accepts.
+ *
+ * Everything is a pure function of the seed, so `pldfuzz --seed S`
+ * reproduces a case exactly and corpus entries can name the seed they
+ * were minimized from.
+ */
+
+#ifndef PLD_FUZZ_GEN_H
+#define PLD_FUZZ_GEN_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "ir/graph.h"
+
+namespace pld {
+namespace fuzz {
+
+/** Knobs bounding generated programs (defaults suit CI smoke runs). */
+struct GenConfig
+{
+    /** Outer streaming rounds; every port moves one word per round. */
+    int maxRounds = 8;
+    /** Random statements per round (on top of reads/writes). */
+    int maxStmtsPerRound = 5;
+    /** Maximum expression tree depth. */
+    int maxExprDepth = 3;
+    /** Extra scratch variables per operator. */
+    int maxVars = 3;
+    /** Arrays per operator (sizes are powers of two, some ROMs). */
+    int maxArrays = 2;
+    /** Maximum nested control depth below the streaming loop. */
+    int maxControlDepth = 2;
+    /** Allow chain / fork-join graphs (vs single operators only). */
+    bool allowMultiOp = true;
+    /** Allow fixed-point types (vs integers only). */
+    bool allowFixed = true;
+    /** Allow While statements (counter-bounded, always terminate). */
+    bool allowWhile = true;
+    /** Allow processor-only Print statements. */
+    bool allowPrint = true;
+};
+
+/** One generated differential-test case. */
+struct GenCase
+{
+    ir::Graph graph;
+    /** Input words per external input stream (rounds words each). */
+    std::vector<std::vector<uint32_t>> inputs;
+    uint64_t seed = 0;
+    int rounds = 0;
+
+    /** Printable form: seed, operators, inputs (repro report). */
+    std::string dump() const;
+};
+
+/** Generate the complete case for @p seed. */
+GenCase generateCase(uint64_t seed, const GenConfig &cfg = {});
+
+/**
+ * Generate one operator with @p num_in/@p num_out stream ports that
+ * reads one word from every input and writes one word to every output
+ * per round, for @p rounds rounds (rate-matched composition).
+ */
+ir::OperatorFn generateOperator(Rng &rng, const GenConfig &cfg,
+                                const std::string &name, int num_in,
+                                int num_out, int rounds);
+
+/** Random input words biased toward boundary values. */
+std::vector<uint32_t> generateInputWords(Rng &rng, size_t count);
+
+/**
+ * Wrap raw bits to @p t's width and sign-extend: the canonical
+ * in-register form shared by the interpreter and the softcore.
+ */
+int64_t canonicalRaw(uint64_t bits, const ir::Type &t);
+
+} // namespace fuzz
+} // namespace pld
+
+#endif // PLD_FUZZ_GEN_H

@@ -1,0 +1,210 @@
+#include "fuzz/mutate.h"
+
+#include "common/logging.h"
+
+namespace pld {
+namespace fuzz {
+
+using ir::ExprKind;
+using ir::ExprPtr;
+using ir::StmtKind;
+using ir::StmtPtr;
+using ir::Type;
+
+ExprPtr
+cloneExpr(const ExprPtr &e)
+{
+    ExprPtr c = ir::makeExpr(e->kind, e->type, {}, e->imm);
+    c->args.reserve(e->args.size());
+    for (const auto &a : e->args)
+        c->args.push_back(cloneExpr(a));
+    return c;
+}
+
+StmtPtr
+cloneStmt(const StmtPtr &s)
+{
+    StmtPtr c = ir::makeStmt(s->kind);
+    c->imm = s->imm;
+    c->immLo = s->immLo;
+    c->immHi = s->immHi;
+    c->immStep = s->immStep;
+    c->tripEstimate = s->tripEstimate;
+    c->text = s->text;
+    for (const auto &e : s->args)
+        c->args.push_back(cloneExpr(e));
+    for (const auto &b : s->body)
+        c->body.push_back(cloneStmt(b));
+    for (const auto &b : s->elseBody)
+        c->elseBody.push_back(cloneStmt(b));
+    return c;
+}
+
+ir::OperatorFn
+cloneOperator(const ir::OperatorFn &fn)
+{
+    ir::OperatorFn c;
+    c.name = fn.name;
+    c.ports = fn.ports;
+    c.vars = fn.vars;
+    c.arrays = fn.arrays;
+    c.pragma = fn.pragma;
+    for (const auto &s : fn.body)
+        c.body.push_back(cloneStmt(s));
+    return c;
+}
+
+ir::Graph
+cloneGraph(const ir::Graph &g)
+{
+    ir::Graph c(g.name);
+    c.extInputs = g.extInputs;
+    c.extOutputs = g.extOutputs;
+    c.links = g.links;
+    for (const auto &inst : g.ops)
+        c.ops.push_back({inst.instName, cloneOperator(inst.fn)});
+    return c;
+}
+
+namespace {
+
+/** Bottom-up retype of one tree against @p fn's declarations. */
+void
+retypeExpr(const ir::OperatorFn &fn, const ExprPtr &e)
+{
+    for (const auto &a : e->args)
+        retypeExpr(fn, a);
+
+    switch (e->kind) {
+      case ExprKind::Const:
+      case ExprKind::Cast:
+      case ExprKind::BitCast:
+        return; // explicit types survive retyping
+      case ExprKind::VarRef:
+        pld_assert(e->imm >= 0 &&
+                       e->imm < static_cast<int64_t>(fn.vars.size()),
+                   "retype: bad var index");
+        e->type = fn.vars[e->imm].type;
+        return;
+      case ExprKind::ArrayRef:
+        pld_assert(e->imm >= 0 &&
+                       e->imm <
+                           static_cast<int64_t>(fn.arrays.size()),
+                   "retype: bad array index");
+        e->type = fn.arrays[e->imm].elemType;
+        return;
+      case ExprKind::StreamRead: e->type = Type::word(); return;
+      case ExprKind::Select:
+        // The builder casts the else-arm to the then-arm's type.
+        if (e->args[2]->kind == ExprKind::Cast)
+            e->args[2]->type = e->args[1]->type;
+        e->type = ir::operatorResultType(e->kind, e->args);
+        return;
+      default:
+        e->type = ir::operatorResultType(e->kind, e->args);
+        return;
+    }
+}
+
+void
+retypeStmts(ir::OperatorFn &fn, const std::vector<StmtPtr> &stmts)
+{
+    for (const auto &s : stmts) {
+        for (const auto &e : s->args)
+            retypeExpr(fn, e);
+        switch (s->kind) {
+          case StmtKind::Assign:
+            // set() always casts the rhs to the variable's type.
+            if (!s->args.empty() &&
+                s->args[0]->kind == ExprKind::Cast)
+                s->args[0]->type = fn.vars[s->imm].type;
+            break;
+          case StmtKind::ArrayStore:
+            if (s->args.size() > 1 &&
+                s->args[1]->kind == ExprKind::Cast)
+                s->args[1]->type = fn.arrays[s->imm].elemType;
+            break;
+          default: break;
+        }
+        retypeStmts(fn, s->body);
+        retypeStmts(fn, s->elseBody);
+    }
+}
+
+/** Flip the first Sub found in the subtree to Add; true on success. */
+bool
+flipFirstSub(const ExprPtr &e)
+{
+    if (e->kind == ExprKind::Sub) {
+        e->kind = ExprKind::Add;
+        return true;
+    }
+    for (const auto &a : e->args)
+        if (flipFirstSub(a))
+            return true;
+    return false;
+}
+
+bool
+flipFirstSubInStmts(const std::vector<StmtPtr> &stmts)
+{
+    for (const auto &s : stmts) {
+        for (const auto &e : s->args)
+            if (flipFirstSub(e))
+                return true;
+        if (flipFirstSubInStmts(s->body))
+            return true;
+        if (flipFirstSubInStmts(s->elseBody))
+            return true;
+    }
+    return false;
+}
+
+} // namespace
+
+void
+retypeOperator(ir::OperatorFn &fn)
+{
+    retypeStmts(fn, fn.body);
+}
+
+const char *
+injectedBugName(InjectedBug b)
+{
+    switch (b) {
+      case InjectedBug::None: return "none";
+      case InjectedBug::DropSignExtend: return "drop-sign-extend";
+      case InjectedBug::SubToAdd: return "sub-to-add";
+    }
+    return "?";
+}
+
+ir::OperatorFn
+applyBug(const ir::OperatorFn &fn, InjectedBug bug)
+{
+    ir::OperatorFn c = cloneOperator(fn);
+    switch (bug) {
+      case InjectedBug::None:
+        break;
+      case InjectedBug::DropSignExtend:
+        // Deliberately do NOT retype the body: the bug models a
+        // codegen that loses the sign-extension on variable loads,
+        // which is exactly what unsigned declarations cause on the
+        // softcore while the interpreter keeps using the (unchanged)
+        // expression types.
+        for (auto &v : c.vars) {
+            if (v.type.kind == ir::TypeKind::Int)
+                v.type.kind = ir::TypeKind::UInt;
+            else if (v.type.kind == ir::TypeKind::Fixed)
+                v.type.kind = ir::TypeKind::UFixed;
+        }
+        break;
+      case InjectedBug::SubToAdd:
+        flipFirstSubInStmts(c.body);
+        break;
+    }
+    return c;
+}
+
+} // namespace fuzz
+} // namespace pld

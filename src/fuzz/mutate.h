@@ -1,0 +1,76 @@
+/**
+ * @file
+ * IR cloning, retyping, and intentional-bug injection for pldfuzz.
+ *
+ * Expression and statement nodes are shared_ptr-owned and freely
+ * shared between trees, so any transformation (the shrinker's passes,
+ * bug injection) must deep-copy first. retypeOperator() re-derives
+ * operator-node result types bottom-up through the shared
+ * operatorResultType() rules after a pass changes declaration widths —
+ * the same discipline the builder applies during construction.
+ *
+ * InjectedBug exists to prove the harness can actually catch and
+ * shrink real divergences: each variant is a classic compiler bug
+ * (missed sign extension, wrong opcode) applied to the softcore path
+ * only, so the interpreter golden model disagrees.
+ */
+
+#ifndef PLD_FUZZ_MUTATE_H
+#define PLD_FUZZ_MUTATE_H
+
+#include "ir/graph.h"
+
+namespace pld {
+namespace fuzz {
+
+/** Deep copy of an expression tree. */
+ir::ExprPtr cloneExpr(const ir::ExprPtr &e);
+
+/** Deep copy of a statement subtree. */
+ir::StmtPtr cloneStmt(const ir::StmtPtr &s);
+
+/** Deep copy of an operator (decls + body). */
+ir::OperatorFn cloneOperator(const ir::OperatorFn &fn);
+
+/** Deep copy of a graph (topology + all operator bodies). */
+ir::Graph cloneGraph(const ir::Graph &g);
+
+/**
+ * Recompute expression result types bottom-up: VarRef/ArrayRef types
+ * are refreshed from the declarations, operator nodes re-derive
+ * through operatorResultType(), and the builder's structural casts
+ * (assignment rhs to the variable type, array-store values to the
+ * element type, select arms to a common type) are re-targeted. Call
+ * after changing declaration types in place. The body must be
+ * exclusively owned (clone first).
+ */
+void retypeOperator(ir::OperatorFn &fn);
+
+/** Intentional semantic bugs for harness self-tests. */
+enum class InjectedBug
+{
+    None,
+    /**
+     * Declare every signed variable unsigned without touching the
+     * body: the softcore re-extends variables by declaration
+     * signedness on every load, so negative values silently
+     * zero-extend — the classic missed-sign-extension codegen bug.
+     */
+    DropSignExtend,
+    /** Turn the first subtraction in the body into an addition. */
+    SubToAdd,
+};
+
+const char *injectedBugName(InjectedBug b);
+
+/**
+ * Return a deep copy of @p fn with @p bug applied. Returns the plain
+ * clone when the bug's pattern does not occur in @p fn (callers can
+ * detect this via contentHash equality).
+ */
+ir::OperatorFn applyBug(const ir::OperatorFn &fn, InjectedBug bug);
+
+} // namespace fuzz
+} // namespace pld
+
+#endif // PLD_FUZZ_MUTATE_H

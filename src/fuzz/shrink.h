@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Greedy test-case shrinker for pldfuzz.
+ *
+ * Given a failing case and a predicate "does it still fail?", the
+ * shrinker repeatedly applies reduction passes and keeps every
+ * candidate the predicate accepts, iterating to a fixpoint:
+ *
+ *   1. isolate one operator out of a multi-operator graph (its input
+ *      words are recovered by replaying the upstream operators in
+ *      topological order on the interpreter),
+ *   2. cut the streaming rounds (and input words) down,
+ *   3. delete statements and hoist control-statement bodies,
+ *   4. replace expression subtrees with typed zero constants,
+ *   5. narrow declaration widths (re-deriving expression types), and
+ *   6. zero input words.
+ *
+ * Candidates are validated before the predicate runs, so the shrinker
+ * never leaves the disciplined-program space the generator promises.
+ * Shrinking is deterministic: passes visit sites in a fixed order.
+ */
+
+#ifndef PLD_FUZZ_SHRINK_H
+#define PLD_FUZZ_SHRINK_H
+
+#include <functional>
+
+#include "fuzz/gen.h"
+
+namespace pld {
+namespace fuzz {
+
+/** Returns true when the candidate still exhibits the failure. */
+using FailPredicate = std::function<bool(const GenCase &)>;
+
+struct ShrinkStats
+{
+    int evals = 0;    ///< predicate invocations
+    int accepted = 0; ///< candidates kept
+};
+
+/**
+ * Shrink @p c while @p still_fails holds, evaluating the predicate at
+ * most @p max_evals times. Returns the smallest accepted case.
+ */
+GenCase shrinkCase(const GenCase &c, const FailPredicate &still_fails,
+                   int max_evals = 2000,
+                   ShrinkStats *stats = nullptr);
+
+/** Total statement count of an operator body (repro-size metric). */
+int stmtCount(const ir::OperatorFn &fn);
+
+/**
+ * Replay @p fn standalone on the interpreter with @p inputs preloaded
+ * per input port. Returns one word vector per output port; empty
+ * result on deadlock.
+ */
+std::vector<std::vector<uint32_t>>
+runOperatorStandalone(const ir::OperatorFn &fn,
+                      const std::vector<std::vector<uint32_t>> &inputs);
+
+} // namespace fuzz
+} // namespace pld
+
+#endif // PLD_FUZZ_SHRINK_H

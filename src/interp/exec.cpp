@@ -62,8 +62,13 @@ OperatorExec::reset()
     arrays.reserve(fnRef.arrays.size());
     for (const auto &a : fnRef.arrays) {
         std::vector<int64_t> store(static_cast<size_t>(a.size), 0);
+        // ROM words live in elemType-wide storage on every real
+        // target (BRAM, softcore data memory), so non-canonical init
+        // raws must wrap to the element width here too — found by
+        // pldfuzz as an interp-vs-rvgen divergence.
         for (size_t i = 0; i < a.init.size(); ++i)
-            store[i] = a.init[i];
+            store[i] = canonicalize(static_cast<uint64_t>(a.init[i]),
+                                    a.elemType);
         arrays.push_back(std::move(store));
     }
     frames.clear();

@@ -77,36 +77,9 @@ Ex
 bin(ExprKind k, const Ex &a, const Ex &b)
 {
     pld_assert(a.valid() && b.valid(), "binop on empty Ex");
-    Type ta = a.type(), tb = b.type();
-    Type rt;
-    switch (k) {
-      case ExprKind::Add:
-      case ExprKind::Sub:
-        rt = promoteAdd(ta, tb);
-        break;
-      case ExprKind::Mul:
-        rt = promoteMul(ta, tb);
-        break;
-      case ExprKind::Div:
-        rt = promoteDiv(ta, tb);
-        break;
-      case ExprKind::Mod:
-        rt = promoteBits(ta, tb);
-        break;
-      case ExprKind::And:
-      case ExprKind::Or:
-      case ExprKind::Xor:
-        rt = promoteBits(ta, tb);
-        break;
-      case ExprKind::Lt: case ExprKind::Le: case ExprKind::Gt:
-      case ExprKind::Ge: case ExprKind::Eq: case ExprKind::Ne:
-      case ExprKind::LAnd: case ExprKind::LOr:
-        rt = Type::boolean();
-        break;
-      default:
-        pld_panic("bin(): not a binary kind");
-    }
-    return Ex(makeExpr(k, rt, {a.node(), b.node()}));
+    std::vector<ExprPtr> args{a.node(), b.node()};
+    Type rt = operatorResultType(k, args);
+    return Ex(makeExpr(k, rt, std::move(args)));
 }
 
 } // namespace
@@ -145,11 +118,9 @@ operator>>(const Ex &a, int sh)
 Ex
 operator-(const Ex &a)
 {
-    Type t = a.type();
-    Type rt = t.isSigned()
-                  ? t
-                  : promoteAdd(t, Type::s(std::min(32, t.width + 1)));
-    return Ex(makeExpr(ExprKind::Neg, rt, {a.node()}));
+    std::vector<ExprPtr> args{a.node()};
+    Type rt = operatorResultType(ExprKind::Neg, args);
+    return Ex(makeExpr(ExprKind::Neg, rt, std::move(args)));
 }
 
 Ex

@@ -1,5 +1,7 @@
 #include "ir/expr.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 
 namespace pld {
@@ -67,6 +69,45 @@ exprKindName(ExprKind k)
       case ExprKind::Select: return "select";
     }
     return "?";
+}
+
+Type
+operatorResultType(ExprKind k, const std::vector<ExprPtr> &args)
+{
+    switch (k) {
+      case ExprKind::Add:
+      case ExprKind::Sub:
+        return promoteAdd(args[0]->type, args[1]->type);
+      case ExprKind::Mul:
+        return promoteMul(args[0]->type, args[1]->type);
+      case ExprKind::Div:
+        return promoteDiv(args[0]->type, args[1]->type);
+      case ExprKind::Mod:
+      case ExprKind::And:
+      case ExprKind::Or:
+      case ExprKind::Xor:
+        return promoteBits(args[0]->type, args[1]->type);
+      case ExprKind::Lt: case ExprKind::Le: case ExprKind::Gt:
+      case ExprKind::Ge: case ExprKind::Eq: case ExprKind::Ne:
+      case ExprKind::LAnd: case ExprKind::LOr:
+      case ExprKind::LNot:
+        return Type::boolean();
+      case ExprKind::Shl:
+      case ExprKind::Shr:
+      case ExprKind::Not:
+        return args[0]->type;
+      case ExprKind::Neg: {
+        Type t = args[0]->type;
+        return t.isSigned()
+                   ? t
+                   : promoteAdd(t, Type::s(std::min(32, t.width + 1)));
+      }
+      case ExprKind::Select:
+        return args[1]->type;
+      default:
+        pld_panic("operatorResultType: %s has no derivable type",
+                  exprKindName(k));
+    }
 }
 
 void

@@ -69,6 +69,16 @@ struct Expr
     int opCount() const;
 };
 
+/**
+ * Result type of an operator node under the builder's HLS promotion
+ * rules, derived from the argument types. Defined for the
+ * arithmetic/bitwise/compare/logical/shift/select kinds whose type is
+ * a function of their operands; leaf kinds and casts (whose types are
+ * free) are rejected. The builder, the operator parser, and the fuzz
+ * shrinker's retype pass all share this one definition.
+ */
+Type operatorResultType(ExprKind k, const std::vector<ExprPtr> &args);
+
 /** Make a constant of @p type from raw scaled bits. */
 ExprPtr makeConst(Type type, int64_t raw_scaled);
 

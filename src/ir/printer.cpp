@@ -1,5 +1,6 @@
 #include "ir/printer.h"
 
+#include <cctype>
 #include <sstream>
 
 #include "common/logging.h"
@@ -123,8 +124,13 @@ printOperator(const OperatorFn &fn)
     for (size_t i = 0; i < fn.arrays.size(); ++i) {
         os << "  array a" << i << " "
            << fn.arrays[i].elemType.toString() << " "
-           << fn.arrays[i].name << "[" << fn.arrays[i].size << "]"
-           << (fn.arrays[i].isRom() ? " rom" : "") << "\n";
+           << fn.arrays[i].name << "[" << fn.arrays[i].size << "]";
+        if (fn.arrays[i].isRom()) {
+            os << " rom init";
+            for (int64_t v : fn.arrays[i].init)
+                os << " " << v;
+        }
+        os << "\n";
     }
     for (const auto &s : fn.body)
         os << printStmt(s, 1);
@@ -258,6 +264,404 @@ parseDfg(const std::string &text)
         }
     }
     return dfg;
+}
+
+namespace {
+
+/**
+ * Recursive-descent parser for printOperator() dumps. Statement
+ * nesting is carried by indentation (two spaces per level); expression
+ * types are re-derived bottom-up, so the text never needs to spell the
+ * type of anything except declarations, constants, and casts.
+ */
+class OperatorParser
+{
+  public:
+    explicit OperatorParser(const std::string &text)
+    {
+        std::istringstream is(text);
+        std::string line;
+        while (std::getline(is, line)) {
+            if (!line.empty() && line.back() == '\r')
+                line.pop_back();
+            if (line.find_first_not_of(' ') == std::string::npos)
+                continue;
+            if (line[line.find_first_not_of(' ')] == '#')
+                continue;
+            lines.push_back(line);
+        }
+    }
+
+    OperatorFn
+    parse()
+    {
+        pld_assert(!lines.empty(), "parseOperator: empty text");
+        parseHeader(lines[pos++]);
+        while (!atEnd() && indentOf(peek()) == 1 && isDecl(peek()))
+            parseDecl(lines[pos++]);
+        fn.body = parseStmts(1);
+        pld_assert(atEnd(), "parseOperator: trailing line '%s'",
+                   peek().c_str());
+        return std::move(fn);
+    }
+
+  private:
+    static int
+    indentOf(const std::string &l)
+    {
+        size_t n = 0;
+        while (n < l.size() && l[n] == ' ')
+            ++n;
+        return static_cast<int>(n / 2);
+    }
+
+    static bool
+    isDecl(const std::string &l)
+    {
+        size_t n = l.find_first_not_of(' ');
+        std::string rest = l.substr(n);
+        return rest.rfind("port p", 0) == 0 ||
+               rest.rfind("var v", 0) == 0 ||
+               rest.rfind("array a", 0) == 0;
+    }
+
+    bool atEnd() const { return pos >= lines.size(); }
+    const std::string &peek() const { return lines[pos]; }
+
+    // --- cursor over the current line --------------------------------
+
+    void
+    setCursor(const std::string &s)
+    {
+        cur = s;
+        cpos = 0;
+    }
+
+    char c() const { return cpos < cur.size() ? cur[cpos] : '\0'; }
+
+    bool
+    consume(const std::string &s)
+    {
+        if (cur.compare(cpos, s.size(), s) != 0)
+            return false;
+        cpos += s.size();
+        return true;
+    }
+
+    void
+    expect(const std::string &s)
+    {
+        pld_assert(consume(s),
+                   "parseOperator: expected '%s' at '%s' in '%s'",
+                   s.c_str(), cur.substr(cpos).c_str(), cur.c_str());
+    }
+
+    int64_t
+    number()
+    {
+        size_t start = cpos;
+        if (c() == '-')
+            ++cpos;
+        while (std::isdigit(static_cast<unsigned char>(c())))
+            ++cpos;
+        pld_assert(cpos > start && cur[cpos - 1] != '-',
+                   "parseOperator: number expected at '%s'",
+                   cur.substr(start).c_str());
+        return std::stoll(cur.substr(start, cpos - start));
+    }
+
+    std::string
+    word()
+    {
+        size_t start = cpos;
+        while (std::isalpha(static_cast<unsigned char>(c())) ||
+               c() == '_')
+            ++cpos;
+        return cur.substr(start, cpos - start);
+    }
+
+    Type
+    parseType()
+    {
+        bool fixed = false, sgn = false;
+        if (consume("ufx<")) {
+            fixed = true;
+        } else if (consume("fx<")) {
+            fixed = true;
+            sgn = true;
+        } else if (consume("u")) {
+            sgn = false;
+        } else if (consume("s")) {
+            sgn = true;
+        } else {
+            pld_fatal("parseOperator: type expected at '%s'",
+                      cur.substr(cpos).c_str());
+        }
+        int w = static_cast<int>(number());
+        if (!fixed)
+            return sgn ? Type::s(w) : Type::u(w);
+        expect(",");
+        int ib = static_cast<int>(number());
+        expect(">");
+        return sgn ? Type::fx(w, ib) : Type::ufx(w, ib);
+    }
+
+    static ExprKind
+    kindFromName(const std::string &name)
+    {
+        static const ExprKind kOps[] = {
+            ExprKind::Add,  ExprKind::Sub,     ExprKind::Mul,
+            ExprKind::Div,  ExprKind::Mod,     ExprKind::And,
+            ExprKind::Or,   ExprKind::Xor,     ExprKind::Shl,
+            ExprKind::Shr,  ExprKind::Lt,      ExprKind::Le,
+            ExprKind::Gt,   ExprKind::Ge,      ExprKind::Eq,
+            ExprKind::Ne,   ExprKind::LAnd,    ExprKind::LOr,
+            ExprKind::Neg,  ExprKind::Not,     ExprKind::LNot,
+            ExprKind::Cast, ExprKind::BitCast, ExprKind::Select,
+        };
+        for (ExprKind k : kOps)
+            if (name == exprKindName(k))
+                return k;
+        pld_fatal("parseOperator: unknown operator '%s'", name.c_str());
+    }
+
+    ExprPtr
+    parseExpr()
+    {
+        auto digitNext = [&] {
+            return cpos + 1 < cur.size() &&
+                   (std::isdigit(static_cast<unsigned char>(
+                        cur[cpos + 1])) ||
+                    cur[cpos + 1] == '-');
+        };
+        if (c() == 'c' && digitNext()) {
+            ++cpos;
+            int64_t imm = number();
+            expect(":");
+            return makeConst(parseType(), imm);
+        }
+        if (c() == 'v' && digitNext()) {
+            ++cpos;
+            auto idx = static_cast<size_t>(number());
+            pld_assert(idx < fn.vars.size(),
+                       "parseOperator: v%zu undeclared", idx);
+            return makeExpr(ExprKind::VarRef, fn.vars[idx].type, {},
+                            static_cast<int64_t>(idx));
+        }
+        if (c() == 'a' && digitNext()) {
+            ++cpos;
+            auto idx = static_cast<size_t>(number());
+            pld_assert(idx < fn.arrays.size(),
+                       "parseOperator: a%zu undeclared", idx);
+            expect("[");
+            ExprPtr ix = parseExpr();
+            expect("]");
+            return makeExpr(ExprKind::ArrayRef,
+                            fn.arrays[idx].elemType, {ix},
+                            static_cast<int64_t>(idx));
+        }
+        std::string name = word();
+        if (name == "read") {
+            expect("(p");
+            int64_t port = number();
+            expect(")");
+            return makeExpr(ExprKind::StreamRead, Type::word(), {},
+                            port);
+        }
+        ExprKind k = kindFromName(name);
+        expect("(");
+        std::vector<ExprPtr> args;
+        args.push_back(parseExpr());
+        while (consume(", "))
+            args.push_back(parseExpr());
+        expect(")");
+        Type t;
+        if (k == ExprKind::Cast || k == ExprKind::BitCast) {
+            expect(":");
+            t = parseType();
+        } else {
+            t = operatorResultType(k, args);
+        }
+        return makeExpr(k, t, std::move(args));
+    }
+
+    // --- header + declarations ---------------------------------------
+
+    void
+    parseHeader(const std::string &l)
+    {
+        setCursor(l);
+        expect("operator ");
+        size_t sp = cur.find(' ', cpos);
+        pld_assert(sp != std::string::npos, "parseOperator: bad header");
+        fn.name = cur.substr(cpos, sp - cpos);
+        cpos = sp;
+        expect(" (target=");
+        std::string tgt = word();
+        fn.pragma.target = (tgt == "RISCV") ? Target::RISCV : Target::HW;
+        expect(" page=");
+        fn.pragma.pageNum = static_cast<int>(number());
+        expect(")");
+    }
+
+    void
+    parseDecl(const std::string &l)
+    {
+        setCursor(l.substr(2));
+        if (consume("port p")) {
+            auto idx = static_cast<size_t>(number());
+            pld_assert(idx == fn.ports.size(),
+                       "parseOperator: ports out of order");
+            expect(" ");
+            std::string dir = word();
+            expect(" ");
+            fn.ports.push_back({cur.substr(cpos),
+                                dir == "in" ? PortDir::In
+                                            : PortDir::Out});
+        } else if (consume("var v")) {
+            auto idx = static_cast<size_t>(number());
+            pld_assert(idx == fn.vars.size(),
+                       "parseOperator: vars out of order");
+            expect(" ");
+            Type t = parseType();
+            expect(" ");
+            fn.vars.push_back({cur.substr(cpos), t});
+        } else if (consume("array a")) {
+            auto idx = static_cast<size_t>(number());
+            pld_assert(idx == fn.arrays.size(),
+                       "parseOperator: arrays out of order");
+            expect(" ");
+            Type t = parseType();
+            expect(" ");
+            size_t br = cur.find('[', cpos);
+            pld_assert(br != std::string::npos,
+                       "parseOperator: array decl needs [size]");
+            ArrayDecl d;
+            d.name = cur.substr(cpos, br - cpos);
+            d.elemType = t;
+            cpos = br;
+            expect("[");
+            d.size = number();
+            expect("]");
+            if (consume(" rom init")) {
+                while (consume(" "))
+                    d.init.push_back(number());
+                pld_assert(static_cast<int64_t>(d.init.size()) ==
+                               d.size,
+                           "parseOperator: rom init size mismatch");
+            }
+            fn.arrays.push_back(std::move(d));
+        } else {
+            pld_fatal("parseOperator: bad declaration '%s'", l.c_str());
+        }
+    }
+
+    // --- statements --------------------------------------------------
+
+    std::vector<StmtPtr>
+    parseStmts(int level)
+    {
+        std::vector<StmtPtr> out;
+        while (!atEnd() && indentOf(peek()) == level) {
+            std::string body =
+                peek().substr(static_cast<size_t>(level) * 2);
+            if (body == "else")
+                break; // belongs to the enclosing If
+            ++pos;
+            out.push_back(parseStmt(body, level));
+        }
+        return out;
+    }
+
+    StmtPtr
+    parseStmt(const std::string &text, int level)
+    {
+        setCursor(text);
+        if (consume("for v")) {
+            auto s = makeStmt(StmtKind::For);
+            s->imm = number();
+            expect(" in [");
+            s->immLo = number();
+            expect(", ");
+            s->immHi = number();
+            expect(") step ");
+            s->immStep = number();
+            s->body = parseStmts(level + 1);
+            return s;
+        }
+        if (consume("while ")) {
+            auto s = makeStmt(StmtKind::While);
+            s->args.push_back(parseExpr());
+            expect(" (trip~");
+            s->tripEstimate = number();
+            expect(")");
+            s->body = parseStmts(level + 1);
+            return s;
+        }
+        if (consume("if ")) {
+            auto s = makeStmt(StmtKind::If);
+            s->args.push_back(parseExpr());
+            s->body = parseStmts(level + 1);
+            if (!atEnd() && indentOf(peek()) == level &&
+                peek().substr(static_cast<size_t>(level) * 2) ==
+                    "else") {
+                ++pos;
+                s->elseBody = parseStmts(level + 1);
+            }
+            return s;
+        }
+        if (consume("write(p")) {
+            auto s = makeStmt(StmtKind::StreamWrite);
+            s->imm = number();
+            expect(", ");
+            s->args.push_back(parseExpr());
+            expect(")");
+            return s;
+        }
+        if (consume("print \"")) {
+            auto s = makeStmt(StmtKind::Print);
+            size_t q = cur.find('"', cpos);
+            pld_assert(q != std::string::npos,
+                       "parseOperator: unterminated print text");
+            s->text = cur.substr(cpos, q - cpos);
+            cpos = q + 1;
+            while (consume(" "))
+                s->args.push_back(parseExpr());
+            return s;
+        }
+        if (consume("v")) {
+            auto s = makeStmt(StmtKind::Assign);
+            s->imm = number();
+            expect(" = ");
+            s->args.push_back(parseExpr());
+            return s;
+        }
+        if (consume("a")) {
+            auto s = makeStmt(StmtKind::ArrayStore);
+            s->imm = number();
+            expect("[");
+            s->args.push_back(parseExpr());
+            expect("] = ");
+            s->args.push_back(parseExpr());
+            // printStmt order is (index, value); Stmt stores the same.
+            return s;
+        }
+        pld_fatal("parseOperator: bad statement '%s'", text.c_str());
+    }
+
+    OperatorFn fn;
+    std::vector<std::string> lines;
+    size_t pos = 0;
+    std::string cur;
+    size_t cpos = 0;
+};
+
+} // namespace
+
+OperatorFn
+parseOperator(const std::string &text)
+{
+    return OperatorParser(text).parse();
 }
 
 } // namespace ir

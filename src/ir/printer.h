@@ -30,6 +30,17 @@ std::string printStmt(const StmtPtr &s, int indent = 0);
 /** Pretty-print an expression tree on one line. */
 std::string printExpr(const ExprPtr &e);
 
+/**
+ * Parse printOperator() output back into an OperatorFn: the round
+ * trip parse(print(fn)) reproduces fn structurally (equal contentHash)
+ * for any Block-free operator — Block statements print transparently
+ * and therefore collapse into their parent. Expression types are
+ * re-derived from declarations plus operatorResultType(); Cast/
+ * BitCast/Const carry explicit type suffixes in the text. fatal()s on
+ * malformed input. This is what replays fuzz corpus repros.
+ */
+OperatorFn parseOperator(const std::string &text);
+
 /** Parsed form of a dfg.ir file. */
 struct DfgFile
 {

@@ -31,6 +31,20 @@ elemBytes(const Type &t)
     return 4;
 }
 
+/** Wrap @p bits to @p t's width with its signedness (the
+    interpreter's canonical form). */
+int64_t
+canonicalRaw(uint64_t bits, const Type &t)
+{
+    if (t.width < 64)
+        bits &= (1ull << t.width) - 1;
+    if (t.isSigned() && t.width < 64) {
+        uint64_t m = 1ull << (t.width - 1);
+        return static_cast<int64_t>((bits ^ m) - m);
+    }
+    return static_cast<int64_t>(bits);
+}
+
 class Codegen
 {
   public:
@@ -100,7 +114,14 @@ class Codegen
             int eb = elemBytes(arr.elemType);
             uint32_t base = arrOff[i] - dataBase;
             for (size_t e = 0; e < arr.init.size(); ++e) {
-                uint64_t raw = static_cast<uint64_t>(arr.init[e]);
+                // Store the canonical bit pattern so a typed load
+                // (lb/lh/lw) reproduces exactly what the interpreter
+                // reads back — non-canonical init raws must not
+                // survive into the image (pldfuzz repro
+                // rom_init_canonical).
+                uint64_t raw = static_cast<uint64_t>(
+                    canonicalRaw(static_cast<uint64_t>(arr.init[e]),
+                                 arr.elemType));
                 for (int b = 0; b < eb; ++b) {
                     dataImage[base + e * eb + b] =
                         static_cast<uint8_t>(raw >> (8 * b));
@@ -235,6 +256,161 @@ class Codegen
             a.add(a1, a1, a3);
             a.add(a1, a1, t0);
         }
+    }
+
+    // --- 128-bit quad arithmetic -------------------------------------
+    //
+    // The interpreter evaluates binary nodes at __int128 precision:
+    // it aligns both operands to the larger binary point, combines,
+    // and only then quantizes to the (possibly frac-clamped) result
+    // type. Aligning in the 64-bit pair wraps bits past bit 63 that a
+    // later down-quantize shifts back into view — pldfuzz repro
+    // addshift_wrap. These quads cover the exact window: one aligned
+    // operand spans < 2^126, so sums and compares fit in 128 bits.
+
+    /** lhs quad, low to high word. */
+    const Reg xq[4] = {a0, a1, a4, a5};
+    /** rhs quad, low to high word. */
+    const Reg yq[4] = {a2, a3, a6, a7};
+
+    /** True when (canonical value of @p t) << @p sh can overflow the
+        64-bit pair. Unsigned values below 64 wide carry one extra
+        magnitude bit once sign-extended. */
+    static bool
+    alignOverflows(const Type &t, int sh)
+    {
+        int w = t.width;
+        if (!t.isSigned() && w < 64)
+            ++w;
+        return sh > 0 && w + sh > 64;
+    }
+
+    /** Sign-extend both pairs into the xq/yq quads. */
+    void
+    widenPairs()
+    {
+        a.srai(a4, a1, 31);
+        a.mv(a5, a4);
+        a.srai(a6, a3, 31);
+        a.mv(a7, a6);
+    }
+
+    /**
+     * Arithmetic shift of a quad (w[0] lo .. w[3] hi) by compile-time
+     * constant @p sh (positive = left). Clobbers t0, t1.
+     */
+    void
+    shiftQuad(const Reg w[4], int sh)
+    {
+        if (sh == 0)
+            return;
+        if (sh > 0) {
+            int words = sh / 32, bits = sh % 32;
+            for (int i = 3; i >= 0; --i) {
+                int src = i - words;
+                if (src < 0)
+                    a.li(w[i], 0);
+                else if (src != i)
+                    a.mv(w[i], w[src]);
+            }
+            if (bits) {
+                for (int i = 3; i > words; --i) {
+                    a.slli(w[i], w[i], bits);
+                    a.srli(t0, w[i - 1], 32 - bits);
+                    a.or_(w[i], w[i], t0);
+                }
+                a.slli(w[words], w[words], bits);
+            }
+        } else {
+            int s = -sh, words = s / 32, bits = s % 32;
+            a.srai(t1, w[3], 31); // sign fill for vacated words
+            for (int i = 0; i < 4; ++i) {
+                int src = i + words;
+                if (src <= 3) {
+                    if (src != i)
+                        a.mv(w[i], w[src]);
+                } else {
+                    a.mv(w[i], t1);
+                }
+            }
+            if (bits) {
+                for (int i = 0; i < 3; ++i) {
+                    a.srli(w[i], w[i], bits);
+                    a.slli(t0, w[i + 1], 32 - bits);
+                    a.or_(w[i], w[i], t0);
+                }
+                a.srai(w[3], w[3], bits);
+            }
+        }
+    }
+
+    /** xq += yq (or -=), full 128-bit carry chain. Clobbers t0-t2. */
+    void
+    addQuad(bool subtract)
+    {
+        if (subtract) {
+            a.sltu(t0, a0, a2);
+            a.sub(a0, a0, a2);
+            for (int i = 1; i < 4; ++i) {
+                a.sltu(t1, xq[i], yq[i]);
+                a.sub(t2, xq[i], yq[i]);
+                a.sltu(xq[i], t2, t0);
+                a.sub(t2, t2, t0);
+                a.or_(t0, t1, xq[i]);
+                a.mv(xq[i], t2);
+            }
+        } else {
+            a.add(a0, a0, a2);
+            a.sltu(t0, a0, a2);
+            for (int i = 1; i < 4; ++i) {
+                a.add(t2, xq[i], yq[i]);
+                a.sltu(t1, t2, yq[i]);
+                a.add(t2, t2, t0);
+                a.sltu(xq[i], t2, t0);
+                a.or_(t0, t1, xq[i]);
+                a.mv(xq[i], t2);
+            }
+        }
+    }
+
+    /** Exact signed 128-bit compare of xq vs yq -> a0 in {0,1}. */
+    void
+    emitCompareWide(ExprKind k)
+    {
+        bool swap = (k == ExprKind::Gt || k == ExprKind::Le);
+        bool invert = (k == ExprKind::Le || k == ExprKind::Ge ||
+                       k == ExprKind::Ne);
+        const Reg *x = swap ? yq : xq;
+        const Reg *y = swap ? xq : yq;
+        if (k == ExprKind::Eq || k == ExprKind::Ne) {
+            a.xor_(t0, x[0], y[0]);
+            for (int i = 1; i < 4; ++i) {
+                a.xor_(t1, x[i], y[i]);
+                a.or_(t0, t0, t1);
+            }
+            a.seqz(a0, t0);
+        } else {
+            // Top word signed, lower words unsigned cascade.
+            std::string l_true = a.genLabel("cmpw_t");
+            std::string l_false = a.genLabel("cmpw_f");
+            std::string l_end = a.genLabel("cmpw_e");
+            a.blt(x[3], y[3], l_true);
+            a.bne(x[3], y[3], l_false);
+            for (int i = 2; i >= 1; --i) {
+                a.bltu(x[i], y[i], l_true);
+                a.bne(x[i], y[i], l_false);
+            }
+            a.bltu(x[0], y[0], l_true);
+            a.label(l_false);
+            a.li(a0, 0);
+            a.j(l_end);
+            a.label(l_true);
+            a.li(a0, 1);
+            a.label(l_end);
+        }
+        if (invert)
+            a.xori(a0, a0, 1);
+        a.li(a1, 0);
     }
 
     // --- expressions -------------------------------------------------
@@ -372,10 +548,25 @@ class Codegen
           case ExprKind::Add:
           case ExprKind::Sub: {
             int f = std::max(fa, fb);
-            shiftPair(a0, a1, f - fa);
-            shiftPair(a2, a3, f - fb);
-            addPair(e->kind == ExprKind::Sub);
-            quantize(f, t);
+            int d = f - t.fracBits();
+            // The pair path wraps at 64 bits during alignment and
+            // again before the down-quantize; it is only exact when
+            // no shift pushes value bits past bit 63 and no
+            // down-shift (d > 0) pulls a carry bit back into view.
+            if (alignOverflows(lhs->type, f - fa) ||
+                alignOverflows(rhs->type, f - fb) || d > 0) {
+                widenPairs();
+                shiftQuad(xq, f - fa);
+                shiftQuad(yq, f - fb);
+                addQuad(e->kind == ExprKind::Sub);
+                shiftQuad(xq, -d);
+                wrapTo(t);
+            } else {
+                shiftPair(a0, a1, f - fa);
+                shiftPair(a2, a3, f - fb);
+                addPair(e->kind == ExprKind::Sub);
+                quantize(f, t);
+            }
             return;
           }
           case ExprKind::Mul: {
@@ -400,26 +591,13 @@ class Codegen
             return;
           }
           case ExprKind::Mod: {
-            // Canonical u32 values exceed int32: use the unsigned
-            // remainder when both operands are unsigned (mixed
-            // signedness is rejected by the validator).
-            bool unsigned_mod =
-                !lhs->type.isSigned() && !rhs->type.isSigned();
-            std::string l_zero = a.genLabel("mod_zero");
-            std::string l_end = a.genLabel("mod_end");
-            a.beq(a2, x0, l_zero);
-            if (unsigned_mod) {
-                a.remu(a0, a0, a2);
-                a.li(a1, 0);
-            } else {
-                a.rem(a0, a0, a2);
-                a.srai(a1, a0, 31);
-            }
-            a.j(l_end);
-            a.label(l_zero);
-            a.li(a0, 0);
-            a.li(a1, 0);
-            a.label(l_end);
+            // Canonical operands are 64-bit (wide Mul intermediates
+            // reach them unquantized), so a low-word rem/remu
+            // silently diverges from the interpreter's wide
+            // remainder — pldfuzz repro mod64_wide. Unsigned
+            // canonicals are non-negative in 64 bits, so one signed
+            // 64x64 firmware remainder covers both signednesses.
+            a.call("__pld_mod64");
             wrapTo(t);
             return;
           }
@@ -445,9 +623,20 @@ class Codegen
           case ExprKind::Lt: case ExprKind::Le: case ExprKind::Gt:
           case ExprKind::Ge: case ExprKind::Eq: case ExprKind::Ne: {
             int f = std::max(fa, fb);
-            shiftPair(a0, a1, f - fa);
-            shiftPair(a2, a3, f - fb);
-            emitCompare(e->kind);
+            // The interpreter compares aligned operands at full
+            // __int128 precision; fall back to the quad compare when
+            // alignment could wrap the 64-bit pair.
+            if (alignOverflows(lhs->type, f - fa) ||
+                alignOverflows(rhs->type, f - fb)) {
+                widenPairs();
+                shiftQuad(xq, f - fa);
+                shiftQuad(yq, f - fb);
+                emitCompareWide(e->kind);
+            } else {
+                shiftPair(a0, a1, f - fa);
+                shiftPair(a2, a3, f - fb);
+                emitCompare(e->kind);
+            }
             return;
           }
           case ExprKind::LAnd:
@@ -658,6 +847,7 @@ class Codegen
     {
         emitMulshift();
         emitSdiv64();
+        emitMod64();
         emitPuthex();
     }
 
@@ -827,6 +1017,94 @@ class Codegen
         // Apply sign.
         a.mv(a0, t0);
         a.mv(a1, t1);
+        a.beq(a5, x0, pos);
+        a.not_(a0, a0);
+        a.not_(a1, a1);
+        a.addi(a0, a0, 1);
+        a.seqz(t0, a0);
+        a.add(a1, a1, t0);
+        a.label(pos);
+        a.ret();
+    }
+
+    /**
+     * __pld_mod64: signed a0:a1 % signed a2:a3, full 64-bit operands.
+     * Truncating remainder (sign of the dividend, matching both C++
+     * and the interpreter's wide %) in a0:a1; x % 0 yields 0.
+     * Clobbers t0-t6, a2-a5.
+     */
+    void
+    emitMod64()
+    {
+        a.label("__pld_mod64");
+        std::string nz = a.genLabel("md_nz");
+        std::string na = a.genLabel("md_na");
+        std::string nb = a.genLabel("md_nb");
+        std::string loop = a.genLabel("md_loop");
+        std::string dosub = a.genLabel("md_sub");
+        std::string skip = a.genLabel("md_skip");
+        std::string pos = a.genLabel("md_pos");
+
+        a.or_(t0, a2, a3);
+        a.bne(t0, x0, nz);
+        a.li(a0, 0);
+        a.li(a1, 0);
+        a.ret();
+        a.label(nz);
+
+        // a5 = result sign = sign of the dividend.
+        a.srli(a5, a1, 31);
+        // |A|
+        a.bge(a1, x0, na);
+        a.not_(a0, a0);
+        a.not_(a1, a1);
+        a.addi(a0, a0, 1);
+        a.seqz(t0, a0);
+        a.add(a1, a1, t0);
+        a.label(na);
+        // |B|
+        a.bge(a3, x0, nb);
+        a.not_(a2, a2);
+        a.not_(a3, a3);
+        a.addi(a2, a2, 1);
+        a.seqz(t0, a2);
+        a.add(a3, a3, t0);
+        a.label(nb);
+
+        // Shift-subtract with a 64-bit remainder in t2:t3 and a
+        // 64-bit divisor in a2:a3; the quotient is not kept.
+        a.li(t2, 0);
+        a.li(t3, 0);
+        a.li(t4, 64);
+        a.label(loop);
+        // bit = msb of A; A <<= 1.
+        a.srli(t5, a1, 31);
+        a.slli(a1, a1, 1);
+        a.srli(t6, a0, 31);
+        a.or_(a1, a1, t6);
+        a.slli(a0, a0, 1);
+        // rem = rem<<1 | bit.
+        a.slli(t3, t3, 1);
+        a.srli(t6, t2, 31);
+        a.or_(t3, t3, t6);
+        a.slli(t2, t2, 1);
+        a.or_(t2, t2, t5);
+        // if rem >= d (unsigned 64-bit): rem -= d.
+        a.bltu(t3, a3, skip);
+        a.bne(t3, a3, dosub);
+        a.bltu(t2, a2, skip);
+        a.label(dosub);
+        a.sltu(t6, t2, a2);
+        a.sub(t2, t2, a2);
+        a.sub(t3, t3, a3);
+        a.sub(t3, t3, t6);
+        a.label(skip);
+        a.addi(t4, t4, -1);
+        a.bne(t4, x0, loop);
+
+        // Apply the dividend's sign.
+        a.mv(a0, t2);
+        a.mv(a1, t3);
         a.beq(a5, x0, pos);
         a.not_(a0, a0);
         a.not_(a1, a1);

@@ -17,6 +17,7 @@
  * A small firmware library is appended to every binary:
  *  - __pld_mulshift: signed 64x64->128 multiply, arithmetic shift
  *  - __pld_sdiv64:   signed 64/32 division (truncating, /0 -> 0)
+ *  - __pld_mod64:    signed 64%64 remainder (sign of dividend, %0 -> 0)
  *  - __pld_puthex:   console hex printer for Print statements
  */
 

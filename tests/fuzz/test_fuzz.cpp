@@ -1,0 +1,189 @@
+/**
+ * @file
+ * The pldfuzz subsystem's own test suite: generator determinism and
+ * validator-cleanliness over many seeds, three-backend differential
+ * agreement, injected-bug catch + shrink, corpus replay, and
+ * fault-ladder / parallel-build equivalence. Labelled `fuzz` in CTest
+ * so CI can run the family standalone.
+ */
+
+#include <gtest/gtest.h>
+
+#include "fuzz/corpus.h"
+#include "fuzz/diff.h"
+#include "fuzz/gen.h"
+#include "fuzz/mutate.h"
+#include "fuzz/shrink.h"
+#include "ir/printer.h"
+#include "ir/validate.h"
+
+#ifndef PLD_FUZZ_CORPUS_DIR
+#define PLD_FUZZ_CORPUS_DIR "tests/fuzz/corpus"
+#endif
+
+using namespace pld;
+
+TEST(FuzzGen, DeterministicAcrossCalls)
+{
+    for (uint64_t seed = 1; seed <= 20; ++seed) {
+        fuzz::GenCase a = fuzz::generateCase(seed);
+        fuzz::GenCase b = fuzz::generateCase(seed);
+        EXPECT_EQ(a.dump(), b.dump()) << "seed " << seed;
+    }
+}
+
+TEST(FuzzGen, ValidatorCleanManySeeds)
+{
+    for (uint64_t seed = 1; seed <= 300; ++seed) {
+        fuzz::GenCase c = fuzz::generateCase(seed);
+        auto diags = ir::validateGraph(c.graph);
+        EXPECT_TRUE(ir::isClean(diags))
+            << "seed " << seed << ":\n"
+            << c.dump();
+    }
+}
+
+TEST(FuzzGen, CoversMultiOperatorShapes)
+{
+    size_t maxOps = 0, minOps = 99;
+    for (uint64_t seed = 1; seed <= 40; ++seed) {
+        fuzz::GenCase c = fuzz::generateCase(seed);
+        maxOps = std::max(maxOps, c.graph.ops.size());
+        minOps = std::min(minOps, c.graph.ops.size());
+    }
+    EXPECT_EQ(minOps, 1u);
+    EXPECT_GE(maxOps, 3u); // chains and diamonds appear
+}
+
+TEST(FuzzDiff, ThreeBackendsAgreeManySeeds)
+{
+    fuzz::DiffOptions d;
+    for (uint64_t seed = 1; seed <= 120; ++seed) {
+        fuzz::GenCase c = fuzz::generateCase(seed);
+        fuzz::DiffResult r = fuzz::diffCase(c, d);
+        EXPECT_EQ(r.status, fuzz::DiffStatus::Pass)
+            << "seed " << seed << ": " << r.detail << "\n"
+            << c.dump();
+    }
+}
+
+TEST(FuzzRoundTrip, GeneratedOperatorsReparse)
+{
+    for (uint64_t seed = 1; seed <= 40; ++seed) {
+        fuzz::GenCase c = fuzz::generateCase(seed);
+        for (const auto &op : c.graph.ops) {
+            std::string printed = ir::printOperator(op.fn);
+            ir::OperatorFn back = ir::parseOperator(printed);
+            EXPECT_EQ(printed, ir::printOperator(back))
+                << "seed " << seed << " op " << op.fn.name;
+            EXPECT_EQ(op.fn.contentHash(), back.contentHash())
+                << "seed " << seed << " op " << op.fn.name;
+        }
+    }
+}
+
+/** Scan seeds for the first case the injected bug makes diverge. */
+static bool
+findMismatch(fuzz::InjectedBug bug, uint64_t max_seed,
+             fuzz::GenCase *found, fuzz::DiffOptions *d_out)
+{
+    fuzz::DiffOptions d;
+    d.bug = bug;
+    for (uint64_t seed = 1; seed <= max_seed; ++seed) {
+        fuzz::GenCase c = fuzz::generateCase(seed);
+        if (fuzz::diffCase(c, d).status == fuzz::DiffStatus::Mismatch) {
+            *found = c;
+            *d_out = d;
+            return true;
+        }
+    }
+    return false;
+}
+
+TEST(FuzzBug, DropSignExtendCaughtAndShrunk)
+{
+    fuzz::GenCase c;
+    fuzz::DiffOptions d;
+    ASSERT_TRUE(
+        findMismatch(fuzz::InjectedBug::DropSignExtend, 60, &c, &d))
+        << "flipped sign-extension escaped 60 fuzz cases";
+
+    fuzz::ShrinkStats ss;
+    fuzz::GenCase small = fuzz::shrinkCase(
+        c,
+        [&](const fuzz::GenCase &cand) {
+            return fuzz::diffCase(cand, d).status ==
+                   fuzz::DiffStatus::Mismatch;
+        },
+        2000, &ss);
+
+    ASSERT_EQ(small.graph.ops.size(), 1u);
+    EXPECT_LE(fuzz::stmtCount(small.graph.ops[0].fn), 10)
+        << small.dump();
+    // Still a repro with the bug, and clean without it.
+    EXPECT_EQ(fuzz::diffCase(small, d).status,
+              fuzz::DiffStatus::Mismatch);
+    fuzz::DiffOptions clean;
+    EXPECT_EQ(fuzz::diffCase(small, clean).status,
+              fuzz::DiffStatus::Pass);
+}
+
+TEST(FuzzBug, SubToAddCaught)
+{
+    fuzz::GenCase c;
+    fuzz::DiffOptions d;
+    EXPECT_TRUE(findMismatch(fuzz::InjectedBug::SubToAdd, 40, &c, &d))
+        << "sub-to-add mutation escaped 40 fuzz cases";
+}
+
+TEST(FuzzCorpus, ReplayAllReprosPass)
+{
+    auto files = fuzz::listCorpusFiles(PLD_FUZZ_CORPUS_DIR);
+    ASSERT_FALSE(files.empty())
+        << "no .pldfuzz files under " << PLD_FUZZ_CORPUS_DIR;
+    fuzz::DiffOptions d;
+    for (const auto &f : files) {
+        fuzz::GenCase c = fuzz::loadCorpusFile(f);
+        fuzz::DiffResult r = fuzz::diffCase(c, d);
+        EXPECT_EQ(r.status, fuzz::DiffStatus::Pass)
+            << f << ": " << r.detail;
+    }
+}
+
+TEST(FuzzCorpus, SerializeParseRoundTrip)
+{
+    // Find a single-operator case (corpus entries are single-op).
+    for (uint64_t seed = 1; seed <= 40; ++seed) {
+        fuzz::GenCase c = fuzz::generateCase(seed);
+        if (c.graph.ops.size() != 1)
+            continue;
+        std::string text = fuzz::serializeCase(c, "round trip");
+        fuzz::GenCase back = fuzz::parseCaseText(text);
+        EXPECT_EQ(c.seed, back.seed);
+        EXPECT_EQ(c.inputs, back.inputs);
+        EXPECT_EQ(ir::printOperator(c.graph.ops[0].fn),
+                  ir::printOperator(back.graph.ops[0].fn));
+        return;
+    }
+    FAIL() << "no single-operator case in 40 seeds";
+}
+
+TEST(FuzzLadder, FaultRungsStayEquivalent)
+{
+    for (uint64_t seed = 1; seed <= 3; ++seed) {
+        fuzz::GenCase c = fuzz::generateCase(seed);
+        fuzz::DiffResult r = fuzz::checkFaultLadder(c, seed);
+        EXPECT_EQ(r.status, fuzz::DiffStatus::Pass)
+            << "seed " << seed << ": " << r.detail;
+    }
+}
+
+TEST(FuzzLadder, ParallelBuildsDeterministic)
+{
+    for (uint64_t seed = 1; seed <= 2; ++seed) {
+        fuzz::GenCase c = fuzz::generateCase(seed);
+        fuzz::DiffResult r = fuzz::checkBuildDeterminism(c, seed);
+        EXPECT_EQ(r.status, fuzz::DiffStatus::Pass)
+            << "seed " << seed << ": " << r.detail;
+    }
+}

@@ -1,0 +1,278 @@
+/**
+ * @file
+ * pldfuzz: the cross-target differential fuzzing driver.
+ *
+ * Generates seeded random operator programs, runs each through the
+ * functional golden model, the timed HLS-page system simulator, and
+ * the rvgen/RV32 softcore path, and reports any divergence. Failing
+ * cases are greedily shrunk and (optionally) serialized as corpus
+ * repro files that replay as regression tests.
+ *
+ *   pldfuzz --seed 1 --iters 500            # CI smoke configuration
+ *   pldfuzz --iters 0 --time-budget 60      # fuzz for a minute
+ *   pldfuzz --bug drop-sign-extend --iters 50 --save-repros corpus/
+ *   pldfuzz --replay tests/fuzz/corpus      # corpus replay only
+ *
+ * Every run prints a final `verdict-hash` over (seed, status, detail)
+ * of all executed cases; two runs with the same flags must print the
+ * same hash no matter the thread count (CI compares PLD_THREADS=1
+ * against PLD_THREADS=8).
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/hash.h"
+#include "fuzz/corpus.h"
+#include "fuzz/diff.h"
+#include "fuzz/gen.h"
+#include "fuzz/shrink.h"
+
+using namespace pld;
+
+namespace {
+
+struct Options
+{
+    uint64_t seed = 1;
+    int iters = 100;
+    double timeBudgetSec = 0; ///< 0 = iteration-bounded only
+    fuzz::InjectedBug bug = fuzz::InjectedBug::None;
+    bool shrink = true;
+    int ladderEvery = 0; ///< 0 = off
+    int detEvery = 0;    ///< 0 = off
+    bool runSys = true;
+    bool runIss = true;
+    std::string saveReproDir;
+    std::string replayDir;
+};
+
+void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: pldfuzz [options]\n"
+        "  --seed S          base seed (default 1)\n"
+        "  --iters N         cases to run (default 100; 0 = until "
+        "time budget)\n"
+        "  --time-budget SEC stop after SEC seconds\n"
+        "  --bug NAME        inject a bug into the softcore path "
+        "(drop-sign-extend | sub-to-add)\n"
+        "  --no-shrink       report failures unshrunk\n"
+        "  --ladder-every N  fault-ladder equivalence on every Nth "
+        "case\n"
+        "  --det-every N     parallel-build determinism on every Nth "
+        "case\n"
+        "  --no-sys          skip the system-simulator backend\n"
+        "  --no-iss          skip the softcore backend\n"
+        "  --save-repros DIR write shrunk repros as corpus files\n"
+        "  --replay DIR      replay corpus files instead of fuzzing\n");
+}
+
+bool
+parseArgs(int argc, char **argv, Options *o)
+{
+    auto need = [&](int &i) -> const char * {
+        if (i + 1 >= argc) {
+            usage();
+            return nullptr;
+        }
+        return argv[++i];
+    };
+    for (int i = 1; i < argc; ++i) {
+        const char *a = argv[i];
+        const char *v = nullptr;
+        if (!std::strcmp(a, "--seed")) {
+            if (!(v = need(i)))
+                return false;
+            o->seed = std::strtoull(v, nullptr, 0);
+        } else if (!std::strcmp(a, "--iters")) {
+            if (!(v = need(i)))
+                return false;
+            o->iters = std::atoi(v);
+        } else if (!std::strcmp(a, "--time-budget")) {
+            if (!(v = need(i)))
+                return false;
+            o->timeBudgetSec = std::atof(v);
+        } else if (!std::strcmp(a, "--bug")) {
+            if (!(v = need(i)))
+                return false;
+            if (!std::strcmp(v, "drop-sign-extend"))
+                o->bug = fuzz::InjectedBug::DropSignExtend;
+            else if (!std::strcmp(v, "sub-to-add"))
+                o->bug = fuzz::InjectedBug::SubToAdd;
+            else {
+                std::fprintf(stderr, "unknown bug '%s'\n", v);
+                return false;
+            }
+        } else if (!std::strcmp(a, "--no-shrink")) {
+            o->shrink = false;
+        } else if (!std::strcmp(a, "--ladder-every")) {
+            if (!(v = need(i)))
+                return false;
+            o->ladderEvery = std::atoi(v);
+        } else if (!std::strcmp(a, "--det-every")) {
+            if (!(v = need(i)))
+                return false;
+            o->detEvery = std::atoi(v);
+        } else if (!std::strcmp(a, "--no-sys")) {
+            o->runSys = false;
+        } else if (!std::strcmp(a, "--no-iss")) {
+            o->runIss = false;
+        } else if (!std::strcmp(a, "--save-repros")) {
+            if (!(v = need(i)))
+                return false;
+            o->saveReproDir = v;
+        } else if (!std::strcmp(a, "--replay")) {
+            if (!(v = need(i)))
+                return false;
+            o->replayDir = v;
+        } else {
+            usage();
+            return false;
+        }
+    }
+    return true;
+}
+
+int
+replayCorpus(const Options &o)
+{
+    auto files = fuzz::listCorpusFiles(o.replayDir);
+    if (files.empty()) {
+        std::fprintf(stderr, "no .pldfuzz files under %s\n",
+                     o.replayDir.c_str());
+        return 2;
+    }
+    fuzz::DiffOptions d;
+    d.runSys = o.runSys;
+    d.runIss = o.runIss;
+    int failures = 0;
+    for (const auto &f : files) {
+        fuzz::GenCase c = fuzz::loadCorpusFile(f);
+        fuzz::DiffResult r = fuzz::diffCase(c, d);
+        std::printf("%-8s %s%s%s\n", fuzz::diffStatusName(r.status),
+                    f.c_str(), r.pass() ? "" : ": ",
+                    r.detail.c_str());
+        if (!r.pass())
+            ++failures;
+    }
+    std::printf("replayed %zu corpus cases, %d failing\n",
+                files.size(), failures);
+    return failures ? 1 : 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options o;
+    if (!parseArgs(argc, argv, &o))
+        return 2;
+    if (!o.replayDir.empty())
+        return replayCorpus(o);
+
+    fuzz::DiffOptions d;
+    d.runSys = o.runSys;
+    d.runIss = o.runIss;
+    d.bug = o.bug;
+
+    auto t0 = std::chrono::steady_clock::now();
+    auto elapsed = [&] {
+        return std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - t0)
+            .count();
+    };
+
+    Hasher verdict;
+    int ran = 0, passed = 0, mismatches = 0, hangs = 0, invalid = 0;
+    int failures = 0;
+
+    for (int i = 0; o.iters == 0 || i < o.iters; ++i) {
+        if (o.timeBudgetSec > 0 && elapsed() > o.timeBudgetSec)
+            break;
+        uint64_t seed = o.seed + static_cast<uint64_t>(i);
+        fuzz::GenCase c = fuzz::generateCase(seed);
+        fuzz::DiffResult r = fuzz::diffCase(c, d);
+        ++ran;
+        verdict.u64(seed);
+        verdict.u64(static_cast<uint64_t>(r.status));
+        verdict.str(r.detail);
+
+        switch (r.status) {
+          case fuzz::DiffStatus::Pass: ++passed; break;
+          case fuzz::DiffStatus::Mismatch: ++mismatches; break;
+          case fuzz::DiffStatus::Hang: ++hangs; break;
+          case fuzz::DiffStatus::Invalid: ++invalid; break;
+        }
+
+        if (!r.pass()) {
+            ++failures;
+            std::printf("case seed=%llu: %s: %s\n",
+                        static_cast<unsigned long long>(seed),
+                        fuzz::diffStatusName(r.status),
+                        r.detail.c_str());
+            if (r.status == fuzz::DiffStatus::Mismatch && o.shrink) {
+                fuzz::ShrinkStats ss;
+                fuzz::GenCase small = fuzz::shrinkCase(
+                    c,
+                    [&](const fuzz::GenCase &cand) {
+                        return fuzz::diffCase(cand, d).status ==
+                               fuzz::DiffStatus::Mismatch;
+                    },
+                    2000, &ss);
+                std::printf(
+                    "shrunk to %d stmts after %d evals:\n%s",
+                    fuzz::stmtCount(small.graph.ops[0].fn),
+                    ss.evals, small.dump().c_str());
+                if (!o.saveReproDir.empty()) {
+                    std::string path =
+                        o.saveReproDir + "/repro_seed" +
+                        std::to_string(seed) + ".pldfuzz";
+                    fuzz::DiffResult rr = fuzz::diffCase(small, d);
+                    fuzz::saveCorpusFile(
+                        path, small,
+                        "pldfuzz repro (bug=" +
+                            std::string(
+                                fuzz::injectedBugName(o.bug)) +
+                            ")\n" + rr.detail);
+                    std::printf("wrote %s\n", path.c_str());
+                }
+            }
+        }
+
+        if (o.ladderEvery > 0 && i % o.ladderEvery == 0) {
+            fuzz::DiffResult lr = fuzz::checkFaultLadder(c, seed);
+            verdict.u64(static_cast<uint64_t>(lr.status));
+            if (!lr.pass()) {
+                ++failures;
+                std::printf("case seed=%llu: ladder: %s\n",
+                            static_cast<unsigned long long>(seed),
+                            lr.detail.c_str());
+            }
+        }
+        if (o.detEvery > 0 && i % o.detEvery == 0) {
+            fuzz::DiffResult dr =
+                fuzz::checkBuildDeterminism(c, seed);
+            verdict.u64(static_cast<uint64_t>(dr.status));
+            if (!dr.pass()) {
+                ++failures;
+                std::printf("case seed=%llu: determinism: %s\n",
+                            static_cast<unsigned long long>(seed),
+                            dr.detail.c_str());
+            }
+        }
+    }
+
+    std::printf("pldfuzz: %d cases in %.1fs: %d pass, %d mismatch, "
+                "%d hang, %d invalid\n",
+                ran, elapsed(), passed, mismatches, hangs, invalid);
+    std::printf("verdict-hash: %016llx\n",
+                static_cast<unsigned long long>(verdict.digest()));
+    return failures ? 1 : 0;
+}
