@@ -16,8 +16,12 @@ using namespace pld::flow;
 int
 main()
 {
+    bench::initObservability();
     double effort = bench::benchEffort(2.0);
     auto benches = rosetta::allBenchmarks();
+    // Retry-ladder totals across every mixed build, accumulated
+    // from each build's telemetry window.
+    std::map<std::string, int64_t> ladder;
 
     Table t("Figure 10: Speedup with One Softcore (-O0) and Rest "
             "on FPGA Pages (-O1), vs All Softcore (-O0)");
@@ -47,6 +51,11 @@ main()
             if (!mixed.report.allOk() ||
                 mixed.report.degradedCount() > 0)
                 std::printf("%s", mixed.report.render().c_str());
+            for (const auto &[name, v] :
+                 mixed.report.metrics.counters) {
+                if (name.rfind("ladder.", 0) == 0)
+                    ladder[name] += v;
+            }
             rosetta::Benchmark bm2 = bm;
             bm2.graph = g;
             auto rs = bench::execute(bm2, mixed);
@@ -62,6 +71,13 @@ main()
               fmtDouble(speedups.back(), 1) + "x", detail);
     }
     t.print();
+    std::printf("retry ladder over all mixed builds:");
+    if (ladder.empty())
+        std::printf(" (no telemetry)");
+    for (const auto &[name, v] : ladder)
+        std::printf(" %s=%lld", name.c_str(),
+                    static_cast<long long>(v));
+    std::printf("\n");
     std::printf("(paper: speedups range from ~1x, when the softcore "
                 "operator is the bottleneck, up to 100s of x)\n");
     return 0;

@@ -16,6 +16,7 @@ using namespace pld::flow;
 int
 main()
 {
+    bench::initObservability();
     double effort = bench::benchEffort(25.0);
     auto benches = rosetta::allBenchmarks();
 
@@ -28,10 +29,9 @@ main()
         PldCompiler pc(bench::device(), bench::compileOptions(effort));
         AppBuild o1 = pc.build(bm.graph, OptLevel::O1);
 
-        std::vector<double> times;
-        for (const auto &op : o1.ops)
-            times.push_back(op.times.total());
-        std::sort(times.begin(), times.end());
+        // The pld.page.seconds strip from the build's telemetry
+        // window — the same numbers PLD_METRICS reports.
+        std::vector<double> times = bench::pageSeconds(o1);
         std::string strip;
         for (double s : times)
             strip += fmtDouble(s, 2) + " ";

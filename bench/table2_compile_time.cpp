@@ -18,6 +18,7 @@ using namespace pld::flow;
 int
 main()
 {
+    bench::initObservability();
     double effort = bench::benchEffort(25.0);
     auto benches = rosetta::allBenchmarks();
 
@@ -36,21 +37,26 @@ main()
         AppBuild o1 = pc.build(bm.graph, OptLevel::O1);
         AppBuild o0 = pc.build(bm.graph, OptLevel::O0);
 
+        // Stage times come from each build's telemetry snapshot
+        // (pld.wall.* gauges), not harness-local stopwatches.
+        StageTimes vit_w = bench::stageWalls(vit);
+        StageTimes o3_w = bench::stageWalls(o3);
+        StageTimes o1_w = bench::stageWalls(o1);
+        StageTimes o0_w = bench::stageWalls(o0);
         double speedup =
-            vit.wallTimes.total() /
-            std::max(1e-9, o1.wallTimes.total());
-        t.row(bm.name, fmtDouble(vit.wallTimes.hls, 3),
-              fmtDouble(vit.wallTimes.syn, 3),
-              fmtDouble(vit.wallTimes.pnr, 3),
-              fmtDouble(vit.wallTimes.bitgen, 3),
-              fmtDouble(vit.wallTimes.total(), 3),
-              fmtDouble(o3.wallTimes.total(), 3),
-              fmtDouble(o1.wallTimes.hls, 3),
-              fmtDouble(o1.wallTimes.syn, 3),
-              fmtDouble(o1.wallTimes.pnr, 3),
-              fmtDouble(o1.wallTimes.bitgen, 3),
-              fmtDouble(o1.wallTimes.total(), 3),
-              fmtDouble(o0.wallTimes.total(), 4),
+            vit_w.total() / std::max(1e-9, o1_w.total());
+        t.row(bm.name, fmtDouble(vit_w.hls, 3),
+              fmtDouble(vit_w.syn, 3),
+              fmtDouble(vit_w.pnr, 3),
+              fmtDouble(vit_w.bitgen, 3),
+              fmtDouble(vit_w.total(), 3),
+              fmtDouble(o3_w.total(), 3),
+              fmtDouble(o1_w.hls, 3),
+              fmtDouble(o1_w.syn, 3),
+              fmtDouble(o1_w.pnr, 3),
+              fmtDouble(o1_w.bitgen, 3),
+              fmtDouble(o1_w.total(), 3),
+              fmtDouble(o0_w.total(), 4),
               fmtDouble(speedup, 1) + "x");
     }
     t.print();

@@ -7,6 +7,7 @@
 #include "common/logging.h"
 #include "common/stopwatch.h"
 #include "hls/resource_model.h"
+#include "obs/trace.h"
 
 namespace pld {
 namespace hls {
@@ -296,10 +297,24 @@ HlsResult
 compileOperator(const ir::OperatorFn &fn, bool add_leaf_interface)
 {
     Stopwatch sw;
+    obs::Span span("hls", "hls.compile");
+    span.arg("op", fn.name);
+    obs::count("hls.operators");
     HlsResult r;
-    r.perf = analyzeOperator(fn);
-    Emitter em(fn);
-    r.net = em.emit(add_leaf_interface);
+    {
+        obs::Span sched("hls", "hls.schedule");
+        r.perf = analyzeOperator(fn);
+        sched.arg("est_cycles",
+                  static_cast<int64_t>(r.perf.totalCycles));
+        sched.arg("loops", static_cast<int64_t>(r.perf.loops.size()));
+    }
+    {
+        obs::Span emit("hls", "hls.emit");
+        Emitter em(fn);
+        r.net = em.emit(add_leaf_interface);
+        emit.arg("cells", static_cast<int64_t>(r.net.cells.size()));
+        emit.arg("nets", static_cast<int64_t>(r.net.nets.size()));
+    }
 
     std::string problem;
     pld_assert(r.net.checkConsistent(&problem),
@@ -341,6 +356,7 @@ compileOperator(const ir::OperatorFn &fn, bool add_leaf_interface)
         r.status.add(std::move(d));
     }
     r.seconds = sw.seconds();
+    obs::record("hls.seconds", r.seconds);
     return r;
 }
 

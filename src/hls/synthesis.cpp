@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "common/stopwatch.h"
+#include "obs/trace.h"
 
 namespace pld {
 namespace hls {
@@ -50,8 +51,11 @@ SynReport
 synthesize(Netlist &net, double effort)
 {
     Stopwatch sw;
+    obs::Span span("syn", "syn.synthesize");
+    obs::count("syn.runs");
     SynReport rep;
     rep.cellsBefore = static_cast<int>(net.cells.size());
+    span.arg("cells_before", static_cast<int64_t>(rep.cellsBefore));
 
     int sweeps = std::max(1, static_cast<int>(2 * effort));
     for (int pass = 0; pass < sweeps; ++pass) {
@@ -133,6 +137,9 @@ synthesize(Netlist &net, double effort)
 
     rep.cellsAfter = static_cast<int>(net.cells.size());
     rep.seconds = sw.seconds();
+    span.arg("cells_after", static_cast<int64_t>(rep.cellsAfter));
+    span.arg("merges", static_cast<int64_t>(rep.mergesApplied));
+    obs::record("syn.seconds", rep.seconds);
     return rep;
 }
 

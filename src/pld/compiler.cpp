@@ -9,6 +9,7 @@
 #include "common/thread_pool.h"
 #include "hls/resource_model.h"
 #include "hls/synthesis.h"
+#include "obs/trace.h"
 #include "rvgen/codegen.h"
 
 namespace pld {
@@ -211,6 +212,7 @@ PldCompiler::lookup(uint64_t key, double effort, int *generation)
         // First miss claims the slot; the caller compiles it.
         *generation = sh.map[key].generation++;
         ++cache_stats.misses;
+        obs::count("cache.misses");
         return nullptr;
     }
     // A null artifact means another thread is compiling this key
@@ -218,10 +220,13 @@ PldCompiler::lookup(uint64_t key, double effort, int *generation)
     // sentinel wakes exactly one waiter to re-claim the compile.
     std::shared_ptr<OperatorArtifact> art;
     bool claimed = false;
+    bool waited = false;
     sh.cv.wait(lk, [&] {
         auto i = sh.map.find(key);
-        if (i == sh.map.end())
+        if (i == sh.map.end()) {
+            waited = true;
             return false;
+        }
         CacheEntry &e = i->second;
         if (e.failed) {
             e.failed = false;
@@ -229,13 +234,21 @@ PldCompiler::lookup(uint64_t key, double effort, int *generation)
             claimed = true;
             return true;
         }
-        if (e.art == nullptr)
+        if (e.art == nullptr) {
+            waited = true;
             return false;
+        }
         art = e.art;
         return true;
     });
+    if (waited) {
+        // Whether a lookup actually blocked on an in-flight compile
+        // is pure scheduling, hence the sched. prefix.
+        obs::count("sched.cache.waits");
+    }
     if (claimed) {
         ++cache_stats.misses;
+        obs::count("cache.misses");
         return nullptr;
     }
     CacheEntry &e = sh.map[key];
@@ -249,6 +262,10 @@ PldCompiler::lookup(uint64_t key, double effort, int *generation)
         *generation = e.generation++;
         ++cache_stats.corrupt;
         ++cache_stats.misses;
+        obs::count("cache.corrupt");
+        obs::count("cache.misses");
+        obs::instant("cache", "cache.corrupt_recompile")
+            .arg("op", art->name);
         return nullptr;
     }
     if (isDegraded(*art) && effort > art->effortUsed + 1e-12) {
@@ -258,9 +275,12 @@ PldCompiler::lookup(uint64_t key, double effort, int *generation)
         e.art = nullptr;
         *generation = e.generation++;
         ++cache_stats.misses;
+        obs::count("cache.misses");
+        obs::count("cache.degraded_evictions");
         return nullptr;
     }
     ++cache_stats.hits;
+    obs::count("cache.hits");
     return art;
 }
 
@@ -285,6 +305,7 @@ PldCompiler::publish(uint64_t key,
         e.failed = false;
     }
     ++cache_stats.compiles;
+    obs::count("cache.compiles");
     sh.cv.notify_all();
 }
 
@@ -297,6 +318,7 @@ PldCompiler::publishFailure(uint64_t key)
         sh.map[key].failed = true;
     }
     ++cache_stats.failures;
+    obs::count("cache.failures");
     sh.cv.notify_all();
 }
 
@@ -323,11 +345,13 @@ PldCompiler::attemptHw(const ir::OperatorFn &fn, int page_id,
     art->perf = hr.perf;
     art->outcome.status.merge(hr.status);
     art->times.hls = stage.seconds();
+    obs::record("pld.stage.hls.seconds", art->times.hls);
 
     // syn stage.
     stage.reset();
     hls::synthesize(art->net, effort);
     art->times.syn = stage.seconds();
+    obs::record("pld.stage.syn.seconds", art->times.syn);
 
     // p&r into the page under the abstract shell.
     pnr::PnrOptions popts;
@@ -352,6 +376,8 @@ PldCompiler::attemptHw(const ir::OperatorFn &fn, int page_id,
         art->pnr.placeCpuSeconds + art->pnr.routeCpuSeconds +
         art->pnr.contextSeconds;
     art->times.bitgen = art->pnr.bitgenSeconds;
+    obs::record("pld.stage.pnr.seconds", art->times.pnr);
+    obs::record("pld.stage.bitgen.seconds", art->times.bitgen);
     return art;
 }
 
@@ -384,7 +410,11 @@ PldCompiler::compileHwLadder(const ir::OperatorFn &fn, int page_id,
     StageTimes spent; // CPU burned on failed attempts
 
     for (int attempt = 0;; ++attempt) {
+        obs::count(std::string("ladder.attempts.") +
+                   ladderStepName(step));
         if (step == LadderStep::SoftcoreFallback) {
+            obs::count("ladder.degraded");
+            obs::count("ladder.healed_at.softcore-fallback");
             // The paper's mixed mode (Sec 6.2): -O0-map this one
             // operator onto its page's softcore; the rest of the
             // app stays on hardware pages.
@@ -416,8 +446,13 @@ PldCompiler::compileHwLadder(const ir::OperatorFn &fn, int page_id,
             return art;
         }
 
+        obs::Span att("pld", "pld.attempt");
+        att.arg("step", ladderStepName(step));
+        att.arg("page", static_cast<int64_t>(page));
         auto art = attemptHw(fn, page, seed, eff, iters,
                              base + attempt);
+        att.arg("outcome",
+                compileCodeName(art->pnr.status.firstError()));
         // HLS warnings are identical across attempts; keep one copy.
         if (attempt == 0)
             outcome.status.merge(art->outcome.status);
@@ -434,6 +469,8 @@ PldCompiler::compileHwLadder(const ir::OperatorFn &fn, int page_id,
         outcome.status.merge(art->pnr.status);
 
         if (art->pnr.success) {
+            obs::count(std::string("ladder.healed_at.") +
+                       ladderStepName(step));
             outcome.finalCode = CompileCode::Ok;
             art->outcome = std::move(outcome);
             art->times += spent;
@@ -459,6 +496,7 @@ PldCompiler::compileHwLadder(const ir::OperatorFn &fn, int page_id,
                 seed = deriveSeed(seed);
                 break;
               default: {
+                obs::count("ladder.timing_accepted");
                 outcome.finalCode = CompileCode::TimingMiss;
                 Diagnostic d;
                 d.code = CompileCode::TimingMiss;
@@ -537,6 +575,9 @@ PldCompiler::compileSoftcore(const ir::OperatorFn &fn, int page_id,
         AttemptRecord{LadderStep::Initial, page_id, opts.seed, 0, 0,
                       CompileCode::Ok, 0, 0});
     ThreadCpuStopwatch stage;
+    obs::Span span("pld", "rvgen.compile");
+    span.arg("op", fn.name);
+    obs::count("rvgen.compiles");
     auto rv = rvgen::compileToRiscv(fn);
     art->elf = std::move(rv.elf);
     art->elf.pageNum = page_id;
@@ -655,6 +696,12 @@ PldCompiler::build(const ir::Graph &g, OptLevel level,
     const double eff =
         effort_override > 0 ? effort_override : opts.effort;
 
+    auto window = obs::beginWindow();
+    obs::Span build_span("pld", "pld.build");
+    build_span.arg("level", optLevelName(level));
+    build_span.arg("ops", static_cast<int64_t>(g.ops.size()));
+    obs::count("pld.builds");
+
     PagePlan plan = assignPages(g, level);
     const std::vector<int> &page_of = plan.page;
 
@@ -684,8 +731,15 @@ PldCompiler::build(const ir::Graph &g, OptLevel level,
         }
     };
     out.ops.resize(g.ops.size());
+    // Per-op spans parent to the build span by token: pool workers'
+    // own span stacks are empty (or stale), and lease grants vary
+    // with load, so auto-parenting would be scheduling-dependent.
+    uint64_t build_tok = obs::currentSpan();
     auto compile_one = [&](size_t oi) {
         const auto &fn = g.ops[oi].fn;
+        obs::Span op_span("pld", "pld.op", build_tok);
+        op_span.arg("op", fn.name);
+        op_span.arg("page", static_cast<int64_t>(page_of[oi]));
         ir::Target tgt;
         if (level == OptLevel::O0)
             tgt = ir::Target::RISCV;
@@ -733,6 +787,15 @@ PldCompiler::build(const ir::Graph &g, OptLevel level,
             }
             out.ops[oi] = *art;
             out.ops[oi].fromCache = cached;
+            if (cached) {
+                // Which thread wins the compile-vs-wait race for a
+                // shared key is scheduling, so the per-op hit marker
+                // is non-structural; the counter totals above are
+                // still deterministic.
+                obs::instant("sched", "cache.hit",
+                             /*structural=*/false)
+                    .arg("op", fn.name);
+            }
             if (monolithic)
                 out.ops[oi].page = page_of[oi];
         } catch (const CompileError &ce) {
@@ -781,6 +844,8 @@ PldCompiler::build(const ir::Graph &g, OptLevel level,
     }
 
     for (const auto &art : out.ops) {
+        if (!art.fromCache && !art.outcome.failed)
+            obs::record("pld.page.seconds", art.times.total());
         if (!art.fromCache)
             out.cpuTimes += art.times;
         StageTimes wall = art.fromCache ? StageTimes{} : art.times;
@@ -794,6 +859,7 @@ PldCompiler::build(const ir::Graph &g, OptLevel level,
 
     // ---- monolithic stitch + p&r (O3 / Vitis) ---------------------
     if (monolithic) {
+        obs::Span stitch_span("pld", "pld.stitch");
         Stopwatch syn_sw;
         Netlist mono;
         std::vector<int> cell_off(g.ops.size(), 0);
@@ -847,6 +913,8 @@ PldCompiler::build(const ir::Graph &g, OptLevel level,
             }
         }
         auto sr = hls::synthesize(mono, eff);
+        stitch_span.arg("cells",
+                        static_cast<int64_t>(mono.cells.size()));
         out.wallTimes.syn += syn_sw.seconds();
         out.cpuTimes.syn += sr.seconds;
 
@@ -923,6 +991,19 @@ PldCompiler::build(const ir::Graph &g, OptLevel level,
         }
         out.bindings.push_back(std::move(b));
     }
+
+    // Stage-time gauges for the benches, then the per-build snapshot
+    // AppBuild::report carries. Gauges describe the *latest* build;
+    // the snapshot is this build's delta.
+    obs::gauge("pld.wall.hls", out.wallTimes.hls);
+    obs::gauge("pld.wall.syn", out.wallTimes.syn);
+    obs::gauge("pld.wall.pnr", out.wallTimes.pnr);
+    obs::gauge("pld.wall.bitgen", out.wallTimes.bitgen);
+    obs::gauge("pld.cpu.hls", out.cpuTimes.hls);
+    obs::gauge("pld.cpu.syn", out.cpuTimes.syn);
+    obs::gauge("pld.cpu.pnr", out.cpuTimes.pnr);
+    obs::gauge("pld.cpu.bitgen", out.cpuTimes.bitgen);
+    out.report.metrics = obs::endWindow(window);
     return out;
 }
 

@@ -39,6 +39,7 @@
 #include "common/diag.h"
 #include "common/fault.h"
 #include "fabric/device.h"
+#include "obs/metrics.h"
 #include "hls/compiler.h"
 #include "ir/graph.h"
 #include "ir/printer.h"
@@ -142,6 +143,14 @@ struct BuildReport
     std::vector<OperatorOutcome> ops;
     /** Build-level events (monolithic p&r failures, link issues). */
     CompileStatus buildStatus;
+    /**
+     * Telemetry delta for this build: counters, stage gauges, and
+     * timing distributions recorded between build() entry and exit.
+     * Empty (enabled == false) when no tracer is installed. Not part
+     * of render() — counter totals are deterministic but stage times
+     * are not, and render() is compared bit-for-bit in tests.
+     */
+    obs::MetricsSnapshot metrics;
 
     /** No operator failed outright and no build-level error. */
     bool allOk() const;

@@ -6,6 +6,7 @@
 #include "common/hash.h"
 #include "common/logging.h"
 #include "common/stopwatch.h"
+#include "obs/trace.h"
 
 namespace pld {
 namespace pnr {
@@ -46,6 +47,11 @@ placeAndRoute(const Netlist &net, const Device &dev,
 {
     Stopwatch total;
     PnrResult res;
+    obs::Span span("pnr", "pnr.pnr");
+    span.arg("cells", static_cast<int64_t>(net.cells.size()));
+    span.arg("nets", static_cast<int64_t>(net.nets.size()));
+    span.arg("shell", opts.abstractShell ? "abstract" : "full");
+    obs::count("pnr.runs");
 
     if (!opts.abstractShell) {
         // Without the abstract shell, Vitis loads and checks the
@@ -53,6 +59,7 @@ placeAndRoute(const Netlist &net, const Device &dev,
         // touching the target region (Sec 4.1). Model that context
         // load as a full-device sweep with per-tile checks.
         Stopwatch ctx;
+        obs::Span cspan("pnr", "pnr.context");
         volatile int64_t checked = 0;
         for (int pass = 0; pass < 6; ++pass) {
             for (int r = 0; r < dev.height; ++r) {
@@ -69,18 +76,35 @@ placeAndRoute(const Netlist &net, const Device &dev,
     popts.seed = opts.seed;
     popts.restarts = opts.placeRestarts;
     popts.threads = opts.threads;
-    PlaceResult pr = place(net, dev, region, popts);
+    PlaceResult pr;
+    {
+        obs::Span pspan("pnr", "pnr.place");
+        pr = place(net, dev, region, popts);
+        pspan.arg("restarts", static_cast<int64_t>(popts.restarts));
+        pspan.arg("moves", static_cast<int64_t>(pr.movesAttempted));
+    }
     res.place = pr.place;
     res.placeSeconds = pr.seconds;
     res.placeCpuSeconds = pr.cpuSeconds;
     res.placeMoves = pr.movesAttempted;
+    obs::record("pnr.place.seconds", pr.seconds);
 
     RouterOptions ropts;
     ropts.channelCapacity = opts.channelCapacity;
     ropts.maxIters = opts.routeMaxIters;
     ropts.seed = opts.seed;
     ropts.threads = opts.threads;
-    res.routing = route(net, dev, res.place, ropts);
+    {
+        obs::Span rspan("pnr", "pnr.route");
+        res.routing = route(net, dev, res.place, ropts);
+        rspan.arg("iterations",
+                  static_cast<int64_t>(res.routing.iterations));
+        rspan.arg("overused",
+                  static_cast<int64_t>(res.routing.overusedTiles));
+        rspan.arg("feasible",
+                  static_cast<int64_t>(res.routing.feasible ? 1 : 0));
+    }
+    obs::record("pnr.route.seconds", res.routing.seconds);
     res.routeSeconds = res.routing.seconds;
     res.routeCpuSeconds = res.routing.cpuSeconds;
     res.threadsUsed = res.routing.threadsUsed;
@@ -94,6 +118,7 @@ placeAndRoute(const Netlist &net, const Device &dev,
             std::max(res.routing.maxUtilization, 1.01);
     }
     if (!res.routing.feasible) {
+        obs::count("pnr.route_fails");
         Diagnostic d;
         d.code = CompileCode::RouteInfeasible;
         d.stage = CompileStage::Route;
@@ -109,7 +134,10 @@ placeAndRoute(const Netlist &net, const Device &dev,
         res.status.add(std::move(d));
     }
 
-    res.timing = analyzeTiming(net, dev, res.place, opts.timing);
+    {
+        obs::Span tspan("pnr", "pnr.timing");
+        res.timing = analyzeTiming(net, dev, res.place, opts.timing);
+    }
     if (opts.injectFmaxDerate < 1.0) {
         res.timing.fmaxMHz *= opts.injectFmaxDerate;
         res.timing.critPathNs /= opts.injectFmaxDerate;
@@ -129,10 +157,15 @@ placeAndRoute(const Netlist &net, const Device &dev,
             opts.injectFmaxDerate < 1.0 ? " [injected]" : "");
         res.status.add(std::move(d));
         res.timingMet = false;
+        obs::count("pnr.timing_misses");
     }
 
     Stopwatch bg;
-    res.bits = generateBitstream(net, region);
+    {
+        obs::Span bspan("pnr", "pnr.bitgen");
+        res.bits = generateBitstream(net, region);
+        bspan.arg("bytes", static_cast<int64_t>(res.bits.bytes));
+    }
     res.bitgenSeconds = bg.seconds();
 
     res.success = res.routing.feasible && res.timingMet;

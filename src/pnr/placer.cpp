@@ -8,6 +8,7 @@
 #include "common/rng.h"
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
+#include "obs/trace.h"
 
 namespace pld {
 namespace pnr {
@@ -148,6 +149,14 @@ class Annealer
             }
             double rate =
                 double(acc_this_temp) / double(moves_per_temp);
+            // The annealing schedule is a pure function of the seed,
+            // so these instants are structural even under restarts
+            // running on pool workers.
+            obs::instant("pnr", "pnr.place.temp")
+                .arg("step", static_cast<int64_t>(temp_steps))
+                .arg("accepted",
+                     static_cast<int64_t>(acc_this_temp));
+            obs::count("pnr.place.temp_steps");
             // VPR temperature update keyed on acceptance rate.
             double alpha;
             if (rate > 0.96)
@@ -432,11 +441,20 @@ place(const Netlist &net, const Device &dev, const Rect &region,
     int restarts = std::max(1, opts.restarts);
     std::vector<PlaceResult> results(restarts);
 
+    // Restarts may run on pool workers, whose span stacks belong to
+    // whatever they last executed — parent each restart to the
+    // logical caller instead.
+    uint64_t parent_tok = obs::currentSpan();
     auto run_one = [&](int r) {
+        obs::Span span("pnr", "pnr.place.restart", parent_tok);
+        span.arg("restart", static_cast<int64_t>(r));
         PlacerOptions o = opts;
         o.seed = restartSeed(opts.seed, r);
         Annealer a(net, dev, region, o);
         results[r] = a.run();
+        span.arg("moves",
+                 static_cast<int64_t>(results[r].movesAttempted));
+        obs::count("pnr.place.restarts");
     };
 
     unsigned want =
@@ -477,6 +495,10 @@ place(const Netlist &net, const Device &dev, const Rect &region,
         accepted += results[r].movesAccepted;
         cpu += results[r].cpuSeconds;
     }
+    obs::count("pnr.place.moves.attempted",
+               static_cast<int64_t>(attempted));
+    obs::count("pnr.place.moves.accepted",
+               static_cast<int64_t>(accepted));
     PlaceResult res = std::move(results[best]);
     res.movesAttempted = attempted;
     res.movesAccepted = accepted;

@@ -7,6 +7,7 @@
 #include "common/logging.h"
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
+#include "obs/trace.h"
 
 namespace pld {
 namespace pnr {
@@ -68,13 +69,21 @@ class PathFinder
         std::vector<int> work(net.nets.size());
         for (size_t ni = 0; ni < net.nets.size(); ++ni)
             work[ni] = static_cast<int>(ni);
-        routeBatch(work, lanes, pool.get(), cpu);
+        {
+            obs::Span init("pnr", "pnr.route.init");
+            init.arg("nets", static_cast<int64_t>(work.size()));
+            routeBatch(work, lanes, pool.get(), cpu);
+        }
 
         int iter = 1;
         for (; iter <= opts.maxIters; ++iter) {
             int over = countOverused();
             if (over == 0)
                 break;
+            obs::Span ispan("pnr", "pnr.route.iter");
+            ispan.arg("iter", static_cast<int64_t>(iter));
+            ispan.arg("overused", static_cast<int64_t>(over));
+            obs::count("pnr.route.iterations");
             // Accumulate history on overused tiles, rip up and
             // reroute every net that crosses one.
             for (size_t t = 0; t < demand.size(); ++t) {
@@ -89,6 +98,9 @@ class PathFinder
             }
             for (int ni : work)
                 ripUp(ni);
+            obs::count("pnr.route.ripups",
+                       static_cast<int64_t>(work.size()));
+            ispan.arg("rerouted", static_cast<int64_t>(work.size()));
             routeBatch(work, lanes, pool.get(), cpu);
         }
 
@@ -203,7 +215,13 @@ class PathFinder
         std::vector<std::vector<int>> deltas(chunks);
         std::vector<double> lane_seconds(chunks, 0.0);
         size_t per = (work.size() + chunks - 1) / chunks;
+        // Lane count and chunk boundaries depend on PLD_THREADS, so
+        // lane spans are scheduling telemetry, not structure.
+        uint64_t parent_tok = obs::currentSpan();
         auto run_chunk = [&](unsigned c) {
+            obs::Span lane_span("sched", "pnr.route.lane", parent_tok,
+                                /*structural=*/false);
+            lane_span.arg("lane", static_cast<int64_t>(c));
             // CPU clock, not wall: lane busy time must not count the
             // time a timeshared worker spends descheduled.
             ThreadCpuStopwatch lane;
@@ -214,6 +232,7 @@ class PathFinder
             for (size_t i = b; i < e; ++i)
                 routeNet(work[i], d);
             lane_seconds[c] = lane.seconds();
+            lane_span.arg("nets", static_cast<int64_t>(e - b));
         };
         if (chunks > 1 && pool) {
             for (unsigned c = 1; c < chunks; ++c)

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "obs/trace.h"
 
 namespace pld {
 namespace sys {
@@ -83,6 +84,7 @@ SystemSim::buildNocSystem()
     // Linking: the loader sends config packets from the DMA leaf
     // programming every producer's destination register (Sec 4.3).
     int linker_leaf = cfg.dmaLeafBase;
+    int link_idx = 0;
     for (const auto &l : g.links) {
         int src_leaf, src_port;
         if (l.src.isExternal()) {
@@ -104,6 +106,11 @@ SystemSim::buildNocSystem()
         }
         net->sendConfig(linker_leaf, src_leaf, src_port, dst_leaf,
                         dst_port);
+        // Each config packet is one reconfiguration event (Sec 4.3).
+        obs::instant("sys", "sys.link.cfg")
+            .arg("link", static_cast<int64_t>(link_idx++))
+            .arg("dst_leaf", static_cast<int64_t>(dst_leaf));
+        obs::count("sys.config_packets");
     }
 }
 
@@ -172,7 +179,11 @@ bool
 SystemSim::stepPages(uint64_t cycle)
 {
     bool all_done = true;
+    if (pageDoneMarked.size() != pages.size())
+        pageDoneMarked.assign(pages.size(), false);
+    size_t page_idx = static_cast<size_t>(-1);
     for (auto &page : pages) {
+        ++page_idx;
         if (page.done)
             continue;
         if (page.binding.impl == PageImpl::Hw) {
@@ -188,6 +199,7 @@ SystemSim::stepPages(uint64_t cycle)
                     page.binding.cyclesPerOp;
                 if (rs == RunStatus::BlockedOnRead ||
                     rs == RunStatus::BlockedOnWrite) {
+                    ++statStalls;
                     break;
                 }
                 if (page.exec->done()) {
@@ -204,9 +216,16 @@ SystemSim::stepPages(uint64_t cycle)
                               page.core->trapReason().c_str(),
                               page.core->pc());
                 } else if (st != rv32::CoreStatus::Running) {
+                    ++statStalls;
                     break; // blocked on a stream
                 }
             }
+        }
+        if (page.done && !pageDoneMarked[page_idx]) {
+            pageDoneMarked[page_idx] = true;
+            obs::instant("sys", "sys.page.done")
+                .arg("op", static_cast<int64_t>(page_idx))
+                .arg("cycle", static_cast<int64_t>(cycle));
         }
         all_done &= page.done;
     }
@@ -217,16 +236,38 @@ RunStats
 SystemSim::run(uint64_t max_cycles)
 {
     RunStats rs;
+    obs::Span run_span("sys", "sys.run");
+    statStalls = 0;
 
     // Linking phase: drain config packets (counts separately; this is
     // the seconds-scale "linking" cost the paper contrasts with
     // recompilation).
     if (net) {
+        obs::Span link_span("sys", "sys.link");
         while (!net->idle()) {
             net->stepCycle();
             ++rs.configCycles;
             pld_assert(rs.configCycles < 1000000,
                        "linking never converged");
+        }
+        link_span.arg("config_cycles",
+                      static_cast<int64_t>(rs.configCycles));
+    }
+
+    // One flow arrow per external stream: DMA start at cycle 0,
+    // finish when the stream's last word moves. The sim is
+    // single-threaded and cycle-deterministic, so cycle args are
+    // structural.
+    uint64_t words_in = 0, words_out = 0;
+    std::vector<bool> in_flow_open(extInPorts.size(), false);
+    for (size_t i = 0; i < extInPorts.size(); ++i) {
+        if (hostInPos[i] < hostIn[i].size()) {
+            obs::flowStart("sys", "sys.dma.in", i + 1)
+                .arg("stream", static_cast<int64_t>(i))
+                .arg("words",
+                     static_cast<int64_t>(hostIn[i].size() -
+                                          hostInPos[i]));
+            in_flow_open[i] = true;
         }
     }
 
@@ -238,12 +279,22 @@ SystemSim::run(uint64_t max_cycles)
                 if (hostInPos[i] < hostIn[i].size() &&
                     extInPorts[i]->canWrite()) {
                     extInPorts[i]->write(hostIn[i][hostInPos[i]++]);
+                    ++words_in;
                 }
+            }
+            if (in_flow_open[i] &&
+                hostInPos[i] == hostIn[i].size()) {
+                in_flow_open[i] = false;
+                obs::flowFinish("sys", "sys.dma.in", i + 1)
+                    .arg("stream", static_cast<int64_t>(i))
+                    .arg("cycle", static_cast<int64_t>(cycle));
             }
         }
         for (size_t j = 0; j < extOutPorts.size(); ++j) {
-            while (extOutPorts[j]->canRead())
+            while (extOutPorts[j]->canRead()) {
                 hostOut[j].push_back(extOutPorts[j]->read());
+                ++words_out;
+            }
         }
 
         bool pages_done = stepPages(cycle);
@@ -270,6 +321,17 @@ SystemSim::run(uint64_t max_cycles)
     rs.cycles = cycle;
     if (net)
         rs.noc = net->stats();
+    run_span.arg("cycles", static_cast<int64_t>(rs.cycles));
+    run_span.arg("completed",
+                 static_cast<int64_t>(rs.completed ? 1 : 0));
+    obs::count("sys.runs");
+    obs::count("sys.cycles", static_cast<int64_t>(rs.cycles));
+    obs::count("sys.config_cycles",
+               static_cast<int64_t>(rs.configCycles));
+    obs::count("sys.dma.words.in", static_cast<int64_t>(words_in));
+    obs::count("sys.dma.words.out", static_cast<int64_t>(words_out));
+    obs::count("sys.page.stalls",
+               static_cast<int64_t>(statStalls));
     return rs;
 }
 

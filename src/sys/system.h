@@ -107,6 +107,11 @@ class SystemSim
     void buildDirectSystem();
     bool stepPages(uint64_t cycle);
 
+    /** Telemetry accumulated across the run (one counter add at the
+     * end instead of per-cycle registry traffic). */
+    uint64_t statStalls = 0;
+    std::vector<bool> pageDoneMarked;
+
     const ir::Graph &g;
     SystemConfig cfg;
     std::vector<Page> pages;

@@ -1,0 +1,228 @@
+/**
+ * Fault-path telemetry: under PLD_FAULT-style injection the ladder
+ * counters in BuildReport::metrics (attempts per rung, healed-at
+ * rung, degradations) must agree exactly with the per-attempt
+ * records the report already carries — the metrics are a projection
+ * of the ladder, not a second bookkeeping system that can drift.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "common/fault.h"
+#include "fabric/device.h"
+#include "ir/builder.h"
+#include "obs/trace.h"
+#include "pld/compiler.h"
+
+using namespace pld;
+using namespace pld::ir;
+using namespace pld::flow;
+
+namespace {
+
+const fabric::Device &
+device()
+{
+    static fabric::Device d = fabric::makeU50();
+    return d;
+}
+
+OperatorFn
+makeScale(const std::string &name, double k, int n)
+{
+    constexpr Type fx = Type::fx(32, 17);
+    OpBuilder b(name);
+    auto in = b.input("in");
+    auto out = b.output("out");
+    auto x = b.var("x", fx);
+    b.forLoop(0, n, [&](Ex) {
+        b.set(x, b.read(in).bitcast(fx));
+        b.write(out, (Ex(x) * litF(k, fx)).cast(fx));
+    });
+    return b.finish();
+}
+
+/** Same shape as the fault tests: "shared" pinned to a page type
+ * with a promotion target, so the full ladder is reachable. */
+Graph
+makeApp()
+{
+    GraphBuilder gb("app");
+    auto in = gb.extIn("I");
+    auto out = gb.extOut("O");
+    auto mid = gb.wire();
+    OperatorFn shared = makeScale("shared", 2.0, 8);
+    shared.pragma.pageNum = 1;
+    gb.inst(shared, {in}, {mid});
+    gb.inst(makeScale("tail", 0.5, 8), {mid}, {out});
+    return gb.finish();
+}
+
+CompileOptions
+faultyOpts(const std::string &spec)
+{
+    CompileOptions o;
+    o.effort = 0.1;
+    o.parallelJobs = 2;
+    if (!spec.empty())
+        o.faults = FaultPlan::parse(spec);
+    return o;
+}
+
+/**
+ * Recompute the expected ladder counters from the per-attempt
+ * records: one ladder.attempts.<rung> per attempt, one
+ * ladder.healed_at.<rung> per operator that ended Ok, one
+ * ladder.degraded per softcore fallback.
+ */
+std::map<std::string, int64_t>
+expectedLadderCounters(const BuildReport &report)
+{
+    std::map<std::string, int64_t> want;
+    for (const auto &oc : report.ops) {
+        if (oc.fromCache)
+            continue;
+        for (const auto &att : oc.attempts) {
+            ++want[std::string("ladder.attempts.") +
+                   ladderStepName(att.step)];
+        }
+        if (oc.degraded)
+            ++want["ladder.degraded"];
+        if (oc.finalCode == CompileCode::Ok &&
+            !oc.attempts.empty()) {
+            ++want[std::string("ladder.healed_at.") +
+                   ladderStepName(oc.attempts.back().step)];
+        }
+    }
+    return want;
+}
+
+void
+expectLadderCountersMatch(const BuildReport &report)
+{
+    ASSERT_TRUE(report.metrics.enabled);
+    std::map<std::string, int64_t> want =
+        expectedLadderCounters(report);
+    for (const auto &[name, total] : want) {
+        EXPECT_EQ(report.metrics.counter(name), total)
+            << "counter " << name
+            << " disagrees with the attempt records";
+    }
+    // And no phantom ladder counters beyond the records.
+    for (const auto &[name, total] : report.metrics.counters) {
+        if (name.rfind("ladder.", 0) != 0 ||
+            name == "ladder.timing_accepted")
+            continue;
+        auto it = want.find(name);
+        ASSERT_NE(it, want.end()) << "unexpected counter " << name;
+        EXPECT_EQ(total, it->second) << name;
+    }
+}
+
+} // namespace
+
+TEST(FaultTelemetry, CleanBuildHealsEverythingAtInitial)
+{
+    obs::ScopedTracer st;
+    PldCompiler pc(device(), faultyOpts(""));
+    AppBuild b = pc.build(makeApp(), OptLevel::O1);
+    ASSERT_TRUE(b.report.allOk());
+
+    expectLadderCountersMatch(b.report);
+    EXPECT_EQ(b.report.metrics.counter("ladder.attempts.initial"), 2);
+    EXPECT_EQ(b.report.metrics.counter("ladder.healed_at.initial"),
+              2);
+    EXPECT_EQ(b.report.metrics.counter("ladder.degraded"), 0);
+}
+
+TEST(FaultTelemetry, FullLadderCountsEveryRung)
+{
+    // Routing never succeeds for "shared": five rungs, softcore end.
+    obs::ScopedTracer st;
+    PldCompiler pc(device(), faultyOpts("route_fail:shared"));
+    AppBuild b = pc.build(makeApp(), OptLevel::O1);
+    ASSERT_TRUE(b.report.allOk());
+    EXPECT_EQ(b.report.degradedCount(), 1);
+
+    expectLadderCountersMatch(b.report);
+    const obs::MetricsSnapshot &m = b.report.metrics;
+    // "shared" + "tail" both attempt initial; only "shared" climbs.
+    EXPECT_EQ(m.counter("ladder.attempts.initial"), 2);
+    EXPECT_EQ(m.counter("ladder.attempts.escalate-effort"), 1);
+    EXPECT_EQ(m.counter("ladder.attempts.fresh-seed"), 1);
+    EXPECT_EQ(m.counter("ladder.attempts.promote-page"), 1);
+    EXPECT_EQ(m.counter("ladder.attempts.softcore-fallback"), 1);
+    EXPECT_EQ(m.counter("ladder.healed_at.initial"), 1);
+    EXPECT_EQ(m.counter("ladder.healed_at.softcore-fallback"), 1);
+    EXPECT_EQ(m.counter("ladder.degraded"), 1);
+    EXPECT_EQ(m.counter("ladder.degraded"),
+              int64_t(b.report.degradedCount()));
+    // The degraded operator went through the softcore generator.
+    EXPECT_EQ(m.counter("rvgen.compiles"), 1);
+}
+
+TEST(FaultTelemetry, PartialFaultHealsMidLadder)
+{
+    // One injected failure: escalate-effort heals, no degradation.
+    obs::ScopedTracer st;
+    PldCompiler pc(device(), faultyOpts("route_fail:shared*1"));
+    AppBuild b = pc.build(makeApp(), OptLevel::O1);
+    ASSERT_TRUE(b.report.allOk());
+
+    expectLadderCountersMatch(b.report);
+    const obs::MetricsSnapshot &m = b.report.metrics;
+    EXPECT_EQ(m.counter("ladder.attempts.initial"), 2);
+    EXPECT_EQ(m.counter("ladder.attempts.escalate-effort"), 1);
+    EXPECT_EQ(m.counter("ladder.healed_at.initial"), 1);
+    EXPECT_EQ(m.counter("ladder.healed_at.escalate-effort"), 1);
+    EXPECT_EQ(m.counter("ladder.degraded"), 0);
+    EXPECT_EQ(m.counter("cache.corrupt"), 0);
+}
+
+TEST(FaultTelemetry, CorruptCacheEntryCountsRecompile)
+{
+    // Build twice with cache corruption injected on the second
+    // lookup: the corrupt-recompile path must count.
+    obs::ScopedTracer st;
+    PldCompiler pc(device(), faultyOpts("cache_corrupt:shared*1"));
+    AppBuild b1 = pc.build(makeApp(), OptLevel::O1);
+    ASSERT_TRUE(b1.report.allOk());
+    int64_t corrupt_before =
+        st.tracer().metrics().snapshot().counter("cache.corrupt");
+
+    AppBuild b2 = pc.build(makeApp(), OptLevel::O1);
+    ASSERT_TRUE(b2.report.allOk());
+    int64_t corrupt_delta =
+        b2.report.metrics.counter("cache.corrupt");
+    EXPECT_EQ(st.tracer().metrics().snapshot().counter(
+                  "cache.corrupt"),
+              corrupt_before + corrupt_delta);
+    EXPECT_GE(corrupt_delta, 1)
+        << "injected corruption must surface in telemetry";
+    // A corrupt hit is also a miss (it recompiles).
+    EXPECT_GE(b2.report.metrics.counter("cache.misses"),
+              corrupt_delta);
+    expectLadderCountersMatch(b2.report);
+}
+
+TEST(FaultTelemetry, MetricsDisabledWithoutTracer)
+{
+    // Belt-and-braces: no tracer => the report snapshot is inert but
+    // the attempt records are still complete.
+    obs::Tracer::current();
+    obs::Tracer *prev = obs::Tracer::install(nullptr);
+    PldCompiler pc(device(), faultyOpts("route_fail:shared*1"));
+    AppBuild b = pc.build(makeApp(), OptLevel::O1);
+    obs::Tracer::install(prev);
+
+    EXPECT_FALSE(b.report.metrics.enabled);
+    EXPECT_TRUE(b.report.metrics.counters.empty());
+    for (const auto &oc : b.report.ops) {
+        if (oc.op == "shared") {
+            EXPECT_EQ(oc.attempts.size(), 2u);
+        }
+    }
+}
