@@ -1,0 +1,102 @@
+/**
+ * Live page hot-swap with the fault-tolerant runtime: the last step
+ * of the paper's edit→recompile→hot-swap loop. One operator of the
+ * optical-flow pipeline is recompiled into a swap artifact and its
+ * page is reconfigured WHILE the rest of the system keeps its state —
+ * no full relink, no restart of the other pages.
+ *
+ * The swap streams the partial image as CRC-framed config packets;
+ * every fault-tolerance layer (per-packet CRC retransmit, watchdog,
+ * rollback, quarantine-to-softcore) is live. Try it under injected
+ * runtime faults:
+ *
+ *   PLD_FAULT=config_corrupt:flow_calc*2 ./hotswap
+ *
+ * and watch the retransmit counter absorb the corrupted packets —
+ * the swap still lands and the outputs still match the golden model.
+ */
+
+#include <cstdio>
+
+#include "fabric/device.h"
+#include "pld/compiler.h"
+#include "rosetta/benchmark.h"
+#include "sys/system.h"
+
+using namespace pld;
+
+namespace {
+
+bool
+matches(const std::vector<uint32_t> &out,
+        const std::vector<uint32_t> &expect)
+{
+    return out == expect;
+}
+
+} // namespace
+
+int
+main()
+{
+    rosetta::Benchmark bm = rosetta::makeOpticalFlow();
+    fabric::Device dev = fabric::makeU50();
+    flow::CompileOptions opts;
+    opts.effort = 0.1;
+    flow::PldCompiler pc(dev, opts);
+
+    auto build = pc.build(bm.graph, flow::OptLevel::O1);
+    std::printf("built %zu pages (-O1), overlay fmax %.0f MHz\n",
+                build.ops.size(), build.fmaxMHz);
+
+    sys::SystemSim sim(bm.graph, build.bindings, build.sysCfg);
+    sim.loadInput(0, bm.input);
+    auto rs1 = sim.run();
+    bool ok1 = rs1.completed && matches(sim.takeOutput(0), bm.expected);
+    std::printf("batch 1: %llu cycles, outputs %s\n",
+                static_cast<unsigned long long>(rs1.cycles),
+                ok1 ? "match golden" : "MISMATCH");
+
+    // Recompile flow_calc for the page it already occupies and
+    // package it for a live swap (cache hit — nothing changed; an
+    // edited function would climb the retry ladder instead).
+    flow::SwapArtifact sa =
+        pc.buildSwapArtifact(bm.graph, "flow_calc", build);
+    std::printf("swap artifact: image %llu bytes, %s, fallback "
+                "softcore attached\n",
+                static_cast<unsigned long long>(
+                    sa.binding.imageBytes),
+                sa.fromCache ? "from cache" : "recompiled");
+
+    // Hot-swap it. With PLD_FAULT set, config packets get dropped or
+    // corrupted in flight and the runtime retransmits / rolls back.
+    sys::SwapResult r = sim.swapPage(
+        sa.binding.pageId, sa.binding,
+        sa.fnChanged ? &sa.fn : nullptr);
+    std::printf("hot-swap flow_calc: outcome=%s packets=%llu "
+                "retransmits=%llu crc_errors=%llu drops=%llu "
+                "rollbacks=%d attempts=%d watchdog=%d\n",
+                sys::swapOutcomeName(r.outcome),
+                static_cast<unsigned long long>(r.packets),
+                static_cast<unsigned long long>(r.retransmits),
+                static_cast<unsigned long long>(r.crcErrors),
+                static_cast<unsigned long long>(r.drops),
+                r.rollbacks, r.attempts, r.watchdogFired ? 1 : 0);
+
+    // The swapped system keeps computing the same function.
+    sim.loadInput(0, bm.input);
+    auto rs2 = sim.run();
+    bool ok2 = rs2.completed && matches(sim.takeOutput(0), bm.expected);
+    std::printf("batch 2 (after swap): %llu cycles, outputs %s\n",
+                static_cast<unsigned long long>(rs2.cycles),
+                ok2 ? "match golden" : "MISMATCH");
+
+    std::printf("\nreconfiguration is a runtime event, not a "
+                "recompile: the other %zu pages never stopped.\n",
+                build.ops.size() - 1);
+    return ok1 && ok2 &&
+                   (r.outcome == sys::SwapOutcome::Swapped ||
+                    r.outcome == sys::SwapOutcome::Quarantined)
+               ? 0
+               : 1;
+}

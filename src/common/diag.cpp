@@ -16,6 +16,7 @@ compileStageName(CompileStage s)
       case CompileStage::Bitgen: return "bitgen";
       case CompileStage::Cache: return "cache";
       case CompileStage::Link: return "link";
+      case CompileStage::Fault: return "fault";
     }
     return "?";
 }
@@ -31,6 +32,7 @@ compileCodeName(CompileCode c)
       case CompileCode::CacheCorrupt: return "cache-corrupt";
       case CompileCode::CompileException: return "compile-exception";
       case CompileCode::DoesNotFit: return "does-not-fit";
+      case CompileCode::FaultSpecInvalid: return "fault-spec-invalid";
     }
     return "?";
 }
@@ -47,6 +49,7 @@ compileCodeRetriable(CompileCode c)
         return true;
       case CompileCode::Ok:
       case CompileCode::DoesNotFit:
+      case CompileCode::FaultSpecInvalid:
         return false;
     }
     return false;

@@ -33,6 +33,8 @@ enum class CompileStage : uint8_t {
     Bitgen,
     Cache,
     Link,
+    /** Fault-injection plan handling (PLD_FAULT parsing). */
+    Fault,
 };
 
 const char *compileStageName(CompileStage s);
@@ -52,6 +54,8 @@ enum class CompileCode : uint8_t {
     CompileException,
     /** Operator exceeds every available page type. */
     DoesNotFit,
+    /** Malformed or unknown PLD_FAULT spec entry. */
+    FaultSpecInvalid,
 };
 
 const char *compileCodeName(CompileCode c);

@@ -16,6 +16,10 @@ faultKindName(FaultKind k)
       case FaultKind::TimingMiss: return "timing_miss";
       case FaultKind::CacheCorrupt: return "cache_corrupt";
       case FaultKind::CompileThrow: return "throw";
+      case FaultKind::ConfigDrop: return "config_drop";
+      case FaultKind::ConfigCorrupt: return "config_corrupt";
+      case FaultKind::PageHang: return "page_hang";
+      case FaultKind::DmaStall: return "dma_stall";
     }
     return "?";
 }
@@ -27,13 +31,45 @@ parseKind(const std::string &s, FaultKind &out)
 {
     for (FaultKind k :
          {FaultKind::RouteFail, FaultKind::TimingMiss,
-          FaultKind::CacheCorrupt, FaultKind::CompileThrow}) {
+          FaultKind::CacheCorrupt, FaultKind::CompileThrow,
+          FaultKind::ConfigDrop, FaultKind::ConfigCorrupt,
+          FaultKind::PageHang, FaultKind::DmaStall}) {
         if (s == faultKindName(k)) {
             out = k;
             return true;
         }
     }
     return false;
+}
+
+/** Build the FaultSpecInvalid error for entry @p entry starting at
+ * byte @p offset of the whole spec string. */
+[[noreturn]] void
+badEntry(const std::string &entry, size_t offset,
+         const std::string &reason)
+{
+    Diagnostic d;
+    d.code = CompileCode::FaultSpecInvalid;
+    d.stage = CompileStage::Fault;
+    d.severity = DiagSeverity::Error;
+    d.detail = "entry '" + entry + "' (offset " +
+               std::to_string(offset) + "): " + reason +
+               "; grammar: kind:op[*count][@prob], kind one of "
+               "route_fail|timing_miss|cache_corrupt|throw|"
+               "config_drop|config_corrupt|page_hang|dma_stall";
+    throw CompileError(std::move(d));
+}
+
+bool
+allDigits(const std::string &s)
+{
+    if (s.empty())
+        return false;
+    for (char c : s) {
+        if (!std::isdigit(static_cast<unsigned char>(c)))
+            return false;
+    }
+    return true;
 }
 
 } // namespace
@@ -48,6 +84,7 @@ FaultPlan::parse(const std::string &spec)
         if (end == std::string::npos)
             end = spec.size();
         std::string entry = spec.substr(pos, end - pos);
+        size_t offset = pos;
         pos = end + 1;
         if (entry.empty())
             continue;
@@ -55,36 +92,55 @@ FaultPlan::parse(const std::string &spec)
         FaultSpec fs;
         // kind ':' op ['*' count] ['@' probability]
         size_t colon = entry.find(':');
-        if (colon == std::string::npos ||
-            !parseKind(entry.substr(0, colon), fs.kind)) {
-            pld_fatal("PLD_FAULT: bad entry '%s' (want "
-                      "kind:op[*count][@prob], kind one of route_fail"
-                      "|timing_miss|cache_corrupt|throw)",
-                      entry.c_str());
-        }
+        if (colon == std::string::npos)
+            badEntry(entry, offset, "missing ':' after fault kind");
+        if (!parseKind(entry.substr(0, colon), fs.kind))
+            badEntry(entry, offset,
+                     "unknown fault kind '" + entry.substr(0, colon) +
+                         "'");
         std::string rest = entry.substr(colon + 1);
         size_t at = rest.find('@');
         if (at != std::string::npos) {
-            fs.probability = std::atof(rest.c_str() + at + 1);
+            std::string prob = rest.substr(at + 1);
+            if (prob.empty())
+                badEntry(entry, offset, "empty probability after '@'");
+            char *endp = nullptr;
+            fs.probability = std::strtod(prob.c_str(), &endp);
+            if (endp != prob.c_str() + prob.size())
+                badEntry(entry, offset,
+                         "malformed probability '" + prob + "'");
             if (fs.probability <= 0.0 || fs.probability > 1.0)
-                pld_fatal("PLD_FAULT: probability out of (0,1] in "
-                          "'%s'", entry.c_str());
+                badEntry(entry, offset,
+                         "probability '" + prob +
+                             "' out of (0,1]");
             rest = rest.substr(0, at);
         }
-        size_t star = rest.find('*');
-        // A bare "*" op has no count suffix; only treat '*' as the
-        // count separator when digits follow it.
-        if (star != std::string::npos && star + 1 < rest.size() &&
-            std::isdigit(static_cast<unsigned char>(rest[star + 1]))) {
-            fs.count = std::atoi(rest.c_str() + star + 1);
-            if (fs.count <= 0)
-                pld_fatal("PLD_FAULT: count must be positive in "
-                          "'%s'", entry.c_str());
+        // The operator may itself be the wildcard "*", so the count
+        // separator is the LAST '*' — and only when the prefix it
+        // leaves is a valid op (bare "*" or star-free name). Any
+        // other use of '*' is a malformed count, not an op quirk.
+        size_t star = rest.rfind('*');
+        if (star != std::string::npos && star > 0) {
+            std::string suffix = rest.substr(star + 1);
+            if (!allDigits(suffix))
+                badEntry(entry, offset,
+                         "malformed count '" + suffix +
+                             "' after '*' (want digits)");
+            char *endp = nullptr;
+            long n = std::strtol(suffix.c_str(), &endp, 10);
+            if (n <= 0 || n > std::numeric_limits<int>::max())
+                badEntry(entry, offset,
+                         "count '" + suffix +
+                             "' out of range (want >= 1)");
+            fs.count = static_cast<int>(n);
             rest = rest.substr(0, star);
         }
         if (rest.empty())
-            pld_fatal("PLD_FAULT: missing operator name in '%s'",
-                      entry.c_str());
+            badEntry(entry, offset, "missing operator name");
+        if (rest != "*" && rest.find('*') != std::string::npos)
+            badEntry(entry, offset,
+                     "operator '" + rest +
+                         "' must be a name or a bare '*'");
         fs.op = rest;
         plan.specs.push_back(std::move(fs));
     }
@@ -95,16 +151,21 @@ FaultPlan
 FaultPlan::fromEnv()
 {
     FaultPlan plan;
-    if (const char *e = std::getenv("PLD_FAULT"))
-        plan = parse(e);
+    if (const char *e = std::getenv("PLD_FAULT")) {
+        try {
+            plan = parse(e);
+        } catch (const CompileError &err) {
+            pld_fatal("PLD_FAULT: %s", err.diag().render().c_str());
+        }
+    }
     if (const char *s = std::getenv("PLD_FAULT_SEED"))
         plan.seed = std::strtoull(s, nullptr, 0);
     return plan;
 }
 
 bool
-FaultInjector::fires(FaultKind k, const std::string &op,
-                     int attempt) const
+FaultInjector::fires(FaultKind k, const std::string &op, int attempt,
+                     uint64_t salt) const
 {
     for (const auto &fs : plan.specs) {
         if (fs.kind != k)
@@ -122,6 +183,7 @@ FaultInjector::fires(FaultKind k, const std::string &op,
             h.u64(static_cast<uint64_t>(k));
             h.str(op);
             h.i64(attempt);
+            h.u64(salt);
             double coin = static_cast<double>(h.digest() >> 11) /
                           static_cast<double>(1ull << 53);
             if (coin >= fs.probability)

@@ -1,27 +1,37 @@
 /**
  * @file
- * Deterministic fault injection for the compile pipeline.
+ * Deterministic fault injection for the compile pipeline AND the
+ * live-reconfiguration runtime.
  *
  * Recovery code that only runs when a design is congested is
  * recovery code that never runs in CI. The FaultInjector lets tests
  * (and users, via the PLD_FAULT environment variable) force every
  * failure the pipeline knows how to survive — routing infeasibility,
  * timing misses, cache corruption, and mid-compile exceptions — at
- * chosen operators and attempts.
+ * chosen operators and attempts. The same plan drives the runtime
+ * faults partial reconfiguration introduces: corrupted or dropped
+ * config packets, pages that hang after a swap, and stalled config
+ * DMA (see sys::SystemSim::swapPage).
  *
  * Decisions are a pure function of (plan seed, fault kind, operator
- * name, attempt number): no shared mutable state, so injection is
- * thread-safe and bit-for-bit reproducible no matter how compiles
+ * name, attempt number, salt): no shared mutable state, so injection
+ * is thread-safe and bit-for-bit reproducible no matter how compiles
  * are scheduled. The attempt number encodes both the cache claim
  * generation and the retry-ladder step (see kAttemptStride), so
  * "fail the first N attempts" specs let a fault heal after the
- * ladder escalates — exercising recovery, not just failure.
+ * ladder escalates — exercising recovery, not just failure. Runtime
+ * faults reuse the same coordinate system: attempt = swap-attempt *
+ * kAttemptStride + retransmission index, with the config-packet
+ * ordinal as the salt, so a "*N" spec corrupts the first N
+ * transmissions of every packet and then heals under retransmit.
  *
  * Spec grammar (PLD_FAULT or CompileOptions::faults):
  *
  *   spec      := entry (';' entry)*
  *   entry     := kind ':' op ['*' count] ['@' probability]
  *   kind      := route_fail | timing_miss | cache_corrupt | throw
+ *              | config_drop | config_corrupt | page_hang
+ *              | dma_stall
  *   op        := operator name, or '*' for every operator
  *
  * "route_fail:flow_calc*2"  — flow_calc's first two route attempts
@@ -29,6 +39,16 @@
  *   "timing_miss:*@0.25"    — a deterministic 25% of timing checks
  *                             miss (hash-coin per site, not random).
  *   "throw:s1"              — every compile of s1 throws mid-flight.
+ *   "config_corrupt:fc*2"   — the first two transmissions of every
+ *                             config packet of a swap of fc arrive
+ *                             with a bad CRC; retransmits heal.
+ *   "page_hang:fc"          — fc never comes back up after a swap;
+ *                             the watchdog aborts and rolls back.
+ *
+ * A malformed entry is rejected with a structured Diagnostic
+ * (CompileCode::FaultSpecInvalid) carrying the offending entry text
+ * and its byte offset in the spec — parse() throws CompileError, it
+ * never silently drops or half-accepts an entry.
  */
 
 #ifndef PLD_COMMON_FAULT_H
@@ -38,6 +58,8 @@
 #include <limits>
 #include <string>
 #include <vector>
+
+#include "common/diag.h"
 
 namespace pld {
 
@@ -50,6 +72,14 @@ enum class FaultKind : uint8_t {
     CacheCorrupt,
     /** Throw a CompileError mid-compile. */
     CompileThrow,
+    /** Runtime: drop a reconfiguration config packet in flight. */
+    ConfigDrop,
+    /** Runtime: flip a payload bit so the packet CRC check fails. */
+    ConfigCorrupt,
+    /** Runtime: the page never activates after reconfiguration. */
+    PageHang,
+    /** Runtime: the config DMA engine stalls mid-stream. */
+    DmaStall,
 };
 
 const char *faultKindName(FaultKind k);
@@ -74,10 +104,15 @@ struct FaultPlan
 
     bool empty() const { return specs.empty(); }
 
-    /** Parse the spec grammar; fatal()s on a malformed entry. */
+    /**
+     * Parse the spec grammar. A malformed or unknown entry throws
+     * CompileError whose Diagnostic (code FaultSpecInvalid, stage
+     * Fault) names the entry text and its byte offset in @p spec.
+     */
     static FaultPlan parse(const std::string &spec);
 
-    /** Plan from PLD_FAULT / PLD_FAULT_SEED (empty when unset). */
+    /** Plan from PLD_FAULT / PLD_FAULT_SEED (empty when unset);
+     * fatal()s with the rendered diagnostic on a malformed spec. */
     static FaultPlan fromEnv();
 };
 
@@ -87,6 +122,8 @@ struct FaultPlan
  * attempt = generation * kAttemptStride + ladderStep. A "*N" spec
  * with N <= kAttemptStride therefore scopes its faults to the first
  * compile of an artifact; recompiles (after eviction) run clean.
+ * The runtime swap path uses the same stride with the swap attempt
+ * in the high bits and the retransmission index in the low bits.
  */
 constexpr int kFaultAttemptStride = 16;
 
@@ -102,8 +139,12 @@ class FaultInjector
     /**
      * Should fault @p k fire at operator @p op, attempt @p attempt?
      * Pure function of the plan — thread-safe, reproducible.
+     * @p salt distinguishes probabilistic sites that share an
+     * attempt coordinate (e.g. config packets of one transmission
+     * round); it never affects counted (non-probabilistic) specs.
      */
-    bool fires(FaultKind k, const std::string &op, int attempt) const;
+    bool fires(FaultKind k, const std::string &op, int attempt,
+               uint64_t salt = 0) const;
 
   private:
     FaultPlan plan;

@@ -61,6 +61,25 @@ hashString(const std::string &s)
     return h.digest();
 }
 
+/**
+ * CRC-32 (IEEE 802.3, reflected poly 0xEDB88320), bitwise — the
+ * frame check the runtime puts on every reconfiguration config
+ * packet. Table-free: config framing is cycles-scale work in a
+ * simulator, not a hot path.
+ */
+inline uint32_t
+crc32(const void *data, size_t n, uint32_t crc = 0)
+{
+    const auto *p = static_cast<const uint8_t *>(data);
+    crc = ~crc;
+    for (size_t i = 0; i < n; ++i) {
+        crc ^= p[i];
+        for (int b = 0; b < 8; ++b)
+            crc = (crc >> 1) ^ (0xEDB88320u & (~(crc & 1) + 1));
+    }
+    return ~crc;
+}
+
 } // namespace pld
 
 #endif // PLD_COMMON_HASH_H

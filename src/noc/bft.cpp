@@ -295,5 +295,23 @@ BftNoc::idle() const
     return true;
 }
 
+bool
+BftNoc::leafQuiet(int leaf) const
+{
+    const Leaf &l = leaves[static_cast<size_t>(leaf)];
+    if (l.reinsert.valid || !l.pendingConfig.empty() ||
+        l.configInflight != 0)
+        return false;
+    for (uint8_t c : l.inflight) {
+        if (c != 0)
+            return false;
+    }
+    for (const auto &f : l.outFifos) {
+        if (f.canPop())
+            return false;
+    }
+    return true;
+}
+
 } // namespace noc
 } // namespace pld

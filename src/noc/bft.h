@@ -88,6 +88,19 @@ class BftNoc
     /** True when no flit is in flight and no config is pending. */
     bool idle() const;
 
+    /**
+     * True when leaf @p leaf has no outbound traffic anywhere in the
+     * system: nothing queued for injection, no outstanding stream
+     * credit (every injected flit acked), no config packet pending or
+     * in flight, and no deflected flit awaiting re-entry. This is the
+     * quiesce condition a hot-swap waits for before reconfiguring the
+     * page behind the leaf — inbound words parked in the leaf's input
+     * FIFOs are deliberately NOT part of it (they belong to the leaf
+     * interface, survive reconfiguration, and may keep arriving from
+     * still-running producers).
+     */
+    bool leafQuiet(int leaf) const;
+
     const NocStats &stats() const { return stats_; }
 
     /** Cycles stepped so far. */

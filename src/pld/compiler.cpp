@@ -989,6 +989,15 @@ PldCompiler::build(const ir::Graph &g, OptLevel level,
             b.impl = sys::PageImpl::Hw;
             b.cyclesPerOp = out.ops[oi].perf.cyclesPerOp();
         }
+        if (!monolithic) {
+            // Partial-image metadata for the hot-swap runtime: how
+            // many CRC-framed config packets a reconfiguration of
+            // this page streams, and the content hash seeding them.
+            b.imageBytes = b.impl == sys::PageImpl::Softcore
+                               ? out.ops[oi].elf.footprintBytes()
+                               : out.ops[oi].pnr.bits.bytes;
+            b.imageHash = artifactChecksum(out.ops[oi]);
+        }
         out.bindings.push_back(std::move(b));
     }
 
@@ -1005,6 +1014,114 @@ PldCompiler::build(const ir::Graph &g, OptLevel level,
     obs::gauge("pld.cpu.bitgen", out.cpuTimes.bitgen);
     out.report.metrics = obs::endWindow(window);
     return out;
+}
+
+SwapArtifact
+PldCompiler::buildSwapArtifact(const ir::Graph &g,
+                               const std::string &op,
+                               const AppBuild &base)
+{
+    obs::Span span("pld", "pld.swap_artifact");
+    span.arg("op", op);
+    obs::count("pld.swap_artifacts");
+
+    int oi = -1;
+    for (size_t i = 0; i < g.ops.size(); ++i) {
+        if (g.ops[i].fn.name == op) {
+            oi = static_cast<int>(i);
+            break;
+        }
+    }
+    pld_assert(oi >= 0, "buildSwapArtifact: no operator named %s",
+               op.c_str());
+    pld_assert(base.bindings.size() == g.ops.size(),
+               "buildSwapArtifact: base build has %zu operators, the "
+               "edited graph %zu — hot swap needs a matching shape",
+               base.bindings.size(), g.ops.size());
+    pld_assert(base.sysCfg.useNoc,
+               "buildSwapArtifact: monolithic builds have no pages "
+               "to swap");
+    const auto &fn = g.ops[static_cast<size_t>(oi)].fn;
+    const sys::PageBinding &cur =
+        base.bindings[static_cast<size_t>(oi)];
+
+    SwapArtifact sa;
+    sa.op = op;
+    sa.fn = fn;
+    sa.fnChanged =
+        base.ops[static_cast<size_t>(oi)].irHash != fn.contentHash();
+
+    ir::Target tgt = base.level == OptLevel::O0 ? ir::Target::RISCV
+                                                : fn.pragma.target;
+    // The page the operator currently occupies in the running system
+    // (which may be its promotion target, not the planned page).
+    int page_id = cur.pageId;
+
+    struct FailureSentinel
+    {
+        PldCompiler *pc;
+        uint64_t key;
+        bool armed;
+        ~FailureSentinel()
+        {
+            if (armed)
+                pc->publishFailure(key);
+        }
+    };
+
+    // Recompile — or cache-hit, for an unchanged operator — pinned
+    // to the current page: promo = -1, because a hot swap must not
+    // relocate the page out from under the running system.
+    uint64_t key = cacheKey(fn, tgt, page_id, true);
+    int gen = 0;
+    auto art = lookup(key, opts.effort, &gen);
+    sa.fromCache = art != nullptr;
+    if (!art) {
+        FailureSentinel guard{this, key, true};
+        if (tgt == ir::Target::HW)
+            art = compileHwLadder(fn, page_id, /*promo_page=*/-1,
+                                  opts.effort, gen);
+        else
+            art = compileSoftcore(fn, page_id, gen);
+        guard.armed = false;
+        publish(key, art, gen);
+    }
+    sa.outcome = art->outcome;
+
+    sys::PageBinding nb;
+    nb.opIdx = oi;
+    nb.pageId = page_id;
+    if (art->target == ir::Target::RISCV) {
+        nb.impl = sys::PageImpl::Softcore;
+        nb.elf = art->elf;
+        nb.imageBytes = art->elf.footprintBytes();
+    } else {
+        nb.impl = sys::PageImpl::Hw;
+        nb.cyclesPerOp = art->perf.cyclesPerOp();
+        nb.imageBytes = art->pnr.bits.bytes;
+    }
+    nb.imageHash = artifactChecksum(*art);
+
+    // Quarantine fallback: the -O0 softcore image of the same
+    // function, cached like any other artifact.
+    std::shared_ptr<OperatorArtifact> fb;
+    if (art->target == ir::Target::RISCV) {
+        fb = art;
+    } else {
+        uint64_t fkey = cacheKey(fn, ir::Target::RISCV, page_id, true);
+        int fgen = 0;
+        fb = lookup(fkey, opts.effort, &fgen);
+        if (!fb) {
+            FailureSentinel guard{this, fkey, true};
+            fb = compileSoftcore(fn, page_id, fgen);
+            guard.armed = false;
+            publish(fkey, fb, fgen);
+        }
+    }
+    nb.hasFallback = true;
+    nb.fallbackElf = fb->elf;
+    sa.binding = std::move(nb);
+    return sa;
 }
 
 } // namespace flow

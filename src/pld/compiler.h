@@ -268,6 +268,33 @@ struct AppBuild
 };
 
 /**
+ * One operator's hot-swap package: the recompiled page image plus
+ * everything the runtime needs to install it live — the binding
+ * (image size/hash for the CRC-framed config stream, the quarantine
+ * fallback binary) and the operator function the image implements.
+ * Produced by PldCompiler::buildSwapArtifact; consumed by
+ * sys::SystemSim::swapPage / requestSwap. This closes the paper's
+ * edit→recompile→hot-swap loop: recompile one operator, swap its
+ * page, keep the rest of the app running.
+ */
+struct SwapArtifact
+{
+    std::string op;
+    /** New image binding; pageId is the page the operator already
+     * occupies (a hot swap never relocates a page). */
+    sys::PageBinding binding;
+    /** The operator function the new image implements. */
+    ir::OperatorFn fn;
+    /** True when fn differs from the base build's version — the
+     * runtime then restarts the operator instead of resuming it. */
+    bool fnChanged = false;
+    /** True when the image came out of the artifact cache. */
+    bool fromCache = false;
+    /** Ladder history + diagnostics of the recompile. */
+    OperatorOutcome outcome;
+};
+
+/**
  * Driver object; keeps the artifact cache across builds so the
  * edit-compile-debug loop only recompiles what changed.
  */
@@ -285,6 +312,20 @@ class PldCompiler
      */
     AppBuild build(const ir::Graph &g, OptLevel level,
                    double effort_override = 0);
+
+    /**
+     * Incrementally recompile the operator named @p op of the edited
+     * graph @p g for the page it occupies in @p base, and package the
+     * result for a live swap. Unchanged operators come straight out
+     * of the artifact cache; edited ones climb the usual retry ladder
+     * — pinned to their current page (no promotion; a swap may not
+     * relocate a page), degrading to the softcore image when the
+     * edit no longer routes. Always carries the -O0 softcore binary
+     * of the same function as the quarantine fallback.
+     */
+    SwapArtifact buildSwapArtifact(const ir::Graph &g,
+                                   const std::string &op,
+                                   const AppBuild &base);
 
     const CacheStats &cacheStats() const { return cache_stats; }
 

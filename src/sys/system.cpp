@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/hash.h"
 #include "common/logging.h"
 #include "obs/trace.h"
 
@@ -13,16 +14,31 @@ using dataflow::FifoWritePort;
 using dataflow::WordFifo;
 using interp::RunStatus;
 
+const char *
+swapOutcomeName(SwapOutcome o)
+{
+    switch (o) {
+      case SwapOutcome::Swapped: return "swapped";
+      case SwapOutcome::RolledBack: return "rolled_back";
+      case SwapOutcome::Quarantined: return "quarantined";
+      case SwapOutcome::Rejected: return "rejected";
+    }
+    return "?";
+}
+
 SystemSim::SystemSim(const ir::Graph &g,
                      const std::vector<PageBinding> &bindings,
                      const SystemConfig &cfg)
-    : g(g), cfg(cfg)
+    : g(g), cfg(cfg),
+      injector(cfg.faults.empty() ? FaultPlan::fromEnv() : cfg.faults)
 {
     pld_assert(bindings.size() == g.ops.size(),
                "need one page binding per operator");
     pages.resize(bindings.size());
     for (size_t i = 0; i < bindings.size(); ++i)
         pages[bindings[i].opIdx].binding = bindings[i];
+    for (size_t oi = 0; oi < g.ops.size(); ++oi)
+        pages[oi].fn = &g.ops[oi].fn;
 
     hostIn.resize(g.extInputs.size());
     hostInPos.assign(g.extInputs.size(), 0);
@@ -61,6 +77,7 @@ SystemSim::buildNocSystem()
             else
                 ports.push_back(net->outPort(leaf, int(pi)));
         }
+        pages[oi].ports = ports;
         if (pages[oi].binding.impl == PageImpl::Hw) {
             pages[oi].exec = std::make_unique<interp::OperatorExec>(
                 fn, ports);
@@ -143,6 +160,7 @@ SystemSim::buildDirectSystem()
             }
             ports.push_back(portStorage.back().get());
         }
+        pages[oi].ports = ports;
         if (pages[oi].binding.impl == PageImpl::Hw) {
             pages[oi].exec = std::make_unique<interp::OperatorExec>(
                 fn, ports);
@@ -176,6 +194,44 @@ SystemSim::loadInput(int ext_idx, const std::vector<uint32_t> &words)
 }
 
 bool
+SystemSim::anyInputReadable(const Page &page) const
+{
+    for (size_t pi = 0; pi < page.fn->ports.size(); ++pi) {
+        if (page.fn->ports[pi].dir == ir::PortDir::In &&
+            page.ports[pi]->canRead())
+            return true;
+    }
+    return false;
+}
+
+void
+SystemSim::rearmPages()
+{
+    bool new_input = false;
+    for (size_t i = 0; i < hostIn.size(); ++i)
+        new_input |= hostInPos[i] < hostIn[i].size();
+    if (!new_input)
+        return;
+    // A completed page is reset to its entry state so the next batch
+    // re-runs it; pages that never finished keep their progress.
+    for (size_t i = 0; i < pages.size(); ++i) {
+        auto &page = pages[i];
+        if (!page.done)
+            continue;
+        page.done = false;
+        page.budget = 0;
+        page.starved = false;
+        if (i < pageDoneMarked.size())
+            pageDoneMarked[i] = false;
+        if (page.exec)
+            page.exec->reset();
+        if (page.core)
+            page.core = std::make_unique<rv32::Core>(page.binding.elf,
+                                                     page.ports);
+    }
+}
+
+bool
 SystemSim::stepPages(uint64_t cycle)
 {
     bool all_done = true;
@@ -186,6 +242,17 @@ SystemSim::stepPages(uint64_t cycle)
         ++page_idx;
         if (page.done)
             continue;
+        if (page.paused) {
+            // Frozen by an in-flight swap; the system cannot complete
+            // while the swap engine holds the page.
+            all_done = false;
+            continue;
+        }
+        if (page.restartable && page.starved) {
+            if (!anyInputReadable(page))
+                continue; // quiescent: restarted page with no work
+            page.starved = false;
+        }
         if (page.binding.impl == PageImpl::Hw) {
             page.budget = std::min(page.budget + 1.0, 8.0);
             while (page.budget > 0 && !page.done) {
@@ -200,6 +267,10 @@ SystemSim::stepPages(uint64_t cycle)
                 if (rs == RunStatus::BlockedOnRead ||
                     rs == RunStatus::BlockedOnWrite) {
                     ++statStalls;
+                    if (page.restartable &&
+                        rs == RunStatus::BlockedOnRead &&
+                        !anyInputReadable(page))
+                        page.starved = true;
                     break;
                 }
                 if (page.exec->done()) {
@@ -207,7 +278,9 @@ SystemSim::stepPages(uint64_t cycle)
                 }
             }
         } else {
-            while (!page.done && page.core->cycles() < cycle) {
+            while (!page.done &&
+                   page.core->cycles() - page.coreSyncCycles <
+                       cycle - page.coreSyncRun) {
                 rv32::CoreStatus st = page.core->step(16);
                 if (st == rv32::CoreStatus::Halted) {
                     page.done = true;
@@ -217,6 +290,10 @@ SystemSim::stepPages(uint64_t cycle)
                               page.core->pc());
                 } else if (st != rv32::CoreStatus::Running) {
                     ++statStalls;
+                    if (page.restartable &&
+                        st == rv32::CoreStatus::BlockedOnRead &&
+                        !anyInputReadable(page))
+                        page.starved = true;
                     break; // blocked on a stream
                 }
             }
@@ -227,7 +304,7 @@ SystemSim::stepPages(uint64_t cycle)
                 .arg("op", static_cast<int64_t>(page_idx))
                 .arg("cycle", static_cast<int64_t>(cycle));
         }
-        all_done &= page.done;
+        all_done &= page.done || (page.restartable && page.starved);
     }
     return all_done;
 }
@@ -238,6 +315,16 @@ SystemSim::run(uint64_t max_cycles)
     RunStats rs;
     obs::Span run_span("sys", "sys.run");
     statStalls = 0;
+
+    rearmPages();
+    // Re-base every softcore's clock sync so carried-over cores
+    // (batch 2+, quarantine fallbacks) track this run's cycle 0.
+    for (auto &page : pages) {
+        if (page.core) {
+            page.coreSyncRun = 0;
+            page.coreSyncCycles = page.core->cycles();
+        }
+    }
 
     // Linking phase: drain config packets (counts separately; this is
     // the seconds-scale "linking" cost the paper contrasts with
@@ -273,6 +360,16 @@ SystemSim::run(uint64_t max_cycles)
 
     uint64_t cycle = 0;
     for (; cycle < max_cycles; ++cycle) {
+        // Swap engine: start any due queued swap, then advance it.
+        if (!swapActive() && !swapQueue.empty() &&
+            swapQueue.front().atCycle <= cycle) {
+            SwapRequest req = std::move(swapQueue.front());
+            swapQueue.erase(swapQueue.begin());
+            beginSwap(req.pageId, req.nb, std::move(req.newFn), true);
+        }
+        if (swapActive())
+            stepSwap(cycle);
+
         // DMA: move host words.
         for (size_t i = 0; i < extInPorts.size(); ++i) {
             for (int w = 0; w < cfg.dmaWordsPerCycle; ++w) {
@@ -301,7 +398,16 @@ SystemSim::run(uint64_t max_cycles)
         if (net)
             net->stepCycle();
 
-        if (pages_done) {
+        if (pages_done && !swapActive()) {
+            if (!swapQueue.empty()) {
+                // Work ran out before the requested start cycle:
+                // start the swap now rather than stranding it.
+                SwapRequest req = std::move(swapQueue.front());
+                swapQueue.erase(swapQueue.begin());
+                beginSwap(req.pageId, req.nb, std::move(req.newFn),
+                          true);
+                continue;
+            }
             bool inputs_done = true;
             for (size_t i = 0; i < hostIn.size(); ++i)
                 inputs_done &= (hostInPos[i] == hostIn[i].size());
@@ -324,6 +430,14 @@ SystemSim::run(uint64_t max_cycles)
     run_span.arg("cycles", static_cast<int64_t>(rs.cycles));
     run_span.arg("completed",
                  static_cast<int64_t>(rs.completed ? 1 : 0));
+    if (!rs.completed) {
+        // A run that hit max_cycles stalled; make that loud in the
+        // trace instead of a silent completed=false.
+        obs::instant("sys", "sys.run.timeout")
+            .arg("cycles", static_cast<int64_t>(rs.cycles))
+            .arg("max_cycles", static_cast<int64_t>(max_cycles));
+        obs::count("sys.run.timeouts");
+    }
     obs::count("sys.runs");
     obs::count("sys.cycles", static_cast<int64_t>(rs.cycles));
     obs::count("sys.config_cycles",
@@ -339,6 +453,461 @@ std::vector<uint32_t>
 SystemSim::takeOutput(int ext_idx)
 {
     return std::move(hostOut[static_cast<size_t>(ext_idx)]);
+}
+
+// ---------------------------------------------------------------------
+// Hot-swap engine
+// ---------------------------------------------------------------------
+
+int
+SystemSim::findPage(int page_id) const
+{
+    for (size_t i = 0; i < pages.size(); ++i) {
+        if (pages[i].binding.pageId == page_id)
+            return static_cast<int>(i);
+    }
+    return -1;
+}
+
+bool
+SystemSim::pageQuarantined(int page_id) const
+{
+    int idx = findPage(page_id);
+    pld_assert(idx >= 0, "no page at leaf %d", page_id);
+    return pages[static_cast<size_t>(idx)].quarantined;
+}
+
+PageImpl
+SystemSim::pageImpl(int page_id) const
+{
+    int idx = findPage(page_id);
+    pld_assert(idx >= 0, "no page at leaf %d", page_id);
+    return pages[static_cast<size_t>(idx)].binding.impl;
+}
+
+uint64_t
+SystemSim::packetCycles() const
+{
+    // One 32-bit config word per cycle over the ICAP-style channel.
+    return std::max<uint64_t>(1, cfg.swapPacketBytes / 4);
+}
+
+uint64_t
+SystemSim::watchdogBudget() const
+{
+    if (cfg.swapWatchdogCycles)
+        return cfg.swapWatchdogCycles;
+    // Auto: generous enough that a fault-free stream — even one that
+    // retransmits every packet to the limit — never trips it, so the
+    // watchdog only ever reports genuine hangs.
+    uint64_t max_backoff =
+        cfg.swapBackoffBase
+        << std::min<uint64_t>(
+               static_cast<uint64_t>(cfg.swapMaxRetransmits), 10);
+    uint64_t per_tx = 1 + packetCycles() + cfg.swapAckTimeoutCycles +
+                      max_backoff;
+    uint64_t per_packet =
+        per_tx * static_cast<uint64_t>(cfg.swapMaxRetransmits + 1);
+    return swap.packetsTotal * per_packet + cfg.swapDmaStallCycles +
+           cfg.swapActivationCycles + 256;
+}
+
+SwapResult
+SystemSim::swapPage(int page_id, const PageBinding &nb,
+                    const ir::OperatorFn *new_fn)
+{
+    std::unique_ptr<ir::OperatorFn> fn_copy;
+    if (new_fn)
+        fn_copy = std::make_unique<ir::OperatorFn>(*new_fn);
+    beginSwap(page_id, nb, std::move(fn_copy), false);
+    uint64_t guard = 0;
+    while (swapActive()) {
+        stepSwap(0);
+        if (net)
+            net->stepCycle();
+        pld_assert(++guard < 100000000ull, "swap never terminated");
+    }
+    return swapLog.back();
+}
+
+void
+SystemSim::requestSwap(int page_id, const PageBinding &nb,
+                       uint64_t at_cycle, const ir::OperatorFn *new_fn)
+{
+    SwapRequest req;
+    req.pageId = page_id;
+    req.nb = nb;
+    if (new_fn)
+        req.newFn = std::make_unique<ir::OperatorFn>(*new_fn);
+    req.atCycle = at_cycle;
+    swapQueue.push_back(std::move(req));
+}
+
+void
+SystemSim::beginSwap(int page_id, const PageBinding &nb,
+                     std::unique_ptr<ir::OperatorFn> new_fn,
+                     bool in_run)
+{
+    pld_assert(net, "hot swap requires the NoC overlay (useNoc)");
+    pld_assert(!swapActive(), "one swap at a time");
+    swap = SwapState{};
+    swap.inRun = in_run;
+    swap.nb = nb;
+    swap.newFn = std::move(new_fn);
+    obs::count("sys.swap.requests");
+
+    int idx = findPage(page_id);
+    if (idx < 0 || pages[static_cast<size_t>(idx)].quarantined) {
+        swap.result.outcome = SwapOutcome::Rejected;
+        obs::count("sys.swap.rejected");
+        obs::instant("sys", "sys.swap.rejected")
+            .arg("page", static_cast<int64_t>(page_id));
+        swapLog.push_back(swap.result);
+        return;
+    }
+    swap.pageIdx = static_cast<size_t>(idx);
+    Page &page = pages[swap.pageIdx];
+    page.paused = true;
+    swap.packetsTotal = std::max<uint64_t>(
+        1, (nb.imageBytes + cfg.swapPacketBytes - 1) /
+               cfg.swapPacketBytes);
+    swap.phase = SwapPhase::Draining;
+    swap.span = std::make_unique<obs::Span>("sys", "sys.swap");
+    swap.span->arg("op", page.fn->name)
+        .arg("page", static_cast<int64_t>(page_id))
+        .arg("packets", static_cast<int64_t>(swap.packetsTotal));
+    obs::instant("sys", "sys.swap.begin")
+        .arg("op", page.fn->name)
+        .arg("page", static_cast<int64_t>(page_id))
+        .arg("packets", static_cast<int64_t>(swap.packetsTotal));
+}
+
+void
+SystemSim::startAttempt()
+{
+    Page &page = pages[swap.pageIdx];
+    swap.phase = SwapPhase::Streaming;
+    swap.packetIdx = 0;
+    swap.txCur = 0;
+    swap.packetCycleLeft = 0;
+    swap.ackWaitLeft = 0;
+    swap.backoffLeft = 0;
+    swap.stallLeft = 0;
+    swap.stalledThisAttempt = false;
+    swap.hung = false;
+    swap.activateLeft = 0;
+    swap.result.attempts = swap.attempt + 1;
+    swap.watchdogDeadline = swap.elapsed + watchdogBudget();
+    obs::instant("sys", "sys.swap.attempt")
+        .arg("op", page.fn->name)
+        .arg("attempt", static_cast<int64_t>(swap.attempt));
+    if (injector.fires(FaultKind::DmaStall, page.fn->name,
+                       swap.attempt * kFaultAttemptStride)) {
+        swap.stallLeft = cfg.swapDmaStallCycles;
+        swap.stalledThisAttempt = true;
+        ++swap.result.dmaStalls;
+        obs::count("sys.swap.dma_stalls");
+    }
+}
+
+void
+SystemSim::scheduleRetransmit()
+{
+    ++swap.txCur;
+    if (swap.txCur > cfg.swapMaxRetransmits) {
+        attemptFailed();
+        return;
+    }
+    ++swap.result.retransmits;
+    obs::count("sys.swap.retransmits");
+    swap.backoffLeft = cfg.swapBackoffBase
+                       << std::min(swap.txCur - 1, 10);
+}
+
+void
+SystemSim::transmissionResolved()
+{
+    Page &page = pages[swap.pageIdx];
+    const std::string &op = page.fn->name;
+    // Fault coordinate: swap attempt in the high bits, transmission
+    // index in the low bits (clamped to the stride), packet ordinal
+    // as the salt — the runtime mirror of the compile-ladder scheme.
+    int coord = swap.attempt * kFaultAttemptStride +
+                std::min(swap.txCur, kFaultAttemptStride - 1);
+    uint64_t salt = swap.packetIdx;
+
+    // Frame the packet: payload derived from the image content hash,
+    // CRC-32 over the payload (the real check, not a modelled one).
+    std::vector<uint8_t> payload(cfg.swapPacketBytes);
+    for (size_t i = 0; i < payload.size(); i += 8) {
+        Hasher h;
+        h.u64(swap.nb.imageHash);
+        h.u64(swap.packetIdx);
+        h.u64(i);
+        uint64_t w = h.digest();
+        for (size_t b = 0; b < 8 && i + b < payload.size(); ++b)
+            payload[i + b] = static_cast<uint8_t>(w >> (8 * b));
+    }
+    uint32_t frame_crc = crc32(payload.data(), payload.size());
+
+    if (injector.fires(FaultKind::ConfigDrop, op, coord, salt)) {
+        // Packet lost in flight: the sender only learns via ack
+        // timeout, then retransmits.
+        ++swap.result.drops;
+        obs::count("sys.swap.drops");
+        swap.ackWaitLeft = std::max<uint64_t>(1,
+                                              cfg.swapAckTimeoutCycles);
+        return;
+    }
+    if (injector.fires(FaultKind::ConfigCorrupt, op, coord, salt)) {
+        // Bit flip in flight; the page's CRC check catches it and
+        // NAKs immediately.
+        payload[static_cast<size_t>(coord) % payload.size()] ^=
+            static_cast<uint8_t>(1u << (salt % 8));
+        pld_assert(crc32(payload.data(), payload.size()) != frame_crc,
+                   "CRC-32 failed to detect a single-bit corruption");
+        ++swap.result.crcErrors;
+        obs::count("sys.swap.crc_errors");
+        scheduleRetransmit();
+        return;
+    }
+    // Accepted: CRC verified, commit and move to the next packet.
+    pld_assert(crc32(payload.data(), payload.size()) == frame_crc,
+               "clean packet failed its own CRC");
+    ++swap.result.packets;
+    obs::count("sys.swap.packets");
+    swap.txCur = 0;
+    ++swap.packetIdx;
+    if (swap.packetIdx == swap.packetsTotal) {
+        swap.phase = SwapPhase::Activating;
+        swap.activateLeft = std::max<uint64_t>(
+            1, cfg.swapActivationCycles);
+    }
+}
+
+void
+SystemSim::attemptFailed()
+{
+    Page &page = pages[swap.pageIdx];
+    // Roll back: re-stream the previous image fault-free (its frames
+    // are known-good and the config channel fault window has passed);
+    // the page's execution context was never torn down, so only the
+    // streaming time is charged.
+    ++swap.result.rollbacks;
+    obs::count("sys.swap.rollbacks");
+    obs::instant("sys", "sys.swap.rollback")
+        .arg("op", page.fn->name)
+        .arg("attempt", static_cast<int64_t>(swap.attempt));
+    uint64_t old_packets = std::max<uint64_t>(
+        1, (page.binding.imageBytes + cfg.swapPacketBytes - 1) /
+               cfg.swapPacketBytes);
+    swap.phase = SwapPhase::RollingBack;
+    swap.rollbackLeft = old_packets * (packetCycles() + 1);
+}
+
+void
+SystemSim::stepSwap(uint64_t run_cycle)
+{
+    Page &page = pages[swap.pageIdx];
+    ++swap.elapsed;
+    switch (swap.phase) {
+      case SwapPhase::Idle:
+        return;
+      case SwapPhase::Draining:
+        if (net->leafQuiet(page.binding.pageId)) {
+            startAttempt();
+            return;
+        }
+        if (swap.elapsed > cfg.swapDrainTimeoutCycles) {
+            // The leaf never quiesced: abort before any image bits
+            // were committed. The old page was never touched.
+            swap.result.watchdogFired = true;
+            obs::count("sys.swap.watchdog_fired");
+            finishSwap(SwapOutcome::RolledBack, run_cycle);
+        }
+        return;
+      case SwapPhase::Streaming:
+        if (swap.elapsed >= swap.watchdogDeadline) {
+            swap.result.watchdogFired = true;
+            obs::count("sys.swap.watchdog_fired");
+            attemptFailed();
+            return;
+        }
+        if (swap.stallLeft) {
+            --swap.stallLeft;
+            return;
+        }
+        if (swap.backoffLeft) {
+            --swap.backoffLeft;
+            return;
+        }
+        if (swap.ackWaitLeft) {
+            if (--swap.ackWaitLeft == 0)
+                scheduleRetransmit(); // drop confirmed by timeout
+            return;
+        }
+        if (swap.packetCycleLeft) {
+            if (--swap.packetCycleLeft == 0)
+                transmissionResolved();
+            return;
+        }
+        // Begin the next transmission of the current packet.
+        swap.packetCycleLeft = packetCycles();
+        return;
+      case SwapPhase::Activating:
+        if (swap.elapsed >= swap.watchdogDeadline) {
+            swap.result.watchdogFired = true;
+            obs::count("sys.swap.watchdog_fired");
+            attemptFailed();
+            return;
+        }
+        if (swap.hung)
+            return; // page never reports up; watchdog will fire
+        if (swap.activateLeft && --swap.activateLeft == 0) {
+            if (injector.fires(FaultKind::PageHang, page.fn->name,
+                               swap.attempt * kFaultAttemptStride)) {
+                swap.hung = true;
+                obs::instant("sys", "sys.swap.hang")
+                    .arg("op", page.fn->name)
+                    .arg("attempt",
+                         static_cast<int64_t>(swap.attempt));
+                return;
+            }
+            finishSwap(SwapOutcome::Swapped, run_cycle);
+        }
+        return;
+      case SwapPhase::RollingBack:
+        if (swap.rollbackLeft) {
+            --swap.rollbackLeft;
+            return;
+        }
+        if (swap.attempt + 1 < cfg.swapMaxAttempts) {
+            ++swap.attempt;
+            startAttempt();
+        } else {
+            finishSwap(SwapOutcome::Quarantined, run_cycle);
+        }
+        return;
+    }
+}
+
+void
+SystemSim::installImage(uint64_t run_cycle)
+{
+    Page &page = pages[swap.pageIdx];
+    PageBinding nb = swap.nb;
+    nb.opIdx = page.binding.opIdx;
+    nb.pageId = page.binding.pageId; // swaps never relocate a page
+    bool fn_changed = swap.newFn != nullptr;
+    if (fn_changed) {
+        page.ownedFn = std::move(swap.newFn);
+        page.fn = page.ownedFn.get();
+    }
+    bool restart = fn_changed || nb.impl != page.binding.impl;
+    if (nb.impl == PageImpl::Hw) {
+        if (restart || !page.exec) {
+            page.core.reset();
+            page.exec = std::make_unique<interp::OperatorExec>(
+                *page.fn, page.ports);
+            page.restartable = true;
+            page.starved = false;
+            page.done = false;
+            page.budget = 0;
+            if (swap.pageIdx < pageDoneMarked.size())
+                pageDoneMarked[swap.pageIdx] = false;
+        }
+        // else: same function, re-timed/re-placed image — the
+        // operator's architectural stream state lives in the leaf
+        // interface (not reconfigured), so execution resumes where
+        // the drain left it; only cyclesPerOp changes.
+    } else {
+        page.exec.reset();
+        page.core = std::make_unique<rv32::Core>(nb.elf, page.ports);
+        page.coreSyncRun = run_cycle;
+        page.coreSyncCycles = 0;
+        page.restartable = true;
+        page.starved = false;
+        page.done = false;
+        page.budget = 0;
+        if (swap.pageIdx < pageDoneMarked.size())
+            pageDoneMarked[swap.pageIdx] = false;
+    }
+    page.binding = nb;
+}
+
+void
+SystemSim::installFallback(uint64_t run_cycle)
+{
+    Page &page = pages[swap.pageIdx];
+    page.quarantined = true;
+    obs::count("sys.swap.quarantined");
+    // Prefer the new image's fallback binary (it implements the
+    // edited function); fall back to the old binding's; with neither,
+    // pin the old image in place.
+    const PageBinding *src = nullptr;
+    if (swap.nb.hasFallback)
+        src = &swap.nb;
+    else if (page.binding.hasFallback)
+        src = &page.binding;
+    obs::instant("sys", "sys.swap.quarantine")
+        .arg("op", page.fn->name)
+        .arg("fallback", static_cast<int64_t>(src ? 1 : 0));
+    if (!src)
+        return; // old image stays; future swaps are rejected
+    if (src == &swap.nb && swap.newFn) {
+        page.ownedFn = std::move(swap.newFn);
+        page.fn = page.ownedFn.get();
+    }
+    page.exec.reset();
+    page.core =
+        std::make_unique<rv32::Core>(src->fallbackElf, page.ports);
+    page.coreSyncRun = run_cycle;
+    page.coreSyncCycles = 0;
+    page.binding.impl = PageImpl::Softcore;
+    page.binding.elf = src->fallbackElf;
+    page.binding.imageBytes = src->fallbackElf.footprintBytes();
+    page.restartable = true;
+    page.starved = false;
+    page.done = false;
+    page.budget = 0;
+    if (swap.pageIdx < pageDoneMarked.size())
+        pageDoneMarked[swap.pageIdx] = false;
+}
+
+void
+SystemSim::finishSwap(SwapOutcome outcome, uint64_t run_cycle)
+{
+    Page &page = pages[swap.pageIdx];
+    if (outcome == SwapOutcome::Swapped) {
+        installImage(run_cycle);
+        obs::count("sys.swap.completed");
+    } else if (outcome == SwapOutcome::Quarantined) {
+        installFallback(run_cycle);
+    }
+    page.paused = false;
+    swap.result.outcome = outcome;
+    swap.result.cycles = swap.elapsed;
+    obs::record("sys.swap.cycles",
+                static_cast<double>(swap.result.cycles));
+    obs::instant("sys", "sys.swap.done")
+        .arg("op", page.fn->name)
+        .arg("outcome", swapOutcomeName(outcome))
+        .arg("cycles", static_cast<int64_t>(swap.result.cycles))
+        .arg("retransmits",
+             static_cast<int64_t>(swap.result.retransmits));
+    if (swap.span) {
+        swap.span->arg("outcome", swapOutcomeName(outcome))
+            .arg("cycles", static_cast<int64_t>(swap.result.cycles))
+            .arg("packets", static_cast<int64_t>(swap.result.packets))
+            .arg("retransmits",
+                 static_cast<int64_t>(swap.result.retransmits))
+            .arg("rollbacks",
+                 static_cast<int64_t>(swap.result.rollbacks));
+        swap.span.reset();
+    }
+    swapLog.push_back(swap.result);
+    swap.newFn.reset();
+    swap.phase = SwapPhase::Idle;
 }
 
 } // namespace sys

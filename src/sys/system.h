@@ -17,6 +17,21 @@
  *  - The NoC moves one flit per link per cycle with deflection.
  * Wall-clock seconds per input are cycles / Fmax, reported by the
  * benchmark harness (Table 3).
+ *
+ * Live reconfiguration (hot swap): swapPage() / requestSwap() replace
+ * one page's image while the rest of the system keeps executing — the
+ * paper's edit→recompile→hot-swap loop. The swap engine drains the
+ * target's NoC traffic, streams the new image as CRC-framed config
+ * packets over a dedicated ICAP-style config channel (sized from the
+ * image footprint, mirroring partial-bitstream size), and activates.
+ * It is fault tolerant end to end: per-packet CRC with bounded
+ * retransmit and exponential backoff, a reconfiguration watchdog, a
+ * rollback to the previous image on an aborted attempt, and a
+ * quarantine policy that pins a page to its softcore fallback after
+ * repeated failures (the runtime continuation of the compile-time
+ * retry ladder). All fault decisions come from the deterministic
+ * FaultInjector, so every scenario is bit-reproducible under any
+ * PLD_THREADS.
  */
 
 #ifndef PLD_SYS_SYSTEM_H
@@ -25,9 +40,11 @@
 #include <memory>
 #include <vector>
 
+#include "common/fault.h"
 #include "interp/exec.h"
 #include "ir/graph.h"
 #include "noc/bft.h"
+#include "obs/trace.h"
 #include "rv32/iss.h"
 
 namespace pld {
@@ -46,6 +63,19 @@ struct PageBinding
     double cyclesPerOp = 1.0;
     /** Softcore: the packed -O0 binary. */
     rv32::PldElf elf;
+    /**
+     * Partial-image size in bytes (drives how many config packets a
+     * hot swap streams). 0 = unknown; the swap engine then assumes
+     * one packet. The compiler fills this from the page's resource
+     * footprint (HW) or the binary footprint (softcore).
+     */
+    uint64_t imageBytes = 0;
+    /** Content hash of the image (seeds the CRC-framed packets). */
+    uint64_t imageHash = 0;
+    /** Quarantine fallback: pin the operator to this -O0 softcore
+     * binary after repeated swap failures. */
+    bool hasFallback = false;
+    rv32::PldElf fallbackElf;
 };
 
 struct SystemConfig
@@ -60,6 +90,35 @@ struct SystemConfig
     int dmaWordsPerCycle = 1;
     /** First NoC leaf used for DMA endpoints. */
     int dmaLeafBase = 24;
+
+    // --- Hot-swap / runtime fault tolerance knobs -----------------
+    /** Payload bytes per CRC-framed config packet. */
+    size_t swapPacketBytes = 128;
+    /** Retransmissions allowed per packet before the attempt aborts. */
+    int swapMaxRetransmits = 4;
+    /** Swap attempts (stream + activate) before quarantine. */
+    int swapMaxAttempts = 2;
+    /**
+     * Cycle budget per swap attempt before the watchdog aborts it.
+     * 0 = auto: sized so a fault-free (even fully retransmitted)
+     * stream never trips it, but a hung activation always does.
+     */
+    uint64_t swapWatchdogCycles = 0;
+    /** Cycles the sender waits for an ack before declaring a drop. */
+    uint64_t swapAckTimeoutCycles = 16;
+    /** Base retransmit backoff in cycles (doubles per retry). */
+    uint64_t swapBackoffBase = 2;
+    /** Cycles to wait for the target leaf to quiesce before abort. */
+    uint64_t swapDrainTimeoutCycles = 100000;
+    /** Cycles a dma_stall fault freezes the config channel for. */
+    uint64_t swapDmaStallCycles = 64;
+    /** Cycles from last packet accepted to the page reporting up. */
+    uint64_t swapActivationCycles = 8;
+    /**
+     * Runtime fault plan (config_drop / config_corrupt / page_hang /
+     * dma_stall). Empty = inherit PLD_FAULT from the environment.
+     */
+    FaultPlan faults;
 };
 
 /** Per-run result summary. */
@@ -69,6 +128,40 @@ struct RunStats
     uint64_t configCycles = 0; ///< linking (config packets) phase
     bool completed = false;
     noc::NocStats noc;
+};
+
+/** Terminal state of one swapPage()/requestSwap(). */
+enum class SwapOutcome {
+    /** New image streamed, verified, and activated. */
+    Swapped,
+    /** Aborted before any image bits were committed (drain never
+     * quiesced); the old image was never touched. */
+    RolledBack,
+    /** All attempts failed; the page is pinned to its fallback
+     * softcore (or the old image when no fallback exists) and
+     * further swaps are rejected. */
+    Quarantined,
+    /** Target page is quarantined (or unknown); nothing happened. */
+    Rejected,
+};
+
+const char *swapOutcomeName(SwapOutcome o);
+
+/** What one swap did and what it cost. */
+struct SwapResult
+{
+    SwapOutcome outcome = SwapOutcome::Rejected;
+    /** Total swap duration in sim cycles (drain → terminal). */
+    uint64_t cycles = 0;
+    /** New-image packets accepted by the page's CRC check. */
+    uint64_t packets = 0;
+    uint64_t retransmits = 0;
+    uint64_t crcErrors = 0;
+    uint64_t drops = 0;
+    uint64_t dmaStalls = 0;
+    int attempts = 0;
+    int rollbacks = 0;
+    bool watchdogFired = false;
 };
 
 /**
@@ -86,26 +179,157 @@ class SystemSim
 
     /**
      * Link (config packets through the network) and run to
-     * completion or @p max_cycles.
+     * completion or @p max_cycles. Pages that completed a previous
+     * run are re-armed (reset to their entry state) when new host
+     * input is queued, so one SystemSim can process many batches.
      */
     RunStats run(uint64_t max_cycles = 500000000ull);
 
     /** Words the DMA engine collected from external output. */
     std::vector<uint32_t> takeOutput(int ext_idx);
 
+    /**
+     * Hot-swap the page at NoC leaf @p page_id to @p nb, synchronously
+     * (between runs): drain, stream CRC-framed packets, activate —
+     * with retransmit / watchdog / rollback / quarantine handling.
+     * @p new_fn, when non-null, is the edited operator function the
+     * new image implements (the sim keeps its own copy); null means
+     * the function is unchanged (a re-timed/re-placed image) and the
+     * operator's execution state survives the swap — architectural
+     * stream state lives in the leaf interface, which DFX does not
+     * reconfigure. A function-changing swap restarts the operator.
+     */
+    SwapResult swapPage(int page_id, const PageBinding &nb,
+                        const ir::OperatorFn *new_fn = nullptr);
+
+    /**
+     * Queue a hot swap to start once run() reaches @p at_cycle
+     * (run-local clock): the rest of the system keeps executing
+     * while the swap engine drains and streams. Results are appended
+     * to swapHistory() in start order.
+     */
+    void requestSwap(int page_id, const PageBinding &nb,
+                     uint64_t at_cycle,
+                     const ir::OperatorFn *new_fn = nullptr);
+
+    const std::vector<SwapResult> &swapHistory() const
+    {
+        return swapLog;
+    }
+
+    /** True when the page at leaf @p page_id is quarantined. */
+    bool pageQuarantined(int page_id) const;
+
+    /** Current implementation of the page at leaf @p page_id. */
+    PageImpl pageImpl(int page_id) const;
+
   private:
     struct Page
     {
         PageBinding binding;
+        /** Function currently on the page (graph's or ownedFn). */
+        const ir::OperatorFn *fn = nullptr;
+        /** Owns a swapped-in edited function. */
+        std::unique_ptr<ir::OperatorFn> ownedFn;
+        /** Leaf-interface ports, indexed like fn->ports. */
+        std::vector<dataflow::StreamPort *> ports;
         std::unique_ptr<interp::OperatorExec> exec; // HW
         std::unique_ptr<rv32::Core> core;           // softcore
         double budget = 0;
         bool done = false;
+        /** Frozen by the swap engine (drain → terminal). */
+        bool paused = false;
+        /** Repeated swap failures pinned this page; swaps Rejected. */
+        bool quarantined = false;
+        /**
+         * Installed fresh mid-stream by a function-changing swap:
+         * the page counts as quiescent (for completion) while it is
+         * blocked on read with no input available, instead of
+         * requiring an explicit done state.
+         */
+        bool restartable = false;
+        /** Set with restartable when the page last blocked starved. */
+        bool starved = false;
+        /**
+         * Softcore clock sync point: the core is stepped while
+         * (cycles() - coreSyncCycles) < (run cycle - coreSyncRun).
+         * Re-based at every run() start and whenever a core is
+         * installed mid-run, so neither a fresh core (cycles()==0 at
+         * a large run clock) nor a carried-over core (large cycles()
+         * at run clock 0) bursts or freezes.
+         */
+        uint64_t coreSyncRun = 0;
+        uint64_t coreSyncCycles = 0;
+    };
+
+    /** Swap engine phases (see DESIGN.md §11). */
+    enum class SwapPhase {
+        Idle,
+        Draining,
+        Streaming,
+        Activating,
+        RollingBack,
+    };
+
+    /** In-flight swap state machine. */
+    struct SwapState
+    {
+        SwapPhase phase = SwapPhase::Idle;
+        size_t pageIdx = 0;
+        PageBinding nb;
+        std::unique_ptr<ir::OperatorFn> newFn;
+        bool inRun = false;        ///< driven by run() (vs synchronous)
+        uint64_t elapsed = 0;      ///< cycles since the swap started
+        int attempt = 0;
+        uint64_t packetsTotal = 0;
+        uint64_t packetIdx = 0;
+        int txCur = 0;             ///< transmissions of current packet
+        uint64_t packetCycleLeft = 0;
+        uint64_t ackWaitLeft = 0;  ///< drop detection countdown
+        uint64_t backoffLeft = 0;
+        uint64_t stallLeft = 0;    ///< dma_stall freeze countdown
+        bool stalledThisAttempt = false;
+        bool hung = false;         ///< page_hang fired; await watchdog
+        uint64_t activateLeft = 0;
+        uint64_t watchdogDeadline = 0; ///< in elapsed-cycles space
+        uint64_t rollbackLeft = 0;
+        SwapResult result;
+        std::unique_ptr<obs::Span> span;
+    };
+
+    /** Queued requestSwap() entry. */
+    struct SwapRequest
+    {
+        int pageId = 0;
+        PageBinding nb;
+        std::unique_ptr<ir::OperatorFn> newFn;
+        uint64_t atCycle = 0;
     };
 
     void buildNocSystem();
     void buildDirectSystem();
     bool stepPages(uint64_t cycle);
+    bool anyInputReadable(const Page &page) const;
+    void rearmPages();
+
+    // Swap engine.
+    int findPage(int page_id) const;
+    void beginSwap(int page_id, const PageBinding &nb,
+                   std::unique_ptr<ir::OperatorFn> new_fn, bool in_run);
+    void stepSwap(uint64_t run_cycle);
+    void startAttempt();
+    void transmissionResolved();
+    void scheduleRetransmit();
+    void attemptFailed();
+    void finishSwap(SwapOutcome outcome, uint64_t run_cycle);
+    void installImage(uint64_t run_cycle);
+    void installFallback(uint64_t run_cycle);
+    uint64_t packetCycles() const;
+    uint64_t watchdogBudget() const;
+    bool swapActive() const
+    {
+        return swap.phase != SwapPhase::Idle;
+    }
 
     /** Telemetry accumulated across the run (one counter add at the
      * end instead of per-cycle registry traffic). */
@@ -114,8 +338,13 @@ class SystemSim
 
     const ir::Graph &g;
     SystemConfig cfg;
+    FaultInjector injector;
     std::vector<Page> pages;
     std::unique_ptr<noc::BftNoc> net;
+
+    SwapState swap;
+    std::vector<SwapRequest> swapQueue;
+    std::vector<SwapResult> swapLog;
 
     // Direct-link mode storage.
     std::vector<std::unique_ptr<dataflow::WordFifo>> directFifos;

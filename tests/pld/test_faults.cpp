@@ -128,6 +128,69 @@ TEST(Fault, PlanParsing)
     EXPECT_LT(fired, 120) << "a 25% coin should not always fire";
 }
 
+TEST(Fault, ParseAcceptsRuntimeKindsAndWildcardCounts)
+{
+    FaultPlan p = FaultPlan::parse(
+        "config_drop:a1*1;config_corrupt:*;page_hang:**3;"
+        "dma_stall:x@0.5");
+    ASSERT_EQ(p.specs.size(), 4u);
+    EXPECT_EQ(p.specs[0].kind, FaultKind::ConfigDrop);
+    EXPECT_EQ(p.specs[1].kind, FaultKind::ConfigCorrupt);
+    EXPECT_EQ(p.specs[1].op, "*");
+    // "**3" is the wildcard op with a count: the LAST '*' separates.
+    EXPECT_EQ(p.specs[2].kind, FaultKind::PageHang);
+    EXPECT_EQ(p.specs[2].op, "*");
+    EXPECT_EQ(p.specs[2].count, 3);
+    EXPECT_EQ(p.specs[3].kind, FaultKind::DmaStall);
+    EXPECT_DOUBLE_EQ(p.specs[3].probability, 0.5);
+}
+
+TEST(Fault, ParseRejectsMalformedSpecsWithStructuredDiagnostic)
+{
+    // A malformed PLD_FAULT must fail loudly with a Diagnostic that
+    // names the offending entry and its offset — never be silently
+    // ignored (a typo'd fault plan that injects nothing would make a
+    // "fault test passed" meaningless).
+    auto expect_bad = [](const std::string &spec,
+                         const std::string &needle) {
+        try {
+            FaultPlan::parse(spec);
+            ADD_FAILURE() << "spec '" << spec << "' parsed";
+        } catch (const CompileError &e) {
+            const Diagnostic &d = e.diag();
+            EXPECT_EQ(d.code, CompileCode::FaultSpecInvalid);
+            EXPECT_EQ(d.stage, CompileStage::Fault);
+            EXPECT_EQ(d.severity, DiagSeverity::Error);
+            EXPECT_NE(d.detail.find(needle), std::string::npos)
+                << "spec '" << spec << "': detail was: " << d.detail;
+            EXPECT_NE(d.detail.find("offset"), std::string::npos);
+        }
+    };
+    expect_bad("route_fail", "missing ':'");
+    expect_bad("bogus_kind:x", "unknown fault kind 'bogus_kind'");
+    expect_bad("route_fail:", "missing operator name");
+    expect_bad("route_fail:x*", "malformed count");
+    expect_bad("route_fail:x*abc", "malformed count");
+    expect_bad("route_fail:x*0", "out of range");
+    expect_bad("route_fail:x*-3", "malformed count");
+    expect_bad("route_fail:x@", "empty probability");
+    expect_bad("route_fail:x@zzz", "malformed probability");
+    expect_bad("route_fail:x@0", "out of (0,1]");
+    expect_bad("route_fail:x@1.5", "out of (0,1]");
+    expect_bad("route_fail:a*b*2", "must be a name or a bare '*'");
+
+    // The offset names the bad entry, not the start of the string.
+    try {
+        FaultPlan::parse("throw:ok;bogus:x");
+        ADD_FAILURE() << "second entry should have failed";
+    } catch (const CompileError &e) {
+        EXPECT_NE(e.diag().detail.find("offset 9"), std::string::npos)
+            << e.diag().detail;
+        EXPECT_NE(e.diag().detail.find("'bogus:x'"),
+                  std::string::npos);
+    }
+}
+
 // -------- the retry ladder ------------------------------------------
 
 TEST(Fault, RouteFailLadderEndsInSoftcoreFallback)
