@@ -1,0 +1,256 @@
+/**
+ * Multi-tenant scheduler benchmark: N tenants (one hostile)
+ * time-share a grid half their combined footprint. Reports
+ * per-tenant throughput (words per 1k fabric cycles), completed
+ * batches, latency p50/p95, and quarantine counts, plus the Jain
+ * fairness index over served page-cycles for the HEALTHY tenants
+ * (the hostile tenant self-charges its fault recovery, so it is
+ * reported separately, not averaged away). Emits BENCH_tenancy.json.
+ *
+ * Everything here is simulated fabric time, so the numbers are
+ * bit-reproducible; wall time only changes how long the report
+ * takes to produce.
+ */
+
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "dataflow/runtime.h"
+#include "ir/builder.h"
+#include "sys/tenancy.h"
+
+using namespace pld;
+using namespace pld::ir;
+
+namespace {
+
+OperatorFn
+makeAdd(const std::string &name, int k, int n)
+{
+    OpBuilder b(name);
+    auto in = b.input("in");
+    auto out = b.output("out");
+    b.forLoop(0, n, [&](Ex) {
+        b.write(out, b.read(in).bitcast(Type::s(32)) + k);
+    });
+    return b.finish();
+}
+
+Graph
+makeApp(const std::string &prefix, int k, int n)
+{
+    GraphBuilder gb(prefix);
+    auto in = gb.extIn("I");
+    auto out = gb.extOut("O");
+    auto mid = gb.wire();
+    gb.inst(makeAdd(prefix + "_a", k, n), {in}, {mid});
+    gb.inst(makeAdd(prefix + "_b", 2 * k, n), {mid}, {out});
+    return gb.finish();
+}
+
+std::vector<uint32_t>
+iota(int n, uint32_t base)
+{
+    std::vector<uint32_t> v;
+    for (int i = 0; i < n; ++i)
+        v.push_back(base + static_cast<uint32_t>(i));
+    return v;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::initObservability();
+    const int kTenants = 6;
+    const int kHostile = 2; // index of the hostile tenant
+    const int n = 64;
+    const int kBatches = 4;
+
+    flow::PldCompiler pc(bench::device(),
+                         bench::compileOptions(0.1));
+    std::vector<std::string> names;
+    std::vector<Graph> graphs;
+    graphs.reserve(static_cast<size_t>(kTenants));
+    for (int t = 0; t < kTenants; ++t) {
+        names.push_back(t == kHostile ? "hostile"
+                                      : "t" + std::to_string(t));
+        graphs.push_back(makeApp(names.back(), t + 1, n));
+    }
+    std::vector<flow::AppBuild> builds;
+    builds.reserve(graphs.size());
+    std::vector<flow::TenantAppRef> refs;
+    for (int t = 0; t < kTenants; ++t)
+        builds.push_back(
+            pc.build(graphs[static_cast<size_t>(t)],
+                     flow::OptLevel::O1));
+    for (int t = 0; t < kTenants; ++t)
+        refs.push_back({names[static_cast<size_t>(t)],
+                        &graphs[static_cast<size_t>(t)],
+                        &builds[static_cast<size_t>(t)]});
+    flow::TenantPack pack = pc.packTenantApps(refs);
+    if (!pack.status.ok() ||
+        pack.specs.size() != static_cast<size_t>(kTenants)) {
+        std::fprintf(stderr, "pack failed:\n%s\n",
+                     pack.status.render().c_str());
+        return 1;
+    }
+
+    FaultPlan plan = FaultPlan::parse(
+        "config_corrupt:hostile/hostile_a*2;"
+        "page_hang:hostile/hostile_b");
+    for (auto &spec : pack.specs)
+        spec.sysCfg.faults = plan;
+
+    sys::TenantLimits lim;
+    lim.fabricPages = pack.totalPages / 2; // 2x oversubscribed
+    lim.sliceCycles = 400;
+    lim.drrQuantum = 1600;
+    lim.hangSliceLimit = 12;
+    sys::TenantScheduler sched(lim);
+    std::vector<int> ids;
+    for (auto &spec : pack.specs)
+        ids.push_back(sched.admit(spec).tenantId);
+    for (int t = 0; t < kTenants; ++t)
+        for (int b = 0; b < kBatches; ++b)
+            sched.submit(ids[static_cast<size_t>(t)],
+                         {iota(n, static_cast<uint32_t>(
+                                      1000 * t + 100 * b))});
+
+    // Hostile mid-run swap: both attempts hang -> quarantine.
+    flow::SwapArtifact sa = pc.buildSwapArtifact(
+        graphs[kHostile], "hostile_b", builds[kHostile]);
+    sched.requestTenantSwap(ids[kHostile], sa.binding.pageId,
+                            sa.binding,
+                            sa.fnChanged ? &sa.fn : nullptr);
+
+    sys::SchedStats ss = sched.run();
+
+    // Verify before reporting: a fairness number for wrong outputs
+    // is worse than no number.
+    for (int t = 0; t < kTenants; ++t) {
+        auto out = sched.takeOutput(ids[static_cast<size_t>(t)]);
+        if (out.size() != static_cast<size_t>(kBatches)) {
+            std::fprintf(stderr, "%s: starved\n",
+                         names[static_cast<size_t>(t)].c_str());
+            return 1;
+        }
+        for (int b = 0; b < kBatches; ++b) {
+            dataflow::GraphRuntime gold(
+                graphs[static_cast<size_t>(t)]);
+            gold.pushInput(0, iota(n, static_cast<uint32_t>(
+                                          1000 * t + 100 * b)));
+            if (!gold.run() ||
+                out[static_cast<size_t>(b)].streams[0] !=
+                    gold.takeOutput(0)) {
+                std::fprintf(
+                    stderr, "%s: OUTPUT MISMATCH\n",
+                    names[static_cast<size_t>(t)].c_str());
+                return 1;
+            }
+        }
+    }
+
+    // Jain over the healthy tenants' served page-cycles.
+    double sum = 0, sumsq = 0;
+    int healthy = 0;
+    for (int t = 0; t < kTenants; ++t) {
+        if (t == kHostile)
+            continue;
+        double x = static_cast<double>(
+            sched.tenantStats(ids[static_cast<size_t>(t)])
+                .servedPageCycles);
+        sum += x;
+        sumsq += x * x;
+        ++healthy;
+    }
+    double jainHealthy =
+        sumsq > 0 ? (sum * sum) / (healthy * sumsq) : 0.0;
+
+    std::printf("tenancy: %d tenants (1 hostile) on %d pages, "
+                "%d batches each\n",
+                kTenants, lim.fabricPages, kBatches);
+    std::printf("  %llu rounds, %llu slices, %llu fabric cycles, "
+                "%llu evictions, %llu instatements\n",
+                static_cast<unsigned long long>(ss.rounds),
+                static_cast<unsigned long long>(ss.slices),
+                static_cast<unsigned long long>(ss.virtualCycles),
+                static_cast<unsigned long long>(ss.evictions),
+                static_cast<unsigned long long>(ss.instatements));
+    std::printf("  Jain fairness: healthy %.4f, all %.4f\n",
+                jainHealthy, ss.jainFairness);
+
+    FILE *f = std::fopen("BENCH_tenancy.json", "w");
+    if (!f) {
+        std::fprintf(stderr, "cannot write BENCH_tenancy.json\n");
+        return 1;
+    }
+    std::fprintf(f,
+                 "{\n"
+                 "  \"bench\": \"tenancy\",\n"
+                 "  \"tenants\": %d,\n"
+                 "  \"fabric_pages\": %d,\n"
+                 "  \"batches_per_tenant\": %d,\n"
+                 "  \"rounds\": %llu,\n"
+                 "  \"slices\": %llu,\n"
+                 "  \"fabric_cycles\": %llu,\n"
+                 "  \"evictions\": %llu,\n"
+                 "  \"instatements\": %llu,\n"
+                 "  \"jain_fairness_healthy\": %.6f,\n"
+                 "  \"jain_fairness_all\": %.6f,\n"
+                 "  \"per_tenant\": [\n",
+                 kTenants, lim.fabricPages, kBatches,
+                 static_cast<unsigned long long>(ss.rounds),
+                 static_cast<unsigned long long>(ss.slices),
+                 static_cast<unsigned long long>(ss.virtualCycles),
+                 static_cast<unsigned long long>(ss.evictions),
+                 static_cast<unsigned long long>(ss.instatements),
+                 jainHealthy, ss.jainFairness);
+    for (int t = 0; t < kTenants; ++t) {
+        auto st = sched.tenantStats(ids[static_cast<size_t>(t)]);
+        double thr =
+            ss.virtualCycles
+                ? 1000.0 * static_cast<double>(st.wordsOut) /
+                      static_cast<double>(ss.virtualCycles)
+                : 0.0;
+        std::printf("  %-8s words=%llu thr=%.3f/kcycle "
+                    "p50=%llu p95=%llu evictions=%llu "
+                    "rollbacks=%llu quarantines=%llu\n",
+                    names[static_cast<size_t>(t)].c_str(),
+                    static_cast<unsigned long long>(st.wordsOut),
+                    thr,
+                    static_cast<unsigned long long>(st.latencyP50),
+                    static_cast<unsigned long long>(st.latencyP95),
+                    static_cast<unsigned long long>(st.evictions),
+                    static_cast<unsigned long long>(st.rollbacks),
+                    static_cast<unsigned long long>(
+                        st.quarantinedPages));
+        std::fprintf(
+            f,
+            "    {\"name\": \"%s\", \"batches\": %llu, "
+            "\"words\": %llu, \"throughput_per_kcycle\": %.6f, "
+            "\"latency_p50\": %llu, \"latency_p95\": %llu, "
+            "\"page_cycles\": %llu, \"evictions\": %llu, "
+            "\"rollbacks\": %llu, \"retransmits\": %llu, "
+            "\"quarantined_pages\": %llu}%s\n",
+            names[static_cast<size_t>(t)].c_str(),
+            static_cast<unsigned long long>(st.batchesDone),
+            static_cast<unsigned long long>(st.wordsOut), thr,
+            static_cast<unsigned long long>(st.latencyP50),
+            static_cast<unsigned long long>(st.latencyP95),
+            static_cast<unsigned long long>(st.servedPageCycles),
+            static_cast<unsigned long long>(st.evictions),
+            static_cast<unsigned long long>(st.rollbacks),
+            static_cast<unsigned long long>(st.retransmits),
+            static_cast<unsigned long long>(st.quarantinedPages),
+            t + 1 < kTenants ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+
+    std::printf("all outputs verified against the dataflow golden; "
+                "wrote BENCH_tenancy.json\n");
+    return 0;
+}

@@ -17,6 +17,8 @@ compileStageName(CompileStage s)
       case CompileStage::Cache: return "cache";
       case CompileStage::Link: return "link";
       case CompileStage::Fault: return "fault";
+      case CompileStage::Swap: return "swap";
+      case CompileStage::Tenancy: return "tenancy";
     }
     return "?";
 }
@@ -33,6 +35,9 @@ compileCodeName(CompileCode c)
       case CompileCode::CompileException: return "compile-exception";
       case CompileCode::DoesNotFit: return "does-not-fit";
       case CompileCode::FaultSpecInvalid: return "fault-spec-invalid";
+      case CompileCode::SwapRejected: return "swap-rejected";
+      case CompileCode::AdmissionRejected: return "admission-rejected";
+      case CompileCode::TenantFaulted: return "tenant-faulted";
     }
     return "?";
 }
@@ -47,9 +52,14 @@ compileCodeRetriable(CompileCode c)
       case CompileCode::CacheCorrupt:
       case CompileCode::CompileException:
         return true;
+      case CompileCode::SwapRejected:
+      case CompileCode::AdmissionRejected:
+        // A full queue drains; a later retry may be admitted.
+        return true;
       case CompileCode::Ok:
       case CompileCode::DoesNotFit:
       case CompileCode::FaultSpecInvalid:
+      case CompileCode::TenantFaulted:
         return false;
     }
     return false;

@@ -35,6 +35,10 @@ enum class CompileStage : uint8_t {
     Link,
     /** Fault-injection plan handling (PLD_FAULT parsing). */
     Fault,
+    /** Runtime hot-swap engine (request queueing / execution). */
+    Swap,
+    /** Multi-tenant scheduler (admission, eviction, fault domains). */
+    Tenancy,
 };
 
 const char *compileStageName(CompileStage s);
@@ -56,6 +60,13 @@ enum class CompileCode : uint8_t {
     DoesNotFit,
     /** Malformed or unknown PLD_FAULT spec entry. */
     FaultSpecInvalid,
+    /** Hot-swap request refused at queueing time (full queue,
+     * duplicate target, unknown or quarantined page). */
+    SwapRejected,
+    /** Tenant or request refused by multi-tenant admission control. */
+    AdmissionRejected,
+    /** Tenant exhausted its fault retry budget and was evicted. */
+    TenantFaulted,
 };
 
 const char *compileCodeName(CompileCode c);

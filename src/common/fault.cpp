@@ -117,10 +117,13 @@ FaultPlan::parse(const std::string &spec)
         }
         // The operator may itself be the wildcard "*", so the count
         // separator is the LAST '*' — and only when the prefix it
-        // leaves is a valid op (bare "*" or star-free name). Any
-        // other use of '*' is a malformed count, not an op quirk.
+        // leaves is a valid op (bare "*" or star-free name). A '*'
+        // directly after '/' is a scoped wildcard op ("t2/" + "*"),
+        // never a count separator. Any other use of '*' is a
+        // malformed count, not an op quirk.
         size_t star = rest.rfind('*');
-        if (star != std::string::npos && star > 0) {
+        if (star != std::string::npos && star > 0 &&
+            rest[star - 1] != '/') {
             std::string suffix = rest.substr(star + 1);
             if (!allDigits(suffix))
                 badEntry(entry, offset,
@@ -137,10 +140,28 @@ FaultPlan::parse(const std::string &spec)
         }
         if (rest.empty())
             badEntry(entry, offset, "missing operator name");
-        if (rest != "*" && rest.find('*') != std::string::npos)
+        // A site is op or tenant/op; each '/'-separated component
+        // must be a star-free name or a bare "*".
+        size_t slash = rest.find('/');
+        if (slash != std::string::npos &&
+            rest.find('/', slash + 1) != std::string::npos)
             badEntry(entry, offset,
-                     "operator '" + rest +
-                         "' must be a name or a bare '*'");
+                     "site '" + rest +
+                         "' has more than one '/' (want op or "
+                         "tenant/op)");
+        auto validComponent = [](const std::string &c) {
+            return c == "*" ||
+                   (!c.empty() && c.find('*') == std::string::npos);
+        };
+        bool site_ok =
+            slash == std::string::npos
+                ? validComponent(rest)
+                : validComponent(rest.substr(0, slash)) &&
+                      validComponent(rest.substr(slash + 1));
+        if (!site_ok)
+            badEntry(entry, offset,
+                     "site '" + rest +
+                         "' components must be names or a bare '*'");
         fs.op = rest;
         plan.specs.push_back(std::move(fs));
     }
@@ -164,13 +185,34 @@ FaultPlan::fromEnv()
 }
 
 bool
+faultSiteMatches(const std::string &pattern, const std::string &op)
+{
+    if (pattern == "*" || pattern == op)
+        return true;
+    size_t ps = pattern.find('/');
+    if (ps == std::string::npos)
+        return false; // unscoped literal: exact match only
+    size_t os = op.find('/');
+    if (os == std::string::npos)
+        return false; // scoped pattern never matches unscoped site
+    const auto component = [](const std::string &s, size_t cut,
+                              bool head) {
+        return head ? s.substr(0, cut) : s.substr(cut + 1);
+    };
+    std::string pt = component(pattern, ps, true);
+    std::string po = component(pattern, ps, false);
+    return (pt == "*" || pt == component(op, os, true)) &&
+           (po == "*" || po == component(op, os, false));
+}
+
+bool
 FaultInjector::fires(FaultKind k, const std::string &op, int attempt,
                      uint64_t salt) const
 {
     for (const auto &fs : plan.specs) {
         if (fs.kind != k)
             continue;
-        if (fs.op != "*" && fs.op != op)
+        if (!faultSiteMatches(fs.op, op))
             continue;
         if (attempt >= fs.count)
             continue;

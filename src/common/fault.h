@@ -28,13 +28,24 @@
  * Spec grammar (PLD_FAULT or CompileOptions::faults):
  *
  *   spec      := entry (';' entry)*
- *   entry     := kind ':' op ['*' count] ['@' probability]
+ *   entry     := kind ':' site ['*' count] ['@' probability]
  *   kind      := route_fail | timing_miss | cache_corrupt | throw
  *              | config_drop | config_corrupt | page_hang
  *              | dma_stall
+ *   site      := op | tenant '/' op
  *   op        := operator name, or '*' for every operator
+ *   tenant    := tenant name, or '*' for every tenant
  *
- * "route_fail:flow_calc*2"  — flow_calc's first two route attempts
+ * Multi-tenant runs scope fault sites per tenant: a SystemSim whose
+ * SystemConfig::faultScope is "t1" reports its fault coordinates as
+ * "t1/<op>", so "page_hang:t1/ * " (wildcard op, written here with
+ * spaces only to keep this comment intact) hangs only tenant t1's
+ * pages while "config_corrupt: * /fc" corrupts operator fc in every
+ * tenant. A bare "*" still matches every site, scoped or not; a bare
+ * op name never matches a scoped site (a hostile-tenant plan cannot
+ * leak into a tenant it does not name).
+ *
+ *   "route_fail:flow_calc*2" — flow_calc's first two route attempts
  *                             are infeasible, the third succeeds.
  *   "timing_miss:*@0.25"    — a deterministic 25% of timing checks
  *                             miss (hash-coin per site, not random).
@@ -84,11 +95,20 @@ enum class FaultKind : uint8_t {
 
 const char *faultKindName(FaultKind k);
 
+/**
+ * True when fault-site pattern @p pattern matches site name @p op.
+ * A pattern is "*", a literal name, or "tenant/op" where either
+ * component may be "*"; a scoped pattern only matches scoped sites
+ * and an unscoped literal only matches unscoped sites.
+ */
+bool faultSiteMatches(const std::string &pattern,
+                      const std::string &op);
+
 /** One injected fault site. */
 struct FaultSpec
 {
     FaultKind kind = FaultKind::RouteFail;
-    /** Operator name to match, or "*" for all. */
+    /** Site pattern: op, "*", or "tenant/op" (see faultSiteMatches). */
     std::string op = "*";
     /** Fire only on attempt numbers < count. */
     int count = std::numeric_limits<int>::max();

@@ -296,6 +296,49 @@ BftNoc::idle() const
 }
 
 bool
+BftNoc::transitIdle() const
+{
+    for (const auto &s : switches) {
+        if (s.upOut.valid || s.downOut[0].valid || s.downOut[1].valid)
+            return false;
+    }
+    for (const auto &leaf : leaves) {
+        if (leaf.reinsert.valid || !leaf.pendingConfig.empty() ||
+            leaf.configInflight != 0)
+            return false;
+    }
+    return true;
+}
+
+bool
+BftNoc::leafTransitQuiet(int leaf) const
+{
+    const Leaf &l = leaves[static_cast<size_t>(leaf)];
+    return !l.reinsert.valid && l.pendingConfig.empty() &&
+           l.configInflight == 0;
+}
+
+uint64_t
+BftNoc::inFlightFlits() const
+{
+    uint64_t n = 0;
+    for (const auto &s : switches) {
+        n += s.upOut.valid ? 1 : 0;
+        n += s.downOut[0].valid ? 1 : 0;
+        n += s.downOut[1].valid ? 1 : 0;
+    }
+    for (const auto &leaf : leaves) {
+        n += leaf.reinsert.valid ? 1 : 0;
+        n += leaf.pendingConfig.size();
+        for (const auto &f : leaf.skid)
+            n += f.valid ? 1 : 0;
+        for (const auto &f : leaf.outFifos)
+            n += f.size();
+    }
+    return n;
+}
+
+bool
 BftNoc::leafQuiet(int leaf) const
 {
     const Leaf &l = leaves[static_cast<size_t>(leaf)];

@@ -101,6 +101,39 @@ class BftNoc
      */
     bool leafQuiet(int leaf) const;
 
+    /**
+     * True when no flit is moving through the network fabric itself:
+     * switch link registers, deflected-flit re-entry slots, and the
+     * config path are all empty. Words parked inside leaf interfaces
+     * (input FIFOs, injection FIFOs, skid buffers, and their credit
+     * bits) do NOT count — that state lives outside the reconfigured
+     * region and survives partial reconfiguration in place, which is
+     * exactly why a frozen fabric can be checkpointed: with every
+     * consumer paused, full idle() may be unreachable (a producer's
+     * queued words cannot inject into a full peer FIFO), but
+     * transitIdle() always is, because stream credits bound each
+     * port to one in-flight flit with a guaranteed skid slot.
+     */
+    bool transitIdle() const;
+
+    /**
+     * Per-leaf form of transitIdle(): no deflected flit awaiting
+     * re-entry and no config packet pending or in flight at leaf
+     * @p leaf. The quiesce condition for reconfiguring a page on a
+     * FROZEN fabric (checkpoint reinstatement), where leafQuiet()'s
+     * empty-injection-FIFO requirement could never be met.
+     */
+    bool leafTransitQuiet(int leaf) const;
+
+    /**
+     * Flits currently in flight: valid flits held in switch
+     * registers, leaf skid buffers, re-insertion slots, and
+     * injection FIFOs, plus pending config packets. Zero iff
+     * idle(). The tenant scheduler's checkpoint drain reports this
+     * as its remaining-work gauge.
+     */
+    uint64_t inFlightFlits() const;
+
     const NocStats &stats() const { return stats_; }
 
     /** Cycles stepped so far. */

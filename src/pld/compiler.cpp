@@ -1124,5 +1124,114 @@ PldCompiler::buildSwapArtifact(const ir::Graph &g,
     return sa;
 }
 
+TenantPack
+PldCompiler::packTenantApps(const std::vector<TenantAppRef> &apps)
+{
+    obs::Span span("pld", "pld.pack_tenants");
+    span.arg("apps", static_cast<int64_t>(apps.size()));
+    TenantPack pack;
+    const int grid = static_cast<int>(dev.pages.size());
+
+    for (const auto &app : apps) {
+        const auto reject = [&](std::string why) {
+            Diagnostic d;
+            d.code = CompileCode::AdmissionRejected;
+            d.stage = CompileStage::Tenancy;
+            d.severity = DiagSeverity::Error;
+            d.op = app.name;
+            d.detail = std::move(why);
+            obs::count("pld.pack.rejected");
+            pack.status.diags.push_back(std::move(d));
+        };
+
+        if (app.name.empty()) {
+            reject("tenant name is empty");
+            continue;
+        }
+        if (app.name.find('/') != std::string::npos ||
+            app.name.find('*') != std::string::npos) {
+            reject("tenant name '" + app.name +
+                   "' may not contain '/' or '*' (it scopes fault "
+                   "sites)");
+            continue;
+        }
+        bool dup = false;
+        for (const auto &s : pack.specs)
+            dup |= s.name == app.name;
+        if (dup) {
+            reject("duplicate tenant name '" + app.name + "'");
+            continue;
+        }
+        if (!app.graph || !app.build) {
+            reject("tenant '" + app.name +
+                   "' is missing its graph or build");
+            continue;
+        }
+        if (!app.build->sysCfg.useNoc) {
+            reject("tenant '" + app.name +
+                   "' is a monolithic build (-O3/Vitis): no pages "
+                   "to time-share; compile at -O0/-O1");
+            continue;
+        }
+        if (app.build->bindings.empty()) {
+            reject("tenant '" + app.name + "' has no page bindings");
+            continue;
+        }
+        if (app.build->bindings.size() > static_cast<size_t>(grid)) {
+            reject("tenant '" + app.name + "' needs " +
+                   std::to_string(app.build->bindings.size()) +
+                   " pages but the fabric has " +
+                   std::to_string(grid));
+            continue;
+        }
+        if (app.build->report.failedCount() > 0) {
+            reject("tenant '" + app.name + "' has " +
+                   std::to_string(app.build->report.failedCount()) +
+                   " failed operator compile(s)");
+            continue;
+        }
+
+        sys::TenantSpec spec;
+        spec.name = app.name;
+        spec.graph = app.graph;
+        spec.bindings = app.build->bindings;
+        spec.sysCfg = app.build->sysCfg;
+
+        // Guarantee a quarantine fallback on every binding: the
+        // fault-contained scheduler depends on a hostile page being
+        // pinnable to a softcore image of the same function.
+        for (auto &b : spec.bindings) {
+            if (b.hasFallback)
+                continue;
+            if (b.impl == sys::PageImpl::Softcore) {
+                // The page image already IS the -O0 binary.
+                b.hasFallback = true;
+                b.fallbackElf = b.elf;
+                continue;
+            }
+            const ir::OperatorFn &fn =
+                app.graph->ops[static_cast<size_t>(b.opIdx)].fn;
+            uint64_t fkey =
+                cacheKey(fn, ir::Target::RISCV, b.pageId, true);
+            int fgen = 0;
+            auto fb = lookup(fkey, opts.effort, &fgen);
+            if (!fb) {
+                fb = compileSoftcore(fn, b.pageId, fgen);
+                publish(fkey, fb, fgen);
+            }
+            b.hasFallback = true;
+            b.fallbackElf = fb->elf;
+        }
+
+        int npages = static_cast<int>(spec.bindings.size());
+        pack.maxPages = std::max(pack.maxPages, npages);
+        pack.totalPages += npages;
+        pack.specs.push_back(std::move(spec));
+        obs::count("pld.pack.tenants");
+    }
+    span.arg("packed", static_cast<int64_t>(pack.specs.size()));
+    return pack;
+}
+
 } // namespace flow
 } // namespace pld

@@ -46,6 +46,7 @@
 #include "pnr/engine.h"
 #include "rv32/elf.h"
 #include "sys/system.h"
+#include "sys/tenancy.h"
 
 namespace pld {
 namespace flow {
@@ -294,6 +295,32 @@ struct SwapArtifact
     OperatorOutcome outcome;
 };
 
+/** One independently compiled app requesting a share of the fabric.
+ * Graph and build are caller-owned and must outlive the returned
+ * TenantSpecs (the scheduler references the graph). */
+struct TenantAppRef
+{
+    std::string name;
+    const ir::Graph *graph = nullptr;
+    const AppBuild *build = nullptr;
+};
+
+/**
+ * Admission-ready tenant bundles plus packing diagnostics. Apps that
+ * fail validation are reported in `status` (stage Tenancy) and
+ * omitted from `specs`; the valid ones still pack.
+ */
+struct TenantPack
+{
+    std::vector<sys::TenantSpec> specs;
+    CompileStatus status;
+    /** Largest single-app footprint in pages. */
+    int maxPages = 0;
+    /** Sum of footprints — may exceed the grid; the TenantScheduler
+     * time-shares pages across tenants. */
+    int totalPages = 0;
+};
+
 /**
  * Driver object; keeps the artifact cache across builds so the
  * edit-compile-debug loop only recompiles what changed.
@@ -326,6 +353,18 @@ class PldCompiler
     SwapArtifact buildSwapArtifact(const ir::Graph &g,
                                    const std::string &op,
                                    const AppBuild &base);
+
+    /**
+     * Package independently compiled apps for the multi-tenant
+     * scheduler (sys::TenantScheduler): validate each app against
+     * the shared fabric (paged build, footprint within the grid, no
+     * failed operators, legal unique tenant name) and guarantee
+     * every page binding carries a -O0 softcore quarantine fallback,
+     * compiling the fallback binaries on demand through the artifact
+     * cache. Invalid apps are diagnosed and skipped, never silently
+     * admitted.
+     */
+    TenantPack packTenantApps(const std::vector<TenantAppRef> &apps);
 
     const CacheStats &cacheStats() const { return cache_stats; }
 

@@ -214,9 +214,16 @@ SystemSim::rearmPages()
         return;
     // A completed page is reset to its entry state so the next batch
     // re-runs it; pages that never finished keep their progress.
+    // A restartable page that starved out (a function-changing swap
+    // or a quarantine landed mid-stream) counted as quiescent for
+    // run() completion and must equally restart from entry: without
+    // this, a quarantined page carries a half-executed fallback core
+    // into the next batch and consumes the wrong number of words.
+    // Re-arming from page.binding keeps a quarantined page pinned to
+    // its softcore image — the binding was rewritten at quarantine.
     for (size_t i = 0; i < pages.size(); ++i) {
         auto &page = pages[i];
-        if (!page.done)
+        if (!page.done && !(page.restartable && page.starved))
             continue;
         page.done = false;
         page.budget = 0;
@@ -309,11 +316,31 @@ SystemSim::stepPages(uint64_t cycle)
     return all_done;
 }
 
+std::string
+SystemSim::faultSite(const Page &page) const
+{
+    if (cfg.faultScope.empty())
+        return page.fn->name;
+    return cfg.faultScope + "/" + page.fn->name;
+}
+
 RunStats
 SystemSim::run(uint64_t max_cycles)
 {
+    return runInternal(max_cycles, /*slice=*/false);
+}
+
+RunStats
+SystemSim::runSlice(uint64_t cycles)
+{
+    return runInternal(cycles, /*slice=*/true);
+}
+
+RunStats
+SystemSim::runInternal(uint64_t max_cycles, bool slice)
+{
     RunStats rs;
-    obs::Span run_span("sys", "sys.run");
+    obs::Span run_span("sys", slice ? "sys.slice" : "sys.run");
     statStalls = 0;
 
     rearmPages();
@@ -331,7 +358,10 @@ SystemSim::run(uint64_t max_cycles)
     // recompilation).
     if (net) {
         obs::Span link_span("sys", "sys.link");
-        while (!net->idle()) {
+        // Transit-idle, not full idle: a checkpointed tenant resumes
+        // with words parked in leaf FIFOs, which only drain once the
+        // pages below start executing.
+        while (!net->transitIdle()) {
             net->stepCycle();
             ++rs.configCycles;
             pld_assert(rs.configCycles < 1000000,
@@ -430,15 +460,16 @@ SystemSim::run(uint64_t max_cycles)
     run_span.arg("cycles", static_cast<int64_t>(rs.cycles));
     run_span.arg("completed",
                  static_cast<int64_t>(rs.completed ? 1 : 0));
-    if (!rs.completed) {
+    if (!rs.completed && !slice) {
         // A run that hit max_cycles stalled; make that loud in the
-        // trace instead of a silent completed=false.
+        // trace instead of a silent completed=false. A slice that
+        // hit its budget merely yielded back to the scheduler.
         obs::instant("sys", "sys.run.timeout")
             .arg("cycles", static_cast<int64_t>(rs.cycles))
             .arg("max_cycles", static_cast<int64_t>(max_cycles));
         obs::count("sys.run.timeouts");
     }
-    obs::count("sys.runs");
+    obs::count(slice ? "sys.slices" : "sys.runs");
     obs::count("sys.cycles", static_cast<int64_t>(rs.cycles));
     obs::count("sys.config_cycles",
                static_cast<int64_t>(rs.configCycles));
@@ -483,6 +514,14 @@ SystemSim::pageImpl(int page_id) const
     int idx = findPage(page_id);
     pld_assert(idx >= 0, "no page at leaf %d", page_id);
     return pages[static_cast<size_t>(idx)].binding.impl;
+}
+
+const PageBinding &
+SystemSim::pageBinding(int page_id) const
+{
+    int idx = findPage(page_id);
+    pld_assert(idx >= 0, "no page at leaf %d", page_id);
+    return pages[static_cast<size_t>(idx)].binding;
 }
 
 uint64_t
@@ -530,10 +569,55 @@ SystemSim::swapPage(int page_id, const PageBinding &nb,
     return swapLog.back();
 }
 
-void
+SwapRequestResult
 SystemSim::requestSwap(int page_id, const PageBinding &nb,
                        uint64_t at_cycle, const ir::OperatorFn *new_fn)
 {
+    // Validate at queueing time: a conflicting or doomed request is
+    // rejected with a structured diagnostic instead of being queued
+    // and failing long after the caller stopped looking.
+    const auto reject = [&](CompileCode code, bool retriable,
+                            std::string why) {
+        SwapRequestResult rr;
+        rr.diag.code = code;
+        rr.diag.stage = CompileStage::Swap;
+        rr.diag.severity = DiagSeverity::Error;
+        rr.diag.page = page_id;
+        rr.diag.retriable = retriable;
+        rr.diag.detail = std::move(why);
+        obs::count("sys.swap.request_rejected");
+        obs::instant("sys", "sys.swap.request_rejected")
+            .arg("page", static_cast<int64_t>(page_id))
+            .arg("why", rr.diag.detail);
+        return rr;
+    };
+
+    if (swapQueue.size() >= cfg.swapQueueDepth)
+        return reject(CompileCode::SwapRejected, /*retriable=*/true,
+                      "pending-swap queue full (" +
+                          std::to_string(cfg.swapQueueDepth) +
+                          " entries); retry after a queued swap "
+                          "completes");
+    int idx = findPage(page_id);
+    if (idx < 0)
+        return reject(CompileCode::SwapRejected, /*retriable=*/false,
+                      "no page at leaf " + std::to_string(page_id));
+    if (pages[static_cast<size_t>(idx)].quarantined)
+        return reject(CompileCode::SwapRejected, /*retriable=*/false,
+                      "page is quarantined (pinned to its softcore "
+                      "fallback); swaps are rejected");
+    for (const auto &q : swapQueue) {
+        if (q.pageId == page_id)
+            return reject(
+                CompileCode::SwapRejected, /*retriable=*/true,
+                "a queued swap already targets this page; "
+                "conflicting images cannot be queued");
+    }
+    if (swapActive() &&
+        pages[swap.pageIdx].binding.pageId == page_id)
+        return reject(CompileCode::SwapRejected, /*retriable=*/true,
+                      "a swap of this page is in flight");
+
     SwapRequest req;
     req.pageId = page_id;
     req.nb = nb;
@@ -541,6 +625,41 @@ SystemSim::requestSwap(int page_id, const PageBinding &nb,
         req.newFn = std::make_unique<ir::OperatorFn>(*new_fn);
     req.atCycle = at_cycle;
     swapQueue.push_back(std::move(req));
+    SwapRequestResult rr;
+    rr.accepted = true;
+    rr.diag.stage = CompileStage::Swap;
+    return rr;
+}
+
+uint64_t
+SystemSim::drainForCheckpoint()
+{
+    if (!net)
+        return 0;
+    uint64_t spent = 0;
+    // A partial reconfiguration caught mid-stream cannot be
+    // checkpointed — run the active swap to completion first (the
+    // engine's own watchdog bounds this: it retries, rolls back, or
+    // quarantines, but always terminates).
+    while (swapActive()) {
+        stepSwap(0);
+        net->stepCycle();
+        ++spent;
+        pld_assert(spent < 100000000ull,
+                   "checkpoint swap completion never terminated");
+    }
+    // Then quiesce the network fabric, not the leaf interfaces: with
+    // every page frozen, words queued in leaf FIFOs cannot move (and
+    // do not need to — that state survives reconfiguration in
+    // place), but flits in switch registers must land before the
+    // grid can be handed to another tenant.
+    while (!net->transitIdle() && spent < cfg.swapDrainTimeoutCycles) {
+        net->stepCycle();
+        ++spent;
+    }
+    obs::count("sys.checkpoint.drain_cycles",
+               static_cast<int64_t>(spent));
+    return spent;
 }
 
 void
@@ -601,7 +720,7 @@ SystemSim::startAttempt()
     obs::instant("sys", "sys.swap.attempt")
         .arg("op", page.fn->name)
         .arg("attempt", static_cast<int64_t>(swap.attempt));
-    if (injector.fires(FaultKind::DmaStall, page.fn->name,
+    if (injector.fires(FaultKind::DmaStall, faultSite(page),
                        swap.attempt * kFaultAttemptStride)) {
         swap.stallLeft = cfg.swapDmaStallCycles;
         swap.stalledThisAttempt = true;
@@ -628,7 +747,7 @@ void
 SystemSim::transmissionResolved()
 {
     Page &page = pages[swap.pageIdx];
-    const std::string &op = page.fn->name;
+    const std::string op = faultSite(page);
     // Fault coordinate: swap attempt in the high bits, transmission
     // index in the low bits (clamped to the stride), packet ordinal
     // as the salt — the runtime mirror of the compile-ladder scheme.
@@ -714,7 +833,13 @@ SystemSim::stepSwap(uint64_t run_cycle)
       case SwapPhase::Idle:
         return;
       case SwapPhase::Draining:
-        if (net->leafQuiet(page.binding.pageId)) {
+        // A live (in-run) swap waits for the page's outbound traffic
+        // to drain — the page keeps executing and empties its own
+        // queues. A synchronous swap runs against a frozen fabric
+        // (checkpoint reinstatement): queued words can never drain
+        // and never need to, so only in-transit traffic gates it.
+        if (swap.inRun ? net->leafQuiet(page.binding.pageId)
+                       : net->leafTransitQuiet(page.binding.pageId)) {
             startAttempt();
             return;
         }
@@ -764,7 +889,7 @@ SystemSim::stepSwap(uint64_t run_cycle)
         if (swap.hung)
             return; // page never reports up; watchdog will fire
         if (swap.activateLeft && --swap.activateLeft == 0) {
-            if (injector.fires(FaultKind::PageHang, page.fn->name,
+            if (injector.fires(FaultKind::PageHang, faultSite(page),
                                swap.attempt * kFaultAttemptStride)) {
                 swap.hung = true;
                 obs::instant("sys", "sys.swap.hang")
@@ -820,6 +945,17 @@ SystemSim::installImage(uint64_t run_cycle)
         // operator's architectural stream state lives in the leaf
         // interface (not reconfigured), so execution resumes where
         // the drain left it; only cyclesPerOp changes.
+    } else if (!restart && page.core && nb.imageHash != 0 &&
+               nb.imageHash == page.binding.imageHash) {
+        // Checkpoint/restore: re-instating the *identical* softcore
+        // image (same content hash — the eviction/reinstate path of
+        // the tenant scheduler) restores the read-back core state
+        // instead of resetting to the entry point, so an evicted
+        // tenant resumes mid-batch exactly where its drain left it.
+        // Only the clock sync is re-based; the streaming cost was
+        // already charged by the swap engine.
+        page.coreSyncRun = run_cycle;
+        page.coreSyncCycles = page.core->cycles();
     } else {
         page.exec.reset();
         page.core = std::make_unique<rv32::Core>(nb.elf, page.ports);
@@ -866,6 +1002,9 @@ SystemSim::installFallback(uint64_t run_cycle)
     page.binding.impl = PageImpl::Softcore;
     page.binding.elf = src->fallbackElf;
     page.binding.imageBytes = src->fallbackElf.footprintBytes();
+    page.binding.imageHash = 0; // fallback image, not the failed one
+    page.binding.hasFallback = true;
+    page.binding.fallbackElf = src->fallbackElf;
     page.restartable = true;
     page.starved = false;
     page.done = false;

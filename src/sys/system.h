@@ -114,11 +114,23 @@ struct SystemConfig
     uint64_t swapDmaStallCycles = 64;
     /** Cycles from last packet accepted to the page reporting up. */
     uint64_t swapActivationCycles = 8;
+    /** Pending requestSwap() queue bound; further requests are
+     * rejected with a structured diagnostic instead of piling up. */
+    size_t swapQueueDepth = 8;
     /**
      * Runtime fault plan (config_drop / config_corrupt / page_hang /
      * dma_stall). Empty = inherit PLD_FAULT from the environment.
      */
     FaultPlan faults;
+    /**
+     * Fault-coordinate scope: when non-empty, every fault query this
+     * sim makes uses the site name "<faultScope>/<op>" instead of the
+     * bare operator name. The multi-tenant scheduler sets it to the
+     * tenant name so a PLD_FAULT spec scoped to "t1/" targets one
+     * tenant's pages without leaking into any other tenant (see
+     * common/fault.h).
+     */
+    std::string faultScope;
 };
 
 /** Per-run result summary. */
@@ -146,6 +158,19 @@ enum class SwapOutcome {
 };
 
 const char *swapOutcomeName(SwapOutcome o);
+
+/**
+ * Outcome of *queueing* a requestSwap() — distinct from SwapResult,
+ * which describes an executed swap. A rejected request never enters
+ * the queue and never appears in swapHistory(); the diagnostic says
+ * why (queue full, duplicate page target, unknown or quarantined
+ * page).
+ */
+struct SwapRequestResult
+{
+    bool accepted = false;
+    Diagnostic diag;
+};
 
 /** What one swap did and what it cost. */
 struct SwapResult
@@ -185,6 +210,15 @@ class SystemSim
      */
     RunStats run(uint64_t max_cycles = 500000000ull);
 
+    /**
+     * Run at most @p cycles further cycles as one scheduler time
+     * slice. Identical to run() except that exhausting the budget is
+     * a yield, not a failure: no sys.run.timeout telemetry is
+     * emitted, because the tenant scheduler preempting a tenant
+     * mid-batch is the normal case, not a stall.
+     */
+    RunStats runSlice(uint64_t cycles);
+
     /** Words the DMA engine collected from external output. */
     std::vector<uint32_t> takeOutput(int ext_idx);
 
@@ -206,22 +240,53 @@ class SystemSim
      * Queue a hot swap to start once run() reaches @p at_cycle
      * (run-local clock): the rest of the system keeps executing
      * while the swap engine drains and streams. Results are appended
-     * to swapHistory() in start order.
+     * to swapHistory() in start order. The request is validated at
+     * queueing time: a full queue (swapQueueDepth), a second request
+     * targeting an already-queued or in-flight page, or an unknown /
+     * quarantined target page is rejected with a structured
+     * diagnostic instead of silently queueing a conflicting swap.
      */
-    void requestSwap(int page_id, const PageBinding &nb,
-                     uint64_t at_cycle,
-                     const ir::OperatorFn *new_fn = nullptr);
+    SwapRequestResult requestSwap(int page_id, const PageBinding &nb,
+                                  uint64_t at_cycle,
+                                  const ir::OperatorFn *new_fn =
+                                      nullptr);
 
     const std::vector<SwapResult> &swapHistory() const
     {
         return swapLog;
     }
 
+    /**
+     * Checkpoint drain: step only the network (pages frozen, no DMA)
+     * until every flit has landed in a leaf-interface FIFO and no
+     * config packet is pending, so the fabric can be handed to
+     * another tenant. Words parked in leaf FIFOs survive — the DFX
+     * model: partial reconfiguration does not touch the leaf
+     * interface, so an evicted tenant's stream state is preserved
+     * in place and re-instating the same images resumes execution
+     * exactly where the drain left it. An active swap is first run
+     * to completion (mid-reconfiguration state cannot be
+     * checkpointed; the swap watchdog bounds it). Returns cycles
+     * spent (the fabric-quiesce part is bounded by
+     * swapDrainTimeoutCycles).
+     */
+    uint64_t drainForCheckpoint();
+
+    /** Pending requestSwap() entries not yet started. */
+    size_t pendingSwapRequests() const { return swapQueue.size(); }
+
     /** True when the page at leaf @p page_id is quarantined. */
     bool pageQuarantined(int page_id) const;
 
     /** Current implementation of the page at leaf @p page_id. */
     PageImpl pageImpl(int page_id) const;
+
+    /**
+     * Current binding of the page at leaf @p page_id — reflects any
+     * completed swaps (including a quarantine rewrite). The tenant
+     * scheduler re-streams exactly this image at reinstatement.
+     */
+    const PageBinding &pageBinding(int page_id) const;
 
   private:
     struct Page
@@ -308,9 +373,13 @@ class SystemSim
 
     void buildNocSystem();
     void buildDirectSystem();
+    RunStats runInternal(uint64_t max_cycles, bool slice);
     bool stepPages(uint64_t cycle);
     bool anyInputReadable(const Page &page) const;
     void rearmPages();
+    /** Fault-injection site name for @p page: the operator name,
+     * prefixed with cfg.faultScope (tenant) when one is set. */
+    std::string faultSite(const Page &page) const;
 
     // Swap engine.
     int findPage(int page_id) const;

@@ -1,0 +1,588 @@
+#include "sys/tenancy.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace pld {
+namespace sys {
+
+const char *
+tenantStateName(TenantState s)
+{
+    switch (s) {
+      case TenantState::Active: return "active";
+      case TenantState::Failed: return "failed";
+    }
+    return "?";
+}
+
+namespace {
+
+/** Nearest-rank percentile over an unsorted sample set. */
+uint64_t
+nearestRank(std::vector<uint64_t> samples, double q)
+{
+    if (samples.empty())
+        return 0;
+    std::sort(samples.begin(), samples.end());
+    size_t rank = static_cast<size_t>(
+        std::max(1.0, std::ceil(q * double(samples.size()))));
+    return samples[std::min(rank, samples.size()) - 1];
+}
+
+Diagnostic
+tenancyDiag(CompileCode code, bool retriable, std::string why)
+{
+    Diagnostic d;
+    d.code = code;
+    d.stage = CompileStage::Tenancy;
+    d.severity = DiagSeverity::Error;
+    d.retriable = retriable;
+    d.detail = std::move(why);
+    return d;
+}
+
+} // namespace
+
+TenantScheduler::TenantScheduler(TenantLimits lim) : limits(lim)
+{
+    pld_assert(limits.fabricPages > 0, "empty fabric");
+    freeSlots.resize(static_cast<size_t>(limits.fabricPages));
+    for (int i = 0; i < limits.fabricPages; ++i)
+        freeSlots[static_cast<size_t>(i)] = i;
+}
+
+TenantScheduler::~TenantScheduler() = default;
+
+std::string
+TenantScheduler::counter(const Tenant &t, const char *suffix) const
+{
+    return "tenant." + t.name + "." + suffix;
+}
+
+AdmitResult
+TenantScheduler::admit(const TenantSpec &spec)
+{
+    const auto reject = [&](bool retriable, std::string why) {
+        AdmitResult r;
+        r.diag = tenancyDiag(CompileCode::AdmissionRejected,
+                             retriable, std::move(why));
+        obs::count("tenant.admission_rejected");
+        obs::instant("sys", "tenant.admission_rejected")
+            .arg("tenant", spec.name)
+            .arg("why", r.diag.detail);
+        return r;
+    };
+
+    if (spec.name.empty())
+        return reject(false, "tenant name is empty");
+    if (spec.name.find('/') != std::string::npos ||
+        spec.name.find('*') != std::string::npos)
+        return reject(false,
+                      "tenant name '" + spec.name +
+                          "' may not contain '/' or '*' (it scopes "
+                          "fault sites)");
+    if (!spec.graph)
+        return reject(false, "tenant graph is null");
+    for (const auto &t : tenants) {
+        if (t->name == spec.name)
+            return reject(false, "tenant name '" + spec.name +
+                                     "' already admitted");
+    }
+    if (tenants.size() >= limits.maxTenants)
+        return reject(true,
+                      "tenant limit reached (" +
+                          std::to_string(limits.maxTenants) +
+                          "); retry after a tenant completes");
+    if (spec.bindings.empty())
+        return reject(false, "tenant has no page bindings");
+    if (spec.bindings.size() >
+        static_cast<size_t>(limits.fabricPages))
+        return reject(
+            false, "tenant needs " +
+                       std::to_string(spec.bindings.size()) +
+                       " pages but the fabric has " +
+                       std::to_string(limits.fabricPages) +
+                       "; it could never become resident");
+    for (size_t i = 0; i < spec.bindings.size(); ++i) {
+        for (size_t j = i + 1; j < spec.bindings.size(); ++j) {
+            if (spec.bindings[i].pageId == spec.bindings[j].pageId)
+                return reject(
+                    false,
+                    "bindings bind page " +
+                        std::to_string(spec.bindings[i].pageId) +
+                        " twice");
+        }
+    }
+
+    auto t = std::make_unique<Tenant>();
+    t->name = spec.name;
+    t->graph = spec.graph;
+    t->bindings = spec.bindings;
+    SystemConfig cfg = spec.sysCfg;
+    cfg.faultScope = spec.name;
+    t->sim =
+        std::make_unique<SystemSim>(*spec.graph, spec.bindings, cfg);
+    t->retriesLeft = limits.retryBudget;
+    t->batchAccum.resize(spec.graph->extOutputs.size());
+    t->stats.name = spec.name;
+
+    AdmitResult r;
+    r.tenantId = static_cast<int>(tenants.size());
+    r.accepted = true;
+    r.diag.stage = CompileStage::Tenancy;
+    tenants.push_back(std::move(t));
+    obs::count("tenant.admitted");
+    obs::instant("sys", "tenant.admitted")
+        .arg("tenant", spec.name)
+        .arg("pages",
+             static_cast<int64_t>(spec.bindings.size()));
+    return r;
+}
+
+SubmitResult
+TenantScheduler::submit(int tenant_id,
+                        std::vector<std::vector<uint32_t>> inputs)
+{
+    const auto reject = [&](CompileCode code, bool retriable,
+                            std::string why) {
+        SubmitResult r;
+        r.diag = tenancyDiag(code, retriable, std::move(why));
+        obs::count("tenant.submit_rejected");
+        return r;
+    };
+
+    if (tenant_id < 0 ||
+        static_cast<size_t>(tenant_id) >= tenants.size())
+        return reject(CompileCode::AdmissionRejected, false,
+                      "unknown tenant id " +
+                          std::to_string(tenant_id));
+    Tenant &t = *tenants[static_cast<size_t>(tenant_id)];
+    if (t.state == TenantState::Failed)
+        return reject(CompileCode::TenantFaulted, false,
+                      "tenant '" + t.name +
+                          "' failed terminally: " +
+                          t.stats.failure.detail);
+    if (inputs.size() != t.graph->extInputs.size())
+        return reject(CompileCode::AdmissionRejected, false,
+                      "batch has " + std::to_string(inputs.size()) +
+                          " input streams, graph declares " +
+                          std::to_string(t.graph->extInputs.size()));
+    if (t.queue.size() >= limits.requestQueueDepth) {
+        ++t.stats.rejectedSubmits;
+        return reject(CompileCode::AdmissionRejected, true,
+                      "tenant '" + t.name +
+                          "' request queue full (" +
+                          std::to_string(limits.requestQueueDepth) +
+                          "); resubmit after run() drains it");
+    }
+
+    Request req;
+    req.inputs = std::move(inputs);
+    req.submittedAt = fabricClock;
+    t.queue.push_back(std::move(req));
+    obs::count("tenant.requests");
+    SubmitResult r;
+    r.accepted = true;
+    r.diag.stage = CompileStage::Tenancy;
+    return r;
+}
+
+SwapRequestResult
+TenantScheduler::requestTenantSwap(int tenant_id, int page_id,
+                                   const PageBinding &nb,
+                                   const ir::OperatorFn *new_fn)
+{
+    if (tenant_id < 0 ||
+        static_cast<size_t>(tenant_id) >= tenants.size()) {
+        SwapRequestResult r;
+        r.diag = tenancyDiag(CompileCode::SwapRejected, false,
+                             "unknown tenant id " +
+                                 std::to_string(tenant_id));
+        return r;
+    }
+    Tenant &t = *tenants[static_cast<size_t>(tenant_id)];
+    if (t.state == TenantState::Failed) {
+        SwapRequestResult r;
+        r.diag = tenancyDiag(CompileCode::TenantFaulted, false,
+                             "tenant '" + t.name +
+                                 "' failed terminally");
+        return r;
+    }
+    // Queue on the tenant's sim now (residency only gates execution);
+    // the swap runs during the tenant's next slice.
+    return t.sim->requestSwap(page_id, nb, 0, new_fn);
+}
+
+bool
+TenantScheduler::hasWork(const Tenant &t) const
+{
+    return t.state == TenantState::Active &&
+           (!t.queue.empty() || t.batchInProgress ||
+            t.sim->pendingSwapRequests() > 0);
+}
+
+int
+TenantScheduler::residentPages() const
+{
+    return limits.fabricPages - static_cast<int>(freeSlots.size());
+}
+
+void
+TenantScheduler::evict(Tenant &t)
+{
+    if (!t.resident)
+        return;
+    uint64_t drained = t.sim->drainForCheckpoint();
+    t.stats.checkpointCycles += drained;
+    fabricClock += drained;
+    // The drain may have run an in-flight swap to completion —
+    // charge its rollbacks/quarantines to this tenant now.
+    absorbSwapResults(t);
+    freeSlots.insert(freeSlots.end(), t.heldSlots.begin(),
+                     t.heldSlots.end());
+    std::sort(freeSlots.begin(), freeSlots.end());
+    t.heldSlots.clear();
+    t.resident = false;
+    ++t.stats.evictions;
+    ++totalEvictions;
+    obs::count("tenant.evictions");
+    obs::instant("sys", "tenant.evict")
+        .arg("tenant", t.name)
+        .arg("drain_cycles", static_cast<int64_t>(drained));
+}
+
+void
+TenantScheduler::reinstate(Tenant &t)
+{
+    // Re-stream every page's CURRENT image through the CRC-framed
+    // swap path. Identical images restore execution state (see
+    // SystemSim::installImage); quarantined pages stay pinned to
+    // their fallback and are skipped (their image is re-loaded
+    // outside the swap engine — swaps on them are rejected by
+    // design). Faults here are the tenant's own, charged to its
+    // deficit below via reinstateCycles.
+    uint64_t cost = 0;
+    for (const auto &b : t.bindings) {
+        if (t.sim->pageQuarantined(b.pageId))
+            continue;
+        const PageBinding &cur = t.sim->pageBinding(b.pageId);
+        SwapResult r = t.sim->swapPage(b.pageId, cur);
+        cost += r.cycles;
+    }
+    t.stats.reinstateCycles += cost;
+    fabricClock += cost;
+    t.deficit -=
+        static_cast<int64_t>(cost * t.bindings.size());
+    absorbSwapResults(t);
+    obs::count("tenant.reinstate_cycles",
+               static_cast<int64_t>(cost));
+}
+
+void
+TenantScheduler::ensureResident(Tenant &t)
+{
+    t.lastScheduledRound = round;
+    if (t.resident)
+        return;
+    size_t need = t.bindings.size();
+    while (freeSlots.size() < need) {
+        // Victim: the least-recently scheduled resident tenant
+        // (ties by id order). One always exists — residency totals
+        // the fabric and `need` fits it (checked at admission).
+        Tenant *victim = nullptr;
+        for (auto &cand : tenants) {
+            if (!cand->resident || cand.get() == &t)
+                continue;
+            if (!victim ||
+                cand->lastScheduledRound <
+                    victim->lastScheduledRound)
+                victim = cand.get();
+        }
+        pld_assert(victim, "oversubscribed grid with no victim");
+        evict(*victim);
+    }
+    t.heldSlots.assign(freeSlots.begin(),
+                       freeSlots.begin() +
+                           static_cast<long>(need));
+    freeSlots.erase(freeSlots.begin(),
+                    freeSlots.begin() + static_cast<long>(need));
+    t.resident = true;
+    ++t.stats.instatements;
+    ++totalInstatements;
+    obs::count("tenant.instatements");
+    obs::instant("sys", "tenant.instate")
+        .arg("tenant", t.name)
+        .arg("pages", static_cast<int64_t>(need))
+        .arg("first_slot",
+             static_cast<int64_t>(t.heldSlots.front()));
+    if (t.everResident)
+        reinstate(t);
+    else
+        t.everResident = true;
+}
+
+void
+TenantScheduler::absorbSwapResults(Tenant &t)
+{
+    const auto &log = t.sim->swapHistory();
+    for (; t.swapLogSeen < log.size(); ++t.swapLogSeen) {
+        const SwapResult &e = log[t.swapLogSeen];
+        t.stats.rollbacks += static_cast<uint64_t>(e.rollbacks);
+        t.stats.retransmits += e.retransmits;
+        if (e.outcome == SwapOutcome::Quarantined) {
+            ++t.stats.quarantinedPages;
+            obs::count("tenant.page_quarantines");
+        }
+    }
+}
+
+void
+TenantScheduler::finishBatch(Tenant &t)
+{
+    pld_assert(t.batchInProgress && !t.queue.empty(),
+               "batch completion without a batch");
+    BatchOutput out;
+    out.streams = std::move(t.batchAccum);
+    t.batchAccum.assign(t.graph->extOutputs.size(), {});
+    uint64_t lat = fabricClock - t.queue.front().submittedAt;
+    out.latencyCycles = lat;
+    t.latencies.push_back(lat);
+    t.completed.push_back(std::move(out));
+    t.queue.erase(t.queue.begin());
+    t.batchInProgress = false;
+    ++t.stats.batchesDone;
+    obs::count("tenant.batches");
+    obs::record("tenant.latency_cycles", static_cast<double>(lat));
+    obs::record(counter(t, "latency_cycles"),
+                static_cast<double>(lat));
+    obs::instant("sys", "tenant.batch_done")
+        .arg("tenant", t.name)
+        .arg("latency", static_cast<int64_t>(lat));
+}
+
+void
+TenantScheduler::failTenant(Tenant &t, const std::string &why)
+{
+    t.state = TenantState::Failed;
+    t.stats.state = TenantState::Failed;
+    t.stats.failure = tenancyDiag(CompileCode::TenantFaulted,
+                                  false, why);
+    // The in-progress batch (if any) is still queue.front(), so the
+    // queue length alone counts every dropped request exactly once.
+    t.stats.droppedRequests += t.queue.size();
+    t.queue.clear();
+    t.batchInProgress = false;
+    evict(t);
+    obs::count("tenant.failed");
+    obs::instant("sys", "tenant.failed")
+        .arg("tenant", t.name)
+        .arg("why", why);
+}
+
+void
+TenantScheduler::faultEvent(Tenant &t, const std::string &why)
+{
+    ++t.stats.faultEvents;
+    t.zeroProgressSlices = 0;
+    obs::count("tenant.faults");
+    obs::instant("sys", "tenant.fault")
+        .arg("tenant", t.name)
+        .arg("why", why)
+        .arg("retries_left",
+             static_cast<int64_t>(t.retriesLeft));
+    if (t.retriesLeft == 0) {
+        failTenant(t, "retry budget exhausted: " + why);
+        return;
+    }
+    --t.retriesLeft;
+    t.stats.retriesLeft = t.retriesLeft;
+    evict(t);
+    uint64_t backoff =
+        limits.backoffBaseRounds
+        << std::min<uint64_t>(t.stats.faultEvents - 1, 10);
+    t.backoffUntilRound = round + backoff;
+    obs::count("tenant.backoffs");
+}
+
+bool
+TenantScheduler::runOneSlice(Tenant &t)
+{
+    ensureResident(t);
+    if (t.state == TenantState::Failed)
+        return false;
+
+    if (!t.batchInProgress && !t.queue.empty()) {
+        const Request &req = t.queue.front();
+        for (size_t i = 0; i < req.inputs.size(); ++i)
+            t.sim->loadInput(static_cast<int>(i), req.inputs[i]);
+        t.batchInProgress = true;
+    }
+
+    RunStats rs = t.sim->runSlice(limits.sliceCycles);
+    uint64_t served = rs.cycles + rs.configCycles;
+    uint64_t cost = served * t.bindings.size();
+    fabricClock += served;
+    t.deficit -= static_cast<int64_t>(cost);
+    ++t.stats.slices;
+    ++totalSlices;
+    t.stats.servedCycles += served;
+    t.stats.servedPageCycles += cost;
+    obs::count("tenant.slices");
+    obs::count("tenant.cycles", static_cast<int64_t>(served));
+    obs::count(counter(t, "page_cycles"),
+               static_cast<int64_t>(cost));
+
+    // Drain this slice's output words into the batch accumulator.
+    uint64_t words = 0;
+    for (size_t j = 0; j < t.batchAccum.size(); ++j) {
+        std::vector<uint32_t> v =
+            t.sim->takeOutput(static_cast<int>(j));
+        words += v.size();
+        t.batchAccum[j].insert(t.batchAccum[j].end(), v.begin(),
+                               v.end());
+    }
+    t.stats.wordsOut += words;
+    obs::count("tenant.words_out", static_cast<int64_t>(words));
+
+    size_t swaps_before = t.swapLogSeen;
+    absorbSwapResults(t);
+    bool swap_activity = t.swapLogSeen != swaps_before;
+
+    uint64_t delivered = rs.noc.delivered;
+    bool noc_progress = delivered != t.lastNocDelivered;
+    t.lastNocDelivered = delivered;
+
+    if (rs.completed) {
+        t.zeroProgressSlices = 0;
+        if (t.batchInProgress)
+            finishBatch(t);
+        return hasWork(t);
+    }
+    if (words > 0 || noc_progress || swap_activity) {
+        t.zeroProgressSlices = 0;
+        return true;
+    }
+    if (++t.zeroProgressSlices >= limits.hangSliceLimit) {
+        ++t.stats.hangs;
+        obs::count("tenant.hangs");
+        faultEvent(t, "hung: " +
+                          std::to_string(t.zeroProgressSlices) +
+                          " consecutive slices with no progress");
+        return false; // evicted (or failed); leave the DRR loop
+    }
+    return true;
+}
+
+SchedStats
+TenantScheduler::run()
+{
+    obs::Span span("sys", "tenant.schedule");
+    uint64_t start_round = round;
+    bool all_done = false;
+
+    while (round - start_round < limits.maxRounds) {
+        // Who still wants the fabric?
+        std::vector<Tenant *> waiting, runnable;
+        for (auto &t : tenants) {
+            if (!hasWork(*t))
+                continue;
+            if (t->backoffUntilRound > round)
+                waiting.push_back(t.get());
+            else
+                runnable.push_back(t.get());
+        }
+        if (runnable.empty() && waiting.empty()) {
+            all_done = true;
+            break;
+        }
+        if (runnable.empty()) {
+            // Everyone with work is backing off: fast-forward the
+            // round clock to the earliest re-entry.
+            uint64_t next = waiting.front()->backoffUntilRound;
+            for (Tenant *t : waiting)
+                next = std::min(next, t->backoffUntilRound);
+            round = next;
+            continue;
+        }
+        ++round;
+        for (Tenant *t : runnable) {
+            t->deficit += static_cast<int64_t>(limits.drrQuantum);
+            while (t->deficit > 0 && hasWork(*t) &&
+                   t->backoffUntilRound <= round) {
+                if (!runOneSlice(*t))
+                    break;
+            }
+        }
+    }
+
+    SchedStats out;
+    out.rounds = round;
+    out.slices = totalSlices;
+    out.virtualCycles = fabricClock;
+    out.evictions = totalEvictions;
+    out.instatements = totalInstatements;
+    out.allWorkDone = all_done;
+
+    double sum = 0, sumsq = 0;
+    int n = 0;
+    for (const auto &t : tenants) {
+        if (t->stats.servedPageCycles == 0)
+            continue;
+        double x = static_cast<double>(t->stats.servedPageCycles);
+        sum += x;
+        sumsq += x * x;
+        ++n;
+    }
+    out.jainFairness =
+        n ? (sum * sum) / (double(n) * sumsq) : 0.0;
+    obs::gauge("tenant.jain_fairness", out.jainFairness);
+
+    for (size_t i = 0; i < tenants.size(); ++i)
+        out.tenants.push_back(
+            tenantStats(static_cast<int>(i)));
+    span.arg("rounds", static_cast<int64_t>(out.rounds))
+        .arg("slices", static_cast<int64_t>(out.slices))
+        .arg("cycles", static_cast<int64_t>(out.virtualCycles));
+    return out;
+}
+
+std::vector<BatchOutput>
+TenantScheduler::takeOutput(int tenant_id)
+{
+    pld_assert(tenant_id >= 0 && static_cast<size_t>(tenant_id) <
+                                     tenants.size(),
+               "unknown tenant id %d", tenant_id);
+    return std::move(
+        tenants[static_cast<size_t>(tenant_id)]->completed);
+}
+
+TenantState
+TenantScheduler::tenantState(int tenant_id) const
+{
+    pld_assert(tenant_id >= 0 && static_cast<size_t>(tenant_id) <
+                                     tenants.size(),
+               "unknown tenant id %d", tenant_id);
+    return tenants[static_cast<size_t>(tenant_id)]->state;
+}
+
+TenantStats
+TenantScheduler::tenantStats(int tenant_id) const
+{
+    pld_assert(tenant_id >= 0 && static_cast<size_t>(tenant_id) <
+                                     tenants.size(),
+               "unknown tenant id %d", tenant_id);
+    const Tenant &t = *tenants[static_cast<size_t>(tenant_id)];
+    TenantStats s = t.stats;
+    s.name = t.name;
+    s.state = t.state;
+    s.retriesLeft = t.retriesLeft;
+    s.latencyP50 = nearestRank(t.latencies, 0.50);
+    s.latencyP95 = nearestRank(t.latencies, 0.95);
+    return s;
+}
+
+} // namespace sys
+} // namespace pld

@@ -1,0 +1,315 @@
+/**
+ * @file
+ * Multi-tenant fabric scheduler: time-shares one page grid across
+ * many independently compiled applications.
+ *
+ * The paper's fast-compile loop makes the fabric feel like a CPU to
+ * one developer; this layer makes it feel like a CPU to many. Each
+ * tenant is one compiled AppBuild (graph + page bindings + system
+ * config) with its own SystemSim — the sim object IS the tenant's
+ * checkpoint. The physical page grid is a scheduler-level ledger:
+ * a tenant must hold one fabric page per binding to execute, and
+ * when the grid is oversubscribed the scheduler evicts a resident
+ * tenant (checkpoint drain: every in-flight flit lands in a
+ * leaf-interface FIFO, which partial reconfiguration does not touch,
+ * so stream state survives in place — the DFX model) and re-instates
+ * it later by re-streaming its page images through the CRC-framed
+ * hot-swap path. Re-instating an identical image resumes execution
+ * exactly where the drain left it (HW pages keep their interpreter
+ * state; softcores take the identical-image restore path in
+ * SystemSim::installImage).
+ *
+ * Page numbering is virtual: each tenant's bindings address its own
+ * private leaf space, and the ledger allocates physical page slots
+ * at instatement (recorded for observability, invisible to the sim)
+ * — the relocation a config stream applies when loading a partial
+ * image into a different but shape-identical page.
+ *
+ * Fairness is deficit round-robin over PAGE-CYCLES (slice cycles x
+ * pages held), so a wide tenant burns its budget faster than a
+ * narrow one and a faulty tenant's retransmit/rollback/reinstate
+ * cycles come out of its own allowance, never a neighbour's.
+ *
+ * Fault domains are per tenant, two-level:
+ *  - Page-level faults (CRC-corrupt config streams, dropped packets,
+ *    post-swap hangs) are contained by the PR-5 swap engine: bounded
+ *    retransmit, watchdog, rollback, quarantine onto the softcore
+ *    fallback — which computes the same function, so the tenant's
+ *    outputs stay correct, just slower. Fault sites are scoped
+ *    "tenant/op" (SystemConfig::faultScope), so a hostile fault plan
+ *    cannot leak into a tenant it does not name.
+ *  - Tenant-level hangs (no output words, no NoC delivery, and no
+ *    completion for hangSliceLimit consecutive full slices) trip the
+ *    scheduler's own watchdog: the tenant is evicted, excluded by
+ *    exponential backoff, and retried until its retry budget is
+ *    exhausted, then failed terminally (CompileCode::TenantFaulted)
+ *    and its pages returned to the grid. Other tenants' outputs and
+ *    schedules are never perturbed.
+ *
+ * The scheduler is strictly serial and deterministic: one tenant's
+ * sim executes at a time, rotation order is by tenant id, and every
+ * decision derives from sim results — so all tenant.* counters and
+ * per-tenant output words are bit-identical under any PLD_THREADS.
+ */
+
+#ifndef PLD_SYS_TENANCY_H
+#define PLD_SYS_TENANCY_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sys/system.h"
+
+namespace pld {
+namespace sys {
+
+/** Scheduler-wide policy knobs. */
+struct TenantLimits
+{
+    /** Physical pages in the grid (XCU50 model: 22). */
+    int fabricPages = 22;
+    /** Admission bound on concurrently admitted tenants. */
+    size_t maxTenants = 8;
+    /** Per-tenant pending-request queue bound. */
+    size_t requestQueueDepth = 4;
+    /** Execution cycles per scheduler time slice. */
+    uint64_t sliceCycles = 4000;
+    /** Page-cycles credited to each runnable tenant per round. */
+    uint64_t drrQuantum = 16000;
+    /** Tenant-level fault events tolerated before terminal failure. */
+    int retryBudget = 3;
+    /** Backoff after a fault event, in rounds (doubles per event). */
+    uint64_t backoffBaseRounds = 2;
+    /** Consecutive zero-progress slices before a tenant counts as
+     * hung (a full slice with no output words, no NoC deliveries,
+     * and no completion). */
+    int hangSliceLimit = 6;
+    /** Scheduler-round bound for run() (a liveness backstop, not a
+     * tuning knob; run() returns allWorkDone=false when hit). */
+    uint64_t maxRounds = 1000000;
+};
+
+/** One application requesting fabric time. The graph must outlive
+ * the scheduler (it is referenced, not copied — same contract as
+ * SystemSim). */
+struct TenantSpec
+{
+    /** Unique tenant name; becomes the fault-site scope prefix, so
+     * it may not contain '/' or '*'. */
+    std::string name;
+    const ir::Graph *graph = nullptr;
+    std::vector<PageBinding> bindings;
+    SystemConfig sysCfg;
+};
+
+enum class TenantState {
+    /** Admitted and schedulable (possibly backing off or evicted). */
+    Active,
+    /** Retry budget exhausted; terminally removed from the rotation,
+     * pages returned, queued requests dropped. */
+    Failed,
+};
+
+const char *tenantStateName(TenantState s);
+
+/** Outcome of admit(): a rejected tenant was never registered. */
+struct AdmitResult
+{
+    int tenantId = -1;
+    bool accepted = false;
+    Diagnostic diag;
+};
+
+/** Outcome of queueing one submit(). */
+struct SubmitResult
+{
+    bool accepted = false;
+    Diagnostic diag;
+};
+
+/** One completed request: per-external-output word streams, plus
+ * the submit-to-completion latency in fabric cycles. */
+struct BatchOutput
+{
+    std::vector<std::vector<uint32_t>> streams;
+    uint64_t latencyCycles = 0;
+};
+
+/** Per-tenant accounting (all cycle figures are fabric cycles). */
+struct TenantStats
+{
+    std::string name;
+    TenantState state = TenantState::Active;
+    uint64_t slices = 0;
+    uint64_t servedCycles = 0;
+    /** servedCycles x pages held: the DRR cost unit. */
+    uint64_t servedPageCycles = 0;
+    uint64_t batchesDone = 0;
+    uint64_t wordsOut = 0;
+    uint64_t evictions = 0;
+    uint64_t instatements = 0;
+    uint64_t checkpointCycles = 0;
+    uint64_t reinstateCycles = 0;
+    /** Tenant-level watchdog trips (hung-slice detections). */
+    uint64_t hangs = 0;
+    /** Tenant-level fault events (each consumed a retry). */
+    uint64_t faultEvents = 0;
+    /** Page-level containment, accumulated from swap results. */
+    uint64_t rollbacks = 0;
+    uint64_t retransmits = 0;
+    uint64_t quarantinedPages = 0;
+    uint64_t rejectedSubmits = 0;
+    /** Requests dropped when the tenant failed terminally. */
+    uint64_t droppedRequests = 0;
+    int retriesLeft = 0;
+    /** Nearest-rank percentiles over completed-batch latencies. */
+    uint64_t latencyP50 = 0;
+    uint64_t latencyP95 = 0;
+    /** Terminal diagnostic when state == Failed. */
+    Diagnostic failure;
+};
+
+/** Whole-run summary returned by run(). */
+struct SchedStats
+{
+    uint64_t rounds = 0;
+    uint64_t slices = 0;
+    /** Fabric clock: execution + drain + reinstate cycles, summed
+     * serially (tenants time-share one physical fabric). */
+    uint64_t virtualCycles = 0;
+    uint64_t evictions = 0;
+    uint64_t instatements = 0;
+    /** False only when maxRounds stopped the run early. */
+    bool allWorkDone = false;
+    /** Jain index over per-tenant served page-cycles (tenants that
+     * received any service); 1.0 = perfectly fair. */
+    double jainFairness = 0;
+    std::vector<TenantStats> tenants;
+};
+
+/**
+ * The scheduler. Admit tenants, submit input batches, run() to
+ * completion, then collect each tenant's outputs with takeOutput().
+ * All methods are meant for one thread; determinism comes from the
+ * strictly serial schedule, not from locking.
+ */
+class TenantScheduler
+{
+  public:
+    explicit TenantScheduler(TenantLimits limits = {});
+    ~TenantScheduler();
+
+    /**
+     * Register a tenant. Rejected (CompileCode::AdmissionRejected)
+     * when: the name is empty, contains '/' or '*', or duplicates an
+     * admitted tenant; the graph is null; the bindings are empty,
+     * exceed the fabric page count (such a tenant could never become
+     * resident), or bind one page twice; or maxTenants is reached
+     * (the only retriable rejection — re-admit after a tenant
+     * fails or the scheduler is torn down).
+     */
+    AdmitResult admit(const TenantSpec &spec);
+
+    /**
+     * Queue one input batch: words per external input stream, in
+     * graph extInputs order. Rejected when the tenant is unknown or
+     * failed, the batch shape mismatches the graph, or the tenant's
+     * request queue is full (retriable — resubmit after run()
+     * drains it).
+     */
+    SubmitResult submit(int tenant_id,
+                        std::vector<std::vector<uint32_t>> inputs);
+
+    /**
+     * Forward a hot-swap to a tenant's page (virtual page id, i.e.
+     * the binding's pageId). Queued on the tenant's sim immediately
+     * — residency only matters for execution — and performed during
+     * the tenant's next slice. Validation (queue depth, duplicate
+     * target, quarantined page) is SystemSim::requestSwap's.
+     */
+    SwapRequestResult requestTenantSwap(
+        int tenant_id, int page_id, const PageBinding &nb,
+        const ir::OperatorFn *new_fn = nullptr);
+
+    /**
+     * Run until every active tenant's queue is empty (or every
+     * tenant with work has failed), then return the accounting.
+     * Callable repeatedly: submit more batches and run again; stats
+     * accumulate across calls.
+     */
+    SchedStats run();
+
+    /** Completed batches since the last call, in completion order. */
+    std::vector<BatchOutput> takeOutput(int tenant_id);
+
+    TenantState tenantState(int tenant_id) const;
+    TenantStats tenantStats(int tenant_id) const;
+    size_t tenantCount() const { return tenants.size(); }
+    /** Pages currently allocated to resident tenants. */
+    int residentPages() const;
+
+  private:
+    struct Request
+    {
+        std::vector<std::vector<uint32_t>> inputs;
+        uint64_t submittedAt = 0; ///< fabric clock at submit()
+    };
+
+    struct Tenant
+    {
+        std::string name;
+        const ir::Graph *graph = nullptr;
+        std::vector<PageBinding> bindings;
+        std::unique_ptr<SystemSim> sim; ///< the checkpoint object
+        TenantState state = TenantState::Active;
+
+        std::vector<Request> queue; ///< front = index 0
+        bool batchInProgress = false;
+        std::vector<std::vector<uint32_t>> batchAccum;
+        std::vector<BatchOutput> completed;
+        std::vector<uint64_t> latencies;
+
+        bool resident = false;
+        bool everResident = false;
+        std::vector<int> heldSlots; ///< physical page slots
+        uint64_t lastScheduledRound = 0;
+
+        int64_t deficit = 0; ///< page-cycles (may overdraft)
+        uint64_t backoffUntilRound = 0;
+        int retriesLeft = 0;
+        int zeroProgressSlices = 0;
+        uint64_t lastNocDelivered = 0;
+        size_t swapLogSeen = 0; ///< swapHistory() delta cursor
+
+        TenantStats stats;
+    };
+
+    bool hasWork(const Tenant &t) const;
+    void ensureResident(Tenant &t);
+    void evict(Tenant &t);
+    void reinstate(Tenant &t);
+    /** Run one slice; returns false when the tenant must leave the
+     * inner DRR loop (fault event, failure, or no more work). */
+    bool runOneSlice(Tenant &t);
+    void absorbSwapResults(Tenant &t);
+    void finishBatch(Tenant &t);
+    void faultEvent(Tenant &t, const std::string &why);
+    void failTenant(Tenant &t, const std::string &why);
+    std::string counter(const Tenant &t, const char *suffix) const;
+
+    TenantLimits limits;
+    std::vector<std::unique_ptr<Tenant>> tenants;
+    std::vector<int> freeSlots; ///< ascending physical page ids
+    uint64_t fabricClock = 0;
+    uint64_t round = 0;
+    uint64_t totalSlices = 0;
+    uint64_t totalEvictions = 0;
+    uint64_t totalInstatements = 0;
+};
+
+} // namespace sys
+} // namespace pld
+
+#endif // PLD_SYS_TENANCY_H

@@ -145,6 +145,40 @@ TEST(Fault, ParseAcceptsRuntimeKindsAndWildcardCounts)
     EXPECT_DOUBLE_EQ(p.specs[3].probability, 0.5);
 }
 
+TEST(Fault, TenantScopedSitesParseAndMatch)
+{
+    // Multi-tenant fault scoping: "tenant/op" sites with per-component
+    // wildcards. Scoped patterns must never leak into unscoped sites
+    // (and vice versa) — only a bare "*" crosses the scope boundary.
+    FaultPlan p = FaultPlan::parse(
+        "page_hang:t1/fc;config_corrupt:*/fc*2;dma_stall:t2/*");
+    ASSERT_EQ(p.specs.size(), 3u);
+    EXPECT_EQ(p.specs[0].op, "t1/fc");
+    EXPECT_EQ(p.specs[1].op, "*/fc");
+    EXPECT_EQ(p.specs[1].count, 2);
+    EXPECT_EQ(p.specs[2].op, "t2/*");
+
+    EXPECT_TRUE(faultSiteMatches("t1/fc", "t1/fc"));
+    EXPECT_FALSE(faultSiteMatches("t1/fc", "t2/fc"));
+    EXPECT_FALSE(faultSiteMatches("t1/fc", "fc"));
+    EXPECT_TRUE(faultSiteMatches("*/fc", "t9/fc"));
+    EXPECT_FALSE(faultSiteMatches("*/fc", "fc"));
+    EXPECT_TRUE(faultSiteMatches("t2/*", "t2/anything"));
+    EXPECT_FALSE(faultSiteMatches("t2/*", "t1/anything"));
+    EXPECT_TRUE(faultSiteMatches("*", "t1/fc"));
+    EXPECT_TRUE(faultSiteMatches("*", "fc"));
+    // An unscoped literal never matches a scoped site: a legacy
+    // single-tenant spec cannot accidentally target tenant pages.
+    EXPECT_FALSE(faultSiteMatches("fc", "t1/fc"));
+
+    // The injector honors scoping end to end.
+    FaultPlan hang = FaultPlan::parse("page_hang:t1/fc");
+    FaultInjector inj(hang);
+    EXPECT_TRUE(inj.fires(FaultKind::PageHang, "t1/fc", 0, 0));
+    EXPECT_FALSE(inj.fires(FaultKind::PageHang, "t2/fc", 0, 0));
+    EXPECT_FALSE(inj.fires(FaultKind::PageHang, "fc", 0, 0));
+}
+
 TEST(Fault, ParseRejectsMalformedSpecsWithStructuredDiagnostic)
 {
     // A malformed PLD_FAULT must fail loudly with a Diagnostic that
@@ -177,7 +211,9 @@ TEST(Fault, ParseRejectsMalformedSpecsWithStructuredDiagnostic)
     expect_bad("route_fail:x@zzz", "malformed probability");
     expect_bad("route_fail:x@0", "out of (0,1]");
     expect_bad("route_fail:x@1.5", "out of (0,1]");
-    expect_bad("route_fail:a*b*2", "must be a name or a bare '*'");
+    expect_bad("route_fail:a*b*2", "must be names or a bare '*'");
+    expect_bad("route_fail:t1/a/b", "more than one '/'");
+    expect_bad("route_fail:t*x/op*2", "must be names or a bare '*'");
 
     // The offset names the bad entry, not the start of the string.
     try {

@@ -1,0 +1,167 @@
+/**
+ * packTenantApps: the compiler-side half of the multi-tenant fabric.
+ * Packing validates each app as a tenant (name, paged build, grid
+ * footprint), attaches a softcore fallback ELF to every binding (so
+ * the swap engine can quarantine any page), and emits TenantSpecs
+ * that drop straight into the TenantScheduler.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dataflow/runtime.h"
+#include "fabric/device.h"
+#include "ir/builder.h"
+#include "pld/compiler.h"
+#include "sys/tenancy.h"
+
+using namespace pld;
+using namespace pld::ir;
+using namespace pld::flow;
+
+namespace {
+
+const fabric::Device &
+device()
+{
+    static fabric::Device d = fabric::makeU50();
+    return d;
+}
+
+OperatorFn
+makeAdd(const std::string &name, int k, int n)
+{
+    OpBuilder b(name);
+    auto in = b.input("in");
+    auto out = b.output("out");
+    b.forLoop(0, n, [&](Ex) {
+        b.write(out, b.read(in).bitcast(Type::s(32)) + k);
+    });
+    return b.finish();
+}
+
+Graph
+makeApp(const std::string &prefix, int k, int n)
+{
+    GraphBuilder gb(prefix);
+    auto in = gb.extIn("I");
+    auto out = gb.extOut("O");
+    auto mid = gb.wire();
+    gb.inst(makeAdd(prefix + "_a", k, n), {in}, {mid});
+    gb.inst(makeAdd(prefix + "_b", k + 1, n), {mid}, {out});
+    return gb.finish();
+}
+
+CompileOptions
+quickOpts()
+{
+    CompileOptions o;
+    o.effort = 0.15;
+    o.parallelJobs = 4;
+    return o;
+}
+
+std::vector<uint32_t>
+iota(int n)
+{
+    std::vector<uint32_t> v;
+    for (int i = 0; i < n; ++i)
+        v.push_back(static_cast<uint32_t>(i));
+    return v;
+}
+
+} // namespace
+
+TEST(TenantPack, AttachesFallbacksAndValidates)
+{
+    const int n = 16;
+    Graph g1 = makeApp("app1", 3, n);
+    Graph g2 = makeApp("app2", 7, n);
+    PldCompiler pc(device(), quickOpts());
+    AppBuild b1 = pc.build(g1, OptLevel::O1);
+    AppBuild b2 = pc.build(g2, OptLevel::O1);
+
+    TenantPack pack = pc.packTenantApps(
+        {{"alpha", &g1, &b1}, {"beta", &g2, &b2}});
+    EXPECT_TRUE(pack.status.ok()) << pack.status.render();
+    ASSERT_EQ(pack.specs.size(), 2u);
+    EXPECT_EQ(pack.maxPages, 2);
+    EXPECT_EQ(pack.totalPages, 4);
+    for (const auto &spec : pack.specs) {
+        EXPECT_FALSE(spec.name.empty());
+        ASSERT_NE(spec.graph, nullptr);
+        for (const auto &b : spec.bindings) {
+            EXPECT_TRUE(b.hasFallback)
+                << spec.name << " page " << b.pageId
+                << ": every tenant page needs a quarantine target";
+            EXPECT_FALSE(b.fallbackElf.text.empty());
+            EXPECT_NE(b.imageHash, 0u)
+                << "reinstatement needs the identical-image hash";
+        }
+    }
+}
+
+TEST(TenantPack, RejectsMonolithicAndBadNamesButPacksTheRest)
+{
+    const int n = 16;
+    Graph g1 = makeApp("app1", 3, n);
+    Graph g2 = makeApp("app2", 7, n);
+    PldCompiler pc(device(), quickOpts());
+    AppBuild paged = pc.build(g1, OptLevel::O1);
+    AppBuild mono = pc.build(g2, OptLevel::Vitis);
+
+    TenantPack pack = pc.packTenantApps({
+        {"ok", &g1, &paged},
+        {"mono", &g2, &mono},        // not paged: no NoC overlay
+        {"bad/name", &g1, &paged},   // '/' collides with fault scoping
+        {"ok", &g1, &paged},         // duplicate
+    });
+    ASSERT_EQ(pack.specs.size(), 1u)
+        << "invalid apps are rejected; valid ones still pack";
+    EXPECT_EQ(pack.specs[0].name, "ok");
+    EXPECT_FALSE(pack.status.ok());
+    size_t rejections = 0;
+    for (const auto &d : pack.status.diags)
+        rejections += d.code == CompileCode::AdmissionRejected;
+    EXPECT_EQ(rejections, 3u);
+}
+
+TEST(TenantPack, PackedSpecsRunUnderTheScheduler)
+{
+    // End-to-end: compile two apps, pack, admit, time-share a grid
+    // smaller than their combined footprint, and check both tenants'
+    // outputs against the dataflow reference.
+    const int n = 32;
+    Graph g1 = makeApp("app1", 3, n);
+    Graph g2 = makeApp("app2", 7, n);
+    PldCompiler pc(device(), quickOpts());
+    AppBuild b1 = pc.build(g1, OptLevel::O1);
+    AppBuild b2 = pc.build(g2, OptLevel::O1);
+    TenantPack pack = pc.packTenantApps(
+        {{"alpha", &g1, &b1}, {"beta", &g2, &b2}});
+    ASSERT_TRUE(pack.status.ok()) << pack.status.render();
+
+    sys::TenantLimits lim;
+    lim.fabricPages = pack.maxPages; // forces eviction
+    lim.sliceCycles = 500;
+    sys::TenantScheduler sched(lim);
+    std::vector<int> ids;
+    for (const auto &spec : pack.specs) {
+        auto r = sched.admit(spec);
+        ASSERT_TRUE(r.accepted) << r.diag.detail;
+        ASSERT_TRUE(
+            sched.submit(r.tenantId, {iota(n)}).accepted);
+        ids.push_back(r.tenantId);
+    }
+    ASSERT_TRUE(sched.run().allWorkDone);
+
+    const Graph *graphs[] = {&g1, &g2};
+    for (size_t t = 0; t < ids.size(); ++t) {
+        dataflow::GraphRuntime gold(*graphs[t]);
+        gold.pushInput(0, iota(n));
+        ASSERT_TRUE(gold.run());
+        auto out = sched.takeOutput(ids[t]);
+        ASSERT_EQ(out.size(), 1u);
+        EXPECT_EQ(out[0].streams[0], gold.takeOutput(0))
+            << pack.specs[t].name;
+    }
+}

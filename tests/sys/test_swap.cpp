@@ -24,6 +24,7 @@ using namespace pld::ir;
 using sys::PageBinding;
 using sys::PageImpl;
 using sys::SwapOutcome;
+using sys::SwapRequestResult;
 using sys::SwapResult;
 using sys::SystemConfig;
 using sys::SystemSim;
@@ -472,4 +473,103 @@ TEST(Swap, RunTimeoutEmitsCounterAndCompletedFalse)
     for (const obs::Event *e : st.tracer().allEvents())
         saw_instant |= e->name == "sys.run.timeout";
     EXPECT_TRUE(saw_instant);
+}
+
+// -------- admission: requestSwap rejection paths --------------------
+
+TEST(Swap, RequestSwapRejectsStructurally)
+{
+    // Satellite: every doomed request is rejected at queueing time
+    // with a structured diagnostic, never queued to fail silently.
+    const int n = 8;
+    Graph g = makePipeline(n);
+    SystemConfig cfg = swapCfg();
+    cfg.swapQueueDepth = 2;
+    SystemSim sim(g, {hwBinding(g, 0, 0), hwBinding(g, 1, 5)}, cfg);
+    PageBinding nb0 = swapImage(hwBinding(g, 0, 0), 256, 2.0);
+    PageBinding nb5 = swapImage(hwBinding(g, 1, 5), 256, 2.0);
+
+    // Unknown page: permanent.
+    SwapRequestResult r = sim.requestSwap(17, nb0, 0);
+    EXPECT_FALSE(r.accepted);
+    EXPECT_EQ(r.diag.code, CompileCode::SwapRejected);
+    EXPECT_EQ(r.diag.stage, CompileStage::Swap);
+    EXPECT_EQ(r.diag.page, 17);
+    EXPECT_FALSE(r.diag.retriable);
+
+    EXPECT_TRUE(sim.requestSwap(0, nb0, 0).accepted);
+    EXPECT_EQ(sim.pendingSwapRequests(), 1u);
+
+    // Duplicate target: conflicting images cannot be queued.
+    r = sim.requestSwap(0, nb0, 100);
+    EXPECT_FALSE(r.accepted);
+    EXPECT_TRUE(r.diag.retriable);
+    EXPECT_NE(r.diag.detail.find("already targets"),
+              std::string::npos);
+
+    // Queue bound.
+    EXPECT_TRUE(sim.requestSwap(5, nb5, 0).accepted);
+    r = sim.requestSwap(5, nb5, 200);
+    EXPECT_FALSE(r.accepted); // duplicate fires first
+    EXPECT_EQ(sim.pendingSwapRequests(), 2u);
+    SystemSim sim2(g, {hwBinding(g, 0, 0), hwBinding(g, 1, 5)},
+                   cfg);
+    EXPECT_TRUE(sim2.requestSwap(0, nb0, 0).accepted);
+    EXPECT_TRUE(sim2.requestSwap(5, nb5, 0).accepted);
+    PageBinding nb0b = swapImage(hwBinding(g, 0, 0), 512, 2.0);
+    r = sim2.requestSwap(0, nb0b, 300); // depth 2 reached
+    EXPECT_FALSE(r.accepted);
+    EXPECT_TRUE(r.diag.retriable);
+    EXPECT_NE(r.diag.detail.find("queue full"), std::string::npos);
+
+    // Quarantined page: permanent.
+    SystemSim sim3(g, {hwBinding(g, 0, 0), hwBinding(g, 1, 5)},
+                   swapCfg("config_corrupt:a1"));
+    PageBinding qb = swapImage(hwBinding(g, 0, 0), 512, 2.0);
+    attachFallback(qb, g.ops[0].fn);
+    ASSERT_EQ(sim3.swapPage(0, qb).outcome,
+              SwapOutcome::Quarantined);
+    r = sim3.requestSwap(0, qb, 0);
+    EXPECT_FALSE(r.accepted);
+    EXPECT_FALSE(r.diag.retriable);
+    EXPECT_NE(r.diag.detail.find("quarantined"), std::string::npos);
+
+    // The accepted queue still executes: both queued swaps land.
+    sim.loadInput(0, iota(n));
+    ASSERT_TRUE(sim.run().completed);
+    EXPECT_EQ(sim.pendingSwapRequests(), 0u);
+    EXPECT_EQ(sim.swapHistory().size(), 2u);
+}
+
+// -------- quarantine vs re-arm regression ---------------------------
+
+TEST(Swap, QuarantinedPageStaysPinnedAcrossBatches)
+{
+    // Regression: re-arming pages for batch 2 must not disturb a
+    // quarantined page — the softcore fallback stays pinned and
+    // computes the same function, so every later batch matches the
+    // pre-quarantine golden word-for-word.
+    const int n = 8;
+    Graph g = makePipeline(n);
+    SystemSim sim(g, {hwBinding(g, 0, 0), hwBinding(g, 1, 5)},
+                  swapCfg("config_corrupt:a1"));
+    sim.loadInput(0, iota(n));
+    ASSERT_TRUE(sim.run().completed);
+    auto golden = sim.takeOutput(0);
+    ASSERT_EQ(golden.size(), static_cast<size_t>(n));
+
+    PageBinding nb = swapImage(hwBinding(g, 0, 0), 512, 2.0);
+    attachFallback(nb, g.ops[0].fn);
+    ASSERT_EQ(sim.swapPage(0, nb).outcome,
+              SwapOutcome::Quarantined);
+    ASSERT_EQ(sim.pageImpl(0), PageImpl::Softcore);
+
+    for (int batch = 2; batch <= 3; ++batch) {
+        sim.loadInput(0, iota(n));
+        ASSERT_TRUE(sim.run().completed) << "batch " << batch;
+        EXPECT_EQ(sim.takeOutput(0), golden) << "batch " << batch;
+        EXPECT_TRUE(sim.pageQuarantined(0)) << "batch " << batch;
+        EXPECT_EQ(sim.pageImpl(0), PageImpl::Softcore)
+            << "re-arm must not resurrect the quarantined image";
+    }
 }
