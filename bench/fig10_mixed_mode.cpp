@@ -5,6 +5,12 @@
  * steady-state debugging setup (paper Sec 7.4: recompile only the
  * single operator being debugged with -O0).
  *
+ * Also compares the two softcore codegen tiers on the same setup:
+ * all-softcore cycle counts at -O0 vs -Os and the degraded-page
+ * slowdown (one softcore victim vs the all-hardware build) at each
+ * tier, emitted as BENCH_softcore.json — the measured answer to "how
+ * much does the optimizing tier shrink the debug-loop penalty".
+ *
  * Also measures the runtime half of that loop: hot-swapping each
  * operator's page live (drain, CRC-framed config stream, activate)
  * and reporting the swap-latency distribution (p50/p95 of the
@@ -33,11 +39,39 @@ main()
     t.addRow({"Benchmark", "allO0 cycles", "min", "median", "max",
               "per-operator speedups"});
 
+    // Per-benchmark tier comparison (BENCH_softcore.json below).
+    struct TierRow
+    {
+        std::string name;
+        uint64_t allO0 = 0;   ///< all-softcore cycles, -O0 images
+        uint64_t allOs = 0;   ///< all-softcore cycles, -Os images
+        uint64_t hw = 0;      ///< all-hardware (-O1) cycles
+        double worstO0 = 0;   ///< worst degraded-page slowdown, -O0
+        double worstOs = 0;   ///< worst degraded-page slowdown, -Os
+    };
+    std::vector<TierRow> tiers;
+
     for (auto &bm : benches) {
-        PldCompiler pc(bench::device(), bench::compileOptions(effort));
+        // The figure's table keeps the paper-faithful -O0 softcore;
+        // a second compiler at -Os measures the optimizing tier on
+        // exactly the same victims.
+        CompileOptions co = bench::compileOptions(effort);
+        co.softcoreTier = rvgen::Tier::O0;
+        PldCompiler pc(bench::device(), co);
+        co.softcoreTier = rvgen::Tier::Os;
+        PldCompiler pcOs(bench::device(), co);
+
         AppBuild all_o0 = pc.build(bm.graph, OptLevel::O0);
         auto base_rs = bench::execute(bm, all_o0);
         double base = static_cast<double>(base_rs.cycles);
+
+        TierRow tr;
+        tr.name = bm.name;
+        tr.allO0 = base_rs.cycles;
+        AppBuild all_os = pcOs.build(bm.graph, OptLevel::O0);
+        tr.allOs = bench::execute(bm, all_os).cycles;
+        AppBuild hw = pc.build(bm.graph, OptLevel::O1);
+        tr.hw = bench::execute(bm, hw).cycles;
 
         std::vector<double> speedups;
         std::string detail;
@@ -68,14 +102,69 @@ main()
             speedups.push_back(sp);
             detail += g.ops[victim].instName + "=" +
                       fmtDouble(sp, 1) + "x ";
+
+            AppBuild mixedOs = pcOs.build(g, OptLevel::O1);
+            auto rsOs = bench::execute(bm2, mixedOs);
+            double hwCycles = static_cast<double>(tr.hw);
+            tr.worstO0 = std::max(
+                tr.worstO0,
+                static_cast<double>(rs.cycles) / hwCycles);
+            tr.worstOs = std::max(
+                tr.worstOs,
+                static_cast<double>(rsOs.cycles) / hwCycles);
         }
         std::sort(speedups.begin(), speedups.end());
         t.row(bm.name, base_rs.cycles,
               fmtDouble(speedups.front(), 1) + "x",
               fmtDouble(speedups[speedups.size() / 2], 1) + "x",
               fmtDouble(speedups.back(), 1) + "x", detail);
+        tiers.push_back(std::move(tr));
     }
     t.print();
+
+    // ---- softcore tier comparison: -O0 vs -Os --------------------
+    Table tt("Softcore Tier Comparison: all-softcore cycles and "
+             "worst degraded-page slowdown vs all-HW");
+    tt.addRow({"Benchmark", "allO0", "allOs", "Os speedup",
+               "worst slowdown -O0", "worst slowdown -Os"});
+    FILE *fs = std::fopen("BENCH_softcore.json", "w");
+    if (!fs) {
+        std::fprintf(stderr, "cannot write BENCH_softcore.json\n");
+        return 1;
+    }
+    std::fprintf(fs, "{\n  \"bench\": \"softcore_tiers\",\n"
+                     "  \"unit\": \"cycles\",\n"
+                     "  \"benchmarks\": [");
+    bool firstTier = true;
+    for (const TierRow &tr : tiers) {
+        double sp = tr.allOs
+                        ? static_cast<double>(tr.allO0) /
+                              static_cast<double>(tr.allOs)
+                        : 0;
+        tt.row(tr.name, tr.allO0, tr.allOs,
+               fmtDouble(sp, 2) + "x",
+               fmtDouble(tr.worstO0, 1) + "x",
+               fmtDouble(tr.worstOs, 1) + "x");
+        std::fprintf(
+            fs,
+            "%s\n    {\"name\": \"%s\", \"all_o0_cycles\": %llu, "
+            "\"all_os_cycles\": %llu, \"os_speedup\": %.3f, "
+            "\"hw_cycles\": %llu, "
+            "\"worst_degraded_slowdown_o0\": %.3f, "
+            "\"worst_degraded_slowdown_os\": %.3f}",
+            firstTier ? "" : ",", tr.name.c_str(),
+            static_cast<unsigned long long>(tr.allO0),
+            static_cast<unsigned long long>(tr.allOs), sp,
+            static_cast<unsigned long long>(tr.hw), tr.worstO0,
+            tr.worstOs);
+        firstTier = false;
+    }
+    std::fprintf(fs, "\n  ]\n}\n");
+    std::fclose(fs);
+    tt.print();
+    std::printf("(the -Os tier shrinks the debug-loop penalty: a "
+                "degraded page costs less because its softcore "
+                "retires the same work in fewer ISS cycles)\n");
     std::printf("retry ladder over all mixed builds:");
     if (ladder.empty())
         std::printf(" (no telemetry)");

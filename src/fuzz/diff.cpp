@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <memory>
+#include <stdexcept>
 
 #include "common/logging.h"
 #include "dataflow/runtime.h"
@@ -103,18 +104,22 @@ hwBindings(const ir::Graph &g)
     return bindings;
 }
 
-/** Softcore bindings with per-operator -O0 binaries. */
+/** Softcore bindings with per-operator binaries at @p tier. */
 std::vector<sys::PageBinding>
-softcoreBindings(const ir::Graph &g, InjectedBug bug)
+softcoreBindings(const ir::Graph &g, InjectedBug bug,
+                 rvgen::Tier tier)
 {
     static const int kPages[] = {0, 5, 9, 13, 17, 20};
+    rvgen::RvOptions ro;
+    ro.tier = tier;
     std::vector<sys::PageBinding> bindings;
     for (size_t i = 0; i < g.ops.size(); ++i) {
         sys::PageBinding b;
         b.opIdx = static_cast<int>(i);
         b.pageId = kPages[i];
         b.impl = sys::PageImpl::Softcore;
-        b.elf = rvgen::compileToRiscv(applyBug(g.ops[i].fn, bug)).elf;
+        b.elf =
+            rvgen::compileToRiscv(applyBug(g.ops[i].fn, bug), ro).elf;
         bindings.push_back(std::move(b));
     }
     return bindings;
@@ -127,11 +132,14 @@ softcoreBindings(const ir::Graph &g, InjectedBug bug)
  */
 bool
 runBareIss(const GenCase &c, InjectedBug bug, uint64_t budget,
+           rvgen::Tier tier,
            std::vector<std::vector<uint32_t>> *out, std::string *why)
 {
     const ir::Graph &g = c.graph;
     const ir::OperatorFn fn = applyBug(g.ops[0].fn, bug);
-    rv32::PldElf elf = rvgen::compileToRiscv(fn).elf;
+    rvgen::RvOptions ro;
+    ro.tier = tier;
+    rv32::PldElf elf = rvgen::compileToRiscv(fn, ro).elf;
 
     std::vector<std::unique_ptr<dataflow::WordFifo>> fifos;
     std::vector<std::unique_ptr<dataflow::StreamPort>> portStore;
@@ -256,27 +264,47 @@ diffCase(const GenCase &c, const DiffOptions &opts)
         }
     }
 
-    if (opts.runIss) {
+    // Both softcore legs are run the same way; only the codegen tier
+    // differs. A divergence between them (or against golden) is a
+    // codegen bug, never a case property.
+    auto issLeg = [&](const char *backend,
+                      rvgen::Tier tier) -> bool {
         bool ok;
-        if (c.graph.ops.size() == 1) {
-            ok = runBareIss(c, opts.bug, opts.issInstrBudget, &got,
-                            &why);
-        } else {
-            sys::SystemConfig scfg;
-            scfg.useNoc = opts.sysUseNoc;
-            ok = runSystem(c, softcoreBindings(c.graph, opts.bug),
-                           scfg, opts.sysMaxCycles, &got, &why);
+        try {
+            if (c.graph.ops.size() == 1) {
+                ok = runBareIss(c, opts.bug, opts.issInstrBudget,
+                                tier, &got, &why);
+            } else {
+                sys::SystemConfig scfg;
+                scfg.useNoc = opts.sysUseNoc;
+                ok = runSystem(
+                    c, softcoreBindings(c.graph, opts.bug, tier),
+                    scfg, opts.sysMaxCycles, &got, &why);
+            }
+        } catch (const std::runtime_error &e) {
+            // -Os capacity limits never fire on fuzz-sized graphs;
+            // reaching one here is a compiler bug worth a repro.
+            r.status = DiffStatus::Mismatch;
+            r.detail =
+                std::string(backend) + ": compile threw: " + e.what();
+            return false;
         }
         if (!ok) {
             r.status = DiffStatus::Hang;
-            r.detail = "iss: " + why;
-            return r;
+            r.detail = std::string(backend) + ": " + why;
+            return false;
         }
-        if (!compareOutputs("iss", c, r.golden, got, &r.detail)) {
+        if (!compareOutputs(backend, c, r.golden, got, &r.detail)) {
             r.status = DiffStatus::Mismatch;
-            return r;
+            return false;
         }
-    }
+        return true;
+    };
+
+    if (opts.runIss && !issLeg("iss", rvgen::Tier::O0))
+        return r;
+    if (opts.runOsIss && !issLeg("iss-Os", rvgen::Tier::Os))
+        return r;
 
     return r;
 }

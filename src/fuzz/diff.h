@@ -1,6 +1,6 @@
 /**
  * @file
- * Differential executor for pldfuzz: one generated case, three
+ * Differential executor for pldfuzz: one generated case, four
  * backends, word-for-word comparison.
  *
  * The golden model is the functional Kahn runtime (interpreter per
@@ -8,10 +8,14 @@
  *
  *  - the HLS page path: SystemSim with HW bindings whose cyclesPerOp
  *    comes from the real HLS schedule (-O1 timed model, NoC or direct
- *    links), and
- *  - the softcore path: rvgen -O0 binaries on the RV32 ISS, either a
- *    bare Core for single-operator cases or SystemSim softcore pages
- *    for multi-operator graphs.
+ *    links),
+ *  - the softcore -O0 path: rvgen -O0 binaries on the RV32 ISS,
+ *    either a bare Core for single-operator cases or SystemSim
+ *    softcore pages for multi-operator graphs, and
+ *  - the softcore -Os path: the same graph through the optimizing
+ *    rvgen tier (isel + peephole + linear-scan regalloc), run the
+ *    same way — so every fuzz iteration cross-checks both codegen
+ *    tiers word-for-word against the interpreter and each other.
  *
  * Beyond plain output equality, the harness checks two compiler-level
  * properties from the paper's fault-tolerance story: build
@@ -48,8 +52,10 @@ struct DiffOptions
 {
     /** Run the timed system simulator (HW pages) backend. */
     bool runSys = true;
-    /** Run the softcore (rvgen + ISS) backend. */
+    /** Run the softcore -O0 (rvgen + ISS) backend. */
     bool runIss = true;
+    /** Run the softcore -Os (optimizing rvgen tier + ISS) backend. */
+    bool runOsIss = true;
     /** Route the system simulator through the NoC overlay. */
     bool sysUseNoc = true;
     uint64_t sysMaxCycles = 20000000ull;

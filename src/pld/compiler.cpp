@@ -1,8 +1,10 @@
 #include "pld/compiler.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <mutex>
 #include <sstream>
+#include <stdexcept>
 
 #include "common/logging.h"
 #include "common/stopwatch.h"
@@ -125,6 +127,13 @@ PldCompiler::PldCompiler(const Device &dev, CompileOptions opts)
     if (this->opts.faults.empty())
         this->opts.faults = FaultPlan::fromEnv();
     injector = FaultInjector(this->opts.faults);
+    if (const char *t = std::getenv("PLD_RVGEN_TIER")) {
+        std::string s(t);
+        if (s == "O0" || s == "o0")
+            this->opts.softcoreTier = rvgen::Tier::O0;
+        else if (s == "Os" || s == "os" || s == "OS")
+            this->opts.softcoreTier = rvgen::Tier::Os;
+    }
 }
 
 void
@@ -415,9 +424,9 @@ PldCompiler::compileHwLadder(const ir::OperatorFn &fn, int page_id,
         if (step == LadderStep::SoftcoreFallback) {
             obs::count("ladder.degraded");
             obs::count("ladder.healed_at.softcore-fallback");
-            // The paper's mixed mode (Sec 6.2): -O0-map this one
-            // operator onto its page's softcore; the rest of the
-            // app stays on hardware pages.
+            // The paper's mixed mode (Sec 6.2): softcore-map this
+            // one operator onto its page's overlay core; the rest of
+            // the app stays on hardware pages.
             auto art = compileSoftcore(fn, page_id, generation);
             art->effortUsed = effort;
             AttemptRecord rec;
@@ -436,8 +445,9 @@ PldCompiler::compileHwLadder(const ir::OperatorFn &fn, int page_id,
             d.op = fn.name;
             d.page = page_id;
             d.detail = detail::format(
-                "degraded to softcore (-O0 mixed mode) after %zu "
+                "degraded to softcore (-%s mixed mode) after %zu "
                 "failed hardware attempts",
+                rvgen::tierName(art->softcoreTier),
                 outcome.attempts.size() - 1);
             pld_warn("%s: %s", fn.name.c_str(), d.detail.c_str());
             outcome.status.add(std::move(d));
@@ -578,7 +588,29 @@ PldCompiler::compileSoftcore(const ir::OperatorFn &fn, int page_id,
     obs::Span span("pld", "rvgen.compile");
     span.arg("op", fn.name);
     obs::count("rvgen.compiles");
-    auto rv = rvgen::compileToRiscv(fn);
+    rvgen::RvOptions ro;
+    ro.tier = opts.softcoreTier;
+    rvgen::RvResult rv;
+    if (ro.tier == rvgen::Tier::Os) {
+        try {
+            rv = rvgen::compileToRiscv(fn, ro);
+        } catch (const std::runtime_error &) {
+            // -Os capacity limit (text or memory budget): retry at
+            // the paper-faithful baseline so mixed mode still always
+            // completes.
+            obs::count("rvgen.tier.fallback");
+            ro.tier = rvgen::Tier::O0;
+            rv = rvgen::compileToRiscv(fn, ro);
+        }
+    } else {
+        rv = rvgen::compileToRiscv(fn, ro);
+    }
+    obs::count(std::string("rvgen.tier.") + rvgen::tierName(rv.tier));
+    obs::record("rvgen.instructions", double(rv.instructions));
+    if (rv.tier == rvgen::Tier::Os)
+        obs::record("rvgen.spills", double(rv.spills));
+    span.arg("tier", rvgen::tierName(rv.tier));
+    art->softcoreTier = rv.tier;
     art->elf = std::move(rv.elf);
     art->elf.pageNum = page_id;
     // The whole -O0 path is the "riscv g++" column of Table 2;

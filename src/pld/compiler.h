@@ -45,6 +45,7 @@
 #include "ir/printer.h"
 #include "pnr/engine.h"
 #include "rv32/elf.h"
+#include "rvgen/codegen.h"
 #include "sys/system.h"
 #include "sys/tenancy.h"
 
@@ -182,6 +183,9 @@ struct OperatorArtifact
 
     // Softcore flavour.
     rv32::PldElf elf;
+    /** Codegen tier the elf was actually produced at (a capacity
+     * overflow at -Os silently retries at -O0). */
+    rvgen::Tier softcoreTier = rvgen::Tier::O0;
 };
 
 struct CompileOptions
@@ -209,6 +213,17 @@ struct CompileOptions
      * common/fault.h for the grammar).
      */
     FaultPlan faults;
+    /**
+     * Softcore codegen tier for every -O0-mapped operator: the
+     * ladder's SoftcoreFallback rung, forced-O0 builds, quarantine
+     * fallback images, and tenant-pack fallbacks. Defaults to the
+     * optimizing `Os` tier; a compile that exceeds the -Os capacity
+     * limits transparently retries at the paper-faithful `O0`
+     * baseline, so mixed mode can still always complete. The
+     * PLD_RVGEN_TIER environment variable ("O0"/"Os") overrides this
+     * at PldCompiler construction.
+     */
+    rvgen::Tier softcoreTier = rvgen::Tier::Os;
 };
 
 /**
@@ -347,8 +362,9 @@ class PldCompiler
      * of the artifact cache; edited ones climb the usual retry ladder
      * — pinned to their current page (no promotion; a swap may not
      * relocate a page), degrading to the softcore image when the
-     * edit no longer routes. Always carries the -O0 softcore binary
-     * of the same function as the quarantine fallback.
+     * edit no longer routes. Always carries the softcore binary of
+     * the same function (compiled at the configured softcoreTier) as
+     * the quarantine fallback.
      */
     SwapArtifact buildSwapArtifact(const ir::Graph &g,
                                    const std::string &op,
@@ -359,7 +375,7 @@ class PldCompiler
      * scheduler (sys::TenantScheduler): validate each app against
      * the shared fabric (paged build, footprint within the grid, no
      * failed operators, legal unique tenant name) and guarantee
-     * every page binding carries a -O0 softcore quarantine fallback,
+     * every page binding carries a softcore quarantine fallback,
      * compiling the fallback binaries on demand through the artifact
      * cache. Invalid apps are diagnosed and skipped, never silently
      * admitted.

@@ -1,11 +1,16 @@
 #include "rvgen/codegen.h"
 
 #include <algorithm>
+#include <stdexcept>
 
 #include "common/logging.h"
 #include "common/stopwatch.h"
 #include "rv32/asm.h"
 #include "rv32/iss.h"
+#include "rvgen/firmware.h"
+#include "rvgen/isel.h"
+#include "rvgen/mir.h"
+#include "rvgen/regalloc.h"
 
 namespace pld {
 namespace rvgen {
@@ -19,31 +24,11 @@ using ir::StmtKind;
 using ir::StmtPtr;
 using ir::Type;
 
+// Code is emitted from address 0; data lives above this bound. Both
+// tiers share it (-Os code is smaller, -O0 stays well below).
+static constexpr uint32_t kTextReserve = 48 * 1024;
+
 namespace {
-
-int
-elemBytes(const Type &t)
-{
-    if (t.width <= 8)
-        return 1;
-    if (t.width <= 16)
-        return 2;
-    return 4;
-}
-
-/** Wrap @p bits to @p t's width with its signedness (the
-    interpreter's canonical form). */
-int64_t
-canonicalRaw(uint64_t bits, const Type &t)
-{
-    if (t.width < 64)
-        bits &= (1ull << t.width) - 1;
-    if (t.isSigned() && t.width < 64) {
-        uint64_t m = 1ull << (t.width - 1);
-        return static_cast<int64_t>((bits ^ m) - m);
-    }
-    return static_cast<int64_t>(bits);
-}
 
 class Codegen
 {
@@ -55,7 +40,7 @@ class Codegen
     {
         layoutData();
         emitBody();
-        emitFirmware();
+        emitFirmware(a);
 
         PldElf elf;
         elf.text = a.assemble();
@@ -84,10 +69,6 @@ class Codegen
     }
 
   private:
-    // Code is emitted from address 0; data lives above this bound.
-    // Sized generously: -O0 code for our kernels stays well below.
-    static constexpr uint32_t kTextReserve = 48 * 1024;
-
     void
     layoutData()
     {
@@ -840,304 +821,6 @@ class Codegen
         a.ebreak();
     }
 
-    // --- firmware ----------------------------------------------------
-
-    void
-    emitFirmware()
-    {
-        emitMulshift();
-        emitSdiv64();
-        emitMod64();
-        emitPuthex();
-    }
-
-    /**
-     * __pld_mulshift: a0:a1 (signed 64) * a2:a3 (signed 64), 128-bit
-     * product arithmetic-shifted right by a4 (0..127); low 64 bits
-     * returned in a0:a1. Clobbers t0-t6, a2-a5.
-     */
-    void
-    emitMulshift()
-    {
-        a.label("__pld_mulshift");
-        // Unsigned 128-bit product into t0..t3.
-        a.mul(t0, a0, a2);   // w0
-        a.mulhu(t1, a0, a2); // w1 acc
-        a.li(t2, 0);
-        a.li(t3, 0);
-        // + alo*bhi << 32
-        a.mul(t4, a0, a3);
-        a.add(t1, t1, t4);
-        a.sltu(t5, t1, t4);
-        a.add(t2, t2, t5);
-        a.mulhu(t4, a0, a3);
-        a.add(t2, t2, t4);
-        a.sltu(t5, t2, t4);
-        a.add(t3, t3, t5);
-        // + ahi*blo << 32
-        a.mul(t4, a1, a2);
-        a.add(t1, t1, t4);
-        a.sltu(t5, t1, t4);
-        a.add(t2, t2, t5);
-        a.sltu(t6, t2, t5);
-        a.add(t3, t3, t6);
-        a.mulhu(t4, a1, a2);
-        a.add(t2, t2, t4);
-        a.sltu(t5, t2, t4);
-        a.add(t3, t3, t5);
-        // + ahi*bhi << 64
-        a.mul(t4, a1, a3);
-        a.add(t2, t2, t4);
-        a.sltu(t5, t2, t4);
-        a.add(t3, t3, t5);
-        a.mulhu(t4, a1, a3);
-        a.add(t3, t3, t4);
-        // Sign corrections: if A < 0, upper64 -= B; if B < 0,
-        // upper64 -= A.
-        std::string skip_a = a.genLabel("ms_skipa");
-        std::string skip_b = a.genLabel("ms_skipb");
-        a.bge(a1, x0, skip_a);
-        a.sltu(t5, t2, a2);
-        a.sub(t2, t2, a2);
-        a.sub(t3, t3, a3);
-        a.sub(t3, t3, t5);
-        a.label(skip_a);
-        a.bge(a3, x0, skip_b);
-        a.sltu(t5, t2, a0);
-        a.sub(t2, t2, a0);
-        a.sub(t3, t3, a1);
-        a.sub(t3, t3, t5);
-        a.label(skip_b);
-        // Arithmetic shift right of t0..t3 by a4.
-        std::string word_loop = a.genLabel("ms_words");
-        std::string fine = a.genLabel("ms_fine");
-        std::string done = a.genLabel("ms_done");
-        a.label(word_loop);
-        a.li(t4, 32);
-        a.blt(a4, t4, fine);
-        a.mv(t0, t1);
-        a.mv(t1, t2);
-        a.mv(t2, t3);
-        a.srai(t3, t3, 31);
-        a.addi(a4, a4, -32);
-        a.j(word_loop);
-        a.label(fine);
-        a.beq(a4, x0, done);
-        a.li(t4, 32);
-        a.sub(t4, t4, a4); // 32 - s
-        a.srl(t0, t0, a4);
-        a.sll(t5, t1, t4);
-        a.or_(t0, t0, t5);
-        a.srl(t1, t1, a4);
-        a.sll(t5, t2, t4);
-        a.or_(t1, t1, t5);
-        a.label(done);
-        a.mv(a0, t0);
-        a.mv(a1, t1);
-        a.ret();
-    }
-
-    /**
-     * __pld_sdiv64: signed a0:a1 / signed a2 (32-bit value,
-     * sign-extended in a3). Truncating quotient in a0:a1; division
-     * by zero yields 0. Clobbers t0-t6, a2-a5.
-     */
-    void
-    emitSdiv64()
-    {
-        a.label("__pld_sdiv64");
-        std::string nz = a.genLabel("dv_nz");
-        std::string na = a.genLabel("dv_na");
-        std::string nb = a.genLabel("dv_nb");
-        std::string loop = a.genLabel("dv_loop");
-        std::string skip = a.genLabel("dv_skip");
-        std::string dosub = a.genLabel("dv_sub");
-        std::string pos = a.genLabel("dv_pos");
-
-        a.or_(t0, a2, a3);
-        a.bne(t0, x0, nz);
-        a.li(a0, 0);
-        a.li(a1, 0);
-        a.ret();
-        a.label(nz);
-
-        // a5 = result sign (0/1).
-        a.srli(t0, a1, 31);
-        a.srli(t1, a3, 31);
-        a.xor_(a5, t0, t1);
-        // |A|
-        a.bge(a1, x0, na);
-        a.not_(a0, a0);
-        a.not_(a1, a1);
-        a.addi(a0, a0, 1);
-        a.seqz(t0, a0);
-        a.add(a1, a1, t0);
-        a.label(na);
-        // |d| (fits 32 unsigned).
-        a.bge(a3, x0, nb);
-        a.neg(a2, a2);
-        a.label(nb);
-
-        // Long division: quotient t0:t1, remainder t2:t3, counter t4.
-        a.li(t0, 0);
-        a.li(t1, 0);
-        a.li(t2, 0);
-        a.li(t3, 0);
-        a.li(t4, 64);
-        a.label(loop);
-        // bit = msb of A; A <<= 1.
-        a.srli(t5, a1, 31);
-        a.slli(a1, a1, 1);
-        a.srli(t6, a0, 31);
-        a.or_(a1, a1, t6);
-        a.slli(a0, a0, 1);
-        // rem = rem<<1 | bit.
-        a.slli(t3, t3, 1);
-        a.srli(t6, t2, 31);
-        a.or_(t3, t3, t6);
-        a.slli(t2, t2, 1);
-        a.or_(t2, t2, t5);
-        // q <<= 1.
-        a.slli(t1, t1, 1);
-        a.srli(t6, t0, 31);
-        a.or_(t1, t1, t6);
-        a.slli(t0, t0, 1);
-        // if rem >= d: rem -= d; q |= 1.
-        a.bne(t3, x0, dosub);
-        a.bltu(t2, a2, skip);
-        a.label(dosub);
-        a.sltu(t6, t2, a2);
-        a.sub(t2, t2, a2);
-        a.sub(t3, t3, t6);
-        a.ori(t0, t0, 1);
-        a.label(skip);
-        a.addi(t4, t4, -1);
-        a.bne(t4, x0, loop);
-
-        // Apply sign.
-        a.mv(a0, t0);
-        a.mv(a1, t1);
-        a.beq(a5, x0, pos);
-        a.not_(a0, a0);
-        a.not_(a1, a1);
-        a.addi(a0, a0, 1);
-        a.seqz(t0, a0);
-        a.add(a1, a1, t0);
-        a.label(pos);
-        a.ret();
-    }
-
-    /**
-     * __pld_mod64: signed a0:a1 % signed a2:a3, full 64-bit operands.
-     * Truncating remainder (sign of the dividend, matching both C++
-     * and the interpreter's wide %) in a0:a1; x % 0 yields 0.
-     * Clobbers t0-t6, a2-a5.
-     */
-    void
-    emitMod64()
-    {
-        a.label("__pld_mod64");
-        std::string nz = a.genLabel("md_nz");
-        std::string na = a.genLabel("md_na");
-        std::string nb = a.genLabel("md_nb");
-        std::string loop = a.genLabel("md_loop");
-        std::string dosub = a.genLabel("md_sub");
-        std::string skip = a.genLabel("md_skip");
-        std::string pos = a.genLabel("md_pos");
-
-        a.or_(t0, a2, a3);
-        a.bne(t0, x0, nz);
-        a.li(a0, 0);
-        a.li(a1, 0);
-        a.ret();
-        a.label(nz);
-
-        // a5 = result sign = sign of the dividend.
-        a.srli(a5, a1, 31);
-        // |A|
-        a.bge(a1, x0, na);
-        a.not_(a0, a0);
-        a.not_(a1, a1);
-        a.addi(a0, a0, 1);
-        a.seqz(t0, a0);
-        a.add(a1, a1, t0);
-        a.label(na);
-        // |B|
-        a.bge(a3, x0, nb);
-        a.not_(a2, a2);
-        a.not_(a3, a3);
-        a.addi(a2, a2, 1);
-        a.seqz(t0, a2);
-        a.add(a3, a3, t0);
-        a.label(nb);
-
-        // Shift-subtract with a 64-bit remainder in t2:t3 and a
-        // 64-bit divisor in a2:a3; the quotient is not kept.
-        a.li(t2, 0);
-        a.li(t3, 0);
-        a.li(t4, 64);
-        a.label(loop);
-        // bit = msb of A; A <<= 1.
-        a.srli(t5, a1, 31);
-        a.slli(a1, a1, 1);
-        a.srli(t6, a0, 31);
-        a.or_(a1, a1, t6);
-        a.slli(a0, a0, 1);
-        // rem = rem<<1 | bit.
-        a.slli(t3, t3, 1);
-        a.srli(t6, t2, 31);
-        a.or_(t3, t3, t6);
-        a.slli(t2, t2, 1);
-        a.or_(t2, t2, t5);
-        // if rem >= d (unsigned 64-bit): rem -= d.
-        a.bltu(t3, a3, skip);
-        a.bne(t3, a3, dosub);
-        a.bltu(t2, a2, skip);
-        a.label(dosub);
-        a.sltu(t6, t2, a2);
-        a.sub(t2, t2, a2);
-        a.sub(t3, t3, a3);
-        a.sub(t3, t3, t6);
-        a.label(skip);
-        a.addi(t4, t4, -1);
-        a.bne(t4, x0, loop);
-
-        // Apply the dividend's sign.
-        a.mv(a0, t2);
-        a.mv(a1, t3);
-        a.beq(a5, x0, pos);
-        a.not_(a0, a0);
-        a.not_(a1, a1);
-        a.addi(a0, a0, 1);
-        a.seqz(t0, a0);
-        a.add(a1, a1, t0);
-        a.label(pos);
-        a.ret();
-    }
-
-    /** __pld_puthex: print a0 as 8 hex digits to the console. */
-    void
-    emitPuthex()
-    {
-        a.label("__pld_puthex");
-        std::string loop = a.genLabel("ph_loop");
-        std::string digit = a.genLabel("ph_digit");
-        a.li(t1, static_cast<int32_t>(Mmio::kConsolePutc));
-        a.li(t2, 8);
-        a.label(loop);
-        a.srli(t0, a0, 28);
-        a.li(t3, 10);
-        a.blt(t0, t3, digit);
-        a.addi(t0, t0, 'a' - 10 - '0');
-        a.label(digit);
-        a.addi(t0, t0, '0');
-        a.sw(t0, t1, 0);
-        a.slli(a0, a0, 4);
-        a.addi(t2, t2, -1);
-        a.bne(t2, x0, loop);
-        a.ret();
-    }
-
     const ir::OperatorFn &fn;
     Assembler a;
     std::vector<uint32_t> varOff;
@@ -1146,7 +829,64 @@ class Codegen
     std::vector<uint8_t> dataImage;
 };
 
+/**
+ * -Os pipeline: isel -> peephole -> linear scan -> assemble. Unlike
+ * the -O0 path, capacity overruns throw (the retry ladder catches and
+ * falls back to the -O0 rung instead of dying).
+ */
+PldElf
+compileOs(const ir::OperatorFn &fn, const RvOptions &opt, RvResult &r)
+{
+    IselResult sel = selectInstructions(fn);
+    r.constantsFolded =
+        sel.constantsFolded + sel.strengthReduced + sel.inlinedMuls;
+    r.peepholeRemoved = peephole(sel.mir);
+    RegAllocOptions rao;
+    rao.regBudget = opt.regBudget;
+    RegAllocStats ra = allocateRegisters(sel.mir, rao);
+    r.spills = ra.spilledVregs;
+    r.mirInstructions = static_cast<int>(sel.mir.code.size());
+
+    Assembler a;
+    emitMir(a, sel.mir);
+    emitFirmware(a);
+
+    PldElf elf;
+    elf.text = a.assemble();
+    uint32_t text_bytes = static_cast<uint32_t>(elf.text.size()) * 4;
+    if (text_bytes > sel.dataBase)
+        throw std::runtime_error(
+            fn.name + ": -Os text (" + std::to_string(text_bytes) +
+            " bytes) overran the reserved code region");
+    elf.dataBase = sel.dataBase;
+    elf.data = sel.dataImage;
+    // The spill frame sits below the initial sp; leave it headroom on
+    // top of the usual 4 KB stack reserve.
+    uint32_t stack = std::max(
+        4096u, static_cast<uint32_t>(ra.frameBytes) + 256);
+    uint32_t need = sel.dataBase +
+                    static_cast<uint32_t>(sel.dataImage.size()) +
+                    stack;
+    uint32_t mem = 16 * 1024;
+    while (mem < need)
+        mem *= 2;
+    if (mem > 192 * 1024)
+        throw std::runtime_error(
+            fn.name + ": -Os softcore image needs " +
+            std::to_string(need) +
+            " bytes but pages offer at most 192 KB");
+    elf.memBytes = mem;
+    elf.entry = 0;
+    return elf;
+}
+
 } // namespace
+
+const char *
+tierName(Tier t)
+{
+    return t == Tier::Os ? "Os" : "O0";
+}
 
 RvResult
 compileToRiscv(const ir::OperatorFn &fn)
@@ -1155,6 +895,21 @@ compileToRiscv(const ir::OperatorFn &fn)
     Codegen cg(fn);
     RvResult r;
     r.elf = cg.compile();
+    r.elf.pageNum = fn.pragma.pageNum;
+    r.instructions = static_cast<int>(r.elf.text.size());
+    r.seconds = sw.seconds();
+    return r;
+}
+
+RvResult
+compileToRiscv(const ir::OperatorFn &fn, const RvOptions &opt)
+{
+    if (opt.tier == Tier::O0)
+        return compileToRiscv(fn);
+    Stopwatch sw;
+    RvResult r;
+    r.tier = Tier::Os;
+    r.elf = compileOs(fn, opt, r);
     r.elf.pageNum = fn.pragma.pageNum;
     r.instructions = static_cast<int>(r.elf.text.size());
     r.seconds = sw.seconds();

@@ -1,20 +1,31 @@
 /**
  * @file
- * Non-optimizing IR -> RV32IM code generator (the -O0 compiler).
+ * IR -> RV32IM softcore compilation entry points, in two tiers.
  *
- * The same operator IR that the HLS flow compiles to a netlist is
- * compiled here to real machine code for the page softcore (paper
- * Sec 6.1: riscv-gcc caller + firmware.lib). Code generation is a
- * straightforward stack machine — deliberately unoptimized, because
- * -O0's contract is "compiles in seconds, runs slowly, bit-exact".
+ * -O0 (this file's stack-machine Codegen, the paper-faithful
+ * baseline): the same operator IR that the HLS flow compiles to a
+ * netlist is compiled to real machine code for the page softcore
+ * (paper Sec 6.1: riscv-gcc caller + firmware.lib) — deliberately
+ * unoptimized, because -O0's contract is "compiles in seconds, runs
+ * slowly, bit-exact".
  *
- * Semantics contract: every expression value is carried as a 64-bit
- * canonical (sign-extended, scaled) pair, operations reproduce the
- * interpreter's exact quantization, and stream accesses are MMIO
- * loads/stores that the ISS blocks on — so ISS output is bit-identical
- * to the interpreter (enforced by the cross-check tests).
+ * -Os (mir.h / isel.h / regalloc.h): the optimizing tier —
+ * instruction selection with constant folding and strength reduction
+ * over a virtual-register MIR, a peephole pass, and linear-scan
+ * register allocation — emitted through the same rv32::Assembler. It
+ * exists because the softcore is the retry-ladder fallback and the
+ * quarantine target, so degraded pages run on whatever this tier
+ * produces.
  *
- * A small firmware library is appended to every binary:
+ * Both tiers share one semantics contract: every expression value is
+ * carried as a 64-bit canonical (sign-extended, scaled) pair,
+ * operations reproduce the interpreter's exact quantization, and
+ * stream accesses are MMIO loads/stores that the ISS blocks on — so
+ * ISS output is bit-identical to the interpreter for either tier
+ * (enforced by the cross-check tests and the 4-leg pldfuzz
+ * differential harness).
+ *
+ * A small firmware library (firmware.h) is appended to every binary:
  *  - __pld_mulshift: signed 64x64->128 multiply, arithmetic shift
  *  - __pld_sdiv64:   signed 64/32 division (truncating, /0 -> 0)
  *  - __pld_mod64:    signed 64%64 remainder (sign of dividend, %0 -> 0)
@@ -30,19 +41,49 @@
 namespace pld {
 namespace rvgen {
 
+/** Softcore codegen tier. */
+enum class Tier : uint8_t {
+    O0, ///< stack machine, paper-faithful baseline
+    Os, ///< MIR + peephole + linear-scan optimizing tier
+};
+
+const char *tierName(Tier t);
+
+struct RvOptions
+{
+    Tier tier = Tier::O0;
+    /** -Os allocatable s-register budget (tests shrink it to force
+        spilling); clamped to [0, 12]. */
+    int regBudget = 12;
+};
+
 /** Compilation result with simple stats. */
 struct RvResult
 {
     rv32::PldElf elf;
     int instructions = 0;
-    double seconds = 0; ///< measured -O0 compile time
+    double seconds = 0; ///< measured compile time
+    Tier tier = Tier::O0;
+    // -Os-only stats (0 under -O0):
+    int mirInstructions = 0; ///< MIR size after optimization
+    int constantsFolded = 0;
+    int peepholeRemoved = 0;
+    int spills = 0; ///< virtual registers sent to the spill frame
 };
 
 /**
- * Compile one operator to a softcore image. fatal()s if the image
- * exceeds the 192 KB page memory (Sec 5.1).
+ * Compile one operator to a softcore image at -O0. fatal()s if the
+ * image exceeds the 192 KB page memory (Sec 5.1).
  */
 RvResult compileToRiscv(const ir::OperatorFn &fn);
+
+/**
+ * Tier-selecting overload. The -Os path throws std::runtime_error on
+ * its capacity limits (oversized text/image) instead of aborting, so
+ * callers can fall back to the -O0 rung.
+ */
+RvResult compileToRiscv(const ir::OperatorFn &fn,
+                        const RvOptions &opt);
 
 } // namespace rvgen
 } // namespace pld

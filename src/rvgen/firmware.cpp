@@ -1,0 +1,320 @@
+#include "rvgen/firmware.h"
+
+#include <string>
+
+#include "rv32/asm.h"
+#include "rv32/iss.h"
+
+namespace pld {
+namespace rvgen {
+
+using namespace pld::rv32;
+using ir::Type;
+
+int
+elemBytes(const Type &t)
+{
+    if (t.width <= 8)
+        return 1;
+    if (t.width <= 16)
+        return 2;
+    return 4;
+}
+
+int64_t
+canonicalRaw(uint64_t bits, const Type &t)
+{
+    if (t.width < 64)
+        bits &= (1ull << t.width) - 1;
+    if (t.isSigned() && t.width < 64) {
+        uint64_t m = 1ull << (t.width - 1);
+        return static_cast<int64_t>((bits ^ m) - m);
+    }
+    return static_cast<int64_t>(bits);
+}
+
+namespace {
+
+void
+emitMulshift(Assembler &a)
+{
+    a.label("__pld_mulshift");
+    // Unsigned 128-bit product into t0..t3.
+    a.mul(t0, a0, a2);   // w0
+    a.mulhu(t1, a0, a2); // w1 acc
+    a.li(t2, 0);
+    a.li(t3, 0);
+    // + alo*bhi << 32
+    a.mul(t4, a0, a3);
+    a.add(t1, t1, t4);
+    a.sltu(t5, t1, t4);
+    a.add(t2, t2, t5);
+    a.mulhu(t4, a0, a3);
+    a.add(t2, t2, t4);
+    a.sltu(t5, t2, t4);
+    a.add(t3, t3, t5);
+    // + ahi*blo << 32
+    a.mul(t4, a1, a2);
+    a.add(t1, t1, t4);
+    a.sltu(t5, t1, t4);
+    a.add(t2, t2, t5);
+    a.sltu(t6, t2, t5);
+    a.add(t3, t3, t6);
+    a.mulhu(t4, a1, a2);
+    a.add(t2, t2, t4);
+    a.sltu(t5, t2, t4);
+    a.add(t3, t3, t5);
+    // + ahi*bhi << 64
+    a.mul(t4, a1, a3);
+    a.add(t2, t2, t4);
+    a.sltu(t5, t2, t4);
+    a.add(t3, t3, t5);
+    a.mulhu(t4, a1, a3);
+    a.add(t3, t3, t4);
+    // Sign corrections: if A < 0, upper64 -= B; if B < 0,
+    // upper64 -= A.
+    std::string skip_a = a.genLabel("ms_skipa");
+    std::string skip_b = a.genLabel("ms_skipb");
+    a.bge(a1, x0, skip_a);
+    a.sltu(t5, t2, a2);
+    a.sub(t2, t2, a2);
+    a.sub(t3, t3, a3);
+    a.sub(t3, t3, t5);
+    a.label(skip_a);
+    a.bge(a3, x0, skip_b);
+    a.sltu(t5, t2, a0);
+    a.sub(t2, t2, a0);
+    a.sub(t3, t3, a1);
+    a.sub(t3, t3, t5);
+    a.label(skip_b);
+    // Arithmetic shift right of t0..t3 by a4.
+    std::string word_loop = a.genLabel("ms_words");
+    std::string fine = a.genLabel("ms_fine");
+    std::string done = a.genLabel("ms_done");
+    a.label(word_loop);
+    a.li(t4, 32);
+    a.blt(a4, t4, fine);
+    a.mv(t0, t1);
+    a.mv(t1, t2);
+    a.mv(t2, t3);
+    a.srai(t3, t3, 31);
+    a.addi(a4, a4, -32);
+    a.j(word_loop);
+    a.label(fine);
+    a.beq(a4, x0, done);
+    a.li(t4, 32);
+    a.sub(t4, t4, a4); // 32 - s
+    a.srl(t0, t0, a4);
+    a.sll(t5, t1, t4);
+    a.or_(t0, t0, t5);
+    a.srl(t1, t1, a4);
+    a.sll(t5, t2, t4);
+    a.or_(t1, t1, t5);
+    a.label(done);
+    a.mv(a0, t0);
+    a.mv(a1, t1);
+    a.ret();
+}
+
+void
+emitSdiv64(Assembler &a)
+{
+    a.label("__pld_sdiv64");
+    std::string nz = a.genLabel("dv_nz");
+    std::string na = a.genLabel("dv_na");
+    std::string nb = a.genLabel("dv_nb");
+    std::string loop = a.genLabel("dv_loop");
+    std::string skip = a.genLabel("dv_skip");
+    std::string dosub = a.genLabel("dv_sub");
+    std::string pos = a.genLabel("dv_pos");
+
+    a.or_(t0, a2, a3);
+    a.bne(t0, x0, nz);
+    a.li(a0, 0);
+    a.li(a1, 0);
+    a.ret();
+    a.label(nz);
+
+    // a5 = result sign (0/1).
+    a.srli(t0, a1, 31);
+    a.srli(t1, a3, 31);
+    a.xor_(a5, t0, t1);
+    // |A|
+    a.bge(a1, x0, na);
+    a.not_(a0, a0);
+    a.not_(a1, a1);
+    a.addi(a0, a0, 1);
+    a.seqz(t0, a0);
+    a.add(a1, a1, t0);
+    a.label(na);
+    // |d| (fits 32 unsigned).
+    a.bge(a3, x0, nb);
+    a.neg(a2, a2);
+    a.label(nb);
+
+    // Long division: quotient t0:t1, remainder t2:t3, counter t4.
+    a.li(t0, 0);
+    a.li(t1, 0);
+    a.li(t2, 0);
+    a.li(t3, 0);
+    a.li(t4, 64);
+    a.label(loop);
+    // bit = msb of A; A <<= 1.
+    a.srli(t5, a1, 31);
+    a.slli(a1, a1, 1);
+    a.srli(t6, a0, 31);
+    a.or_(a1, a1, t6);
+    a.slli(a0, a0, 1);
+    // rem = rem<<1 | bit.
+    a.slli(t3, t3, 1);
+    a.srli(t6, t2, 31);
+    a.or_(t3, t3, t6);
+    a.slli(t2, t2, 1);
+    a.or_(t2, t2, t5);
+    // q <<= 1.
+    a.slli(t1, t1, 1);
+    a.srli(t6, t0, 31);
+    a.or_(t1, t1, t6);
+    a.slli(t0, t0, 1);
+    // if rem >= d: rem -= d; q |= 1.
+    a.bne(t3, x0, dosub);
+    a.bltu(t2, a2, skip);
+    a.label(dosub);
+    a.sltu(t6, t2, a2);
+    a.sub(t2, t2, a2);
+    a.sub(t3, t3, t6);
+    a.ori(t0, t0, 1);
+    a.label(skip);
+    a.addi(t4, t4, -1);
+    a.bne(t4, x0, loop);
+
+    // Apply sign.
+    a.mv(a0, t0);
+    a.mv(a1, t1);
+    a.beq(a5, x0, pos);
+    a.not_(a0, a0);
+    a.not_(a1, a1);
+    a.addi(a0, a0, 1);
+    a.seqz(t0, a0);
+    a.add(a1, a1, t0);
+    a.label(pos);
+    a.ret();
+}
+
+void
+emitMod64(Assembler &a)
+{
+    a.label("__pld_mod64");
+    std::string nz = a.genLabel("md_nz");
+    std::string na = a.genLabel("md_na");
+    std::string nb = a.genLabel("md_nb");
+    std::string loop = a.genLabel("md_loop");
+    std::string dosub = a.genLabel("md_sub");
+    std::string skip = a.genLabel("md_skip");
+    std::string pos = a.genLabel("md_pos");
+
+    a.or_(t0, a2, a3);
+    a.bne(t0, x0, nz);
+    a.li(a0, 0);
+    a.li(a1, 0);
+    a.ret();
+    a.label(nz);
+
+    // a5 = result sign = sign of the dividend.
+    a.srli(a5, a1, 31);
+    // |A|
+    a.bge(a1, x0, na);
+    a.not_(a0, a0);
+    a.not_(a1, a1);
+    a.addi(a0, a0, 1);
+    a.seqz(t0, a0);
+    a.add(a1, a1, t0);
+    a.label(na);
+    // |B|
+    a.bge(a3, x0, nb);
+    a.not_(a2, a2);
+    a.not_(a3, a3);
+    a.addi(a2, a2, 1);
+    a.seqz(t0, a2);
+    a.add(a3, a3, t0);
+    a.label(nb);
+
+    // Shift-subtract with a 64-bit remainder in t2:t3 and a
+    // 64-bit divisor in a2:a3; the quotient is not kept.
+    a.li(t2, 0);
+    a.li(t3, 0);
+    a.li(t4, 64);
+    a.label(loop);
+    // bit = msb of A; A <<= 1.
+    a.srli(t5, a1, 31);
+    a.slli(a1, a1, 1);
+    a.srli(t6, a0, 31);
+    a.or_(a1, a1, t6);
+    a.slli(a0, a0, 1);
+    // rem = rem<<1 | bit.
+    a.slli(t3, t3, 1);
+    a.srli(t6, t2, 31);
+    a.or_(t3, t3, t6);
+    a.slli(t2, t2, 1);
+    a.or_(t2, t2, t5);
+    // if rem >= d (unsigned 64-bit): rem -= d.
+    a.bltu(t3, a3, skip);
+    a.bne(t3, a3, dosub);
+    a.bltu(t2, a2, skip);
+    a.label(dosub);
+    a.sltu(t6, t2, a2);
+    a.sub(t2, t2, a2);
+    a.sub(t3, t3, a3);
+    a.sub(t3, t3, t6);
+    a.label(skip);
+    a.addi(t4, t4, -1);
+    a.bne(t4, x0, loop);
+
+    // Apply the dividend's sign.
+    a.mv(a0, t2);
+    a.mv(a1, t3);
+    a.beq(a5, x0, pos);
+    a.not_(a0, a0);
+    a.not_(a1, a1);
+    a.addi(a0, a0, 1);
+    a.seqz(t0, a0);
+    a.add(a1, a1, t0);
+    a.label(pos);
+    a.ret();
+}
+
+void
+emitPuthex(Assembler &a)
+{
+    a.label("__pld_puthex");
+    std::string loop = a.genLabel("ph_loop");
+    std::string digit = a.genLabel("ph_digit");
+    a.li(t1, static_cast<int32_t>(Mmio::kConsolePutc));
+    a.li(t2, 8);
+    a.label(loop);
+    a.srli(t0, a0, 28);
+    a.li(t3, 10);
+    a.blt(t0, t3, digit);
+    a.addi(t0, t0, 'a' - 10 - '0');
+    a.label(digit);
+    a.addi(t0, t0, '0');
+    a.sw(t0, t1, 0);
+    a.slli(a0, a0, 4);
+    a.addi(t2, t2, -1);
+    a.bne(t2, x0, loop);
+    a.ret();
+}
+
+} // namespace
+
+void
+emitFirmware(Assembler &a)
+{
+    emitMulshift(a);
+    emitSdiv64(a);
+    emitMod64(a);
+    emitPuthex(a);
+}
+
+} // namespace rvgen
+} // namespace pld

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Softcore firmware library shared by the -O0 and -Os tiers.
+ *
+ * Both code generators link the same 64-bit helper routines
+ * (__pld_mulshift, __pld_sdiv64, __pld_mod64, __pld_puthex) into the
+ * image after the operator body. The routines clobber only t0-t6 and
+ * a2-a5 (plus the a0/a1 result pair), which is what lets the -Os
+ * allocator keep values live in callee-saved s-registers across
+ * calls without spilling.
+ *
+ * Also hosts the two data-layout helpers both tiers must agree on
+ * with the interpreter: element sizing and canonical raw encoding.
+ */
+
+#ifndef PLD_RVGEN_FIRMWARE_H
+#define PLD_RVGEN_FIRMWARE_H
+
+#include <cstdint>
+
+#include "ir/type.h"
+
+namespace pld {
+namespace rv32 {
+class Assembler;
+}
+namespace rvgen {
+
+/** Array element storage size: 1, 2, or 4 bytes by width. */
+int elemBytes(const ir::Type &t);
+
+/** Wrap @p bits to @p t's width with its signedness (the
+    interpreter's canonical form). */
+int64_t canonicalRaw(uint64_t bits, const ir::Type &t);
+
+/**
+ * Append the firmware routines at the assembler's current position.
+ *
+ * __pld_mulshift: a0:a1 (signed 64) * a2:a3 (signed 64), 128-bit
+ *   product arithmetic-shifted right by a4 (0..127); low 64 bits in
+ *   a0:a1.
+ * __pld_sdiv64: signed a0:a1 / signed a2 (32-bit value,
+ *   sign-extended in a3); truncating quotient, /0 -> 0.
+ * __pld_mod64: signed a0:a1 % signed a2:a3 (full 64-bit operands);
+ *   truncating remainder with the dividend's sign, %0 -> 0.
+ * __pld_puthex: print a0 as 8 hex digits to the console.
+ */
+void emitFirmware(rv32::Assembler &a);
+
+} // namespace rvgen
+} // namespace pld
+
+#endif // PLD_RVGEN_FIRMWARE_H

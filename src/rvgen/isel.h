@@ -1,0 +1,67 @@
+/**
+ * @file
+ * -Os instruction selection: ir::OperatorFn -> virtual-register MIR.
+ *
+ * The lowering mirrors the -O0 tier's arithmetic exactly — same pair
+ * (64-bit) and quad (128-bit) alignment windows, same wrap points,
+ * same firmware ABI — so the semantics contract (interpreter-exact
+ * canonical values) is inherited rather than re-derived. What changes
+ * is the value plumbing: canonical values live in (lo, hi) virtual
+ * register pairs instead of the a0:a1 stack machine, scalar variables
+ * are promoted to virtual registers, and two optimizations run during
+ * selection:
+ *
+ *  - interpreter-exact constant folding (the folder re-implements
+ *    interp's __int128 evaluation, so a folded subtree is bit-equal
+ *    to what any backend would have produced);
+ *  - strength reduction: multiply by a power-of-two constant becomes
+ *    a constant pair shift, and multiplies whose operands are <= 32
+ *    bits wide inline as mul/mulh[s]u pairs instead of calling the
+ *    128-bit __pld_mulshift firmware.
+ *
+ * Subtrees are never skipped even when their value is statically
+ * known-irrelevant: a nested StreamRead must still execute so MMIO
+ * ordering matches the interpreter. Folding only replaces subtrees
+ * that are entirely constant (no reads, no var/array references).
+ */
+
+#ifndef PLD_RVGEN_ISEL_H
+#define PLD_RVGEN_ISEL_H
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/operator_fn.h"
+#include "rvgen/mir.h"
+
+namespace pld {
+namespace rvgen {
+
+struct IselResult
+{
+    MFunction mir;
+    /** Data segment layout (arrays only; vars live in registers). */
+    uint32_t dataBase = 0;
+    std::vector<uint8_t> dataImage;
+    // Optimization counters for obs metrics.
+    int constantsFolded = 0;
+    int strengthReduced = 0;
+    int inlinedMuls = 0;
+};
+
+/** Lower @p fn to MIR. Throws std::runtime_error on -Os-specific
+    capacity limits (the caller falls back to -O0). */
+IselResult selectInstructions(const ir::OperatorFn &fn);
+
+/**
+ * Peephole pass: per-block local value numbering (CSE of pure ops),
+ * copy propagation, redundant sign-extension elimination, and a
+ * global dead-code sweep. Volatile (MMIO) instructions are never
+ * touched. Returns the number of instructions removed.
+ */
+int peephole(MFunction &f);
+
+} // namespace rvgen
+} // namespace pld
+
+#endif // PLD_RVGEN_ISEL_H

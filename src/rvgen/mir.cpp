@@ -1,0 +1,468 @@
+#include "rvgen/mir.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <sstream>
+
+#include "common/logging.h"
+#include "rv32/asm.h"
+
+namespace pld {
+namespace rvgen {
+
+namespace {
+
+struct MopInfo
+{
+    const char *name;
+    // Operand shape, used by the printer/parser and instDefUse.
+    enum Shape {
+        RRR,   // op rd, rs1, rs2
+        RRI,   // op rd, rs1, imm
+        LOAD,  // op rd, imm(rs1)
+        STORE, // op rs2, imm(rs1)
+        LI,    // li rd, imm
+        COPY,  // mv rd, rs1
+        BRANCH,// op rs1, rs2, label
+        JUMP,  // j label
+        LABEL, // label:
+        CALL,  // call label
+        NULLARY,
+    } shape;
+};
+
+const MopInfo &
+info(MOp op)
+{
+    static const MopInfo kTable[] = {
+        {"add", MopInfo::RRR},    {"sub", MopInfo::RRR},
+        {"sll", MopInfo::RRR},    {"slt", MopInfo::RRR},
+        {"sltu", MopInfo::RRR},   {"xor", MopInfo::RRR},
+        {"srl", MopInfo::RRR},    {"sra", MopInfo::RRR},
+        {"or", MopInfo::RRR},     {"and", MopInfo::RRR},
+        {"mul", MopInfo::RRR},    {"mulh", MopInfo::RRR},
+        {"mulhsu", MopInfo::RRR}, {"mulhu", MopInfo::RRR},
+        {"div", MopInfo::RRR},    {"divu", MopInfo::RRR},
+        {"rem", MopInfo::RRR},    {"remu", MopInfo::RRR},
+        {"addi", MopInfo::RRI},   {"slti", MopInfo::RRI},
+        {"sltiu", MopInfo::RRI},  {"xori", MopInfo::RRI},
+        {"ori", MopInfo::RRI},    {"andi", MopInfo::RRI},
+        {"slli", MopInfo::RRI},   {"srli", MopInfo::RRI},
+        {"srai", MopInfo::RRI},
+        {"lb", MopInfo::LOAD},    {"lh", MopInfo::LOAD},
+        {"lw", MopInfo::LOAD},    {"lbu", MopInfo::LOAD},
+        {"lhu", MopInfo::LOAD},
+        {"sb", MopInfo::STORE},   {"sh", MopInfo::STORE},
+        {"sw", MopInfo::STORE},
+        {"li", MopInfo::LI},      {"mv", MopInfo::COPY},
+        {"beq", MopInfo::BRANCH}, {"bne", MopInfo::BRANCH},
+        {"blt", MopInfo::BRANCH}, {"bge", MopInfo::BRANCH},
+        {"bltu", MopInfo::BRANCH},{"bgeu", MopInfo::BRANCH},
+        {"j", MopInfo::JUMP},     {"label", MopInfo::LABEL},
+        {"call", MopInfo::CALL},  {"ebreak", MopInfo::NULLARY},
+    };
+    return kTable[static_cast<int>(op)];
+}
+
+const char *kAbiNames[32] = {
+    "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2",
+    "s0",   "s1", "a0", "a1", "a2", "a3", "a4", "a5",
+    "a6",   "a7", "s2", "s3", "s4", "s5", "s6", "s7",
+    "s8",   "s9", "s10", "s11", "t3", "t4", "t5", "t6",
+};
+
+std::string
+regName(int r)
+{
+    if (r >= 0 && r < 32)
+        return kAbiNames[r];
+    return "%" + std::to_string(r);
+}
+
+bool
+parseReg(const std::string &tok, int *out)
+{
+    if (!tok.empty() && tok[0] == '%') {
+        *out = std::atoi(tok.c_str() + 1);
+        return *out >= kVregBase;
+    }
+    for (int i = 0; i < 32; ++i)
+        if (tok == kAbiNames[i]) {
+            *out = i;
+            return true;
+        }
+    return false;
+}
+
+} // namespace
+
+const char *
+mopName(MOp op)
+{
+    return info(op).name;
+}
+
+bool
+mopHasDst(MOp op)
+{
+    switch (info(op).shape) {
+    case MopInfo::RRR:
+    case MopInfo::RRI:
+    case MopInfo::LOAD:
+    case MopInfo::LI:
+    case MopInfo::COPY:
+        return true;
+    default:
+        return false;
+    }
+}
+
+bool
+mopIsPure(MOp op)
+{
+    switch (info(op).shape) {
+    case MopInfo::RRR:
+    case MopInfo::RRI:
+    case MopInfo::LI:
+    case MopInfo::COPY:
+        return true;
+    default:
+        return false;
+    }
+}
+
+bool
+mopIsLoad(MOp op)
+{
+    return info(op).shape == MopInfo::LOAD;
+}
+
+bool
+mopIsStore(MOp op)
+{
+    return info(op).shape == MopInfo::STORE;
+}
+
+bool
+mopIsBranch(MOp op)
+{
+    return info(op).shape == MopInfo::BRANCH;
+}
+
+DefUse
+instDefUse(const MInst &inst)
+{
+    DefUse du;
+    auto use = [&](int r) {
+        if (r >= 0)
+            du.use[du.nuse++] = r;
+    };
+    switch (info(inst.op).shape) {
+    case MopInfo::RRR:
+        du.def = inst.rd;
+        use(inst.rs1);
+        use(inst.rs2);
+        break;
+    case MopInfo::RRI:
+    case MopInfo::LOAD:
+    case MopInfo::COPY:
+        du.def = inst.rd;
+        use(inst.rs1);
+        break;
+    case MopInfo::LI:
+        du.def = inst.rd;
+        break;
+    case MopInfo::STORE:
+    case MopInfo::BRANCH:
+        use(inst.rs1);
+        use(inst.rs2);
+        break;
+    default:
+        break;
+    }
+    return du;
+}
+
+std::string
+printMir(const MFunction &f)
+{
+    std::ostringstream os;
+    for (const MInst &m : f.code) {
+        const MopInfo &mi = info(m.op);
+        if (mi.shape == MopInfo::LABEL) {
+            os << m.label << ":\n";
+            continue;
+        }
+        os << "  " << mi.name;
+        if (m.vol)
+            os << ".v";
+        switch (mi.shape) {
+        case MopInfo::RRR:
+            os << ' ' << regName(m.rd) << ", " << regName(m.rs1)
+               << ", " << regName(m.rs2);
+            break;
+        case MopInfo::RRI:
+            os << ' ' << regName(m.rd) << ", " << regName(m.rs1)
+               << ", " << m.imm;
+            break;
+        case MopInfo::LOAD:
+            os << ' ' << regName(m.rd) << ", " << m.imm << '('
+               << regName(m.rs1) << ')';
+            break;
+        case MopInfo::STORE:
+            os << ' ' << regName(m.rs2) << ", " << m.imm << '('
+               << regName(m.rs1) << ')';
+            break;
+        case MopInfo::LI:
+            os << ' ' << regName(m.rd) << ", " << m.imm;
+            break;
+        case MopInfo::COPY:
+            os << ' ' << regName(m.rd) << ", " << regName(m.rs1);
+            break;
+        case MopInfo::BRANCH:
+            os << ' ' << regName(m.rs1) << ", " << regName(m.rs2)
+               << ", " << m.label;
+            break;
+        case MopInfo::JUMP:
+        case MopInfo::CALL:
+            os << ' ' << m.label;
+            break;
+        default:
+            break;
+        }
+        os << '\n';
+    }
+    return os.str();
+}
+
+bool
+parseMir(const std::string &text, MFunction *out, std::string *err)
+{
+    out->code.clear();
+    out->nextVreg = kVregBase;
+    out->labelCounter = 0;
+    auto fail = [&](int lineNo, const std::string &msg) {
+        if (err)
+            *err = "line " + std::to_string(lineNo) + ": " + msg;
+        return false;
+    };
+    std::istringstream is(text);
+    std::string line;
+    int lineNo = 0;
+    while (std::getline(is, line)) {
+        ++lineNo;
+        // Strip comments and whitespace.
+        auto hash = line.find('#');
+        if (hash != std::string::npos)
+            line.erase(hash);
+        // Split the mnemonic at the first whitespace BEFORE
+        // de-spacing the operands, so bare-label forms like
+        // "j entry_0" don't fuse into one token.
+        size_t lead = 0;
+        while (lead < line.size() &&
+               std::isspace(static_cast<unsigned char>(line[lead])))
+            ++lead;
+        size_t mnEnd = lead;
+        while (mnEnd < line.size() &&
+               !std::isspace(static_cast<unsigned char>(line[mnEnd])))
+            ++mnEnd;
+        std::string mn = line.substr(lead, mnEnd - lead);
+        std::string s;
+        for (size_t ci = mnEnd; ci < line.size(); ++ci)
+            if (!std::isspace(static_cast<unsigned char>(line[ci])))
+                s.push_back(line[ci]);
+        if (mn.empty())
+            continue;
+        if (mn.back() == ':' && s.empty()) {
+            MInst m{MOp::Label};
+            m.label = mn.substr(0, mn.size() - 1);
+            out->code.push_back(m);
+            continue;
+        }
+        // Tolerate "add a0,a1" written without the space: split the
+        // fused token at the first non-mnemonic character.
+        size_t cut = 0;
+        while (cut < mn.size() &&
+               (std::isalnum(static_cast<unsigned char>(mn[cut])) ||
+                mn[cut] == '.'))
+            ++cut;
+        if (cut < mn.size()) {
+            s = mn.substr(cut) + s;
+            mn = mn.substr(0, cut);
+        }
+        size_t p = 0;
+        bool vol = false;
+        if (mn.size() > 2 && mn.substr(mn.size() - 2) == ".v") {
+            vol = true;
+            mn = mn.substr(0, mn.size() - 2);
+        }
+        int opIdx = -1;
+        for (int i = 0; i <= static_cast<int>(MOp::Ebreak); ++i)
+            if (mn == info(static_cast<MOp>(i)).name &&
+                static_cast<MOp>(i) != MOp::Label) {
+                opIdx = i;
+                break;
+            }
+        if (opIdx < 0)
+            return fail(lineNo, "unknown mnemonic '" + mn + "'");
+        MInst m{static_cast<MOp>(opIdx)};
+        m.vol = vol;
+        std::vector<std::string> ops;
+        std::string cur;
+        for (; p < s.size(); ++p) {
+            if (s[p] == ',' || s[p] == '(' || s[p] == ')') {
+                if (!cur.empty())
+                    ops.push_back(cur);
+                cur.clear();
+            } else {
+                cur.push_back(s[p]);
+            }
+        }
+        if (!cur.empty())
+            ops.push_back(cur);
+        auto reg = [&](size_t i, int *dst) {
+            return i < ops.size() && parseReg(ops[i], dst);
+        };
+        auto imm = [&](size_t i, int32_t *dst) {
+            if (i >= ops.size())
+                return false;
+            char *end = nullptr;
+            long long v = std::strtoll(ops[i].c_str(), &end, 0);
+            if (end == ops[i].c_str() || *end)
+                return false;
+            *dst = static_cast<int32_t>(v);
+            return true;
+        };
+        bool ok = true;
+        switch (info(m.op).shape) {
+        case MopInfo::RRR:
+            ok = ops.size() == 3 && reg(0, &m.rd) &&
+                 reg(1, &m.rs1) && reg(2, &m.rs2);
+            break;
+        case MopInfo::RRI:
+            ok = ops.size() == 3 && reg(0, &m.rd) &&
+                 reg(1, &m.rs1) && imm(2, &m.imm);
+            break;
+        case MopInfo::LOAD: // ops: rd, imm, base
+            ok = ops.size() == 3 && reg(0, &m.rd) &&
+                 imm(1, &m.imm) && reg(2, &m.rs1);
+            break;
+        case MopInfo::STORE: // ops: rs2, imm, base
+            ok = ops.size() == 3 && reg(0, &m.rs2) &&
+                 imm(1, &m.imm) && reg(2, &m.rs1);
+            break;
+        case MopInfo::LI:
+            ok = ops.size() == 2 && reg(0, &m.rd) && imm(1, &m.imm);
+            break;
+        case MopInfo::COPY:
+            ok = ops.size() == 2 && reg(0, &m.rd) && reg(1, &m.rs1);
+            break;
+        case MopInfo::BRANCH:
+            ok = ops.size() == 3 && reg(0, &m.rs1) &&
+                 reg(1, &m.rs2) && !ops[2].empty();
+            if (ok)
+                m.label = ops[2];
+            break;
+        case MopInfo::JUMP:
+        case MopInfo::CALL:
+            ok = ops.size() == 1 && !ops[0].empty();
+            if (ok)
+                m.label = ops[0];
+            break;
+        case MopInfo::NULLARY:
+            ok = ops.empty();
+            break;
+        default:
+            ok = false;
+            break;
+        }
+        if (!ok)
+            return fail(lineNo, "bad operands for '" + mn + "'");
+        out->code.push_back(m);
+    }
+    // Restore allocator state so the parsed function can keep
+    // growing (newVreg / genLabel stay collision-free).
+    for (const MInst &m : out->code) {
+        DefUse du = instDefUse(m);
+        int regs[3] = {du.def, du.use[0], du.use[1]};
+        for (int r : regs)
+            if (r >= out->nextVreg)
+                out->nextVreg = r + 1;
+        if (!m.label.empty()) {
+            auto us = m.label.rfind('_');
+            if (us != std::string::npos) {
+                char *end = nullptr;
+                long n = std::strtol(m.label.c_str() + us + 1, &end, 10);
+                if (end && !*end && n >= out->labelCounter)
+                    out->labelCounter = static_cast<int>(n) + 1;
+            }
+        }
+    }
+    return true;
+}
+
+void
+emitMir(rv32::Assembler &a, const MFunction &f)
+{
+    using rv32::Reg;
+    auto R = [](int r) {
+        pld_assert(r >= 0 && r < 32,
+                   "emitMir: virtual register survived allocation");
+        return static_cast<Reg>(r);
+    };
+    for (const MInst &m : f.code) {
+        switch (m.op) {
+        case MOp::Add: a.add(R(m.rd), R(m.rs1), R(m.rs2)); break;
+        case MOp::Sub: a.sub(R(m.rd), R(m.rs1), R(m.rs2)); break;
+        case MOp::Sll: a.sll(R(m.rd), R(m.rs1), R(m.rs2)); break;
+        case MOp::Slt: a.slt(R(m.rd), R(m.rs1), R(m.rs2)); break;
+        case MOp::Sltu: a.sltu(R(m.rd), R(m.rs1), R(m.rs2)); break;
+        case MOp::Xor: a.xor_(R(m.rd), R(m.rs1), R(m.rs2)); break;
+        case MOp::Srl: a.srl(R(m.rd), R(m.rs1), R(m.rs2)); break;
+        case MOp::Sra: a.sra(R(m.rd), R(m.rs1), R(m.rs2)); break;
+        case MOp::Or: a.or_(R(m.rd), R(m.rs1), R(m.rs2)); break;
+        case MOp::And: a.and_(R(m.rd), R(m.rs1), R(m.rs2)); break;
+        case MOp::Mul: a.mul(R(m.rd), R(m.rs1), R(m.rs2)); break;
+        case MOp::Mulh: a.mulh(R(m.rd), R(m.rs1), R(m.rs2)); break;
+        case MOp::Mulhsu: a.mulhsu(R(m.rd), R(m.rs1), R(m.rs2)); break;
+        case MOp::Mulhu: a.mulhu(R(m.rd), R(m.rs1), R(m.rs2)); break;
+        case MOp::Div: a.div(R(m.rd), R(m.rs1), R(m.rs2)); break;
+        case MOp::Divu: a.divu(R(m.rd), R(m.rs1), R(m.rs2)); break;
+        case MOp::Rem: a.rem(R(m.rd), R(m.rs1), R(m.rs2)); break;
+        case MOp::Remu: a.remu(R(m.rd), R(m.rs1), R(m.rs2)); break;
+        case MOp::Addi: a.addi(R(m.rd), R(m.rs1), m.imm); break;
+        case MOp::Slti: a.slti(R(m.rd), R(m.rs1), m.imm); break;
+        case MOp::Sltiu: a.sltiu(R(m.rd), R(m.rs1), m.imm); break;
+        case MOp::Xori: a.xori(R(m.rd), R(m.rs1), m.imm); break;
+        case MOp::Ori: a.ori(R(m.rd), R(m.rs1), m.imm); break;
+        case MOp::Andi: a.andi(R(m.rd), R(m.rs1), m.imm); break;
+        case MOp::Slli: a.slli(R(m.rd), R(m.rs1), m.imm); break;
+        case MOp::Srli: a.srli(R(m.rd), R(m.rs1), m.imm); break;
+        case MOp::Srai: a.srai(R(m.rd), R(m.rs1), m.imm); break;
+        case MOp::Lb: a.lb(R(m.rd), R(m.rs1), m.imm); break;
+        case MOp::Lh: a.lh(R(m.rd), R(m.rs1), m.imm); break;
+        case MOp::Lw: a.lw(R(m.rd), R(m.rs1), m.imm); break;
+        case MOp::Lbu: a.lbu(R(m.rd), R(m.rs1), m.imm); break;
+        case MOp::Lhu: a.lhu(R(m.rd), R(m.rs1), m.imm); break;
+        case MOp::Sb: a.sb(R(m.rs2), R(m.rs1), m.imm); break;
+        case MOp::Sh: a.sh(R(m.rs2), R(m.rs1), m.imm); break;
+        case MOp::Sw: a.sw(R(m.rs2), R(m.rs1), m.imm); break;
+        case MOp::Li: a.li(R(m.rd), m.imm); break;
+        case MOp::Copy: a.mv(R(m.rd), R(m.rs1)); break;
+        case MOp::Beq: a.beq(R(m.rs1), R(m.rs2), m.label); break;
+        case MOp::Bne: a.bne(R(m.rs1), R(m.rs2), m.label); break;
+        case MOp::Blt: a.blt(R(m.rs1), R(m.rs2), m.label); break;
+        case MOp::Bge: a.bge(R(m.rs1), R(m.rs2), m.label); break;
+        case MOp::Bltu: a.bltu(R(m.rs1), R(m.rs2), m.label); break;
+        case MOp::Bgeu: a.bgeu(R(m.rs1), R(m.rs2), m.label); break;
+        case MOp::J: a.j(m.label); break;
+        case MOp::Label: a.label(m.label); break;
+        case MOp::Call: a.call(m.label); break;
+        case MOp::Ebreak: a.ebreak(); break;
+        }
+    }
+}
+
+} // namespace rvgen
+} // namespace pld

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Virtual-register machine IR for the optimizing (-Os) softcore tier.
+ *
+ * The -Os pipeline lowers operator IR to this MIR (isel), optimizes
+ * it (peephole), assigns physical registers (regalloc), and finally
+ * emits RV32IM through the same rv32::Assembler the -O0 tier uses.
+ *
+ * Shape: a flat instruction list over an unbounded set of 32-bit
+ * virtual registers. 64-bit canonical values travel as (lo, hi)
+ * vreg pairs; control flow is labels + short-range conditional
+ * branches + long-range jumps, exactly the discipline the -O0 tier
+ * already uses so the assembler's branch reach is never exceeded.
+ *
+ * Register operands are plain ints: 0..31 name physical RV32
+ * registers (rv32::Reg numbering), kVregBase and above are virtual.
+ * Instruction selection only ever emits physical registers for the
+ * firmware-call ABI (a0..a4), x0, and the MMIO/halt stores; the
+ * allocator assigns virtuals to callee-saved s-registers (which the
+ * firmware routines never clobber) and uses gp/tp as spill scratch.
+ *
+ * The textual form printed by printMir() parses back via parseMir()
+ * (round-trip tested), which is also how the peephole golden tests
+ * state their expectations.
+ */
+
+#ifndef PLD_RVGEN_MIR_H
+#define PLD_RVGEN_MIR_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pld {
+namespace rv32 {
+class Assembler;
+}
+namespace rvgen {
+
+/** First virtual register number; 0..31 are physical. */
+constexpr int kVregBase = 32;
+
+inline bool
+isVreg(int r)
+{
+    return r >= kVregBase;
+}
+
+/** MIR opcodes: RV32IM operations plus structural pseudo-ops. */
+enum class MOp : uint8_t {
+    // rd, rs1, rs2
+    Add, Sub, Sll, Slt, Sltu, Xor, Srl, Sra, Or, And,
+    Mul, Mulh, Mulhsu, Mulhu, Div, Divu, Rem, Remu,
+    // rd, rs1, imm
+    Addi, Slti, Sltiu, Xori, Ori, Andi, Slli, Srli, Srai,
+    // rd, imm(rs1)
+    Lb, Lh, Lw, Lbu, Lhu,
+    // rs2, imm(rs1) — value, offset(base)
+    Sb, Sh, Sw,
+    // rd, imm (any 32-bit constant; expands to lui+addi)
+    Li,
+    // rd, rs1
+    Copy,
+    // rs1, rs2, label
+    Beq, Bne, Blt, Bge, Bltu, Bgeu,
+    J,      ///< label
+    Label,  ///< label definition
+    Call,   ///< label = firmware symbol; fixed physical-reg ABI
+    Ebreak, ///< trap (end of program, after the halt MMIO store)
+};
+
+const char *mopName(MOp op);
+
+/** One MIR instruction. Unused register fields stay -1. */
+struct MInst
+{
+    MOp op;
+    int rd = -1;
+    int rs1 = -1;
+    int rs2 = -1;
+    int32_t imm = 0;
+    std::string label;
+    /** MMIO access (stream/console/halt): never CSE'd or removed. */
+    bool vol = false;
+};
+
+/** Def/use sets of one instruction (virtual or physical regs). */
+struct DefUse
+{
+    int def = -1;
+    int use[2] = {-1, -1};
+    int nuse = 0;
+};
+
+DefUse instDefUse(const MInst &inst);
+
+/** True for ops that write a destination register. */
+bool mopHasDst(MOp op);
+/** True for register-only ops with no memory/control side effects
+    (Li, Copy, ALU): safe to CSE and to dead-code eliminate. */
+bool mopIsPure(MOp op);
+bool mopIsLoad(MOp op);
+bool mopIsStore(MOp op);
+/** Conditional branches only (not J). */
+bool mopIsBranch(MOp op);
+
+/** A MIR function under construction. */
+struct MFunction
+{
+    std::vector<MInst> code;
+    int nextVreg = kVregBase;
+    int labelCounter = 0;
+
+    int
+    newVreg()
+    {
+        return nextVreg++;
+    }
+
+    std::string
+    genLabel(const std::string &stem)
+    {
+        return stem + "_" + std::to_string(labelCounter++);
+    }
+};
+
+/** Textual form: one instruction per line, labels unindented. */
+std::string printMir(const MFunction &f);
+
+/** Parse printMir() output back. False (with *err set) on garbage. */
+bool parseMir(const std::string &text, MFunction *out,
+              std::string *err);
+
+/**
+ * Emit a fully physical MIR function (post-regalloc) through the
+ * two-pass assembler. Asserts no virtual registers remain.
+ */
+void emitMir(rv32::Assembler &a, const MFunction &f);
+
+} // namespace rvgen
+} // namespace pld
+
+#endif // PLD_RVGEN_MIR_H

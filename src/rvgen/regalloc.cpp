@@ -1,0 +1,369 @@
+#include "rvgen/regalloc.h"
+
+#include <algorithm>
+#include <map>
+#include <queue>
+#include <set>
+#include <string>
+
+#include "common/logging.h"
+
+namespace pld {
+namespace rvgen {
+
+namespace {
+
+// The allocatable pool: callee-saved s0..s11 (rv32::Reg numbers).
+const int kPool[12] = {8, 9, 18, 19, 20, 21, 22, 23, 24, 25, 26, 27};
+
+constexpr int kSpillScratch0 = 3; // gp
+constexpr int kSpillScratch1 = 4; // tp
+constexpr int kSp = 2;
+
+struct Block
+{
+    size_t first; // index of first instruction
+    size_t last;  // index of last instruction (inclusive)
+    std::vector<size_t> succ;
+};
+
+std::vector<Block>
+buildBlocks(const MFunction &f)
+{
+    std::vector<Block> blocks;
+    if (f.code.empty())
+        return blocks;
+    // Leaders: 0, every label, every instruction after a
+    // branch/jump/ebreak.
+    std::set<size_t> leaders{0};
+    for (size_t i = 0; i < f.code.size(); ++i) {
+        const MInst &m = f.code[i];
+        if (m.op == MOp::Label)
+            leaders.insert(i);
+        if ((mopIsBranch(m.op) || m.op == MOp::J ||
+             m.op == MOp::Ebreak) &&
+            i + 1 < f.code.size())
+            leaders.insert(i + 1);
+    }
+    std::map<size_t, size_t> blockAt; // leader index -> block id
+    for (size_t lead : leaders) {
+        blockAt[lead] = blocks.size();
+        blocks.push_back({lead, lead, {}});
+    }
+    for (size_t b = 0; b < blocks.size(); ++b) {
+        size_t end = b + 1 < blocks.size() ? blocks[b + 1].first
+                                           : f.code.size();
+        blocks[b].last = end - 1;
+    }
+    std::map<std::string, size_t> labelBlock;
+    for (size_t b = 0; b < blocks.size(); ++b) {
+        const MInst &m = f.code[blocks[b].first];
+        if (m.op == MOp::Label)
+            labelBlock[m.label] = b;
+    }
+    for (size_t b = 0; b < blocks.size(); ++b) {
+        const MInst &t = f.code[blocks[b].last];
+        bool fallsThrough = t.op != MOp::J && t.op != MOp::Ebreak;
+        if (mopIsBranch(t.op) || t.op == MOp::J) {
+            auto it = labelBlock.find(t.label);
+            pld_assert(it != labelBlock.end(),
+                       "regalloc: branch to unknown label %s",
+                       t.label.c_str());
+            blocks[b].succ.push_back(it->second);
+        }
+        if (fallsThrough && b + 1 < blocks.size())
+            blocks[b].succ.push_back(b + 1);
+    }
+    return blocks;
+}
+
+} // namespace
+
+std::vector<LiveInterval>
+computeLiveIntervals(const MFunction &f)
+{
+    int nv = f.nextVreg - kVregBase;
+    std::vector<LiveInterval> out;
+    if (nv <= 0 || f.code.empty())
+        return out;
+    std::vector<Block> blocks = buildBlocks(f);
+
+    auto bit = [&](std::vector<char> &v, int r) -> char & {
+        return v[static_cast<size_t>(r - kVregBase)];
+    };
+
+    // Per-block upward-exposed uses and defs.
+    size_t nb = blocks.size();
+    std::vector<std::vector<char>> use(nb, std::vector<char>(nv, 0));
+    std::vector<std::vector<char>> def(nb, std::vector<char>(nv, 0));
+    for (size_t b = 0; b < nb; ++b) {
+        for (size_t i = blocks[b].first; i <= blocks[b].last; ++i) {
+            DefUse du = instDefUse(f.code[i]);
+            for (int u = 0; u < du.nuse; ++u)
+                if (isVreg(du.use[u]) &&
+                    !bit(def[b], du.use[u]))
+                    bit(use[b], du.use[u]) = 1;
+            if (isVreg(du.def))
+                bit(def[b], du.def) = 1;
+        }
+    }
+
+    // Iterate liveIn = use + (liveOut - def) to a fixed point.
+    std::vector<std::vector<char>> liveIn(nb,
+                                          std::vector<char>(nv, 0));
+    std::vector<std::vector<char>> liveOut(nb,
+                                           std::vector<char>(nv, 0));
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (size_t b = nb; b-- > 0;) {
+            for (int v = 0; v < nv; ++v) {
+                char o = 0;
+                for (size_t s : blocks[b].succ)
+                    o |= liveIn[s][v];
+                if (o != liveOut[b][v]) {
+                    liveOut[b][v] = o;
+                    changed = true;
+                }
+                char in = use[b][v] | (o & !def[b][v]);
+                if (in != liveIn[b][v]) {
+                    liveIn[b][v] = in;
+                    changed = true;
+                }
+            }
+        }
+    }
+
+    // Conservative intervals: every occurrence, widened to block
+    // bounds where the vreg is live across the boundary.
+    std::vector<int> start(nv, -1), end(nv, -1);
+    auto extend = [&](int vreg, int pos) {
+        int v = vreg - kVregBase;
+        if (start[v] < 0 || pos < start[v])
+            start[v] = pos;
+        if (pos > end[v])
+            end[v] = pos;
+    };
+    for (size_t i = 0; i < f.code.size(); ++i) {
+        DefUse du = instDefUse(f.code[i]);
+        if (isVreg(du.def))
+            extend(du.def, static_cast<int>(i));
+        for (int u = 0; u < du.nuse; ++u)
+            if (isVreg(du.use[u]))
+                extend(du.use[u], static_cast<int>(i));
+    }
+    for (size_t b = 0; b < nb; ++b)
+        for (int v = 0; v < nv; ++v) {
+            if (liveIn[b][v])
+                extend(v + kVregBase,
+                       static_cast<int>(blocks[b].first));
+            if (liveOut[b][v])
+                extend(v + kVregBase,
+                       static_cast<int>(blocks[b].last));
+        }
+
+    for (int v = 0; v < nv; ++v)
+        if (start[v] >= 0)
+            out.push_back({v + kVregBase, start[v], end[v]});
+    std::sort(out.begin(), out.end(),
+              [](const LiveInterval &a, const LiveInterval &b) {
+                  if (a.start != b.start)
+                      return a.start < b.start;
+                  return a.vreg < b.vreg;
+              });
+    return out;
+}
+
+std::vector<int>
+allocateIntervals(const std::vector<LiveInterval> &intervals,
+                  int numRegs)
+{
+    std::vector<int> assign(intervals.size(), -1);
+    if (numRegs <= 0)
+        return assign;
+    // Free registers, smallest index first for determinism.
+    std::priority_queue<int, std::vector<int>, std::greater<int>>
+        freeRegs;
+    for (int r = 0; r < numRegs; ++r)
+        freeRegs.push(r);
+    // Active intervals ordered by end point.
+    std::set<std::pair<int, size_t>> active; // (end, interval idx)
+
+    for (size_t i = 0; i < intervals.size(); ++i) {
+        const LiveInterval &cur = intervals[i];
+        // Expire intervals that ended strictly before cur.start.
+        while (!active.empty() &&
+               active.begin()->first < cur.start) {
+            freeRegs.push(assign[active.begin()->second]);
+            active.erase(active.begin());
+        }
+        if (!freeRegs.empty()) {
+            assign[i] = freeRegs.top();
+            freeRegs.pop();
+            active.insert({cur.end, i});
+            continue;
+        }
+        // Pressure: evict the furthest-ending active interval when
+        // it outlives the current one; otherwise spill the current.
+        auto furthest = std::prev(active.end());
+        if (furthest->first > cur.end) {
+            size_t victim = furthest->second;
+            assign[i] = assign[victim];
+            assign[victim] = -1;
+            active.erase(furthest);
+            active.insert({cur.end, i});
+        }
+        // else: assign[i] stays -1 (spilled).
+    }
+    return assign;
+}
+
+RegAllocStats
+allocateRegisters(MFunction &f, const RegAllocOptions &opts)
+{
+    RegAllocStats stats;
+    std::vector<LiveInterval> intervals = computeLiveIntervals(f);
+    stats.vregs = static_cast<int>(intervals.size());
+    int budget = std::min(opts.regBudget, 12);
+    std::vector<int> assign = allocateIntervals(intervals, budget);
+
+    std::map<int, int> phys;  // vreg -> physical register
+    std::map<int, int> slot;  // vreg -> frame slot offset
+    int nextSlot = 0;
+    for (size_t i = 0; i < intervals.size(); ++i) {
+        int v = intervals[i].vreg;
+        if (assign[i] >= 0) {
+            phys[v] = kPool[assign[i]];
+        } else {
+            slot[v] = nextSlot;
+            nextSlot += 4;
+            ++stats.spilledVregs;
+        }
+    }
+    stats.frameBytes = (nextSlot + 15) & ~15;
+
+    std::vector<MInst> out;
+    out.reserve(f.code.size() + 8);
+    if (stats.frameBytes > 0) {
+        // sp stays put for the rest of the program (the -Os body
+        // has no other stack traffic), so one adjustment suffices.
+        if (stats.frameBytes <= 2048) {
+            MInst adj{MOp::Addi};
+            adj.rd = kSp;
+            adj.rs1 = kSp;
+            adj.imm = -stats.frameBytes;
+            out.push_back(adj);
+        } else {
+            MInst li{MOp::Li};
+            li.rd = kSpillScratch0;
+            li.imm = -stats.frameBytes;
+            out.push_back(li);
+            MInst adj{MOp::Add};
+            adj.rd = kSp;
+            adj.rs1 = kSp;
+            adj.rs2 = kSpillScratch0;
+            out.push_back(adj);
+        }
+    }
+
+    // Spill-slot access helpers; offsets beyond the 12-bit
+    // immediate range compute the address into the scratch itself.
+    auto emitSlotLoad = [&](int scratch, int off) {
+        if (off <= 2047) {
+            MInst l{MOp::Lw};
+            l.rd = scratch;
+            l.rs1 = kSp;
+            l.imm = off;
+            out.push_back(l);
+        } else {
+            MInst li{MOp::Li};
+            li.rd = scratch;
+            li.imm = off;
+            out.push_back(li);
+            MInst add{MOp::Add};
+            add.rd = scratch;
+            add.rs1 = scratch;
+            add.rs2 = kSp;
+            out.push_back(add);
+            MInst l{MOp::Lw};
+            l.rd = scratch;
+            l.rs1 = scratch;
+            l.imm = 0;
+            out.push_back(l);
+        }
+        ++stats.spillLoads;
+    };
+    auto emitSlotStore = [&](int valueReg, int addrScratch,
+                             int off) {
+        if (off <= 2047) {
+            MInst s{MOp::Sw};
+            s.rs2 = valueReg;
+            s.rs1 = kSp;
+            s.imm = off;
+            out.push_back(s);
+        } else {
+            MInst li{MOp::Li};
+            li.rd = addrScratch;
+            li.imm = off;
+            out.push_back(li);
+            MInst add{MOp::Add};
+            add.rd = addrScratch;
+            add.rs1 = addrScratch;
+            add.rs2 = kSp;
+            out.push_back(add);
+            MInst s{MOp::Sw};
+            s.rs2 = valueReg;
+            s.rs1 = addrScratch;
+            s.imm = 0;
+            out.push_back(s);
+        }
+        ++stats.spillStores;
+    };
+
+    for (const MInst &inst : f.code) {
+        MInst m = inst;
+        DefUse du = instDefUse(m);
+        // Map the (up to two) source operands.
+        int scratch = kSpillScratch0;
+        auto mapUse = [&](int r) {
+            if (!isVreg(r))
+                return r;
+            auto p = phys.find(r);
+            if (p != phys.end())
+                return p->second;
+            int sreg = scratch;
+            scratch = kSpillScratch1;
+            emitSlotLoad(sreg, slot.at(r));
+            return sreg;
+        };
+        bool defSpilled = false;
+        if (du.nuse > 0) {
+            if (m.rs1 >= 0)
+                m.rs1 = mapUse(m.rs1);
+            if (m.rs2 >= 0)
+                m.rs2 = mapUse(m.rs2);
+        }
+        if (isVreg(m.rd)) {
+            auto p = phys.find(m.rd);
+            if (p != phys.end()) {
+                m.rd = p->second;
+            } else {
+                defSpilled = true;
+                // Write through gp; safe as a destination even when
+                // it carried a source (read happens first).
+                int target = slot.at(m.rd);
+                m.rd = kSpillScratch0;
+                out.push_back(m);
+                emitSlotStore(kSpillScratch0, kSpillScratch1,
+                              target);
+            }
+        }
+        if (!defSpilled)
+            out.push_back(m);
+    }
+    f.code = std::move(out);
+    return stats;
+}
+
+} // namespace rvgen
+} // namespace pld

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Linear-scan register allocation for the -Os MIR.
+ *
+ * Virtual registers are assigned to the callee-saved s0..s11 pool —
+ * the firmware routines clobber only t0-t6 and a0-a5, so values stay
+ * live across calls with no save/restore code. Intervals are
+ * conservative
+ * [first, last] ranges extended across loop back-edges by an
+ * iterative block-liveness pass. Vregs that don't get a register
+ * spill to an sp-relative frame; gp and tp (plain registers to the
+ * ISS, untouched by both tiers' generated code) serve as the two
+ * spill scratch registers during the rewrite.
+ *
+ * allocateIntervals() is the pure allocation core, exposed so the
+ * property tests can drive it with random interval sets and check
+ * the result against a brute-force conflict checker.
+ */
+
+#ifndef PLD_RVGEN_REGALLOC_H
+#define PLD_RVGEN_REGALLOC_H
+
+#include <vector>
+
+#include "rvgen/mir.h"
+
+namespace pld {
+namespace rvgen {
+
+struct LiveInterval
+{
+    int vreg;
+    int start; ///< first instruction index where the vreg is live
+    int end;   ///< last instruction index (inclusive)
+};
+
+/** Conservative live intervals for every vreg in @p f, sorted by
+    (start, vreg). */
+std::vector<LiveInterval> computeLiveIntervals(const MFunction &f);
+
+/**
+ * Pure linear scan: assign each interval a register in
+ * [0, numRegs) or -1 (spill). Overlapping intervals never share a
+ * register; the furthest-ending interval is evicted on pressure.
+ * Result is indexed like @p intervals (which must be sorted by
+ * start; computeLiveIntervals output qualifies).
+ */
+std::vector<int> allocateIntervals(
+    const std::vector<LiveInterval> &intervals, int numRegs);
+
+struct RegAllocOptions
+{
+    /** Registers drawn from the s0..s11 pool. Tests shrink this to
+        force spilling; 0 runs everything out of the frame. */
+    int regBudget = 12;
+};
+
+struct RegAllocStats
+{
+    int vregs = 0;
+    int spilledVregs = 0;
+    int spillLoads = 0;
+    int spillStores = 0;
+    int frameBytes = 0;
+};
+
+/** Rewrite @p f in place to physical registers + spill code. */
+RegAllocStats allocateRegisters(MFunction &f,
+                                const RegAllocOptions &opts = {});
+
+} // namespace rvgen
+} // namespace pld
+
+#endif // PLD_RVGEN_REGALLOC_H

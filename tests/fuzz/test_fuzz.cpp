@@ -1,8 +1,9 @@
 /**
  * @file
  * The pldfuzz subsystem's own test suite: generator determinism and
- * validator-cleanliness over many seeds, three-backend differential
- * agreement, injected-bug catch + shrink, corpus replay, and
+ * validator-cleanliness over many seeds, four-backend differential
+ * agreement (golden, HLS system-sim, -O0 ISS, -Os ISS),
+ * injected-bug catch + shrink, corpus replay, and
  * fault-ladder / parallel-build equivalence. Labelled `fuzz` in CTest
  * so CI can run the family standalone.
  */
@@ -55,7 +56,7 @@ TEST(FuzzGen, CoversMultiOperatorShapes)
     EXPECT_GE(maxOps, 3u); // chains and diamonds appear
 }
 
-TEST(FuzzDiff, ThreeBackendsAgreeManySeeds)
+TEST(FuzzDiff, FourBackendsAgreeManySeeds)
 {
     fuzz::DiffOptions d;
     for (uint64_t seed = 1; seed <= 120; ++seed) {
@@ -65,6 +66,27 @@ TEST(FuzzDiff, ThreeBackendsAgreeManySeeds)
             << "seed " << seed << ": " << r.detail << "\n"
             << c.dump();
     }
+}
+
+/** The -Os leg alone must catch a codegen-visible bug: proves the
+    optimizing tier is genuinely cross-checked, not shadowed by the
+    -O0 leg reporting first. */
+TEST(FuzzDiff, OsLegAloneCatchesInjectedBug)
+{
+    fuzz::DiffOptions d;
+    d.runIss = false; // only golden + sys + iss-Os
+    d.bug = fuzz::InjectedBug::DropSignExtend;
+    bool caught = false;
+    for (uint64_t seed = 1; seed <= 60 && !caught; ++seed) {
+        fuzz::GenCase c = fuzz::generateCase(seed);
+        fuzz::DiffResult r = fuzz::diffCase(c, d);
+        if (r.status == fuzz::DiffStatus::Mismatch) {
+            EXPECT_EQ(r.detail.rfind("iss-Os", 0), 0u) << r.detail;
+            caught = true;
+        }
+    }
+    EXPECT_TRUE(caught)
+        << "flipped sign-extension escaped 60 -Os fuzz cases";
 }
 
 TEST(FuzzRoundTrip, GeneratedOperatorsReparse)

@@ -15,6 +15,7 @@
 #include "common/fault.h"
 #include "fabric/device.h"
 #include "ir/builder.h"
+#include "obs/trace.h"
 #include "pld/compiler.h"
 #include "rosetta/benchmark.h"
 #include "sys/system.h"
@@ -392,6 +393,94 @@ TEST(Fault, RosettaOpticalFlowSoftcoreFallbackMatchesGolden)
     PldCompiler pc2(device(), faultyOpts("route_fail:flow_calc"));
     AppBuild build2 = pc2.build(bm.graph, OptLevel::O1);
     EXPECT_EQ(build2.report.render(), rendered);
+}
+
+// -------- softcore tier equivalence on the fallback rung ------------
+
+namespace {
+
+std::vector<uint32_t>
+runBuild(const Graph &g, const AppBuild &b,
+         const std::vector<uint32_t> &in)
+{
+    sys::SystemSim sim(g, b.bindings, b.sysCfg);
+    sim.loadInput(0, in);
+    EXPECT_TRUE(sim.run().completed);
+    return sim.takeOutput(0);
+}
+
+} // namespace
+
+TEST(Fault, SoftcoreFallbackOsBitIdenticalToO0AcrossJobCounts)
+{
+    // The ladder's softcore rung at the optimizing -Os tier must be
+    // bit-identical to the -O0 rung AND to the fault-free hardware
+    // build — at 1 and 4 parallel page-compile jobs (the in-process
+    // equivalent of the CI PLD_THREADS sweep).
+    Graph g = makeApp();
+    std::vector<uint32_t> in;
+    for (int i = 0; i < 8; ++i)
+        in.push_back(static_cast<uint32_t>(i) * 0x00012340u);
+
+    CompileOptions co;
+    co.effort = 0.1;
+    PldCompiler clean(device(), co);
+    AppBuild cb = clean.build(g, OptLevel::O1);
+    ASSERT_TRUE(cb.report.allOk());
+    auto golden = runBuild(g, cb, in);
+
+    std::vector<uint32_t> text[2]; // O0/Os image of "shared"
+    for (unsigned jobs : {1u, 4u}) {
+        for (int t = 0; t < 2; ++t) {
+            CompileOptions o = faultyOpts("route_fail:shared");
+            o.parallelJobs = jobs;
+            o.softcoreTier =
+                t ? rvgen::Tier::Os : rvgen::Tier::O0;
+            PldCompiler pc(device(), o);
+            AppBuild b = pc.build(g, OptLevel::O1);
+            ASSERT_TRUE(b.report.allOk());
+            EXPECT_TRUE(outcomeOf(b, "shared").degraded);
+            ASSERT_EQ(b.bindings[0].impl, sys::PageImpl::Softcore);
+            EXPECT_EQ(runBuild(g, b, in), golden)
+                << "jobs=" << jobs << " tier="
+                << rvgen::tierName(o.softcoreTier);
+            text[t] = b.bindings[0].elf.text;
+        }
+        EXPECT_NE(text[0], text[1])
+            << "the tiers must actually emit different code";
+        EXPECT_LT(text[1].size(), text[0].size())
+            << "-Os should be smaller on this kernel";
+    }
+}
+
+TEST(Fault, SoftcoreTierSurfacesInBuildTelemetry)
+{
+    // The tier decision is observable: a degraded build at the
+    // default (Os) tier counts rvgen.tier.Os and records per-compile
+    // instruction counts; forcing O0 counts rvgen.tier.O0.
+    obs::ScopedTracer st;
+    {
+        PldCompiler pc(device(), faultyOpts("route_fail:shared"));
+        AppBuild b = pc.build(makeApp(), OptLevel::O1);
+        ASSERT_TRUE(b.report.allOk());
+        EXPECT_GE(b.report.metrics.counter("rvgen.tier.Os"), 1);
+        EXPECT_EQ(b.report.metrics.counter("rvgen.tier.O0"), 0);
+        EXPECT_EQ(b.report.metrics.counter("rvgen.compiles"),
+                  b.report.metrics.counter("rvgen.tier.Os"));
+        const obs::DistSummary *d =
+            b.report.metrics.dist("rvgen.instructions");
+        ASSERT_NE(d, nullptr);
+        EXPECT_GT(d->min, 0.0);
+    }
+    {
+        CompileOptions o = faultyOpts("route_fail:shared");
+        o.softcoreTier = rvgen::Tier::O0;
+        PldCompiler pc(device(), o);
+        AppBuild b = pc.build(makeApp(), OptLevel::O1);
+        ASSERT_TRUE(b.report.allOk());
+        EXPECT_GE(b.report.metrics.counter("rvgen.tier.O0"), 1);
+        EXPECT_EQ(b.report.metrics.counter("rvgen.tier.Os"), 0);
+    }
 }
 
 // -------- cache hardening -------------------------------------------

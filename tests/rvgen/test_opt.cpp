@@ -1,0 +1,844 @@
+/**
+ * -Os softcore tier: MIR round-trip, allocator properties, peephole
+ * behavior, forced-spill correctness, and the cycle regression gate
+ * that justifies the tier's existence (>= 5x fewer ISS cycles than
+ * -O0 on Rosetta-style kernels).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "dataflow/stream.h"
+#include "interp/exec.h"
+#include "ir/builder.h"
+#include "rv32/iss.h"
+#include "rvgen/codegen.h"
+#include "rvgen/isel.h"
+#include "rvgen/mir.h"
+#include "rvgen/regalloc.h"
+
+using namespace pld;
+using namespace pld::ir;
+using namespace pld::rvgen;
+
+namespace {
+
+// --- shared run harness (mirrors test_crosscheck) ------------------
+
+std::vector<uint32_t>
+runInterp(const OperatorFn &fn, const std::vector<uint32_t> &inputs)
+{
+    dataflow::WordFifo fin(0), fout(0);
+    dataflow::FifoReadPort ip(fin);
+    dataflow::FifoWritePort op(fout);
+    std::vector<dataflow::StreamPort *> ports;
+    for (const auto &p : fn.ports) {
+        ports.push_back(p.dir == PortDir::In
+                            ? static_cast<dataflow::StreamPort *>(&ip)
+                            : &op);
+    }
+    interp::OperatorExec exec(fn, ports);
+    for (uint32_t w : inputs)
+        fin.push(w);
+    EXPECT_EQ(exec.run(), interp::RunStatus::Done);
+    std::vector<uint32_t> out;
+    while (fout.canPop())
+        out.push_back(fout.pop());
+    return out;
+}
+
+/** Run on the ISS at the given tier; returns (words, cycles). */
+std::vector<uint32_t>
+runIssTier(const OperatorFn &fn, const std::vector<uint32_t> &inputs,
+           const RvOptions &opt, uint64_t *cycles = nullptr,
+           RvResult *resultOut = nullptr)
+{
+    auto rv = rvgen::compileToRiscv(fn, opt);
+    EXPECT_EQ(rv.tier, opt.tier);
+    dataflow::WordFifo fin(0), fout(0);
+    dataflow::FifoReadPort ip(fin);
+    dataflow::FifoWritePort op(fout);
+    std::vector<dataflow::StreamPort *> ports;
+    for (const auto &p : fn.ports) {
+        ports.push_back(p.dir == PortDir::In
+                            ? static_cast<dataflow::StreamPort *>(&ip)
+                            : &op);
+    }
+    rv32::Core core(rv.elf, ports);
+    for (uint32_t w : inputs)
+        fin.push(w);
+    EXPECT_EQ(core.step(1000000000ull), rv32::CoreStatus::Halted)
+        << fn.name << " [" << tierName(opt.tier)
+        << "] trapped: " << core.trapReason();
+    if (cycles)
+        *cycles = core.cycles();
+    if (resultOut)
+        *resultOut = std::move(rv);
+    std::vector<uint32_t> out;
+    while (fout.canPop())
+        out.push_back(fout.pop());
+    return out;
+}
+
+/** interp == -O0 ISS == -Os ISS, word for word. */
+void
+expectAllTiersEquivalent(const OperatorFn &fn,
+                         const std::vector<uint32_t> &inputs,
+                         int regBudget = 12)
+{
+    auto gold = runInterp(fn, inputs);
+    RvOptions o0;
+    auto issO0 = runIssTier(fn, inputs, o0);
+    RvOptions os;
+    os.tier = Tier::Os;
+    os.regBudget = regBudget;
+    auto issOs = runIssTier(fn, inputs, os);
+    ASSERT_EQ(gold.size(), issO0.size()) << fn.name;
+    ASSERT_EQ(gold.size(), issOs.size())
+        << fn.name << " budget=" << regBudget;
+    for (size_t i = 0; i < gold.size(); ++i) {
+        EXPECT_EQ(gold[i], issO0[i]) << fn.name << " word " << i;
+        EXPECT_EQ(gold[i], issOs[i])
+            << fn.name << " word " << i << " budget=" << regBudget;
+    }
+}
+
+std::vector<uint32_t>
+randomWords(int n, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<uint32_t> w;
+    for (int i = 0; i < n; ++i)
+        w.push_back(static_cast<uint32_t>(rng.next()));
+    return w;
+}
+
+constexpr Type kFx = Type::fx(32, 17);
+
+std::vector<uint32_t>
+randomFixed(int n, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<uint32_t> w;
+    for (int i = 0; i < n; ++i) {
+        int32_t v = static_cast<int32_t>(rng.range(-2000000, 2000000));
+        w.push_back(static_cast<uint32_t>(v));
+    }
+    return w;
+}
+
+} // namespace
+
+// --- MIR text round-trip -------------------------------------------
+
+TEST(MirText, RoundTripAllShapes)
+{
+    MFunction f;
+    int v0 = f.newVreg(), v1 = f.newVreg();
+    auto I = [&](MOp op, int rd, int rs1, int rs2, int32_t imm,
+                 const std::string &label = "", bool vol = false) {
+        MInst m{op};
+        m.rd = rd;
+        m.rs1 = rs1;
+        m.rs2 = rs2;
+        m.imm = imm;
+        m.label = label;
+        m.vol = vol;
+        f.code.push_back(m);
+    };
+    I(MOp::Label, -1, -1, -1, 0, "entry_0");
+    I(MOp::Li, v0, -1, -1, 12345);
+    I(MOp::Li, v1, -1, -1, -7);
+    I(MOp::Add, f.newVreg(), v0, v1, 0);
+    I(MOp::Addi, f.newVreg(), v0, -1, -2048);
+    I(MOp::Srai, f.newVreg(), v1, -1, 31);
+    I(MOp::Lw, f.newVreg(), 10 /* a0 */, -1, 64);
+    I(MOp::Lbu, f.newVreg(), v0, -1, 3);
+    I(MOp::Sw, -1, v0, v1, -16);
+    I(MOp::Sh, -1, 2 /* sp */, v1, 0);
+    I(MOp::Lw, f.newVreg(), v0, -1, 0, "", /*vol=*/true);
+    I(MOp::Copy, f.newVreg(), v1, -1, 0);
+    I(MOp::Mulhsu, f.newVreg(), v0, v1, 0);
+    I(MOp::Beq, -1, v0, 0 /* x0 */, 0, "skip_1");
+    I(MOp::Call, -1, -1, -1, 0, "__pld_mulshift");
+    I(MOp::Label, -1, -1, -1, 0, "skip_1");
+    I(MOp::J, -1, -1, -1, 0, "entry_0");
+    I(MOp::Ebreak, -1, -1, -1, 0);
+
+    std::string text = printMir(f);
+    MFunction g;
+    std::string err;
+    ASSERT_TRUE(parseMir(text, &g, &err)) << err;
+    EXPECT_EQ(printMir(g), text);
+    // Allocator state restored: fresh names don't collide.
+    EXPECT_GE(g.nextVreg, f.nextVreg);
+    EXPECT_GE(g.labelCounter, 2);
+}
+
+TEST(MirText, ParseRejectsGarbage)
+{
+    MFunction g;
+    std::string err;
+    EXPECT_FALSE(parseMir("  frobnicate a0, a1\n", &g, &err));
+    EXPECT_NE(err.find("line 1"), std::string::npos);
+    EXPECT_FALSE(parseMir("  add a0, a1\n", &g, &err)); // missing op
+    EXPECT_FALSE(parseMir("  li %5, 3\n", &g, &err)); // %5 < vreg base
+}
+
+TEST(MirText, CommentsAndBlanksIgnored)
+{
+    MFunction g;
+    std::string err;
+    ASSERT_TRUE(parseMir("# header\n\n  li %32, 4  # trailing\n", &g,
+                         &err))
+        << err;
+    ASSERT_EQ(g.code.size(), 1u);
+    EXPECT_EQ(g.code[0].op, MOp::Li);
+    EXPECT_EQ(g.code[0].imm, 4);
+}
+
+// --- linear-scan allocator properties ------------------------------
+
+namespace {
+
+/** Brute force: max number of intervals simultaneously live. */
+int
+maxDepth(const std::vector<LiveInterval> &iv)
+{
+    int deepest = 0;
+    for (const auto &a : iv) {
+        int d = 0;
+        for (const auto &b : iv)
+            if (b.start <= a.start && a.start <= b.end)
+                ++d;
+        deepest = std::max(deepest, d);
+    }
+    return deepest;
+}
+
+std::vector<LiveInterval>
+randomIntervals(int n, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<LiveInterval> iv;
+    for (int i = 0; i < n; ++i) {
+        int s = static_cast<int>(rng.below(120));
+        int e = s + static_cast<int>(rng.below(40));
+        iv.push_back({kVregBase + i, s, e});
+    }
+    std::sort(iv.begin(), iv.end(),
+              [](const LiveInterval &a, const LiveInterval &b) {
+                  if (a.start != b.start)
+                      return a.start < b.start;
+                  return a.vreg < b.vreg;
+              });
+    return iv;
+}
+
+} // namespace
+
+TEST(LinearScan, RandomIntervalsNeverConflict)
+{
+    for (uint64_t seed = 0; seed < 40; ++seed) {
+        for (int regs : {1, 2, 3, 6, 12}) {
+            auto iv = randomIntervals(30, seed * 7 + 1);
+            auto assign = allocateIntervals(iv, regs);
+            ASSERT_EQ(assign.size(), iv.size());
+            for (size_t i = 0; i < iv.size(); ++i) {
+                if (assign[i] < 0)
+                    continue;
+                EXPECT_LT(assign[i], regs);
+                for (size_t j = i + 1; j < iv.size(); ++j) {
+                    if (assign[j] != assign[i])
+                        continue;
+                    // Same register: intervals must be disjoint
+                    // (inclusive endpoints).
+                    bool overlap = iv[i].start <= iv[j].end &&
+                                   iv[j].start <= iv[i].end;
+                    EXPECT_FALSE(overlap)
+                        << "seed " << seed << " regs " << regs
+                        << ": vregs " << iv[i].vreg << " and "
+                        << iv[j].vreg << " share r" << assign[i];
+                }
+            }
+        }
+    }
+}
+
+TEST(LinearScan, NoSpillWhenPressureFits)
+{
+    // Greedy coloring in start order is optimal for interval graphs:
+    // when max overlap depth <= numRegs, nothing may spill.
+    for (uint64_t seed = 100; seed < 130; ++seed) {
+        auto iv = randomIntervals(24, seed);
+        int depth = maxDepth(iv);
+        auto assign = allocateIntervals(iv, depth);
+        for (size_t i = 0; i < iv.size(); ++i)
+            EXPECT_GE(assign[i], 0)
+                << "seed " << seed << " depth " << depth
+                << ": interval " << i << " spilled needlessly";
+    }
+}
+
+TEST(LinearScan, ZeroRegistersSpillsEverything)
+{
+    auto iv = randomIntervals(10, 42);
+    auto assign = allocateIntervals(iv, 0);
+    for (int a : assign)
+        EXPECT_EQ(a, -1);
+}
+
+TEST(LinearScan, LoopBodyIntervalSpansBackedge)
+{
+    // An induction variable defined before the loop and stepped
+    // inside it must stay live across the whole loop body, including
+    // instructions that don't mention it.
+    const char *text = "  li %32, 0\n"
+                       "loop_0:\n"
+                       "  li %33, 1\n"
+                       "  li %34, 2\n"
+                       "  add %35, %33, %34\n"
+                       "  addi %32, %32, 1\n"
+                       "  li %36, 10\n"
+                       "  blt %32, %36, loop_0\n"
+                       "  ebreak\n";
+    MFunction f;
+    std::string err;
+    ASSERT_TRUE(parseMir(text, &f, &err)) << err;
+    auto iv = computeLiveIntervals(f);
+    const LiveInterval *ind = nullptr;
+    for (const auto &i : iv)
+        if (i.vreg == 32)
+            ind = &i;
+    ASSERT_NE(ind, nullptr);
+    EXPECT_EQ(ind->start, 0);
+    // Live through the branch at index 7.
+    EXPECT_GE(ind->end, 7);
+}
+
+// --- peephole ------------------------------------------------------
+
+namespace {
+
+int
+countOp(const MFunction &f, MOp op)
+{
+    int n = 0;
+    for (const auto &m : f.code)
+        if (m.op == op)
+            ++n;
+    return n;
+}
+
+MFunction
+parsed(const char *text)
+{
+    MFunction f;
+    std::string err;
+    EXPECT_TRUE(parseMir(text, &f, &err)) << err;
+    return f;
+}
+
+} // namespace
+
+TEST(Peephole, CseRemovesDuplicatePureOps)
+{
+    // Two identical adds: the second becomes a copy and then both
+    // the copy and any dead remnants are swept.
+    MFunction f = parsed("  li %32, 5\n"
+                         "  li %33, 6\n"
+                         "  add %34, %32, %33\n"
+                         "  add %35, %32, %33\n"
+                         "  sw %34, 0(%36)\n"
+                         "  sw %35, 4(%36)\n");
+    // Keep %36 defined so regalloc-style passes stay happy.
+    peephole(f);
+    EXPECT_EQ(countOp(f, MOp::Add), 1);
+}
+
+TEST(Peephole, RedundantSextElimination)
+{
+    // srai-31 of a value that is already a sign bit (slt result) is
+    // the value's sign extension of a 0/1 quantity: always 0.
+    MFunction f = parsed("  slt %33, %32, zero\n"
+                         "  srai %34, %33, 31\n"
+                         "  sw %33, 0(%35)\n"
+                         "  sw %34, 4(%35)\n");
+    peephole(f);
+    // The srai must be gone (rewritten to a copy of x0 and folded
+    // into the store or left as a copy -- either way no Srai).
+    EXPECT_EQ(countOp(f, MOp::Srai), 0);
+}
+
+TEST(Peephole, DeadCodeSwept)
+{
+    MFunction f = parsed("  li %32, 1\n"
+                         "  li %33, 2\n"
+                         "  add %34, %32, %33\n" // dead
+                         "  sw %32, 0(sp)\n");
+    int removed = peephole(f);
+    EXPECT_GE(removed, 2); // the add and at least li %33
+    EXPECT_EQ(countOp(f, MOp::Add), 0);
+}
+
+TEST(Peephole, VolatileNeverTouched)
+{
+    // Two identical MMIO loads must both survive (stream pops), and
+    // a dead volatile load must not be swept.
+    MFunction f = parsed("  li %32, 268435456\n"
+                         "  lw.v %33, 0(%32)\n"
+                         "  lw.v %34, 0(%32)\n"
+                         "  sw %33, 0(sp)\n");
+    peephole(f);
+    EXPECT_EQ(countOp(f, MOp::Lw), 2);
+}
+
+TEST(Peephole, CopyPropagationThroughChain)
+{
+    MFunction f = parsed("  li %32, 9\n"
+                         "  mv %33, %32\n"
+                         "  mv %34, %33\n"
+                         "  sw %34, 0(sp)\n");
+    peephole(f);
+    // The store now reads the original register; the copies die.
+    EXPECT_EQ(countOp(f, MOp::Copy), 0);
+    for (const auto &m : f.code)
+        if (m.op == MOp::Sw)
+            EXPECT_EQ(m.rs2, 32);
+}
+
+TEST(Peephole, StateResetsAtLabels)
+{
+    // The same expression on both sides of a label must NOT be CSE'd
+    // (the label is a join point; the first value may be stale).
+    MFunction f = parsed("  add %34, %32, %33\n"
+                         "  sw %34, 0(sp)\n"
+                         "join_0:\n"
+                         "  add %35, %32, %33\n"
+                         "  sw %35, 4(sp)\n"
+                         "  bne %35, zero, join_0\n");
+    peephole(f);
+    EXPECT_EQ(countOp(f, MOp::Add), 2);
+}
+
+// --- -Os correctness: full tier crosscheck -------------------------
+
+namespace {
+
+/** The crosscheck battery from test_crosscheck, run on all tiers. */
+OperatorFn
+mixKernel()
+{
+    OpBuilder b("mix_os");
+    auto in = b.input("in");
+    auto out = b.output("out");
+    auto x = b.var("x", kFx);
+    auto y = b.var("y", kFx);
+    auto acc = b.var("acc", kFx);
+    b.forLoop(0, 8, [&](Ex) {
+        b.set(x, b.read(in).bitcast(kFx));
+        b.set(y, b.read(in).bitcast(kFx));
+        Ex prod = (Ex(x) * Ex(y)).cast(kFx);
+        Ex sum = (Ex(x) + Ex(y)).cast(kFx);
+        Ex pick = b.select(prod > sum, prod, sum);
+        b.set(acc, (Ex(acc) + pick).cast(kFx));
+        b.write(out, acc);
+    });
+    return b.finish();
+}
+
+} // namespace
+
+TEST(OsTier, AddSubChain)
+{
+    OpBuilder b("addsub_os");
+    auto in = b.input("in");
+    auto out = b.output("out");
+    auto x = b.var("x", kFx);
+    b.forLoop(0, 16, [&](Ex) {
+        b.set(x, b.read(in).bitcast(kFx));
+        b.write(out,
+                (Ex(x) + litF(1.25, kFx) - litF(0.5, kFx)).cast(kFx));
+    });
+    expectAllTiersEquivalent(b.finish(), randomFixed(16, 1));
+}
+
+TEST(OsTier, MultiplyWideIntermediates)
+{
+    OpBuilder b("mulwide_os");
+    auto in = b.input("in");
+    auto out = b.output("out");
+    auto x = b.var("x", kFx);
+    auto y = b.var("y", kFx);
+    b.forLoop(0, 8, [&](Ex) {
+        b.set(x, b.read(in).bitcast(kFx));
+        b.set(y, b.read(in).bitcast(kFx));
+        b.write(out, (Ex(x) * Ex(y) - Ex(y) * Ex(y)).cast(kFx));
+    });
+    expectAllTiersEquivalent(b.finish(), randomFixed(16, 2));
+}
+
+TEST(OsTier, DivisionSignsAndZero)
+{
+    OpBuilder b("divsigns_os");
+    auto in = b.input("in");
+    auto out = b.output("out");
+    auto x = b.var("x", kFx);
+    auto y = b.var("y", kFx);
+    b.forLoop(0, 8, [&](Ex) {
+        b.set(x, b.read(in).bitcast(kFx));
+        b.set(y, b.read(in).bitcast(kFx));
+        b.write(out, Ex(x) / Ex(y));
+    });
+    std::vector<uint32_t> inputs = randomFixed(14, 3);
+    inputs.push_back(static_cast<uint32_t>(32768));
+    inputs.push_back(0);
+    expectAllTiersEquivalent(b.finish(), inputs);
+}
+
+TEST(OsTier, ComparisonsAllSix)
+{
+    OpBuilder b("cmp6_os");
+    auto in = b.input("in");
+    auto out = b.output("out");
+    auto x = b.var("x", Type::s(32));
+    auto y = b.var("y", Type::s(32));
+    b.forLoop(0, 12, [&](Ex) {
+        b.set(x, b.read(in).bitcast(Type::s(32)));
+        b.set(y, b.read(in).bitcast(Type::s(32)));
+        Ex bits = (Ex(x) < Ex(y)).cast(Type::u(32)) |
+                  ((Ex(x) <= Ex(y)).cast(Type::u(32)) << 1) |
+                  ((Ex(x) > Ex(y)).cast(Type::u(32)) << 2) |
+                  ((Ex(x) >= Ex(y)).cast(Type::u(32)) << 3) |
+                  ((Ex(x) == Ex(y)).cast(Type::u(32)) << 4) |
+                  ((Ex(x) != Ex(y)).cast(Type::u(32)) << 5);
+        b.write(out, bits);
+    });
+    auto inputs = randomWords(22, 4);
+    inputs.push_back(77);
+    inputs.push_back(77);
+    expectAllTiersEquivalent(b.finish(), inputs);
+}
+
+TEST(OsTier, NarrowTypesWrapIdentically)
+{
+    OpBuilder b("narrow_os");
+    auto in = b.input("in");
+    auto out = b.output("out");
+    auto x = b.var("x", Type::s(8));
+    auto u = b.var("u", Type::u(5));
+    b.forLoop(0, 16, [&](Ex) {
+        b.set(x, b.read(in).bitcast(Type::s(8)));
+        b.set(u, (Ex(x) * 3).cast(Type::u(5)));
+        b.write(out, (Ex(u) + Ex(x)).cast(Type::s(16)));
+    });
+    expectAllTiersEquivalent(b.finish(), randomWords(16, 6));
+}
+
+TEST(OsTier, ArrayReadModifyWrite)
+{
+    OpBuilder b("hist_os");
+    auto in = b.input("in");
+    auto out = b.output("out");
+    auto h = b.array("h", Type::s(16), 8);
+    auto x = b.var("x", Type::u(32));
+    b.forLoop(0, 32, [&](Ex) {
+        b.set(x, b.read(in));
+        Ex bin = (Ex(x) & lit(7, Type::u(32))).cast(Type::s(32));
+        b.store(h, bin, h[bin] + 1);
+    });
+    b.forLoop(0, 8, [&](Ex i) { b.write(out, h[i]); });
+    expectAllTiersEquivalent(b.finish(), randomWords(32, 8));
+}
+
+TEST(OsTier, ModuloOperator)
+{
+    OpBuilder b("modop_os");
+    auto in = b.input("in");
+    auto out = b.output("out");
+    auto x = b.var("x", Type::s(32));
+    b.forLoop(0, 16, [&](Ex) {
+        b.set(x, b.read(in).bitcast(Type::s(32)));
+        b.write(out, (Ex(x) % lit(7)).cast(Type::s(32)));
+    });
+    expectAllTiersEquivalent(b.finish(), randomWords(16, 9));
+}
+
+TEST(OsTier, SelectAndLogicOps)
+{
+    OpBuilder b("sel_os");
+    auto in = b.input("in");
+    auto out = b.output("out");
+    auto x = b.var("x", Type::s(32));
+    b.forLoop(0, 16, [&](Ex) {
+        b.set(x, b.read(in).bitcast(Type::s(32)));
+        Ex inside = (Ex(x) > -1000) && (Ex(x) < 1000);
+        b.write(out, b.select(inside || (Ex(x) == 0),
+                              Ex(x) * 2, -Ex(x)).cast(Type::s(32)));
+    });
+    auto inputs = randomWords(14, 7);
+    inputs.push_back(500);
+    inputs.push_back(static_cast<uint32_t>(-70000));
+    expectAllTiersEquivalent(b.finish(), inputs);
+}
+
+TEST(OsTier, RandomizedSweep)
+{
+    OperatorFn fn = mixKernel();
+    for (uint64_t seed = 300; seed < 308; ++seed)
+        expectAllTiersEquivalent(fn, randomFixed(16, seed));
+}
+
+TEST(OsTier, ConstantSubtreesFold)
+{
+    OpBuilder b("cfold_os");
+    auto in = b.input("in");
+    auto out = b.output("out");
+    auto x = b.var("x", kFx);
+    b.forLoop(0, 4, [&](Ex) {
+        b.set(x, b.read(in).bitcast(kFx));
+        // (1.25 * 4 - 1) is a constant subtree; * 8 strength-reduces.
+        b.write(out, (Ex(x) * litF(8.0, kFx) +
+                      (litF(1.25, kFx) * litF(4.0, kFx) -
+                       litF(1.0, kFx)).cast(kFx))
+                         .cast(kFx));
+    });
+    OperatorFn fn = b.finish();
+    auto inputs = randomFixed(4, 11);
+    expectAllTiersEquivalent(fn, inputs);
+
+    RvOptions os;
+    os.tier = Tier::Os;
+    RvResult r;
+    runIssTier(fn, inputs, os, nullptr, &r);
+    EXPECT_GT(r.constantsFolded, 0);
+    EXPECT_GT(r.mirInstructions, 0);
+}
+
+// --- forced spills -------------------------------------------------
+
+TEST(OsTier, ForcedSpillsStayBitIdentical)
+{
+    OperatorFn fn = mixKernel();
+    auto inputs = randomFixed(16, 21);
+    for (int budget : {0, 1, 2, 4}) {
+        expectAllTiersEquivalent(fn, inputs, budget);
+        RvOptions os;
+        os.tier = Tier::Os;
+        os.regBudget = budget;
+        RvResult r;
+        runIssTier(fn, inputs, os, nullptr, &r);
+        if (budget == 0)
+            EXPECT_GT(r.spills, 0) << "budget 0 must spill";
+    }
+}
+
+TEST(OsTier, SpillCountDropsWithBudget)
+{
+    OperatorFn fn = mixKernel();
+    auto inputs = randomFixed(16, 22);
+    RvOptions tight;
+    tight.tier = Tier::Os;
+    tight.regBudget = 0;
+    RvResult rTight;
+    runIssTier(fn, inputs, tight, nullptr, &rTight);
+    RvOptions loose;
+    loose.tier = Tier::Os;
+    loose.regBudget = 12;
+    RvResult rLoose;
+    runIssTier(fn, inputs, loose, nullptr, &rLoose);
+    EXPECT_GT(rTight.spills, rLoose.spills);
+}
+
+// --- cycle regression gate -----------------------------------------
+
+namespace {
+
+/** SWAR popcount over u32, all shifts/masks/adds (div-free). */
+Ex
+popcount(OpBuilder &b, Ex v)
+{
+    Type u32 = Type::u(32);
+    Ex a = (v - ((v >> 1) & lit(0x55555555, u32))).cast(u32);
+    Ex c = ((a & lit(0x33333333, u32)) +
+            ((a >> 2) & lit(0x33333333, u32)))
+               .cast(u32);
+    Ex d = ((c + (c >> 4)).cast(u32) & lit(0x0F0F0F0F, u32));
+    Ex s = (d + (d >> 8)).cast(u32);
+    return ((s + (s >> 16)).cast(u32) & lit(0x3F, u32));
+}
+
+/** digitrec-style: 1-NN hamming scan against an on-chip shard. */
+OperatorFn
+makeKnnKernel()
+{
+    OpBuilder b("knn_gate");
+    auto in = b.input("in");
+    auto out = b.output("out");
+    std::vector<int64_t> shard;
+    Rng rng(0xD161);
+    for (int i = 0; i < 16; ++i)
+        shard.push_back(static_cast<int64_t>(rng.next() & 0xFFFFFFFF));
+    auto rom = b.romRaw("shard", Type::u(32), shard);
+    auto d = b.var("d", Type::u(32));
+    auto dist = b.var("dist", Type::s(32));
+    auto best = b.var("best", Type::s(32));
+    b.forLoop(0, 8, [&](Ex) {
+        b.set(d, b.read(in));
+        b.set(best, lit(999));
+        b.forLoop(0, 16, [&](Ex i) {
+            b.set(dist,
+                  popcount(b, (Ex(d) ^ rom[i]).cast(Type::u(32)))
+                      .cast(Type::s(32)));
+            b.set(best, b.select(Ex(dist) < Ex(best), Ex(dist),
+                                 Ex(best)).cast(Type::s(32)));
+        });
+        b.write(out, best);
+    });
+    return b.finish();
+}
+
+/** spam-filter-style: fixed-point dot product with on-chip weights. */
+OperatorFn
+makeDotKernel()
+{
+    OpBuilder b("dot_gate");
+    auto in = b.input("in");
+    auto out = b.output("out");
+    std::vector<int64_t> winit;
+    Rng rng(0x57A4);
+    for (int i = 0; i < 16; ++i)
+        winit.push_back(static_cast<int64_t>(
+            static_cast<int32_t>(rng.range(-60000, 60000))));
+    auto w = b.romRaw("w", kFx, winit);
+    auto x = b.var("x", kFx);
+    auto acc = b.var("acc", kFx);
+    b.forLoop(0, 4, [&](Ex) {
+        b.set(acc, litF(0.0, kFx));
+        b.forLoop(0, 16, [&](Ex i) {
+            b.set(x, b.read(in).bitcast(kFx));
+            b.set(acc, (Ex(acc) + Ex(x) * w[i]).cast(kFx));
+        });
+        b.write(out, acc);
+    });
+    return b.finish();
+}
+
+/** bnn-style: xnor + popcount + sign threshold per output bit. */
+OperatorFn
+makeBnnKernel()
+{
+    OpBuilder b("bnn_gate");
+    auto in = b.input("in");
+    auto out = b.output("out");
+    std::vector<int64_t> winit;
+    Rng rng(0xB44);
+    for (int i = 0; i < 8; ++i)
+        winit.push_back(static_cast<int64_t>(rng.next() & 0xFFFFFFFF));
+    auto w = b.romRaw("w", Type::u(32), winit);
+    auto x = b.var("x", Type::u(32));
+    auto bits = b.var("bits", Type::u(32));
+    b.forLoop(0, 8, [&](Ex) {
+        b.set(x, b.read(in));
+        b.set(bits, lit(0, Type::u(32)));
+        b.forLoop(0, 8, [&](Ex i) {
+            Ex pc = popcount(
+                b, (~(Ex(x) ^ w[i])).cast(Type::u(32)));
+            Ex bit = (pc > lit(16, Type::u(32))).cast(Type::u(32));
+            b.set(bits, ((Ex(bits) << 1) | bit).cast(Type::u(32)));
+        });
+        b.write(out, bits);
+    });
+    return b.finish();
+}
+
+/** Bit-identical run at both tiers; returns (cyclesO0, cyclesOs). */
+std::pair<uint64_t, uint64_t>
+measureTiers(const OperatorFn &fn,
+             const std::vector<uint32_t> &inputs)
+{
+    auto gold = runInterp(fn, inputs);
+    uint64_t c0 = 0, cs = 0;
+    RvOptions o0;
+    auto w0 = runIssTier(fn, inputs, o0, &c0);
+    RvOptions os;
+    os.tier = Tier::Os;
+    auto ws = runIssTier(fn, inputs, os, &cs);
+    EXPECT_EQ(gold, w0) << fn.name;
+    EXPECT_EQ(gold, ws) << fn.name;
+    EXPECT_GT(cs, 0u);
+    ::testing::Test::RecordProperty(fn.name + "_cyclesO0",
+                                    static_cast<int>(c0));
+    ::testing::Test::RecordProperty(fn.name + "_cyclesOs",
+                                    static_cast<int>(cs));
+    return {c0, cs};
+}
+
+} // namespace
+
+TEST(CycleGate, KnnKernelAtLeast5x)
+{
+    auto [c0, cs] = measureTiers(makeKnnKernel(), randomWords(8, 31));
+    EXPECT_GE(c0, 5 * cs) << "-O0 " << c0 << " vs -Os " << cs;
+}
+
+TEST(CycleGate, BnnKernelAtLeast5x)
+{
+    auto [c0, cs] = measureTiers(makeBnnKernel(), randomWords(8, 33));
+    EXPECT_GE(c0, 5 * cs) << "-O0 " << c0 << " vs -Os " << cs;
+}
+
+TEST(CycleGate, DotKernelAtLeast3x)
+{
+    // Mul-accumulate kernels are bound by the shared interpreter-
+    // exact 128-bit add window, which costs the same at both tiers,
+    // so their ceiling is lower than the shift/popcount kernels'.
+    auto [c0, cs] = measureTiers(makeDotKernel(), randomFixed(64, 32));
+    EXPECT_GE(c0, 3 * cs) << "-O0 " << c0 << " vs -Os " << cs;
+}
+
+TEST(CycleGate, RosettaSuiteAggregateAtLeast5x)
+{
+    // The headline gate: across the Rosetta-style kernel suite, the
+    // -Os tier must run degraded pages >= 5x faster than -O0.
+    uint64_t totalO0 = 0, totalOs = 0;
+    auto add = [&](std::pair<uint64_t, uint64_t> p) {
+        totalO0 += p.first;
+        totalOs += p.second;
+    };
+    add(measureTiers(makeKnnKernel(), randomWords(8, 41)));
+    add(measureTiers(makeDotKernel(), randomFixed(64, 42)));
+    add(measureTiers(makeBnnKernel(), randomWords(8, 43)));
+    ASSERT_GT(totalOs, 0u);
+    EXPECT_GE(totalO0, 5 * totalOs)
+        << "aggregate -O0 " << totalO0 << " vs -Os " << totalOs
+        << " (ratio "
+        << static_cast<double>(totalO0) /
+               static_cast<double>(totalOs)
+        << ")";
+}
+
+// --- capacity errors are recoverable -------------------------------
+
+TEST(OsTier, CapacityFailureThrowsInsteadOfAborting)
+{
+    // A data image beyond the 192 KB page memory must surface as a
+    // std::runtime_error (the ladder catches it and falls back),
+    // never as a process abort.
+    OpBuilder b("huge_os");
+    auto in = b.input("in");
+    auto out = b.output("out");
+    auto big = b.array("big", Type::s(32), 64 * 1024); // 256 KB
+    auto x = b.var("x", Type::s(32));
+    b.forLoop(0, 2, [&](Ex i) {
+        b.set(x, b.read(in).bitcast(Type::s(32)));
+        b.store(big, i, x);
+        b.write(out, big[i]);
+    });
+    RvOptions os;
+    os.tier = Tier::Os;
+    EXPECT_THROW(rvgen::compileToRiscv(b.finish(), os),
+                 std::runtime_error);
+}

@@ -88,12 +88,17 @@ swapImage(const PageBinding &old, uint64_t image_bytes,
     return nb;
 }
 
-/** Attach the quarantine fallback: the -O0 softcore binary of @p fn. */
+/** Attach the quarantine fallback: the softcore binary of @p fn at
+ * @p tier (the compiler attaches -Os by default; -O0 is the
+ * paper-faithful baseline). */
 void
-attachFallback(PageBinding &nb, const OperatorFn &fn)
+attachFallback(PageBinding &nb, const OperatorFn &fn,
+               rvgen::Tier tier = rvgen::Tier::O0)
 {
+    rvgen::RvOptions ro;
+    ro.tier = tier;
     nb.hasFallback = true;
-    nb.fallbackElf = rvgen::compileToRiscv(fn).elf;
+    nb.fallbackElf = rvgen::compileToRiscv(fn, ro).elf;
 }
 
 SystemConfig
@@ -359,6 +364,42 @@ TEST(Swap, QuarantinePinsPageToSoftcoreFallback)
     ASSERT_EQ(out.size(), static_cast<size_t>(n));
     for (int i = 0; i < n; ++i)
         EXPECT_EQ(out[i], static_cast<uint32_t>(i + 11));
+}
+
+TEST(Swap, QuarantineOsFallbackMatchesO0AndFaultFree)
+{
+    // A page quarantined onto an -Os fallback image must produce the
+    // same words as the -O0 fallback and as the never-faulted run —
+    // the optimizing tier is invisible to the fault-containment
+    // story.
+    const int n = 8;
+    Graph g = makePipeline(n);
+
+    SystemSim ref(g, {hwBinding(g, 0, 0), hwBinding(g, 1, 5)},
+                  swapCfg());
+    ref.loadInput(0, iota(n));
+    ASSERT_TRUE(ref.run().completed);
+    auto golden = ref.takeOutput(0);
+
+    auto quarantined = [&](rvgen::Tier tier) {
+        SystemSim sim(g, {hwBinding(g, 0, 0), hwBinding(g, 1, 5)},
+                      swapCfg("config_corrupt:a1"));
+        PageBinding nb = swapImage(hwBinding(g, 0, 0), 512, 2.0);
+        attachFallback(nb, g.ops[0].fn, tier);
+        EXPECT_EQ(sim.swapPage(0, nb).outcome,
+                  SwapOutcome::Quarantined);
+        EXPECT_EQ(sim.pageImpl(0), PageImpl::Softcore);
+        sim.loadInput(0, iota(n));
+        EXPECT_TRUE(sim.run().completed);
+        return sim.takeOutput(0);
+    };
+
+    auto o0 = quarantined(rvgen::Tier::O0);
+    auto os = quarantined(rvgen::Tier::Os);
+    EXPECT_EQ(o0, golden);
+    EXPECT_EQ(os, golden)
+        << "-Os quarantine fallback diverged from fault-free run";
+    EXPECT_EQ(os, o0);
 }
 
 TEST(Swap, QuarantineWithoutFallbackKeepsOldImage)

@@ -4,7 +4,8 @@
  *
  * Generates seeded random operator programs, runs each through the
  * functional golden model, the timed HLS-page system simulator, and
- * the rvgen/RV32 softcore path, and reports any divergence. Failing
+ * the rvgen/RV32 softcore path at both codegen tiers (-O0 and the
+ * optimizing -Os), and reports any divergence. Failing
  * cases are greedily shrunk and (optionally) serialized as corpus
  * repro files that replay as regression tests.
  *
@@ -46,6 +47,7 @@ struct Options
     int detEvery = 0;    ///< 0 = off
     bool runSys = true;
     bool runIss = true;
+    bool runOsIss = true;
     std::string saveReproDir;
     std::string replayDir;
 };
@@ -68,7 +70,8 @@ usage()
         "  --det-every N     parallel-build determinism on every Nth "
         "case\n"
         "  --no-sys          skip the system-simulator backend\n"
-        "  --no-iss          skip the softcore backend\n"
+        "  --no-iss          skip the softcore -O0 backend\n"
+        "  --no-iss-os       skip the softcore -Os backend\n"
         "  --save-repros DIR write shrunk repros as corpus files\n"
         "  --replay DIR      replay corpus files instead of fuzzing\n");
 }
@@ -123,6 +126,8 @@ parseArgs(int argc, char **argv, Options *o)
             o->runSys = false;
         } else if (!std::strcmp(a, "--no-iss")) {
             o->runIss = false;
+        } else if (!std::strcmp(a, "--no-iss-os")) {
+            o->runOsIss = false;
         } else if (!std::strcmp(a, "--save-repros")) {
             if (!(v = need(i)))
                 return false;
@@ -151,6 +156,7 @@ replayCorpus(const Options &o)
     fuzz::DiffOptions d;
     d.runSys = o.runSys;
     d.runIss = o.runIss;
+    d.runOsIss = o.runOsIss;
     int failures = 0;
     for (const auto &f : files) {
         fuzz::GenCase c = fuzz::loadCorpusFile(f);
@@ -180,6 +186,7 @@ main(int argc, char **argv)
     fuzz::DiffOptions d;
     d.runSys = o.runSys;
     d.runIss = o.runIss;
+    d.runOsIss = o.runOsIss;
     d.bug = o.bug;
 
     auto t0 = std::chrono::steady_clock::now();
