@@ -747,21 +747,10 @@ PldCompiler::build(const ir::Graph &g, OptLevel level,
     // x P&R threads) composes through the shared ThreadBudget.
     //
     // A compile that throws must never strand cache waiters: the
-    // sentinel guard publishes a failure marker on the way out of
-    // scope unless the compile completed, and the catch blocks turn
-    // the exception into a failed OperatorOutcome instead of letting
-    // it escape into the thread pool.
-    struct FailureSentinel
-    {
-        PldCompiler *pc;
-        uint64_t key;
-        bool armed;
-        ~FailureSentinel()
-        {
-            if (armed)
-                pc->publishFailure(key);
-        }
-    };
+    // FailureSentinel guard publishes a failure marker on the way
+    // out of scope unless the compile completed, and the catch
+    // blocks turn the exception into a failed OperatorOutcome
+    // instead of letting it escape into the thread pool.
     out.ops.resize(g.ops.size());
     // Per-op spans parent to the build span by token: pool workers'
     // own span stacks are empty (or stale), and lease grants vary
@@ -1089,18 +1078,6 @@ PldCompiler::buildSwapArtifact(const ir::Graph &g,
     // (which may be its promotion target, not the planned page).
     int page_id = cur.pageId;
 
-    struct FailureSentinel
-    {
-        PldCompiler *pc;
-        uint64_t key;
-        bool armed;
-        ~FailureSentinel()
-        {
-            if (armed)
-                pc->publishFailure(key);
-        }
-    };
-
     // Recompile — or cache-hit, for an unchanged operator — pinned
     // to the current page: promo = -1, because a hot swap must not
     // relocate the page out from under the running system.
@@ -1231,7 +1208,12 @@ PldCompiler::packTenantApps(const std::vector<TenantAppRef> &apps)
 
         // Guarantee a quarantine fallback on every binding: the
         // fault-contained scheduler depends on a hostile page being
-        // pinnable to a softcore image of the same function.
+        // pinnable to a softcore image of the same function. The
+        // on-demand compile claims a cache slot like any other, so
+        // it carries the same FailureSentinel — concurrent builds
+        // waiting on the key must wake even if this compile throws
+        // (it rejects the tenant instead of propagating).
+        bool fallbacks_ok = true;
         for (auto &b : spec.bindings) {
             if (b.hasFallback)
                 continue;
@@ -1248,12 +1230,26 @@ PldCompiler::packTenantApps(const std::vector<TenantAppRef> &apps)
             int fgen = 0;
             auto fb = lookup(fkey, opts.effort, &fgen);
             if (!fb) {
-                fb = compileSoftcore(fn, b.pageId, fgen);
+                FailureSentinel guard{this, fkey, true};
+                try {
+                    fb = compileSoftcore(fn, b.pageId, fgen);
+                } catch (const CompileError &ce) {
+                    // guard publishes the failure marker on unwind.
+                    reject("tenant '" + app.name +
+                           "' fallback compile failed for operator "
+                           "'" +
+                           fn.name + "': " + ce.diag().render());
+                    fallbacks_ok = false;
+                    break;
+                }
+                guard.armed = false;
                 publish(fkey, fb, fgen);
             }
             b.hasFallback = true;
             b.fallbackElf = fb->elf;
         }
+        if (!fallbacks_ok)
+            continue;
 
         int npages = static_cast<int>(spec.bindings.size());
         pack.maxPages = std::max(pack.maxPages, npages);

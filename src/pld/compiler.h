@@ -408,6 +408,28 @@ class PldCompiler
     };
 
     /**
+     * RAII guard for every *claimed* cache slot: construction arms
+     * it right after a lookup() miss, and unless disarmed after a
+     * successful publish(), destruction publishes the failure
+     * sentinel — so an exception anywhere between claim and publish
+     * wakes exactly one waiter to re-claim instead of stranding them
+     * all. Every compile-and-publish path must use it: build()'s
+     * per-operator compiles, buildSwapArtifact()'s recompile and
+     * fallback, and packTenantApps()'s on-demand fallback compiles.
+     */
+    struct FailureSentinel
+    {
+        PldCompiler *pc;
+        uint64_t key;
+        bool armed;
+        ~FailureSentinel()
+        {
+            if (armed)
+                pc->publishFailure(key);
+        }
+    };
+
+    /**
      * The cache is sharded by key so concurrent builds (pages in
      * parallel, multiple builds through one compiler) do not
      * serialize on one coarse mutex; a shard lock covers only the

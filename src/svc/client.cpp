@@ -1,0 +1,137 @@
+#include "svc/client.h"
+
+#include <cstring>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace pld {
+namespace svc {
+
+namespace {
+
+[[noreturn]] void
+protocolError(const std::string &what)
+{
+    Diagnostic d;
+    d.code = CompileCode::CompileException;
+    d.stage = CompileStage::Link;
+    d.severity = DiagSeverity::Error;
+    d.detail = "pldc: " + what;
+    throw CompileError(d);
+}
+
+} // namespace
+
+Client::Client(std::string socket_path) : path_(std::move(socket_path))
+{
+}
+
+Client::~Client() { close(); }
+
+bool
+Client::connect()
+{
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path_.size() >= sizeof(addr.sun_path))
+        return false;
+    std::memcpy(addr.sun_path, path_.c_str(), path_.size() + 1);
+
+    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0)
+        return false;
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        ::close(fd);
+        return false;
+    }
+    close();
+    fd_ = fd;
+    return true;
+}
+
+void
+Client::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+CompileResponse
+Client::roundTrip(const std::vector<uint8_t> &frame, MsgType expect)
+{
+    if (fd_ < 0)
+        protocolError("not connected");
+    writeFrame(fd_, frame);
+    std::vector<uint8_t> payload;
+    if (!readFrame(fd_, &payload))
+        protocolError("daemon hung up before responding");
+    ByteReader r(payload);
+    auto type = static_cast<MsgType>(r.u8());
+    if (type != expect)
+        protocolError("unexpected response type " +
+                      std::to_string(int(type)));
+    return CompileResponse::decode(r, static_cast<uint8_t>(type));
+}
+
+CompileResponse
+Client::compile(const CompileRequest &req)
+{
+    return roundTrip(req.encode(), MsgType::CompileResp);
+}
+
+CompileResponse
+Client::swap(const SwapRequest &req)
+{
+    return roundTrip(req.encode(), MsgType::SwapResp);
+}
+
+std::string
+Client::stats()
+{
+    if (fd_ < 0)
+        protocolError("not connected");
+    ByteWriter w;
+    w.u8(static_cast<uint8_t>(MsgType::StatsReq));
+    writeFrame(fd_, w.take());
+    std::vector<uint8_t> payload;
+    if (!readFrame(fd_, &payload))
+        protocolError("daemon hung up before responding");
+    ByteReader r(payload);
+    if (static_cast<MsgType>(r.u8()) != MsgType::StatsResp)
+        protocolError("unexpected stats response");
+    return r.str();
+}
+
+bool
+Client::shutdownDaemon()
+{
+    if (fd_ < 0)
+        return false;
+    ByteWriter w;
+    w.u8(static_cast<uint8_t>(MsgType::ShutdownReq));
+    try {
+        writeFrame(fd_, w.take());
+        std::vector<uint8_t> payload;
+        if (!readFrame(fd_, &payload))
+            return false;
+        ByteReader r(payload);
+        return static_cast<MsgType>(r.u8()) == MsgType::ShutdownAck;
+    } catch (const CompileError &) {
+        return false;
+    }
+}
+
+void
+Client::submitOnly(const CompileRequest &req)
+{
+    if (fd_ < 0)
+        protocolError("not connected");
+    writeFrame(fd_, req.encode());
+}
+
+} // namespace svc
+} // namespace pld

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Thin synchronous client for the compile daemon: one AF_UNIX
+ * connection, one outstanding request at a time. `pldc` and the
+ * service tests are the users; anything richer (pipelining, async)
+ * belongs above this layer.
+ */
+
+#ifndef PLD_SVC_CLIENT_H
+#define PLD_SVC_CLIENT_H
+
+#include <string>
+
+#include "svc/wire.h"
+
+namespace pld {
+namespace svc {
+
+class Client
+{
+  public:
+    explicit Client(std::string socket_path);
+    ~Client();
+
+    Client(const Client &) = delete;
+    Client &operator=(const Client &) = delete;
+
+    /** Connect to the daemon; false when it is not listening. */
+    bool connect();
+    bool connected() const { return fd_ >= 0; }
+    void close();
+
+    /** Round-trip a compile / swap. Throws CompileError on protocol
+     * or transport failure (a Rejected/Failed *response* is returned
+     * normally — it is an answer, not a transport error). */
+    CompileResponse compile(const CompileRequest &req);
+    CompileResponse swap(const SwapRequest &req);
+
+    std::string stats();
+    /** Ask the daemon to exit; true when it acked. */
+    bool shutdownDaemon();
+
+    /** Fire a compile request WITHOUT reading the response — the
+     * kill-the-client regression test hangs up right after this and
+     * asserts the daemon still completes and publishes the build. */
+    void submitOnly(const CompileRequest &req);
+
+  private:
+    CompileResponse roundTrip(const std::vector<uint8_t> &frame,
+                              MsgType expect);
+
+    std::string path_;
+    int fd_ = -1;
+};
+
+} // namespace svc
+} // namespace pld
+
+#endif // PLD_SVC_CLIENT_H

@@ -1,0 +1,326 @@
+#include "svc/store.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "common/hash.h"
+#include "common/logging.h"
+#include "obs/trace.h"
+
+namespace fs = std::filesystem;
+
+namespace pld {
+namespace svc {
+
+namespace {
+
+constexpr uint32_t kStoreMagic = 0x504C4453; // "PLDS"
+constexpr uint32_t kStoreVersion = 1;
+constexpr size_t kHeaderBytes = 4 + 4 + 8 + 8 + 8;
+
+std::string
+keyHex(uint64_t key)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(key));
+    return buf;
+}
+
+uint64_t
+payloadChecksum(const std::vector<uint8_t> &payload)
+{
+    Hasher h;
+    h.bytes(payload.data(), payload.size());
+    return h.digest();
+}
+
+void
+putLe32(uint8_t *p, uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        p[i] = static_cast<uint8_t>(v >> (8 * i));
+}
+
+void
+putLe64(uint8_t *p, uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        p[i] = static_cast<uint8_t>(v >> (8 * i));
+}
+
+uint32_t
+getLe32(const uint8_t *p)
+{
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= static_cast<uint32_t>(p[i]) << (8 * i);
+    return v;
+}
+
+uint64_t
+getLe64(const uint8_t *p)
+{
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<uint64_t>(p[i]) << (8 * i);
+    return v;
+}
+
+} // namespace
+
+ArtifactStore::ArtifactStore(std::string dir, uint64_t budget_bytes)
+    : dir_(std::move(dir)), budget_(budget_bytes)
+{
+    std::error_code ec;
+    fs::create_directories(dir_, ec);
+    if (ec)
+        pld_fatal("artifact store: cannot create %s: %s",
+                  dir_.c_str(), ec.message().c_str());
+    std::lock_guard<std::mutex> lk(mtx_);
+    loadIndexLocked();
+}
+
+ArtifactStore::~ArtifactStore()
+{
+    std::lock_guard<std::mutex> lk(mtx_);
+    persistIndexLocked();
+}
+
+std::string
+ArtifactStore::entryPath(uint64_t key) const
+{
+    return dir_ + "/" + keyHex(key) + ".art";
+}
+
+void
+ArtifactStore::loadIndexLocked()
+{
+    // 1. Scan entry files for existence and payload size.
+    for (const auto &de : fs::directory_iterator(dir_)) {
+        if (!de.is_regular_file() ||
+            de.path().extension() != ".art")
+            continue;
+        std::ifstream f(de.path(), std::ios::binary);
+        uint8_t hdr[kHeaderBytes];
+        if (!f.read(reinterpret_cast<char *>(hdr), kHeaderBytes))
+            continue; // torn header: ignored; get() will miss it
+        if (getLe32(hdr) != kStoreMagic ||
+            getLe32(hdr + 4) != kStoreVersion)
+            continue;
+        uint64_t key = getLe64(hdr + 8);
+        Entry e;
+        e.size = getLe64(hdr + 16);
+        entries_[key] = e; // seq 0: oldest until the index says more
+        bytes_ += e.size;
+    }
+
+    // 2. Recency from the persisted index; unknown keys keep seq 0
+    //    and therefore rank oldest, ordered among themselves by key
+    //    (std::map iteration order — deterministic).
+    std::ifstream idx(dir_ + "/lru.txt");
+    std::string hex;
+    uint64_t seq;
+    while (idx >> hex >> seq) {
+        uint64_t key = std::strtoull(hex.c_str(), nullptr, 16);
+        auto it = entries_.find(key);
+        if (it != entries_.end()) {
+            it->second.seq = seq;
+            seqCounter_ = std::max(seqCounter_, seq);
+        }
+    }
+}
+
+void
+ArtifactStore::persistIndexLocked() const
+{
+    std::string tmp = dir_ + "/lru.txt.tmp";
+    {
+        std::ofstream f(tmp, std::ios::trunc);
+        for (const auto &[key, e] : entries_)
+            f << keyHex(key) << " " << e.seq << "\n";
+    }
+    std::error_code ec;
+    fs::rename(tmp, dir_ + "/lru.txt", ec);
+}
+
+std::optional<std::vector<uint8_t>>
+ArtifactStore::get(uint64_t key)
+{
+    std::lock_guard<std::mutex> lk(mtx_);
+    auto it = entries_.find(key);
+    if (it == entries_.end()) {
+        ++stats_.misses;
+        obs::count("svc.store.misses");
+        return std::nullopt;
+    }
+
+    auto evict = [&](const char *why) {
+        std::error_code ec;
+        fs::remove(entryPath(key), ec);
+        bytes_ -= it->second.size;
+        entries_.erase(it);
+        ++stats_.corrupt;
+        ++stats_.misses;
+        obs::count("svc.store.corrupt");
+        obs::count("svc.store.misses");
+        persistIndexLocked();
+        pld_warn("artifact store: entry %s %s; evicted for "
+                 "recompile",
+                 keyHex(key).c_str(), why);
+    };
+
+    std::ifstream f(entryPath(key), std::ios::binary);
+    uint8_t hdr[kHeaderBytes];
+    if (!f.read(reinterpret_cast<char *>(hdr), kHeaderBytes)) {
+        evict("lost its header");
+        return std::nullopt;
+    }
+    if (getLe32(hdr) != kStoreMagic ||
+        getLe32(hdr + 4) != kStoreVersion ||
+        getLe64(hdr + 8) != key) {
+        evict("has a corrupt header");
+        return std::nullopt;
+    }
+    uint64_t size = getLe64(hdr + 16);
+    uint64_t sum = getLe64(hdr + 24);
+    std::vector<uint8_t> payload(static_cast<size_t>(size));
+    if (size > 0 &&
+        !f.read(reinterpret_cast<char *>(payload.data()),
+                static_cast<std::streamsize>(size))) {
+        evict("is truncated");
+        return std::nullopt;
+    }
+    if (payloadChecksum(payload) != sum) {
+        evict("failed its checksum");
+        return std::nullopt;
+    }
+
+    it->second.seq = ++seqCounter_;
+    persistIndexLocked();
+    ++stats_.hits;
+    obs::count("svc.store.hits");
+    return payload;
+}
+
+void
+ArtifactStore::evictForLocked(uint64_t incoming_bytes)
+{
+    while (bytes_ + incoming_bytes > budget_ && !entries_.empty()) {
+        auto victim = entries_.end();
+        for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+            if (victim == entries_.end() ||
+                it->second.seq < victim->second.seq)
+                victim = it;
+        }
+        std::error_code ec;
+        fs::remove(entryPath(victim->first), ec);
+        bytes_ -= victim->second.size;
+        entries_.erase(victim);
+        ++stats_.evictions;
+        obs::count("svc.store.evictions");
+    }
+}
+
+void
+ArtifactStore::put(uint64_t key, const std::vector<uint8_t> &payload)
+{
+    std::lock_guard<std::mutex> lk(mtx_);
+    if (payload.size() > budget_) {
+        ++stats_.oversize;
+        obs::count("svc.store.oversize");
+        pld_warn("artifact store: payload of %zu bytes exceeds the "
+                 "whole %llu-byte budget; not stored",
+                 payload.size(),
+                 static_cast<unsigned long long>(budget_));
+        return;
+    }
+
+    // Overwrite = remove then insert (budget math stays simple).
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+        bytes_ -= it->second.size;
+        entries_.erase(it);
+    }
+    evictForLocked(payload.size());
+
+    std::string tmp = entryPath(key) + ".tmp";
+    {
+        std::ofstream f(tmp, std::ios::binary | std::ios::trunc);
+        uint8_t hdr[kHeaderBytes];
+        putLe32(hdr, kStoreMagic);
+        putLe32(hdr + 4, kStoreVersion);
+        putLe64(hdr + 8, key);
+        putLe64(hdr + 16, payload.size());
+        putLe64(hdr + 24, payloadChecksum(payload));
+        f.write(reinterpret_cast<const char *>(hdr), kHeaderBytes);
+        if (!payload.empty())
+            f.write(reinterpret_cast<const char *>(payload.data()),
+                    static_cast<std::streamsize>(payload.size()));
+        if (!f) {
+            pld_warn("artifact store: write of %s failed; entry "
+                     "not stored",
+                     tmp.c_str());
+            std::error_code ec;
+            fs::remove(tmp, ec);
+            return;
+        }
+    }
+    std::error_code ec;
+    fs::rename(tmp, entryPath(key), ec);
+    if (ec) {
+        pld_warn("artifact store: rename of %s failed: %s",
+                 tmp.c_str(), ec.message().c_str());
+        fs::remove(tmp, ec);
+        return;
+    }
+
+    Entry e;
+    e.size = payload.size();
+    e.seq = ++seqCounter_;
+    entries_[key] = e;
+    bytes_ += e.size;
+    ++stats_.puts;
+    obs::count("svc.store.puts");
+    persistIndexLocked();
+}
+
+bool
+ArtifactStore::contains(uint64_t key) const
+{
+    std::lock_guard<std::mutex> lk(mtx_);
+    return entries_.count(key) != 0;
+}
+
+uint64_t
+ArtifactStore::bytesStored() const
+{
+    std::lock_guard<std::mutex> lk(mtx_);
+    return bytes_;
+}
+
+size_t
+ArtifactStore::entryCount() const
+{
+    std::lock_guard<std::mutex> lk(mtx_);
+    return entries_.size();
+}
+
+std::vector<uint64_t>
+ArtifactStore::keysByRecency() const
+{
+    std::lock_guard<std::mutex> lk(mtx_);
+    std::vector<std::pair<uint64_t, uint64_t>> order; // (seq, key)
+    for (const auto &[key, e] : entries_)
+        order.emplace_back(e.seq, key);
+    std::sort(order.begin(), order.end());
+    std::vector<uint64_t> keys;
+    for (const auto &[seq, key] : order)
+        keys.push_back(key);
+    return keys;
+}
+
+} // namespace svc
+} // namespace pld

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * The persistent, content-addressed artifact store behind the
+ * compile service.
+ *
+ * The in-memory sharded cache from PRs 1–2 dies with the process; a
+ * daemon that serves millions of incremental edits needs artifacts
+ * that survive restarts. The ArtifactStore keeps one file per entry
+ * under a directory:
+ *
+ *   <dir>/<16-hex-key>.art :
+ *     magic "PLDS" | version | key | payload size | FNV-64 checksum
+ *     | payload
+ *
+ * plus a tiny recency index (<dir>/lru.txt) persisted on every
+ * mutation, so least-recently-used eviction order survives restarts
+ * too. Properties the tests pin down:
+ *
+ *  - content addressing: get(k) returns exactly what put(k) stored;
+ *  - checksums: a bit-flipped entry is detected on get, evicted, and
+ *    reported — the caller recompiles exactly once and the next get
+ *    hits again (never a corrupt artifact served);
+ *  - LRU eviction by byte budget: put evicts least-recently-*used*
+ *    entries (gets refresh recency) until the new entry fits; an
+ *    entry larger than the whole budget is not stored at all;
+ *  - cross-run reuse: a second ArtifactStore on the same directory
+ *    serves hits for everything a first instance stored;
+ *  - thread safety: concurrent get/put from any number of threads
+ *    (one internal mutex; payload I/O is small and compile-bound).
+ *
+ * One daemon per store directory: the store does not lock against
+ * other *processes* (documented in DESIGN.md §14).
+ */
+
+#ifndef PLD_SVC_STORE_H
+#define PLD_SVC_STORE_H
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace pld {
+namespace svc {
+
+/** Store effectiveness counters (atomic; see flow::CacheStats). */
+struct StoreStats
+{
+    std::atomic<uint64_t> hits{0};
+    std::atomic<uint64_t> misses{0};
+    std::atomic<uint64_t> puts{0};
+    /** Checksum-mismatch evictions (detected on get). */
+    std::atomic<uint64_t> corrupt{0};
+    /** Entries evicted to make room under the byte budget. */
+    std::atomic<uint64_t> evictions{0};
+    /** Payloads larger than the whole budget, never stored. */
+    std::atomic<uint64_t> oversize{0};
+};
+
+class ArtifactStore
+{
+  public:
+    /**
+     * Open (creating if needed) the store at @p dir with an LRU byte
+     * budget of @p budget_bytes over entry payloads. Scans existing
+     * entries and loads the recency index; entries missing from the
+     * index rank oldest, in key order.
+     */
+    ArtifactStore(std::string dir, uint64_t budget_bytes);
+    ~ArtifactStore();
+
+    ArtifactStore(const ArtifactStore &) = delete;
+    ArtifactStore &operator=(const ArtifactStore &) = delete;
+
+    /**
+     * Fetch the payload stored under @p key, refreshing its recency.
+     * Returns nullopt on a miss — including when the entry exists
+     * but fails its checksum, in which case it is deleted and
+     * counted corrupt so the caller's recompile-and-put makes the
+     * next get hit again.
+     */
+    std::optional<std::vector<uint8_t>> get(uint64_t key);
+
+    /**
+     * Store @p payload under @p key (overwriting any previous
+     * entry), evicting least-recently-used entries until the budget
+     * holds. Writes to a temp file and renames, so a crash mid-put
+     * leaves the previous entry (or no entry), never a torn one.
+     */
+    void put(uint64_t key, const std::vector<uint8_t> &payload);
+
+    /** Entry present without touching recency or stats (tests). */
+    bool contains(uint64_t key) const;
+
+    /** Total payload bytes currently stored. */
+    uint64_t bytesStored() const;
+    size_t entryCount() const;
+
+    /** Keys ordered least- to most-recently used (tests). */
+    std::vector<uint64_t> keysByRecency() const;
+
+    const StoreStats &stats() const { return stats_; }
+    const std::string &dir() const { return dir_; }
+    uint64_t budgetBytes() const { return budget_; }
+
+    /** Path of @p key's entry file (tests corrupt entries with it). */
+    std::string entryPath(uint64_t key) const;
+
+  private:
+    struct Entry
+    {
+        uint64_t size = 0; ///< payload bytes
+        uint64_t seq = 0;  ///< recency (higher = more recent)
+    };
+
+    void loadIndexLocked();
+    void persistIndexLocked() const;
+    void evictForLocked(uint64_t incoming_bytes);
+
+    std::string dir_;
+    uint64_t budget_;
+    mutable std::mutex mtx_;
+    std::map<uint64_t, Entry> entries_;
+    uint64_t bytes_ = 0;
+    uint64_t seqCounter_ = 0;
+    StoreStats stats_;
+};
+
+} // namespace svc
+} // namespace pld
+
+#endif // PLD_SVC_STORE_H

@@ -1,0 +1,283 @@
+/**
+ * @file
+ * Wire format of the compile service: length-prefixed frames, a
+ * binary byte codec, the graph-text container, and the canonical
+ * build-artifact encoding.
+ *
+ * The daemon (`pldd`) and its clients (`pldc`, tests) exchange
+ * frames over a local AF_UNIX stream socket: a little-endian u32
+ * payload length followed by the payload, whose first byte is the
+ * message type. Everything inside a payload goes through ByteWriter/
+ * ByteReader so the format is explicit and versioned, never
+ * struct-memcpy'd.
+ *
+ * Two encodings matter beyond the envelope:
+ *
+ *  - the *graph text* container: app topology plus per-operator
+ *    ir::printOperator() bodies, the request's portable source form
+ *    (what an edit-refine client sends every iteration);
+ *  - the *BuildArtifact* blob: the canonical, deterministic
+ *    serialization of a compile result. It contains only fields that
+ *    are pure functions of (graph, options) — so a daemon-built blob
+ *    is bit-identical to a
+ *    direct-library-build blob at any PLD_THREADS, and the on-disk
+ *    store can be validated byte-for-byte against a fresh compile.
+ *    Timings and cache provenance never enter the blob.
+ */
+
+#ifndef PLD_SVC_WIRE_H
+#define PLD_SVC_WIRE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/diag.h"
+#include "ir/graph.h"
+#include "pld/compiler.h"
+#include "sys/system.h"
+
+namespace pld {
+namespace svc {
+
+// ---- byte codec --------------------------------------------------
+
+/** Append-only little-endian encoder. */
+class ByteWriter
+{
+  public:
+    void u8(uint8_t v) { buf.push_back(v); }
+    void u32(uint32_t v);
+    void u64(uint64_t v);
+    void i32(int32_t v) { u32(static_cast<uint32_t>(v)); }
+    void i64(int64_t v) { u64(static_cast<uint64_t>(v)); }
+    /** IEEE-754 bit pattern (deterministic, no text round-trip). */
+    void f64(double v);
+    void str(const std::string &s);
+    void bytes(const std::vector<uint8_t> &b);
+
+    const std::vector<uint8_t> &data() const { return buf; }
+    std::vector<uint8_t> take() { return std::move(buf); }
+
+  private:
+    std::vector<uint8_t> buf;
+};
+
+/**
+ * Bounds-checked decoder. Truncated or oversized reads throw
+ * CompileError (stage Cache, code CacheCorrupt) instead of reading
+ * garbage — a daemon must survive any byte stream a client or a
+ * damaged store entry hands it.
+ */
+class ByteReader
+{
+  public:
+    ByteReader(const uint8_t *data, size_t size)
+        : p(data), n(size)
+    {
+    }
+    explicit ByteReader(const std::vector<uint8_t> &b)
+        : ByteReader(b.data(), b.size())
+    {
+    }
+
+    uint8_t u8();
+    uint32_t u32();
+    uint64_t u64();
+    int32_t i32() { return static_cast<int32_t>(u32()); }
+    int64_t i64() { return static_cast<int64_t>(u64()); }
+    double f64();
+    std::string str();
+    std::vector<uint8_t> bytes();
+
+    size_t remaining() const { return n - off; }
+    bool done() const { return off == n; }
+
+  private:
+    [[noreturn]] void fail(const std::string &what) const;
+    const uint8_t *p;
+    size_t n;
+    size_t off = 0;
+};
+
+// ---- graph text container ---------------------------------------
+
+/**
+ * Serialize a graph (topology + operator bodies + pragmas) to the
+ * .pld text container:
+ *
+ *   pldapp <name>
+ *   extin <stream>            (one per external input)
+ *   extout <stream>           (one per external output)
+ *   op <instName> <numLines>  (then numLines of printOperator text)
+ *   link <srcOp> <srcPort> <dstOp> <dstPort> <depth>
+ *   end
+ */
+std::string encodeGraphText(const ir::Graph &g);
+
+/**
+ * Parse a .pld container. The container framing is validated with
+ * structured errors (CompileError, stage Link); operator bodies are
+ * handed to ir::parseOperator, which fatal()s on malformed input —
+ * the daemon trusts its local clients exactly as far as the CLI
+ * trusts its own process (see DESIGN.md §14 on the trust boundary).
+ */
+ir::Graph decodeGraphText(const std::string &text);
+
+// ---- canonical build artifact ------------------------------------
+
+/** Deterministic per-operator compile summary. */
+struct OpSummary
+{
+    std::string name;
+    uint64_t irHash = 0;
+    uint8_t target = 0;       ///< ir::Target
+    int32_t page = -1;
+    uint8_t softcoreTier = 0; ///< rvgen::Tier actually built
+    uint8_t finalCode = 0;    ///< CompileCode
+    bool degraded = false;
+    bool failed = false;
+};
+
+/**
+ * The service-level compile artifact: everything a client needs to
+ * run the app (bindings, images, fallbacks) plus the deterministic
+ * outcome summary — and nothing scheduling- or cache-dependent, so
+ * encode() is bit-identical for any thread count and for warm vs
+ * cold caches.
+ */
+struct BuildArtifact
+{
+    uint8_t level = 0; ///< flow::OptLevel
+    double fmaxMHz = 0;
+    int32_t pagesUsed = 0;
+    uint64_t totalBitstreamBytes = 0;
+    bool useNoc = true;
+    std::vector<OpSummary> ops;
+    std::vector<sys::PageBinding> bindings;
+
+    static BuildArtifact fromAppBuild(const flow::AppBuild &b);
+
+    /**
+     * Skeleton AppBuild sufficient to serve as the `base` of
+     * PldCompiler::buildSwapArtifact: per-op irHash + page bindings +
+     * level + sysCfg. Lets a warm-restarted daemon accept swap
+     * requests against builds it served from the on-disk store.
+     */
+    flow::AppBuild toSkeletonAppBuild() const;
+
+    std::vector<uint8_t> encode() const;
+    /** Throws CompileError on malformed/truncated input. */
+    static BuildArtifact decode(const std::vector<uint8_t> &blob);
+};
+
+/** Canonical swap-artifact blob (binding + metadata, no provenance). */
+struct SwapBlob
+{
+    std::string op;
+    bool fnChanged = false;
+    sys::PageBinding binding;
+
+    std::vector<uint8_t> encode() const;
+    static SwapBlob decode(const std::vector<uint8_t> &blob);
+};
+
+// ---- message envelope --------------------------------------------
+
+enum class MsgType : uint8_t
+{
+    CompileReq = 1,
+    CompileResp = 2,
+    SwapReq = 3,
+    SwapResp = 4,
+    StatsReq = 5,
+    StatsResp = 6,
+    ShutdownReq = 7,
+    ShutdownAck = 8,
+};
+
+/** Hard cap on one frame (softcore images are tens of KB; a whole
+ * response with every binding stays far below this). */
+constexpr uint32_t kMaxFrameBytes = 256u << 20;
+
+/**
+ * Blocking framed I/O on a stream fd. readFrame returns false on a
+ * clean EOF at a frame boundary; throws CompileError on a short
+ * frame, an oversized length, or an I/O error. writeFrame throws on
+ * error (EPIPE after a client died surfaces here; the daemon treats
+ * it as an abandoned response, never a crash).
+ */
+bool readFrame(int fd, std::vector<uint8_t> *payload);
+void writeFrame(int fd, const std::vector<uint8_t> &payload);
+
+/** Per-request compile options (the wire subset of CompileOptions). */
+struct RequestOptions
+{
+    uint8_t level = 1; ///< flow::OptLevel, default O1
+    uint64_t seed = 1;
+    double effort = 1.0;
+    uint32_t parallelJobs = 0;
+    uint8_t softcoreTier = 1; ///< rvgen::Tier, default Os
+    /** PLD_FAULT-grammar plan applied to this request only. */
+    std::string faultSpec;
+    /** Daemon-side path for a per-request Chrome trace (debug). */
+    std::string traceFile;
+
+    void encodeInto(ByteWriter &w) const;
+    static RequestOptions decodeFrom(ByteReader &r);
+};
+
+struct CompileRequest
+{
+    RequestOptions opts;
+    std::string graphText;
+
+    std::vector<uint8_t> encode() const;
+    static CompileRequest decode(ByteReader &r);
+};
+
+struct SwapRequest
+{
+    RequestOptions opts;
+    uint64_t baseBuild = 0; ///< buildId from a CompileResponse
+    std::string opName;
+    std::string graphText; ///< the edited graph
+
+    std::vector<uint8_t> encode() const;
+    static SwapRequest decode(ByteReader &r);
+};
+
+enum class RespStatus : uint8_t
+{
+    Ok = 0,
+    /** Admission control refused the request (bounded queue full). */
+    Rejected = 1,
+    /** The compile ran but failed (diagnostics carry the story). */
+    Failed = 2,
+};
+
+/** Response to CompileReq and SwapReq (blob meaning differs). */
+struct CompileResponse
+{
+    uint8_t msgType = static_cast<uint8_t>(MsgType::CompileResp);
+    RespStatus status = RespStatus::Ok;
+    /** Request key == build id (compile) / swap key (swap). */
+    uint64_t key = 0;
+    bool storeHit = false;
+    bool coalesced = false;
+    double seconds = 0;
+    CompileStatus diags;
+    std::vector<uint8_t> blob;
+
+    std::vector<uint8_t> encode() const;
+    static CompileResponse decode(ByteReader &r, uint8_t msg_type);
+};
+
+/** Encode/decode a CompileStatus (diagnostics list). */
+void encodeDiags(ByteWriter &w, const CompileStatus &st);
+CompileStatus decodeDiags(ByteReader &r);
+
+} // namespace svc
+} // namespace pld
+
+#endif // PLD_SVC_WIRE_H

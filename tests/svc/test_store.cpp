@@ -1,0 +1,274 @@
+/**
+ * @file
+ * ArtifactStore unit tests: content-address round-trips, LRU
+ * eviction under a byte budget, corrupt-entry detection with
+ * recompile-once semantics, cross-run reuse through a second store
+ * instance on the same directory, and concurrent readers/writers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <thread>
+
+#include "svc/store.h"
+
+using namespace pld;
+using namespace pld::svc;
+namespace fs = std::filesystem;
+
+namespace {
+
+std::vector<uint8_t>
+payloadFor(uint64_t key, size_t size)
+{
+    std::vector<uint8_t> p(size);
+    for (size_t i = 0; i < size; ++i)
+        p[i] = static_cast<uint8_t>((key * 31 + i * 7) & 0xff);
+    return p;
+}
+
+class StoreTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        char tmpl[] = "/tmp/pld_store_test_XXXXXX";
+        ASSERT_NE(::mkdtemp(tmpl), nullptr);
+        dir = tmpl;
+    }
+
+    void
+    TearDown() override
+    {
+        std::error_code ec;
+        fs::remove_all(dir, ec);
+    }
+
+    std::string dir;
+};
+
+TEST_F(StoreTest, RoundTripExactBytes)
+{
+    ArtifactStore store(dir, 1 << 20);
+    auto p = payloadFor(42, 1000);
+    store.put(42, p);
+    auto got = store.get(42);
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(*got, p);
+    EXPECT_EQ(store.stats().hits.load(), 1u);
+    EXPECT_EQ(store.stats().misses.load(), 0u);
+    EXPECT_EQ(store.bytesStored(), 1000u);
+
+    EXPECT_FALSE(store.get(43).has_value());
+    EXPECT_EQ(store.stats().misses.load(), 1u);
+}
+
+TEST_F(StoreTest, OverwriteReplacesPayload)
+{
+    ArtifactStore store(dir, 1 << 20);
+    store.put(7, payloadFor(7, 100));
+    store.put(7, payloadFor(8, 200));
+    auto got = store.get(7);
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(*got, payloadFor(8, 200));
+    EXPECT_EQ(store.entryCount(), 1u);
+    EXPECT_EQ(store.bytesStored(), 200u);
+}
+
+TEST_F(StoreTest, LruEvictionByByteBudgetRefreshedByGets)
+{
+    // Budget fits exactly three 100-byte entries.
+    ArtifactStore store(dir, 300);
+    store.put(1, payloadFor(1, 100));
+    store.put(2, payloadFor(2, 100));
+    store.put(3, payloadFor(3, 100));
+    EXPECT_EQ(store.entryCount(), 3u);
+
+    // Refresh 1: the least-recently-USED entry is now 2, not 1.
+    ASSERT_TRUE(store.get(1).has_value());
+    store.put(4, payloadFor(4, 100));
+
+    EXPECT_FALSE(store.contains(2)) << "LRU victim must be the "
+                                       "least-recently-used entry";
+    EXPECT_TRUE(store.contains(1));
+    EXPECT_TRUE(store.contains(3));
+    EXPECT_TRUE(store.contains(4));
+    EXPECT_EQ(store.stats().evictions.load(), 1u);
+    EXPECT_EQ(store.bytesStored(), 300u);
+
+    // A large put evicts as many victims as it takes: fitting 250
+    // bytes under the 300-byte budget means all three residents go.
+    store.put(5, payloadFor(5, 250));
+    EXPECT_TRUE(store.contains(5));
+    EXPECT_EQ(store.bytesStored(), 250u);
+    EXPECT_EQ(store.stats().evictions.load(), 4u);
+}
+
+TEST_F(StoreTest, OversizePayloadNeverStored)
+{
+    ArtifactStore store(dir, 100);
+    store.put(1, payloadFor(1, 101));
+    EXPECT_FALSE(store.contains(1));
+    EXPECT_EQ(store.stats().oversize.load(), 1u);
+    EXPECT_EQ(store.entryCount(), 0u);
+}
+
+TEST_F(StoreTest, CorruptEntryDetectedEvictedRecompiledOnce)
+{
+    ArtifactStore store(dir, 1 << 20);
+    auto p = payloadFor(99, 500);
+    store.put(99, p);
+
+    // Flip one payload bit on disk behind the store's back.
+    {
+        std::fstream f(store.entryPath(99),
+                       std::ios::in | std::ios::out |
+                           std::ios::binary);
+        ASSERT_TRUE(f.is_open());
+        f.seekg(0, std::ios::end);
+        auto end = f.tellg();
+        f.seekp(static_cast<std::streamoff>(end) - 10);
+        char c;
+        f.seekg(static_cast<std::streamoff>(end) - 10);
+        f.read(&c, 1);
+        c = static_cast<char>(c ^ 0x40);
+        f.seekp(static_cast<std::streamoff>(end) - 10);
+        f.write(&c, 1);
+    }
+
+    // The corrupt entry is never served: get misses, evicts, counts.
+    EXPECT_FALSE(store.get(99).has_value());
+    EXPECT_EQ(store.stats().corrupt.load(), 1u);
+    EXPECT_FALSE(store.contains(99));
+
+    // "Recompile" (put) exactly once; the next get hits again.
+    store.put(99, p);
+    auto got = store.get(99);
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(*got, p);
+    EXPECT_EQ(store.stats().corrupt.load(), 1u)
+        << "one corruption, one recompile — not a corrupt-loop";
+}
+
+TEST_F(StoreTest, CorruptHeaderAlsoEvicted)
+{
+    ArtifactStore store(dir, 1 << 20);
+    store.put(5, payloadFor(5, 64));
+    {
+        std::ofstream f(store.entryPath(5),
+                        std::ios::binary | std::ios::trunc);
+        f << "not a store entry";
+    }
+    EXPECT_FALSE(store.get(5).has_value());
+    EXPECT_EQ(store.stats().corrupt.load(), 1u);
+    EXPECT_FALSE(store.contains(5));
+}
+
+TEST_F(StoreTest, CrossRunReuseViaSecondInstance)
+{
+    auto p1 = payloadFor(1, 300);
+    auto p2 = payloadFor(2, 400);
+    {
+        ArtifactStore first(dir, 1 << 20);
+        first.put(1, p1);
+        first.put(2, p2);
+    } // destructor persists the index
+
+    ArtifactStore second(dir, 1 << 20);
+    EXPECT_EQ(second.entryCount(), 2u);
+    EXPECT_EQ(second.bytesStored(), 700u);
+    auto g1 = second.get(1);
+    auto g2 = second.get(2);
+    ASSERT_TRUE(g1.has_value());
+    ASSERT_TRUE(g2.has_value());
+    EXPECT_EQ(*g1, p1);
+    EXPECT_EQ(*g2, p2);
+    EXPECT_EQ(second.stats().hits.load(), 2u);
+}
+
+TEST_F(StoreTest, LruOrderSurvivesRestart)
+{
+    {
+        ArtifactStore first(dir, 300);
+        first.put(1, payloadFor(1, 100));
+        first.put(2, payloadFor(2, 100));
+        first.put(3, payloadFor(3, 100));
+        ASSERT_TRUE(first.get(1).has_value()); // 2 is now LRU
+    }
+    ArtifactStore second(dir, 300);
+    EXPECT_EQ(second.keysByRecency().front(), 2u)
+        << "recency must survive the restart";
+    second.put(4, payloadFor(4, 100));
+    EXPECT_FALSE(second.contains(2));
+    EXPECT_TRUE(second.contains(1));
+}
+
+TEST_F(StoreTest, MissingIndexRanksUnknownEntriesOldest)
+{
+    {
+        ArtifactStore first(dir, 1 << 20);
+        first.put(10, payloadFor(10, 100));
+        first.put(20, payloadFor(20, 100));
+    }
+    fs::remove(dir + "/lru.txt");
+    ArtifactStore second(dir, 1 << 20);
+    EXPECT_EQ(second.entryCount(), 2u);
+    // Both unknown to the index: ordered among themselves by key.
+    auto order = second.keysByRecency();
+    ASSERT_EQ(order.size(), 2u);
+    EXPECT_EQ(order[0], 10u);
+    EXPECT_EQ(order[1], 20u);
+}
+
+/** Concurrent readers and writers at a given thread count: every
+ * get that returns must return exactly the content-addressed bytes,
+ * and hits + misses must equal the number of gets. */
+void
+hammerStore(const std::string &dir, int threads)
+{
+    ArtifactStore store(dir, 1 << 20);
+    constexpr int kKeys = 16;
+    constexpr int kItersPerThread = 200;
+    std::atomic<uint64_t> gets{0};
+
+    std::vector<std::thread> pool;
+    for (int t = 0; t < threads; ++t) {
+        pool.emplace_back([&, t] {
+            for (int i = 0; i < kItersPerThread; ++i) {
+                uint64_t key =
+                    static_cast<uint64_t>((t * 31 + i) % kKeys);
+                if ((t + i) % 3 == 0) {
+                    store.put(key, payloadFor(key, 64 + key));
+                } else {
+                    ++gets;
+                    auto got = store.get(key);
+                    if (got.has_value()) {
+                        ASSERT_EQ(*got, payloadFor(key, 64 + key))
+                            << "stale or torn payload for key "
+                            << key;
+                    }
+                }
+            }
+        });
+    }
+    for (auto &t : pool)
+        t.join();
+
+    EXPECT_EQ(store.stats().hits.load() + store.stats().misses.load(),
+              gets.load());
+    EXPECT_EQ(store.stats().corrupt.load(), 0u);
+}
+
+TEST_F(StoreTest, ConcurrentAccessSingleThread) { hammerStore(dir, 1); }
+
+TEST_F(StoreTest, ConcurrentAccessEightThreads)
+{
+    hammerStore(dir, 8);
+}
+
+} // namespace

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Seeded random interleaving of compile / swap / evict-pressure
+ * requests against one CompileService, asserting the store and
+ * accounting invariants the daemon's correctness rests on:
+ *
+ *  - no checksum-mismatched artifact is ever served: every Ok
+ *    compile response is bit-identical to the canonical direct-build
+ *    blob for its graph, even while entries are being evicted by a
+ *    tiny byte budget and corrupted behind the store's back;
+ *  - every request is classified exactly once:
+ *      submitted == rejected + coalesced + storeHits + storeMisses.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <random>
+#include <thread>
+
+#include "fabric/device.h"
+#include "ir/builder.h"
+#include "svc/service.h"
+
+using namespace pld;
+using namespace pld::svc;
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr ir::Type kFx = ir::Type::fx(32, 17);
+
+ir::Graph
+makePipeline(double factor)
+{
+    ir::OpBuilder s("scale");
+    auto sin = s.input("Input_1");
+    auto sout = s.output("mid");
+    auto sx = s.var("x", kFx);
+    s.pragma(ir::Target::HW);
+    s.forLoop(0, 16, [&](ir::Ex) {
+        s.set(sx, s.read(sin).bitcast(kFx));
+        s.write(sout, (ir::Ex(sx) * ir::litF(factor, kFx)).cast(kFx));
+    });
+
+    ir::OpBuilder o("offset");
+    auto oin = o.input("mid");
+    auto oout = o.output("Output_1");
+    auto ox = o.var("x", kFx);
+    o.pragma(ir::Target::HW);
+    o.forLoop(0, 16, [&](ir::Ex) {
+        o.set(ox, o.read(oin).bitcast(kFx));
+        o.write(oout, (ir::Ex(ox) + ir::litF(-2.0, kFx)).cast(kFx));
+    });
+
+    ir::GraphBuilder gb("svc_app");
+    auto in = gb.extIn("Input_1");
+    auto out = gb.extOut("Output_1");
+    auto mid = gb.wire();
+    gb.inst(s.finish(), {in}, {mid});
+    gb.inst(o.finish(), {mid}, {out});
+    return gb.finish();
+}
+
+TEST(SvcStress, RandomInterleavingHoldsStoreInvariants)
+{
+    char tmpl[] = "/tmp/pld_svc_stress_XXXXXX";
+    ASSERT_NE(::mkdtemp(tmpl), nullptr);
+    std::string dir = tmpl;
+
+    fabric::Device dev = fabric::makeU50();
+
+    // Canonical expected blob per graph variant, from direct
+    // single-threaded library builds.
+    constexpr int kVariants = 4;
+    std::vector<CompileRequest> reqs(kVariants);
+    std::vector<std::vector<uint8_t>> expected(kVariants);
+    std::vector<uint64_t> keys(kVariants);
+    {
+        flow::CompileOptions copts;
+        copts.parallelJobs = 1;
+        flow::PldCompiler direct(dev, copts);
+        for (int v = 0; v < kVariants; ++v) {
+            double factor = 1.25 + 0.5 * v;
+            reqs[v].opts.level = 1;
+            reqs[v].graphText = encodeGraphText(makePipeline(factor));
+            expected[v] =
+                BuildArtifact::fromAppBuild(
+                    direct.build(makePipeline(factor),
+                                 flow::OptLevel::O1))
+                    .encode();
+            keys[v] = CompileService::requestKey(reqs[v]);
+        }
+    }
+
+    ServiceConfig cfg;
+    cfg.storeDir = dir + "/store";
+    // Budget holds only ~2 artifact blobs: constant evict pressure.
+    cfg.storeBudgetBytes = 2000;
+    cfg.maxExecuting = 2;
+    cfg.maxQueued = 2;
+    CompileService svcc(dev, cfg);
+
+    constexpr int kThreads = 4;
+    constexpr int kItersPerThread = 60;
+    std::vector<std::thread> pool;
+    for (int t = 0; t < kThreads; ++t) {
+        pool.emplace_back([&, t] {
+            std::mt19937 rng(1234u + static_cast<unsigned>(t));
+            for (int i = 0; i < kItersPerThread; ++i) {
+                int v = static_cast<int>(rng() % kVariants);
+                unsigned action = rng() % 10;
+                if (action < 7) {
+                    // Compile (random parallelJobs — keys ignore it).
+                    CompileRequest r = reqs[v];
+                    r.opts.parallelJobs = (rng() % 2) ? 1 : 8;
+                    CompileResponse resp = svcc.compile(r);
+                    if (resp.status == RespStatus::Ok) {
+                        ASSERT_EQ(resp.blob, expected[v])
+                            << "served artifact diverged from the "
+                               "canonical build for variant "
+                            << v;
+                    } else {
+                        ASSERT_EQ(resp.status, RespStatus::Rejected)
+                            << resp.diags.render();
+                    }
+                } else if (action < 9) {
+                    // Swap an edited operator against variant v's
+                    // build, if this service has served it already.
+                    if (!svcc.hasBuild(keys[v]))
+                        continue;
+                    SwapRequest sw;
+                    sw.opts = reqs[v].opts;
+                    sw.baseBuild = keys[v];
+                    sw.opName = "scale";
+                    sw.graphText =
+                        reqs[(v + 1) % kVariants].graphText;
+                    CompileResponse resp = svcc.swap(sw);
+                    if (resp.status == RespStatus::Ok) {
+                        SwapBlob sb = SwapBlob::decode(resp.blob);
+                        ASSERT_EQ(sb.op, "scale");
+                        ASSERT_TRUE(sb.binding.hasFallback);
+                    } else {
+                        ASSERT_EQ(resp.status, RespStatus::Rejected)
+                            << resp.diags.render();
+                    }
+                } else {
+                    // Corrupt a random variant's store entry behind
+                    // the store's back; checksums must catch it.
+                    std::string path =
+                        svcc.store().entryPath(keys[v]);
+                    std::fstream f(path, std::ios::in |
+                                             std::ios::out |
+                                             std::ios::binary);
+                    if (f.is_open()) {
+                        f.seekp(40); // inside the payload
+                        char c = 0x5a;
+                        f.write(&c, 1);
+                    }
+                }
+            }
+        });
+    }
+    for (auto &t : pool)
+        t.join();
+
+    const ServiceStats &st = svcc.stats();
+    EXPECT_EQ(st.submitted.load(),
+              st.rejected.load() + st.coalesced.load() +
+                  st.storeHits.load() + st.storeMisses.load())
+        << "every request must be classified exactly once";
+    EXPECT_GT(st.storeHits.load() + st.coalesced.load(), 0u);
+    EXPECT_GT(svcc.store().stats().evictions.load(), 0u)
+        << "the tiny budget must actually exercise eviction";
+    EXPECT_LE(svcc.store().bytesStored(), cfg.storeBudgetBytes);
+
+    std::error_code ec;
+    fs::remove_all(dir, ec);
+}
+
+} // namespace

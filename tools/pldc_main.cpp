@@ -1,0 +1,338 @@
+/**
+ * pldc: client CLI for the pldd compile daemon.
+ *
+ *   $ pldc emit quickstart -o q.pld     # write a builtin app's graph
+ *   $ pldc compile q.pld                # compile via the daemon
+ *   $ pldc swap q.pld --base KEY --op scale
+ *   $ pldc stats
+ *   $ pldc shutdown
+ *
+ * `emit` needs no daemon: it serializes a builtin application (the
+ * quickstart two-operator pipeline or any rosetta benchmark graph)
+ * to the .pld text container, the portable source form an
+ * edit-refine client submits every iteration.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "ir/builder.h"
+#include "rosetta/benchmark.h"
+#include "svc/client.h"
+#include "svc/wire.h"
+
+using namespace pld;
+
+namespace {
+
+void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: pldc [--socket PATH] COMMAND ...\n"
+        "\n"
+        "  emit APP [-o FILE]       write a builtin app's .pld text\n"
+        "                           (quickstart, rendering, digitrec,\n"
+        "                           spamfilter, opticalflow,\n"
+        "                           facedetect, bnn)\n"
+        "  compile FILE [opts]      compile a .pld file via the daemon\n"
+        "  swap FILE --base HEXKEY --op NAME [opts]\n"
+        "                           hot-swap one operator against a\n"
+        "                           previously compiled base build\n"
+        "  stats                    print daemon counters\n"
+        "  shutdown                 stop the daemon\n"
+        "\n"
+        "compile/swap options:\n"
+        "  --level O0|O1|O3|Vitis   opt level (default O1)\n"
+        "  --seed N --effort X --jobs N --tier O0|Os\n"
+        "  --fault SPEC             PLD_FAULT-grammar fault plan\n"
+        "  --trace FILE             daemon writes a per-request\n"
+        "                           Chrome trace to FILE\n");
+}
+
+constexpr ir::Type kFx = ir::Type::fx(32, 17);
+constexpr int kN = 64;
+
+ir::OperatorFn
+makeScale()
+{
+    ir::OpBuilder b("scale");
+    auto in = b.input("Input_1");
+    auto out = b.output("mid");
+    auto x = b.var("x", kFx);
+    b.pragma(ir::Target::HW);
+    b.forLoop(0, kN, [&](ir::Ex) {
+        b.set(x, b.read(in).bitcast(kFx));
+        b.write(out, (ir::Ex(x) * ir::litF(1.5, kFx)).cast(kFx));
+    });
+    return b.finish();
+}
+
+ir::OperatorFn
+makeOffset()
+{
+    ir::OpBuilder b("offset");
+    auto in = b.input("mid");
+    auto out = b.output("Output_1");
+    auto x = b.var("x", kFx);
+    b.pragma(ir::Target::HW);
+    b.forLoop(0, kN, [&](ir::Ex) {
+        b.set(x, b.read(in).bitcast(kFx));
+        b.write(out, (ir::Ex(x) + ir::litF(-2.0, kFx)).cast(kFx));
+    });
+    return b.finish();
+}
+
+ir::Graph
+makeQuickstart()
+{
+    ir::GraphBuilder gb("quickstart");
+    auto in = gb.extIn("Input_1");
+    auto out = gb.extOut("Output_1");
+    auto mid = gb.wire();
+    gb.inst(makeScale(), {in}, {mid});
+    gb.inst(makeOffset(), {mid}, {out});
+    return gb.finish();
+}
+
+bool
+builtinGraph(const std::string &name, ir::Graph *out)
+{
+    if (name == "quickstart") {
+        *out = makeQuickstart();
+        return true;
+    }
+    for (auto &b : rosetta::allBenchmarks()) {
+        std::string lower;
+        for (char c : b.name)
+            if (c != '-' && c != '_' && c != ' ')
+                lower += static_cast<char>(std::tolower(c));
+        if (name == lower || name == b.name) {
+            *out = std::move(b.graph);
+            return true;
+        }
+    }
+    return false;
+}
+
+int
+parseLevel(const std::string &s)
+{
+    if (s == "O0")
+        return 0;
+    if (s == "O1")
+        return 1;
+    if (s == "O3")
+        return 2;
+    if (s == "Vitis" || s == "vitis")
+        return 3;
+    std::fprintf(stderr, "pldc: unknown level %s\n", s.c_str());
+    std::exit(2);
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream f(path);
+    if (!f) {
+        std::fprintf(stderr, "pldc: cannot read %s\n", path.c_str());
+        std::exit(1);
+    }
+    std::ostringstream os;
+    os << f.rdbuf();
+    return os.str();
+}
+
+void
+printResponse(const svc::CompileResponse &resp, bool is_swap)
+{
+    const char *status =
+        resp.status == svc::RespStatus::Ok         ? "ok"
+        : resp.status == svc::RespStatus::Rejected ? "rejected"
+                                                   : "failed";
+    std::printf("%s %s key=%016llx%s%s (%.3fs)\n",
+                is_swap ? "swap" : "compile", status,
+                static_cast<unsigned long long>(resp.key),
+                resp.storeHit ? " [store hit]" : "",
+                resp.coalesced ? " [coalesced]" : "", resp.seconds);
+    for (const auto &d : resp.diags.diags)
+        std::printf("  %s\n", d.render().c_str());
+    if (resp.status != svc::RespStatus::Ok || resp.blob.empty())
+        return;
+    if (is_swap) {
+        auto sb = svc::SwapBlob::decode(resp.blob);
+        std::printf("  op %s page %d image %llu bytes%s\n",
+                    sb.op.c_str(), sb.binding.pageId,
+                    static_cast<unsigned long long>(
+                        sb.binding.imageBytes),
+                    sb.fnChanged ? " (function changed)" : "");
+    } else {
+        auto art = svc::BuildArtifact::decode(resp.blob);
+        std::printf("  %zu ops, %d pages, Fmax %.0f MHz, bitstream "
+                    "%llu bytes\n",
+                    art.ops.size(), art.pagesUsed, art.fmaxMHz,
+                    static_cast<unsigned long long>(
+                        art.totalBitstreamBytes));
+    }
+}
+
+std::string
+envOr(const char *name, const char *fallback)
+{
+    const char *v = std::getenv(name);
+    return v && *v ? v : fallback;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string socket_path = envOr("PLD_SOCKET", "/tmp/pldd.sock");
+    std::string cmd;
+    std::vector<std::string> args;
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        if (a == "--socket" && i + 1 < argc) {
+            socket_path = argv[++i];
+        } else if (cmd.empty() && a[0] != '-') {
+            cmd = a;
+        } else {
+            args.push_back(a);
+        }
+    }
+    if (cmd.empty()) {
+        usage();
+        return 2;
+    }
+
+    if (cmd == "emit") {
+        std::string app, out_path;
+        for (size_t i = 0; i < args.size(); ++i) {
+            if (args[i] == "-o" && i + 1 < args.size())
+                out_path = args[++i];
+            else if (app.empty())
+                app = args[i];
+        }
+        ir::Graph g;
+        if (app.empty() || !builtinGraph(app, &g)) {
+            std::fprintf(stderr, "pldc: unknown app '%s'\n",
+                         app.c_str());
+            return 2;
+        }
+        std::string text = svc::encodeGraphText(g);
+        if (out_path.empty()) {
+            std::fputs(text.c_str(), stdout);
+        } else {
+            std::ofstream f(out_path, std::ios::trunc);
+            f << text;
+            if (!f) {
+                std::fprintf(stderr, "pldc: cannot write %s\n",
+                             out_path.c_str());
+                return 1;
+            }
+            std::printf("pldc: wrote %s (%zu bytes)\n",
+                        out_path.c_str(), text.size());
+        }
+        return 0;
+    }
+
+    svc::Client client(socket_path);
+    if (!client.connect()) {
+        std::fprintf(stderr,
+                     "pldc: no daemon listening on %s (start one "
+                     "with: pldd --socket %s &)\n",
+                     socket_path.c_str(), socket_path.c_str());
+        return 1;
+    }
+
+    try {
+        if (cmd == "stats") {
+            std::fputs(client.stats().c_str(), stdout);
+            return 0;
+        }
+        if (cmd == "shutdown") {
+            if (!client.shutdownDaemon()) {
+                std::fprintf(stderr, "pldc: shutdown not acked\n");
+                return 1;
+            }
+            std::printf("pldc: daemon shut down\n");
+            return 0;
+        }
+
+        if (cmd != "compile" && cmd != "swap") {
+            usage();
+            return 2;
+        }
+
+        std::string file, base_hex, op_name;
+        svc::RequestOptions opts;
+        for (size_t i = 0; i < args.size(); ++i) {
+            auto next = [&]() -> std::string {
+                if (i + 1 >= args.size()) {
+                    usage();
+                    std::exit(2);
+                }
+                return args[++i];
+            };
+            if (args[i] == "--level")
+                opts.level = static_cast<uint8_t>(parseLevel(next()));
+            else if (args[i] == "--seed")
+                opts.seed = std::strtoull(next().c_str(), nullptr, 10);
+            else if (args[i] == "--effort")
+                opts.effort = std::atof(next().c_str());
+            else if (args[i] == "--jobs")
+                opts.parallelJobs = static_cast<uint32_t>(
+                    std::atoi(next().c_str()));
+            else if (args[i] == "--tier")
+                opts.softcoreTier = next() == "O0" ? 0 : 1;
+            else if (args[i] == "--fault")
+                opts.faultSpec = next();
+            else if (args[i] == "--trace")
+                opts.traceFile = next();
+            else if (args[i] == "--base")
+                base_hex = next();
+            else if (args[i] == "--op")
+                op_name = next();
+            else if (file.empty())
+                file = args[i];
+        }
+        if (file.empty()) {
+            usage();
+            return 2;
+        }
+
+        if (cmd == "compile") {
+            svc::CompileRequest req;
+            req.opts = opts;
+            req.graphText = readFile(file);
+            auto resp = client.compile(req);
+            printResponse(resp, false);
+            return resp.status == svc::RespStatus::Ok ? 0 : 1;
+        }
+
+        if (base_hex.empty() || op_name.empty()) {
+            std::fprintf(stderr,
+                         "pldc: swap needs --base HEXKEY and --op "
+                         "NAME\n");
+            return 2;
+        }
+        svc::SwapRequest req;
+        req.opts = opts;
+        req.baseBuild =
+            std::strtoull(base_hex.c_str(), nullptr, 16);
+        req.opName = op_name;
+        req.graphText = readFile(file);
+        auto resp = client.swap(req);
+        printResponse(resp, true);
+        return resp.status == svc::RespStatus::Ok ? 0 : 1;
+    } catch (const CompileError &e) {
+        std::fprintf(stderr, "pldc: %s\n", e.diag().render().c_str());
+        return 1;
+    }
+}

@@ -1,0 +1,104 @@
+/**
+ * pldd: the PLD compile daemon.
+ *
+ *   $ pldd --socket /tmp/pldd.sock --store /tmp/pldd-store &
+ *   $ pldc compile app.pld            # same machine, any client
+ *
+ * A long-lived compile service for the edit-refine loop: clients
+ * submit graph text over a local socket; the daemon coalesces
+ * identical requests, serves warm artifacts from a persistent
+ * on-disk store (hits survive daemon restarts), bounds its queue
+ * with admission control, and answers with the canonical
+ * bit-identical build artifact. Stop it with `pldc shutdown`.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "fabric/device.h"
+#include "svc/server.h"
+#include "svc/service.h"
+
+using namespace pld;
+
+namespace {
+
+void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: pldd [--socket PATH] [--store DIR] [--budget-mb N]\n"
+        "            [--max-executing N] [--max-queued N]\n"
+        "\n"
+        "  --socket PATH      AF_UNIX socket to listen on\n"
+        "                     (default $PLD_SOCKET or /tmp/pldd.sock)\n"
+        "  --store DIR        persistent artifact store directory\n"
+        "                     (default $PLD_STORE or /tmp/pldd-store)\n"
+        "  --budget-mb N      store LRU byte budget (default 256)\n"
+        "  --max-executing N  concurrent backend compiles (default 4)\n"
+        "  --max-queued N     waiting requests before admission\n"
+        "                     rejects (default 8)\n");
+}
+
+std::string
+envOr(const char *name, const char *fallback)
+{
+    const char *v = std::getenv(name);
+    return v && *v ? v : fallback;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string socket_path = envOr("PLD_SOCKET", "/tmp/pldd.sock");
+    svc::ServiceConfig cfg;
+    cfg.storeDir = envOr("PLD_STORE", "/tmp/pldd-store");
+
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                usage();
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (a == "--socket")
+            socket_path = next();
+        else if (a == "--store")
+            cfg.storeDir = next();
+        else if (a == "--budget-mb")
+            cfg.storeBudgetBytes =
+                static_cast<uint64_t>(std::strtoull(next(), nullptr,
+                                                    10))
+                << 20;
+        else if (a == "--max-executing")
+            cfg.maxExecuting = std::atoi(next());
+        else if (a == "--max-queued")
+            cfg.maxQueued = std::atoi(next());
+        else {
+            usage();
+            return a == "--help" || a == "-h" ? 0 : 2;
+        }
+    }
+
+    fabric::Device dev = fabric::makeU50();
+    svc::CompileService service(dev, cfg);
+    svc::DaemonServer server(service, socket_path);
+    server.start();
+    std::printf("pldd: listening on %s (store %s, %d executing / %d "
+                "queued)\n",
+                socket_path.c_str(), cfg.storeDir.c_str(),
+                cfg.maxExecuting, cfg.maxQueued);
+    std::fflush(stdout);
+
+    server.waitForShutdownRequest();
+    server.stop();
+    std::printf("pldd: shut down\n%s", service.statsText().c_str());
+    return 0;
+}
