@@ -38,6 +38,8 @@ compileCodeName(CompileCode c)
       case CompileCode::SwapRejected: return "swap-rejected";
       case CompileCode::AdmissionRejected: return "admission-rejected";
       case CompileCode::TenantFaulted: return "tenant-faulted";
+      case CompileCode::IoError: return "io-error";
+      case CompileCode::DeadlineExceeded: return "deadline-exceeded";
     }
     return "?";
 }
@@ -56,10 +58,14 @@ compileCodeRetriable(CompileCode c)
       case CompileCode::AdmissionRejected:
         // A full queue drains; a later retry may be admitted.
         return true;
+      case CompileCode::DeadlineExceeded:
+        // A hung daemon may be mid-restart; retry with backoff.
+        return true;
       case CompileCode::Ok:
       case CompileCode::DoesNotFit:
       case CompileCode::FaultSpecInvalid:
       case CompileCode::TenantFaulted:
+      case CompileCode::IoError:
         return false;
     }
     return false;

@@ -67,6 +67,12 @@ enum class CompileCode : uint8_t {
     AdmissionRejected,
     /** Tenant exhausted its fault retry budget and was evicted. */
     TenantFaulted,
+    /** Durable-store or wire I/O failed (short write, ENOSPC, EIO,
+     * rename failure). The daemon degrades instead of dying. */
+    IoError,
+    /** A client-side send/recv deadline expired (hung or restarting
+     * daemon). Always retriable. */
+    DeadlineExceeded,
 };
 
 const char *compileCodeName(CompileCode c);

@@ -20,6 +20,11 @@ faultKindName(FaultKind k)
       case FaultKind::ConfigCorrupt: return "config_corrupt";
       case FaultKind::PageHang: return "page_hang";
       case FaultKind::DmaStall: return "dma_stall";
+      case FaultKind::IoShortWrite: return "io_short_write";
+      case FaultKind::IoEnospc: return "io_enospc";
+      case FaultKind::IoEio: return "io_eio";
+      case FaultKind::IoTornRename: return "io_torn_rename";
+      case FaultKind::IoCrashPoint: return "io_crash_point";
     }
     return "?";
 }
@@ -33,7 +38,10 @@ parseKind(const std::string &s, FaultKind &out)
          {FaultKind::RouteFail, FaultKind::TimingMiss,
           FaultKind::CacheCorrupt, FaultKind::CompileThrow,
           FaultKind::ConfigDrop, FaultKind::ConfigCorrupt,
-          FaultKind::PageHang, FaultKind::DmaStall}) {
+          FaultKind::PageHang, FaultKind::DmaStall,
+          FaultKind::IoShortWrite, FaultKind::IoEnospc,
+          FaultKind::IoEio, FaultKind::IoTornRename,
+          FaultKind::IoCrashPoint}) {
         if (s == faultKindName(k)) {
             out = k;
             return true;
@@ -56,7 +64,9 @@ badEntry(const std::string &entry, size_t offset,
                std::to_string(offset) + "): " + reason +
                "; grammar: kind:op[*count][@prob], kind one of "
                "route_fail|timing_miss|cache_corrupt|throw|"
-               "config_drop|config_corrupt|page_hang|dma_stall";
+               "config_drop|config_corrupt|page_hang|dma_stall|"
+               "io_short_write|io_enospc|io_eio|io_torn_rename|"
+               "io_crash_point";
     throw CompileError(std::move(d));
 }
 

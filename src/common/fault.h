@@ -31,10 +31,25 @@
  *   entry     := kind ':' site ['*' count] ['@' probability]
  *   kind      := route_fail | timing_miss | cache_corrupt | throw
  *              | config_drop | config_corrupt | page_hang
- *              | dma_stall
+ *              | dma_stall | io_short_write | io_enospc | io_eio
+ *              | io_torn_rename | io_crash_point
  *   site      := op | tenant '/' op
  *   op        := operator name, or '*' for every operator
  *   tenant    := tenant name, or '*' for every tenant
+ *
+ * The io_* kinds drive the FaultVfs seam (common/io.h) under the
+ * artifact store rather than the compile pipeline: their site is a
+ * file basename ("lru.txt", "<16-hex>.art", "*") or, for
+ * io_crash_point, a named crash site ("store.put.tmp_written").
+ * Their attempt coordinate is the per-site arrival ordinal, and
+ * io_crash_point's '*N' selects the Nth arrival — the process dies
+ * exactly once, so "first N" semantics would be meaningless.
+ *
+ *   "io_enospc:lru.txt*2"   — the first two recency-index writes
+ *                             hit a full disk, the third succeeds.
+ *   "io_crash_point:store.put.entry_renamed*3"
+ *                           — kill -9 equivalent on the third put
+ *                             that survives its entry rename.
  *
  * Multi-tenant runs scope fault sites per tenant: a SystemSim whose
  * SystemConfig::faultScope is "t1" reports its fault coordinates as
@@ -91,6 +106,18 @@ enum class FaultKind : uint8_t {
     PageHang,
     /** Runtime: the config DMA engine stalls mid-stream. */
     DmaStall,
+    /** I/O: a file write persists only a prefix, then fails. */
+    IoShortWrite,
+    /** I/O: a file write fails ENOSPC after a partial prefix. */
+    IoEnospc,
+    /** I/O: a read/write/rename fails EIO outright. */
+    IoEio,
+    /** I/O: a rename lands but the destination is torn (simulates
+     * a crash after rename-without-fsync). */
+    IoTornRename,
+    /** I/O: exit the process (kill -9 equivalent) at a named crash
+     * site; '*N' picks the Nth arrival. */
+    IoCrashPoint,
 };
 
 const char *faultKindName(FaultKind k);

@@ -1,0 +1,308 @@
+#include "common/io.h"
+
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <limits>
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "common/logging.h"
+
+namespace fs = std::filesystem;
+
+namespace pld {
+
+std::string
+IoStatus::message() const
+{
+    return err == 0 ? "ok" : std::strerror(err);
+}
+
+std::string
+ioBasename(const std::string &path)
+{
+    size_t slash = path.find_last_of('/');
+    return slash == std::string::npos ? path
+                                      : path.substr(slash + 1);
+}
+
+// ---- PosixVfs ----------------------------------------------------
+
+IoStatus
+PosixVfs::writeFile(const std::string &path, const uint8_t *data,
+                    size_t size, bool sync)
+{
+    int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC,
+                    0644);
+    if (fd < 0)
+        return IoStatus::fail(errno);
+    size_t off = 0;
+    while (off < size) {
+        ssize_t w = ::write(fd, data + off, size - off);
+        if (w < 0) {
+            if (errno == EINTR)
+                continue;
+            int e = errno;
+            ::close(fd);
+            return IoStatus::fail(e);
+        }
+        off += static_cast<size_t>(w);
+    }
+    if (sync && ::fsync(fd) != 0) {
+        int e = errno;
+        ::close(fd);
+        return IoStatus::fail(e);
+    }
+    if (::close(fd) != 0)
+        return IoStatus::fail(errno);
+    return IoStatus::good();
+}
+
+IoStatus
+PosixVfs::readFile(const std::string &path,
+                   std::vector<uint8_t> *out, size_t max_bytes)
+{
+    out->clear();
+    int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0)
+        return IoStatus::fail(errno);
+    uint8_t buf[64 * 1024];
+    while (out->size() < max_bytes) {
+        size_t want = std::min(sizeof(buf),
+                               max_bytes - out->size());
+        ssize_t r = ::read(fd, buf, want);
+        if (r < 0) {
+            if (errno == EINTR)
+                continue;
+            int e = errno;
+            ::close(fd);
+            return IoStatus::fail(e);
+        }
+        if (r == 0)
+            break;
+        out->insert(out->end(), buf, buf + r);
+    }
+    ::close(fd);
+    return IoStatus::good();
+}
+
+IoStatus
+PosixVfs::rename(const std::string &from, const std::string &to)
+{
+    if (::rename(from.c_str(), to.c_str()) != 0)
+        return IoStatus::fail(errno);
+    return IoStatus::good();
+}
+
+IoStatus
+PosixVfs::remove(const std::string &path)
+{
+    if (::unlink(path.c_str()) != 0 && errno != ENOENT)
+        return IoStatus::fail(errno);
+    return IoStatus::good();
+}
+
+IoStatus
+PosixVfs::syncDir(const std::string &dir)
+{
+    int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (fd < 0)
+        return IoStatus::fail(errno);
+    int rc = ::fsync(fd);
+    int e = errno;
+    ::close(fd);
+    return rc == 0 ? IoStatus::good() : IoStatus::fail(e);
+}
+
+IoStatus
+PosixVfs::listDir(const std::string &dir,
+                  std::vector<DirEntry> *out)
+{
+    out->clear();
+    std::error_code ec;
+    fs::directory_iterator it(dir, ec);
+    if (ec)
+        return IoStatus::fail(ec.value());
+    for (const auto &de : it) {
+        std::error_code sec;
+        if (!de.is_regular_file(sec) || sec)
+            continue;
+        DirEntry e;
+        e.name = de.path().filename().string();
+        struct stat st{};
+        if (::stat(de.path().c_str(), &st) == 0)
+            e.mtimeNs = static_cast<int64_t>(st.st_mtim.tv_sec) *
+                            1000000000ll +
+                        st.st_mtim.tv_nsec;
+        out->push_back(std::move(e));
+    }
+    return IoStatus::good();
+}
+
+IoStatus
+PosixVfs::mkdirs(const std::string &dir)
+{
+    std::error_code ec;
+    fs::create_directories(dir, ec);
+    return ec ? IoStatus::fail(ec.value()) : IoStatus::good();
+}
+
+std::shared_ptr<Vfs>
+systemVfs()
+{
+    static std::shared_ptr<Vfs> vfs = std::make_shared<PosixVfs>();
+    return vfs;
+}
+
+// ---- FaultVfs ----------------------------------------------------
+
+bool
+planHasIoFaults(const FaultPlan &plan)
+{
+    for (const auto &s : plan.specs) {
+        switch (s.kind) {
+          case FaultKind::IoShortWrite:
+          case FaultKind::IoEnospc:
+          case FaultKind::IoEio:
+          case FaultKind::IoTornRename:
+          case FaultKind::IoCrashPoint:
+            return true;
+          default:
+            break;
+        }
+    }
+    return false;
+}
+
+FaultVfs::FaultVfs(std::shared_ptr<Vfs> base, FaultPlan plan)
+    : base_(std::move(base)), inj_(std::move(plan))
+{
+}
+
+bool
+FaultVfs::fires(FaultKind k, const std::string &site)
+{
+    int attempt;
+    {
+        std::lock_guard<std::mutex> lk(mtx_);
+        attempt = arrivals_[std::string(faultKindName(k)) + ":" +
+                            site]++;
+    }
+    return inj_.fires(k, site, attempt);
+}
+
+IoStatus
+FaultVfs::writeFile(const std::string &path, const uint8_t *data,
+                    size_t size, bool sync)
+{
+    const std::string site = ioBasename(path);
+    if (fires(FaultKind::IoEio, site))
+        return IoStatus::fail(EIO);
+    // Short write and ENOSPC persist a prefix before failing — the
+    // torn state a real full/flaky disk leaves behind.
+    if (fires(FaultKind::IoShortWrite, site)) {
+        base_->writeFile(path, data, size / 2, sync);
+        return IoStatus::fail(EIO);
+    }
+    if (fires(FaultKind::IoEnospc, site)) {
+        base_->writeFile(path, data, size / 2, sync);
+        return IoStatus::fail(ENOSPC);
+    }
+    return base_->writeFile(path, data, size, sync);
+}
+
+IoStatus
+FaultVfs::readFile(const std::string &path,
+                   std::vector<uint8_t> *out, size_t max_bytes)
+{
+    if (fires(FaultKind::IoEio, ioBasename(path)))
+        return IoStatus::fail(EIO);
+    return base_->readFile(path, out, max_bytes);
+}
+
+IoStatus
+FaultVfs::rename(const std::string &from, const std::string &to)
+{
+    // Sites by destination basename: that's the name a spec knows
+    // ("lru.txt", "<key>.art"), not the transient ".tmp".
+    const std::string site = ioBasename(to);
+    if (fires(FaultKind::IoEio, site))
+        return IoStatus::fail(EIO);
+    if (fires(FaultKind::IoTornRename, site)) {
+        // Simulate the classic rename-without-fsync crash: the
+        // rename itself is durable but the source's data never all
+        // reached disk, so the destination appears torn.
+        std::vector<uint8_t> bytes;
+        if (base_->readFile(from, &bytes).ok())
+            base_->writeFile(from, bytes.data(), bytes.size() / 2,
+                             false);
+        return base_->rename(from, to);
+    }
+    return base_->rename(from, to);
+}
+
+IoStatus
+FaultVfs::remove(const std::string &path)
+{
+    if (fires(FaultKind::IoEio, ioBasename(path)))
+        return IoStatus::fail(EIO);
+    return base_->remove(path);
+}
+
+IoStatus
+FaultVfs::syncDir(const std::string &dir)
+{
+    if (fires(FaultKind::IoEio, ioBasename(dir)))
+        return IoStatus::fail(EIO);
+    return base_->syncDir(dir);
+}
+
+IoStatus
+FaultVfs::listDir(const std::string &dir,
+                  std::vector<DirEntry> *out)
+{
+    return base_->listDir(dir, out);
+}
+
+IoStatus
+FaultVfs::mkdirs(const std::string &dir)
+{
+    return base_->mkdirs(dir);
+}
+
+void
+FaultVfs::crashPoint(const std::string &site)
+{
+    // A '*N' count means "die on the Nth arrival", not "die on the
+    // first N" (the process only dies once). fires() consumes this
+    // arrival's ordinal; a counted spec that fires now but not on
+    // the next ordinal is exactly at its Nth arrival. An uncounted
+    // spec (count = INT_MAX) fires forever, so it kills on the
+    // first arrival.
+    int attempt;
+    {
+        std::lock_guard<std::mutex> lk(mtx_);
+        attempt = arrivals_[std::string(faultKindName(
+                                FaultKind::IoCrashPoint)) +
+                            ":" + site]++;
+    }
+    if (!inj_.fires(FaultKind::IoCrashPoint, site, attempt))
+        return;
+    bool uncounted = inj_.fires(FaultKind::IoCrashPoint, site,
+                                std::numeric_limits<int>::max() - 1);
+    bool last_of_count =
+        !inj_.fires(FaultKind::IoCrashPoint, site, attempt + 1);
+    if (uncounted ? attempt == 0 : last_of_count) {
+        pld_warn("fault: io_crash_point at %s (arrival %d); "
+                 "exiting without unwinding",
+                 site.c_str(), attempt + 1);
+        std::_Exit(kCrashExitCode);
+    }
+}
+
+} // namespace pld

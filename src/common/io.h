@@ -1,0 +1,209 @@
+/**
+ * @file
+ * The VFS seam: every byte the artifact store persists goes through
+ * a Vfs, so crash-safety code has something to test against.
+ *
+ * The PR-2 FaultInjector made the compile pipeline's recovery paths
+ * runnable in CI; this file extends the same philosophy one layer
+ * down, to the filesystem. Durability code — fsync-before-rename,
+ * tmp-file quarantine, ENOSPC degradation — is exactly the code
+ * that never runs on a healthy developer machine, so the store
+ * takes a Vfs instead of calling POSIX directly:
+ *
+ *  - PosixVfs is the real thing: O_TRUNC writes with optional
+ *    fsync, whole-file reads, rename, unlink, and directory fsync.
+ *  - FaultVfs wraps any Vfs and injects deterministic, seeded I/O
+ *    faults driven by the PLD_FAULT grammar (common/fault.h), using
+ *    the file's basename — or a named crash site — as the fault
+ *    site:
+ *
+ *      io_short_write  write persists only a prefix, then fails
+ *      io_enospc       write persists a prefix, then fails ENOSPC
+ *      io_eio          read/write/rename fails EIO, nothing written
+ *      io_torn_rename  rename "succeeds" but the destination is
+ *                      torn (simulates rename-without-fsync crash)
+ *      io_crash_point  the process exits immediately (as if SIGKILL
+ *                      landed) at a named crash site; '*N' selects
+ *                      the Nth arrival at that site
+ *
+ * Determinism contract: fault decisions are a pure function of
+ * (plan seed, kind, site, per-site arrival ordinal). All store I/O
+ * runs under the store's mutex, so the per-site ordinal sequence —
+ * and therefore every injected fault — is identical at any
+ * PLD_THREADS as long as the request sequence per site is.
+ *
+ * Crash sites the store declares (see svc/store.cpp):
+ *
+ *   store.put.begin          entered put(), nothing written yet
+ *   store.put.tmp_written    entry tmp written + fsynced
+ *   store.put.entry_renamed  tmp renamed over the entry file
+ *   store.put.dir_synced     directory entry durable
+ *   store.put.done           recency index persisted
+ *   store.evict.removed      an LRU victim's file unlinked
+ *   store.get.before_read    about to read an existing entry
+ *   store.get.evicted        a corrupt entry evicted
+ *   store.index.tmp_written  lru.txt.tmp written + fsynced
+ *   store.index.renamed      lru.txt.tmp renamed over lru.txt
+ *   store.open.recovered     crash-recovery scan finished
+ */
+
+#ifndef PLD_COMMON_IO_H
+#define PLD_COMMON_IO_H
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/fault.h"
+
+namespace pld {
+
+/** Outcome of one VFS operation: ok() or an errno value. */
+struct IoStatus
+{
+    int err = 0;
+
+    bool ok() const { return err == 0; }
+    /** strerror text; "ok" when err == 0. */
+    std::string message() const;
+
+    static IoStatus good() { return IoStatus{}; }
+    static IoStatus fail(int e) { return IoStatus{e}; }
+};
+
+/** One directory entry from Vfs::listDir. */
+struct DirEntry
+{
+    std::string name; ///< basename, not the full path
+    /** Modification time in nanoseconds since epoch (recency
+     * rebuild when lru.txt is missing or damaged). */
+    int64_t mtimeNs = 0;
+};
+
+/**
+ * The filesystem surface the artifact store needs — small enough to
+ * wrap with a fault injector, wide enough that no durability-
+ * relevant syscall bypasses the seam.
+ */
+class Vfs
+{
+  public:
+    virtual ~Vfs() = default;
+
+    /**
+     * Create/truncate @p path and write all @p size bytes; when
+     * @p sync, fsync before closing so the data survives a crash
+     * that happens after this call returns ok.
+     */
+    virtual IoStatus writeFile(const std::string &path,
+                               const uint8_t *data, size_t size,
+                               bool sync) = 0;
+
+    /** Read up to @p max_bytes of @p path into @p out (whole file
+     * by default). ENOENT is an error like any other. */
+    virtual IoStatus
+    readFile(const std::string &path, std::vector<uint8_t> *out,
+             size_t max_bytes = static_cast<size_t>(-1)) = 0;
+
+    virtual IoStatus rename(const std::string &from,
+                            const std::string &to) = 0;
+
+    /** Unlink @p path; a missing file is ok (idempotent). */
+    virtual IoStatus remove(const std::string &path) = 0;
+
+    /** fsync the directory itself, making renames/unlinks durable. */
+    virtual IoStatus syncDir(const std::string &dir) = 0;
+
+    /** List regular files directly under @p dir. */
+    virtual IoStatus listDir(const std::string &dir,
+                             std::vector<DirEntry> *out) = 0;
+
+    virtual IoStatus mkdirs(const std::string &dir) = 0;
+
+    /**
+     * A named crash site. The real VFS does nothing; a FaultVfs
+     * whose plan has io_crash_point matching @p site exits the
+     * process here without unwinding — the closest injectable
+     * approximation of kill -9 between two syscalls.
+     */
+    virtual void crashPoint(const std::string &site) { (void)site; }
+};
+
+/** The real POSIX filesystem. Stateless; share one freely. */
+class PosixVfs : public Vfs
+{
+  public:
+    IoStatus writeFile(const std::string &path, const uint8_t *data,
+                       size_t size, bool sync) override;
+    IoStatus readFile(const std::string &path,
+                      std::vector<uint8_t> *out,
+                      size_t max_bytes) override;
+    IoStatus rename(const std::string &from,
+                    const std::string &to) override;
+    IoStatus remove(const std::string &path) override;
+    IoStatus syncDir(const std::string &dir) override;
+    IoStatus listDir(const std::string &dir,
+                     std::vector<DirEntry> *out) override;
+    IoStatus mkdirs(const std::string &dir) override;
+};
+
+/** The process-wide shared PosixVfs (what you get by passing no
+ * Vfs to the store). */
+std::shared_ptr<Vfs> systemVfs();
+
+/**
+ * Deterministic fault-injecting wrapper. Faults are decided by the
+ * embedded FaultInjector over (kind, site, arrival ordinal): the
+ * site of a file operation is the file's basename, the site of a
+ * crash point is its name. Arrival ordinals count per (kind, site)
+ * inside this FaultVfs instance, so a spec like
+ * "io_enospc:lru.txt*2" fails the first two lru.txt writes and
+ * heals, and "io_crash_point:store.put.tmp_written*3" kills the
+ * process on the third put that reaches that site.
+ */
+class FaultVfs : public Vfs
+{
+  public:
+    FaultVfs(std::shared_ptr<Vfs> base, FaultPlan plan);
+
+    IoStatus writeFile(const std::string &path, const uint8_t *data,
+                       size_t size, bool sync) override;
+    IoStatus readFile(const std::string &path,
+                      std::vector<uint8_t> *out,
+                      size_t max_bytes) override;
+    IoStatus rename(const std::string &from,
+                    const std::string &to) override;
+    IoStatus remove(const std::string &path) override;
+    IoStatus syncDir(const std::string &dir) override;
+    IoStatus listDir(const std::string &dir,
+                     std::vector<DirEntry> *out) override;
+    IoStatus mkdirs(const std::string &dir) override;
+    void crashPoint(const std::string &site) override;
+
+    /** Process exit code used by an io_crash_point abort (matches
+     * the 128+SIGKILL convention the chaos harness expects). */
+    static constexpr int kCrashExitCode = 137;
+
+  private:
+    /** Next arrival ordinal for (kind, site) — then test the plan. */
+    bool fires(FaultKind k, const std::string &site);
+
+    std::shared_ptr<Vfs> base_;
+    FaultInjector inj_;
+    std::mutex mtx_;
+    std::map<std::string, int> arrivals_;
+};
+
+/** True when @p plan contains any io_* fault kind (used by pldd to
+ * decide whether the store needs a FaultVfs wrapper). */
+bool planHasIoFaults(const FaultPlan &plan);
+
+/** basename of @p path ("/a/b/c.art" -> "c.art"). */
+std::string ioBasename(const std::string &path);
+
+} // namespace pld
+
+#endif // PLD_COMMON_IO_H

@@ -1,9 +1,16 @@
 #include "svc/client.h"
 
+#include <algorithm>
+#include <chrono>
 #include <cstring>
+#include <thread>
+
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
+
+#include "common/hash.h"
+#include "common/logging.h"
 
 namespace pld {
 namespace svc {
@@ -17,6 +24,9 @@ protocolError(const std::string &what)
     d.code = CompileCode::CompileException;
     d.stage = CompileStage::Link;
     d.severity = DiagSeverity::Error;
+    // A protocol-level hangup usually means the daemon died (or was
+    // kill -9'd) mid-request; reconnect-and-retry is the right move.
+    d.retriable = true;
     d.detail = "pldc: " + what;
     throw CompileError(d);
 }
@@ -48,6 +58,7 @@ Client::connect()
     }
     close();
     fd_ = fd;
+    applyDeadline();
     return true;
 }
 
@@ -58,6 +69,27 @@ Client::close()
         ::close(fd_);
         fd_ = -1;
     }
+}
+
+void
+Client::setDeadlineMs(int ms)
+{
+    deadlineMs_ = ms < 0 ? 0 : ms;
+    applyDeadline();
+}
+
+void
+Client::applyDeadline()
+{
+    if (fd_ < 0)
+        return;
+    timeval tv{};
+    tv.tv_sec = deadlineMs_ / 1000;
+    tv.tv_usec = (deadlineMs_ % 1000) * 1000;
+    // tv == {0,0} means "block forever" for both options — exactly
+    // the semantics of deadlineMs_ == 0.
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
 }
 
 CompileResponse
@@ -87,6 +119,95 @@ CompileResponse
 Client::swap(const SwapRequest &req)
 {
     return roundTrip(req.encode(), MsgType::SwapResp);
+}
+
+int
+Client::backoffMs(const RetryPolicy &policy, int attempt)
+{
+    int64_t ms = policy.baseMs;
+    for (int i = 0; i < attempt && ms < policy.maxMs; ++i)
+        ms *= 2;
+    ms = std::min<int64_t>(ms, policy.maxMs);
+    // Deterministic jitter in [0.5, 1.0): decorrelates clients that
+    // share a seed-less default without making any run timing-random.
+    Hasher h;
+    h.str("pld.svc.backoff");
+    h.u64(policy.seed);
+    h.u64(static_cast<uint64_t>(attempt));
+    double factor = 0.5 + 0.5 * (h.digest() % 1024) / 1024.0;
+    return std::max(1, static_cast<int>(ms * factor));
+}
+
+CompileResponse
+Client::withRetry(const std::vector<uint8_t> &frame, MsgType expect,
+                  const RetryPolicy &policy)
+{
+    int attempts = std::max(1, policy.maxAttempts);
+    for (int attempt = 0;; ++attempt) {
+        bool last = attempt + 1 >= attempts;
+        auto sleepAndRetry = [&] {
+            close();
+            std::this_thread::sleep_for(std::chrono::milliseconds(
+                backoffMs(policy, attempt)));
+        };
+        try {
+            if (fd_ < 0 && !connect()) {
+                // Refused/missing socket: the daemon is down or
+                // restarting — precisely what backoff is for.
+                if (last)
+                    protocolError("cannot connect to daemon at " +
+                                  path_);
+                sleepAndRetry();
+                continue;
+            }
+            CompileResponse resp = roundTrip(frame, expect);
+            if (resp.status == RespStatus::Rejected && !last) {
+                // Bounded admission queue was full; it drains.
+                sleepAndRetry();
+                continue;
+            }
+            return resp;
+        } catch (const CompileError &e) {
+            if (last || !e.diag().retriable)
+                throw;
+            sleepAndRetry();
+        }
+    }
+}
+
+CompileResponse
+Client::compileWithRetry(const CompileRequest &req,
+                         const RetryPolicy &policy)
+{
+    return withRetry(req.encode(), MsgType::CompileResp, policy);
+}
+
+CompileResponse
+Client::swapWithRetry(const SwapRequest &req,
+                      const RetryPolicy &policy)
+{
+    return withRetry(req.encode(), MsgType::SwapResp, policy);
+}
+
+bool
+Client::ping(uint64_t nonce)
+{
+    if (fd_ < 0)
+        return false;
+    try {
+        ByteWriter w;
+        w.u8(static_cast<uint8_t>(MsgType::PingReq));
+        w.u64(nonce);
+        writeFrame(fd_, w.take());
+        std::vector<uint8_t> payload;
+        if (!readFrame(fd_, &payload))
+            return false;
+        ByteReader r(payload);
+        return static_cast<MsgType>(r.u8()) == MsgType::PingResp &&
+               r.u64() == nonce;
+    } catch (const CompileError &) {
+        return false;
+    }
 }
 
 std::string

@@ -4,6 +4,17 @@
  * connection, one outstanding request at a time. `pldc` and the
  * service tests are the users; anything richer (pipelining, async)
  * belongs above this layer.
+ *
+ * Crash/restart resilience (PR 10): setDeadlineMs() bounds every
+ * send/recv with a socket timeout — an expired deadline surfaces as
+ * a retriable DeadlineExceeded CompileError, never a hang. The
+ * *WithRetry entry points run the full retry discipline a CI client
+ * wants against a daemon that may be restarting under it: connect
+ * refused, a mid-request hangup, a deadline, and an
+ * AdmissionRejected response all retry with bounded exponential
+ * backoff; a compile *failure* is an answer and is returned as-is.
+ * Backoff jitter is seeded and deterministic (same RetryPolicy, same
+ * attempt → same sleep), keeping chaos-soak timing reproducible.
  */
 
 #ifndef PLD_SVC_CLIENT_H
@@ -15,6 +26,19 @@
 
 namespace pld {
 namespace svc {
+
+/** Bounded-exponential-backoff retry schedule for *WithRetry. */
+struct RetryPolicy
+{
+    /** Total tries (first attempt included); 1 = no retry. */
+    int maxAttempts = 5;
+    /** Sleep before retry k (0-based) is roughly
+     * baseMs * 2^k, capped at maxMs, scaled by a seeded jitter
+     * factor in [0.5, 1.0). */
+    int baseMs = 50;
+    int maxMs = 2000;
+    uint64_t seed = 1;
+};
 
 class Client
 {
@@ -30,11 +54,35 @@ class Client
     bool connected() const { return fd_ >= 0; }
     void close();
 
+    /**
+     * Bound every subsequent send/recv on this connection (applies
+     * to the current fd and to future connect()s) to @p ms
+     * milliseconds; 0 restores blocking forever. An expired
+     * deadline throws CompileError{DeadlineExceeded, retriable}.
+     */
+    void setDeadlineMs(int ms);
+    int deadlineMs() const { return deadlineMs_; }
+
     /** Round-trip a compile / swap. Throws CompileError on protocol
      * or transport failure (a Rejected/Failed *response* is returned
      * normally — it is an answer, not a transport error). */
     CompileResponse compile(const CompileRequest &req);
     CompileResponse swap(const SwapRequest &req);
+
+    /**
+     * compile()/swap() wrapped in the retry discipline above.
+     * Reconnects as needed (the daemon may have restarted between
+     * attempts). Throws the last transport error only after
+     * maxAttempts tries; returns a Failed response without retrying
+     * (compiles are deterministic — a retry would fail identically).
+     */
+    CompileResponse compileWithRetry(const CompileRequest &req,
+                                     const RetryPolicy &policy);
+    CompileResponse swapWithRetry(const SwapRequest &req,
+                                  const RetryPolicy &policy);
+
+    /** Health probe: true iff the daemon echoed @p nonce. */
+    bool ping(uint64_t nonce);
 
     std::string stats();
     /** Ask the daemon to exit; true when it acked. */
@@ -45,12 +93,20 @@ class Client
      * asserts the daemon still completes and publishes the build. */
     void submitOnly(const CompileRequest &req);
 
+    /** The deterministic pre-retry-k sleep (exposed for tests). */
+    static int backoffMs(const RetryPolicy &policy, int attempt);
+
   private:
     CompileResponse roundTrip(const std::vector<uint8_t> &frame,
                               MsgType expect);
+    CompileResponse withRetry(const std::vector<uint8_t> &frame,
+                              MsgType expect,
+                              const RetryPolicy &policy);
+    void applyDeadline();
 
     std::string path_;
     int fd_ = -1;
+    int deadlineMs_ = 0;
 };
 
 } // namespace svc

@@ -12,8 +12,10 @@ namespace pld {
 namespace svc {
 
 DaemonServer::DaemonServer(CompileService &svc,
-                           std::string socket_path)
-    : svc_(svc), path_(std::move(socket_path))
+                           std::string socket_path,
+                           int idle_timeout_ms)
+    : svc_(svc), path_(std::move(socket_path)),
+      idleTimeoutMs_(idle_timeout_ms < 0 ? 0 : idle_timeout_ms)
 {
 }
 
@@ -103,6 +105,15 @@ DaemonServer::acceptLoop()
                 continue;
             return; // listener shut down
         }
+        if (idleTimeoutMs_ > 0) {
+            timeval tv{};
+            tv.tv_sec = idleTimeoutMs_ / 1000;
+            tv.tv_usec = (idleTimeoutMs_ % 1000) * 1000;
+            ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv,
+                         sizeof(tv));
+            ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv,
+                         sizeof(tv));
+        }
         std::lock_guard<std::mutex> lk(mtx_);
         if (stopping_) {
             ::close(fd);
@@ -123,8 +134,13 @@ DaemonServer::handleClient(int fd)
             if (!readFrame(fd, &payload))
                 break; // clean hang-up
         } catch (const CompileError &e) {
-            pld_warn("pldd: dropping client: %s",
-                     e.diag().render().c_str());
+            if (e.diag().code == CompileCode::DeadlineExceeded)
+                pld_warn("pldd: dropping idle client (no request "
+                         "within %d ms)",
+                         idleTimeoutMs_);
+            else
+                pld_warn("pldd: dropping client: %s",
+                         e.diag().render().c_str());
             break;
         }
         if (payload.empty())
@@ -144,6 +160,14 @@ DaemonServer::handleClient(int fd)
                 CompileResponse resp =
                     svc_.swap(SwapRequest::decode(r));
                 writeFrame(fd, resp.encode());
+                break;
+            }
+            case MsgType::PingReq: {
+                uint64_t nonce = r.u64();
+                ByteWriter w;
+                w.u8(static_cast<uint8_t>(MsgType::PingResp));
+                w.u64(nonce);
+                writeFrame(fd, w.take());
                 break;
             }
             case MsgType::StatsReq: {

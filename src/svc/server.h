@@ -37,7 +37,16 @@ namespace svc {
 class DaemonServer
 {
   public:
-    DaemonServer(CompileService &svc, std::string socket_path);
+    /**
+     * @p idle_timeout_ms, when nonzero, bounds how long a handler
+     * waits in readFrame for a client's next request (SO_RCVTIMEO on
+     * the accepted fd): a client that connected and went silent is
+     * dropped with a warning instead of pinning a handler thread
+     * forever. Responses get the same bound as a send timeout, so a
+     * client that stopped draining cannot wedge a handler either.
+     */
+    DaemonServer(CompileService &svc, std::string socket_path,
+                 int idle_timeout_ms = 0);
     ~DaemonServer();
 
     DaemonServer(const DaemonServer &) = delete;
@@ -62,6 +71,7 @@ class DaemonServer
 
     CompileService &svc_;
     std::string path_;
+    int idleTimeoutMs_ = 0;
     int listenFd_ = -1;
 
     std::thread acceptThread_;

@@ -87,7 +87,7 @@ Admission::queued() const
 CompileService::CompileService(const fabric::Device &dev,
                                ServiceConfig cfg)
     : dev_(dev), cfg_(std::move(cfg)),
-      store_(cfg_.storeDir, cfg_.storeBudgetBytes),
+      store_(cfg_.storeDir, cfg_.storeBudgetBytes, cfg_.vfs),
       admission_(cfg_.maxExecuting, cfg_.maxQueued)
 {
 }
@@ -288,7 +288,15 @@ CompileService::serve(uint64_t key, const RequestOptions &opts,
         ++stats_.storeMisses;
         obs::count("svc.request.compiled");
         if (res->status == RespStatus::Ok) {
-            store_.put(key, res->blob);
+            // A failed put is survivable: the result is still
+            // published from memory (this response and all coalesced
+            // joiners are correct), only warm-restart reuse is lost.
+            if (!store_.put(key, res->blob))
+                pld_warn("svc: artifact %016llx not durably stored; "
+                         "serving from memory%s",
+                         static_cast<unsigned long long>(key),
+                         store_.degraded() ? " (store degraded)"
+                                           : "");
         } else {
             ++stats_.failed;
             obs::count("svc.request.failed");
@@ -438,6 +446,11 @@ CompileService::statsText() const
        << "store.puts " << st.puts.load() << "\n"
        << "store.corrupt " << st.corrupt.load() << "\n"
        << "store.evictions " << st.evictions.load() << "\n"
+       << "store.io_errors " << st.ioErrors.load() << "\n"
+       << "store.quarantined " << st.quarantined.load() << "\n"
+       << "store.recency_rebuilt " << st.recencyRebuilt.load()
+       << "\n"
+       << "store.degraded " << (store_.degraded() ? 1 : 0) << "\n"
        << "store.bytes " << store_.bytesStored() << "\n"
        << "store.entries " << store_.entryCount() << "\n";
     return os.str();

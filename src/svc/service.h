@@ -63,6 +63,10 @@ struct ServiceConfig
     /** Requests allowed to wait for an executing slot; one more is
      * rejected with AdmissionRejected. */
     int maxQueued = 8;
+    /** Filesystem the artifact store runs on; null = the real one.
+     * pldd wraps this in a FaultVfs when PLD_FAULT carries io_*
+     * kinds, so chaos runs inject faults without recompiling. */
+    std::shared_ptr<Vfs> vfs;
 };
 
 /** Request-classification counters (see the invariant above). */

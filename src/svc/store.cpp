@@ -1,15 +1,14 @@
 #include "svc/store.h"
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdio>
-#include <filesystem>
-#include <fstream>
+#include <cstdlib>
+#include <sstream>
 
 #include "common/hash.h"
 #include "common/logging.h"
 #include "obs/trace.h"
-
-namespace fs = std::filesystem;
 
 namespace pld {
 namespace svc {
@@ -69,18 +68,48 @@ getLe64(const uint8_t *p)
     return v;
 }
 
+bool
+endsWith(const std::string &s, const std::string &suffix)
+{
+    return s.size() >= suffix.size() &&
+           s.compare(s.size() - suffix.size(), suffix.size(),
+                     suffix) == 0;
+}
+
+/** Parse one "hex seq" index line; false on any damage (short
+ * line, bad hex, bad number, trailing junk). */
+bool
+parseIndexLine(const std::string &line, uint64_t *key,
+               uint64_t *seq)
+{
+    std::istringstream ls(line);
+    std::string hex, num, extra;
+    if (!(ls >> hex >> num) || (ls >> extra))
+        return false;
+    char *endp = nullptr;
+    *key = std::strtoull(hex.c_str(), &endp, 16);
+    if (hex.empty() || endp != hex.c_str() + hex.size())
+        return false;
+    *seq = std::strtoull(num.c_str(), &endp, 10);
+    if (num.empty() || endp != num.c_str() + num.size())
+        return false;
+    return true;
+}
+
 } // namespace
 
-ArtifactStore::ArtifactStore(std::string dir, uint64_t budget_bytes)
-    : dir_(std::move(dir)), budget_(budget_bytes)
+ArtifactStore::ArtifactStore(std::string dir, uint64_t budget_bytes,
+                             std::shared_ptr<Vfs> vfs)
+    : dir_(std::move(dir)), budget_(budget_bytes),
+      vfs_(vfs ? std::move(vfs) : systemVfs())
 {
-    std::error_code ec;
-    fs::create_directories(dir_, ec);
-    if (ec)
+    IoStatus st = vfs_->mkdirs(dir_);
+    if (!st.ok())
         pld_fatal("artifact store: cannot create %s: %s",
-                  dir_.c_str(), ec.message().c_str());
+                  dir_.c_str(), st.message().c_str());
     std::lock_guard<std::mutex> lk(mtx_);
     loadIndexLocked();
+    vfs_->crashPoint("store.open.recovered");
 }
 
 ArtifactStore::~ArtifactStore()
@@ -96,54 +125,139 @@ ArtifactStore::entryPath(uint64_t key) const
 }
 
 void
-ArtifactStore::loadIndexLocked()
+ArtifactStore::noteIoError(const char *what, const std::string &path,
+                           const IoStatus &st)
 {
-    // 1. Scan entry files for existence and payload size.
-    for (const auto &de : fs::directory_iterator(dir_)) {
-        if (!de.is_regular_file() ||
-            de.path().extension() != ".art")
-            continue;
-        std::ifstream f(de.path(), std::ios::binary);
-        uint8_t hdr[kHeaderBytes];
-        if (!f.read(reinterpret_cast<char *>(hdr), kHeaderBytes))
-            continue; // torn header: ignored; get() will miss it
-        if (getLe32(hdr) != kStoreMagic ||
-            getLe32(hdr + 4) != kStoreVersion)
-            continue;
-        uint64_t key = getLe64(hdr + 8);
-        Entry e;
-        e.size = getLe64(hdr + 16);
-        entries_[key] = e; // seq 0: oldest until the index says more
-        bytes_ += e.size;
-    }
-
-    // 2. Recency from the persisted index; unknown keys keep seq 0
-    //    and therefore rank oldest, ordered among themselves by key
-    //    (std::map iteration order — deterministic).
-    std::ifstream idx(dir_ + "/lru.txt");
-    std::string hex;
-    uint64_t seq;
-    while (idx >> hex >> seq) {
-        uint64_t key = std::strtoull(hex.c_str(), nullptr, 16);
-        auto it = entries_.find(key);
-        if (it != entries_.end()) {
-            it->second.seq = seq;
-            seqCounter_ = std::max(seqCounter_, seq);
-        }
-    }
+    ++stats_.ioErrors;
+    obs::count("svc.store.io_errors");
+    if (st.err == ENOSPC && !degraded_.exchange(true))
+        pld_warn("artifact store: disk full; degraded mode — "
+                 "serving cached entries and in-memory results "
+                 "only until a write succeeds");
+    pld_warn("artifact store: %s %s failed: %s", what, path.c_str(),
+             st.message().c_str());
 }
 
 void
-ArtifactStore::persistIndexLocked() const
+ArtifactStore::loadIndexLocked()
 {
-    std::string tmp = dir_ + "/lru.txt.tmp";
-    {
-        std::ofstream f(tmp, std::ios::trunc);
-        for (const auto &[key, e] : entries_)
-            f << keyHex(key) << " " << e.seq << "\n";
+    // 1. Crash-recovery scan. A '*.tmp' is a put() or index write
+    //    the previous process never renamed — by construction the
+    //    entry files themselves are either whole or absent, so the
+    //    tmp is the only torn shape a crash can leave. Quarantine
+    //    rather than delete: postmortems want the bytes.
+    std::vector<DirEntry> files;
+    IoStatus st = vfs_->listDir(dir_, &files);
+    if (!st.ok())
+        pld_fatal("artifact store: cannot scan %s: %s",
+                  dir_.c_str(), st.message().c_str());
+    std::map<uint64_t, int64_t> mtimes;
+    for (const auto &f : files) {
+        if (endsWith(f.name, ".tmp")) {
+            std::string qdir = dir_ + "/quarantine";
+            vfs_->mkdirs(qdir);
+            IoStatus mv = vfs_->rename(dir_ + "/" + f.name,
+                                       qdir + "/" + f.name);
+            if (!mv.ok())
+                vfs_->remove(dir_ + "/" + f.name);
+            ++stats_.quarantined;
+            obs::count("svc.store.quarantined");
+            pld_warn("artifact store: quarantined half-written %s",
+                     f.name.c_str());
+            continue;
+        }
+        if (!endsWith(f.name, ".art"))
+            continue;
+        std::vector<uint8_t> hdr;
+        if (!vfs_->readFile(dir_ + "/" + f.name, &hdr, kHeaderBytes)
+                 .ok() ||
+            hdr.size() < kHeaderBytes)
+            continue; // torn header: ignored; get() will miss it
+        if (getLe32(hdr.data()) != kStoreMagic ||
+            getLe32(hdr.data() + 4) != kStoreVersion)
+            continue;
+        uint64_t key = getLe64(hdr.data() + 8);
+        Entry e;
+        e.size = getLe64(hdr.data() + 16);
+        entries_[key] = e;
+        bytes_ += e.size;
+        mtimes[key] = f.mtimeNs;
     }
-    std::error_code ec;
-    fs::rename(tmp, dir_ + "/lru.txt", ec);
+
+    // 2. Recency from the persisted index, tolerating any damage a
+    //    crash can inflict: a truncated final line, duplicated keys
+    //    (last write wins), keys with no entry file (ignored), and
+    //    outright garbage lines are all skipped — never a crash,
+    //    never a full-store invalidation.
+    std::map<uint64_t, uint64_t> indexed; // key -> seq
+    std::vector<uint8_t> idx_bytes;
+    if (vfs_->readFile(dir_ + "/lru.txt", &idx_bytes).ok()) {
+        std::istringstream idx(std::string(idx_bytes.begin(),
+                                           idx_bytes.end()));
+        std::string line;
+        while (std::getline(idx, line)) {
+            if (line.empty())
+                continue;
+            uint64_t key = 0, seq = 0;
+            if (!parseIndexLine(line, &key, &seq))
+                continue;
+            if (entries_.count(key))
+                indexed[key] = seq;
+        }
+    }
+
+    // 3. Entries the index does not cover rank oldest, ordered by
+    //    file mtime (ties by key) — a rebuilt recency, not a guess
+    //    that punishes every survivor of a lost index equally.
+    std::vector<std::pair<int64_t, uint64_t>> unindexed;
+    for (const auto &[key, e] : entries_) {
+        if (!indexed.count(key)) {
+            unindexed.emplace_back(mtimes[key], key);
+            ++stats_.recencyRebuilt;
+            obs::count("svc.store.recency_rebuilt");
+        }
+    }
+    std::sort(unindexed.begin(), unindexed.end());
+    std::vector<std::pair<uint64_t, uint64_t>> by_seq; // (seq, key)
+    for (const auto &[key, seq] : indexed)
+        by_seq.emplace_back(seq, key);
+    std::sort(by_seq.begin(), by_seq.end());
+
+    // Renumber everything 1..N: unindexed (oldest) first, then the
+    // indexed entries in their persisted order.
+    uint64_t next = 0;
+    for (const auto &[mtime, key] : unindexed)
+        entries_[key].seq = ++next;
+    for (const auto &[seq, key] : by_seq)
+        entries_[key].seq = ++next;
+    seqCounter_ = next;
+}
+
+void
+ArtifactStore::persistIndexLocked()
+{
+    std::ostringstream os;
+    for (const auto &[key, e] : entries_)
+        os << keyHex(key) << " " << e.seq << "\n";
+    const std::string text = os.str();
+
+    std::string tmp = dir_ + "/lru.txt.tmp";
+    IoStatus st = vfs_->writeFile(
+        tmp, reinterpret_cast<const uint8_t *>(text.data()),
+        text.size(), /*sync=*/true);
+    if (!st.ok()) {
+        noteIoError("index write of", tmp, st);
+        vfs_->remove(tmp);
+        return; // stale lru.txt: recency degrades, data unaffected
+    }
+    vfs_->crashPoint("store.index.tmp_written");
+    st = vfs_->rename(tmp, dir_ + "/lru.txt");
+    if (!st.ok()) {
+        noteIoError("index rename of", tmp, st);
+        vfs_->remove(tmp);
+        return;
+    }
+    vfs_->crashPoint("store.index.renamed");
 }
 
 std::optional<std::vector<uint8_t>>
@@ -158,41 +272,47 @@ ArtifactStore::get(uint64_t key)
     }
 
     auto evict = [&](const char *why) {
-        std::error_code ec;
-        fs::remove(entryPath(key), ec);
+        vfs_->remove(entryPath(key));
         bytes_ -= it->second.size;
         entries_.erase(it);
         ++stats_.corrupt;
         ++stats_.misses;
         obs::count("svc.store.corrupt");
         obs::count("svc.store.misses");
+        vfs_->crashPoint("store.get.evicted");
         persistIndexLocked();
         pld_warn("artifact store: entry %s %s; evicted for "
                  "recompile",
                  keyHex(key).c_str(), why);
     };
 
-    std::ifstream f(entryPath(key), std::ios::binary);
-    uint8_t hdr[kHeaderBytes];
-    if (!f.read(reinterpret_cast<char *>(hdr), kHeaderBytes)) {
+    vfs_->crashPoint("store.get.before_read");
+    std::vector<uint8_t> bytes;
+    IoStatus st = vfs_->readFile(entryPath(key), &bytes);
+    if (!st.ok()) {
+        ++stats_.ioErrors;
+        obs::count("svc.store.io_errors");
+        evict("is unreadable");
+        return std::nullopt;
+    }
+    if (bytes.size() < kHeaderBytes) {
         evict("lost its header");
         return std::nullopt;
     }
-    if (getLe32(hdr) != kStoreMagic ||
-        getLe32(hdr + 4) != kStoreVersion ||
-        getLe64(hdr + 8) != key) {
+    if (getLe32(bytes.data()) != kStoreMagic ||
+        getLe32(bytes.data() + 4) != kStoreVersion ||
+        getLe64(bytes.data() + 8) != key) {
         evict("has a corrupt header");
         return std::nullopt;
     }
-    uint64_t size = getLe64(hdr + 16);
-    uint64_t sum = getLe64(hdr + 24);
-    std::vector<uint8_t> payload(static_cast<size_t>(size));
-    if (size > 0 &&
-        !f.read(reinterpret_cast<char *>(payload.data()),
-                static_cast<std::streamsize>(size))) {
+    uint64_t size = getLe64(bytes.data() + 16);
+    uint64_t sum = getLe64(bytes.data() + 24);
+    if (bytes.size() != kHeaderBytes + size) {
         evict("is truncated");
         return std::nullopt;
     }
+    std::vector<uint8_t> payload(bytes.begin() + kHeaderBytes,
+                                 bytes.end());
     if (payloadChecksum(payload) != sum) {
         evict("failed its checksum");
         return std::nullopt;
@@ -215,8 +335,8 @@ ArtifactStore::evictForLocked(uint64_t incoming_bytes)
                 it->second.seq < victim->second.seq)
                 victim = it;
         }
-        std::error_code ec;
-        fs::remove(entryPath(victim->first), ec);
+        vfs_->remove(entryPath(victim->first));
+        vfs_->crashPoint("store.evict.removed");
         bytes_ -= victim->second.size;
         entries_.erase(victim);
         ++stats_.evictions;
@@ -224,10 +344,11 @@ ArtifactStore::evictForLocked(uint64_t incoming_bytes)
     }
 }
 
-void
+bool
 ArtifactStore::put(uint64_t key, const std::vector<uint8_t> &payload)
 {
     std::lock_guard<std::mutex> lk(mtx_);
+    vfs_->crashPoint("store.put.begin");
     if (payload.size() > budget_) {
         ++stats_.oversize;
         obs::count("svc.store.oversize");
@@ -235,7 +356,7 @@ ArtifactStore::put(uint64_t key, const std::vector<uint8_t> &payload)
                  "whole %llu-byte budget; not stored",
                  payload.size(),
                  static_cast<unsigned long long>(budget_));
-        return;
+        return false;
     }
 
     // Overwrite = remove then insert (budget math stays simple).
@@ -246,36 +367,40 @@ ArtifactStore::put(uint64_t key, const std::vector<uint8_t> &payload)
     }
     evictForLocked(payload.size());
 
+    std::vector<uint8_t> buf(kHeaderBytes + payload.size());
+    putLe32(buf.data(), kStoreMagic);
+    putLe32(buf.data() + 4, kStoreVersion);
+    putLe64(buf.data() + 8, key);
+    putLe64(buf.data() + 16, payload.size());
+    putLe64(buf.data() + 24, payloadChecksum(payload));
+    std::copy(payload.begin(), payload.end(),
+              buf.begin() + kHeaderBytes);
+
+    // Durability order: tmp written + fsynced, renamed over the
+    // entry, directory fsynced, and only then the index — so a
+    // crash at ANY point leaves either the old entry, no entry, or
+    // the complete new entry, never a torn one (the tmp is
+    // quarantined by the next open's recovery scan).
     std::string tmp = entryPath(key) + ".tmp";
-    {
-        std::ofstream f(tmp, std::ios::binary | std::ios::trunc);
-        uint8_t hdr[kHeaderBytes];
-        putLe32(hdr, kStoreMagic);
-        putLe32(hdr + 4, kStoreVersion);
-        putLe64(hdr + 8, key);
-        putLe64(hdr + 16, payload.size());
-        putLe64(hdr + 24, payloadChecksum(payload));
-        f.write(reinterpret_cast<const char *>(hdr), kHeaderBytes);
-        if (!payload.empty())
-            f.write(reinterpret_cast<const char *>(payload.data()),
-                    static_cast<std::streamsize>(payload.size()));
-        if (!f) {
-            pld_warn("artifact store: write of %s failed; entry "
-                     "not stored",
-                     tmp.c_str());
-            std::error_code ec;
-            fs::remove(tmp, ec);
-            return;
-        }
+    IoStatus st =
+        vfs_->writeFile(tmp, buf.data(), buf.size(), /*sync=*/true);
+    if (!st.ok()) {
+        noteIoError("write of", tmp, st);
+        vfs_->remove(tmp);
+        return false;
     }
-    std::error_code ec;
-    fs::rename(tmp, entryPath(key), ec);
-    if (ec) {
-        pld_warn("artifact store: rename of %s failed: %s",
-                 tmp.c_str(), ec.message().c_str());
-        fs::remove(tmp, ec);
-        return;
+    vfs_->crashPoint("store.put.tmp_written");
+    st = vfs_->rename(tmp, entryPath(key));
+    if (!st.ok()) {
+        noteIoError("rename of", tmp, st);
+        vfs_->remove(tmp);
+        return false;
     }
+    vfs_->crashPoint("store.put.entry_renamed");
+    st = vfs_->syncDir(dir_);
+    if (!st.ok()) // entry is live; durability of the rename is at
+        noteIoError("directory sync of", dir_, st); // risk, data ok
+    vfs_->crashPoint("store.put.dir_synced");
 
     Entry e;
     e.size = payload.size();
@@ -285,6 +410,9 @@ ArtifactStore::put(uint64_t key, const std::vector<uint8_t> &payload)
     ++stats_.puts;
     obs::count("svc.store.puts");
     persistIndexLocked();
+    vfs_->crashPoint("store.put.done");
+    degraded_.store(false); // a durable put ends ENOSPC degradation
+    return true;
 }
 
 bool

@@ -27,6 +27,37 @@ wireFail(CompileStage stage, const std::string &what)
     throw CompileError(std::move(d));
 }
 
+/** A transport-level failure (peer died mid-frame, ECONNRESET,
+ * EPIPE): retriable — reconnecting reaches a fresh daemon. Decode
+ * failures stay non-retriable wireFail()s: resending the same bytes
+ * cannot fix a malformed frame. */
+[[noreturn]] void
+transportFail(const std::string &what)
+{
+    Diagnostic d;
+    d.code = CompileCode::CompileException;
+    d.stage = CompileStage::Link;
+    d.severity = DiagSeverity::Error;
+    d.retriable = true;
+    d.detail = what;
+    throw CompileError(std::move(d));
+}
+
+/** A recv/send deadline (SO_RCVTIMEO/SO_SNDTIMEO) expired: always
+ * retriable — the peer may be hung, restarting, or just slow. */
+[[noreturn]] void
+deadlineFail(const char *what)
+{
+    Diagnostic d;
+    d.code = CompileCode::DeadlineExceeded;
+    d.stage = CompileStage::Link;
+    d.severity = DiagSeverity::Error;
+    d.retriable = true;
+    d.detail = std::string(what) +
+               " deadline expired waiting for the peer";
+    throw CompileError(std::move(d));
+}
+
 } // namespace
 
 // ---- byte codec --------------------------------------------------
@@ -474,14 +505,15 @@ readExact(int fd, uint8_t *dst, size_t n, bool eof_ok)
         if (r == 0) {
             if (eof_ok && got == 0)
                 return false;
-            wireFail(CompileStage::Link,
-                     "connection closed mid-frame");
+            transportFail("connection closed mid-frame");
         }
         if (r < 0) {
             if (errno == EINTR)
                 continue;
-            wireFail(CompileStage::Link,
-                     std::string("read: ") + std::strerror(errno));
+            if (errno == EAGAIN || errno == EWOULDBLOCK)
+                deadlineFail("recv");
+            transportFail(std::string("read: ") +
+                          std::strerror(errno));
         }
         got += static_cast<size_t>(r);
     }
@@ -529,8 +561,10 @@ writeFrame(int fd, const std::vector<uint8_t> &payload)
         if (r < 0) {
             if (errno == EINTR)
                 continue;
-            wireFail(CompileStage::Link,
-                     std::string("send: ") + std::strerror(errno));
+            if (errno == EAGAIN || errno == EWOULDBLOCK)
+                deadlineFail("send");
+            transportFail(std::string("send: ") +
+                          std::strerror(errno));
         }
         sent += static_cast<size_t>(r);
     }

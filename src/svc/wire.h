@@ -194,6 +194,11 @@ enum class MsgType : uint8_t
     StatsResp = 6,
     ShutdownReq = 7,
     ShutdownAck = 8,
+    /** Health probe: u64 nonce in, the same nonce back. Served
+     * before any compile work, so it answers "is the daemon alive
+     * and reading its socket" — the retry loop's restart detector. */
+    PingReq = 9,
+    PingResp = 10,
 };
 
 /** Hard cap on one frame (softcore images are tens of KB; a whole

@@ -1,0 +1,646 @@
+/**
+ * @file
+ * Crash-safety tests: the FaultVfs fault kinds themselves, named
+ * crash points (fork a child, let io_crash_point kill it, reopen the
+ * store in the parent and check what survived), lru.txt damage
+ * tolerance (truncated / duplicate / unknown-key / garbage lines,
+ * mtime-based recency rebuild), ENOSPC degraded mode, put() failure
+ * reporting, and the client-side resilience surface: ping, request
+ * deadlines against a silent server, deterministic backoff, retry
+ * through a daemon restart, and the idle-client watchdog.
+ *
+ * Crash tests use a plain fork(): each gtest case runs as its own
+ * ctest process (gtest_discover_tests), so no other threads exist
+ * when the child forks, and parent and child share the temp store
+ * directory — exactly what reopening after a crash needs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <memory>
+#include <thread>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "common/io.h"
+#include "fabric/device.h"
+#include "ir/builder.h"
+#include "svc/client.h"
+#include "svc/server.h"
+#include "svc/service.h"
+#include "svc/store.h"
+
+using namespace pld;
+using namespace pld::svc;
+namespace fs = std::filesystem;
+
+namespace {
+
+std::shared_ptr<Vfs>
+faulty(const std::string &spec)
+{
+    return std::make_shared<FaultVfs>(systemVfs(),
+                                      FaultPlan::parse(spec));
+}
+
+std::string
+hexKey(uint64_t key)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof buf, "%016llx",
+                  static_cast<unsigned long long>(key));
+    return buf;
+}
+
+std::vector<uint8_t>
+payloadFor(uint64_t key, size_t size)
+{
+    std::vector<uint8_t> p(size);
+    for (size_t i = 0; i < size; ++i)
+        p[i] = static_cast<uint8_t>((key * 31 + i * 7) & 0xff);
+    return p;
+}
+
+/** Run @p fn in a forked child; return its exit code (-1 when it
+ * died of a signal). A crash point inside fn _Exit(137)s the child;
+ * a clean return exits 0. */
+int
+inChild(const std::function<void()> &fn)
+{
+    std::fflush(nullptr);
+    pid_t pid = ::fork();
+    if (pid == 0) {
+        fn();
+        std::_Exit(0);
+    }
+    int st = 0;
+    ::waitpid(pid, &st, 0);
+    return WIFEXITED(st) ? WEXITSTATUS(st) : -1;
+}
+
+class CrashTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        char tmpl[] = "/tmp/pld_crash_test_XXXXXX";
+        ASSERT_NE(::mkdtemp(tmpl), nullptr);
+        dir = tmpl;
+    }
+
+    void
+    TearDown() override
+    {
+        std::error_code ec;
+        fs::remove_all(dir, ec);
+    }
+
+    std::string dir;
+};
+
+// ---- FaultVfs fault kinds ----------------------------------------
+
+TEST_F(CrashTest, ShortWritePersistsPrefixThenFails)
+{
+    auto vfs = faulty("io_short_write:f.bin*1");
+    auto data = payloadFor(1, 100);
+    std::string path = dir + "/f.bin";
+    IoStatus st = vfs->writeFile(path, data.data(), data.size(),
+                                 false);
+    EXPECT_FALSE(st.ok());
+    std::vector<uint8_t> got;
+    ASSERT_TRUE(systemVfs()->readFile(path, &got).ok());
+    EXPECT_EQ(got.size(), 50u); // the torn prefix is on disk
+
+    // The spec heals after its count: the retry writes everything.
+    ASSERT_TRUE(
+        vfs->writeFile(path, data.data(), data.size(), false).ok());
+    ASSERT_TRUE(systemVfs()->readFile(path, &got).ok());
+    EXPECT_EQ(got, data);
+}
+
+TEST_F(CrashTest, EnospcFailsWithPrefixOnDisk)
+{
+    auto vfs = faulty("io_enospc:f.bin*1");
+    auto data = payloadFor(2, 64);
+    IoStatus st = vfs->writeFile(dir + "/f.bin", data.data(),
+                                 data.size(), false);
+    EXPECT_EQ(st.err, ENOSPC);
+    std::vector<uint8_t> got;
+    ASSERT_TRUE(systemVfs()->readFile(dir + "/f.bin", &got).ok());
+    EXPECT_EQ(got.size(), 32u);
+}
+
+TEST_F(CrashTest, EioWritesNothing)
+{
+    auto vfs = faulty("io_eio:f.bin*1");
+    auto data = payloadFor(3, 64);
+    IoStatus st = vfs->writeFile(dir + "/f.bin", data.data(),
+                                 data.size(), false);
+    EXPECT_EQ(st.err, EIO);
+    EXPECT_FALSE(fs::exists(dir + "/f.bin"));
+}
+
+TEST_F(CrashTest, TornRenameReportsOkButDestinationIsTorn)
+{
+    auto vfs = faulty("io_torn_rename:dst.bin*1");
+    auto data = payloadFor(4, 80);
+    ASSERT_TRUE(vfs->writeFile(dir + "/src.bin", data.data(),
+                               data.size(), false)
+                    .ok());
+    IoStatus st = vfs->rename(dir + "/src.bin", dir + "/dst.bin");
+    EXPECT_TRUE(st.ok()); // the lie is the point
+    std::vector<uint8_t> got;
+    ASSERT_TRUE(systemVfs()->readFile(dir + "/dst.bin", &got).ok());
+    EXPECT_EQ(got.size(), 40u);
+}
+
+TEST_F(CrashTest, ArrivalOrdinalsCountPerSite)
+{
+    auto vfs = faulty("io_eio:a.bin*2");
+    auto data = payloadFor(5, 16);
+    auto write = [&](const char *name) {
+        return vfs->writeFile(dir + "/" + name, data.data(),
+                              data.size(), false);
+    };
+    EXPECT_EQ(write("a.bin").err, EIO); // arrival 0
+    EXPECT_TRUE(write("b.bin").ok());   // different site, untouched
+    EXPECT_EQ(write("a.bin").err, EIO); // arrival 1
+    EXPECT_TRUE(write("a.bin").ok());   // arrival 2: healed
+}
+
+// ---- crash points ------------------------------------------------
+
+TEST_F(CrashTest, UncountedCrashPointDiesOnFirstArrival)
+{
+    EXPECT_EQ(inChild([&] {
+                  auto vfs = faulty("io_crash_point:site.x");
+                  vfs->crashPoint("site.other"); // no match
+                  vfs->crashPoint("site.x");
+              }),
+              FaultVfs::kCrashExitCode);
+}
+
+TEST_F(CrashTest, CountedCrashPointDiesOnExactlyNthArrival)
+{
+    // '*3' means "die on the third arrival" — the first two return.
+    EXPECT_EQ(inChild([&] {
+                  auto vfs = faulty("io_crash_point:site.x*3");
+                  vfs->crashPoint("site.x");
+                  vfs->crashPoint("site.x");
+              }),
+              0);
+    EXPECT_EQ(inChild([&] {
+                  auto vfs = faulty("io_crash_point:site.x*3");
+                  vfs->crashPoint("site.x");
+                  vfs->crashPoint("site.x");
+                  vfs->crashPoint("site.x");
+              }),
+              FaultVfs::kCrashExitCode);
+}
+
+// ---- store crash recovery ----------------------------------------
+
+TEST_F(CrashTest, CrashBeforeRenameQuarantinesTmp)
+{
+    EXPECT_EQ(inChild([&] {
+                  ArtifactStore s(
+                      dir, 1 << 20,
+                      faulty("io_crash_point:store.put.tmp_written*1"));
+                  s.put(1, payloadFor(1, 500));
+              }),
+              FaultVfs::kCrashExitCode);
+
+    // The tmp was written but never renamed: recovery quarantines
+    // it and the key misses (caller recompiles once).
+    ArtifactStore s(dir, 1 << 20);
+    EXPECT_FALSE(s.get(1).has_value());
+    EXPECT_GE(s.stats().quarantined.load(), 1u);
+    size_t quarantined = 0;
+    for (const auto &e : fs::directory_iterator(dir + "/quarantine"))
+        quarantined += e.is_regular_file() ? 1 : 0;
+    EXPECT_GE(quarantined, 1u);
+    for (const auto &e : fs::directory_iterator(dir))
+        EXPECT_FALSE(e.path().string().ends_with(".tmp"));
+}
+
+TEST_F(CrashTest, CrashAfterRenameKeepsEntryDurable)
+{
+    auto p = payloadFor(2, 700);
+    EXPECT_EQ(
+        inChild([&] {
+            ArtifactStore s(
+                dir, 1 << 20,
+                faulty("io_crash_point:store.put.entry_renamed*1"));
+            s.put(2, p);
+        }),
+        FaultVfs::kCrashExitCode);
+
+    // Renamed + fsynced before the crash: the entry survives even
+    // though lru.txt was never written; recency is rebuilt.
+    ArtifactStore s(dir, 1 << 20);
+    auto got = s.get(2);
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(*got, p);
+    EXPECT_GE(s.stats().recencyRebuilt.load(), 1u);
+}
+
+TEST_F(CrashTest, CrashAtIndexTmpQuarantinesIndexTmp)
+{
+    auto p = payloadFor(3, 300);
+    EXPECT_EQ(
+        inChild([&] {
+            ArtifactStore s(
+                dir, 1 << 20,
+                faulty("io_crash_point:store.index.tmp_written*1"));
+            s.put(3, p);
+        }),
+        FaultVfs::kCrashExitCode);
+
+    ArtifactStore s(dir, 1 << 20);
+    auto got = s.get(3);
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(*got, p);
+    EXPECT_GE(s.stats().quarantined.load(), 1u); // lru.txt.tmp
+    EXPECT_FALSE(fs::exists(dir + "/lru.txt.tmp"));
+}
+
+TEST_F(CrashTest, CrashMidCorruptEvictionNeverResurrectsEntry)
+{
+    EXPECT_EQ(
+        inChild([&] {
+            ArtifactStore s(
+                dir, 1 << 20,
+                faulty("io_crash_point:store.get.evicted*1"));
+            s.put(7, payloadFor(7, 400));
+            // Flip a payload byte on disk, then get(): checksum
+            // mismatch -> evict -> crash point.
+            std::fstream f(s.entryPath(7),
+                           std::ios::in | std::ios::out |
+                               std::ios::binary);
+            f.seekp(40);
+            f.put('!');
+            f.close();
+            s.get(7);
+        }),
+        FaultVfs::kCrashExitCode);
+
+    // The corrupt file was unlinked before the crash point; reopen
+    // must miss, never serve the damaged bytes.
+    ArtifactStore s(dir, 1 << 20);
+    EXPECT_FALSE(s.get(7).has_value());
+    EXPECT_EQ(s.stats().corrupt.load(), 0u);
+}
+
+// ---- put() failure reporting & degraded mode ---------------------
+
+TEST_F(CrashTest, EnospcPutReportsFailureAndDegradesUntilSuccess)
+{
+    ArtifactStore s(dir, 1 << 20,
+                    faulty("io_enospc:" + hexKey(42) + ".art.tmp*1"));
+    auto p = payloadFor(42, 256);
+    EXPECT_FALSE(s.put(42, p));
+    EXPECT_TRUE(s.degraded());
+    EXPECT_EQ(s.stats().ioErrors.load(), 1u);
+    EXPECT_FALSE(s.contains(42));
+
+    // The disk "clears"; the next put lands and lifts degraded mode.
+    EXPECT_TRUE(s.put(42, p));
+    EXPECT_FALSE(s.degraded());
+    auto got = s.get(42);
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(*got, p);
+}
+
+TEST_F(CrashTest, EntryRenameFailureFailsThePut)
+{
+    ArtifactStore s(dir, 1 << 20,
+                    faulty("io_eio:" + hexKey(9) + ".art*1"));
+    EXPECT_FALSE(s.put(9, payloadFor(9, 128)));
+    EXPECT_EQ(s.stats().ioErrors.load(), 1u);
+    EXPECT_FALSE(s.contains(9));
+    EXPECT_TRUE(s.put(9, payloadFor(9, 128)));
+}
+
+TEST_F(CrashTest, IndexRenameFailureStillStoresTheEntry)
+{
+    // Arrival 0 of (io_eio, lru.txt) is the open-time index read
+    // (tolerated as "no index"); arrival 1 is the first index
+    // rename. The entry itself must still be durable: only recency
+    // is at stake, and it rebuilds on reopen.
+    auto p = payloadFor(5, 200);
+    {
+        ArtifactStore s(dir, 1 << 20, faulty("io_eio:lru.txt*2"));
+        EXPECT_TRUE(s.put(5, p));
+        EXPECT_GE(s.stats().ioErrors.load(), 1u);
+        EXPECT_TRUE(s.contains(5));
+    }
+    ArtifactStore s(dir, 1 << 20);
+    auto got = s.get(5);
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(*got, p);
+}
+
+// ---- lru.txt damage tolerance (satellite S3) ---------------------
+
+TEST_F(CrashTest, DamagedIndexLinesAreSkippedPerLine)
+{
+    {
+        ArtifactStore s(dir, 1 << 20);
+        s.put(1, payloadFor(1, 100));
+        s.put(2, payloadFor(2, 100));
+        s.put(3, payloadFor(3, 100));
+    }
+    // A crash-torn index: one good line, a truncated line, garbage,
+    // another good line — and no line at all for key 2.
+    std::ofstream idx(dir + "/lru.txt", std::ios::trunc);
+    idx << hexKey(1) << " 10\n"
+        << "deadbe\n"
+        << "not an index line at all\n"
+        << hexKey(3) << " 20\n";
+    idx.close();
+
+    ArtifactStore s(dir, 1 << 20);
+    EXPECT_TRUE(s.get(1).has_value());
+    EXPECT_TRUE(s.get(2).has_value());
+    EXPECT_TRUE(s.get(3).has_value());
+    EXPECT_EQ(s.stats().recencyRebuilt.load(), 1u); // key 2 only
+}
+
+TEST_F(CrashTest, DuplicateIndexKeyLastWriteWins)
+{
+    {
+        ArtifactStore s(dir, 1 << 20);
+        s.put(1, payloadFor(1, 100));
+        s.put(2, payloadFor(2, 100));
+    }
+    std::ofstream idx(dir + "/lru.txt", std::ios::trunc);
+    idx << hexKey(1) << " 5\n"
+        << hexKey(2) << " 6\n"
+        << hexKey(1) << " 7\n"; // key 1 re-touched: most recent
+    idx.close();
+
+    ArtifactStore s(dir, 1 << 20);
+    EXPECT_EQ(s.keysByRecency(),
+              (std::vector<uint64_t>{2, 1}));
+}
+
+TEST_F(CrashTest, UnknownIndexKeyIgnored)
+{
+    {
+        ArtifactStore s(dir, 1 << 20);
+        s.put(1, payloadFor(1, 100));
+    }
+    std::ofstream idx(dir + "/lru.txt", std::ios::trunc);
+    idx << hexKey(0xdead) << " 1\n" << hexKey(1) << " 2\n";
+    idx.close();
+
+    ArtifactStore s(dir, 1 << 20);
+    EXPECT_EQ(s.entryCount(), 1u);
+    EXPECT_EQ(s.stats().recencyRebuilt.load(), 0u);
+    EXPECT_FALSE(s.get(0xdead).has_value());
+    EXPECT_TRUE(s.get(1).has_value());
+}
+
+TEST_F(CrashTest, MissingIndexRebuildsRecencyFromMtimes)
+{
+    {
+        ArtifactStore s(dir, 1 << 20);
+        s.put(1, payloadFor(1, 100));
+        s.put(2, payloadFor(2, 100));
+    }
+    fs::remove(dir + "/lru.txt");
+    // Key 2's file is made the older one: it must rank least
+    // recent despite being put() last.
+    auto now = fs::file_time_type::clock::now();
+    fs::last_write_time(dir + "/" + hexKey(2) + ".art",
+                        now - std::chrono::hours(2));
+    fs::last_write_time(dir + "/" + hexKey(1) + ".art",
+                        now - std::chrono::hours(1));
+
+    ArtifactStore s(dir, 1 << 20);
+    EXPECT_EQ(s.stats().recencyRebuilt.load(), 2u);
+    EXPECT_EQ(s.keysByRecency(),
+              (std::vector<uint64_t>{2, 1}));
+}
+
+// ---- client resilience: ping, deadlines, backoff, retry ----------
+
+constexpr ir::Type kFx = ir::Type::fx(32, 17);
+
+ir::Graph
+makePipeline(double factor)
+{
+    ir::OpBuilder s("scale");
+    auto sin = s.input("Input_1");
+    auto sout = s.output("mid");
+    auto sx = s.var("x", kFx);
+    s.pragma(ir::Target::HW);
+    s.forLoop(0, 16, [&](ir::Ex) {
+        s.set(sx, s.read(sin).bitcast(kFx));
+        s.write(sout, (ir::Ex(sx) * ir::litF(factor, kFx)).cast(kFx));
+    });
+
+    ir::OpBuilder o("offset");
+    auto oin = o.input("mid");
+    auto oout = o.output("Output_1");
+    auto ox = o.var("x", kFx);
+    o.pragma(ir::Target::HW);
+    o.forLoop(0, 16, [&](ir::Ex) {
+        o.set(ox, o.read(oin).bitcast(kFx));
+        o.write(oout, (ir::Ex(ox) + ir::litF(-2.0, kFx)).cast(kFx));
+    });
+
+    ir::GraphBuilder gb("crash_app");
+    auto in = gb.extIn("Input_1");
+    auto out = gb.extOut("Output_1");
+    auto mid = gb.wire();
+    gb.inst(s.finish(), {in}, {mid});
+    gb.inst(o.finish(), {mid}, {out});
+    return gb.finish();
+}
+
+CompileRequest
+makeRequest(double factor)
+{
+    CompileRequest req;
+    req.opts.level = 1;
+    req.graphText = encodeGraphText(makePipeline(factor));
+    return req;
+}
+
+/** An AF_UNIX listener that accepts and reads but never replies —
+ * what a wedged daemon looks like from the client side. */
+class SilentServer
+{
+  public:
+    explicit SilentServer(const std::string &path) : path_(path)
+    {
+        lfd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        sockaddr_un addr{};
+        addr.sun_family = AF_UNIX;
+        std::snprintf(addr.sun_path, sizeof(addr.sun_path), "%s",
+                      path.c_str());
+        ::bind(lfd_, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr));
+        ::listen(lfd_, 4);
+        th_ = std::thread([this] {
+            for (;;) {
+                int fd = ::accept(lfd_, nullptr, nullptr);
+                if (fd < 0)
+                    return;
+                conns_.push_back(fd); // hold open, never answer
+            }
+        });
+    }
+
+    ~SilentServer()
+    {
+        ::shutdown(lfd_, SHUT_RDWR);
+        ::close(lfd_);
+        th_.join();
+        for (int fd : conns_)
+            ::close(fd);
+        ::unlink(path_.c_str());
+    }
+
+  private:
+    std::string path_;
+    int lfd_ = -1;
+    std::thread th_;
+    std::vector<int> conns_;
+};
+
+class CrashDaemonTest : public CrashTest
+{
+  protected:
+    void
+    SetUp() override
+    {
+        CrashTest::SetUp();
+        dev = fabric::makeU50();
+        cfg.storeDir = dir + "/store";
+    }
+
+    fabric::Device dev;
+    ServiceConfig cfg;
+};
+
+TEST_F(CrashDaemonTest, PingRoundTrip)
+{
+    CompileService service(dev, cfg);
+    DaemonServer server(service, dir + "/pldd.sock");
+    server.start();
+
+    Client c(server.socketPath());
+    ASSERT_TRUE(c.connect());
+    EXPECT_TRUE(c.ping(0xabcdef));
+    EXPECT_TRUE(c.ping(1)); // connection stays usable
+    server.stop();
+
+    Client down(dir + "/nobody.sock");
+    EXPECT_FALSE(down.connect());
+    EXPECT_FALSE(down.ping(2));
+}
+
+TEST_F(CrashDaemonTest, DeadlineExpiresAgainstSilentServer)
+{
+    SilentServer silent(dir + "/silent.sock");
+    Client c(dir + "/silent.sock");
+    c.setDeadlineMs(150);
+    ASSERT_TRUE(c.connect());
+
+    auto t0 = std::chrono::steady_clock::now();
+    try {
+        c.stats();
+        FAIL() << "stats() should have timed out";
+    } catch (const CompileError &e) {
+        EXPECT_EQ(e.diag().code, CompileCode::DeadlineExceeded);
+        EXPECT_TRUE(e.diag().retriable);
+    }
+    auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                  std::chrono::steady_clock::now() - t0)
+                  .count();
+    EXPECT_LT(ms, 5000); // a deadline, not a hang
+}
+
+TEST_F(CrashDaemonTest, BackoffIsDeterministicBoundedMonotone)
+{
+    RetryPolicy p;
+    for (int k = 0; k < 10; ++k) {
+        int a = Client::backoffMs(p, k);
+        EXPECT_EQ(a, Client::backoffMs(p, k)); // pure function
+        EXPECT_GE(a, 1);
+        EXPECT_LE(a, p.maxMs);
+        if (k > 0 && Client::backoffMs(p, k - 1) * 2 <= p.maxMs) {
+            EXPECT_GE(a, Client::backoffMs(p, k - 1));
+        }
+    }
+    EXPECT_LE(Client::backoffMs(p, 30), p.maxMs); // no overflow
+
+    RetryPolicy q = p;
+    q.seed = 99;
+    int diffs = 0;
+    for (int k = 0; k < 10; ++k)
+        diffs += Client::backoffMs(q, k) != Client::backoffMs(p, k);
+    EXPECT_GT(diffs, 0); // the jitter actually depends on the seed
+}
+
+TEST_F(CrashDaemonTest, RetryConnectsThroughLateDaemonStart)
+{
+    CompileService service(dev, cfg);
+    DaemonServer server(service, dir + "/pldd.sock");
+    std::thread starter([&] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(300));
+        server.start();
+    });
+
+    Client c(dir + "/pldd.sock");
+    RetryPolicy policy;
+    policy.maxAttempts = 12;
+    policy.baseMs = 25;
+    policy.maxMs = 250;
+    auto resp = c.compileWithRetry(makeRequest(1.5), policy);
+    EXPECT_EQ(resp.status, RespStatus::Ok);
+    EXPECT_FALSE(resp.blob.empty());
+
+    starter.join();
+    server.stop();
+}
+
+TEST_F(CrashDaemonTest, IdleClientIsDroppedButServerStaysUp)
+{
+    CompileService service(dev, cfg);
+    DaemonServer server(service, dir + "/pldd.sock",
+                        /*idle_timeout_ms=*/150);
+    server.start();
+
+    Client idle(server.socketPath());
+    ASSERT_TRUE(idle.connect());
+    std::this_thread::sleep_for(std::chrono::milliseconds(600));
+    // The watchdog hung up on us; the next round-trip fails as a
+    // retriable transport error, not a hang.
+    try {
+        idle.stats();
+        FAIL() << "idle connection should have been dropped";
+    } catch (const CompileError &e) {
+        EXPECT_TRUE(e.diag().retriable);
+    }
+
+    Client fresh(server.socketPath());
+    ASSERT_TRUE(fresh.connect());
+    EXPECT_TRUE(fresh.ping(7));
+    server.stop();
+}
+
+} // namespace

@@ -4,6 +4,7 @@
  *   $ pldc emit quickstart -o q.pld     # write a builtin app's graph
  *   $ pldc compile q.pld                # compile via the daemon
  *   $ pldc swap q.pld --base KEY --op scale
+ *   $ pldc ping
  *   $ pldc stats
  *   $ pldc shutdown
  *
@@ -11,6 +12,12 @@
  * quickstart two-operator pipeline or any rosetta benchmark graph)
  * to the .pld text container, the portable source form an
  * edit-refine client submits every iteration.
+ *
+ * Exit codes distinguish "give up" from "try again" so scripts can
+ * retry intelligently (see usage()): 0 success, 1 terminal failure
+ * (the compile itself failed — a resubmit would fail identically),
+ * 2 retriable failure (admission rejection, expired --deadline-ms,
+ * daemon unreachable/restarting), 64 usage error.
  */
 
 #include <cstdio>
@@ -44,6 +51,7 @@ usage()
         "  swap FILE --base HEXKEY --op NAME [opts]\n"
         "                           hot-swap one operator against a\n"
         "                           previously compiled base build\n"
+        "  ping                     health-probe the daemon\n"
         "  stats                    print daemon counters\n"
         "  shutdown                 stop the daemon\n"
         "\n"
@@ -52,7 +60,25 @@ usage()
         "  --seed N --effort X --jobs N --tier O0|Os\n"
         "  --fault SPEC             PLD_FAULT-grammar fault plan\n"
         "  --trace FILE             daemon writes a per-request\n"
-        "                           Chrome trace to FILE\n");
+        "                           Chrome trace to FILE\n"
+        "\n"
+        "resilience options (all daemon commands):\n"
+        "  --deadline-ms N          bound every send/recv; an expired\n"
+        "                           deadline exits 2 (default: wait\n"
+        "                           forever)\n"
+        "  --retries N              retry a retriable failure up to N\n"
+        "                           times with exponential backoff\n"
+        "                           (default 3; 0 = fail fast)\n"
+        "  --retry-base-ms N        first backoff sleep (default 50,\n"
+        "                           doubling per retry, capped at 2s)\n"
+        "\n"
+        "exit codes:\n"
+        "  0   success\n"
+        "  1   terminal failure: the compile/swap itself failed;\n"
+        "      resubmitting the same request would fail identically\n"
+        "  2   retriable failure: admission queue full, deadline\n"
+        "      expired, or no daemon listening — try again later\n"
+        "  64  usage error\n");
 }
 
 constexpr ir::Type kFx = ir::Type::fx(32, 17);
@@ -132,8 +158,14 @@ parseLevel(const std::string &s)
     if (s == "Vitis" || s == "vitis")
         return 3;
     std::fprintf(stderr, "pldc: unknown level %s\n", s.c_str());
-    std::exit(2);
+    std::exit(64);
 }
+
+// Exit codes (documented in usage()).
+constexpr int kExitOk = 0;
+constexpr int kExitTerminal = 1;
+constexpr int kExitRetriable = 2;
+constexpr int kExitUsage = 64;
 
 std::string
 readFile(const std::string &path)
@@ -195,11 +227,23 @@ main(int argc, char **argv)
 {
     std::string socket_path = envOr("PLD_SOCKET", "/tmp/pldd.sock");
     std::string cmd;
+    int deadline_ms = 0;
+    int retries = 3;
+    int retry_base_ms = 50;
     std::vector<std::string> args;
     for (int i = 1; i < argc; ++i) {
         std::string a = argv[i];
         if (a == "--socket" && i + 1 < argc) {
             socket_path = argv[++i];
+        } else if (a == "--deadline-ms" && i + 1 < argc) {
+            deadline_ms = std::atoi(argv[++i]);
+        } else if (a == "--retries" && i + 1 < argc) {
+            retries = std::atoi(argv[++i]);
+        } else if (a == "--retry-base-ms" && i + 1 < argc) {
+            retry_base_ms = std::atoi(argv[++i]);
+        } else if (a == "--help" || a == "-h") {
+            usage();
+            return kExitOk;
         } else if (cmd.empty() && a[0] != '-') {
             cmd = a;
         } else {
@@ -208,8 +252,11 @@ main(int argc, char **argv)
     }
     if (cmd.empty()) {
         usage();
-        return 2;
+        return kExitUsage;
     }
+    svc::RetryPolicy policy;
+    policy.maxAttempts = std::max(0, retries) + 1;
+    policy.baseMs = std::max(1, retry_base_ms);
 
     if (cmd == "emit") {
         std::string app, out_path;
@@ -223,7 +270,7 @@ main(int argc, char **argv)
         if (app.empty() || !builtinGraph(app, &g)) {
             std::fprintf(stderr, "pldc: unknown app '%s'\n",
                          app.c_str());
-            return 2;
+            return kExitUsage;
         }
         std::string text = svc::encodeGraphText(g);
         if (out_path.empty()) {
@@ -234,40 +281,56 @@ main(int argc, char **argv)
             if (!f) {
                 std::fprintf(stderr, "pldc: cannot write %s\n",
                              out_path.c_str());
-                return 1;
+                return kExitTerminal;
             }
             std::printf("pldc: wrote %s (%zu bytes)\n",
                         out_path.c_str(), text.size());
         }
-        return 0;
+        return kExitOk;
     }
 
     svc::Client client(socket_path);
-    if (!client.connect()) {
-        std::fprintf(stderr,
-                     "pldc: no daemon listening on %s (start one "
-                     "with: pldd --socket %s &)\n",
-                     socket_path.c_str(), socket_path.c_str());
-        return 1;
+    client.setDeadlineMs(deadline_ms);
+    // compile/swap connect inside the retry loop (the daemon may be
+    // restarting); the point-in-time commands need a live daemon NOW
+    // — unreachable is a retriable condition either way.
+    if (cmd == "ping" || cmd == "stats" || cmd == "shutdown") {
+        if (!client.connect()) {
+            std::fprintf(stderr,
+                         "pldc: no daemon listening on %s (start one "
+                         "with: pldd --socket %s &)\n",
+                         socket_path.c_str(), socket_path.c_str());
+            return kExitRetriable;
+        }
     }
 
     try {
+        if (cmd == "ping") {
+            if (!client.ping(0x706C6470696E67ull)) {
+                std::fprintf(stderr, "pldc: daemon did not answer "
+                                     "the ping\n");
+                return kExitRetriable;
+            }
+            std::printf("pldc: daemon alive on %s\n",
+                        socket_path.c_str());
+            return kExitOk;
+        }
         if (cmd == "stats") {
             std::fputs(client.stats().c_str(), stdout);
-            return 0;
+            return kExitOk;
         }
         if (cmd == "shutdown") {
             if (!client.shutdownDaemon()) {
                 std::fprintf(stderr, "pldc: shutdown not acked\n");
-                return 1;
+                return kExitRetriable;
             }
             std::printf("pldc: daemon shut down\n");
-            return 0;
+            return kExitOk;
         }
 
         if (cmd != "compile" && cmd != "swap") {
             usage();
-            return 2;
+            return kExitUsage;
         }
 
         std::string file, base_hex, op_name;
@@ -276,7 +339,7 @@ main(int argc, char **argv)
             auto next = [&]() -> std::string {
                 if (i + 1 >= args.size()) {
                     usage();
-                    std::exit(2);
+                    std::exit(kExitUsage);
                 }
                 return args[++i];
             };
@@ -304,23 +367,33 @@ main(int argc, char **argv)
         }
         if (file.empty()) {
             usage();
-            return 2;
+            return kExitUsage;
         }
+
+        auto exitFor = [](const svc::CompileResponse &resp) {
+            if (resp.status == svc::RespStatus::Ok)
+                return kExitOk;
+            // A rejection clears on its own (the queue drains); a
+            // failed compile does not (it is deterministic).
+            return resp.status == svc::RespStatus::Rejected
+                       ? kExitRetriable
+                       : kExitTerminal;
+        };
 
         if (cmd == "compile") {
             svc::CompileRequest req;
             req.opts = opts;
             req.graphText = readFile(file);
-            auto resp = client.compile(req);
+            auto resp = client.compileWithRetry(req, policy);
             printResponse(resp, false);
-            return resp.status == svc::RespStatus::Ok ? 0 : 1;
+            return exitFor(resp);
         }
 
         if (base_hex.empty() || op_name.empty()) {
             std::fprintf(stderr,
                          "pldc: swap needs --base HEXKEY and --op "
                          "NAME\n");
-            return 2;
+            return kExitUsage;
         }
         svc::SwapRequest req;
         req.opts = opts;
@@ -328,11 +401,11 @@ main(int argc, char **argv)
             std::strtoull(base_hex.c_str(), nullptr, 16);
         req.opName = op_name;
         req.graphText = readFile(file);
-        auto resp = client.swap(req);
+        auto resp = client.swapWithRetry(req, policy);
         printResponse(resp, true);
-        return resp.status == svc::RespStatus::Ok ? 0 : 1;
+        return exitFor(resp);
     } catch (const CompileError &e) {
         std::fprintf(stderr, "pldc: %s\n", e.diag().render().c_str());
-        return 1;
+        return e.diag().retriable ? kExitRetriable : kExitTerminal;
     }
 }

@@ -1,0 +1,693 @@
+/**
+ * pldchaos: kill -9 chaos soak for the compile daemon.
+ *
+ *   $ pldchaos                          # full soak (all crash specs)
+ *   $ pldchaos --list                   # print the spec list
+ *   $ pldchaos --spec io_crash_point:store.put.tmp_written*2
+ *   $ pldchaos --hang-smoke             # client-deadline self-test
+ *   $ pldchaos --hang-serve /tmp/h.sock # accept-and-never-respond
+ *                                       # server (for CI pldc smoke)
+ *
+ * The soak drives one scenario per fault spec: it spawns a real
+ * `pldd` with PLD_FAULT set so the artifact store's filesystem
+ * fails — or the process dies without warning (std::_Exit, the
+ * injectable cousin of kill -9) — at a named crash site, then runs
+ * an edit-refine workload through it with the client retry
+ * discipline, restarting the daemon cleanly on the same store after
+ * each crash. Per scenario it asserts the crash-safety contract:
+ *
+ *  - availability: every request eventually answers Ok;
+ *  - integrity: every served blob is bit-identical to a direct
+ *    library build, and no corrupt store entry is ever served
+ *    (store.corrupt stays 0, including a final offline scan);
+ *  - recompile-at-most-once: after a restart the daemon recompiles
+ *    only artifacts the crash actually lost (run-2 backend compiles
+ *    == apps minus recovered entries; the re-get phase compiles
+ *    nothing);
+ *  - exactly one crash per crash spec (the site was really reached).
+ *
+ * Everything is seeded and deterministic; blob expectations are
+ * computed in-process by the same library the daemon links.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <chrono>
+#include <fcntl.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "common/io.h"
+#include "fabric/device.h"
+#include "ir/builder.h"
+#include "pld/compiler.h"
+#include "svc/client.h"
+#include "svc/service.h"
+#include "svc/store.h"
+#include "svc/wire.h"
+
+extern char **environ;
+
+using namespace pld;
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr int kApps = 3;
+constexpr int kCrashExit = FaultVfs::kCrashExitCode;
+
+// Crash specs the soak must survive. Each names a site the workload
+// provably reaches ('*N' = die on the Nth arrival): five put sites
+// x2, both index sites x3, the recovery scan, and the read path x3
+// (reached by the re-get phase). Eviction-path crash sites need a
+// controlled byte budget and are covered by tests/svc/test_crash.cpp
+// instead.
+const char *kCrashSpecs[] = {
+    "io_crash_point:store.open.recovered*1",
+    "io_crash_point:store.put.begin*1",
+    "io_crash_point:store.put.begin*2",
+    "io_crash_point:store.put.tmp_written*1",
+    "io_crash_point:store.put.tmp_written*2",
+    "io_crash_point:store.put.entry_renamed*1",
+    "io_crash_point:store.put.entry_renamed*2",
+    "io_crash_point:store.put.dir_synced*1",
+    "io_crash_point:store.put.dir_synced*2",
+    "io_crash_point:store.put.done*1",
+    "io_crash_point:store.put.done*2",
+    "io_crash_point:store.index.tmp_written*1",
+    "io_crash_point:store.index.tmp_written*2",
+    "io_crash_point:store.index.tmp_written*3",
+    "io_crash_point:store.index.renamed*1",
+    "io_crash_point:store.index.renamed*2",
+    "io_crash_point:store.index.renamed*3",
+    "io_crash_point:store.get.before_read*1",
+    "io_crash_point:store.get.before_read*2",
+    "io_crash_point:store.get.before_read*3",
+};
+
+// Non-crash fault scenarios: the disk misbehaves but the daemon must
+// keep answering correctly (degraded, never wrong).
+const char *kFaultSpecs[] = {
+    "io_enospc:*",           // every write fails: serve from memory
+    "io_enospc:lru.txt.tmp", // only the index is unwritable
+    "io_eio:lru.txt*2",      // index rename flakes twice, heals
+    "io_torn_rename:lru.txt*1", // index torn by an unsynced rename
+};
+
+constexpr ir::Type kFx = ir::Type::fx(32, 17);
+
+ir::Graph
+makePipeline(double factor)
+{
+    ir::OpBuilder s("scale");
+    auto sin = s.input("Input_1");
+    auto sout = s.output("mid");
+    auto sx = s.var("x", kFx);
+    s.pragma(ir::Target::HW);
+    s.forLoop(0, 16, [&](ir::Ex) {
+        s.set(sx, s.read(sin).bitcast(kFx));
+        s.write(sout, (ir::Ex(sx) * ir::litF(factor, kFx)).cast(kFx));
+    });
+
+    ir::OpBuilder o("offset");
+    auto oin = o.input("mid");
+    auto oout = o.output("Output_1");
+    auto ox = o.var("x", kFx);
+    o.pragma(ir::Target::HW);
+    o.forLoop(0, 16, [&](ir::Ex) {
+        o.set(ox, o.read(oin).bitcast(kFx));
+        o.write(oout, (ir::Ex(ox) + ir::litF(-2.0, kFx)).cast(kFx));
+    });
+
+    ir::GraphBuilder gb("chaos_app");
+    auto in = gb.extIn("Input_1");
+    auto out = gb.extOut("Output_1");
+    auto mid = gb.wire();
+    gb.inst(s.finish(), {in}, {mid});
+    gb.inst(o.finish(), {mid}, {out});
+    return gb.finish();
+}
+
+svc::CompileRequest
+makeRequest(int app)
+{
+    svc::CompileRequest req;
+    req.opts.level = 1; // O1
+    req.graphText =
+        svc::encodeGraphText(makePipeline(1.25 + 0.5 * app));
+    return req;
+}
+
+/** What the daemon must serve: a direct library build of the same
+ * request through the same codepath (graph-text round trip, same
+ * compiler options compilerFor() would choose). */
+std::vector<uint8_t>
+expectedBlob(const fabric::Device &dev, const svc::CompileRequest &req)
+{
+    flow::CompileOptions co;
+    co.effort = 1.0;
+    co.seed = req.opts.seed;
+    co.parallelJobs = req.opts.parallelJobs;
+    co.softcoreTier = static_cast<rvgen::Tier>(req.opts.softcoreTier);
+    flow::PldCompiler pc(dev, co);
+    ir::Graph g = svc::decodeGraphText(req.graphText);
+    flow::AppBuild b = pc.build(
+        g, static_cast<flow::OptLevel>(req.opts.level), co.effort);
+    return svc::BuildArtifact::fromAppBuild(b).encode();
+}
+
+[[noreturn]] void
+die(const std::string &why)
+{
+    std::fprintf(stderr, "pldchaos: FAIL: %s\n", why.c_str());
+    std::exit(1);
+}
+
+void
+check(bool ok, const std::string &why)
+{
+    if (!ok)
+        die(why);
+}
+
+std::string
+sanitize(const std::string &spec)
+{
+    std::string out;
+    for (char c : spec)
+        out += (std::isalnum(static_cast<unsigned char>(c)) ||
+                c == '.' || c == '_')
+                   ? c
+                   : '_';
+    return out;
+}
+
+// ---- daemon process management -----------------------------------
+
+std::string g_plddPath;
+
+std::string
+plddPath()
+{
+    if (!g_plddPath.empty())
+        return g_plddPath;
+    // pldd sits next to this binary in the build tree.
+    char buf[4096];
+    ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+    check(n > 0, "cannot resolve /proc/self/exe");
+    buf[n] = '\0';
+    std::string self(buf);
+    size_t slash = self.find_last_of('/');
+    g_plddPath = self.substr(0, slash + 1) + "pldd";
+    check(fs::exists(g_plddPath),
+          "pldd not found at " + g_plddPath + " (use --pldd PATH)");
+    return g_plddPath;
+}
+
+/** fork+exec a pldd. @p fault_spec empty = healthy daemon. Only
+ * async-signal-safe calls run between fork and execve. */
+pid_t
+spawnDaemon(const std::string &socket_path,
+            const std::string &store_dir,
+            const std::string &fault_spec)
+{
+    static std::string exe;
+    exe = plddPath();
+    std::vector<std::string> argstrs = {
+        "pldd",        "--socket",        socket_path,
+        "--store",     store_dir,         "--max-executing",
+        "2",           "--max-queued",    "8",
+    };
+    std::vector<char *> argv;
+    for (auto &s : argstrs)
+        argv.push_back(const_cast<char *>(s.c_str()));
+    argv.push_back(nullptr);
+
+    std::vector<std::string> envstrs;
+    for (char **e = environ; *e; ++e) {
+        if (std::strncmp(*e, "PLD_FAULT", 9) != 0)
+            envstrs.emplace_back(*e);
+    }
+    if (!fault_spec.empty()) {
+        envstrs.push_back("PLD_FAULT=" + fault_spec);
+        envstrs.push_back("PLD_FAULT_SEED=1");
+    }
+    std::vector<char *> envp;
+    for (auto &s : envstrs)
+        envp.push_back(const_cast<char *>(s.c_str()));
+    envp.push_back(nullptr);
+
+    pid_t pid = ::fork();
+    check(pid >= 0, "fork failed");
+    if (pid == 0) {
+        // Child: silence the daemon's stdout chatter, keep stderr.
+        int devnull = ::open("/dev/null", O_WRONLY);
+        if (devnull >= 0)
+            ::dup2(devnull, 1);
+        ::execve(exe.c_str(), argv.data(), envp.data());
+        ::_exit(127);
+    }
+    return pid;
+}
+
+/** waitpid(WNOHANG): 0 alive, else the exit status code. */
+bool
+daemonExited(pid_t pid, int *code)
+{
+    int status = 0;
+    pid_t r = ::waitpid(pid, &status, WNOHANG);
+    if (r != pid)
+        return false;
+    *code = WIFEXITED(status) ? WEXITSTATUS(status)
+                              : 128 + WTERMSIG(status);
+    return true;
+}
+
+struct StatsMap
+{
+    std::map<std::string, long long> v;
+    long long operator[](const std::string &k) const
+    {
+        auto it = v.find(k);
+        return it == v.end() ? -1 : it->second;
+    }
+};
+
+StatsMap
+parseStats(const std::string &text)
+{
+    StatsMap m;
+    std::istringstream is(text);
+    std::string name;
+    long long value;
+    while (is >> name >> value)
+        m.v[name] = value;
+    return m;
+}
+
+// ---- one soak scenario -------------------------------------------
+
+struct Scenario
+{
+    std::string spec;
+    bool expectCrash;
+};
+
+/** The daemon supervisor one scenario runs under: respawns after a
+ * crash (cleanly — each spec injects exactly one crash) and counts
+ * crashes observed. */
+struct Supervisor
+{
+    std::string socketPath;
+    std::string storeDir;
+    std::string faultSpec;
+    pid_t pid = -1;
+    int crashes = 0;
+    /** store.entries right after the most recent post-crash
+     * restart (the recompile-at-most-once baseline). */
+    long long entriesAtRestart = -1;
+    bool restartedCleanly = false;
+
+    void
+    spawn(const std::string &spec)
+    {
+        pid = spawnDaemon(socketPath, storeDir, spec);
+    }
+
+    /** True when the daemon died; reaps, validates the exit code,
+     * and restarts WITHOUT faults on the same store. */
+    bool
+    reviveIfDead()
+    {
+        int code = 0;
+        if (pid < 0 || !daemonExited(pid, &code))
+            return false;
+        check(code == kCrashExit,
+              faultSpec + ": daemon exited with " +
+                  std::to_string(code) + ", want " +
+                  std::to_string(kCrashExit) +
+                  " (injected crash)");
+        ++crashes;
+        spawn("");
+        restartedCleanly = true;
+        return true;
+    }
+
+    void
+    awaitReady(svc::Client &client)
+    {
+        for (int i = 0; i < 600; ++i) {
+            reviveIfDead();
+            if (client.connect() && client.ping(i))
+                return;
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(20));
+        }
+        die(faultSpec + ": daemon never became ready");
+    }
+};
+
+void
+runScenario(const Scenario &sc, const std::string &base,
+            const std::vector<svc::CompileRequest> &reqs,
+            const std::vector<std::vector<uint8_t>> &expected)
+{
+    std::printf("pldchaos: === %s%s\n", sc.spec.c_str(),
+                sc.expectCrash ? " (expect one crash)" : "");
+    std::fflush(stdout);
+
+    Supervisor sup;
+    sup.faultSpec = sc.spec;
+    sup.storeDir = base + "/" + sanitize(sc.spec);
+    sup.socketPath = base + "/" + sanitize(sc.spec) + ".sock";
+    fs::create_directories(sup.storeDir);
+    sup.spawn(sc.spec);
+
+    svc::Client client(sup.socketPath);
+    client.setDeadlineMs(30000);
+    sup.awaitReady(client);
+
+    // One compile round-trip that survives crashes: single attempts
+    // in a loop, so the supervisor sees every daemon death.
+    auto compileThrough = [&](const svc::CompileRequest &req) {
+        for (int attempt = 0; attempt < 50; ++attempt) {
+            if (sup.reviveIfDead() || !client.connected())
+                sup.awaitReady(client);
+            try {
+                return client.compile(req);
+            } catch (const CompileError &e) {
+                if (!e.diag().retriable)
+                    throw;
+                client.close();
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(30));
+            }
+        }
+        die(sc.spec + ": request did not complete in 50 attempts");
+    };
+
+    // Phase A: first-build sweep.
+    for (int i = 0; i < kApps; ++i) {
+        auto resp = compileThrough(reqs[i]);
+        check(resp.status == svc::RespStatus::Ok,
+              sc.spec + ": app " + std::to_string(i) +
+                  " did not compile Ok");
+        check(resp.blob == expected[i],
+              sc.spec + ": app " + std::to_string(i) +
+                  " blob differs from the direct library build");
+    }
+
+    // Recompile-at-most-once baseline: what the current daemon
+    // generation has had to compile itself.
+    sup.reviveIfDead();
+    StatsMap afterA = parseStats(client.stats());
+    check(afterA["store.corrupt"] == 0,
+          sc.spec + ": corrupt entries after phase A");
+
+    // Phase B: re-gets. Every app must come back bit-identical; a
+    // crash spec targeting the read path fires here.
+    bool crashedBeforeB = sup.restartedCleanly;
+    for (int round = 0; round < 2; ++round) {
+        for (int i = 0; i < kApps; ++i) {
+            auto resp = compileThrough(reqs[i]);
+            check(resp.status == svc::RespStatus::Ok,
+                  sc.spec + ": re-get of app " + std::to_string(i) +
+                      " not Ok");
+            check(resp.blob == expected[i],
+                  sc.spec + ": re-get of app " + std::to_string(i) +
+                      " blob differs");
+        }
+    }
+
+    sup.reviveIfDead();
+    StatsMap afterB = parseStats(client.stats());
+    check(afterB["store.corrupt"] == 0,
+          sc.spec + ": corrupt entries after phase B");
+    if (sc.expectCrash) {
+        check(sup.crashes == 1,
+              sc.spec + ": observed " +
+                  std::to_string(sup.crashes) +
+                  " crashes, want exactly 1 (site unreached or "
+                  "re-fired)");
+        // Recompile at most once: the re-get phase compiles nothing.
+        // Same daemon generation → misses unchanged; fresh
+        // generation (crash landed in phase B) → everything it
+        // served was a store hit.
+        if (crashedBeforeB == sup.restartedCleanly)
+            check(afterB["svc.store_misses"] ==
+                      afterA["svc.store_misses"],
+                  sc.spec + ": re-gets recompiled (misses " +
+                      std::to_string(afterA["svc.store_misses"]) +
+                      " -> " +
+                      std::to_string(afterB["svc.store_misses"]) +
+                      ")");
+        else
+            check(afterB["svc.store_misses"] == 0,
+                  sc.spec +
+                      ": post-crash daemon recompiled during "
+                      "re-gets");
+    } else {
+        check(sup.crashes == 0,
+              sc.spec + ": unexpected daemon crash");
+        // io_torn_rename reports success (that is its point — the
+        // damage is silent), so only the erroring kinds must have
+        // left a mark in the counters.
+        if (sc.spec.find("enospc") != std::string::npos ||
+            sc.spec.find("eio") != std::string::npos)
+            check(afterB["store.io_errors"] > 0,
+                  sc.spec + ": fault never fired");
+        if (sc.spec == "io_enospc:*")
+            check(afterB["store.degraded"] == 1,
+                  sc.spec + ": daemon not in degraded mode");
+    }
+
+    check(client.shutdownDaemon(),
+          sc.spec + ": final daemon refused shutdown");
+    for (int i = 0; i < 600; ++i) {
+        int code = 0;
+        if (daemonExited(sup.pid, &code)) {
+            check(code == 0, sc.spec + ": daemon shutdown exit " +
+                                 std::to_string(code));
+            break;
+        }
+        check(i < 599, sc.spec + ": daemon never exited");
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+
+    // Offline integrity scan: open the store directly and demand
+    // every surviving entry decode bit-identically. "io_enospc:*"
+    // legitimately stores nothing; everything else must hold all
+    // apps by now.
+    svc::ArtifactStore post(sup.storeDir, 256ull << 20);
+    check(post.stats().corrupt.load() == 0,
+          sc.spec + ": offline scan found corrupt entries");
+    int present = 0;
+    for (int i = 0; i < kApps; ++i) {
+        uint64_t key = svc::CompileService::requestKey(reqs[i]);
+        auto got = post.get(key);
+        if (!got)
+            continue;
+        ++present;
+        check(*got == expected[i],
+              sc.spec + ": stored entry for app " +
+                  std::to_string(i) + " not bit-identical");
+    }
+    check(post.stats().corrupt.load() == 0,
+          sc.spec + ": offline re-read detected corruption");
+    if (sc.spec != "io_enospc:*")
+        check(present == kApps,
+              sc.spec + ": store holds " + std::to_string(present) +
+                  "/" + std::to_string(kApps) + " apps after soak");
+
+    std::printf("pldchaos: ok %s (crashes=%d, io_errors=%lld)\n",
+                sc.spec.c_str(), sup.crashes,
+                afterB["store.io_errors"]);
+    std::fflush(stdout);
+}
+
+// ---- hang modes --------------------------------------------------
+
+/** Bind an AF_UNIX listener that accepts and reads but never
+ * replies — a daemon that wedged with the socket still open. */
+int
+hangListener(const std::string &path)
+{
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    check(path.size() < sizeof(addr.sun_path),
+          "socket path too long");
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    check(fd >= 0, "socket() failed");
+    ::unlink(path.c_str());
+    check(::bind(fd, reinterpret_cast<sockaddr *>(&addr),
+                 sizeof(addr)) == 0,
+          "bind(" + path + ") failed");
+    check(::listen(fd, 8) == 0, "listen failed");
+    return fd;
+}
+
+[[noreturn]] void
+hangServe(const std::string &path)
+{
+    int fd = hangListener(path);
+    std::printf("pldchaos: hung daemon imitation on %s\n",
+                path.c_str());
+    std::fflush(stdout);
+    for (;;) {
+        int c = ::accept(fd, nullptr, nullptr);
+        if (c < 0)
+            continue;
+        std::thread([c] {
+            char buf[4096];
+            while (::read(c, buf, sizeof(buf)) > 0) {
+            }
+            ::close(c);
+        }).detach();
+    }
+}
+
+int
+hangSmoke()
+{
+    char tmpl[] = "/tmp/pldchaos_hang_XXXXXX";
+    check(::mkdtemp(tmpl) != nullptr, "mkdtemp failed");
+    std::string sock = std::string(tmpl) + "/hang.sock";
+    int lfd = hangListener(sock);
+    std::thread([lfd] {
+        for (;;) {
+            int c = ::accept(lfd, nullptr, nullptr);
+            if (c < 0)
+                return;
+            // Read and discard; never answer.
+            std::thread([c] {
+                char buf[4096];
+                while (::read(c, buf, sizeof(buf)) > 0) {
+                }
+                ::close(c);
+            }).detach();
+        }
+    }).detach();
+
+    svc::Client client(sock);
+    client.setDeadlineMs(300);
+    check(client.connect(), "cannot connect to hang listener");
+    auto t0 = std::chrono::steady_clock::now();
+    bool deadline_hit = false;
+    try {
+        client.compile(makeRequest(0));
+    } catch (const CompileError &e) {
+        deadline_hit =
+            e.diag().code == CompileCode::DeadlineExceeded;
+        check(e.diag().retriable, "deadline error not retriable");
+    }
+    double secs = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+    check(deadline_hit, "expected DeadlineExceeded from a daemon "
+                        "that never answers");
+    check(secs < 10.0, "deadline took " + std::to_string(secs) +
+                           "s to fire (want ~0.3s)");
+    check(!client.ping(42), "ping unexpectedly answered");
+    std::error_code ec;
+    fs::remove_all(tmpl, ec);
+    std::printf("pldchaos: hang smoke ok (deadline fired in %.2fs, "
+                "ping refused)\n",
+                secs);
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string only_spec;
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr,
+                             "pldchaos: %s needs a value\n",
+                             a.c_str());
+                std::exit(64);
+            }
+            return argv[++i];
+        };
+        if (a == "--list") {
+            for (const char *s : kCrashSpecs)
+                std::printf("%s\n", s);
+            for (const char *s : kFaultSpecs)
+                std::printf("%s\n", s);
+            return 0;
+        }
+        if (a == "--hang-serve")
+            hangServe(next());
+        if (a == "--hang-smoke")
+            return hangSmoke();
+        if (a == "--spec") {
+            only_spec = next();
+            continue;
+        }
+        if (a == "--pldd") {
+            g_plddPath = next();
+            continue;
+        }
+        std::fprintf(
+            stderr,
+            "usage: pldchaos [--spec SPEC] [--pldd PATH] [--list]\n"
+            "                [--hang-smoke] [--hang-serve SOCKET]\n");
+        return a == "--help" || a == "-h" ? 0 : 64;
+    }
+
+    char tmpl[] = "/tmp/pldchaos_XXXXXX";
+    check(::mkdtemp(tmpl) != nullptr, "mkdtemp failed");
+    std::string base = tmpl;
+
+    fabric::Device dev = fabric::makeU50();
+    std::vector<svc::CompileRequest> reqs;
+    std::vector<std::vector<uint8_t>> expected;
+    std::printf("pldchaos: building %d reference artifacts...\n",
+                kApps);
+    std::fflush(stdout);
+    for (int i = 0; i < kApps; ++i) {
+        reqs.push_back(makeRequest(i));
+        expected.push_back(expectedBlob(dev, reqs[i]));
+    }
+
+    std::vector<Scenario> scenarios;
+    for (const char *s : kCrashSpecs)
+        scenarios.push_back({s, true});
+    for (const char *s : kFaultSpecs)
+        scenarios.push_back({s, false});
+    if (!only_spec.empty()) {
+        scenarios.clear();
+        scenarios.push_back(
+            {only_spec,
+             only_spec.rfind("io_crash_point", 0) == 0});
+    }
+
+    int crash_specs = 0;
+    for (const auto &sc : scenarios) {
+        runScenario(sc, base, reqs, expected);
+        crash_specs += sc.expectCrash ? 1 : 0;
+    }
+
+    std::error_code ec;
+    fs::remove_all(base, ec);
+    std::printf("pldchaos: PASS — %zu scenarios (%d seeded crash "
+                "points), store never served a corrupt or "
+                "non-identical artifact\n",
+                scenarios.size(), crash_specs);
+    return 0;
+}

@@ -10,6 +10,13 @@
  * on-disk store (hits survive daemon restarts), bounds its queue
  * with admission control, and answers with the canonical
  * bit-identical build artifact. Stop it with `pldc shutdown`.
+ *
+ * Chaos testing: when $PLD_FAULT contains io_* kinds (io_enospc,
+ * io_eio, io_short_write, io_torn_rename, io_crash_point — see
+ * common/fault.h), the artifact store runs on a FaultVfs, so a soak
+ * harness can make this daemon's disk fail or kill the process at
+ * named crash sites deterministically. Non-io kinds keep their
+ * existing per-request meaning and do not wrap the store.
  */
 
 #include <cstdio>
@@ -17,6 +24,7 @@
 #include <cstring>
 #include <string>
 
+#include "common/io.h"
 #include "fabric/device.h"
 #include "svc/server.h"
 #include "svc/service.h"
@@ -32,6 +40,7 @@ usage()
         stderr,
         "usage: pldd [--socket PATH] [--store DIR] [--budget-mb N]\n"
         "            [--max-executing N] [--max-queued N]\n"
+        "            [--idle-timeout-ms N]\n"
         "\n"
         "  --socket PATH      AF_UNIX socket to listen on\n"
         "                     (default $PLD_SOCKET or /tmp/pldd.sock)\n"
@@ -40,7 +49,12 @@ usage()
         "  --budget-mb N      store LRU byte budget (default 256)\n"
         "  --max-executing N  concurrent backend compiles (default 4)\n"
         "  --max-queued N     waiting requests before admission\n"
-        "                     rejects (default 8)\n");
+        "                     rejects (default 8)\n"
+        "  --idle-timeout-ms N  drop a client that sends no request\n"
+        "                     for N ms (default 120000; 0 = never)\n"
+        "\n"
+        "PLD_FAULT with io_* kinds runs the artifact store on a\n"
+        "fault-injecting filesystem (chaos testing; see pldchaos).\n");
 }
 
 std::string
@@ -58,6 +72,7 @@ main(int argc, char **argv)
     std::string socket_path = envOr("PLD_SOCKET", "/tmp/pldd.sock");
     svc::ServiceConfig cfg;
     cfg.storeDir = envOr("PLD_STORE", "/tmp/pldd-store");
+    int idle_timeout_ms = 120000;
 
     for (int i = 1; i < argc; ++i) {
         std::string a = argv[i];
@@ -81,15 +96,25 @@ main(int argc, char **argv)
             cfg.maxExecuting = std::atoi(next());
         else if (a == "--max-queued")
             cfg.maxQueued = std::atoi(next());
+        else if (a == "--idle-timeout-ms")
+            idle_timeout_ms = std::atoi(next());
         else {
             usage();
             return a == "--help" || a == "-h" ? 0 : 2;
         }
     }
 
+    FaultPlan plan = FaultPlan::fromEnv();
+    if (planHasIoFaults(plan)) {
+        std::printf("pldd: PLD_FAULT carries io_* kinds; artifact "
+                    "store runs on a fault-injecting filesystem\n");
+        cfg.vfs = std::make_shared<FaultVfs>(systemVfs(),
+                                             std::move(plan));
+    }
+
     fabric::Device dev = fabric::makeU50();
     svc::CompileService service(dev, cfg);
-    svc::DaemonServer server(service, socket_path);
+    svc::DaemonServer server(service, socket_path, idle_timeout_ms);
     server.start();
     std::printf("pldd: listening on %s (store %s, %d executing / %d "
                 "queued)\n",
